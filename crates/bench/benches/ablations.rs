@@ -1,0 +1,50 @@
+//! Ablations — partitioner comparison (Ablation A), copy-latency
+//! sensitivity (Ablation B, §6.3), and the iterated-greedy extension (§7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vliw_bench::{corpus_slice, full_corpus};
+use vliw_machine::MachineDesc;
+use vliw_pipeline::{
+    ablation, latency_sweep, render_ablation, run_corpus, PartitionerKind, PipelineConfig,
+};
+
+fn bench_ablations(c: &mut Criterion) {
+    let corpus = full_corpus();
+    println!(
+        "\n{}",
+        render_ablation(
+            &ablation(&corpus, &MachineDesc::embedded(4, 4)),
+            "Ablation A: partitioners on 4x4 embedded (full corpus)"
+        )
+    );
+    println!(
+        "\n{}",
+        render_ablation(
+            &latency_sweep(&corpus, 4),
+            "Ablation B: copy latency on 4-cluster machines (full corpus)"
+        )
+    );
+
+    let slice = corpus_slice(24);
+    let machine = MachineDesc::embedded(4, 4);
+    let mut g = c.benchmark_group("ablation_partitioners");
+    for (name, kind) in [
+        ("greedy", PartitionerKind::Greedy),
+        ("bug", PartitionerKind::Bug),
+        ("component", PartitionerKind::Component),
+        ("round-robin", PartitionerKind::RoundRobin),
+        ("iterated", PartitionerKind::Iterated(2, 4)),
+    ] {
+        let cfg = PipelineConfig {
+            partitioner: kind,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| run_corpus(&slice, &machine, cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Figures 1–3 — the §4.2 xpos worked example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vliw_pipeline::paper_example;
+
+fn bench_example(c: &mut Criterion) {
+    let ex = paper_example();
+    println!(
+        "\nFigures 1-3: ideal span {} cycles (paper 7); partitioned span {} cycles, {} copies (paper 9, 2)\n",
+        ex.ideal_span, ex.clustered_span, ex.n_copies
+    );
+    c.bench_function("fig1_3_example/full_pipeline", |b| b.iter(paper_example));
+}
+
+criterion_group!(benches, bench_example);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figures 5–7 — per-loop degradation histograms for 2/4/8 clusters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vliw_bench::{corpus_slice, full_corpus};
+use vliw_pipeline::{fig_histogram, PipelineConfig};
+
+fn bench_figs(c: &mut Criterion) {
+    let cfg = PipelineConfig::default();
+    let corpus = full_corpus();
+    for (fig, n) in [(5, 2usize), (6, 4), (7, 8)] {
+        let h = fig_histogram(&corpus, n, &cfg);
+        println!("\nFigure {fig}:\n{}", h.render());
+        println!(
+            "zero-degradation: {:.1}% embedded / {:.1}% copy-unit",
+            h.embedded.percent_undegraded(),
+            h.copy_unit.percent_undegraded()
+        );
+    }
+
+    let slice = corpus_slice(32);
+    let mut g = c.benchmark_group("fig567_histograms");
+    for n in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("clusters", n), &n, |b, &n| {
+            b.iter(|| fig_histogram(&slice, n, &cfg))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figs);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Microbenchmarks of the hot kernels on representative loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vliw_bench::{rep_ilp_loop, rep_recurrence_loop};
+use vliw_core::{assign_banks_caps, build_rcg, insert_copies, PartitionConfig};
+use vliw_ddg::{build_ddg, compute_slack, rec_ii};
+use vliw_machine::MachineDesc;
+use vliw_regalloc::allocate;
+use vliw_sched::{schedule_loop, ImsConfig, SchedProblem};
+use vliw_sim::{check_equivalence, run_reference};
+
+fn bench_micro(c: &mut Criterion) {
+    let machine = MachineDesc::embedded(4, 4);
+    let ideal_m = MachineDesc::monolithic(16);
+    let cfg = PartitionConfig::default();
+    let caps: Vec<usize> = machine.clusters.iter().map(|cl| cl.n_fus).collect();
+
+    for (tag, body) in [("ilp", rep_ilp_loop()), ("rec", rep_recurrence_loop())] {
+        let ddg = build_ddg(&body, &machine.latencies);
+        let ideal = schedule_loop(
+            &SchedProblem::ideal(&body, &ideal_m),
+            &ddg,
+            &ImsConfig::default(),
+        )
+        .unwrap();
+        let slack = compute_slack(&ddg, |op| {
+            machine.latencies.of(body.op(op).opcode) as i64
+        });
+        let rcg = build_rcg(&body, &ideal, &slack, &cfg);
+        let part = assign_banks_caps(&rcg, &caps, &cfg);
+        let clustered = insert_copies(&body, &part);
+        let cddg = build_ddg(&clustered.body, &machine.latencies);
+        let problem = SchedProblem::clustered(&clustered.body, &machine, &clustered.cluster_of);
+        let sched = schedule_loop(&problem, &cddg, &ImsConfig::default()).unwrap();
+
+        c.bench_function(&format!("micro/{tag}/build_ddg"), |b| {
+            b.iter(|| build_ddg(&body, &machine.latencies))
+        });
+        c.bench_function(&format!("micro/{tag}/rec_ii"), |b| b.iter(|| rec_ii(&ddg)));
+        c.bench_function(&format!("micro/{tag}/ims_ideal"), |b| {
+            b.iter(|| {
+                schedule_loop(
+                    &SchedProblem::ideal(&body, &ideal_m),
+                    &ddg,
+                    &ImsConfig::default(),
+                )
+                .unwrap()
+            })
+        });
+        c.bench_function(&format!("micro/{tag}/build_rcg"), |b| {
+            b.iter(|| build_rcg(&body, &ideal, &slack, &cfg))
+        });
+        c.bench_function(&format!("micro/{tag}/assign_banks"), |b| {
+            b.iter(|| assign_banks_caps(&rcg, &caps, &cfg))
+        });
+        c.bench_function(&format!("micro/{tag}/insert_copies"), |b| {
+            b.iter(|| insert_copies(&body, &part))
+        });
+        c.bench_function(&format!("micro/{tag}/ims_clustered"), |b| {
+            b.iter(|| schedule_loop(&problem, &cddg, &ImsConfig::default()).unwrap())
+        });
+        c.bench_function(&format!("micro/{tag}/chaitin_briggs"), |b| {
+            b.iter(|| allocate(&clustered.body, &cddg, &sched, &clustered.vreg_bank, &machine))
+        });
+        c.bench_function(&format!("micro/{tag}/simulate_oracle"), |b| {
+            b.iter(|| check_equivalence(&clustered.body, &sched, &machine.latencies).unwrap())
+        });
+        c.bench_function(&format!("micro/{tag}/scalar_reference"), |b| {
+            b.iter(|| run_reference(&body))
+        });
+    }
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 1 — IPC of clustered software pipelines.
+//!
+//! Prints the reproduced table once, then measures regenerating the IPC
+//! means for each machine model over a corpus slice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vliw_bench::{corpus_slice, full_corpus};
+use vliw_pipeline::{paper_machines, run_corpus, table1, PipelineConfig};
+
+fn bench_table1(c: &mut Criterion) {
+    // Reproduction record: the actual table on the full corpus.
+    let cfg = PipelineConfig::default();
+    println!("\n{}", table1(&full_corpus(), &cfg).render());
+    println!("(paper: Ideal 8.6; Clustered 9.3/6.2, 8.4/7.5, 6.9/6.8)\n");
+
+    let slice = corpus_slice(32);
+    let mut g = c.benchmark_group("table1_ipc");
+    for m in paper_machines() {
+        g.bench_with_input(BenchmarkId::from_parameter(&m.name), &m, |b, m| {
+            b.iter(|| {
+                let rs = run_corpus(&slice, m, &cfg);
+                rs.iter().map(|r| r.clustered_ipc).sum::<f64>() / rs.len() as f64
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 2 — degradation over ideal schedules, normalised to 100.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vliw_bench::{corpus_slice, full_corpus};
+use vliw_pipeline::{
+    arith_mean, harmonic_mean, paper_machines, run_corpus, table2, PipelineConfig,
+};
+
+fn bench_table2(c: &mut Criterion) {
+    let cfg = PipelineConfig::default();
+    println!("\n{}", table2(&full_corpus(), &cfg).render());
+    println!("(paper: arith 111/150, 126/122, 162/133; harm 109/127, 119/115, 138/124)\n");
+
+    let slice = corpus_slice(32);
+    let mut g = c.benchmark_group("table2_degradation");
+    for m in paper_machines() {
+        g.bench_with_input(BenchmarkId::from_parameter(&m.name), &m, |b, m| {
+            b.iter(|| {
+                let rs = run_corpus(&slice, m, &cfg);
+                let norm: Vec<f64> = rs.iter().map(|r| r.normalized).collect();
+                (arith_mean(&norm), harmonic_mean(&norm))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

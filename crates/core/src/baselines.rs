@@ -1,0 +1,194 @@
+//! Baseline partitioners the greedy RCG method is compared against.
+//!
+//! * [`round_robin_partition`] — registers dealt to banks cyclically; the
+//!   "no structure" floor.
+//! * [`component_partition`] — connected components of the positive RCG
+//!   packed onto banks (§4.1's observation that unconnected values are free
+//!   to separate, without the greedy edge-benefit refinement).
+//! * [`bug_partition`] — a bottom-up-greedy **operation-DAG** partitioner in
+//!   the spirit of Ellis's BUG (§3): operations are assigned to clusters in
+//!   critical-path order, balancing copy cost against load; registers then
+//!   inherit the cluster of their defining operation. This is the class of
+//!   algorithm the paper positions the RCG method against.
+
+use crate::greedy::Partition;
+use crate::rcg::RcgGraph;
+use vliw_ddg::SlackInfo;
+use vliw_ir::{Loop, VReg};
+use vliw_machine::{ClusterId, MachineDesc};
+
+/// Deal registers to banks cyclically: `v → v mod n_banks`.
+pub fn round_robin_partition(n_vregs: usize, n_banks: usize) -> Partition {
+    Partition {
+        bank_of: (0..n_vregs)
+            .map(|i| ClusterId((i % n_banks) as u32))
+            .collect(),
+        n_banks,
+    }
+}
+
+/// Pack positive-edge connected components onto banks, heaviest component
+/// first, each onto the currently least-loaded bank.
+pub fn component_partition(g: &RcgGraph, n_banks: usize) -> Partition {
+    let mut comps = g.positive_components();
+    comps.sort_by(|a, b| {
+        let wa: f64 = a.iter().map(|&v| g.node_weight(v)).sum();
+        let wb: f64 = b.iter().map(|&v| g.node_weight(v)).sum();
+        wb.partial_cmp(&wa).unwrap().then(a.len().cmp(&b.len()))
+    });
+    let mut bank_of = vec![ClusterId(0); g.n_nodes()];
+    let mut load = vec![0usize; n_banks];
+    for comp in comps {
+        let target = (0..n_banks).min_by_key(|&b| load[b]).unwrap();
+        load[target] += comp.len();
+        for v in comp {
+            bank_of[v.index()] = ClusterId(target as u32);
+        }
+    }
+    Partition { bank_of, n_banks }
+}
+
+/// Bottom-up-greedy operation-DAG partitioning (Ellis-style BUG).
+///
+/// Operations are visited most-critical-first (smallest latest-start).
+/// Each is assigned the cluster minimising
+/// `copy_cost · (remote operands) + load(cluster) / fus(cluster)`, where an
+/// operand is remote if its defining operation (or its live-in placement)
+/// sits on another cluster. Registers inherit the cluster of their defining
+/// operation; pure live-ins take the cluster that uses them most.
+pub fn bug_partition(body: &Loop, slack: &SlackInfo, machine: &MachineDesc) -> Partition {
+    let n_banks = machine.n_clusters();
+    let n_ops = body.n_ops();
+    let copy_cost = machine.latencies.copy_int.max(machine.latencies.copy_float) as f64;
+
+    // Visit order: critical first.
+    let mut order: Vec<usize> = (0..n_ops).collect();
+    order.sort_by_key(|&i| (slack.lstart[i], i));
+
+    // Cluster per op, assigned incrementally.
+    let mut op_cluster: Vec<Option<ClusterId>> = vec![None; n_ops];
+    let mut load = vec![0f64; n_banks];
+    // Where each register's value lives once known (def op assigned).
+    let mut reg_home: Vec<Option<ClusterId>> = vec![None; body.n_vregs()];
+
+    for &i in &order {
+        let op = &body.ops[i];
+        let mut best = (f64::INFINITY, ClusterId(0));
+        for (b, bank_load) in load.iter().enumerate() {
+            let c = ClusterId(b as u32);
+            let remote = op
+                .uses
+                .iter()
+                .filter(|&&u| matches!(reg_home[u.index()], Some(h) if h != c))
+                .count() as f64;
+            let fus = machine.fus_in(c).max(1) as f64;
+            let cost = copy_cost * remote + bank_load / fus;
+            if cost < best.0 {
+                best = (cost, c);
+            }
+        }
+        let c = best.1;
+        op_cluster[i] = Some(c);
+        load[c.index()] += 1.0;
+        if let Some(d) = op.def {
+            reg_home[d.index()] = Some(c);
+        }
+        // A live-in first touched here gets a provisional home, so later
+        // users prefer co-location.
+        for &u in &op.uses {
+            reg_home[u.index()].get_or_insert(c);
+        }
+    }
+
+    // Registers: defining op's cluster; live-ins: most frequent user cluster.
+    let mut bank_of = vec![ClusterId(0); body.n_vregs()];
+    for v in (0..body.n_vregs() as u32).map(VReg) {
+        let defs = body.defs_of(v);
+        if let Some(&d) = defs.last() {
+            bank_of[v.index()] = op_cluster[d.index()].unwrap();
+        } else {
+            let mut votes = vec![0usize; n_banks];
+            for u in body.uses_of(v) {
+                votes[op_cluster[u.index()].unwrap().index()] += 1;
+            }
+            let best = votes
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, &v)| (v, usize::MAX - i))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            bank_of[v.index()] = ClusterId(best as u32);
+        }
+    }
+    Partition { bank_of, n_banks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ddg::{build_ddg, compute_slack};
+    use vliw_ir::{LoopBuilder, RegClass};
+
+    fn two_chain_loop() -> Loop {
+        // Two independent chains — a partitioner with any structure awareness
+        // should separate them on a 2-cluster machine.
+        let mut b = LoopBuilder::new("chains");
+        let x = b.array("x", RegClass::Float, 64);
+        let y = b.array("y", RegClass::Float, 64);
+        let v1 = b.load(x, 0, 1);
+        let m1 = b.fmul(v1, v1);
+        b.store(x, 0, 1, m1);
+        let v2 = b.load(y, 0, 1);
+        let m2 = b.fadd(v2, v2);
+        b.store(y, 0, 1, m2);
+        b.finish(64)
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let p = round_robin_partition(10, 4);
+        assert_eq!(p.sizes(), vec![3, 3, 2, 2]);
+        assert_eq!(p.bank(VReg(5)), ClusterId(1));
+    }
+
+    #[test]
+    fn bug_separates_independent_chains() {
+        let l = two_chain_loop();
+        let m = MachineDesc::embedded(2, 1);
+        let g = build_ddg(&l, &m.latencies);
+        let slack = compute_slack(&g, |op| m.latencies.of(l.op(op).opcode) as i64);
+        let p = bug_partition(&l, &slack, &m);
+        // Registers within a chain co-locate.
+        assert_eq!(p.bank(VReg(0)), p.bank(VReg(1))); // v1, m1
+        assert_eq!(p.bank(VReg(2)), p.bank(VReg(3))); // v2, m2
+        // And the two chains land on different clusters (load balancing).
+        assert_ne!(p.bank(VReg(0)), p.bank(VReg(2)));
+    }
+
+    #[test]
+    fn bug_respects_cluster_count() {
+        let l = two_chain_loop();
+        let m = MachineDesc::embedded(4, 4);
+        let g = build_ddg(&l, &m.latencies);
+        let slack = compute_slack(&g, |op| m.latencies.of(l.op(op).opcode) as i64);
+        let p = bug_partition(&l, &slack, &m);
+        assert_eq!(p.n_banks, 4);
+        assert!(p.bank_of.iter().all(|b| b.index() < 4));
+    }
+
+    #[test]
+    fn component_partition_balances_components() {
+        let mut g = RcgGraph::new(6);
+        // Components {0,1}, {2,3}, {4}, {5} with varying weights.
+        g.bump_edge(VReg(0), VReg(1), 5.0);
+        g.bump_edge(VReg(2), VReg(3), 3.0);
+        for i in 0..6 {
+            g.bump_node(VReg(i), 1.0);
+        }
+        let p = component_partition(&g, 2);
+        assert_eq!(p.bank(VReg(0)), p.bank(VReg(1)));
+        assert_eq!(p.bank(VReg(2)), p.bank(VReg(3)));
+        // The two heavy components split across banks.
+        assert_ne!(p.bank(VReg(0)), p.bank(VReg(2)));
+    }
+}

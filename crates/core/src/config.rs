@@ -1,0 +1,103 @@
+//! Tunable constants of the RCG weighting and the greedy assignment.
+//!
+//! §5 of the paper describes the heuristic ingredients — nesting depth, DDD
+//! density, Flexibility (slack+1), critical-path emphasis, a bank-balance
+//! penalty — but the printed formulas are unreadable in the surviving copy
+//! and the paper itself calls the weights "determined in an ad hoc manner".
+//! Every constant of our reconstruction therefore lives here, and the
+//! ablation benches sweep them.
+
+/// Weights for RCG construction and greedy bank assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionConfig {
+    /// Multiplier applied to an operation's importance when it lies on a
+    /// critical path (Flexibility == 1).
+    pub crit_weight: f64,
+    /// Scale of repulsion edges between registers defined in the same ideal
+    /// instruction, as a fraction of the smaller operation importance.
+    pub repulse_factor: f64,
+    /// Bank-balance penalty: `balance_factor · assigned(bank)` is subtracted
+    /// from the benefit of placing a node in `bank` (Fig. 4's
+    /// `ThisBenefit -= …` step, "to attempt to spread the symbolic registers
+    /// somewhat evenly across the available partitions").
+    pub balance_factor: f64,
+    /// Exponent base for nesting depth: importance scales by
+    /// `depth_base^(depth−1)`. The corpus is all depth-1 innermost loops, so
+    /// this only matters for whole-function use.
+    pub depth_base: f64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            crit_weight: 4.0,
+            repulse_factor: 0.5,
+            balance_factor: 0.6,
+            depth_base: 2.0,
+        }
+    }
+}
+
+impl PartitionConfig {
+    /// A configuration with the balance term disabled — the "no spreading"
+    /// ablation.
+    pub fn no_balance() -> Self {
+        PartitionConfig {
+            balance_factor: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration with repulsion edges disabled — the "attraction only"
+    /// ablation.
+    pub fn no_repulsion() -> Self {
+        PartitionConfig {
+            repulse_factor: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// Importance of an operation given its flexibility (slack+1), the DDD
+    /// density of its block, and the block's nesting depth.
+    pub fn importance(&self, flexibility: i64, density: f64, depth: u32) -> f64 {
+        debug_assert!(flexibility >= 1);
+        let crit = if flexibility == 1 { self.crit_weight } else { 1.0 };
+        let depth_scale = self.depth_base.powi(depth.saturating_sub(1) as i32);
+        crit * density * depth_scale / flexibility as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_ops_weigh_more() {
+        let c = PartitionConfig::default();
+        let crit = c.importance(1, 2.0, 1);
+        let slack1 = c.importance(2, 2.0, 1);
+        assert!(crit > slack1);
+        // Critical gets the 4× bonus AND no flexibility division.
+        assert!((crit / slack1 - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_nesting_weighs_more() {
+        let c = PartitionConfig::default();
+        assert!(c.importance(3, 1.0, 2) > c.importance(3, 1.0, 1));
+        assert!((c.importance(3, 1.0, 2) / c.importance(3, 1.0, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_scales_linearly() {
+        let c = PartitionConfig::default();
+        assert!((c.importance(2, 4.0, 1) / c.importance(2, 2.0, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ablation_configs() {
+        assert_eq!(PartitionConfig::no_balance().balance_factor, 0.0);
+        assert_eq!(PartitionConfig::no_repulsion().repulse_factor, 0.0);
+        assert_ne!(PartitionConfig::no_balance().repulse_factor, 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The greedy bank-assignment algorithm (Fig. 4 of the paper).
+
+use crate::config::PartitionConfig;
+use crate::rcg::RcgGraph;
+use vliw_ir::VReg;
+use vliw_machine::ClusterId;
+
+/// A complete assignment of virtual registers to register banks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Bank per register (index = register index).
+    pub bank_of: Vec<ClusterId>,
+    /// Number of banks the assignment targets.
+    pub n_banks: usize,
+}
+
+impl Partition {
+    /// Bank of register `v`.
+    #[inline]
+    pub fn bank(&self, v: VReg) -> ClusterId {
+        self.bank_of[v.index()]
+    }
+
+    /// Number of registers per bank.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.n_banks];
+        for b in &self.bank_of {
+            s[b.index()] += 1;
+        }
+        s
+    }
+
+    /// A partition that puts everything in bank 0 (the monolithic case).
+    pub fn trivial(n_vregs: usize) -> Self {
+        Partition {
+            bank_of: vec![ClusterId(0); n_vregs],
+            n_banks: 1,
+        }
+    }
+}
+
+/// Assign every RCG node to one of `n_banks` banks, following Fig. 4:
+///
+/// ```text
+/// foreach RCG node N, in decreasing order of weight(N):
+///     foreach bank RB:
+///         ThisBenefit = Σ weight of RCG edges to neighbours already in RB
+///         ThisBenefit -= balance_factor · |registers already in RB|
+///     Bank(N) = argmax, defaulting to bank 0
+/// ```
+///
+/// The paper's pseudo-code literally initialises `BestBenefit = 0`, which
+/// would pin a node to bank 0 even when bank 0 has strongly negative benefit
+/// (e.g. a repelled neighbour already lives there). We read that as
+/// pseudo-code shorthand and implement a true argmax: banks are examined in
+/// order and a strictly larger benefit switches, so bank 0 wins only ties —
+/// preserving the paper's deterministic bank-0 bias without its pathology.
+pub fn assign_banks(g: &RcgGraph, n_banks: usize, cfg: &PartitionConfig) -> Partition {
+    assign_banks_caps(g, &vec![1usize; n_banks], cfg)
+}
+
+/// Capacity-aware variant of [`assign_banks`]: `caps[rb]` is the number of
+/// functional units behind bank `rb`. The balance penalty for placing a
+/// node in `rb` is `balance_factor · mean_edge · assigned(rb) / caps[rb]` —
+/// a narrow cluster saturates with fewer operations, so crowding it is
+/// penalised proportionally harder. With uniform unit capacities this
+/// degenerates to the plain penalty.
+pub fn assign_banks_caps(g: &RcgGraph, caps: &[usize], cfg: &PartitionConfig) -> Partition {
+    assign_banks_pinned(g, caps, &vec![None; g.n_nodes()], cfg)
+}
+
+/// Pre-coloured variant (§4.1: machine idiosyncrasies such as "A, B and C
+/// must reside in banks X, Y and Z" are handled "by pre-coloring both the
+/// register bank choice and the register number choice"): `pins[v]` fixes
+/// register `v`'s bank before the greedy runs. Pinned nodes are seeded
+/// first, so free neighbours feel their attraction/repulsion.
+pub fn assign_banks_pinned(
+    g: &RcgGraph,
+    caps: &[usize],
+    pins: &[Option<ClusterId>],
+    cfg: &PartitionConfig,
+) -> Partition {
+    let n_banks = caps.len();
+    assert!(n_banks >= 1);
+    let n = g.n_nodes();
+    assert_eq!(pins.len(), n);
+    let mut bank_of: Vec<Option<ClusterId>> = vec![None; n];
+    let mut count = vec![0usize; n_banks];
+    for (i, pin) in pins.iter().enumerate() {
+        if let Some(b) = pin {
+            assert!(b.index() < n_banks, "pin out of range");
+            bank_of[i] = Some(*b);
+            count[b.index()] += 1;
+        }
+    }
+    // The balance penalty competes against edge-weight benefits, whose scale
+    // varies with loop density; normalising by the graph's mean positive
+    // edge weight makes `balance_factor` dimensionless.
+    let balance_scale = cfg.balance_factor * g.mean_positive_edge_weight().max(1.0);
+
+    for v in g.nodes_by_weight() {
+        if bank_of[v.index()].is_some() {
+            continue; // pinned
+        }
+        let mut best_bank = ClusterId(0);
+        let mut best_benefit = f64::NEG_INFINITY;
+        for rb in 0..n_banks {
+            let mut benefit = 0.0;
+            for &(nb, w) in g.neighbours(v) {
+                if bank_of[nb.index()] == Some(ClusterId(rb as u32)) {
+                    benefit += w;
+                }
+            }
+            benefit -= balance_scale * count[rb] as f64 / caps[rb].max(1) as f64;
+            if benefit > best_benefit {
+                best_benefit = benefit;
+                best_bank = ClusterId(rb as u32);
+            }
+        }
+        bank_of[v.index()] = Some(best_bank);
+        count[best_bank.index()] += 1;
+    }
+
+    Partition {
+        bank_of: bank_of.into_iter().map(Option::unwrap).collect(),
+        n_banks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attracted_pair_shares_a_bank() {
+        let mut g = RcgGraph::new(2);
+        g.bump_node(VReg(0), 10.0);
+        g.bump_node(VReg(1), 5.0);
+        g.bump_edge(VReg(0), VReg(1), 8.0);
+        let p = assign_banks(&g, 4, &PartitionConfig::default());
+        assert_eq!(p.bank(VReg(0)), p.bank(VReg(1)));
+    }
+
+    #[test]
+    fn repelled_pair_splits() {
+        let mut g = RcgGraph::new(2);
+        g.bump_node(VReg(0), 10.0);
+        g.bump_node(VReg(1), 5.0);
+        g.bump_edge(VReg(0), VReg(1), -8.0);
+        let p = assign_banks(&g, 2, &PartitionConfig::default());
+        assert_ne!(p.bank(VReg(0)), p.bank(VReg(1)));
+    }
+
+    #[test]
+    fn balance_spreads_isolated_nodes() {
+        // 8 isolated equal-weight nodes over 4 banks must not all pile into
+        // bank 0 once the balance penalty kicks in.
+        let mut g = RcgGraph::new(8);
+        for i in 0..8 {
+            g.bump_node(VReg(i), 1.0);
+        }
+        let p = assign_banks(&g, 4, &PartitionConfig::default());
+        let sizes = p.sizes();
+        assert!(sizes.iter().all(|&s| s >= 1), "sizes = {sizes:?}");
+    }
+
+    #[test]
+    fn no_balance_piles_into_bank_zero() {
+        let mut g = RcgGraph::new(6);
+        for i in 0..6 {
+            g.bump_node(VReg(i), 1.0);
+        }
+        let p = assign_banks(&g, 3, &PartitionConfig::no_balance());
+        assert_eq!(p.sizes(), vec![6, 0, 0]);
+    }
+
+    #[test]
+    fn single_bank_degenerates_to_trivial() {
+        let mut g = RcgGraph::new(4);
+        g.bump_edge(VReg(0), VReg(1), -5.0);
+        let p = assign_banks(&g, 1, &PartitionConfig::default());
+        assert_eq!(p, Partition::trivial(4));
+    }
+
+    #[test]
+    fn attraction_beats_balance_when_strong() {
+        // A clique of 4 strongly attracted nodes stays together even though
+        // balance would prefer spreading.
+        let mut g = RcgGraph::new(4);
+        for a in 0..4u32 {
+            g.bump_node(VReg(a), 10.0 - a as f64);
+            for b in (a + 1)..4u32 {
+                g.bump_edge(VReg(a), VReg(b), 100.0);
+            }
+        }
+        let p = assign_banks(&g, 4, &PartitionConfig::default());
+        let b0 = p.bank(VReg(0));
+        assert!((0..4u32).all(|i| p.bank(VReg(i)) == b0));
+    }
+
+    #[test]
+    fn pins_are_respected_and_attract() {
+        let mut g = RcgGraph::new(3);
+        g.bump_node(VReg(0), 1.0);
+        g.bump_node(VReg(1), 5.0);
+        g.bump_edge(VReg(1), VReg(2), 10.0);
+        // Pin v2 to bank 3; v1 should follow its strong attraction there.
+        let pins = vec![None, None, Some(ClusterId(3))];
+        let p = assign_banks_pinned(&g, &[1; 4], &pins, &PartitionConfig::default());
+        assert_eq!(p.bank(VReg(2)), ClusterId(3));
+        assert_eq!(p.bank(VReg(1)), ClusterId(3));
+    }
+
+    #[test]
+    fn pinned_repulsion_pushes_away() {
+        let mut g = RcgGraph::new(2);
+        g.bump_node(VReg(0), 1.0);
+        g.bump_edge(VReg(0), VReg(1), -10.0);
+        let pins = vec![None, Some(ClusterId(0))];
+        let p = assign_banks_pinned(&g, &[1; 2], &pins, &PartitionConfig::default());
+        assert_ne!(p.bank(VReg(0)), ClusterId(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_pin_panics() {
+        let g = RcgGraph::new(1);
+        let _ = assign_banks_pinned(
+            &g,
+            &[1; 2],
+            &[Some(ClusterId(5))],
+            &PartitionConfig::default(),
+        );
+    }
+
+    #[test]
+    fn deterministic_given_ties() {
+        let g = RcgGraph::new(5);
+        let p1 = assign_banks(&g, 2, &PartitionConfig::default());
+        let p2 = assign_banks(&g, 2, &PartitionConfig::default());
+        assert_eq!(p1, p2);
+    }
+}

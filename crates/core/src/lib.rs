@@ -1,0 +1,40 @@
+//! # vliw-core — register component graph partitioning
+//!
+//! The paper's primary contribution (§4–§5): assign the symbolic registers of
+//! a software-pipelined loop to partitioned register banks by building and
+//! partitioning the **register component graph (RCG)** — an undirected,
+//! weighted graph whose nodes are virtual registers and whose edges connect
+//! registers that appear in the same operation (attraction) or that are
+//! defined in the same instruction of the ideal schedule (repulsion).
+//!
+//! The pipeline mirrors §4's five steps:
+//!
+//! 1. build intermediate code on an infinite register file (`vliw-ir`),
+//! 2. schedule it ideally — full width, one monolithic bank (`vliw-sched`),
+//! 3. **partition the registers to banks** ([`build_rcg`] + [`assign_banks`]),
+//! 4. insert cross-bank copies and re-schedule with operations pinned to the
+//!    cluster that owns their operands ([`insert_copies`]),
+//! 5. colour each bank with Chaitin/Briggs (`vliw-regalloc`).
+//!
+//! Besides the paper's greedy heuristic this crate ships the baselines the
+//! evaluation compares against conceptually: a BUG-style operation-DAG
+//! partitioner (Ellis), round-robin and component-packing assignments, and an
+//! iterated refinement extension (§7's future work).
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod config;
+pub mod copyins;
+pub mod greedy;
+pub mod iterate;
+pub mod rcg;
+pub mod tune;
+
+pub use baselines::{bug_partition, component_partition, round_robin_partition};
+pub use config::PartitionConfig;
+pub use copyins::{insert_copies, ClusteredLoop};
+pub use greedy::{assign_banks, assign_banks_caps, assign_banks_pinned, Partition};
+pub use iterate::iterated_partition;
+pub use rcg::{build_rcg, RcgGraph};
+pub use tune::{score_config, tune_weights, TuneResult};

@@ -1,0 +1,370 @@
+//! The register component graph (§4.1, §5).
+
+use crate::config::PartitionConfig;
+use std::collections::HashMap;
+use vliw_ddg::SlackInfo;
+use vliw_ir::{Loop, VReg};
+use vliw_sched::Schedule;
+
+/// Undirected weighted graph over the loop's virtual registers.
+///
+/// Positive edge weight: the endpoints want the same bank (they appear as
+/// def and use of the same operation). Negative: they want different banks
+/// (they are defined in the same instruction of the ideal schedule, so
+/// placing them apart raises the chance both defining operations issue in
+/// the same cycle after partitioning).
+#[derive(Debug, Clone)]
+pub struct RcgGraph {
+    n: usize,
+    /// Node weights: accumulated importance of the operations each register
+    /// appears in; drives the greedy assignment order.
+    weights: Vec<f64>,
+    /// Adjacency: `adj[v]` lists `(neighbour, weight)`.
+    adj: Vec<Vec<(VReg, f64)>>,
+}
+
+impl RcgGraph {
+    /// Empty graph over `n` registers.
+    pub fn new(n: usize) -> Self {
+        RcgGraph {
+            n,
+            weights: vec![0.0; n],
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of register nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Node weight of `v`.
+    pub fn node_weight(&self, v: VReg) -> f64 {
+        self.weights[v.index()]
+    }
+
+    /// Add `w` to the node weight of `v`.
+    pub fn bump_node(&mut self, v: VReg, w: f64) {
+        self.weights[v.index()] += w;
+    }
+
+    /// Add `w` to the (undirected) edge `a—b`, creating it if absent.
+    pub fn bump_edge(&mut self, a: VReg, b: VReg, w: f64) {
+        debug_assert_ne!(a, b, "self-edges are meaningless in the RCG");
+        for (from, to) in [(a, b), (b, a)] {
+            match self.adj[from.index()].iter_mut().find(|(n, _)| *n == to) {
+                Some((_, ew)) => *ew += w,
+                None => self.adj[from.index()].push((to, w)),
+            }
+        }
+    }
+
+    /// Weight of edge `a—b` (0.0 if absent).
+    pub fn edge_weight(&self, a: VReg, b: VReg) -> f64 {
+        self.adj[a.index()]
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map_or(0.0, |(_, w)| *w)
+    }
+
+    /// Neighbours of `v` with edge weights.
+    pub fn neighbours(&self, v: VReg) -> &[(VReg, f64)] {
+        &self.adj[v.index()]
+    }
+
+    /// Registers sorted by decreasing node weight (the greedy order of
+    /// Fig. 4); ties broken by index for determinism.
+    pub fn nodes_by_weight(&self) -> Vec<VReg> {
+        let mut order: Vec<VReg> = (0..self.n as u32).map(VReg).collect();
+        order.sort_by(|&a, &b| {
+            self.weights[b.index()]
+                .partial_cmp(&self.weights[a.index()])
+                .unwrap()
+                .then(a.index().cmp(&b.index()))
+        });
+        order
+    }
+
+    /// Connected components over edges with weight > 0 (the "component"
+    /// structure of §4.1: unconnected values are natural candidates for
+    /// separate banks).
+    pub fn positive_components(&self) -> Vec<Vec<VReg>> {
+        let mut comp = vec![usize::MAX; self.n];
+        let mut out: Vec<Vec<VReg>> = Vec::new();
+        for start in 0..self.n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let id = out.len();
+            let mut stack = vec![start];
+            let mut members = Vec::new();
+            comp[start] = id;
+            while let Some(i) = stack.pop() {
+                members.push(VReg(i as u32));
+                for &(nb, w) in &self.adj[i] {
+                    if w > 0.0 && comp[nb.index()] == usize::MAX {
+                        comp[nb.index()] = id;
+                        stack.push(nb.index());
+                    }
+                }
+            }
+            members.sort_unstable();
+            out.push(members);
+        }
+        out
+    }
+
+    /// Accumulate another RCG over the same register namespace into this
+    /// one (used for whole-function partitioning: per-block graphs merge
+    /// into one function graph, §6.3 / §7).
+    pub fn merge(&mut self, other: &RcgGraph) {
+        assert_eq!(self.n, other.n, "merging RCGs over different namespaces");
+        for v in 0..self.n {
+            self.weights[v] += other.weights[v];
+        }
+        for a in 0..other.n {
+            for &(b, w) in &other.adj[a] {
+                if b.index() > a {
+                    self.bump_edge(VReg(a as u32), b, w);
+                }
+            }
+        }
+    }
+
+    /// Total positive edge weight (for normalising balance penalties in
+    /// diagnostics).
+    pub fn mean_positive_edge_weight(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for a in 0..self.n {
+            for &(b, w) in &self.adj[a] {
+                if b.index() > a && w > 0.0 {
+                    sum += w;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+/// Build the RCG of `body` from its **ideal schedule** (§4.1: "we have found
+/// it useful to build the graph from … an 'ideal' instruction schedule").
+///
+/// * For every operation `O` with def `d` and use `s`, the edge `d—s` and
+///   both node weights gain `importance(O)` — attraction.
+/// * For every pair of operations issued in the same ideal-kernel row with
+///   defs `d₁ ≠ d₂`, the edge `d₁—d₂` loses
+///   `repulse_factor · min(importance)` — repulsion.
+///
+/// `importance(O) = crit(O) · density · depth^… / Flexibility(O)` per
+/// [`PartitionConfig::importance`]; density is the DDD-density of the block
+/// (ops per ideal instruction), Flexibility is slack+1 from `slack`.
+pub fn build_rcg(
+    body: &Loop,
+    ideal: &Schedule,
+    slack: &SlackInfo,
+    cfg: &PartitionConfig,
+) -> RcgGraph {
+    let mut g = RcgGraph::new(body.n_vregs());
+    let density = body.n_ops() as f64 / ideal.ii as f64;
+    let depth = body.nesting_depth;
+
+    let imp = |opidx: usize| {
+        cfg.importance(
+            slack.flexibility(vliw_ir::OpId(opidx as u32)),
+            density,
+            depth,
+        )
+    };
+
+    // Attraction: def—use pairs within each operation.
+    for op in &body.ops {
+        let Some(d) = op.def else { continue };
+        let w = imp(op.id.index());
+        let mut seen: Vec<VReg> = Vec::with_capacity(2);
+        for &s in &op.uses {
+            if s == d || seen.contains(&s) {
+                continue; // self-recurrence operand or duplicate use
+            }
+            seen.push(s);
+            g.bump_edge(d, s, w);
+            g.bump_node(d, w);
+            g.bump_node(s, w);
+        }
+        if op.uses.is_empty() {
+            // Constants and loads still carry importance for ordering.
+            g.bump_node(d, w);
+        }
+    }
+
+    // Repulsion: defs in the same ideal instruction (kernel row).
+    if cfg.repulse_factor > 0.0 {
+        let mut by_row: HashMap<u32, Vec<usize>> = HashMap::new();
+        for op in &body.ops {
+            if op.def.is_some() {
+                by_row.entry(ideal.row(op.id)).or_default().push(op.id.index());
+            }
+        }
+        for ops in by_row.values() {
+            for (i, &a) in ops.iter().enumerate() {
+                for &b in &ops[i + 1..] {
+                    let (da, db) = (body.ops[a].def.unwrap(), body.ops[b].def.unwrap());
+                    if da == db {
+                        continue;
+                    }
+                    let w = cfg.repulse_factor * imp(a).min(imp(b));
+                    g.bump_edge(da, db, -w);
+                }
+            }
+        }
+    }
+
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ddg::{build_ddg, compute_slack};
+    use vliw_ir::{LoopBuilder, RegClass};
+    use vliw_machine::MachineDesc;
+    use vliw_sched::{schedule_loop, ImsConfig, SchedProblem};
+
+    fn ideal_of(l: &Loop, m: &MachineDesc) -> (Schedule, SlackInfo) {
+        let g = build_ddg(l, &m.latencies);
+        let p = SchedProblem::ideal(l, m);
+        let s = schedule_loop(&p, &g, &ImsConfig::default()).unwrap();
+        let slack = compute_slack(&g, |op| m.latencies.of(l.op(op).opcode) as i64);
+        (s, slack)
+    }
+
+    #[test]
+    fn def_use_pairs_attract() {
+        let mut b = LoopBuilder::new("a");
+        let x = b.array("x", RegClass::Float, 64);
+        let a = b.live_in_float("a");
+        let v = b.load(x, 0, 1);
+        let m_ = b.fmul(a, v);
+        b.store(x, 0, 1, m_);
+        let l = b.finish(64);
+        let m = MachineDesc::monolithic(4);
+        let (s, slack) = ideal_of(&l, &m);
+        let g = build_rcg(&l, &s, &slack, &PartitionConfig::default());
+        assert!(g.edge_weight(m_, a) > 0.0);
+        assert!(g.edge_weight(m_, v) > 0.0);
+        assert_eq!(g.edge_weight(a, v), 0.0);
+        assert!(g.node_weight(m_) > 0.0);
+    }
+
+    #[test]
+    fn edge_weights_are_symmetric() {
+        let mut b = LoopBuilder::new("s");
+        let p = b.fconst_new(1.0);
+        let q = b.fconst_new(2.0);
+        let r = b.fadd(p, q);
+        let _ = r;
+        let l = b.finish(4);
+        let m = MachineDesc::monolithic(2);
+        let (s, slack) = ideal_of(&l, &m);
+        let g = build_rcg(&l, &s, &slack, &PartitionConfig::default());
+        assert_eq!(g.edge_weight(r, p), g.edge_weight(p, r));
+    }
+
+    #[test]
+    fn parallel_defs_repel() {
+        // Two independent chains of identical shape: their defs share kernel
+        // rows under an ideal 4-wide schedule.
+        let mut b = LoopBuilder::new("r");
+        let x = b.array("x", RegClass::Float, 64);
+        let y = b.array("y", RegClass::Float, 64);
+        let v1 = b.load(x, 0, 1);
+        let v2 = b.load(y, 0, 1);
+        let c = b.fconst_new(3.0);
+        let m1 = b.fmul(v1, c);
+        let m2 = b.fmul(v2, c);
+        b.store(x, 0, 1, m1);
+        b.store(y, 0, 1, m2);
+        let l = b.finish(64);
+        let m = MachineDesc::monolithic(8);
+        let (s, slack) = ideal_of(&l, &m);
+        let g = build_rcg(&l, &s, &slack, &PartitionConfig::default());
+        // Some pair of independent defs landed in the same row and repels.
+        let has_negative = (0..l.n_vregs() as u32)
+            .flat_map(|a| g.neighbours(VReg(a)).iter().map(|&(_, w)| w))
+            .any(|w| w < 0.0);
+        assert!(has_negative, "expected at least one repulsion edge");
+        // Repulsion must never appear between def and its own use.
+        assert!(g.edge_weight(m1, v1) > 0.0);
+    }
+
+    #[test]
+    fn components_split_independent_chains() {
+        let mut b = LoopBuilder::new("c");
+        let x = b.array("x", RegClass::Float, 64);
+        let y = b.array("y", RegClass::Float, 64);
+        let v1 = b.load(x, 0, 1);
+        let m1 = b.fmul(v1, v1);
+        b.store(x, 0, 1, m1);
+        let v2 = b.load(y, 0, 1);
+        let m2 = b.fadd(v2, v2);
+        b.store(y, 0, 1, m2);
+        let l = b.finish(64);
+        let m = MachineDesc::monolithic(8);
+        let (s, slack) = ideal_of(&l, &m);
+        let g = build_rcg(&l, &s, &slack, &PartitionConfig::no_repulsion());
+        let comps = g.positive_components();
+        // {v1,m1} and {v2,m2} are separate positive components.
+        let find = |v: VReg| comps.iter().position(|c| c.contains(&v)).unwrap();
+        assert_eq!(find(v1), find(m1));
+        assert_eq!(find(v2), find(m2));
+        assert_ne!(find(v1), find(v2));
+    }
+
+    #[test]
+    fn duplicate_uses_counted_once() {
+        let mut b = LoopBuilder::new("d");
+        let v = b.fconst_new(2.0);
+        let sq = b.fmul(v, v); // v used twice
+        let _ = sq;
+        let l = b.finish(4);
+        let m = MachineDesc::monolithic(2);
+        let (s, slack) = ideal_of(&l, &m);
+        // Repulsion disabled: with II=1 both defs share the only kernel row,
+        // which would otherwise subtract from the sq—v edge.
+        let g = build_rcg(&l, &s, &slack, &PartitionConfig::no_repulsion());
+        // `sq` appears only in the fmul, so its node weight is exactly one
+        // importance bump — and the duplicate use of `v` must have produced
+        // exactly one edge bump of the same magnitude, not two.
+        assert!((g.node_weight(sq) - g.edge_weight(sq, v)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_nodes_and_edges() {
+        let mut a = RcgGraph::new(3);
+        a.bump_node(VReg(0), 1.0);
+        a.bump_edge(VReg(0), VReg(1), 2.0);
+        let mut b = RcgGraph::new(3);
+        b.bump_node(VReg(0), 3.0);
+        b.bump_edge(VReg(0), VReg(1), -0.5);
+        b.bump_edge(VReg(1), VReg(2), 4.0);
+        a.merge(&b);
+        assert_eq!(a.node_weight(VReg(0)), 4.0);
+        assert_eq!(a.edge_weight(VReg(0), VReg(1)), 1.5);
+        assert_eq!(a.edge_weight(VReg(1), VReg(0)), 1.5);
+        assert_eq!(a.edge_weight(VReg(1), VReg(2)), 4.0);
+    }
+
+    #[test]
+    fn nodes_by_weight_is_sorted_desc() {
+        let mut g = RcgGraph::new(3);
+        g.bump_node(VReg(0), 1.0);
+        g.bump_node(VReg(1), 5.0);
+        g.bump_node(VReg(2), 3.0);
+        assert_eq!(g.nodes_by_weight(), vec![VReg(1), VReg(2), VReg(0)]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the RCG and the greedy assignment.
+
+use proptest::prelude::*;
+use vliw_core::{
+    assign_banks, assign_banks_caps, assign_banks_pinned, insert_copies, round_robin_partition,
+    PartitionConfig, RcgGraph,
+};
+use vliw_ir::{verify_loop, VReg};
+use vliw_loopgen::Family;
+use vliw_machine::ClusterId;
+
+fn graph() -> impl Strategy<Value = RcgGraph> {
+    (2usize..20, proptest::collection::vec((any::<u8>(), any::<u8>(), -8.0f64..8.0), 0..40))
+        .prop_map(|(n, edges)| {
+            let mut g = RcgGraph::new(n);
+            for (a, b, w) in edges {
+                let (a, b) = (a as usize % n, b as usize % n);
+                if a != b {
+                    g.bump_edge(VReg(a as u32), VReg(b as u32), w);
+                    g.bump_node(VReg(a as u32), w.abs());
+                }
+            }
+            g
+        })
+}
+
+fn family() -> impl Strategy<Value = Family> {
+    proptest::sample::select(Family::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn assignment_is_total_and_in_range(g in graph(), banks in 1usize..9) {
+        let p = assign_banks(&g, banks, &PartitionConfig::default());
+        prop_assert_eq!(p.bank_of.len(), g.n_nodes());
+        prop_assert!(p.bank_of.iter().all(|b| b.index() < banks));
+        prop_assert_eq!(p.sizes().iter().sum::<usize>(), g.n_nodes());
+    }
+
+    #[test]
+    fn assignment_is_deterministic(g in graph(), banks in 1usize..5) {
+        let cfg = PartitionConfig::default();
+        prop_assert_eq!(assign_banks(&g, banks, &cfg), assign_banks(&g, banks, &cfg));
+        let caps = vec![2usize; banks];
+        prop_assert_eq!(
+            assign_banks_caps(&g, &caps, &cfg),
+            assign_banks_caps(&g, &caps, &cfg)
+        );
+    }
+
+    #[test]
+    fn pins_always_respected(g in graph(), pin_mask in any::<u32>()) {
+        let banks = 4usize;
+        let pins: Vec<Option<ClusterId>> = (0..g.n_nodes())
+            .map(|i| {
+                if (pin_mask >> (i % 32)) & 1 == 1 {
+                    Some(ClusterId((i % banks) as u32))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let p = assign_banks_pinned(&g, &[1; 4], &pins, &PartitionConfig::default());
+        for (i, pin) in pins.iter().enumerate() {
+            if let Some(b) = pin {
+                prop_assert_eq!(p.bank(VReg(i as u32)), *b);
+            }
+        }
+    }
+
+    #[test]
+    fn copy_insertion_localises_any_partition(
+        fam in family(),
+        u in 1usize..6,
+        banks in 1usize..5,
+    ) {
+        // Even an arbitrary (round-robin) partition must be made local.
+        let l = fam.build(0, u, 16);
+        let part = round_robin_partition(l.n_vregs(), banks);
+        let c = insert_copies(&l, &part);
+        prop_assert!(verify_loop(&c.body).is_ok());
+        prop_assert!(c.all_operands_local());
+        // Original op count preserved, plus exactly the copies.
+        prop_assert_eq!(c.body.n_ops(), l.n_ops() + c.n_kernel_copies);
+        // Single-bank partition never needs copies.
+        if banks == 1 {
+            prop_assert_eq!(c.n_kernel_copies, 0);
+            prop_assert_eq!(c.n_hoisted_copies, 0);
+        }
+    }
+
+    #[test]
+    fn components_partition_the_node_set(g in graph()) {
+        let comps = g.positive_components();
+        let mut seen = vec![false; g.n_nodes()];
+        for comp in &comps {
+            for v in comp {
+                prop_assert!(!seen[v.index()], "node in two components");
+                seen[v.index()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

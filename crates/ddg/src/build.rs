@@ -1,0 +1,344 @@
+//! Dependence-graph construction from a loop body.
+
+use crate::graph::{Ddg, DepEdge, DepKind};
+use vliw_machine::LatencyTable;
+
+use vliw_ir::{Loop, OpId, Opcode, VReg};
+
+/// Build the dependence graph of `l` under the latency table `lat`.
+///
+/// Register dependences follow the program-order semantics of the IR:
+///
+/// * a use whose latest def precedes it in the body depends on that def with
+///   distance 0;
+/// * a use with no preceding def but with a def later in the body reads the
+///   previous iteration's (program-order-last) def — distance 1;
+/// * intra-iteration anti and output dependences are added so the scheduler
+///   never reorders a redefinition before a reader within one iteration;
+///   their cross-iteration counterparts are resolved by modulo variable
+///   expansion in the register allocator and are omitted, following Rau.
+///
+/// Memory dependences come from the affine access metadata: accesses to the
+/// same array with equal strides yield an exact dependence distance; unequal
+/// strides yield conservative distance-0/1 edges.
+pub fn build_ddg(l: &Loop, lat: &LatencyTable) -> Ddg {
+    let mut g = Ddg::new(l.n_ops());
+    add_register_deps(l, lat, &mut g);
+    add_memory_deps(l, lat, &mut g);
+    g
+}
+
+fn add_register_deps(l: &Loop, lat: &LatencyTable, g: &mut Ddg) {
+    for v in (0..l.n_vregs() as u32).map(VReg) {
+        let defs = l.defs_of(v);
+        let uses = l.uses_of(v);
+        if defs.is_empty() {
+            continue; // live-in invariant: no intra-loop producer.
+        }
+        let last_def = *defs.last().unwrap();
+
+        for &u in &uses {
+            // Latest def strictly before the use.
+            let prev_def = defs.iter().copied().rfind(|d| d.index() < u.index());
+            match prev_def {
+                Some(d) => g.add_edge(DepEdge {
+                    from: d,
+                    to: u,
+                    latency: lat.of(l.op(d).opcode) as i64,
+                    distance: 0,
+                    kind: DepKind::Flow,
+                }),
+                None => g.add_edge(DepEdge {
+                    from: last_def,
+                    to: u,
+                    latency: lat.of(l.op(last_def).opcode) as i64,
+                    distance: 1,
+                    kind: DepKind::Flow,
+                }),
+            }
+        }
+
+        // Intra-iteration anti: each use must issue no later than the next
+        // def of the same register (same-cycle is fine: reads happen at
+        // issue, writes complete later).
+        for &u in &uses {
+            if let Some(next_def) = defs.iter().copied().find(|d| d.index() > u.index()) {
+                g.add_edge(DepEdge {
+                    from: u,
+                    to: next_def,
+                    latency: 0,
+                    distance: 0,
+                    kind: DepKind::Anti,
+                });
+            }
+        }
+
+        // Intra-iteration output deps between consecutive defs.
+        for w in defs.windows(2) {
+            g.add_edge(DepEdge {
+                from: w[0],
+                to: w[1],
+                latency: 1,
+                distance: 0,
+                kind: DepKind::Output,
+            });
+        }
+    }
+}
+
+fn add_memory_deps(l: &Loop, lat: &LatencyTable, g: &mut Ddg) {
+    let mems: Vec<(OpId, vliw_ir::MemRef, bool)> = l
+        .ops
+        .iter()
+        .filter_map(|o| o.mem.map(|m| (o.id, m, o.opcode == Opcode::Store)))
+        .collect();
+
+    for (ai, &(a, ma, a_store)) in mems.iter().enumerate() {
+        for &(b, mb, b_store) in &mems[ai..] {
+            if ma.array != mb.array || (!a_store && !b_store) {
+                continue;
+            }
+            // Dependence from the earlier op (per program order within an
+            // iteration) to the later, and the loop-carried directions.
+            add_mem_pair(l, lat, g, (a, ma, a_store), (b, mb, b_store));
+            if a != b {
+                add_mem_pair(l, lat, g, (b, mb, b_store), (a, ma, a_store));
+            }
+        }
+    }
+}
+
+/// Latency of a memory dependence edge from `from` to `to`.
+fn mem_latency(lat: &LatencyTable, from_store: bool, to_store: bool) -> i64 {
+    match (from_store, to_store) {
+        // store → load: the load must issue after the store completes.
+        (true, false) => lat.store as i64,
+        // load → store (anti) and store → store (output): order only.
+        _ => 1,
+    }
+}
+
+/// Add the dependence (if any) from occurrence of `x` in iteration `i` to the
+/// occurrence of `y` in iteration `i + d` that touches the same address.
+fn add_mem_pair(
+    _l: &Loop,
+    lat: &LatencyTable,
+    g: &mut Ddg,
+    (x, mx, xs): (OpId, vliw_ir::MemRef, bool),
+    (y, my, ys): (OpId, vliw_ir::MemRef, bool),
+) {
+    let latency = mem_latency(lat, xs, ys);
+    if mx.stride == my.stride {
+        let s = mx.stride;
+        if s == 0 {
+            // Same scalar cell every iteration.
+            if mx.offset != my.offset {
+                return;
+            }
+            if x.index() < y.index() {
+                g.add_edge(DepEdge {
+                    from: x,
+                    to: y,
+                    latency,
+                    distance: 0,
+                    kind: DepKind::Mem,
+                });
+            }
+            // Loop-carried, distance 1 (covers all larger distances by
+            // transitivity through consecutive iterations).
+            g.add_edge(DepEdge {
+                from: x,
+                to: y,
+                latency,
+                distance: 1,
+                kind: DepKind::Mem,
+            });
+            return;
+        }
+        // offset_x + i·s == offset_y + (i+d)·s  ⇒  d = (offset_x − offset_y)/s
+        let num = mx.offset - my.offset;
+        if num % s != 0 {
+            return; // never the same address.
+        }
+        let d = num / s;
+        if d < 0 || (d == 0 && x.index() >= y.index()) {
+            return; // dependence goes the other way; handled symmetrically.
+        }
+        g.add_edge(DepEdge {
+            from: x,
+            to: y,
+            latency,
+            distance: d as u32,
+            kind: DepKind::Mem,
+        });
+    } else {
+        // Unequal strides: conservative same-iteration and next-iteration
+        // dependences.
+        if x.index() < y.index() {
+            g.add_edge(DepEdge {
+                from: x,
+                to: y,
+                latency,
+                distance: 0,
+                kind: DepKind::Mem,
+            });
+        }
+        g.add_edge(DepEdge {
+            from: x,
+            to: y,
+            latency,
+            distance: 1,
+            kind: DepKind::Mem,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::{LoopBuilder, RegClass};
+
+    fn lat() -> LatencyTable {
+        LatencyTable::paper()
+    }
+
+    #[test]
+    fn daxpy_has_no_recurrence() {
+        let mut b = LoopBuilder::new("daxpy");
+        let x = b.array("x", RegClass::Float, 64);
+        let y = b.array("y", RegClass::Float, 64);
+        let a = b.live_in_float("a");
+        let xv = b.load(x, 0, 1);
+        let yv = b.load(y, 0, 1);
+        let p = b.fmul(a, xv);
+        let s = b.fadd(yv, p);
+        b.store(y, 0, 1, s);
+        let l = b.finish(64);
+        let g = build_ddg(&l, &lat());
+        assert!(!g.has_recurrence());
+        // load y → store y is a distance-0 mem anti dep; store y → load y is
+        // impossible (same offset, would need d == 0 but store is later).
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.kind == DepKind::Mem && e.distance == 0));
+    }
+
+    #[test]
+    fn reduction_has_distance_1_flow() {
+        let mut b = LoopBuilder::new("dot");
+        let x = b.array("x", RegClass::Float, 64);
+        let s = b.live_in_float_val("s", 0.0);
+        let xv = b.load(x, 0, 1);
+        b.fadd_into(s, s, xv); // s = s + x[i]
+        b.live_out(s);
+        let l = b.finish(64);
+        let g = build_ddg(&l, &lat());
+        assert!(g.has_recurrence());
+        let carried: Vec<_> = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind == DepKind::Flow && e.distance == 1)
+            .collect();
+        assert_eq!(carried.len(), 1);
+        // The fadd feeds itself across iterations.
+        assert_eq!(carried[0].from, carried[0].to);
+        assert_eq!(carried[0].latency, lat().fp_other as i64);
+    }
+
+    #[test]
+    fn stencil_store_to_load_distance() {
+        // y[i] = y[i-2] style: load y[0+i], store y[2+i] ⇒ store in iter i
+        // writes the cell load reads in iter i+2.
+        let mut b = LoopBuilder::new("st");
+        let y = b.array("y", RegClass::Float, 80);
+        let v = b.load(y, 0, 1);
+        let c = b.fconst_new(0.5);
+        let m = b.fmul(v, c);
+        b.store(y, 2, 1, m);
+        let l = b.finish(64);
+        let g = build_ddg(&l, &lat());
+        let st_ld: Vec<_> = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind == DepKind::Mem && e.from == OpId(3) && e.to == OpId(0))
+            .collect();
+        assert_eq!(st_ld.len(), 1);
+        assert_eq!(st_ld[0].distance, 2);
+        assert_eq!(st_ld[0].latency, lat().store as i64);
+        assert!(g.has_recurrence());
+    }
+
+    #[test]
+    fn disjoint_offsets_no_dep() {
+        // load x[0+2i], store x[1+2i]: offsets differ by 1, stride 2 ⇒ no
+        // common address ever.
+        let mut b = LoopBuilder::new("dis");
+        let x = b.array("x", RegClass::Float, 70);
+        let v = b.load(x, 0, 2);
+        b.store(x, 1, 2, v);
+        let l = b.finish(32);
+        let g = build_ddg(&l, &lat());
+        assert!(g.edges().iter().all(|e| e.kind != DepKind::Mem));
+    }
+
+    #[test]
+    fn scalar_cell_gets_carried_dep() {
+        let mut b = LoopBuilder::new("scalar");
+        let x = b.array("x", RegClass::Float, 4);
+        let v = b.load(x, 0, 0);
+        let c = b.fconst_new(2.0);
+        let m = b.fmul(v, c);
+        b.store(x, 0, 0, m);
+        let l = b.finish(16);
+        let g = build_ddg(&l, &lat());
+        // store→load carried dep forces a recurrence.
+        assert!(g.has_recurrence());
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.kind == DepKind::Mem && e.distance == 1));
+    }
+
+    #[test]
+    fn anti_and_output_deps_within_iteration() {
+        let mut b = LoopBuilder::new("ao");
+        let t = b.fconst_new(1.0); // def t   (op0)
+        let u = b.fadd(t, t); // use t   (op1)
+        b.fconst(t, 2.0); // redef t (op2)
+        let _ = b.fadd(t, u); // use both (op3)
+        let l = b.finish(4);
+        let g = build_ddg(&l, &lat());
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.kind == DepKind::Anti && e.from == OpId(1) && e.to == OpId(2)));
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.kind == DepKind::Output && e.from == OpId(0) && e.to == OpId(2)));
+        // op3 must read the *new* t.
+        assert!(g
+            .edges()
+            .iter()
+            .any(|e| e.kind == DepKind::Flow && e.from == OpId(2) && e.to == OpId(3)));
+    }
+
+    #[test]
+    fn use_before_def_reads_previous_iteration() {
+        let mut b = LoopBuilder::new("ubd");
+        let s = b.live_in_float("s");
+        let t = b.fmul(s, s); // reads previous iteration's s (op0)
+        b.fadd_into(s, t, t); // defines s                     (op1)
+        b.live_out(s);
+        let l = b.finish(4);
+        let g = build_ddg(&l, &lat());
+        let e: Vec<_> = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind == DepKind::Flow && e.from == OpId(1) && e.to == OpId(0))
+            .collect();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].distance, 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # vliw-ddg — data dependence graphs for software pipelining
+//!
+//! Builds the data dependence graph (DDG, the paper's "DDD") of a
+//! single-block innermost loop and provides the analyses modulo scheduling
+//! needs:
+//!
+//! * dependence edges with **latency** and **iteration distance** (ω), for
+//!   register flow, intra-iteration anti/output, and memory dependences
+//!   derived from affine access metadata;
+//! * **ResII** — the resource-constrained lower bound on the initiation
+//!   interval;
+//! * **RecII** — the recurrence-constrained lower bound, computed by binary
+//!   search with a Floyd–Warshall positive-cycle feasibility test;
+//! * **slack** (the paper's *Flexibility*, §5) — the difference between the
+//!   earliest and latest cycle an operation can occupy without stretching the
+//!   ideal schedule.
+//!
+//! Cross-iteration anti and output dependences on registers are deliberately
+//! omitted: the downstream register allocator performs modulo variable
+//! expansion (kernel unrolling with renaming), which removes them — the
+//! standard assumption in Rau-style modulo scheduling.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod graph;
+pub mod minii;
+pub mod slack;
+
+pub use build::build_ddg;
+pub use graph::{Ddg, DepEdge, DepKind};
+pub use minii::{min_ii, rec_ii, res_ii};
+pub use slack::{compute_slack, critical_path_length, SlackInfo};

@@ -1,0 +1,82 @@
+//! Property tests for dependence analysis: RecII is the exact feasibility
+//! boundary, and longest paths are internally consistent.
+
+use proptest::prelude::*;
+use vliw_ddg::{rec_ii, Ddg, DepEdge, DepKind};
+use vliw_ir::OpId;
+
+fn arbitrary_graph() -> impl Strategy<Value = Ddg> {
+    (2usize..12, proptest::collection::vec((any::<u8>(), any::<u8>(), 1u8..13, 0u8..3), 1..24))
+        .prop_map(|(n, raw)| {
+            let mut g = Ddg::new(n);
+            for (f, t, lat, dist) in raw {
+                let from = OpId((f as usize % n) as u32);
+                let to = OpId((t as usize % n) as u32);
+                if from == to && dist == 0 {
+                    continue; // zero-distance self loop is never feasible
+                }
+                // Keep distance-0 edges forward so the graph matches the
+                // builder invariant (program order).
+                let (from, to, dist) = if dist == 0 && from.index() > to.index() {
+                    (to, from, 0)
+                } else {
+                    (from, to, dist)
+                };
+                g.add_edge(DepEdge {
+                    from,
+                    to,
+                    latency: lat as i64,
+                    distance: dist as u32,
+                    kind: DepKind::Flow,
+                });
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rec_ii_is_the_feasibility_boundary(g in arbitrary_graph()) {
+        let r = rec_ii(&g);
+        prop_assert!(g.longest_paths(r).is_some(), "RecII itself must be feasible");
+        if r > 1 {
+            prop_assert!(g.longest_paths(r - 1).is_none(), "RecII-1 must be infeasible");
+        }
+    }
+
+    #[test]
+    fn feasibility_is_monotone(g in arbitrary_graph(), bump in 1u32..5) {
+        let r = rec_ii(&g);
+        prop_assert!(g.longest_paths(r + bump).is_some());
+    }
+
+    #[test]
+    fn longest_paths_satisfy_triangle_rule(g in arbitrary_graph()) {
+        let r = rec_ii(&g);
+        let d = g.longest_paths(r).unwrap();
+        const NEG: i64 = i64::MIN / 4;
+        let n = d.len();
+        // d[i][j] ≥ d[i][k] + d[k][j] can't be violated after Floyd-Warshall.
+        for i in 0..n {
+            for k in 0..n {
+                for j in 0..n {
+                    if d[i][k] > NEG && d[k][j] > NEG {
+                        prop_assert!(d[i][j] >= d[i][k] + d[k][j]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_weights_bounded_by_path_matrix(g in arbitrary_graph()) {
+        let r = rec_ii(&g);
+        let d = g.longest_paths(r).unwrap();
+        for e in g.edges() {
+            let w = e.latency - (r as i64) * (e.distance as i64);
+            prop_assert!(d[e.from.index()][e.to.index()] >= w);
+        }
+    }
+}

@@ -1,0 +1,467 @@
+//! Builder for [`Loop`] bodies that keeps def/use, register-class and memory
+//! metadata consistent by construction.
+
+use crate::looprep::{ArrayId, ArrayInfo, InitVal, Loop};
+use crate::op::{AluKind, MemRef, OpId, Opcode, Operation};
+use crate::reg::{RegClass, VReg};
+
+/// Incremental builder for a [`Loop`].
+///
+/// ```
+/// use vliw_ir::{LoopBuilder, Opcode};
+///
+/// // s = s + a[i] * b[i]
+/// let mut b = LoopBuilder::new("dot");
+/// let x = b.array("x", vliw_ir::RegClass::Float, 64);
+/// let y = b.array("y", vliw_ir::RegClass::Float, 64);
+/// let s = b.live_in_float_val("s", 0.0);
+/// let xv = b.load(x, 0, 1);
+/// let yv = b.load(y, 0, 1);
+/// let p = b.fmul(xv, yv);
+/// b.fadd_into(s, s, p);
+/// b.live_out(s);
+/// let l = b.finish(64);
+/// assert_eq!(l.n_ops(), 4);
+/// assert_eq!(l.count_ops(|o| o.opcode == Opcode::Load), 2);
+/// vliw_ir::verify_loop(&l).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopBuilder {
+    name: String,
+    ops: Vec<Operation>,
+    vreg_classes: Vec<RegClass>,
+    live_in: Vec<VReg>,
+    live_in_vals: Vec<InitVal>,
+    live_out: Vec<VReg>,
+    arrays: Vec<ArrayInfo>,
+    nesting_depth: u32,
+}
+
+impl LoopBuilder {
+    /// Start building a loop called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        LoopBuilder {
+            name: name.into(),
+            ops: Vec::new(),
+            vreg_classes: Vec::new(),
+            live_in: Vec::new(),
+            live_in_vals: Vec::new(),
+            live_out: Vec::new(),
+            arrays: Vec::new(),
+            nesting_depth: 1,
+        }
+    }
+
+    /// Set the loop nesting depth recorded on the result (default 1).
+    pub fn nesting(&mut self, depth: u32) -> &mut Self {
+        self.nesting_depth = depth;
+        self
+    }
+
+    /// Rename the loop under construction (used by [`crate::FunctionBuilder`]).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Operations emitted so far.
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Drop the op stream, keeping all register/array/live-in tables (used
+    /// by [`crate::FunctionBuilder`] to thread shared state between blocks).
+    pub fn clear_ops(&mut self) {
+        self.ops.clear();
+        self.live_out.clear();
+    }
+
+    /// Register classes declared so far.
+    pub fn classes(&self) -> &[RegClass] {
+        &self.vreg_classes
+    }
+
+    /// Arrays declared so far.
+    pub fn arrays_ref(&self) -> &[ArrayInfo] {
+        &self.arrays
+    }
+
+    /// Class of an already-declared register.
+    pub fn class_of(&self, v: VReg) -> RegClass {
+        self.vreg_classes[v.index()]
+    }
+
+    /// Is `v` already declared live-in?
+    pub fn is_live_in(&self, v: VReg) -> bool {
+        self.live_in.contains(&v)
+    }
+
+    /// Declare an existing register live-in with the given initial value.
+    pub fn add_live_in(&mut self, v: VReg, init: InitVal) {
+        debug_assert!(!self.is_live_in(v));
+        self.live_in.push(v);
+        self.live_in_vals.push(init);
+    }
+
+    /// Declare an array of `len` elements of class `class`.
+    pub fn array(&mut self, name: impl Into<String>, class: RegClass, len: usize) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayInfo {
+            name: name.into(),
+            class,
+            len,
+        });
+        id
+    }
+
+    /// Allocate a fresh virtual register of the given class.
+    pub fn fresh(&mut self, class: RegClass) -> VReg {
+        let v = VReg(self.vreg_classes.len() as u32);
+        self.vreg_classes.push(class);
+        v
+    }
+
+    /// Allocate a fresh integer register (no def yet).
+    pub fn new_int(&mut self) -> VReg {
+        self.fresh(RegClass::Int)
+    }
+
+    /// Allocate a fresh floating-point register (no def yet).
+    pub fn new_float(&mut self) -> VReg {
+        self.fresh(RegClass::Float)
+    }
+
+    fn live_in_reg(&mut self, class: RegClass, val: InitVal) -> VReg {
+        let v = self.fresh(class);
+        self.live_in.push(v);
+        self.live_in_vals.push(val);
+        v
+    }
+
+    /// Declare an integer live-in with a default initial value of 1.
+    pub fn live_in_int(&mut self, _name: &str) -> VReg {
+        self.live_in_reg(RegClass::Int, InitVal::Int(1))
+    }
+
+    /// Declare an integer live-in with the given initial value.
+    pub fn live_in_int_val(&mut self, _name: &str, val: i64) -> VReg {
+        self.live_in_reg(RegClass::Int, InitVal::Int(val))
+    }
+
+    /// Declare a floating-point live-in with a default initial value of 1.0.
+    pub fn live_in_float(&mut self, _name: &str) -> VReg {
+        self.live_in_reg(RegClass::Float, InitVal::float(1.0))
+    }
+
+    /// Declare a floating-point live-in with the given initial value.
+    pub fn live_in_float_val(&mut self, _name: &str, val: f64) -> VReg {
+        self.live_in_reg(RegClass::Float, InitVal::float(val))
+    }
+
+    /// Mark `v` live-out of the loop.
+    pub fn live_out(&mut self, v: VReg) -> &mut Self {
+        if !self.live_out.contains(&v) {
+            self.live_out.push(v);
+        }
+        self
+    }
+
+    fn push(&mut self, mut op: Operation) -> OpId {
+        let id = OpId(self.ops.len() as u32);
+        op.id = id;
+        self.ops.push(op);
+        id
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn raw(
+        &mut self,
+        opcode: Opcode,
+        alu: AluKind,
+        def: Option<VReg>,
+        uses: Vec<VReg>,
+        imm: Option<i64>,
+        fimm: Option<f64>,
+        mem: Option<MemRef>,
+    ) -> OpId {
+        self.push(Operation {
+            id: OpId(0),
+            opcode,
+            alu,
+            def,
+            uses,
+            imm,
+            fimm_bits: fimm.map(f64::to_bits),
+            mem,
+        })
+    }
+
+    // ---- arithmetic -----------------------------------------------------
+
+    fn binop(&mut self, opcode: Opcode, alu: AluKind, dst: VReg, a: VReg, b: VReg) -> VReg {
+        assert_eq!(
+            self.vreg_classes[dst.index()],
+            opcode.result_class(),
+            "destination class must match the opcode"
+        );
+        self.raw(opcode, alu, Some(dst), vec![a, b], None, None, None);
+        dst
+    }
+
+    /// `dst = a + b` (float), fresh destination.
+    pub fn fadd(&mut self, a: VReg, b: VReg) -> VReg {
+        let d = self.new_float();
+        self.binop(Opcode::FAlu, AluKind::Add, d, a, b)
+    }
+
+    /// `dst = a - b` (float), fresh destination.
+    pub fn fsub(&mut self, a: VReg, b: VReg) -> VReg {
+        let d = self.new_float();
+        self.binop(Opcode::FAlu, AluKind::Sub, d, a, b)
+    }
+
+    /// `dst = a * b` (float), fresh destination.
+    pub fn fmul(&mut self, a: VReg, b: VReg) -> VReg {
+        let d = self.new_float();
+        self.binop(Opcode::FMul, AluKind::Mul, d, a, b)
+    }
+
+    /// `dst = a / b` (float), fresh destination.
+    pub fn fdiv(&mut self, a: VReg, b: VReg) -> VReg {
+        let d = self.new_float();
+        self.binop(Opcode::FDiv, AluKind::Div, d, a, b)
+    }
+
+    /// `dst = a + b` (int), fresh destination.
+    pub fn iadd(&mut self, a: VReg, b: VReg) -> VReg {
+        let d = self.new_int();
+        self.binop(Opcode::IntAlu, AluKind::Add, d, a, b)
+    }
+
+    /// `dst = a - b` (int), fresh destination.
+    pub fn isub(&mut self, a: VReg, b: VReg) -> VReg {
+        let d = self.new_int();
+        self.binop(Opcode::IntAlu, AluKind::Sub, d, a, b)
+    }
+
+    /// `dst = a * b` (int), fresh destination.
+    pub fn imul(&mut self, a: VReg, b: VReg) -> VReg {
+        let d = self.new_int();
+        self.binop(Opcode::IntMul, AluKind::Mul, d, a, b)
+    }
+
+    /// `dst = a / b` (int), fresh destination.
+    pub fn idiv(&mut self, a: VReg, b: VReg) -> VReg {
+        let d = self.new_int();
+        self.binop(Opcode::IntDiv, AluKind::Div, d, a, b)
+    }
+
+    /// Float ALU op into an existing destination (for recurrences).
+    pub fn falu_into(&mut self, dst: VReg, kind: AluKind, a: VReg, b: VReg) -> VReg {
+        self.binop(Opcode::FAlu, kind, dst, a, b)
+    }
+
+    /// `dst = a + b` (float) into an existing destination.
+    pub fn fadd_into(&mut self, dst: VReg, a: VReg, b: VReg) -> VReg {
+        self.falu_into(dst, AluKind::Add, a, b)
+    }
+
+    /// `dst = a * b` (float) into an existing destination.
+    pub fn fmul_into(&mut self, dst: VReg, a: VReg, b: VReg) -> VReg {
+        self.binop(Opcode::FMul, AluKind::Mul, dst, a, b)
+    }
+
+    /// Integer ALU op into an existing destination (for recurrences).
+    pub fn ialu_into(&mut self, dst: VReg, kind: AluKind, a: VReg, b: VReg) -> VReg {
+        self.binop(Opcode::IntAlu, kind, dst, a, b)
+    }
+
+    /// `dst = a + b` (int) into an existing destination.
+    pub fn iadd_into(&mut self, dst: VReg, a: VReg, b: VReg) -> VReg {
+        self.ialu_into(dst, AluKind::Add, a, b)
+    }
+
+    // ---- constants ------------------------------------------------------
+
+    /// Materialise an integer constant into `dst`.
+    pub fn iconst(&mut self, dst: VReg, val: i64) -> VReg {
+        self.raw(
+            Opcode::LoadImmInt,
+            AluKind::Add,
+            Some(dst),
+            vec![],
+            Some(val),
+            None,
+            None,
+        );
+        dst
+    }
+
+    /// Materialise an integer constant into a fresh register.
+    pub fn iconst_new(&mut self, val: i64) -> VReg {
+        let d = self.new_int();
+        self.iconst(d, val)
+    }
+
+    /// Materialise a float constant into `dst`.
+    pub fn fconst(&mut self, dst: VReg, val: f64) -> VReg {
+        self.raw(
+            Opcode::LoadImmFloat,
+            AluKind::Add,
+            Some(dst),
+            vec![],
+            None,
+            Some(val),
+            None,
+        );
+        dst
+    }
+
+    /// Materialise a float constant into a fresh register.
+    pub fn fconst_new(&mut self, val: f64) -> VReg {
+        let d = self.new_float();
+        self.fconst(d, val)
+    }
+
+    // ---- memory ---------------------------------------------------------
+
+    /// Load `array[offset + i*stride]` into a fresh register of the array's
+    /// class. Addressing is implicit (auto-increment addressing modes, as on
+    /// the TI DSPs the paper cites), so loads have no address operand.
+    pub fn load(&mut self, array: ArrayId, offset: i64, stride: i64) -> VReg {
+        let class = self.arrays[array.index()].class;
+        let d = self.fresh(class);
+        self.raw(
+            Opcode::Load,
+            AluKind::Add,
+            Some(d),
+            vec![],
+            None,
+            None,
+            Some(MemRef {
+                array,
+                offset,
+                stride,
+            }),
+        );
+        d
+    }
+
+    /// Store `val` to `array[offset + i*stride]`.
+    pub fn store(&mut self, array: ArrayId, offset: i64, stride: i64, val: VReg) -> OpId {
+        assert_eq!(
+            self.arrays[array.index()].class,
+            self.vreg_classes[val.index()],
+            "store value class must match array class"
+        );
+        self.raw(
+            Opcode::Store,
+            AluKind::Add,
+            None,
+            vec![val],
+            None,
+            None,
+            Some(MemRef {
+                array,
+                offset,
+                stride,
+            }),
+        )
+    }
+
+    // ---- copies (used by the partitioner, exposed for tests) -------------
+
+    /// Explicit inter-bank copy `dst = src`; `dst` must be fresh and of the
+    /// same class as `src`.
+    pub fn copy(&mut self, src: VReg) -> VReg {
+        let class = self.vreg_classes[src.index()];
+        let d = self.fresh(class);
+        self.raw(
+            Opcode::copy_for(class),
+            AluKind::Add,
+            Some(d),
+            vec![src],
+            None,
+            None,
+            None,
+        );
+        d
+    }
+
+    /// Finalise the loop with the given simulation trip count.
+    pub fn finish(self, trip_count: u32) -> Loop {
+        Loop {
+            name: self.name,
+            ops: self.ops,
+            vreg_classes: self.vreg_classes,
+            live_in: self.live_in,
+            live_in_vals: self.live_in_vals,
+            live_out: self.live_out,
+            arrays: self.arrays,
+            trip_count,
+            nesting_depth: self.nesting_depth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_loop;
+
+    #[test]
+    fn daxpy_builds_and_verifies() {
+        // y[i] = y[i] + a * x[i]
+        let mut b = LoopBuilder::new("daxpy");
+        let x = b.array("x", RegClass::Float, 100);
+        let y = b.array("y", RegClass::Float, 100);
+        let a = b.live_in_float_val("a", 3.0);
+        let xv = b.load(x, 0, 1);
+        let yv = b.load(y, 0, 1);
+        let p = b.fmul(a, xv);
+        let s = b.fadd(yv, p);
+        b.store(y, 0, 1, s);
+        let l = b.finish(100);
+        verify_loop(&l).unwrap();
+        assert_eq!(l.n_ops(), 5);
+        assert_eq!(l.n_vregs(), 5);
+        assert!(l.carried_regs().is_empty());
+    }
+
+    #[test]
+    fn recurrence_is_carried() {
+        let mut b = LoopBuilder::new("rec1");
+        let x = b.array("x", RegClass::Float, 32);
+        let a = b.live_in_float_val("a", 0.5);
+        let s = b.live_in_float_val("s", 0.0);
+        let xv = b.load(x, 0, 1);
+        let t = b.fmul(a, s); // uses previous iteration's s
+        b.fadd_into(s, t, xv);
+        b.live_out(s);
+        let l = b.finish(32);
+        verify_loop(&l).unwrap();
+        assert_eq!(l.carried_regs(), vec![s]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn store_class_mismatch_panics() {
+        let mut b = LoopBuilder::new("bad");
+        let x = b.array("x", RegClass::Float, 8);
+        let i = b.iconst_new(1);
+        b.store(x, 0, 1, i);
+    }
+
+    #[test]
+    fn copy_preserves_class() {
+        let mut b = LoopBuilder::new("cp");
+        let v = b.fconst_new(2.0);
+        let c = b.copy(v);
+        let w = b.iconst_new(3);
+        let d = b.copy(w);
+        let l = b.finish(1);
+        assert_eq!(l.class_of(c), RegClass::Float);
+        assert_eq!(l.class_of(d), RegClass::Int);
+        assert_eq!(l.ops[1].opcode, Opcode::CopyFloat);
+        assert_eq!(l.ops[3].opcode, Opcode::CopyInt);
+    }
+}

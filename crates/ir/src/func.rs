@@ -1,0 +1,229 @@
+//! Multi-block functions over a shared register namespace.
+//!
+//! The paper's framework "is applicable to entire programs … since we could
+//! easily use both non-loop and loop code to build our register component
+//! graph and our greedy method works on a function basis" (§6.3, §7). This
+//! module provides the function representation that enables that: a list of
+//! single-block regions (pipelined loops and straight-line blocks) whose
+//! operations draw virtual registers from one shared table, so one RCG —
+//! and one bank assignment — can span them all.
+//!
+//! Cross-block dataflow is modelled at the partitioning level: a value
+//! defined in an earlier block becomes a live-in of later blocks (with a
+//! synthetic initial value, so each block remains independently simulable;
+//! true inter-block value flow is outside the paper's experiments, which
+//! measure schedule length, not end-to-end function output).
+
+use crate::builder::LoopBuilder;
+use crate::looprep::{InitVal, Loop};
+use crate::reg::{RegClass, VReg};
+use crate::verify::{verify_loop, VerifyError};
+
+/// A function: named single-block regions over one register namespace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// The regions, in layout order. Every block's register table is the
+    /// full shared table (identical length and classes across blocks).
+    pub blocks: Vec<Loop>,
+}
+
+impl Function {
+    /// Registers in the shared namespace.
+    pub fn n_vregs(&self) -> usize {
+        self.blocks.first().map_or(0, |b| b.n_vregs())
+    }
+
+    /// Verify every block and the shared-table invariant.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        for b in &self.blocks {
+            verify_loop(b)?;
+        }
+        if let Some(first) = self.blocks.first() {
+            for b in &self.blocks[1..] {
+                if b.vreg_classes != first.vreg_classes {
+                    // Represent as a register-range error on the block.
+                    return Err(VerifyError::LiveRegOutOfRange(VReg(
+                        first.vreg_classes.len() as u32,
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total static operations across blocks.
+    pub fn n_ops(&self) -> usize {
+        self.blocks.iter().map(|b| b.n_ops()).sum()
+    }
+}
+
+/// Builds a [`Function`] block by block, threading the shared register and
+/// array tables through.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    /// Prototype builder carrying the shared tables; never emits ops itself.
+    proto: LoopBuilder,
+    /// Which shared registers have been defined by an earlier block.
+    blocks: Vec<Loop>,
+}
+
+impl FunctionBuilder {
+    /// Start a function.
+    pub fn new(name: impl Into<String>) -> Self {
+        FunctionBuilder {
+            name: name.into(),
+            proto: LoopBuilder::new("<shared>"),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Declare a function-wide array (visible to all subsequent blocks).
+    pub fn array(&mut self, name: impl Into<String>, class: RegClass, len: usize) -> crate::ArrayId {
+        self.proto.array(name, class, len)
+    }
+
+    /// Declare a function-wide live-in float (a parameter or global).
+    pub fn live_in_float_val(&mut self, name: &str, val: f64) -> VReg {
+        self.proto.live_in_float_val(name, val)
+    }
+
+    /// Declare a function-wide live-in integer.
+    pub fn live_in_int_val(&mut self, name: &str, val: i64) -> VReg {
+        self.proto.live_in_int_val(name, val)
+    }
+
+    /// Append a block: `depth` is its loop-nesting depth (1 = function
+    /// top-level straight-line code or an outermost loop body), `trip` its
+    /// iteration count (1 for straight-line code). The closure populates the
+    /// block through an ordinary [`LoopBuilder`] seeded with the shared
+    /// tables; registers and arrays it creates join the shared namespace.
+    pub fn block(
+        &mut self,
+        name: impl Into<String>,
+        depth: u32,
+        trip: u32,
+        f: impl FnOnce(&mut LoopBuilder),
+    ) {
+        let mut b = self.proto.clone();
+        b.set_name(name);
+        b.nesting(depth);
+        f(&mut b);
+        // Values defined here become live-ins of later blocks (synthetic
+        // seeds keep each block self-simulable).
+        let defined: Vec<VReg> = b
+            .ops()
+            .iter()
+            .filter_map(|o| o.def)
+            .collect();
+        let block_loop = b.clone().finish(trip);
+        debug_assert!(verify_loop(&block_loop).is_ok());
+        self.blocks.push(block_loop);
+        // Absorb the (possibly grown) tables back into the prototype, minus
+        // the block's op stream.
+        b.clear_ops();
+        self.proto = b;
+        for v in defined {
+            if !self.proto.is_live_in(v) {
+                let init = match self.proto.class_of(v) {
+                    RegClass::Int => InitVal::Int(1),
+                    RegClass::Float => InitVal::float(1.0),
+                };
+                self.proto.add_live_in(v, init);
+            }
+        }
+    }
+
+    /// Finalise: pad every block to the full shared register/array tables.
+    pub fn finish(self) -> Function {
+        let classes = self.proto.classes().to_vec();
+        let arrays = self.proto.arrays_ref().to_vec();
+        let mut blocks = self.blocks;
+        for b in &mut blocks {
+            b.vreg_classes = classes.clone();
+            b.arrays = arrays.clone();
+        }
+        let f = Function {
+            name: self.name,
+            blocks,
+        };
+        debug_assert!(f.verify().is_ok());
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Opcode;
+
+    /// Two loops sharing an invariant multiplier, plus a straight-line
+    /// epilogue using a value from the first loop.
+    fn sample() -> Function {
+        let mut f = FunctionBuilder::new("f");
+        let a = f.live_in_float_val("a", 2.0);
+        let x = f.array("x", RegClass::Float, 128);
+        let y = f.array("y", RegClass::Float, 128);
+        let mut s_out = None;
+        f.block("loop1", 2, 32, |b| {
+            let s = b.live_in_float_val("s", 0.0);
+            let xv = b.load(x, 0, 1);
+            let p = b.fmul(a, xv);
+            b.fadd_into(s, s, p);
+            b.live_out(s);
+            s_out = Some(s);
+        });
+        f.block("loop2", 2, 32, |b| {
+            let yv = b.load(y, 0, 1);
+            let q = b.fmul(a, yv);
+            b.store(y, 0, 1, q);
+        });
+        let s = s_out.unwrap();
+        f.block("epilogue", 1, 1, |b| {
+            let t = b.fmul(s, a);
+            b.store(x, 0, 0, t);
+        });
+        f.finish()
+    }
+
+    #[test]
+    fn blocks_share_the_register_table() {
+        let f = sample();
+        f.verify().unwrap();
+        assert_eq!(f.blocks.len(), 3);
+        let n = f.n_vregs();
+        assert!(f.blocks.iter().all(|b| b.n_vregs() == n));
+    }
+
+    #[test]
+    fn cross_block_value_is_live_in_downstream() {
+        let f = sample();
+        let epilogue = &f.blocks[2];
+        // The fmul in the epilogue uses s (defined in loop1) — it must be a
+        // live-in of the epilogue block.
+        let fmul = epilogue
+            .ops
+            .iter()
+            .find(|o| o.opcode == Opcode::FMul)
+            .unwrap();
+        for &u in &fmul.uses {
+            assert!(epilogue.is_live_in(u), "{u} not live-in of epilogue");
+        }
+    }
+
+    #[test]
+    fn shared_arrays_visible_everywhere() {
+        let f = sample();
+        for b in &f.blocks {
+            assert_eq!(b.arrays.len(), 2);
+        }
+    }
+
+    #[test]
+    fn function_op_count_sums_blocks() {
+        let f = sample();
+        assert_eq!(f.n_ops(), 3 + 3 + 2);
+    }
+}

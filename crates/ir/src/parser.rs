@@ -1,0 +1,459 @@
+//! Textual parser for the loop format emitted by [`crate::printer`].
+//!
+//! Round-trips with the printer (`parse(format(l)) == l` up to live-in
+//! initial values, which the text format carries explicitly), so loops can
+//! be stored in files, diffed in golden tests, and written by hand.
+//!
+//! Grammar (one item per line, `;` comments allowed — `#` introduces
+//! immediates):
+//!
+//! ```text
+//! loop NAME (trip T, depth D, ...)           # header; counts are ignored
+//!   array  NAME CLASS LEN                    # explicit array declaration
+//!   vreg   vN CLASS                          # explicit register declaration
+//!   live-in:  v0=1.5, v3=2                   # values give int/float inits
+//!   opK  MNEMONIC operands                   # same shapes as the printer
+//!   live-out: v4, v7
+//! ```
+//!
+//! The printer does not emit `array`/`vreg` lines (it prints uses in
+//! context), so [`format_loop_full`]
+//! renders the self-contained form that parses back exactly.
+
+use crate::looprep::{ArrayId, ArrayInfo, InitVal, Loop};
+use crate::op::{AluKind, MemRef, OpId, Opcode, Operation};
+use crate::reg::{RegClass, VReg};
+use std::fmt::Write as _;
+
+/// A parse failure with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Render a loop in the fully self-contained text form (declarations
+/// included) that [`parse_loop`] accepts.
+pub fn format_loop_full(l: &Loop) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "loop {} (trip {}, depth {})", l.name, l.trip_count, l.nesting_depth);
+    for (i, a) in l.arrays.iter().enumerate() {
+        let _ = writeln!(s, "  array {} {} {}", a.name, a.class, a.len);
+        let _ = i;
+    }
+    for (i, c) in l.vreg_classes.iter().enumerate() {
+        let _ = writeln!(s, "  vreg v{i} {c}");
+    }
+    if !l.live_in.is_empty() {
+        let ins: Vec<String> = l
+            .live_in
+            .iter()
+            .zip(&l.live_in_vals)
+            .map(|(v, init)| match init {
+                InitVal::Int(i) => format!("{v}={i}"),
+                InitVal::Float(b) => format!("{v}={:?}", f64::from_bits(*b)),
+            })
+            .collect();
+        let _ = writeln!(s, "  live-in: {}", ins.join(", "));
+    }
+    for op in &l.ops {
+        let _ = writeln!(s, "  {}", format_op_full(op));
+    }
+    if !l.live_out.is_empty() {
+        let outs: Vec<String> = l.live_out.iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(s, "  live-out: {}", outs.join(", "));
+    }
+    s
+}
+
+fn format_op_full(op: &Operation) -> String {
+    let mut s = format!("{} {}", op.id, op.opcode.mnemonic());
+    if let Some(m) = op.mem {
+        // load: "opK load vD a0 off stride"; store: "opK store a0 off stride vS"
+        match op.opcode {
+            Opcode::Load => {
+                let _ = write!(s, " {} a{} {} {}", op.def.unwrap(), m.array.0, m.offset, m.stride);
+            }
+            _ => {
+                let _ = write!(s, " a{} {} {} {}", m.array.0, m.offset, m.stride, op.uses[0]);
+            }
+        }
+        return s;
+    }
+    if let Some(d) = op.def {
+        let _ = write!(s, " {d}");
+    }
+    for u in &op.uses {
+        let _ = write!(s, " {u}");
+    }
+    match op.opcode {
+        Opcode::LoadImmInt => {
+            let _ = write!(s, " #{}", op.imm.unwrap_or(0));
+        }
+        Opcode::LoadImmFloat => {
+            let _ = write!(s, " #{:?}", op.fimm().unwrap_or(0.0));
+        }
+        _ => {
+            if let Some(i) = op.imm {
+                let _ = write!(s, " #{i}");
+            }
+        }
+    }
+    // ALU kind suffix for FAlu/IntAlu disambiguation.
+    if matches!(op.opcode, Opcode::FAlu | Opcode::IntAlu) {
+        let k = match op.alu {
+            AluKind::Add => "+",
+            AluKind::Sub => "-",
+            AluKind::Mul => "*",
+            AluKind::Div => "/",
+        };
+        let _ = write!(s, " !{k}");
+    }
+    s
+}
+
+fn parse_vreg(tok: &str, line: usize) -> Result<VReg, ParseError> {
+    tok.strip_prefix('v')
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(VReg)
+        .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))
+}
+
+fn parse_array_id(tok: &str, line: usize) -> Result<ArrayId, ParseError> {
+    tok.strip_prefix('a')
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(ArrayId)
+        .ok_or_else(|| err(line, format!("expected array id, got `{tok}`")))
+}
+
+fn mnemonic_to_opcode(m: &str, line: usize) -> Result<Opcode, ParseError> {
+    Ok(match m {
+        "ialu" => Opcode::IntAlu,
+        "imul" => Opcode::IntMul,
+        "idiv" => Opcode::IntDiv,
+        "falu" => Opcode::FAlu,
+        "fmul" => Opcode::FMul,
+        "fdiv" => Opcode::FDiv,
+        "load" => Opcode::Load,
+        "store" => Opcode::Store,
+        "ldi" => Opcode::LoadImmInt,
+        "ldf" => Opcode::LoadImmFloat,
+        "icpy" => Opcode::CopyInt,
+        "fcpy" => Opcode::CopyFloat,
+        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+    })
+}
+
+/// Parse the self-contained text form produced by [`format_loop_full`].
+pub fn parse_loop(text: &str) -> Result<Loop, ParseError> {
+    let mut name = String::from("parsed");
+    let mut trip = 1u32;
+    let mut depth = 1u32;
+    let mut arrays: Vec<ArrayInfo> = Vec::new();
+    let mut vreg_classes: Vec<RegClass> = Vec::new();
+    let mut live_in = Vec::new();
+    let mut live_in_vals = Vec::new();
+    let mut live_out = Vec::new();
+    let mut ops: Vec<Operation> = Vec::new();
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = ln + 1;
+        let code = raw.split(';').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        if let Some(rest) = code.strip_prefix("loop ") {
+            let mut parts = rest.splitn(2, ' ');
+            name = parts.next().unwrap_or("parsed").to_string();
+            if let Some(meta) = parts.next() {
+                for kv in meta.trim_matches(|c| c == '(' || c == ')').split(',') {
+                    let kv = kv.trim();
+                    if let Some(v) = kv.strip_prefix("trip ") {
+                        trip = v.trim().parse().map_err(|_| err(line, "bad trip"))?;
+                    } else if let Some(v) = kv.strip_prefix("depth ") {
+                        depth = v.trim().parse().map_err(|_| err(line, "bad depth"))?;
+                    }
+                }
+            }
+            continue;
+        }
+        if let Some(rest) = code.strip_prefix("array ") {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() < 3 {
+                return Err(err(line, "array needs: array aN CLASS LEN"));
+            }
+            let class = match toks[1] {
+                "int" => RegClass::Int,
+                "float" => RegClass::Float,
+                c => return Err(err(line, format!("unknown class `{c}`"))),
+            };
+            let len = toks[2].parse().map_err(|_| err(line, "bad array length"))?;
+            arrays.push(ArrayInfo {
+                name: toks[0].to_string(),
+                class,
+                len,
+            });
+            continue;
+        }
+        if let Some(rest) = code.strip_prefix("vreg ") {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() != 2 {
+                return Err(err(line, "vreg needs: vreg vN CLASS"));
+            }
+            let v = parse_vreg(toks[0], line)?;
+            if v.index() != vreg_classes.len() {
+                return Err(err(line, "vreg declarations must be dense and in order"));
+            }
+            vreg_classes.push(match toks[1] {
+                "int" => RegClass::Int,
+                "float" => RegClass::Float,
+                c => return Err(err(line, format!("unknown class `{c}`"))),
+            });
+            continue;
+        }
+        if let Some(rest) = code.strip_prefix("live-in:") {
+            for item in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let (reg, val) = item
+                    .split_once('=')
+                    .ok_or_else(|| err(line, "live-in items are vN=value"))?;
+                let v = parse_vreg(reg.trim(), line)?;
+                let class = *vreg_classes
+                    .get(v.index())
+                    .ok_or_else(|| err(line, "live-in register not declared"))?;
+                let init = match class {
+                    RegClass::Int => InitVal::Int(
+                        val.trim().parse().map_err(|_| err(line, "bad int init"))?,
+                    ),
+                    RegClass::Float => InitVal::float(
+                        val.trim().parse().map_err(|_| err(line, "bad float init"))?,
+                    ),
+                };
+                live_in.push(v);
+                live_in_vals.push(init);
+            }
+            continue;
+        }
+        if let Some(rest) = code.strip_prefix("live-out:") {
+            for item in rest.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                live_out.push(parse_vreg(item, line)?);
+            }
+            continue;
+        }
+        if code.starts_with("op") {
+            ops.push(parse_op(code, ops.len(), line)?);
+            continue;
+        }
+        return Err(err(line, format!("unrecognised line `{code}`")));
+    }
+
+    let l = Loop {
+        name,
+        ops,
+        vreg_classes,
+        live_in,
+        live_in_vals,
+        live_out,
+        arrays,
+        trip_count: trip,
+        nesting_depth: depth,
+    };
+    crate::verify::verify_loop(&l).map_err(|e| err(0, format!("verification failed: {e}")))?;
+    Ok(l)
+}
+
+fn parse_op(code: &str, expected_idx: usize, line: usize) -> Result<Operation, ParseError> {
+    let toks: Vec<&str> = code.split_whitespace().collect();
+    let idx: usize = toks[0]
+        .strip_prefix("op")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| err(line, "bad op id"))?;
+    if idx != expected_idx {
+        return Err(err(line, format!("op ids must be dense; expected op{expected_idx}")));
+    }
+    let opcode = mnemonic_to_opcode(toks.get(1).copied().unwrap_or(""), line)?;
+    let mut alu = match opcode {
+        Opcode::IntMul | Opcode::FMul => AluKind::Mul,
+        Opcode::IntDiv | Opcode::FDiv => AluKind::Div,
+        _ => AluKind::Add,
+    };
+    let mut def = None;
+    let mut uses = Vec::new();
+    let mut imm = None;
+    let mut fimm = None;
+    let mut mem = None;
+
+    match opcode {
+        Opcode::Load => {
+            // opK load vD aN off stride
+            if toks.len() != 6 {
+                return Err(err(line, "load needs: load vD aN OFF STRIDE"));
+            }
+            def = Some(parse_vreg(toks[2], line)?);
+            mem = Some(MemRef {
+                array: parse_array_id(toks[3], line)?,
+                offset: toks[4].parse().map_err(|_| err(line, "bad offset"))?,
+                stride: toks[5].parse().map_err(|_| err(line, "bad stride"))?,
+            });
+        }
+        Opcode::Store => {
+            // opK store aN off stride vS
+            if toks.len() != 6 {
+                return Err(err(line, "store needs: store aN OFF STRIDE vS"));
+            }
+            mem = Some(MemRef {
+                array: parse_array_id(toks[2], line)?,
+                offset: toks[3].parse().map_err(|_| err(line, "bad offset"))?,
+                stride: toks[4].parse().map_err(|_| err(line, "bad stride"))?,
+            });
+            uses.push(parse_vreg(toks[5], line)?);
+        }
+        _ => {
+            for tok in &toks[2..] {
+                if let Some(k) = tok.strip_prefix('!') {
+                    alu = match k {
+                        "+" => AluKind::Add,
+                        "-" => AluKind::Sub,
+                        "*" => AluKind::Mul,
+                        "/" => AluKind::Div,
+                        _ => return Err(err(line, "bad ALU kind")),
+                    };
+                } else if let Some(v) = tok.strip_prefix('#') {
+                    match opcode {
+                        Opcode::LoadImmFloat => {
+                            fimm = Some(v.parse::<f64>().map_err(|_| err(line, "bad float imm"))?)
+                        }
+                        _ => imm = Some(v.parse::<i64>().map_err(|_| err(line, "bad imm"))?),
+                    }
+                } else if def.is_none() {
+                    // First register token is the def (every non-memory
+                    // opcode defines a register).
+                    def = Some(parse_vreg(tok, line)?);
+                } else {
+                    uses.push(parse_vreg(tok, line)?);
+                }
+            }
+        }
+    }
+
+    Ok(Operation {
+        id: OpId(expected_idx as u32),
+        opcode,
+        alu,
+        def,
+        uses,
+        imm,
+        fimm_bits: fimm.map(f64::to_bits),
+        mem,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+
+    fn daxpy() -> Loop {
+        let mut b = LoopBuilder::new("daxpy");
+        let x = b.array("x", RegClass::Float, 64);
+        let y = b.array("y", RegClass::Float, 64);
+        let a = b.live_in_float_val("a", 1.5);
+        let xv = b.load(x, 0, 1);
+        let yv = b.load(y, 0, 1);
+        let p = b.fmul(a, xv);
+        let s = b.fadd(yv, p);
+        b.store(y, 0, 1, s);
+        b.live_out(s);
+        b.finish(64)
+    }
+
+    #[test]
+    fn round_trips_daxpy() {
+        let l = daxpy();
+        let text = format_loop_full(&l);
+        let back = parse_loop(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(back.ops, l.ops);
+        assert_eq!(back.vreg_classes, l.vreg_classes);
+        assert_eq!(back.live_in, l.live_in);
+        assert_eq!(back.live_in_vals, l.live_in_vals);
+        assert_eq!(back.live_out, l.live_out);
+        assert_eq!(back.trip_count, l.trip_count);
+        assert_eq!(back.arrays.len(), l.arrays.len());
+    }
+
+    #[test]
+    fn round_trips_immediates_and_copies() {
+        let mut b = LoopBuilder::new("imm");
+        let i = b.iconst_new(-42);
+        let f = b.fconst_new(2.5);
+        let c = b.copy(f);
+        let j = b.copy(i);
+        let _ = b.fadd(c, f);
+        let _ = b.iadd(j, i);
+        let l = b.finish(4);
+        let back = parse_loop(&format_loop_full(&l)).unwrap();
+        assert_eq!(back.ops, l.ops);
+    }
+
+    #[test]
+    fn round_trips_alu_kinds() {
+        let mut b = LoopBuilder::new("alu");
+        let p = b.fconst_new(1.0);
+        let q = b.fconst_new(2.0);
+        b.fsub(p, q);
+        b.fadd(p, q);
+        let l = b.finish(1);
+        let back = parse_loop(&format_loop_full(&l)).unwrap();
+        assert_eq!(back.ops[2].alu, AluKind::Sub);
+        assert_eq!(back.ops[3].alu, AluKind::Add);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_loop("loop x\n  frobnicate v0").is_err());
+        assert!(parse_loop("loop x\n  op0 load v0").is_err()); // arity
+        assert!(parse_loop("loop x\n  vreg v5 float").is_err()); // not dense
+    }
+
+    #[test]
+    fn rejects_structurally_invalid() {
+        // Uses an undeclared register → verifier error surfaces as parse error.
+        let text = "loop bad (trip 1, depth 1)\n  vreg v0 float\n  vreg v1 float\n  op0 fmul v0 v1 v1\n";
+        assert!(parse_loop(text).is_err());
+    }
+
+    #[test]
+    fn hand_written_loop_parses() {
+        let text = "\
+loop handmade (trip 8, depth 1)
+  array x float 32
+  vreg v0 float
+  vreg v1 float
+  live-in: v0=3.0
+  op0 load v1 a0 0 1
+  op1 fmul v1 v0 v1   ; def v1 from v0,v1
+  op2 store a0 0 1 v1
+  live-out: v1
+";
+        let l = parse_loop(text).unwrap();
+        assert_eq!(l.n_ops(), 3);
+        assert_eq!(l.trip_count, 8);
+        assert_eq!(l.live_in_vals[0], InitVal::float(3.0));
+    }
+}

@@ -1,0 +1,114 @@
+//! Textual rendering of loops and operations, for reports and debugging.
+
+use crate::looprep::Loop;
+use crate::op::{Opcode, Operation};
+use std::fmt::Write as _;
+
+/// Render a single operation as one line of pseudo-assembly.
+pub fn format_op(l: &Loop, op: &Operation) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{:>5}  {:<5}", op.id.to_string(), op.opcode.mnemonic());
+    if let Some(d) = op.def {
+        let _ = write!(s, " {}", d);
+    }
+    match op.opcode {
+        Opcode::Load => {
+            let m = op.mem.expect("load has mem");
+            let _ = write!(
+                s,
+                ", {}[{}{:+}i]",
+                l.arrays[m.array.index()].name,
+                m.offset,
+                m.stride
+            );
+        }
+        Opcode::Store => {
+            let m = op.mem.expect("store has mem");
+            let _ = write!(
+                s,
+                " {}[{}{:+}i], {}",
+                l.arrays[m.array.index()].name,
+                m.offset,
+                m.stride,
+                op.uses[0]
+            );
+        }
+        Opcode::LoadImmInt => {
+            let _ = write!(s, ", #{}", op.imm.unwrap_or(0));
+        }
+        Opcode::LoadImmFloat => {
+            let _ = write!(s, ", #{}", op.fimm().unwrap_or(0.0));
+        }
+        _ => {
+            for (k, u) in op.uses.iter().enumerate() {
+                let sep = if k == 0 && op.def.is_none() { ' ' } else { ',' };
+                let _ = write!(s, "{sep} {u}");
+            }
+            if let Some(imm) = op.imm {
+                let _ = write!(s, ", #{imm}");
+            }
+        }
+    }
+    s
+}
+
+/// Render the whole loop body, header included.
+pub fn format_loop(l: &Loop) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "loop {} (trip {}, depth {}, {} ops, {} vregs)",
+        l.name,
+        l.trip_count,
+        l.nesting_depth,
+        l.n_ops(),
+        l.n_vregs()
+    );
+    if !l.live_in.is_empty() {
+        let ins: Vec<String> = l.live_in.iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(s, "  live-in:  {}", ins.join(", "));
+    }
+    for op in &l.ops {
+        let _ = writeln!(s, "  {}", format_op(l, op));
+    }
+    if !l.live_out.is_empty() {
+        let outs: Vec<String> = l.live_out.iter().map(|v| v.to_string()).collect();
+        let _ = writeln!(s, "  live-out: {}", outs.join(", "));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::reg::RegClass;
+
+    #[test]
+    fn prints_all_ops() {
+        let mut b = LoopBuilder::new("p");
+        let x = b.array("x", RegClass::Float, 32);
+        let a = b.live_in_float("a");
+        let v = b.load(x, 0, 1);
+        let m = b.fmul(a, v);
+        b.store(x, 0, 1, m);
+        let l = b.finish(32);
+        let text = format_loop(&l);
+        assert!(text.contains("load"));
+        assert!(text.contains("fmul"));
+        assert!(text.contains("store x[0+1i]"));
+        assert!(text.contains("live-in"));
+        assert_eq!(text.lines().count(), 2 + l.n_ops());
+    }
+
+    #[test]
+    fn prints_immediates() {
+        let mut b = LoopBuilder::new("imm");
+        b.iconst_new(42);
+        b.fconst_new(2.5);
+        let l = b.finish(1);
+        let text = format_loop(&l);
+        assert!(text.contains("#42"));
+        assert!(text.contains("#2.5"));
+    }
+}

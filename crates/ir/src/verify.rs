@@ -1,0 +1,207 @@
+//! Structural verification of [`Loop`] bodies.
+//!
+//! Every pass in the workspace assumes these invariants; the property tests
+//! and the loop generator check them after every construction or rewrite.
+
+use crate::looprep::Loop;
+use crate::op::{Opcode, Operation};
+use crate::reg::VReg;
+use std::fmt;
+
+/// A structural defect found in a [`Loop`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// `ops[i].id != i`.
+    BadOpId(usize),
+    /// An operation mentions a register outside the register table.
+    RegOutOfRange(usize, VReg),
+    /// A register is used but never defined and not live-in.
+    UseWithoutDef(usize, VReg),
+    /// Def class disagrees with the opcode's result class (or the array's
+    /// class for loads).
+    DefClassMismatch(usize),
+    /// Operand arity is wrong for the opcode.
+    BadArity(usize),
+    /// A memory op lacks metadata, or a non-memory op has it.
+    MemMetadata(usize),
+    /// Memory metadata references an unknown array.
+    ArrayOutOfRange(usize),
+    /// An access walks outside the array over the loop's trip count.
+    OutOfBounds(usize),
+    /// `live_in` and `live_in_vals` have different lengths.
+    LiveInVals,
+    /// A live-in/live-out register is outside the register table.
+    LiveRegOutOfRange(VReg),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadOpId(i) => write!(f, "op at index {i} has wrong id"),
+            VerifyError::RegOutOfRange(i, v) => write!(f, "op {i} mentions unknown register {v}"),
+            VerifyError::UseWithoutDef(i, v) => {
+                write!(f, "op {i} uses {v}, which is neither defined nor live-in")
+            }
+            VerifyError::DefClassMismatch(i) => write!(f, "op {i} def class mismatch"),
+            VerifyError::BadArity(i) => write!(f, "op {i} has wrong operand arity"),
+            VerifyError::MemMetadata(i) => write!(f, "op {i} memory metadata inconsistent"),
+            VerifyError::ArrayOutOfRange(i) => write!(f, "op {i} references unknown array"),
+            VerifyError::OutOfBounds(i) => {
+                write!(f, "op {i} walks outside its array over the trip count")
+            }
+            VerifyError::LiveInVals => write!(f, "live_in and live_in_vals lengths differ"),
+            VerifyError::LiveRegOutOfRange(v) => write!(f, "live register {v} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn arity_ok(op: &Operation) -> bool {
+    let (defs, uses) = (op.def.is_some() as usize, op.uses.len());
+    match op.opcode {
+        Opcode::IntAlu | Opcode::IntMul | Opcode::IntDiv => defs == 1 && (1..=2).contains(&uses),
+        Opcode::FAlu | Opcode::FMul | Opcode::FDiv => defs == 1 && uses == 2,
+        Opcode::Load => defs == 1 && uses == 0,
+        Opcode::Store => defs == 0 && uses == 1,
+        Opcode::LoadImmInt | Opcode::LoadImmFloat => defs == 1 && uses == 0,
+        Opcode::CopyInt | Opcode::CopyFloat => defs == 1 && uses == 1,
+    }
+}
+
+/// Check every structural invariant of `l`.
+pub fn verify_loop(l: &Loop) -> Result<(), VerifyError> {
+    if l.live_in.len() != l.live_in_vals.len() {
+        return Err(VerifyError::LiveInVals);
+    }
+    for &v in l.live_in.iter().chain(l.live_out.iter()) {
+        if v.index() >= l.n_vregs() {
+            return Err(VerifyError::LiveRegOutOfRange(v));
+        }
+    }
+
+    // First-def position per register, for use-before-def (recurrence) legality.
+    let mut defined = vec![false; l.n_vregs()];
+
+    for (i, op) in l.ops.iter().enumerate() {
+        if op.id.index() != i {
+            return Err(VerifyError::BadOpId(i));
+        }
+        for v in op.regs() {
+            if v.index() >= l.n_vregs() {
+                return Err(VerifyError::RegOutOfRange(i, v));
+            }
+        }
+        if !arity_ok(op) {
+            return Err(VerifyError::BadArity(i));
+        }
+        if op.opcode.is_mem() != op.mem.is_some() {
+            return Err(VerifyError::MemMetadata(i));
+        }
+        if let Some(m) = op.mem {
+            let Some(info) = l.arrays.get(m.array.index()) else {
+                return Err(VerifyError::ArrayOutOfRange(i));
+            };
+            // Endpoints of the affine access over the trip count.
+            let last = m.offset + (l.trip_count.max(1) as i64 - 1) * m.stride;
+            for idx in [m.offset, last] {
+                if idx < 0 || idx as usize >= info.len {
+                    return Err(VerifyError::OutOfBounds(i));
+                }
+            }
+            // Loads/stores move values of the array's class.
+            let class = info.class;
+            let val_reg = match op.opcode {
+                Opcode::Load => op.def,
+                Opcode::Store => op.uses.first().copied(),
+                _ => None,
+            };
+            if let Some(v) = val_reg {
+                if l.class_of(v) != class {
+                    return Err(VerifyError::DefClassMismatch(i));
+                }
+            }
+        } else if let Some(d) = op.def {
+            if l.class_of(d) != op.opcode.result_class() {
+                return Err(VerifyError::DefClassMismatch(i));
+            }
+        }
+        if let Some(d) = op.def {
+            defined[d.index()] = true;
+        }
+    }
+
+    // Every used register must be defined somewhere in the body or be live-in.
+    // (A use before the def is legal — it reads the previous iteration.)
+    for (i, op) in l.ops.iter().enumerate() {
+        for &u in &op.uses {
+            if !defined[u.index()] && !l.is_live_in(u) {
+                return Err(VerifyError::UseWithoutDef(i, u));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LoopBuilder;
+    use crate::reg::RegClass;
+
+    #[test]
+    fn detects_use_without_def() {
+        let mut b = LoopBuilder::new("bad");
+        let ghost = b.new_float();
+        let g2 = b.new_float();
+        b.fmul_into(g2, ghost, ghost);
+        let l = b.finish(1);
+        assert!(matches!(
+            verify_loop(&l),
+            Err(VerifyError::UseWithoutDef(_, _))
+        ));
+    }
+
+    #[test]
+    fn detects_out_of_bounds() {
+        let mut b = LoopBuilder::new("oob");
+        let x = b.array("x", RegClass::Float, 4);
+        let v = b.load(x, 0, 1);
+        b.store(x, 0, 1, v);
+        let l = b.finish(100); // walks to x[99] but len == 4
+        assert!(matches!(verify_loop(&l), Err(VerifyError::OutOfBounds(_))));
+    }
+
+    #[test]
+    fn detects_mangled_ids() {
+        let mut b = LoopBuilder::new("ids");
+        let v = b.fconst_new(1.0);
+        let w = b.fconst_new(2.0);
+        b.fadd(v, w);
+        let mut l = b.finish(1);
+        l.ops.swap(0, 2);
+        assert!(matches!(verify_loop(&l), Err(VerifyError::BadOpId(0))));
+    }
+
+    #[test]
+    fn negative_offset_is_out_of_bounds() {
+        let mut b = LoopBuilder::new("neg");
+        let x = b.array("x", RegClass::Float, 16);
+        let v = b.load(x, -1, 1);
+        b.store(x, 0, 1, v);
+        let l = b.finish(8);
+        assert!(matches!(verify_loop(&l), Err(VerifyError::OutOfBounds(_))));
+    }
+
+    #[test]
+    fn clean_loop_passes() {
+        let mut b = LoopBuilder::new("ok");
+        let x = b.array("x", RegClass::Float, 16);
+        let v = b.load(x, 1, 1); // stencil-style offset
+        let c = b.fconst_new(2.0);
+        let d = b.fmul(v, c);
+        b.store(x, 0, 1, d);
+        let l = b.finish(15);
+        verify_loop(&l).unwrap();
+    }
+}

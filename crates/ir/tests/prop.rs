@@ -1,0 +1,108 @@
+//! Property tests for the IR: builder output is always verifiable, printing
+//! never panics, and structural queries are mutually consistent.
+
+use proptest::prelude::*;
+use vliw_ir::{format_loop_full, parse_loop, printer, verify_loop, LoopBuilder, RegClass, VReg};
+
+#[derive(Debug, Clone)]
+enum Step {
+    Const(u8),
+    Add(u8, u8),
+    Mul(u8, u8),
+    Load(u8),
+    Store(u8, u8),
+    Acc(u8),
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..20u8).prop_map(Step::Const),
+        any::<(u8, u8)>().prop_map(|(a, b)| Step::Add(a, b)),
+        any::<(u8, u8)>().prop_map(|(a, b)| Step::Mul(a, b)),
+        (0..3u8).prop_map(Step::Load),
+        any::<(u8, u8)>().prop_map(|(a, b)| Step::Store(a, b)),
+        any::<u8>().prop_map(Step::Acc),
+    ]
+}
+
+fn build(steps: &[Step], trip: u32) -> vliw_ir::Loop {
+    let mut b = LoopBuilder::new("p");
+    let x = b.array("x", RegClass::Float, 4 * trip as usize + 8);
+    let acc = b.live_in_float_val("acc", 0.0);
+    let seed = b.live_in_float_val("seed", 2.0);
+    let mut pool = vec![acc, seed];
+    let pick = |i: u8, pool: &[VReg]| pool[i as usize % pool.len()];
+    for s in steps {
+        match s {
+            Step::Const(k) => pool.push(b.fconst_new(*k as f64 + 0.5)),
+            Step::Add(i, j) => {
+                let (p, q) = (pick(*i, &pool), pick(*j, &pool));
+                pool.push(b.fadd(p, q));
+            }
+            Step::Mul(i, j) => {
+                let (p, q) = (pick(*i, &pool), pick(*j, &pool));
+                pool.push(b.fmul(p, q));
+            }
+            Step::Load(off) => pool.push(b.load(x, *off as i64, 4)),
+            Step::Store(i, slot) => {
+                let v = pick(*i, &pool);
+                b.store(x, 3, 4, v);
+                let _ = slot;
+            }
+            Step::Acc(i) => {
+                let v = pick(*i, &pool);
+                b.fadd_into(acc, acc, v);
+            }
+        }
+    }
+    b.live_out(acc);
+    b.finish(trip)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn builder_always_verifies(steps in proptest::collection::vec(step(), 0..40), trip in 1u32..16) {
+        let l = build(&steps, trip);
+        prop_assert!(verify_loop(&l).is_ok());
+    }
+
+    #[test]
+    fn printer_never_panics_and_covers_ops(steps in proptest::collection::vec(step(), 1..30), trip in 1u32..8) {
+        let l = build(&steps, trip);
+        let text = printer::format_loop(&l);
+        prop_assert!(text.lines().count() >= l.n_ops());
+    }
+
+    #[test]
+    fn defs_and_uses_partition_mentions(steps in proptest::collection::vec(step(), 1..30), trip in 1u32..8) {
+        let l = build(&steps, trip);
+        for v in (0..l.n_vregs() as u32).map(VReg) {
+            let defs = l.defs_of(v);
+            let uses = l.uses_of(v);
+            for d in &defs {
+                prop_assert!(l.op(*d).defines(v));
+            }
+            for u in &uses {
+                prop_assert!(l.op(*u).uses_reg(v));
+            }
+        }
+    }
+
+    #[test]
+    fn text_format_round_trips(steps in proptest::collection::vec(step(), 0..30), trip in 1u32..8) {
+        let l = build(&steps, trip);
+        let text = format_loop_full(&l);
+        let back = parse_loop(&text).map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(back, l);
+    }
+
+    #[test]
+    fn carried_regs_are_defined_in_body(steps in proptest::collection::vec(step(), 1..30), trip in 1u32..8) {
+        let l = build(&steps, trip);
+        for v in l.carried_regs() {
+            prop_assert!(!l.defs_of(v).is_empty());
+        }
+    }
+}

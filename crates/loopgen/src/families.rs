@@ -1,0 +1,324 @@
+//! Loop-family templates: Fortran-style innermost kernels.
+
+use vliw_ir::{Loop, LoopBuilder, RegClass};
+
+/// The kernel families the corpus is drawn from.
+///
+/// Each mirrors a shape that dominates Spec95 Fortran inner loops; `u` is
+/// the unroll factor (compilers unroll high-trip innermost loops before
+/// pipelining, which is where the corpus's ILP comes from).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// `y[i] += a·x[i]` — the canonical saxpy/daxpy.
+    Daxpy,
+    /// `s_j += x[i]·y[i]` with `u` reassociated partial sums.
+    Dot,
+    /// Three-point stencil `y[i] = c0·x[i] + c1·x[i+1] + c2·x[i+2]`.
+    Stencil,
+    /// First-order recurrence `s = a·s + x[i]` plus independent fill work.
+    Rec1,
+    /// `y[i] = c·x[i]`.
+    Scale,
+    /// Integer axpy over integer arrays (exercises the 5-cycle multiplier).
+    IntAxpy,
+    /// `s_j += x[i]²` reduction.
+    SumSq,
+    /// Quotient kernel `y[i] = (x[i]/c)·w[i]`.
+    DivMix,
+    /// Plain array copy `y[i] = x[i]`.
+    Copy,
+    /// Mixed float pipeline with an integer reduction alongside.
+    Mixed,
+    /// Four-tap FIR filter `y[i] = Σ c_k·x[i+k]` (long per-lane chains).
+    Fir,
+    /// Memory-carried recurrence `y[i+2] = a·y[i] + x[i]` (RecII through the
+    /// store→load pair, not a register).
+    Tridiag,
+}
+
+impl Family {
+    /// All families, in a stable order.
+    pub const ALL: [Family; 12] = [
+        Family::Daxpy,
+        Family::Dot,
+        Family::Stencil,
+        Family::Rec1,
+        Family::Scale,
+        Family::IntAxpy,
+        Family::SumSq,
+        Family::DivMix,
+        Family::Copy,
+        Family::Mixed,
+        Family::Fir,
+        Family::Tridiag,
+    ];
+
+    /// Short name used in loop names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Daxpy => "daxpy",
+            Family::Dot => "dot",
+            Family::Stencil => "stencil",
+            Family::Rec1 => "rec1",
+            Family::Scale => "scale",
+            Family::IntAxpy => "iaxpy",
+            Family::SumSq => "sumsq",
+            Family::DivMix => "divmix",
+            Family::Copy => "copy",
+            Family::Mixed => "mixed",
+            Family::Fir => "fir",
+            Family::Tridiag => "tridiag",
+        }
+    }
+
+    /// Build one loop of this family with unroll `u` and trip count `trip`
+    /// (`idx` only names the loop).
+    pub fn build(self, idx: usize, u: usize, trip: u32) -> Loop {
+        let u = u.max(1);
+        let name = format!("{}_u{}_{:03}", self.name(), u, idx);
+        let flen = u * trip as usize + 2 * u + 4;
+        match self {
+            Family::Daxpy => {
+                let mut b = LoopBuilder::new(name);
+                let x = b.array("x", RegClass::Float, flen);
+                let y = b.array("y", RegClass::Float, flen);
+                let a = b.live_in_float_val("a", 1.5);
+                for j in 0..u as i64 {
+                    let xv = b.load(x, j, u as i64);
+                    let yv = b.load(y, j, u as i64);
+                    let p = b.fmul(a, xv);
+                    let s = b.fadd(yv, p);
+                    b.store(y, j, u as i64, s);
+                }
+                b.finish(trip)
+            }
+            Family::Dot => {
+                let mut b = LoopBuilder::new(name);
+                let x = b.array("x", RegClass::Float, flen);
+                let y = b.array("y", RegClass::Float, flen);
+                let mut sums = Vec::new();
+                for j in 0..u {
+                    let s = b.live_in_float_val(&format!("s{j}"), 0.0);
+                    sums.push(s);
+                }
+                for (j, &s) in sums.iter().enumerate() {
+                    let xv = b.load(x, j as i64, u as i64);
+                    let yv = b.load(y, j as i64, u as i64);
+                    let p = b.fmul(xv, yv);
+                    b.fadd_into(s, s, p);
+                    b.live_out(s);
+                }
+                b.finish(trip)
+            }
+            Family::Stencil => {
+                let mut b = LoopBuilder::new(name);
+                let x = b.array("x", RegClass::Float, flen);
+                let y = b.array("y", RegClass::Float, flen);
+                let c0 = b.live_in_float_val("c0", 0.25);
+                let c1 = b.live_in_float_val("c1", 0.5);
+                let c2 = b.live_in_float_val("c2", 0.25);
+                for j in 0..u as i64 {
+                    let v0 = b.load(x, j, u as i64);
+                    let v1 = b.load(x, j + 1, u as i64);
+                    let v2 = b.load(x, j + 2, u as i64);
+                    let m0 = b.fmul(c0, v0);
+                    let m1 = b.fmul(c1, v1);
+                    let m2 = b.fmul(c2, v2);
+                    let t = b.fadd(m0, m1);
+                    let r = b.fadd(t, m2);
+                    b.store(y, j, u as i64, r);
+                }
+                b.finish(trip)
+            }
+            Family::Rec1 => {
+                let mut b = LoopBuilder::new(name);
+                let x = b.array("x", RegClass::Float, flen);
+                let y = b.array("y", RegClass::Float, flen);
+                let a = b.live_in_float_val("a", 0.5);
+                let s = b.live_in_float_val("s", 0.0);
+                let xv = b.load(x, 0, u as i64);
+                let t = b.fmul(a, s);
+                b.fadd_into(s, t, xv);
+                b.live_out(s);
+                // Independent fill work alongside the recurrence.
+                for j in 1..u as i64 {
+                    let v = b.load(x, j, u as i64);
+                    let w = b.fmul(a, v);
+                    b.store(y, j, u as i64, w);
+                }
+                b.finish(trip)
+            }
+            Family::Scale => {
+                let mut b = LoopBuilder::new(name);
+                let x = b.array("x", RegClass::Float, flen);
+                let y = b.array("y", RegClass::Float, flen);
+                let c = b.live_in_float_val("c", 2.5);
+                for j in 0..u as i64 {
+                    let v = b.load(x, j, u as i64);
+                    let w = b.fmul(c, v);
+                    b.store(y, j, u as i64, w);
+                }
+                b.finish(trip)
+            }
+            Family::IntAxpy => {
+                let mut b = LoopBuilder::new(name);
+                let x = b.array("ix", RegClass::Int, flen);
+                let y = b.array("iy", RegClass::Int, flen);
+                let a = b.live_in_int_val("a", 3);
+                for j in 0..u as i64 {
+                    let xv = b.load(x, j, u as i64);
+                    let yv = b.load(y, j, u as i64);
+                    let p = b.imul(a, xv);
+                    let s = b.iadd(yv, p);
+                    b.store(y, j, u as i64, s);
+                }
+                b.finish(trip)
+            }
+            Family::SumSq => {
+                let mut b = LoopBuilder::new(name);
+                let x = b.array("x", RegClass::Float, flen);
+                for j in 0..u {
+                    let s = b.live_in_float_val(&format!("s{j}"), 0.0);
+                    let v = b.load(x, j as i64, u as i64);
+                    let sq = b.fmul(v, v);
+                    b.fadd_into(s, s, sq);
+                    b.live_out(s);
+                }
+                b.finish(trip)
+            }
+            Family::DivMix => {
+                let mut b = LoopBuilder::new(name);
+                let x = b.array("x", RegClass::Float, flen);
+                let w = b.array("w", RegClass::Float, flen);
+                let y = b.array("y", RegClass::Float, flen);
+                let c = b.live_in_float_val("c", 4.0);
+                for j in 0..u as i64 {
+                    let xv = b.load(x, j, u as i64);
+                    let wv = b.load(w, j, u as i64);
+                    let q = b.fdiv(xv, c);
+                    let r = b.fmul(q, wv);
+                    b.store(y, j, u as i64, r);
+                }
+                b.finish(trip)
+            }
+            Family::Copy => {
+                let mut b = LoopBuilder::new(name);
+                let x = b.array("x", RegClass::Float, flen);
+                let y = b.array("y", RegClass::Float, flen);
+                for j in 0..u as i64 {
+                    let v = b.load(x, j, u as i64);
+                    b.store(y, j, u as i64, v);
+                }
+                b.finish(trip)
+            }
+            Family::Fir => {
+                let mut b = LoopBuilder::new(name);
+                let x = b.array("x", RegClass::Float, flen + 8);
+                let y = b.array("y", RegClass::Float, flen + 8);
+                let cs: Vec<_> = (0..4)
+                    .map(|k| b.live_in_float_val(&format!("c{k}"), 0.25 * (k as f64 + 1.0)))
+                    .collect();
+                for j in 0..u as i64 {
+                    let mut acc = None;
+                    for (k, &c) in cs.iter().enumerate() {
+                        let v = b.load(x, j + k as i64, u as i64);
+                        let m = b.fmul(c, v);
+                        acc = Some(match acc {
+                            None => m,
+                            Some(a) => b.fadd(a, m),
+                        });
+                    }
+                    b.store(y, j, u as i64, acc.unwrap());
+                }
+                b.finish(trip)
+            }
+            Family::Tridiag => {
+                let mut b = LoopBuilder::new(name);
+                let x = b.array("x", RegClass::Float, flen + 4);
+                let y = b.array("y", RegClass::Float, flen + 4);
+                let a = b.live_in_float_val("a", 0.5);
+                for j in 0..u as i64 {
+                    let yv = b.load(y, j, u as i64);
+                    let xv = b.load(x, j, u as i64);
+                    let t = b.fmul(a, yv);
+                    let r = b.fadd(t, xv);
+                    // Store two lanes ahead: iteration i's store feeds the
+                    // load of iteration i + 2/u — a carried MEMORY recurrence.
+                    b.store(y, j + 2, u as i64, r);
+                }
+                b.finish(trip)
+            }
+            Family::Mixed => {
+                let mut b = LoopBuilder::new(name);
+                let x = b.array("x", RegClass::Float, flen);
+                let y = b.array("y", RegClass::Float, flen);
+                let n = b.array("n", RegClass::Int, flen);
+                let a = b.live_in_float_val("a", 1.25);
+                let acc = b.live_in_int_val("acc", 0);
+                for j in 0..u as i64 {
+                    let xv = b.load(x, j, u as i64);
+                    let p = b.fmul(a, xv);
+                    let q = b.fadd(p, xv);
+                    b.store(y, j, u as i64, q);
+                    let iv = b.load(n, j, u as i64);
+                    b.iadd_into(acc, acc, iv);
+                }
+                b.live_out(acc);
+                b.finish(trip)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::verify_loop;
+
+    #[test]
+    fn every_family_builds_valid_loops() {
+        for fam in Family::ALL {
+            for u in [1, 2, 4, 8] {
+                let l = fam.build(0, u, 48);
+                verify_loop(&l).unwrap_or_else(|e| panic!("{} u{u}: {e}", fam.name()));
+                assert!(l.n_ops() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn recurrence_families_carry_values() {
+        assert!(!Family::Dot.build(0, 4, 32).carried_regs().is_empty());
+        assert!(!Family::Rec1.build(0, 4, 32).carried_regs().is_empty());
+        assert!(!Family::SumSq.build(0, 4, 32).carried_regs().is_empty());
+        assert!(Family::Daxpy.build(0, 4, 32).carried_regs().is_empty());
+        assert!(Family::Copy.build(0, 4, 32).carried_regs().is_empty());
+    }
+
+    #[test]
+    fn op_counts_scale_with_unroll() {
+        let l2 = Family::Daxpy.build(0, 2, 32);
+        let l8 = Family::Daxpy.build(0, 8, 32);
+        assert_eq!(l2.n_ops(), 10);
+        assert_eq!(l8.n_ops(), 40);
+        assert_eq!(Family::Stencil.build(0, 2, 32).n_ops(), 18);
+    }
+
+    #[test]
+    fn extended_families_have_expected_structure() {
+        let fir = Family::Fir.build(0, 2, 32);
+        vliw_ir::verify_loop(&fir).unwrap();
+        assert_eq!(fir.n_ops(), 2 * (4 + 4 + 3 + 1)); // 4 loads, 4 muls, 3 adds, store per lane
+
+        let tri = Family::Tridiag.build(0, 2, 32);
+        vliw_ir::verify_loop(&tri).unwrap();
+        // Memory-carried recurrence shows up in the DDG, not carried_regs.
+        assert!(tri.carried_regs().is_empty());
+    }
+
+    #[test]
+    fn names_encode_family_and_index() {
+        let l = Family::Dot.build(17, 4, 32);
+        assert!(l.name.starts_with("dot_u4_017"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # vliw-machine — clustered VLIW machine descriptions
+//!
+//! Describes the architectural meta-model of the paper's §6.1: a `W`-wide ILP
+//! machine whose `W` general-purpose functional units are grouped into `N`
+//! clusters, each cluster owning one multi-ported register bank. Two copy
+//! models connect the clusters:
+//!
+//! * **Embedded** — a cross-bank copy is an explicit operation that occupies
+//!   an issue slot of one of the destination cluster's functional units.
+//! * **Copy-unit** — dedicated busses and extra register-bank ports carry
+//!   copies, so no functional-unit issue slot is consumed; instead the copy
+//!   reserves a bus and a copy port at the destination cluster for its issue
+//!   cycle.
+//!
+//! The latency table reproduces §6.1 exactly (integer copy 2, float copy 3,
+//! load 2, integer multiply 5, integer divide 12, other integer 1, all listed
+//! float ops 2, store 4).
+
+#![warn(missing_docs)]
+
+pub mod desc;
+pub mod latency;
+
+pub use desc::{ClusterDesc, ClusterId, CopyModel, MachineDesc};
+pub use latency::LatencyTable;

@@ -1,0 +1,131 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--table1] [--table2] [--fig5] [--fig6] [--fig7]
+//!       [--example] [--ablation] [--latency-sweep] [--all]
+//!       [--loops N]   # truncate the corpus for a quick run
+//! ```
+//!
+//! `--csv PATH` additionally writes per-loop rows for every paper machine
+//! model to PATH. With no flags, `--all` is assumed.
+
+use vliw_machine::MachineDesc;
+use vliw_pipeline::{
+    ablation, fig_histogram, latency_sweep, paper_example, render_ablation,
+    render_scheduler_compare, scheduler_compare, table1, table2, PipelineConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |f: &str| args.iter().any(|a| a == f);
+    let all = args.is_empty() || has("--all");
+
+    let mut n_loops = vliw_loopgen::CORPUS_SIZE;
+    if let Some(pos) = args.iter().position(|a| a == "--loops") {
+        n_loops = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(n_loops);
+    }
+    let mut corpus = vliw_loopgen::corpus();
+    corpus.truncate(n_loops);
+    let cfg = PipelineConfig::default();
+
+    println!(
+        "rcg-vliw reproduction — {} loops, 16-wide machines, paper latencies\n",
+        corpus.len()
+    );
+
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        let path = args.get(pos + 1).cloned().unwrap_or_else(|| "repro.csv".into());
+        let mut out = String::from(
+            "machine,loop,ops,ideal_ii,clustered_ii,copies,hoisted,normalized,ideal_ipc,clustered_ipc,mve_unroll,fp_pressure,spills\n",
+        );
+        for m in vliw_pipeline::paper_machines() {
+            for r in vliw_pipeline::run_corpus(&corpus, &m, &cfg) {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{:.2},{:.3},{:.3},{},{},{}\n",
+                    m.name,
+                    r.name,
+                    r.n_ops,
+                    r.ideal_ii,
+                    r.clustered_ii,
+                    r.n_copies,
+                    r.n_hoisted,
+                    r.normalized,
+                    r.ideal_ipc,
+                    r.clustered_ipc,
+                    r.mve_unroll,
+                    r.peak_float_pressure,
+                    r.spills
+                ));
+            }
+        }
+        std::fs::write(&path, out).expect("write csv");
+        println!("per-loop results written to {path}\n");
+    }
+    if all || has("--example") {
+        let ex = paper_example();
+        println!("Figures 1-3: the xpos worked example (2 FUs, unit latency)");
+        println!("  ideal schedule      : {} cycles (paper: 7)", ex.ideal_span);
+        println!(
+            "  2-bank partitioned  : {} cycles, {} copies (paper: 9 cycles, 2 copies)\n",
+            ex.clustered_span, ex.n_copies
+        );
+    }
+    if all || has("--table1") {
+        println!("{}", table1(&corpus, &cfg).render());
+        println!("  (paper: Ideal 8.6; Clustered 9.3/6.2, 8.4/7.5, 6.9/6.8)\n");
+    }
+    if all || has("--table2") {
+        println!("{}", table2(&corpus, &cfg).render());
+        println!("  (paper: arith 111/150, 126/122, 162/133; harm 109/127, 119/115, 138/124)\n");
+    }
+    for (flag, n, paper_zero) in [("--fig5", 2usize, 60.0), ("--fig6", 4, 50.0), ("--fig7", 8, 40.0)]
+    {
+        if all || has(flag) {
+            let f = fig_histogram(&corpus, n, &cfg);
+            println!("{}", f.render());
+            println!(
+                "  zero-degradation: {:.1}% embedded / {:.1}% copy-unit (paper: ~{}%)\n",
+                f.embedded.percent_undegraded(),
+                f.copy_unit.percent_undegraded(),
+                paper_zero
+            );
+        }
+    }
+    if all || has("--ablation") {
+        let rows = ablation(&corpus, &MachineDesc::embedded(4, 4));
+        println!(
+            "{}",
+            render_ablation(&rows, "Ablation A: partitioners on 4x4 embedded")
+        );
+        println!();
+    }
+    if all || has("--schedulers") {
+        let rows = scheduler_compare(&corpus, &MachineDesc::embedded(4, 4));
+        println!(
+            "{}",
+            render_scheduler_compare(
+                &rows,
+                "Scheduler comparison (§6.3): Rau IMS vs Llosa swing, 4x4 embedded"
+            )
+        );
+        println!();
+    }
+    if all || has("--whole-programs") {
+        let (arith, harm, copies) = vliw_pipeline::whole_programs(40);
+        println!("Whole programs ([16]'s experiment): 40 functions on a 4-wide machine, 4 partitions of 1 FU");
+        println!(
+            "  weighted degradation: arith {:.0}, harm {:.0} (companion study: ~111); total copies {}\n",
+            arith, harm, copies
+        );
+    }
+    if all || has("--latency-sweep") {
+        let rows = latency_sweep(&corpus, 4);
+        println!(
+            "{}",
+            render_ablation(&rows, "Ablation B: copy latency on 4-cluster machines")
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! The per-loop pipeline driver: §4's five steps plus validation.
+
+use vliw_core::{
+    bug_partition, build_rcg, component_partition, insert_copies, round_robin_partition,
+    Partition, PartitionConfig,
+};
+use vliw_ddg::{build_ddg, compute_slack};
+use vliw_ir::Loop;
+use vliw_machine::{CopyModel, MachineDesc};
+use vliw_regalloc::allocate;
+use vliw_ddg::Ddg;
+use vliw_sched::{
+    schedule_loop, sms_schedule_loop, verify_schedule, ImsConfig, SchedProblem, Schedule,
+    SmsConfig,
+};
+use vliw_sim::check_equivalence;
+
+/// Which partitioner to run in step 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionerKind {
+    /// The paper's greedy RCG heuristic (§5).
+    Greedy,
+    /// Greedy plus iterative refinement (§7 future work); fields are
+    /// `(rounds, beam)`.
+    Iterated(usize, usize),
+    /// Ellis-style bottom-up greedy on the operation DAG.
+    Bug,
+    /// Positive-component packing only.
+    Component,
+    /// Round-robin.
+    RoundRobin,
+}
+
+/// Which modulo scheduler produces the ideal and clustered schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Rau's iterative modulo scheduling — what the paper uses (§2).
+    Ims,
+    /// Llosa's swing modulo scheduling — what Nystrom & Eichenberger use
+    /// (§6.3); lifetime-sensitive.
+    Swing,
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Partitioner choice.
+    pub partitioner: PartitionerKind,
+    /// Scheduler choice.
+    pub scheduler: SchedulerKind,
+    /// RCG weight constants.
+    pub partition: PartitionConfig,
+    /// Scheduler knobs.
+    pub ims: ImsConfig,
+    /// Run the cycle-accurate simulator and compare against the scalar
+    /// reference (strong but ~trip-count-proportional cost).
+    pub simulate: bool,
+    /// Additionally execute the final code on PHYSICAL registers (post-MVE
+    /// renaming + Chaitin/Briggs assignment) and compare bit-for-bit.
+    /// Implies `allocate`.
+    pub simulate_physical: bool,
+    /// Run Chaitin/Briggs per bank and record pressure/spills.
+    pub allocate: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            partitioner: PartitionerKind::Greedy,
+            scheduler: SchedulerKind::Ims,
+            partition: PartitionConfig::default(),
+            ims: ImsConfig::default(),
+            simulate: false,
+            simulate_physical: false,
+            allocate: true,
+        }
+    }
+}
+
+/// Everything measured about one loop on one machine.
+#[derive(Debug, Clone)]
+pub struct LoopResult {
+    /// Loop name.
+    pub name: String,
+    /// Original (pre-copy) operation count.
+    pub n_ops: usize,
+    /// II of the ideal monolithic schedule.
+    pub ideal_ii: u32,
+    /// II after partitioning, copy insertion and rescheduling.
+    pub clustered_ii: u32,
+    /// Kernel copies inserted.
+    pub n_copies: usize,
+    /// Hoisted (pre-loop) invariant copies.
+    pub n_hoisted: usize,
+    /// Ideal kernel IPC (`n_ops / ideal_ii`).
+    pub ideal_ipc: f64,
+    /// Clustered kernel IPC. Embedded model counts copies as issued
+    /// operations; copy-unit does not (§6.2, Table 1).
+    pub clustered_ipc: f64,
+    /// Degradation normalised to 100 (`100·clustered_ii/ideal_ii`,
+    /// Table 2's metric).
+    pub normalized: f64,
+    /// Spills during per-bank colouring (0 in every paper-scale run).
+    pub spills: usize,
+    /// MVE kernel unroll factor chosen by the allocator.
+    pub mve_unroll: u32,
+    /// Peak float-register pressure in the busiest bank (0 if allocation
+    /// disabled) — the statistic swing scheduling exists to lower.
+    pub peak_float_pressure: usize,
+    /// Chaitin spill rounds taken before colouring succeeded (0 = first
+    /// try; paper-scale banks never need any).
+    pub spill_rounds: usize,
+    /// `Some(true)` = simulated and bit-exact vs the scalar reference;
+    /// `None` = simulation disabled.
+    pub sim_ok: Option<bool>,
+}
+
+impl LoopResult {
+    /// Degradation as a percentage over ideal (0 = none).
+    pub fn degradation_pct(&self) -> f64 {
+        self.normalized - 100.0
+    }
+}
+
+/// Schedule with the configured scheduler, falling back to IMS if swing
+/// scheduling exhausts its II attempts (rare; keeps the harness total).
+pub fn schedule_with(
+    cfg: &PipelineConfig,
+    problem: &SchedProblem<'_>,
+    ddg: &Ddg,
+) -> Schedule {
+    match cfg.scheduler {
+        SchedulerKind::Ims => schedule_loop(problem, ddg, &cfg.ims).expect("IMS schedules"),
+        SchedulerKind::Swing => sms_schedule_loop(problem, ddg, &SmsConfig::default())
+            .unwrap_or_else(|_| schedule_loop(problem, ddg, &cfg.ims).expect("IMS fallback")),
+    }
+}
+
+/// Run the full pipeline for `body` on `machine`.
+///
+/// The ideal schedule is always produced on a monolithic machine of the same
+/// issue width and latencies (§4.1's definition), regardless of `machine`'s
+/// clustering.
+pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> LoopResult {
+    // Steps 1–2: DDG + ideal schedule on the monolithic twin.
+    let ideal_machine = MachineDesc::monolithic(machine.issue_width())
+        .with_latencies(machine.latencies.clone());
+    let ddg = build_ddg(body, &machine.latencies);
+    let ideal_problem = SchedProblem::ideal(body, &ideal_machine);
+    let ideal = schedule_with(cfg, &ideal_problem, &ddg);
+    debug_assert!(verify_schedule(&ideal_problem, &ddg, &ideal).is_ok());
+    let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
+
+    // Step 3: partition registers to banks.
+    let n_banks = machine.n_clusters();
+    let partition: Partition = match cfg.partitioner {
+        PartitionerKind::Greedy => {
+            let rcg = build_rcg(body, &ideal, &slack, &cfg.partition);
+            let caps: Vec<usize> = machine.clusters.iter().map(|c| c.n_fus).collect();
+            vliw_core::assign_banks_caps(&rcg, &caps, &cfg.partition)
+        }
+        PartitionerKind::Iterated(rounds, beam) => {
+            vliw_core::iterated_partition(body, machine, &cfg.partition, rounds, beam).partition
+        }
+        PartitionerKind::Bug => bug_partition(body, &slack, machine),
+        PartitionerKind::Component => {
+            let rcg = build_rcg(body, &ideal, &slack, &cfg.partition);
+            component_partition(&rcg, n_banks)
+        }
+        PartitionerKind::RoundRobin => round_robin_partition(body.n_vregs(), n_banks),
+    };
+
+    // Step 4: copies + clustered reschedule.
+    let clustered = insert_copies(body, &partition);
+    debug_assert!(clustered.all_operands_local());
+    let mut work_body = clustered.body.clone();
+    let mut work_cluster = clustered.cluster_of.clone();
+    let mut work_banks = clustered.vreg_bank.clone();
+    let mut cddg = build_ddg(&work_body, &machine.latencies);
+    let mut sched = {
+        let problem = SchedProblem::clustered(&work_body, machine, &work_cluster);
+        let s = schedule_with(cfg, &problem, &cddg);
+        debug_assert!(verify_schedule(&problem, &cddg, &s).is_ok());
+        s
+    };
+
+    // Step 5: per-bank Chaitin/Briggs, with the classic build–colour–spill
+    // loop: uncolourable values get spill code and the kernel is
+    // rescheduled, until colouring succeeds or no candidate is spillable.
+    let (spills, mve_unroll, peak_float_pressure, spill_rounds) = if cfg.allocate {
+        let mut rounds = 0usize;
+        // Chaitin's rule: ranges created BY spilling (reload temporaries and
+        // once-spilled values) have infinite spill cost — re-spilling them
+        // only thrashes. Everything at or above this index is off-limits.
+        let spill_temp_floor = work_body.n_vregs();
+        let mut already_spilled: Vec<vliw_ir::VReg> = Vec::new();
+        loop {
+            let alloc = allocate(&work_body, &cddg, &sched, &work_banks, machine);
+            if alloc.total_spills() == 0 || rounds >= 8 {
+                break (
+                    alloc.total_spills(),
+                    alloc.unroll,
+                    alloc.peak_pressure(vliw_ir::RegClass::Float),
+                    rounds,
+                );
+            }
+            let mut victims: Vec<vliw_ir::VReg> = alloc
+                .spilled
+                .iter()
+                .map(|&(v, _)| v)
+                .filter(|&v| {
+                    v.index() < spill_temp_floor
+                        && !already_spilled.contains(&v)
+                        && vliw_regalloc::spillable(&work_body, v)
+                })
+                .collect();
+            victims.sort_unstable();
+            victims.dedup();
+            let Some(out) =
+                vliw_regalloc::insert_spill_code(&work_body, &work_cluster, &work_banks, &victims)
+            else {
+                break (
+                    alloc.total_spills(),
+                    alloc.unroll,
+                    alloc.peak_pressure(vliw_ir::RegClass::Float),
+                    rounds,
+                );
+            };
+            already_spilled.extend(out.spilled.iter().copied());
+            work_body = out.body;
+            work_cluster = out.cluster_of;
+            work_banks = out.vreg_bank;
+            cddg = build_ddg(&work_body, &machine.latencies);
+            let problem = SchedProblem::clustered(&work_body, machine, &work_cluster);
+            sched = schedule_with(cfg, &problem, &cddg);
+            debug_assert!(verify_schedule(&problem, &cddg, &sched).is_ok());
+            rounds += 1;
+        }
+    } else {
+        (0, 0, 0, 0)
+    };
+    let clustered_final_body = work_body;
+    let clustered_final_banks = work_banks;
+
+    let mut sim_ok = if cfg.simulate {
+        Some(check_equivalence(&clustered_final_body, &sched, &machine.latencies).is_ok())
+    } else {
+        None
+    };
+    if cfg.simulate_physical && sim_ok != Some(false) {
+        let alloc = allocate(&clustered_final_body, &cddg, &sched, &clustered_final_banks, machine);
+        let ok = alloc.total_spills() == 0
+            && vliw_sim::check_physical_equivalence(
+                &clustered_final_body,
+                &sched,
+                &machine.latencies,
+                &clustered_final_banks,
+                &alloc,
+            )
+            .is_ok();
+        sim_ok = Some(sim_ok.unwrap_or(true) && ok);
+    }
+
+    let n_ops = body.n_ops();
+    let counted = match machine.copy_model {
+        CopyModel::Embedded => n_ops + clustered.n_kernel_copies,
+        CopyModel::CopyUnit { .. } => n_ops,
+    };
+
+    LoopResult {
+        name: body.name.clone(),
+        n_ops,
+        ideal_ii: ideal.ii,
+        clustered_ii: sched.ii,
+        n_copies: clustered.n_kernel_copies,
+        n_hoisted: clustered.n_hoisted_copies,
+        ideal_ipc: n_ops as f64 / ideal.ii as f64,
+        clustered_ipc: counted as f64 / sched.ii as f64,
+        normalized: 100.0 * sched.ii as f64 / ideal.ii as f64,
+        spills,
+        mve_unroll,
+        peak_float_pressure,
+        spill_rounds,
+        sim_ok,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_loopgen::Family;
+
+    #[test]
+    fn monolithic_machine_has_no_degradation() {
+        let l = Family::Daxpy.build(0, 8, 48);
+        let m = MachineDesc::monolithic(16);
+        let r = run_loop(&l, &m, &PipelineConfig::default());
+        assert_eq!(r.ideal_ii, r.clustered_ii);
+        assert_eq!(r.n_copies, 0);
+        assert_eq!(r.normalized, 100.0);
+        assert_eq!(r.spills, 0);
+    }
+
+    #[test]
+    fn clustered_run_validates_end_to_end() {
+        let l = Family::Daxpy.build(0, 8, 48);
+        let m = MachineDesc::embedded(4, 4);
+        let cfg = PipelineConfig {
+            simulate: true,
+            ..Default::default()
+        };
+        let r = run_loop(&l, &m, &cfg);
+        assert_eq!(r.sim_ok, Some(true));
+        assert!(r.clustered_ii >= r.ideal_ii);
+        assert!(r.normalized >= 100.0);
+    }
+
+    #[test]
+    fn all_partitioners_produce_valid_pipelines() {
+        let l = Family::Stencil.build(1, 3, 40);
+        let m = MachineDesc::copy_unit(4, 4);
+        for kind in [
+            PartitionerKind::Greedy,
+            PartitionerKind::Bug,
+            PartitionerKind::Component,
+            PartitionerKind::RoundRobin,
+            PartitionerKind::Iterated(2, 4),
+        ] {
+            let cfg = PipelineConfig {
+                partitioner: kind,
+                simulate: true,
+                ..Default::default()
+            };
+            let r = run_loop(&l, &m, &cfg);
+            assert_eq!(r.sim_ok, Some(true), "{kind:?} broke semantics");
+        }
+    }
+
+    #[test]
+    fn round_robin_needs_more_copies_than_greedy() {
+        let l = Family::Daxpy.build(0, 8, 48);
+        let m = MachineDesc::embedded(4, 4);
+        let greedy = run_loop(&l, &m, &PipelineConfig::default());
+        let rr = run_loop(
+            &l,
+            &m,
+            &PipelineConfig {
+                partitioner: PartitionerKind::RoundRobin,
+                ..Default::default()
+            },
+        );
+        assert!(
+            rr.n_copies > greedy.n_copies,
+            "round-robin {} vs greedy {}",
+            rr.n_copies,
+            greedy.n_copies
+        );
+    }
+}

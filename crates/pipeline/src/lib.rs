@@ -1,0 +1,33 @@
+//! # vliw-pipeline — end-to-end driver and experiment harness
+//!
+//! Glues the substrates into the paper's five-step flow (§4) and regenerates
+//! every table and figure of the evaluation (§6):
+//!
+//! * [`driver::run_loop`] — ideal schedule → RCG partition → copy insertion →
+//!   clustered reschedule → per-bank colouring → simulation oracle, for one
+//!   loop on one machine;
+//! * [`stats`] — arithmetic/harmonic means and the degradation histogram
+//!   buckets of Figures 5–7;
+//! * [`experiments`] — Table 1 (IPC), Table 2 (normalised degradation),
+//!   Figures 5–7 (degradation histograms), the partitioner ablation, the
+//!   copy-latency sweep, and the iterated-greedy extension;
+//! * the `repro` binary prints any of them as ASCII tables.
+//!
+//! Corpus evaluation is embarrassingly parallel across loops and uses rayon.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod function;
+pub mod experiments;
+pub mod stats;
+
+pub use driver::{run_loop, schedule_with, LoopResult, PartitionerKind, PipelineConfig, SchedulerKind};
+pub use function::{run_function, BlockResult, FunctionResult};
+pub use experiments::{
+    ablation, fig_histogram, latency_sweep, paper_example, paper_machines, render_ablation,
+    render_scheduler_compare, run_corpus, scheduler_compare, table1, table2, whole_programs,
+    AblationRow,
+    HistogramRow, PaperExample, SchedulerRow, Table1, Table2,
+};
+pub use stats::{arith_mean, degradation_bucket, harmonic_mean, Histogram, BUCKET_LABELS};

@@ -1,0 +1,118 @@
+//! Summary statistics: means and the degradation histogram of Figures 5–7.
+
+/// Histogram bucket labels exactly as in the paper's figures.
+pub const BUCKET_LABELS: [&str; 11] = [
+    "0.00%", "<10%", "<20%", "<30%", "<40%", "<50%", "<60%", "<70%", "<80%", "<90%", ">90%",
+];
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn arith_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Harmonic mean (0.0 for an empty slice; panics on non-positive values,
+/// which cannot occur for normalised degradations ≥ 100).
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!(xs.iter().all(|&x| x > 0.0));
+    xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+}
+
+/// Bucket index (0..=10) for a degradation percentage (0 = exactly no
+/// degradation, 1 = under 10%, …, 10 = 90% or more).
+pub fn degradation_bucket(pct: f64) -> usize {
+    if pct <= 0.0 {
+        0
+    } else if pct >= 90.0 {
+        10
+    } else {
+        1 + (pct / 10.0) as usize
+    }
+}
+
+/// A percentage-of-loops histogram over the 11 degradation buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Loop counts per bucket.
+    pub counts: [usize; 11],
+    /// Total loops.
+    pub total: usize,
+}
+
+impl Histogram {
+    /// Build from degradation percentages.
+    pub fn from_degradations(pcts: &[f64]) -> Self {
+        let mut counts = [0usize; 11];
+        for &p in pcts {
+            counts[degradation_bucket(p)] += 1;
+        }
+        Histogram {
+            counts,
+            total: pcts.len(),
+        }
+    }
+
+    /// Percentage of loops in bucket `i`.
+    pub fn percent(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Percentage of loops with zero degradation (the statistic Nystrom and
+    /// Eichenberger report, §6.3).
+    pub fn percent_undegraded(&self) -> f64 {
+        self.percent(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(arith_mean(&[100.0, 120.0]), 110.0);
+        let h = harmonic_mean(&[100.0, 200.0]);
+        assert!((h - 400.0 / 3.0).abs() < 1e-9);
+        assert!(harmonic_mean(&[100.0, 120.0]) < arith_mean(&[100.0, 120.0]));
+        assert_eq!(arith_mean(&[]), 0.0);
+        assert_eq!(harmonic_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn buckets_match_figure_axes() {
+        assert_eq!(degradation_bucket(0.0), 0);
+        assert_eq!(degradation_bucket(0.1), 1);
+        assert_eq!(degradation_bucket(9.99), 1);
+        assert_eq!(degradation_bucket(10.0), 2);
+        assert_eq!(degradation_bucket(33.3), 4);
+        assert_eq!(degradation_bucket(89.9), 9);
+        assert_eq!(degradation_bucket(90.0), 10);
+        assert_eq!(degradation_bucket(250.0), 10);
+    }
+
+    #[test]
+    fn histogram_percentages() {
+        let h = Histogram::from_degradations(&[0.0, 0.0, 5.0, 50.0]);
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(h.counts[6], 1);
+        assert_eq!(h.percent_undegraded(), 50.0);
+        assert_eq!(h.percent(6), 25.0);
+    }
+
+    #[test]
+    fn labels_count_matches_buckets() {
+        assert_eq!(BUCKET_LABELS.len(), 11);
+        let h = Histogram::from_degradations(&[]);
+        assert_eq!(h.counts.len(), BUCKET_LABELS.len());
+    }
+}

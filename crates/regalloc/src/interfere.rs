@@ -1,0 +1,88 @@
+//! Interference graph over live-range nodes.
+
+use crate::live::LiveRange;
+
+/// Undirected interference graph; node indices refer to the range slice it
+/// was built from.
+#[derive(Debug, Clone)]
+pub struct InterferenceGraph {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl InterferenceGraph {
+    /// Build from cyclic live ranges: two nodes interfere iff their
+    /// intervals overlap. Instances of the same register DO interfere when
+    /// their (longer-than-II) lifetimes overlap — that is exactly what MVE
+    /// renaming is for.
+    pub fn build(ranges: &[LiveRange]) -> Self {
+        let n = ranges.len();
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if ranges[i].interval.overlaps(&ranges[j].interval) {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        InterferenceGraph { n, adj }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Degree of node `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+
+    /// Neighbours of node `i`.
+    pub fn neighbours(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Do `i` and `j` interfere?
+    pub fn interferes(&self, i: usize, j: usize) -> bool {
+        self.adj[i].contains(&j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::live::CyclicInterval;
+    use vliw_ir::VReg;
+
+    fn mk(start: i64, len: i64) -> LiveRange {
+        LiveRange {
+            vreg: VReg(0),
+            instance: 0,
+            interval: CyclicInterval::new(start, len, 10),
+            cost: 1.0,
+        }
+    }
+
+    #[test]
+    fn builds_expected_edges() {
+        let ranges = vec![mk(0, 3), mk(2, 2), mk(5, 3), mk(8, 4)];
+        let g = InterferenceGraph::build(&ranges);
+        assert!(g.interferes(0, 1));
+        assert!(!g.interferes(0, 2));
+        // [5,8) vs the wrapping [8,12)≡{8,9,0,1}: disjoint.
+        assert!(!g.interferes(2, 3));
+        // [0,3) vs {8,9,0,1}: overlap at 0,1.
+        assert!(g.interferes(0, 3));
+    }
+
+    #[test]
+    fn wrapping_edges() {
+        let ranges = vec![mk(8, 4), mk(0, 2), mk(4, 2)];
+        let g = InterferenceGraph::build(&ranges);
+        assert!(g.interferes(0, 1)); // wrap covers 0,1
+        assert!(!g.interferes(0, 2));
+        assert_eq!(g.degree(2), 0);
+    }
+}

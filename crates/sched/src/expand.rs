@@ -1,0 +1,168 @@
+//! Flat code expansion: prelude, kernel, postlude.
+//!
+//! A modulo schedule issues operation `o` of iteration `i` at cycle
+//! `i·II + time(o)`. Expanding that over the loop's trip count yields the
+//! flat instruction stream of §2: `(SC−1)·II` cycles of prelude filling the
+//! pipeline, a steady-state kernel executed while whole iterations overlap,
+//! and a postlude draining the final `SC−1` stages (SC = stage count).
+
+use crate::schedule::Schedule;
+use vliw_ir::{Loop, OpId};
+
+/// One issued operation instance in the flat program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Issue {
+    /// Which body operation.
+    pub op: OpId,
+    /// Which loop iteration it belongs to.
+    pub iter: u32,
+}
+
+/// The fully expanded (prelude + kernel repetitions + postlude) program.
+#[derive(Debug, Clone)]
+pub struct FlatProgram {
+    /// Instructions, one per cycle; each holds the ops issued that cycle.
+    pub cycles: Vec<Vec<Issue>>,
+    /// The initiation interval the program was expanded from.
+    pub ii: u32,
+    /// Pipeline stage count.
+    pub stage_count: u32,
+    /// Cycles of prelude before the first steady-state kernel instruction
+    /// (0 when the trip count is too small for the pipeline to fill).
+    pub prelude_cycles: usize,
+    /// Number of steady-state kernel repetitions.
+    pub kernel_reps: u32,
+}
+
+impl FlatProgram {
+    /// Total cycle count of the expanded program.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// True when no cycles were generated (zero-trip loop).
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Total dynamic operation count.
+    pub fn n_issues(&self) -> usize {
+        self.cycles.iter().map(Vec::len).sum()
+    }
+}
+
+/// Expand `s` over `body.trip_count` iterations.
+pub fn expand(body: &Loop, s: &Schedule) -> FlatProgram {
+    let trip = body.trip_count;
+    let sc = s.stage_count();
+    if trip == 0 || body.n_ops() == 0 {
+        return FlatProgram {
+            cycles: Vec::new(),
+            ii: s.ii,
+            stage_count: sc,
+            prelude_cycles: 0,
+            kernel_reps: 0,
+        };
+    }
+    // Last issue happens at (trip-1)·II + max(time).
+    let max_t = s.times.iter().copied().max().unwrap_or(0);
+    let total = (trip as i64 - 1) * s.ii as i64 + max_t + 1;
+    let mut cycles: Vec<Vec<Issue>> = vec![Vec::new(); total as usize];
+    for iter in 0..trip {
+        for (i, &t) in s.times.iter().enumerate() {
+            let cycle = iter as i64 * s.ii as i64 + t;
+            cycles[cycle as usize].push(Issue {
+                op: OpId(i as u32),
+                iter,
+            });
+        }
+    }
+    let (prelude_cycles, kernel_reps) = if trip >= sc {
+        (((sc - 1) * s.ii) as usize, trip - sc + 1)
+    } else {
+        (0, 0)
+    };
+    FlatProgram {
+        cycles,
+        ii: s.ii,
+        stage_count: sc,
+        prelude_cycles,
+        kernel_reps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_machine::ClusterId;
+
+    fn body(n_ops: usize, trip: u32) -> Loop {
+        let mut b = vliw_ir::LoopBuilder::new("e");
+        for _ in 0..n_ops {
+            b.fconst_new(1.0);
+        }
+        b.finish(trip)
+    }
+
+    fn sched(ii: u32, times: Vec<i64>) -> Schedule {
+        let clusters = vec![ClusterId(0); times.len()];
+        Schedule { ii, times, clusters }
+    }
+
+    #[test]
+    fn expansion_covers_every_issue() {
+        let l = body(3, 5);
+        let s = sched(2, vec![0, 1, 3]);
+        let p = expand(&l, &s);
+        assert_eq!(p.n_issues(), 15);
+        // length = 4·2 + 3 + 1 = 12
+        assert_eq!(p.len(), 12);
+        // stage count = floor(3/2)+1 = 2; prelude = 1·2 = 2 cycles.
+        assert_eq!(p.stage_count, 2);
+        assert_eq!(p.prelude_cycles, 2);
+        assert_eq!(p.kernel_reps, 4);
+        // First cycle issues op0 of iteration 0 only.
+        assert_eq!(p.cycles[0], vec![Issue { op: OpId(0), iter: 0 }]);
+        // Cycle 2 overlaps iteration 1's op0 with iteration 0's op... op2 of
+        // iter 0 issues at cycle 3; cycle 2 has op0/iter1 only.
+        assert_eq!(p.cycles[2], vec![Issue { op: OpId(0), iter: 1 }]);
+        assert!(p.cycles[3].contains(&Issue { op: OpId(2), iter: 0 }));
+        assert!(p.cycles[3].contains(&Issue { op: OpId(1), iter: 1 }));
+    }
+
+    #[test]
+    fn short_trip_never_fills_pipeline() {
+        let l = body(2, 1);
+        let s = sched(1, vec![0, 4]); // 5 stages
+        let p = expand(&l, &s);
+        assert_eq!(p.kernel_reps, 0);
+        assert_eq!(p.prelude_cycles, 0);
+        assert_eq!(p.n_issues(), 2);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn zero_trip_is_empty() {
+        let l = body(2, 0);
+        let s = sched(1, vec![0, 1]);
+        let p = expand(&l, &s);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn issues_ordered_by_cycle() {
+        let l = body(4, 3);
+        let s = sched(3, vec![0, 1, 2, 5]);
+        let p = expand(&l, &s);
+        // Every issue's cycle matches iter·II + time.
+        for (c, issues) in p.cycles.iter().enumerate() {
+            for iss in issues {
+                assert_eq!(
+                    c as i64,
+                    iss.iter as i64 * 3 + s.time(iss.op),
+                    "misplaced issue"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! Rau-style iterative modulo scheduling (MICRO-27, 1994).
+//!
+//! For each candidate II starting at `MinII = max(ResII, RecII)`, operations
+//! are placed in priority order (most critical first, by latest-start time).
+//! An operation whose dependence window contains no resource-feasible slot is
+//! *forced* into place, evicting the operations that conflict with it; the
+//! evicted operations return to the worklist. A per-II budget bounds the
+//! total number of placements; when it is exhausted the II is bumped and
+//! scheduling restarts. A sequential fallback schedule (one operation per
+//! kernel row) guarantees termination for any loop the IR can express.
+
+use crate::mrt::ModuloReservationTable;
+use crate::problem::{OpPlacement, SchedProblem};
+use crate::schedule::Schedule;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use vliw_ddg::{compute_slack, rec_ii, Ddg};
+use vliw_ir::OpId;
+use vliw_machine::ClusterId;
+
+/// Tuning knobs for the iterative modulo scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct ImsConfig {
+    /// Placement budget per II attempt, as a multiple of the op count
+    /// (Rau's `BudgetRatio`).
+    pub budget_ratio: u32,
+    /// How many candidate IIs to try above MinII before falling back to the
+    /// sequential schedule.
+    pub max_ii_tries: u32,
+}
+
+impl Default for ImsConfig {
+    fn default() -> Self {
+        ImsConfig {
+            budget_ratio: 12,
+            max_ii_tries: 48,
+        }
+    }
+}
+
+/// Scheduling failure (only possible if the fallback is disabled by a
+/// degenerate machine description).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// No II up to the given bound produced a schedule.
+    NoIiFound(u32),
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::NoIiFound(ii) => write!(f, "no feasible II found up to {ii}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Modulo-schedule `problem` against its dependence graph `ddg`.
+pub fn schedule_loop(
+    problem: &SchedProblem<'_>,
+    ddg: &Ddg,
+    cfg: &ImsConfig,
+) -> Result<Schedule, SchedError> {
+    assert_eq!(ddg.n_ops(), problem.n_ops());
+    if problem.n_ops() == 0 {
+        return Ok(Schedule {
+            ii: 1,
+            times: Vec::new(),
+            clusters: Vec::new(),
+        });
+    }
+    let min_ii = problem.res_ii().max(rec_ii(ddg));
+    for ii in min_ii..min_ii + cfg.max_ii_tries {
+        if let Some(s) = try_ii(problem, ddg, ii, cfg) {
+            return Ok(s);
+        }
+    }
+    sequential_fallback(problem, ddg, min_ii).ok_or(SchedError::NoIiFound(
+        min_ii + cfg.max_ii_tries,
+    ))
+}
+
+/// One II attempt. Returns the schedule on success.
+fn try_ii(problem: &SchedProblem<'_>, ddg: &Ddg, ii: u32, cfg: &ImsConfig) -> Option<Schedule> {
+    let n = problem.n_ops();
+    // Feasibility of the recurrence constraints at this II.
+    ddg.longest_paths(ii)?;
+
+    // Priorities: smaller latest-start ⇒ more critical ⇒ scheduled first.
+    let slack = compute_slack(ddg, |op| problem.latency(op));
+
+    let mut times: Vec<Option<i64>> = vec![None; n];
+    let mut prev_time: Vec<Option<i64>> = vec![None; n];
+    let mut mrt = ModuloReservationTable::new(problem.machine, ii, n);
+    let mut budget = (cfg.budget_ratio as i64) * (n as i64);
+
+    // Max-heap on Reverse(lstart): pop smallest lstart first; ties by index.
+    let mut heap: BinaryHeap<(Reverse<i64>, Reverse<usize>)> = (0..n)
+        .map(|i| (Reverse(slack.lstart[i]), Reverse(i)))
+        .collect();
+
+    while let Some((_, Reverse(idx))) = heap.pop() {
+        let op = OpId(idx as u32);
+        if times[idx].is_some() {
+            continue; // stale entry
+        }
+        budget -= 1;
+        if budget < 0 {
+            return None;
+        }
+
+        let placement = problem.placement[idx];
+        let estart = ddg
+            .preds(op)
+            .filter_map(|e| {
+                times[e.from.index()]
+                    .map(|t| t + e.latency - (ii as i64) * (e.distance as i64))
+            })
+            .max()
+            .unwrap_or(0)
+            .max(0);
+
+        // Scan one full II window for a free slot.
+        let slot = (estart..estart + ii as i64).find(|&t| mrt.fits(placement, t).is_some());
+        let t = match slot {
+            Some(t) => t,
+            None => {
+                // Forced placement with eviction.
+                let t = match prev_time[idx] {
+                    Some(pt) => estart.max(pt + 1),
+                    None => estart,
+                };
+                evict_for(&mut mrt, &mut times, &mut heap, &slack, placement, t);
+                debug_assert!(mrt.fits(placement, t).is_some());
+                t
+            }
+        };
+
+        mrt.place(op, placement, t);
+        times[idx] = Some(t);
+        prev_time[idx] = Some(t);
+
+        // Eject already-scheduled successors whose dependence is now violated.
+        for e in ddg.succs(op) {
+            if e.to == op {
+                continue; // self-recurrences are honoured by RecII ≤ II.
+            }
+            if let Some(ts) = times[e.to.index()] {
+                if ts < t + e.latency - (ii as i64) * (e.distance as i64) {
+                    times[e.to.index()] = None;
+                    mrt.remove(e.to);
+                    heap.push((Reverse(slack.lstart[e.to.index()]), Reverse(e.to.index())));
+                }
+            }
+        }
+    }
+
+    let times: Vec<i64> = times.into_iter().map(Option::unwrap).collect();
+    let clusters: Vec<ClusterId> = (0..n)
+        .map(|i| mrt.cluster_of(OpId(i as u32)).expect("placed op has a cluster"))
+        .collect();
+    Some(Schedule { ii, times, clusters })
+}
+
+/// Evict enough resource conflicts for `placement` to fit at `t`, preferring
+/// the least critical victims (largest lstart).
+fn evict_for(
+    mrt: &mut ModuloReservationTable,
+    times: &mut [Option<i64>],
+    heap: &mut BinaryHeap<(Reverse<i64>, Reverse<usize>)>,
+    slack: &vliw_ddg::SlackInfo,
+    placement: OpPlacement,
+    t: i64,
+) {
+    while mrt.fits(placement, t).is_none() {
+        let mut victims = mrt.conflicts(placement, t);
+        // Least critical first.
+        victims.sort_by_key(|v| Reverse(slack.lstart[v.index()]));
+        let v = victims.first().copied().expect("conflict set cannot be empty");
+        mrt.remove(v);
+        times[v.index()] = None;
+        heap.push((Reverse(slack.lstart[v.index()]), Reverse(v.index())));
+    }
+}
+
+/// Guaranteed-feasible schedule: one op per kernel row at prefix-sum times.
+/// Used only if iterative scheduling exhausts its II tries.
+fn sequential_fallback(problem: &SchedProblem<'_>, ddg: &Ddg, min_ii: u32) -> Option<Schedule> {
+    let n = problem.n_ops();
+    let mut times = Vec::with_capacity(n);
+    let mut acc = 0i64;
+    for i in 0..n {
+        times.push(acc);
+        acc += problem.latency(OpId(i as u32)).max(1);
+    }
+    let ii = (acc as u32).max(min_ii).max(1);
+    // Carried edges: ensure ii covers every latency gap.
+    for e in ddg.edges() {
+        if e.distance > 0 {
+            let need = times[e.from.index()] + e.latency - times[e.to.index()];
+            if need > 0 && (need as u32).div_ceil(e.distance) > ii {
+                return None; // cannot happen: need ≤ total latency ≤ ii
+            }
+        }
+    }
+    let mut mrt = ModuloReservationTable::new(problem.machine, ii, n);
+    let mut clusters = Vec::with_capacity(n);
+    for (i, &t) in times.iter().enumerate() {
+        let op = OpId(i as u32);
+        let placement = problem.placement[i];
+        mrt.fits(placement, t)?;
+        mrt.place(op, placement, t);
+        clusters.push(mrt.cluster_of(op).unwrap());
+    }
+    Some(Schedule { ii, times, clusters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_schedule;
+    use vliw_ddg::build_ddg;
+    use vliw_ir::{LoopBuilder, RegClass};
+    use vliw_machine::MachineDesc;
+
+    fn daxpy(unroll: usize) -> vliw_ir::Loop {
+        let mut b = LoopBuilder::new("daxpy");
+        let x = b.array("x", RegClass::Float, 1024);
+        let y = b.array("y", RegClass::Float, 1024);
+        let a = b.live_in_float("a");
+        for u in 0..unroll {
+            let xv = b.load(x, u as i64, unroll as i64);
+            let yv = b.load(y, u as i64, unroll as i64);
+            let p = b.fmul(a, xv);
+            let s = b.fadd(yv, p);
+            b.store(y, u as i64, unroll as i64, s);
+        }
+        b.finish(128)
+    }
+
+    #[test]
+    fn ideal_daxpy_hits_res_ii() {
+        let l = daxpy(8); // 40 ops
+        let m = MachineDesc::monolithic(16);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let s = schedule_loop(&p, &g, &ImsConfig::default()).unwrap();
+        // ResII = ceil(40/16) = 3; no recurrence, so II should be 3.
+        assert_eq!(s.ii, 3);
+        verify_schedule(&p, &g, &s).unwrap();
+        assert!((s.ipc(l.n_ops()) - 40.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recurrence_bound_respected() {
+        // s = a*s + x[i]: RecII = 4 on a 16-wide machine.
+        let mut b = LoopBuilder::new("rec1");
+        let x = b.array("x", RegClass::Float, 64);
+        let a = b.live_in_float("a");
+        let s = b.live_in_float_val("s", 0.0);
+        let xv = b.load(x, 0, 1);
+        let t = b.fmul(a, s);
+        b.fadd_into(s, t, xv);
+        b.live_out(s);
+        let l = b.finish(64);
+        let m = MachineDesc::monolithic(16);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let sch = schedule_loop(&p, &g, &ImsConfig::default()).unwrap();
+        assert_eq!(sch.ii, 4);
+        verify_schedule(&p, &g, &sch).unwrap();
+    }
+
+    #[test]
+    fn narrow_machine_forces_larger_ii() {
+        let l = daxpy(4); // 20 ops
+        let m = MachineDesc::monolithic(2);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let s = schedule_loop(&p, &g, &ImsConfig::default()).unwrap();
+        assert_eq!(s.ii, 10); // ceil(20/2)
+        verify_schedule(&p, &g, &s).unwrap();
+    }
+
+    #[test]
+    fn clustered_all_ops_one_cluster() {
+        let l = daxpy(2); // 10 ops
+        let m = MachineDesc::embedded(2, 2);
+        let g = build_ddg(&l, &m.latencies);
+        let cluster_of = vec![ClusterId(0); l.n_ops()];
+        let p = SchedProblem::clustered(&l, &m, &cluster_of);
+        let s = schedule_loop(&p, &g, &ImsConfig::default()).unwrap();
+        // 10 ops on a 2-FU cluster ⇒ II ≥ 5.
+        assert!(s.ii >= 5);
+        verify_schedule(&p, &g, &s).unwrap();
+        assert!(s.clusters.iter().all(|&c| c == ClusterId(0)));
+    }
+
+    #[test]
+    fn empty_loop_schedules() {
+        let b = LoopBuilder::new("empty");
+        let l = b.finish(1);
+        let m = MachineDesc::monolithic(4);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let s = schedule_loop(&p, &g, &ImsConfig::default()).unwrap();
+        assert_eq!(s.ii, 1);
+    }
+
+    #[test]
+    fn single_fu_machine_serialises() {
+        let l = daxpy(1); // 5 ops
+        let m = MachineDesc::monolithic(1);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let s = schedule_loop(&p, &g, &ImsConfig::default()).unwrap();
+        assert_eq!(s.ii, 5);
+        verify_schedule(&p, &g, &s).unwrap();
+    }
+}

@@ -1,0 +1,41 @@
+//! # vliw-sched — iterative modulo scheduling for clustered VLIW machines
+//!
+//! Implements the software-pipelining half of the paper's framework:
+//! Rau-style **iterative modulo scheduling** (§2; Rau, MICRO-27 1994) over a
+//! modulo reservation table that models clustered functional units and, in
+//! the copy-unit machine model, inter-cluster copy busses and register-bank
+//! copy ports.
+//!
+//! The same scheduler produces both schedules the paper needs:
+//!
+//! * the **ideal schedule** — the loop modulo-scheduled for the full issue
+//!   width with a single monolithic register bank (every op may use any
+//!   functional unit), which the register component graph is built from and
+//!   every result is normalised against; and
+//! * the **clustered schedule** — after partitioning, every operation is
+//!   pinned to the cluster that owns its operands and inserted copies compete
+//!   for issue slots (embedded model) or busses/ports (copy-unit model).
+//!
+//! [`expand`](crate::expand::expand) turns a kernel schedule into flat prelude/kernel/postlude code
+//! (§2: "code to set up the software pipeline (prelude) and drain the
+//! pipeline (postlude)"), which the simulator executes.
+
+#![warn(missing_docs)]
+
+pub mod expand;
+pub mod ims;
+pub mod list;
+pub mod mrt;
+pub mod problem;
+pub mod schedule;
+pub mod sms;
+pub mod verify;
+
+pub use expand::{expand, FlatProgram};
+pub use ims::{schedule_loop, ImsConfig, SchedError};
+pub use list::list_schedule;
+pub use mrt::ModuloReservationTable;
+pub use problem::{OpPlacement, SchedProblem};
+pub use schedule::Schedule;
+pub use sms::{sms_schedule_loop, SmsConfig};
+pub use verify::{verify_schedule, ScheduleError};

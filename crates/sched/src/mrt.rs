@@ -1,0 +1,232 @@
+//! The modulo reservation table (MRT).
+//!
+//! One row per cycle of the initiation interval; each row tracks how many
+//! functional-unit slots are in use per cluster, how many copy busses are in
+//! use system-wide, and how many copy ports are in use per cluster. An
+//! operation scheduled at absolute time `t` occupies resources in row
+//! `t mod II` — the defining property of modulo scheduling (§2).
+
+use crate::problem::OpPlacement;
+use vliw_ir::OpId;
+use vliw_machine::{ClusterId, CopyModel, MachineDesc};
+
+/// Per-row resource occupancy, with the ops occupying each resource recorded
+/// so the scheduler can evict them.
+#[derive(Debug, Clone, Default)]
+struct Row {
+    /// Ops holding an FU slot, per cluster.
+    fu: Vec<Vec<OpId>>,
+    /// Ops holding a copy bus (system-wide).
+    bus: Vec<OpId>,
+    /// Ops holding a copy port, per destination cluster.
+    port: Vec<Vec<OpId>>,
+}
+
+/// Modulo reservation table for a machine and a candidate II.
+#[derive(Debug, Clone)]
+pub struct ModuloReservationTable {
+    ii: u32,
+    rows: Vec<Row>,
+    fu_cap: Vec<usize>,
+    bus_cap: usize,
+    port_cap: usize,
+    /// For `AnyFu` placements we still need to know which cluster's slot the
+    /// op occupies; remember it per op.
+    holding: Vec<Option<(u32, OpPlacement, ClusterId)>>,
+}
+
+impl ModuloReservationTable {
+    /// Empty table for `machine` at initiation interval `ii`.
+    pub fn new(machine: &MachineDesc, ii: u32, n_ops: usize) -> Self {
+        let n_clusters = machine.n_clusters();
+        let (bus_cap, port_cap) = match machine.copy_model {
+            CopyModel::CopyUnit {
+                busses,
+                ports_per_cluster,
+            } => (busses, ports_per_cluster),
+            CopyModel::Embedded => (0, 0),
+        };
+        ModuloReservationTable {
+            ii,
+            rows: (0..ii)
+                .map(|_| Row {
+                    fu: vec![Vec::new(); n_clusters],
+                    bus: Vec::new(),
+                    port: vec![Vec::new(); n_clusters],
+                })
+                .collect(),
+            fu_cap: machine.clusters.iter().map(|c| c.n_fus).collect(),
+            bus_cap,
+            port_cap,
+            holding: vec![None; n_ops],
+        }
+    }
+
+    /// The initiation interval this table models.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    fn row_of(&self, time: i64) -> usize {
+        debug_assert!(time >= 0);
+        (time as u64 % self.ii as u64) as usize
+    }
+
+    /// Can `op` with `placement` be placed at `time`? Returns the cluster
+    /// whose slot it would occupy (for `AnyFu`, the least-loaded cluster with
+    /// a free slot).
+    pub fn fits(&self, placement: OpPlacement, time: i64) -> Option<ClusterId> {
+        let row = &self.rows[self.row_of(time)];
+        match placement {
+            OpPlacement::AnyFu => (0..row.fu.len())
+                .filter(|&c| row.fu[c].len() < self.fu_cap[c])
+                .min_by_key(|&c| row.fu[c].len())
+                .map(|c| ClusterId(c as u32)),
+            OpPlacement::FuIn(c) => {
+                (row.fu[c.index()].len() < self.fu_cap[c.index()]).then_some(c)
+            }
+            OpPlacement::CopyVia(c) => (row.bus.len() < self.bus_cap
+                && row.port[c.index()].len() < self.port_cap)
+                .then_some(c),
+        }
+    }
+
+    /// Place `op` at `time`; the caller must have checked [`fits`].
+    ///
+    /// [`fits`]: ModuloReservationTable::fits
+    pub fn place(&mut self, op: OpId, placement: OpPlacement, time: i64) {
+        let cluster = self
+            .fits(placement, time)
+            .expect("place() called without a fitting slot");
+        let r = self.row_of(time);
+        let row = &mut self.rows[r];
+        match placement {
+            OpPlacement::AnyFu | OpPlacement::FuIn(_) => row.fu[cluster.index()].push(op),
+            OpPlacement::CopyVia(c) => {
+                row.bus.push(op);
+                row.port[c.index()].push(op);
+            }
+        }
+        self.holding[op.index()] = Some((r as u32, placement, cluster));
+    }
+
+    /// Remove `op` from the table (no-op if not placed).
+    pub fn remove(&mut self, op: OpId) {
+        let Some((r, placement, cluster)) = self.holding[op.index()].take() else {
+            return;
+        };
+        let row = &mut self.rows[r as usize];
+        match placement {
+            OpPlacement::AnyFu | OpPlacement::FuIn(_) => {
+                row.fu[cluster.index()].retain(|&o| o != op)
+            }
+            OpPlacement::CopyVia(c) => {
+                row.bus.retain(|&o| o != op);
+                row.port[c.index()].retain(|&o| o != op);
+            }
+        }
+    }
+
+    /// The cluster whose issue slot (or copy port) `op` occupies, if placed.
+    pub fn cluster_of(&self, op: OpId) -> Option<ClusterId> {
+        self.holding[op.index()].map(|(_, _, c)| c)
+    }
+
+    /// Ops that would have to be evicted for `op` with `placement` to fit at
+    /// `time`. Returns candidates sharing the contended resource in that row.
+    pub fn conflicts(&self, placement: OpPlacement, time: i64) -> Vec<OpId> {
+        let row = &self.rows[self.row_of(time)];
+        match placement {
+            OpPlacement::AnyFu => {
+                // Every cluster is full (else `fits` would have succeeded);
+                // the cheapest eviction is from the cluster with capacity.
+                row.fu.iter().flatten().copied().collect()
+            }
+            OpPlacement::FuIn(c) => row.fu[c.index()].clone(),
+            OpPlacement::CopyVia(c) => {
+                let mut v = Vec::new();
+                if row.bus.len() >= self.bus_cap {
+                    v.extend(row.bus.iter().copied());
+                }
+                if row.port[c.index()].len() >= self.port_cap {
+                    v.extend(row.port[c.index()].iter().copied());
+                }
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n_clusters: usize, fus: usize, ii: u32) -> ModuloReservationTable {
+        let m = MachineDesc::embedded(n_clusters, fus);
+        ModuloReservationTable::new(&m, ii, 32)
+    }
+
+    #[test]
+    fn fills_cluster_to_capacity() {
+        let mut t = table(2, 2, 1);
+        let c0 = ClusterId(0);
+        assert!(t.fits(OpPlacement::FuIn(c0), 0).is_some());
+        t.place(OpId(0), OpPlacement::FuIn(c0), 0);
+        t.place(OpId(1), OpPlacement::FuIn(c0), 0);
+        assert!(t.fits(OpPlacement::FuIn(c0), 0).is_none());
+        assert!(t.fits(OpPlacement::FuIn(ClusterId(1)), 0).is_some());
+        // AnyFu falls over to cluster 1.
+        assert_eq!(t.fits(OpPlacement::AnyFu, 0), Some(ClusterId(1)));
+    }
+
+    #[test]
+    fn modulo_wraparound() {
+        let mut t = table(1, 1, 3);
+        t.place(OpId(0), OpPlacement::AnyFu, 1);
+        // time 4 ≡ 1 (mod 3): same row, full.
+        assert!(t.fits(OpPlacement::AnyFu, 4).is_none());
+        assert!(t.fits(OpPlacement::AnyFu, 3).is_some());
+        assert!(t.fits(OpPlacement::AnyFu, 5).is_some());
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut t = table(1, 1, 2);
+        t.place(OpId(0), OpPlacement::AnyFu, 0);
+        assert!(t.fits(OpPlacement::AnyFu, 2).is_none());
+        t.remove(OpId(0));
+        assert!(t.fits(OpPlacement::AnyFu, 2).is_some());
+        assert_eq!(t.cluster_of(OpId(0)), None);
+    }
+
+    #[test]
+    fn copy_unit_bus_and_port_limits() {
+        let m = MachineDesc::copy_unit(2, 8); // 2 busses, 1 port/cluster
+        let mut t = ModuloReservationTable::new(&m, 1, 8);
+        let via0 = OpPlacement::CopyVia(ClusterId(0));
+        let via1 = OpPlacement::CopyVia(ClusterId(1));
+        t.place(OpId(0), via0, 0);
+        // Port at cluster 0 exhausted; bus still free.
+        assert!(t.fits(via0, 0).is_none());
+        assert!(t.fits(via1, 0).is_some());
+        t.place(OpId(1), via1, 0);
+        // Both busses now used.
+        assert!(t.fits(via1, 0).is_none());
+        let conf = t.conflicts(via1, 0);
+        assert!(conf.contains(&OpId(0)) || conf.contains(&OpId(1)));
+        // Copies never consume FU slots.
+        assert!(t.fits(OpPlacement::FuIn(ClusterId(0)), 0).is_some());
+    }
+
+    #[test]
+    fn conflicts_lists_row_occupants() {
+        let mut t = table(1, 2, 2);
+        t.place(OpId(3), OpPlacement::AnyFu, 0);
+        t.place(OpId(4), OpPlacement::AnyFu, 0);
+        let c = t.conflicts(OpPlacement::FuIn(ClusterId(0)), 2);
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&OpId(3)) && c.contains(&OpId(4)));
+    }
+}

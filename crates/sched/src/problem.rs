@@ -1,0 +1,193 @@
+//! Scheduling problem description: which resources each operation needs.
+
+use vliw_ir::{Loop, OpId};
+use vliw_machine::{ClusterId, CopyModel, MachineDesc};
+
+/// Where an operation may be placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpPlacement {
+    /// Any functional unit of any cluster (ideal / monolithic scheduling).
+    AnyFu,
+    /// A functional unit of the given cluster (clustered scheduling).
+    FuIn(ClusterId),
+    /// Copy-unit model copy: one system bus plus one copy port at the
+    /// destination cluster; no functional-unit slot.
+    CopyVia(ClusterId),
+}
+
+/// A scheduling problem: a loop, the machine, and per-op placement
+/// constraints.
+#[derive(Debug, Clone)]
+pub struct SchedProblem<'a> {
+    /// The loop body being pipelined.
+    pub body: &'a Loop,
+    /// Target machine.
+    pub machine: &'a MachineDesc,
+    /// Placement constraint per operation.
+    pub placement: Vec<OpPlacement>,
+}
+
+impl<'a> SchedProblem<'a> {
+    /// Problem for the ideal schedule: every op may use any FU. Copy ops are
+    /// not expected here (the ideal loop has none), but would occupy FU
+    /// slots.
+    pub fn ideal(body: &'a Loop, machine: &'a MachineDesc) -> Self {
+        SchedProblem {
+            body,
+            machine,
+            placement: vec![OpPlacement::AnyFu; body.n_ops()],
+        }
+    }
+
+    /// Problem for a clustered schedule: `cluster_of[op]` gives the cluster
+    /// each operation was assigned to by the partitioner. Copy operations
+    /// take busses/ports under the copy-unit model and FU slots under the
+    /// embedded model (§6.1).
+    pub fn clustered(
+        body: &'a Loop,
+        machine: &'a MachineDesc,
+        cluster_of: &[ClusterId],
+    ) -> Self {
+        assert_eq!(cluster_of.len(), body.n_ops());
+        let placement = body
+            .ops
+            .iter()
+            .map(|op| {
+                let c = cluster_of[op.id.index()];
+                match (op.opcode.is_copy(), machine.copy_model) {
+                    (true, CopyModel::CopyUnit { .. }) => OpPlacement::CopyVia(c),
+                    _ => OpPlacement::FuIn(c),
+                }
+            })
+            .collect();
+        SchedProblem {
+            body,
+            machine,
+            placement,
+        }
+    }
+
+    /// Latency of operation `op` on this machine.
+    pub fn latency(&self, op: OpId) -> i64 {
+        self.machine.latencies.of(self.body.op(op).opcode) as i64
+    }
+
+    /// Number of operations.
+    pub fn n_ops(&self) -> usize {
+        self.body.n_ops()
+    }
+
+    /// Number of operations that occupy functional-unit issue slots
+    /// (everything except copy-unit-model copies). This is what bounds the
+    /// FU-side ResII.
+    pub fn n_fu_ops(&self) -> usize {
+        self.placement
+            .iter()
+            .filter(|p| !matches!(p, OpPlacement::CopyVia(_)))
+            .count()
+    }
+
+    /// Resource-constrained lower bound on II for this problem, accounting
+    /// for per-cluster FU pressure and copy-resource pressure.
+    pub fn res_ii(&self) -> u32 {
+        let m = self.machine;
+        let mut per_cluster = vec![0usize; m.n_clusters()];
+        let mut any_fu = 0usize;
+        let mut bus_copies = 0usize;
+        let mut port_copies = vec![0usize; m.n_clusters()];
+        for p in &self.placement {
+            match *p {
+                OpPlacement::AnyFu => any_fu += 1,
+                OpPlacement::FuIn(c) => per_cluster[c.index()] += 1,
+                OpPlacement::CopyVia(c) => {
+                    bus_copies += 1;
+                    port_copies[c.index()] += 1;
+                }
+            }
+        }
+        let width = m.issue_width().max(1);
+        let total_fu_ops = any_fu + per_cluster.iter().sum::<usize>();
+        let mut ii = total_fu_ops.div_ceil(width).max(1);
+        for c in m.cluster_ids() {
+            let fus = m.fus_in(c).max(1);
+            ii = ii.max(per_cluster[c.index()].div_ceil(fus));
+        }
+        if let CopyModel::CopyUnit {
+            busses,
+            ports_per_cluster,
+        } = m.copy_model
+        {
+            if bus_copies > 0 {
+                ii = ii.max(bus_copies.div_ceil(busses.max(1)));
+                for c in m.cluster_ids() {
+                    ii = ii.max(port_copies[c.index()].div_ceil(ports_per_cluster.max(1)));
+                }
+            }
+        }
+        ii as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::{LoopBuilder, RegClass};
+
+    fn small_loop() -> Loop {
+        let mut b = LoopBuilder::new("t");
+        let x = b.array("x", RegClass::Float, 64);
+        let v = b.load(x, 0, 1);
+        let c = b.fconst_new(2.0);
+        let m = b.fmul(v, c);
+        b.store(x, 0, 1, m);
+        b.finish(64)
+    }
+
+    #[test]
+    fn ideal_problem_unconstrained() {
+        let l = small_loop();
+        let m = MachineDesc::monolithic(16);
+        let p = SchedProblem::ideal(&l, &m);
+        assert!(p.placement.iter().all(|p| *p == OpPlacement::AnyFu));
+        assert_eq!(p.res_ii(), 1);
+    }
+
+    #[test]
+    fn clustered_res_ii_respects_cluster_pressure() {
+        let l = small_loop();
+        let m = MachineDesc::embedded(2, 1); // 2 clusters of 1 FU
+        // All 4 ops on cluster 0 ⇒ per-cluster ResII = 4.
+        let p = SchedProblem::clustered(&l, &m, &[ClusterId(0); 4]);
+        assert_eq!(p.res_ii(), 4);
+    }
+
+    #[test]
+    fn copy_unit_copies_leave_fu_slots() {
+        let mut b = LoopBuilder::new("c");
+        let v = b.fconst_new(1.0);
+        let w = b.copy(v);
+        let _ = b.fadd(w, w);
+        let l = b.finish(4);
+        let m = MachineDesc::copy_unit(2, 1);
+        let p = SchedProblem::clustered(&l, &m, &[ClusterId(0), ClusterId(1), ClusterId(1)]);
+        assert!(matches!(p.placement[1], OpPlacement::CopyVia(ClusterId(1))));
+        assert_eq!(p.n_fu_ops(), 2);
+        // 2 FU ops over 2 single-FU clusters but both mapped one per cluster.
+        assert_eq!(p.res_ii(), 1);
+    }
+
+    #[test]
+    fn embedded_copies_take_fu_slots() {
+        let mut b = LoopBuilder::new("c");
+        let v = b.fconst_new(1.0);
+        let w = b.copy(v);
+        let _ = b.fadd(w, w);
+        let l = b.finish(4);
+        let m = MachineDesc::embedded(2, 1);
+        let p = SchedProblem::clustered(&l, &m, &[ClusterId(0), ClusterId(1), ClusterId(1)]);
+        assert!(matches!(p.placement[1], OpPlacement::FuIn(ClusterId(1))));
+        assert_eq!(p.n_fu_ops(), 3);
+        // Cluster 1 holds 2 ops on 1 FU ⇒ ResII 2.
+        assert_eq!(p.res_ii(), 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! The kernel schedule produced by modulo scheduling.
+
+use vliw_ir::{Loop, OpId};
+use vliw_machine::{ClusterId, MachineDesc};
+
+/// A modulo schedule: per-operation absolute issue times within one
+/// iteration's time space, plus the initiation interval.
+///
+/// Operation `o` of iteration `i` issues at cycle `i·II + time(o)`. The
+/// kernel has `II` instruction rows; `o` occupies row `time(o) mod II` in
+/// pipeline stage `time(o) / II`.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The initiation interval.
+    pub ii: u32,
+    /// Absolute issue time per op (index = op index), all ≥ 0.
+    pub times: Vec<i64>,
+    /// Cluster whose issue slot / copy port each op occupies.
+    pub clusters: Vec<ClusterId>,
+}
+
+impl Schedule {
+    /// Issue time of `op` within the iteration time space.
+    #[inline]
+    pub fn time(&self, op: OpId) -> i64 {
+        self.times[op.index()]
+    }
+
+    /// Kernel row of `op`.
+    #[inline]
+    pub fn row(&self, op: OpId) -> u32 {
+        (self.times[op.index()] as u64 % self.ii as u64) as u32
+    }
+
+    /// Pipeline stage of `op`.
+    #[inline]
+    pub fn stage(&self, op: OpId) -> u32 {
+        (self.times[op.index()] as u64 / self.ii as u64) as u32
+    }
+
+    /// Cluster of `op`.
+    #[inline]
+    pub fn cluster(&self, op: OpId) -> ClusterId {
+        self.clusters[op.index()]
+    }
+
+    /// Number of pipeline stages (`max stage + 1`).
+    pub fn stage_count(&self) -> u32 {
+        self.times
+            .iter()
+            .map(|&t| (t as u64 / self.ii as u64) as u32)
+            .max()
+            .map_or(1, |s| s + 1)
+    }
+
+    /// Span in cycles from the first issue to the last completion of a
+    /// single iteration.
+    pub fn iteration_span(&self, body: &Loop, machine: &MachineDesc) -> i64 {
+        body.ops
+            .iter()
+            .map(|o| self.time(o.id) + machine.latencies.of(o.opcode) as i64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Kernel instructions-per-cycle counting `n_counted` operations
+    /// (Table 1 counts copies in the embedded model but not in the copy-unit
+    /// model, §6.2).
+    pub fn ipc(&self, n_counted: usize) -> f64 {
+        n_counted as f64 / self.ii as f64
+    }
+
+    /// Render the kernel as a table: one line per row, operations annotated
+    /// with pipeline stage and cluster — the format of the paper's Figures
+    /// 1 and 3.
+    pub fn render_kernel(&self, body: &Loop) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "kernel: II={}, {} stages, {} ops",
+            self.ii,
+            self.stage_count(),
+            self.times.len()
+        );
+        for (r, ops) in self.rows().into_iter().enumerate() {
+            let cells: Vec<String> = ops
+                .iter()
+                .map(|&o| {
+                    format!(
+                        "{}[s{}@{}]",
+                        body.op(o).opcode.mnemonic(),
+                        self.stage(o),
+                        self.cluster(o)
+                    )
+                })
+                .collect();
+            let _ = writeln!(out, "  row {:>2}: {}", r, cells.join("  "));
+        }
+        out
+    }
+
+    /// Ops grouped by kernel row, for display.
+    pub fn rows(&self) -> Vec<Vec<OpId>> {
+        let mut rows = vec![Vec::new(); self.ii as usize];
+        let mut ids: Vec<OpId> = (0..self.times.len() as u32).map(OpId).collect();
+        ids.sort_by_key(|&o| (self.stage(o), o.index()));
+        for o in ids {
+            rows[self.row(o) as usize].push(o);
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_kernel_lists_all_rows_and_ops() {
+        let mut b = vliw_ir::LoopBuilder::new("r");
+        let x = b.array("x", vliw_ir::RegClass::Float, 32);
+        let v = b.load(x, 0, 1);
+        let w = b.fmul(v, v);
+        b.store(x, 0, 1, w);
+        let body = b.finish(16);
+        let s = Schedule {
+            ii: 2,
+            times: vec![0, 2, 5],
+            clusters: vec![ClusterId(0), ClusterId(0), ClusterId(1)],
+        };
+        let text = s.render_kernel(&body);
+        assert!(text.contains("II=2"));
+        assert!(text.contains("row  0"));
+        assert!(text.contains("row  1"));
+        assert!(text.contains("load[s0@c0]"));
+        assert!(text.contains("store[s2@c1]"));
+    }
+
+    fn sched(ii: u32, times: Vec<i64>) -> Schedule {
+        let clusters = vec![ClusterId(0); times.len()];
+        Schedule { ii, times, clusters }
+    }
+
+    #[test]
+    fn rows_and_stages() {
+        let s = sched(2, vec![0, 1, 2, 5]);
+        assert_eq!(s.row(OpId(0)), 0);
+        assert_eq!(s.row(OpId(2)), 0);
+        assert_eq!(s.stage(OpId(2)), 1);
+        assert_eq!(s.row(OpId(3)), 1);
+        assert_eq!(s.stage(OpId(3)), 2);
+        assert_eq!(s.stage_count(), 3);
+    }
+
+    #[test]
+    fn ipc_counts_given_ops() {
+        let s = sched(4, vec![0, 0, 1, 2]);
+        assert!((s.ipc(4) - 1.0).abs() < 1e-12);
+        assert!((s.ipc(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_grouping_covers_all_ops() {
+        let s = sched(3, vec![0, 1, 2, 3, 4, 5]);
+        let rows = s.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.iter().map(Vec::len).sum::<usize>(), 6);
+        assert_eq!(rows[0], vec![OpId(0), OpId(3)]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Swing modulo scheduling (Llosa, González, Ayguadé, Valero; PACT '96).
+//!
+//! §6.3 of the paper notes that Nystrom and Eichenberger "use Swing
+//! Scheduling that attempts to reduce register requirements. Certainly this
+//! could have an effect on the partitioning of registers." Implementing SMS
+//! alongside Rau's iterative scheme lets the benches quantify exactly that
+//! effect (`ablations` bench, `repro --ablation`).
+//!
+//! SMS's distinguishing ideas, both kept here:
+//!
+//! * **ordering** — nodes are scheduled lowest-mobility first (critical
+//!   recurrences and critical paths before floaters), so the tight parts of
+//!   the graph are never squeezed by earlier arbitrary placements;
+//! * **bidirectional placement** — a node whose *predecessors* are already
+//!   placed scans its window **forward** (as early as possible), one whose
+//!   *successors* are placed scans **backward** (as late as possible), and
+//!   one with both is pinned between them. Producers land next to their
+//!   consumers, which is what shortens lifetimes and lowers register
+//!   pressure.
+//!
+//! There is no eviction: if any node fails to place, the II is bumped and
+//! the whole schedule restarts — exactly Llosa's formulation.
+
+use crate::ims::SchedError;
+use crate::mrt::ModuloReservationTable;
+use crate::problem::SchedProblem;
+use crate::schedule::Schedule;
+use vliw_ddg::{compute_slack, rec_ii, Ddg};
+use vliw_ir::OpId;
+use vliw_machine::ClusterId;
+
+/// Tuning knobs for the swing scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct SmsConfig {
+    /// Candidate IIs to try above MinII before giving up.
+    pub max_ii_tries: u32,
+    /// Rotated-packing attempts per II (attempt 0 is pure SMS).
+    pub rotations: u32,
+}
+
+impl Default for SmsConfig {
+    fn default() -> Self {
+        SmsConfig {
+            max_ii_tries: 64,
+            rotations: 4,
+        }
+    }
+}
+
+/// Swing-modulo-schedule `problem` against `ddg`.
+pub fn sms_schedule_loop(
+    problem: &SchedProblem<'_>,
+    ddg: &Ddg,
+    cfg: &SmsConfig,
+) -> Result<Schedule, SchedError> {
+    assert_eq!(ddg.n_ops(), problem.n_ops());
+    if problem.n_ops() == 0 {
+        return Ok(Schedule {
+            ii: 1,
+            times: Vec::new(),
+            clusters: Vec::new(),
+        });
+    }
+    let min_ii = problem.res_ii().max(rec_ii(ddg));
+    for ii in min_ii..min_ii + cfg.max_ii_tries {
+        // Attempt 0 is pure SMS. Because every op of a small kernel lands
+        // below the first wraparound, a resource wedge at one II recurs
+        // identically at the next, so instead of only bumping II we also
+        // retry with rotated forward-scan starts, which perturbs the packing
+        // while preserving every dependence bound.
+        for rot in 0..cfg.rotations.max(1) {
+            if let Some(s) = try_ii(problem, ddg, ii, rot as i64) {
+                return Ok(s);
+            }
+        }
+    }
+    Err(SchedError::NoIiFound(min_ii + cfg.max_ii_tries))
+}
+
+fn try_ii(problem: &SchedProblem<'_>, ddg: &Ddg, ii: u32, rot: i64) -> Option<Schedule> {
+    ddg.longest_paths(ii)?;
+    let n = problem.n_ops();
+    let slack = compute_slack(ddg, |op| problem.latency(op));
+
+    // Ordering, following Llosa's two invariants: (a) the most constrained
+    // nodes (lowest mobility — critical recurrences and paths) seed the
+    // order, and (b) every subsequent node is ADJACENT in the DDG to an
+    // already-ordered node, so placement is always anchored by a scheduled
+    // neighbour and the bidirectional rule has something to swing against.
+    let mobility = |i: usize| (slack.lstart[i] - slack.estart[i], slack.lstart[i], i);
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut ordered = vec![false; n];
+    let mut frontier: Vec<usize> = Vec::new();
+    for _ in 0..n {
+        frontier.retain(|&i| !ordered[i]);
+        let next = frontier
+            .iter()
+            .copied()
+            .min_by_key(|&i| mobility(i))
+            .or_else(|| (0..n).filter(|&i| !ordered[i]).min_by_key(|&i| mobility(i)))
+            .expect("n iterations, one pick each");
+        ordered[next] = true;
+        order.push(next);
+        let op = OpId(next as u32);
+        frontier.extend(
+            ddg.preds(op)
+                .map(|e| e.from.index())
+                .chain(ddg.succs(op).map(|e| e.to.index()))
+                .filter(|&i| !ordered[i]),
+        );
+    }
+
+    let mut times: Vec<Option<i64>> = vec![None; n];
+    let mut mrt = ModuloReservationTable::new(problem.machine, ii, n);
+    let horizon = slack.length + ii as i64 * 2; // generous placement window
+
+    for &idx in &order {
+        let op = OpId(idx as u32);
+        let placement = problem.placement[idx];
+
+        // Bounds induced by already-placed neighbours.
+        let early = ddg
+            .preds(op)
+            .filter(|e| e.from != op)
+            .filter_map(|e| {
+                times[e.from.index()].map(|t| t + e.latency - ii as i64 * e.distance as i64)
+            })
+            .max();
+        let late = ddg
+            .succs(op)
+            .filter(|e| e.to != op)
+            .filter_map(|e| {
+                times[e.to.index()].map(|t| t - e.latency + ii as i64 * e.distance as i64)
+            })
+            .min();
+
+        let slot = match (early, late) {
+            (Some(e), Some(l)) => {
+                // Pinned between neighbours: forward scan inside [e, min(l, e+II−1)].
+                let e = e.max(0);
+                let hi = l.min(e + ii as i64 - 1);
+                (e..=hi).find(|&t| t >= 0 && mrt.fits(placement, t).is_some())
+            }
+            (Some(e), None) => {
+                // Predecessors placed: as EARLY as possible after them
+                // (rotated start on retry attempts).
+                let e = e.max(0);
+                let w = ii as i64;
+                (0..w)
+                    .map(|k| e + (k + rot).rem_euclid(w))
+                    .find(|&t| mrt.fits(placement, t).is_some())
+            }
+            (None, Some(l)) if l < 0 => None, // deadline before cycle 0
+            (None, Some(l)) => {
+                // Successors placed: as LATE as possible before them — the
+                // "swing" that shortens producer lifetimes.
+                let lo = (l - ii as i64 + 1).max(0);
+                (lo..=l).rev().find(|&t| mrt.fits(placement, t).is_some())
+            }
+            (None, None) => {
+                // Free node: start from its ASAP time (rotated on retries).
+                let e = slack.estart[idx].max(0);
+                let w = ii as i64;
+                let _ = horizon;
+                (0..w)
+                    .map(|k| e + (k + rot).rem_euclid(w))
+                    .find(|&t| mrt.fits(placement, t).is_some())
+            }
+        };
+
+        let t = match slot {
+            Some(t) => t,
+            None => {
+                if std::env::var("SMS_DEBUG").is_ok() {
+                    eprintln!("SMS ii={ii}: op{idx} failed; early={early:?} late={late:?}");
+                }
+                return None;
+            }
+        };
+        mrt.place(op, placement, t);
+        times[idx] = Some(t);
+    }
+
+    // Normalise: SMS's backward scans can park early ops at large times;
+    // shift by whole IIs so min time sits in [0, II).
+    let min_t = times.iter().map(|t| t.unwrap()).min().unwrap();
+    let shift = min_t.div_euclid(ii as i64) * ii as i64;
+    let times: Vec<i64> = times.into_iter().map(|t| t.unwrap() - shift).collect();
+
+    let clusters: Vec<ClusterId> = (0..n)
+        .map(|i| mrt.cluster_of(OpId(i as u32)).expect("placed"))
+        .collect();
+    Some(Schedule { ii, times, clusters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_schedule;
+    use vliw_ddg::build_ddg;
+    use vliw_ir::{LoopBuilder, RegClass};
+    use vliw_machine::MachineDesc;
+
+    fn daxpy(u: usize) -> vliw_ir::Loop {
+        let mut b = LoopBuilder::new("daxpy");
+        let x = b.array("x", RegClass::Float, 1024);
+        let y = b.array("y", RegClass::Float, 1024);
+        let a = b.live_in_float("a");
+        for j in 0..u as i64 {
+            let xv = b.load(x, j, u as i64);
+            let yv = b.load(y, j, u as i64);
+            let p = b.fmul(a, xv);
+            let s = b.fadd(yv, p);
+            b.store(y, j, u as i64, s);
+        }
+        b.finish(64)
+    }
+
+    #[test]
+    fn sms_hits_res_ii_on_daxpy() {
+        let l = daxpy(8);
+        let m = MachineDesc::monolithic(16);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let s = sms_schedule_loop(&p, &g, &SmsConfig::default()).unwrap();
+        assert_eq!(s.ii, 3); // ceil(40/16)
+        verify_schedule(&p, &g, &s).unwrap();
+    }
+
+    #[test]
+    fn sms_respects_recurrences() {
+        let mut b = LoopBuilder::new("rec");
+        let x = b.array("x", RegClass::Float, 64);
+        let a = b.live_in_float("a");
+        let s = b.live_in_float_val("s", 0.0);
+        let xv = b.load(x, 0, 1);
+        let t = b.fmul(a, s);
+        b.fadd_into(s, t, xv);
+        b.live_out(s);
+        let l = b.finish(64);
+        let m = MachineDesc::monolithic(16);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let sch = sms_schedule_loop(&p, &g, &SmsConfig::default()).unwrap();
+        assert_eq!(sch.ii, 4);
+        verify_schedule(&p, &g, &sch).unwrap();
+    }
+
+    #[test]
+    fn sms_schedules_clustered_problems() {
+        let l = daxpy(4);
+        let m = MachineDesc::embedded(2, 2);
+        let g = build_ddg(&l, &m.latencies);
+        let pins = vec![vliw_machine::ClusterId(0); l.n_ops()];
+        let p = SchedProblem::clustered(&l, &m, &pins);
+        let s = sms_schedule_loop(&p, &g, &SmsConfig::default()).unwrap();
+        assert!(s.ii >= 10); // 20 ops on one 2-FU cluster
+        verify_schedule(&p, &g, &s).unwrap();
+    }
+
+    #[test]
+    fn sms_times_are_normalised() {
+        let l = daxpy(2);
+        let m = MachineDesc::monolithic(4);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let s = sms_schedule_loop(&p, &g, &SmsConfig::default()).unwrap();
+        let min_t = s.times.iter().min().unwrap();
+        assert!((0..s.ii as i64).contains(min_t));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for modulo scheduling: every schedule over the corpus
+//! families is legal, II never beats MinII, and the MRT respects
+//! place/remove symmetry.
+
+use proptest::prelude::*;
+use vliw_ddg::{build_ddg, rec_ii};
+use vliw_loopgen::Family;
+use vliw_machine::{ClusterId, MachineDesc};
+use vliw_sched::{
+    list_schedule, schedule_loop, verify_schedule, ImsConfig, ModuloReservationTable,
+    OpPlacement, SchedProblem,
+};
+use vliw_ir::OpId;
+
+fn family() -> impl Strategy<Value = Family> {
+    prop_oneof![
+        Just(Family::Daxpy),
+        Just(Family::Dot),
+        Just(Family::Stencil),
+        Just(Family::Rec1),
+        Just(Family::Scale),
+        Just(Family::IntAxpy),
+        Just(Family::SumSq),
+        Just(Family::DivMix),
+        Just(Family::Copy),
+        Just(Family::Mixed),
+    ]
+}
+
+fn machine() -> impl Strategy<Value = MachineDesc> {
+    prop_oneof![
+        Just(MachineDesc::monolithic(16)),
+        Just(MachineDesc::monolithic(4)),
+        Just(MachineDesc::monolithic(1)),
+        Just(MachineDesc::embedded(2, 4)),
+        Just(MachineDesc::copy_unit(4, 2)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ims_schedules_are_legal_and_at_least_min_ii(
+        fam in family(),
+        u in 1usize..8,
+        m in machine(),
+    ) {
+        let l = fam.build(0, u, 32);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let s = schedule_loop(&p, &g, &ImsConfig::default()).unwrap();
+        prop_assert!(verify_schedule(&p, &g, &s).is_ok());
+        prop_assert!(s.ii >= p.res_ii().max(rec_ii(&g)));
+    }
+
+    #[test]
+    fn list_schedules_are_legal(fam in family(), u in 1usize..6, m in machine()) {
+        let l = fam.build(0, u, 1); // straight-line reading of the body
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let s = list_schedule(&p, &g);
+        prop_assert!(verify_schedule(&p, &g, &s).is_ok());
+    }
+
+    #[test]
+    fn mrt_place_remove_roundtrip(
+        placements in proptest::collection::vec((0u8..4, 0i64..32), 1..32),
+        ii in 1u32..9,
+    ) {
+        let m = MachineDesc::embedded(4, 1);
+        let mut mrt = ModuloReservationTable::new(&m, ii, 64);
+        let mut placed = Vec::new();
+        for (i, (c, t)) in placements.iter().enumerate() {
+            let op = OpId(i as u32);
+            let pl = OpPlacement::FuIn(ClusterId(*c as u32));
+            if mrt.fits(pl, *t).is_some() {
+                mrt.place(op, pl, *t);
+                placed.push((op, pl, *t));
+            }
+        }
+        // Removing everything restores full availability.
+        for (op, _, _) in &placed {
+            mrt.remove(*op);
+        }
+        for (op, pl, t) in &placed {
+            prop_assert!(mrt.fits(*pl, *t).is_some());
+            let _ = op;
+        }
+    }
+
+    #[test]
+    fn expansion_issue_count_is_ops_times_trip(
+        fam in family(),
+        u in 1usize..5,
+        trip in 1u32..20,
+    ) {
+        let l = fam.build(0, u, trip);
+        let m = MachineDesc::monolithic(8);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let s = schedule_loop(&p, &g, &ImsConfig::default()).unwrap();
+        let flat = vliw_sched::expand(&l, &s);
+        prop_assert_eq!(flat.n_issues(), l.n_ops() * trip as usize);
+        // Cycle count matches the modulo-schedule closed form.
+        let max_t = (0..l.n_ops()).map(|i| s.time(vliw_ir::OpId(i as u32))).max().unwrap();
+        prop_assert_eq!(flat.len() as i64, (trip as i64 - 1) * s.ii as i64 + max_t + 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # vliw-sim — cycle-accurate simulation and the scalar reference oracle
+//!
+//! The paper reports schedule lengths; it never had to *run* its pipelined
+//! loops. This crate closes that gap and serves as the end-to-end
+//! correctness oracle for the whole workspace:
+//!
+//! * [`reference::run_reference`] executes a loop body sequentially, one
+//!   iteration at a time, with the IR's program-order semantics — the ground
+//!   truth.
+//! * [`machine_sim::simulate`] executes the *expanded modulo schedule*
+//!   (prelude + kernel + postlude, overlapped iterations) cycle by cycle,
+//!   modelling operation latencies: a value written by an operation issued
+//!   at cycle `c` is readable at `c + latency`, and stores commit to memory
+//!   `store` cycles after issue. Reading a value before it is ready is a
+//!   hard simulation error — so an illegal schedule cannot silently produce
+//!   the right answer.
+//! * [`equiv::check_equivalence`] runs both and compares every array and
+//!   every live-out value bit-for-bit (both sides evaluate the same dataflow
+//!   in the same per-iteration order, so exact equality is the correct
+//!   criterion).
+//!
+//! Because inserted inter-bank copies are ordinary IR operations, the same
+//! oracle validates partitioned, copy-inserted, rescheduled loops — the full
+//! §4 pipeline.
+
+#![warn(missing_docs)]
+
+pub mod equiv;
+pub mod machine_sim;
+pub mod memory;
+pub mod phys_sim;
+pub mod reference;
+pub mod value;
+
+pub use equiv::{check_equivalence, EquivError};
+pub use machine_sim::{simulate, SimError, SimOutput};
+pub use memory::init_memory;
+pub use phys_sim::{check_physical_equivalence, PhysReg, PhysSimError};
+pub use reference::{run_reference, RefOutput};
+pub use value::Value;

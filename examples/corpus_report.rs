@@ -1,0 +1,78 @@
+//! Per-loop corpus report: the raw data behind Tables 1–2 and Figures 5–7.
+//!
+//! Prints one line per loop of the 211-loop corpus on a chosen machine
+//! (default: the 4×4 embedded model), then the aggregates. Pass
+//! `--clusters N` (2/4/8), `--copy-unit`, and/or `--limit K`.
+//!
+//! ```text
+//! cargo run --release --example corpus_report -- --clusters 4 --limit 20
+//! ```
+
+use rcg_vliw::machine::MachineDesc;
+use rcg_vliw::pipeline::{run_corpus, Histogram, PipelineConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: usize| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|p| args.get(p + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    };
+    let n_clusters = get("--clusters", 4);
+    let limit = get("--limit", usize::MAX);
+    let copy_unit = args.iter().any(|a| a == "--copy-unit");
+    let fus = 16 / n_clusters;
+    let machine = if copy_unit {
+        MachineDesc::copy_unit(n_clusters, fus)
+    } else {
+        MachineDesc::embedded(n_clusters, fus)
+    };
+
+    let mut corpus = rcg_vliw::loopgen::corpus();
+    corpus.truncate(limit.min(corpus.len()));
+    println!(
+        "{} loops on {} — per-loop pipeline results\n",
+        corpus.len(),
+        machine.name
+    );
+    println!(
+        "{:<16} {:>5} {:>8} {:>9} {:>7} {:>7} {:>7} {:>7}",
+        "loop", "ops", "idealII", "clustII", "copies", "degr%", "unroll", "spills"
+    );
+
+    let results = run_corpus(&corpus, &machine, &PipelineConfig::default());
+    for r in &results {
+        println!(
+            "{:<16} {:>5} {:>8} {:>9} {:>7} {:>6.1}% {:>7} {:>7}",
+            r.name,
+            r.n_ops,
+            r.ideal_ii,
+            r.clustered_ii,
+            r.n_copies,
+            r.degradation_pct(),
+            r.mve_unroll,
+            r.spills
+        );
+    }
+
+    let degr: Vec<f64> = results.iter().map(|r| r.degradation_pct()).collect();
+    let hist = Histogram::from_degradations(&degr);
+    let mean_ipc_ideal =
+        results.iter().map(|r| r.ideal_ipc).sum::<f64>() / results.len() as f64;
+    let mean_ipc_clu =
+        results.iter().map(|r| r.clustered_ipc).sum::<f64>() / results.len() as f64;
+    println!("\naggregates:");
+    println!("  ideal IPC     : {mean_ipc_ideal:.2}");
+    println!("  clustered IPC : {mean_ipc_clu:.2}");
+    println!(
+        "  mean degradation: {:.1}%   zero-degradation loops: {:.1}%",
+        degr.iter().sum::<f64>() / degr.len() as f64,
+        hist.percent_undegraded()
+    );
+    println!(
+        "  total spills: {}",
+        results.iter().map(|r| r.spills).sum::<usize>()
+    );
+}

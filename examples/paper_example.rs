@@ -1,0 +1,31 @@
+//! The paper's §4.2 worked example: the `xpos` update
+//!
+//! ```text
+//! xpos = xpos + (xvel*t) + (xaccel*t*t/2.0)
+//! ```
+//!
+//! scheduled ideally on a 2-wide unit-latency machine (Figure 1: 7 cycles)
+//! and partitioned onto two single-FU clusters (Figure 3: 9 cycles with
+//! copies of r2 and r6).
+//!
+//! ```text
+//! cargo run --release --example paper_example
+//! ```
+
+use rcg_vliw::pipeline::paper_example;
+
+fn main() {
+    let ex = paper_example();
+    println!("§4.2 worked example — {}", ex.body.name);
+    println!("{}", rcg_vliw::ir::printer::format_loop(&ex.body));
+    println!("ideal schedule span     : {} cycles (paper Figure 1: 7)", ex.ideal_span);
+    println!(
+        "2-bank partitioned span : {} cycles with {} copies (paper Figure 3: 9 cycles, 2 copies)",
+        ex.clustered_span, ex.n_copies
+    );
+    println!(
+        "degradation             : {} cycles ({}%)",
+        ex.clustered_span - ex.ideal_span,
+        100 * (ex.clustered_span - ex.ideal_span) / ex.ideal_span
+    );
+}

@@ -1,0 +1,68 @@
+//! Recurrence study: how loop-carried dependences interact with
+//! partitioning — the phenomenon §6.3 credits Nystrom and Eichenberger with
+//! attacking directly ("prevent inserting copies that will lengthen the
+//! recurrence constraint").
+//!
+//! We sweep a first-order recurrence `s = a·s + x[i]` surrounded by a
+//! varying amount of independent work, on a 4×4 clustered machine, and show
+//! where the kernel II comes from: the recurrence (RecII), the resources
+//! (ResII), or partition-induced copies.
+//!
+//! ```text
+//! cargo run --release --example recurrence_study
+//! ```
+
+use rcg_vliw::prelude::*;
+
+fn recurrence_loop(fill: usize) -> Loop {
+    let mut b = LoopBuilder::new(format!("rec_fill{fill}"));
+    let stride = (fill + 1) as i64;
+    let x = b.array("x", RegClass::Float, 64 * (fill + 2));
+    let y = b.array("y", RegClass::Float, 64 * (fill + 2));
+    let a = b.live_in_float_val("a", 0.5);
+    let s = b.live_in_float_val("s", 0.0);
+    let xv = b.load(x, 0, stride);
+    let t = b.fmul(a, s);
+    b.fadd_into(s, t, xv);
+    b.live_out(s);
+    for j in 1..=fill as i64 {
+        let v = b.load(x, j, stride);
+        let w = b.fmul(a, v);
+        let w2 = b.fadd(w, v);
+        b.store(y, j, stride, w2);
+    }
+    b.finish(48)
+}
+
+fn main() {
+    let machine = MachineDesc::embedded(4, 4);
+    println!("first-order recurrence + independent fill work, 4x4 embedded\n");
+    println!(
+        "{:>5} {:>5} {:>7} {:>7} {:>9} {:>9} {:>7} {:>9}",
+        "fill", "ops", "RecII", "ResII", "idealII", "clustII", "copies", "degr%"
+    );
+    for fill in [0usize, 1, 2, 4, 8, 12, 16] {
+        let l = recurrence_loop(fill);
+        let ddg = build_ddg(&l, &machine.latencies);
+        let rec = rec_ii(&ddg);
+        let res = res_ii(&l, &machine);
+        let r = run_loop(&l, &machine, &PipelineConfig::default());
+        println!(
+            "{:>5} {:>5} {:>7} {:>7} {:>9} {:>9} {:>7} {:>8.1}%",
+            fill,
+            l.n_ops(),
+            rec,
+            res,
+            r.ideal_ii,
+            r.clustered_ii,
+            r.n_copies,
+            r.degradation_pct()
+        );
+    }
+    println!(
+        "\nWhile RecII dominates (small fill), partitioning is free: copies hide\n\
+         in the recurrence slack. Once resources dominate (large fill), copies\n\
+         compete for issue slots and degradation appears — exactly the regime\n\
+         split the paper's Figures 5-7 histogram."
+    );
+}

@@ -1,0 +1,97 @@
+//! Whole-function partitioning: one bank assignment spanning straight-line
+//! code and several loops (§6.3/§7's "easily applicable to entire
+//! programs").
+//!
+//! ```text
+//! cargo run --release --example whole_function
+//! ```
+
+use rcg_vliw::ir::{FunctionBuilder, RegClass};
+use rcg_vliw::machine::MachineDesc;
+use rcg_vliw::pipeline::{run_function, PipelineConfig};
+
+fn main() {
+    // A little numeric kernel: prologue scales a constant, a hot inner loop
+    // does a fused daxpy, a second loop reduces, an epilogue combines the
+    // results. All four blocks share parameters `a`, `b` and the arrays.
+    let mut f = FunctionBuilder::new("saxpy_then_dot");
+    let a = f.live_in_float_val("a", 2.0);
+    let bb = f.live_in_float_val("b", 0.5);
+    let x = f.array("x", RegClass::Float, 1024);
+    let y = f.array("y", RegClass::Float, 1024);
+
+    let mut scaled = None;
+    f.block("prologue", 1, 1, |blk| {
+        let t = blk.fmul(a, bb);
+        scaled = Some(t);
+    });
+    let scaled = scaled.unwrap();
+
+    f.block("saxpy", 2, 96, |blk| {
+        for j in 0..4i64 {
+            let xv = blk.load(x, j, 4);
+            let yv = blk.load(y, j, 4);
+            let p = blk.fmul(scaled, xv);
+            let s = blk.fadd(yv, p);
+            blk.store(y, j, 4, s);
+        }
+    });
+
+    let mut dot = None;
+    f.block("dot", 2, 96, |blk| {
+        let s = blk.live_in_float_val("s", 0.0);
+        for j in 0..2i64 {
+            let xv = blk.load(x, j, 2);
+            let yv = blk.load(y, j, 2);
+            let p = blk.fmul(xv, yv);
+            blk.fadd_into(s, s, p);
+        }
+        blk.live_out(s);
+        dot = Some(s);
+    });
+    let dot = dot.unwrap();
+
+    f.block("epilogue", 1, 1, |blk| {
+        let r = blk.fmul(dot, scaled);
+        blk.store(x, 0, 0, r);
+    });
+
+    let func = f.finish();
+    func.verify().expect("function is well-formed");
+
+    println!(
+        "function {}: {} blocks, {} ops, {} shared registers\n",
+        func.name,
+        func.blocks.len(),
+        func.n_ops(),
+        func.n_vregs()
+    );
+    println!(
+        "{:<12} {:>6} {:>10} {:>10} {:>9} {:>7} {:>7}",
+        "block", "freq", "pipelined", "ideal", "clustered", "degr%", "copies"
+    );
+    for machine in [
+        MachineDesc::embedded(2, 8),
+        MachineDesc::embedded(4, 4),
+        MachineDesc::copy_unit(4, 4),
+    ] {
+        let r = run_function(&func, &machine, &PipelineConfig::default());
+        println!("--- {}", machine.name);
+        for b in &r.blocks {
+            println!(
+                "{:<12} {:>6.0} {:>10} {:>10} {:>9} {:>6.1}% {:>7}",
+                b.name,
+                b.freq,
+                if b.pipelined { "yes" } else { "no" },
+                b.ideal_len,
+                b.clustered_len,
+                b.normalized() - 100.0,
+                b.n_copies
+            );
+        }
+        println!(
+            "{:<12} weighted degradation {:.1}%  total copies {}\n",
+            "", r.weighted_normalized - 100.0, r.total_copies
+        );
+    }
+}

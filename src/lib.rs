@@ -1,0 +1,76 @@
+//! # rcg-vliw — register component graph partitioning for clustered VLIWs
+//!
+//! A full reproduction of *Register Assignment for Software Pipelining with
+//! Partitioned Register Banks* (Hiser, Carr, Sweany, Beaty; IPPS/SPDP 2000):
+//! a retargetable code-generation framework that software-pipelines
+//! innermost loops for VLIW machines whose register file is split into
+//! per-cluster banks, and assigns values to banks by partitioning a
+//! **register component graph** (RCG).
+//!
+//! This crate is a facade: it re-exports the workspace's layers under one
+//! name. The layers, bottom-up:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`ir`] | `vliw-ir` | three-address loop IR, builder, verifier |
+//! | [`machine`] | `vliw-machine` | cluster/bank/copy-model machine descriptions, §6.1 latencies |
+//! | [`ddg`] | `vliw-ddg` | dependence graphs, ResII/RecII, slack |
+//! | [`sched`] | `vliw-sched` | iterative modulo scheduling, MRT, list scheduling, prelude/postlude expansion |
+//! | [`core`] | `vliw-core` | **the paper's contribution**: RCG build, greedy bank assignment, copy insertion, baselines, iterated refinement |
+//! | [`regalloc`] | `vliw-regalloc` | MVE live ranges, Chaitin/Briggs per bank |
+//! | [`sim`] | `vliw-sim` | cycle-accurate simulator + scalar reference oracle |
+//! | [`loopgen`] | `vliw-loopgen` | the deterministic 211-loop corpus |
+//! | [`pipeline`] | `vliw-pipeline` | end-to-end driver, Table 1/2 and Fig. 5–7 reproduction |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rcg_vliw::prelude::*;
+//!
+//! // y[i] = y[i] + a*x[i], unrolled 4×.
+//! let mut b = LoopBuilder::new("daxpy");
+//! let x = b.array("x", RegClass::Float, 512);
+//! let y = b.array("y", RegClass::Float, 512);
+//! let a = b.live_in_float_val("a", 2.0);
+//! for j in 0..4 {
+//!     let xv = b.load(x, j, 4);
+//!     let yv = b.load(y, j, 4);
+//!     let p = b.fmul(a, xv);
+//!     let s = b.fadd(yv, p);
+//!     b.store(y, j, 4, s);
+//! }
+//! let body = b.finish(64);
+//!
+//! // Pipeline it onto a 16-wide machine with 4 clusters of 4 FUs.
+//! let machine = MachineDesc::embedded(4, 4);
+//! let result = run_loop(&body, &machine, &PipelineConfig::default());
+//! assert!(result.clustered_ii >= result.ideal_ii);
+//! assert_eq!(result.spills, 0);
+//! ```
+
+pub use vliw_core as core;
+pub use vliw_ddg as ddg;
+pub use vliw_ir as ir;
+pub use vliw_loopgen as loopgen;
+pub use vliw_machine as machine;
+pub use vliw_pipeline as pipeline;
+pub use vliw_regalloc as regalloc;
+pub use vliw_sched as sched;
+pub use vliw_sim as sim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use vliw_core::{
+        assign_banks, assign_banks_caps, build_rcg, insert_copies, iterated_partition, Partition,
+        PartitionConfig,
+    };
+    pub use vliw_ddg::{build_ddg, compute_slack, min_ii, rec_ii, res_ii};
+    pub use vliw_ir::{Loop, LoopBuilder, Opcode, RegClass, VReg};
+    pub use vliw_machine::{ClusterId, CopyModel, LatencyTable, MachineDesc};
+    pub use vliw_pipeline::{run_loop, LoopResult, PartitionerKind, PipelineConfig};
+    pub use vliw_regalloc::allocate;
+    pub use vliw_sched::{
+        expand, list_schedule, schedule_loop, verify_schedule, ImsConfig, SchedProblem, Schedule,
+    };
+    pub use vliw_sim::{check_equivalence, run_reference, simulate};
+}

@@ -1,0 +1,208 @@
+//! Property-based tests over randomly generated loops.
+//!
+//! A loop is generated as a sequence of small "recipes" folded through the
+//! builder (so it is structurally valid by construction), then pushed
+//! through every stage of the pipeline. The properties are the contracts
+//! each stage promises:
+//!
+//! * the IR verifier accepts builder output;
+//! * modulo schedules satisfy every dependence mod II and never
+//!   over-subscribe the reservation table;
+//! * the greedy partition is total and the copy-inserted loop is fully
+//!   operand-local;
+//! * per-bank colouring never assigns one register to two overlapping
+//!   ranges;
+//! * and the big one — the partitioned, copy-inserted, rescheduled loop
+//!   computes **bit-for-bit** the same arrays and live-outs as sequential
+//!   execution of the original.
+
+use proptest::prelude::*;
+use rcg_vliw::prelude::*;
+use vliw_ir::verify_loop;
+
+/// One step of loop construction.
+#[derive(Debug, Clone)]
+enum Recipe {
+    LoadX(u8),
+    LoadY(u8),
+    FAdd(u8, u8),
+    FSub(u8, u8),
+    FMul(u8, u8),
+    FDiv(u8, u8),
+    StoreY(u8, u8),
+    AccumulateInto(u8),
+    Const(u8),
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    prop_oneof![
+        (0..4u8).prop_map(Recipe::LoadX),
+        (0..4u8).prop_map(Recipe::LoadY),
+        any::<(u8, u8)>().prop_map(|(a, b)| Recipe::FAdd(a, b)),
+        any::<(u8, u8)>().prop_map(|(a, b)| Recipe::FSub(a, b)),
+        any::<(u8, u8)>().prop_map(|(a, b)| Recipe::FMul(a, b)),
+        any::<(u8, u8)>().prop_map(|(a, b)| Recipe::FDiv(a, b)),
+        any::<(u8, u8)>().prop_map(|(a, b)| Recipe::StoreY(a, b)),
+        any::<u8>().prop_map(Recipe::AccumulateInto),
+        (0..16u8).prop_map(Recipe::Const),
+    ]
+}
+
+/// Fold recipes through the builder. The float pool starts with two
+/// live-ins, so operand picks (index mod pool len) always resolve.
+fn build_loop(recipes: &[Recipe], trip: u32) -> Loop {
+    let mut b = LoopBuilder::new("prop");
+    let x = b.array("x", RegClass::Float, 8 * trip as usize + 16);
+    let y = b.array("y", RegClass::Float, 8 * trip as usize + 16);
+    let a0 = b.live_in_float_val("a0", 1.5);
+    let a1 = b.live_in_float_val("a1", -0.75);
+    let acc = b.live_in_float_val("acc", 0.0);
+    let mut pool = vec![a0, a1];
+    for r in recipes {
+        let pick = |i: u8, pool: &[VReg]| pool[i as usize % pool.len()];
+        match r {
+            Recipe::LoadX(off) => pool.push(b.load(x, *off as i64, 5)),
+            Recipe::LoadY(off) => pool.push(b.load(y, *off as i64 + 8, 5)),
+            Recipe::FAdd(i, j) => {
+                let (p, q) = (pick(*i, &pool), pick(*j, &pool));
+                pool.push(b.fadd(p, q));
+            }
+            Recipe::FSub(i, j) => {
+                let (p, q) = (pick(*i, &pool), pick(*j, &pool));
+                pool.push(b.fsub(p, q));
+            }
+            Recipe::FMul(i, j) => {
+                let (p, q) = (pick(*i, &pool), pick(*j, &pool));
+                pool.push(b.fmul(p, q));
+            }
+            Recipe::FDiv(i, j) => {
+                let (p, q) = (pick(*i, &pool), pick(*j, &pool));
+                pool.push(b.fdiv(p, q));
+            }
+            Recipe::StoreY(i, slot) => {
+                // Store slots 0..4 of the stride-5 lane; loads read slots
+                // 8..12, so store→load dependences are loop-carried.
+                let v = pick(*i, &pool);
+                b.store(y, *slot as i64 % 4, 5, v);
+            }
+            Recipe::AccumulateInto(i) => {
+                let v = pick(*i, &pool);
+                b.fadd_into(acc, acc, v);
+            }
+            Recipe::Const(k) => pool.push(b.fconst_new(0.25 * (*k as f64 + 1.0))),
+        }
+    }
+    b.live_out(acc);
+    b.finish(trip)
+}
+
+fn machines_under_test() -> Vec<MachineDesc> {
+    vec![
+        MachineDesc::monolithic(8),
+        MachineDesc::embedded(2, 2),
+        MachineDesc::embedded(4, 1),
+        MachineDesc::copy_unit(2, 2),
+        MachineDesc::copy_unit(4, 2),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn builder_output_always_verifies(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..24),
+        trip in 1u32..12,
+    ) {
+        let l = build_loop(&recipes, trip);
+        prop_assert!(verify_loop(&l).is_ok());
+    }
+
+    #[test]
+    fn ideal_modulo_schedule_is_legal_and_exact(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..20),
+        trip in 1u32..10,
+    ) {
+        let l = build_loop(&recipes, trip);
+        let m = MachineDesc::monolithic(8);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let s = schedule_loop(&p, &g, &ImsConfig::default()).unwrap();
+        prop_assert!(verify_schedule(&p, &g, &s).is_ok());
+        prop_assert!(check_equivalence(&l, &s, &m.latencies).is_ok());
+    }
+
+    #[test]
+    fn partition_copyins_reschedule_preserve_semantics(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..20),
+        trip in 1u32..8,
+        machine_pick in 0usize..5,
+    ) {
+        let l = build_loop(&recipes, trip);
+        let machine = machines_under_test().swap_remove(machine_pick);
+        let cfg = PartitionConfig::default();
+
+        let ideal_m = MachineDesc::monolithic(machine.issue_width());
+        let ddg = build_ddg(&l, &machine.latencies);
+        let ideal = schedule_loop(&SchedProblem::ideal(&l, &ideal_m), &ddg, &ImsConfig::default()).unwrap();
+        let slack = compute_slack(&ddg, |op| machine.latencies.of(l.op(op).opcode) as i64);
+        let rcg = build_rcg(&l, &ideal, &slack, &cfg);
+        let part = assign_banks(&rcg, machine.n_clusters(), &cfg);
+
+        // Totality: every register gets a bank in range.
+        prop_assert_eq!(part.bank_of.len(), l.n_vregs());
+        prop_assert!(part.bank_of.iter().all(|b| b.index() < machine.n_clusters()));
+
+        let clustered = insert_copies(&l, &part);
+        prop_assert!(verify_loop(&clustered.body).is_ok());
+        prop_assert!(clustered.all_operands_local());
+
+        let cddg = build_ddg(&clustered.body, &machine.latencies);
+        let problem = SchedProblem::clustered(&clustered.body, &machine, &clustered.cluster_of);
+        let sched = schedule_loop(&problem, &cddg, &ImsConfig::default()).unwrap();
+        prop_assert!(verify_schedule(&problem, &cddg, &sched).is_ok());
+
+        // The headline invariant: pipelined clustered execution is
+        // bit-identical to sequential execution of the ORIGINAL loop.
+        prop_assert!(check_equivalence(&clustered.body, &sched, &machine.latencies).is_ok());
+        let orig = run_reference(&l);
+        let rewritten = run_reference(&clustered.body);
+        prop_assert_eq!(orig.memory, rewritten.memory);
+    }
+
+    #[test]
+    fn coloring_is_always_valid(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..16),
+        trip in 1u32..8,
+    ) {
+        use rcg_vliw::regalloc::validate_allocation;
+        let l = build_loop(&recipes, trip);
+        let machine = MachineDesc::embedded(2, 2);
+        let cfg = PartitionConfig::default();
+        let ideal_m = MachineDesc::monolithic(4);
+        let ddg = build_ddg(&l, &machine.latencies);
+        let ideal = schedule_loop(&SchedProblem::ideal(&l, &ideal_m), &ddg, &ImsConfig::default()).unwrap();
+        let slack = compute_slack(&ddg, |op| machine.latencies.of(l.op(op).opcode) as i64);
+        let rcg = build_rcg(&l, &ideal, &slack, &cfg);
+        let part = assign_banks(&rcg, 2, &cfg);
+        let clustered = insert_copies(&l, &part);
+        let cddg = build_ddg(&clustered.body, &machine.latencies);
+        let problem = SchedProblem::clustered(&clustered.body, &machine, &clustered.cluster_of);
+        let sched = schedule_loop(&problem, &cddg, &ImsConfig::default()).unwrap();
+        let alloc = allocate(&clustered.body, &cddg, &sched, &clustered.vreg_bank, &machine);
+        prop_assert!(validate_allocation(
+            &clustered.body, &cddg, &sched, &clustered.vreg_bank, &machine, &alloc
+        ));
+    }
+
+    #[test]
+    fn reference_execution_is_deterministic(
+        recipes in proptest::collection::vec(recipe_strategy(), 1..20),
+        trip in 0u32..10,
+    ) {
+        let l = build_loop(&recipes, trip);
+        let a = run_reference(&l);
+        let b = run_reference(&l);
+        prop_assert_eq!(a, b);
+    }
+}
