@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, build, and the full test suite — everything
+# a change must pass before it lands. Runs fully offline (all third-party
+# dependencies are vendored under vendor/).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "==> vliw-lint (cross-stage sanitizer over three loop families)"
+cargo run --release --quiet --bin vliw-lint -- \
+    --families daxpy,dot,stencil --variants 2 --machines embedded
+
+echo "CI OK"

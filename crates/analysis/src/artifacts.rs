@@ -1,0 +1,116 @@
+//! The cross-stage artifact bundle the lint passes inspect.
+//!
+//! Every field beyond the first three is optional: a pass that needs an
+//! artifact that isn't present simply does nothing, so the same
+//! [`Analyzer`](crate::Analyzer) runs unchanged at any pipeline stage — the
+//! driver gates with a partially-filled bundle right after partitioning,
+//! then again with the full bundle after the clustered reschedule.
+
+use vliw_core::{Partition, PartitionConfig, RcgGraph};
+use vliw_ddg::{Ddg, SlackInfo};
+use vliw_ir::Loop;
+use vliw_machine::{ClusterId, MachineDesc};
+use vliw_sched::{FlatProgram, Schedule};
+
+/// Borrowed views of everything the pipeline has produced so far.
+#[derive(Clone, Copy)]
+pub struct Artifacts<'a> {
+    /// The original (pre-copy-insertion) loop body.
+    pub body: &'a Loop,
+    /// The clustered target machine.
+    pub machine: &'a MachineDesc,
+    /// RCG weighting constants the partition was built with.
+    pub cfg: &'a PartitionConfig,
+    /// Ideal schedule on the monolithic twin (§4.1).
+    pub ideal: Option<&'a Schedule>,
+    /// Per-op slack of the original body's DDG.
+    pub slack: Option<&'a SlackInfo>,
+    /// The register component graph (present for RCG-based partitioners).
+    pub rcg: Option<&'a RcgGraph>,
+    /// The bank assignment.
+    pub partition: Option<&'a Partition>,
+    /// The rewritten body after copy insertion (and any spill rounds).
+    pub clustered_body: Option<&'a Loop>,
+    /// Cluster per operation of `clustered_body`.
+    pub cluster_of: Option<&'a [ClusterId]>,
+    /// Bank per virtual register of `clustered_body`.
+    pub vreg_bank: Option<&'a [ClusterId]>,
+    /// DDG rebuilt over `clustered_body`.
+    pub cddg: Option<&'a Ddg>,
+    /// The clustered modulo schedule.
+    pub clustered_sched: Option<&'a Schedule>,
+    /// Flat prelude/kernel/postlude expansion, if already materialised
+    /// (the expansion lint expands on the fly otherwise).
+    pub flat: Option<&'a FlatProgram>,
+}
+
+impl<'a> Artifacts<'a> {
+    /// A bundle holding only the inputs every pipeline run starts from.
+    pub fn new(body: &'a Loop, machine: &'a MachineDesc, cfg: &'a PartitionConfig) -> Self {
+        Artifacts {
+            body,
+            machine,
+            cfg,
+            ideal: None,
+            slack: None,
+            rcg: None,
+            partition: None,
+            clustered_body: None,
+            cluster_of: None,
+            vreg_bank: None,
+            cddg: None,
+            clustered_sched: None,
+            flat: None,
+        }
+    }
+
+    /// Attach the ideal schedule and its slack information.
+    pub fn with_ideal(mut self, ideal: &'a Schedule, slack: &'a SlackInfo) -> Self {
+        self.ideal = Some(ideal);
+        self.slack = Some(slack);
+        self
+    }
+
+    /// Attach the register component graph.
+    pub fn with_rcg(mut self, rcg: &'a RcgGraph) -> Self {
+        self.rcg = Some(rcg);
+        self
+    }
+
+    /// Attach the bank assignment.
+    pub fn with_partition(mut self, partition: &'a Partition) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Attach the copy-inserted loop with its placement metadata.
+    pub fn with_clustered(
+        mut self,
+        body: &'a Loop,
+        cluster_of: &'a [ClusterId],
+        vreg_bank: &'a [ClusterId],
+    ) -> Self {
+        self.clustered_body = Some(body);
+        self.cluster_of = Some(cluster_of);
+        self.vreg_bank = Some(vreg_bank);
+        self
+    }
+
+    /// Attach the rebuilt DDG over the clustered body.
+    pub fn with_cddg(mut self, cddg: &'a Ddg) -> Self {
+        self.cddg = Some(cddg);
+        self
+    }
+
+    /// Attach the clustered modulo schedule.
+    pub fn with_schedule(mut self, sched: &'a Schedule) -> Self {
+        self.clustered_sched = Some(sched);
+        self
+    }
+
+    /// Attach a materialised flat expansion.
+    pub fn with_flat(mut self, flat: &'a FlatProgram) -> Self {
+        self.flat = Some(flat);
+        self
+    }
+}

@@ -1,0 +1,59 @@
+//! IR structural lints (`IR007`): both loop bodies must satisfy
+//! `vliw_ir::verify_loop` before anything downstream is trustworthy.
+
+use crate::artifacts::Artifacts;
+use crate::diag::{Diagnostic, LintCode, Report, SourceLoc};
+use vliw_ir::{verify_loop, Loop};
+
+/// Runs `verify_loop` over the original and (when present) clustered body.
+pub struct IrPass;
+
+impl crate::passes::LintPass for IrPass {
+    fn name(&self) -> &'static str {
+        "ir-structure"
+    }
+
+    fn run(&self, ctx: &Artifacts<'_>, report: &mut Report) {
+        check(ctx.body, "original", report);
+        if let Some(cb) = ctx.clustered_body {
+            check(cb, "clustered", report);
+        }
+    }
+}
+
+fn check(l: &Loop, which: &str, report: &mut Report) {
+    if let Err(e) = verify_loop(l) {
+        report.push(Diagnostic::new(
+            LintCode::Ir007,
+            "ir",
+            SourceLoc::default(),
+            format!("{which} body fails IR verification: {e}"),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::artifacts::Artifacts;
+    use crate::diag::LintCode;
+    use crate::passes::Analyzer;
+    use vliw_core::PartitionConfig;
+    use vliw_ir::{LoopBuilder, RegClass, VReg};
+    use vliw_machine::MachineDesc;
+
+    #[test]
+    fn broken_ir_fires_ir007() {
+        let mut b = LoopBuilder::new("bad");
+        let x = b.array("x", RegClass::Float, 16);
+        let v = b.load(x, 0, 1);
+        b.store(x, 0, 1, v);
+        let mut l = b.finish(8);
+        // Point the store's operand at a register that doesn't exist.
+        let n = l.n_vregs() as u32;
+        l.ops.last_mut().unwrap().uses[0] = VReg(n + 7);
+        let m = MachineDesc::monolithic(4);
+        let cfg = PartitionConfig::default();
+        let r = Analyzer::with_default_passes().analyze(&Artifacts::new(&l, &m, &cfg));
+        assert!(r.has_code(LintCode::Ir007), "{}", r.render_text());
+    }
+}

@@ -1,0 +1,74 @@
+//! The lint registry: a pluggable list of per-stage passes over the
+//! [`Artifacts`] bundle.
+
+use crate::artifacts::Artifacts;
+use crate::diag::Report;
+
+/// One static check over the pipeline artifacts. A pass inspects whatever
+/// subset of the bundle it understands and silently skips when its inputs
+/// aren't present yet.
+pub trait LintPass {
+    /// Stable pass name for `--list`-style output.
+    fn name(&self) -> &'static str;
+    /// Inspect `ctx`, appending findings to `report`.
+    fn run(&self, ctx: &Artifacts<'_>, report: &mut Report);
+}
+
+/// An ordered collection of lint passes.
+pub struct Analyzer {
+    passes: Vec<Box<dyn LintPass>>,
+}
+
+impl Analyzer {
+    /// An analyzer with no passes registered.
+    pub fn empty() -> Self {
+        Analyzer { passes: Vec::new() }
+    }
+
+    /// The full static registry: IR structure, RCG consistency, bank
+    /// legality, register pressure, copy-network dataflow, schedule
+    /// legality, and expansion shape. Excludes the dynamic oracle
+    /// ([`crate::equiv_lints::DynamicOraclePass`]), which simulates the
+    /// loop and is opt-in by cost.
+    pub fn with_default_passes() -> Self {
+        let mut a = Analyzer::empty();
+        a.register(Box::new(crate::ir_lints::IrPass));
+        a.register(Box::new(crate::rcg_lints::RcgPass));
+        a.register(Box::new(crate::bank_lints::BankPass));
+        a.register(Box::new(crate::bank_lints::PressurePass));
+        a.register(Box::new(crate::copy_lints::CopyPass));
+        a.register(Box::new(crate::sched_lints::SchedPass));
+        a.register(Box::new(crate::sched_lints::ExpansionPass));
+        a
+    }
+
+    /// Append a pass; passes run in registration order.
+    pub fn register(&mut self, pass: Box<dyn LintPass>) {
+        self.passes.push(pass);
+    }
+
+    /// Names of the registered passes, in run order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Run every registered pass over `ctx` and collect one report.
+    pub fn analyze(&self, ctx: &Artifacts<'_>) -> Report {
+        let mut report = Report::new();
+        for pass in &self.passes {
+            pass.run(ctx, &mut report);
+        }
+        report
+    }
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer::with_default_passes()
+    }
+}
+
+/// Run the default static registry over `ctx`.
+pub fn analyze(ctx: &Artifacts<'_>) -> Report {
+    Analyzer::with_default_passes().analyze(ctx)
+}

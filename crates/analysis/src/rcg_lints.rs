@@ -1,0 +1,186 @@
+//! RCG consistency lints (`RCG001`–`RCG004`): the register component graph
+//! must mirror the ideal schedule it was built from.
+//!
+//! The pass re-derives every expected edge weight from first principles —
+//! attraction for each def/use pair (§4.1), repulsion for each pair of defs
+//! sharing an ideal kernel row — deliberately *not* by calling
+//! `vliw_core::build_rcg`, so a bug or corruption in the production builder
+//! cannot hide from its own checker.
+
+use crate::artifacts::Artifacts;
+use crate::diag::{Diagnostic, LintCode, Report, SourceLoc};
+use std::collections::{BTreeSet, HashMap};
+use vliw_ir::VReg;
+
+/// Absolute tolerance for comparing accumulated f64 edge weights.
+const TOL: f64 = 1e-6;
+
+/// Checks the RCG against an independent re-derivation from the ideal
+/// schedule. Needs `ideal`, `slack` and `rcg`; skips otherwise (the
+/// non-RCG partitioners never build the graph).
+pub struct RcgPass;
+
+#[derive(Default, Clone, Copy)]
+struct Expected {
+    attr: f64,
+    rep: f64,
+    row: Option<u32>,
+}
+
+impl crate::passes::LintPass for RcgPass {
+    fn name(&self) -> &'static str {
+        "rcg-consistency"
+    }
+
+    fn run(&self, ctx: &Artifacts<'_>, report: &mut Report) {
+        let (Some(ideal), Some(slack), Some(g)) = (ctx.ideal, ctx.slack, ctx.rcg) else {
+            return;
+        };
+        let body = ctx.body;
+
+        // RCG002: the adjacency must be symmetric — a one-sided weight means
+        // the graph structure itself is corrupt and the weight comparison
+        // below would chase a phantom.
+        for a_idx in 0..g.n_nodes() {
+            let a = VReg(a_idx as u32);
+            for &(b, w) in g.neighbours(a) {
+                if b.index() > a_idx {
+                    let back = g.edge_weight(b, a);
+                    if (back - w).abs() > TOL {
+                        report.push(Diagnostic::new(
+                            LintCode::Rcg002,
+                            "rcg",
+                            SourceLoc::vreg(a),
+                            format!(
+                                "edge v{}—v{} is asymmetric: {:.4} forward, {:.4} back",
+                                a_idx,
+                                b.index(),
+                                w,
+                                back
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Re-derive the expected weights, mirroring §4.1 / §5.
+        let density = body.n_ops() as f64 / ideal.ii as f64;
+        let depth = body.nesting_depth;
+        let imp = |opidx: usize| {
+            ctx.cfg.importance(
+                slack.flexibility(vliw_ir::OpId(opidx as u32)),
+                density,
+                depth,
+            )
+        };
+        let key = |a: VReg, b: VReg| {
+            let (x, y) = (a.0.min(b.0), a.0.max(b.0));
+            (x, y)
+        };
+        let mut expected: HashMap<(u32, u32), Expected> = HashMap::new();
+
+        // Attraction: def—use pairs within each operation.
+        for op in &body.ops {
+            let Some(d) = op.def else { continue };
+            let w = imp(op.id.index());
+            let mut seen: Vec<VReg> = Vec::with_capacity(2);
+            for &s in &op.uses {
+                if s == d || seen.contains(&s) {
+                    continue;
+                }
+                seen.push(s);
+                expected.entry(key(d, s)).or_default().attr += w;
+            }
+        }
+
+        // Repulsion: pairs of defs in the same ideal kernel row.
+        if ctx.cfg.repulse_factor > 0.0 {
+            let mut by_row: HashMap<u32, Vec<usize>> = HashMap::new();
+            for op in &body.ops {
+                if op.def.is_some() {
+                    by_row
+                        .entry(ideal.row(op.id))
+                        .or_default()
+                        .push(op.id.index());
+                }
+            }
+            for (&row, ops) in &by_row {
+                for (i, &a) in ops.iter().enumerate() {
+                    for &b in &ops[i + 1..] {
+                        let (da, db) = (body.ops[a].def.unwrap(), body.ops[b].def.unwrap());
+                        if da == db {
+                            continue;
+                        }
+                        let e = expected.entry(key(da, db)).or_default();
+                        e.rep -= ctx.cfg.repulse_factor * imp(a).min(imp(b));
+                        e.row = Some(row);
+                    }
+                }
+            }
+        }
+
+        // Compare over the union of derived and actual edges.
+        let mut keys: BTreeSet<(u32, u32)> = expected.keys().copied().collect();
+        for (a, b, _) in g.edges() {
+            keys.insert((a.0, b.0));
+        }
+        for (ai, bi) in keys {
+            let (a, b) = (VReg(ai), VReg(bi));
+            let e = expected.get(&(ai, bi)).copied().unwrap_or_default();
+            let want = e.attr + e.rep;
+            let got = g.edge_weight(a, b);
+            let diff = got - want;
+            if diff.abs() <= TOL {
+                continue;
+            }
+            let d = if e.attr == 0.0 && e.rep == 0.0 {
+                Diagnostic::new(
+                    LintCode::Rcg004,
+                    "rcg",
+                    SourceLoc::vreg(a),
+                    format!(
+                        "edge v{ai}—v{bi} (weight {got:.4}) has no def/use or \
+                         same-row justification"
+                    ),
+                )
+            } else if diff > 0.0 && e.rep < 0.0 {
+                let mut loc = SourceLoc::vreg(a);
+                if let Some(row) = e.row {
+                    loc = loc.at_cycle(row as i64);
+                }
+                Diagnostic::new(
+                    LintCode::Rcg003,
+                    "rcg",
+                    loc,
+                    format!(
+                        "v{ai} and v{bi} are defined in the same ideal kernel row \
+                         but the repulsion contribution is missing: expected \
+                         weight {want:.4}, found {got:.4}"
+                    ),
+                )
+            } else if diff < 0.0 && e.attr > 0.0 {
+                Diagnostic::new(
+                    LintCode::Rcg001,
+                    "rcg",
+                    SourceLoc::vreg(a),
+                    format!(
+                        "def/use pair v{ai}—v{bi} lacks its attraction weight: \
+                         expected {want:.4}, found {got:.4}"
+                    ),
+                )
+            } else {
+                Diagnostic::new(
+                    LintCode::Rcg004,
+                    "rcg",
+                    SourceLoc::vreg(a),
+                    format!(
+                        "edge v{ai}—v{bi} weight {got:.4} disagrees with its \
+                         derivation {want:.4}"
+                    ),
+                )
+            };
+            report.push(d);
+        }
+    }
+}

@@ -23,9 +23,7 @@ fn bench_micro(c: &mut Criterion) {
             &ImsConfig::default(),
         )
         .unwrap();
-        let slack = compute_slack(&ddg, |op| {
-            machine.latencies.of(body.op(op).opcode) as i64
-        });
+        let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
         let rcg = build_rcg(&body, &ideal, &slack, &cfg);
         let part = assign_banks_caps(&rcg, &caps, &cfg);
         let clustered = insert_copies(&body, &part);
@@ -60,7 +58,15 @@ fn bench_micro(c: &mut Criterion) {
             b.iter(|| schedule_loop(&problem, &cddg, &ImsConfig::default()).unwrap())
         });
         c.bench_function(&format!("micro/{tag}/chaitin_briggs"), |b| {
-            b.iter(|| allocate(&clustered.body, &cddg, &sched, &clustered.vreg_bank, &machine))
+            b.iter(|| {
+                allocate(
+                    &clustered.body,
+                    &cddg,
+                    &sched,
+                    &clustered.vreg_bank,
+                    &machine,
+                )
+            })
         });
         c.bench_function(&format!("micro/{tag}/simulate_oracle"), |b| {
             b.iter(|| check_equivalence(&clustered.body, &sched, &machine.latencies).unwrap())

@@ -161,7 +161,7 @@ mod tests {
         // Registers within a chain co-locate.
         assert_eq!(p.bank(VReg(0)), p.bank(VReg(1))); // v1, m1
         assert_eq!(p.bank(VReg(2)), p.bank(VReg(3))); // v2, m2
-        // And the two chains land on different clusters (load balancing).
+                                                      // And the two chains land on different clusters (load balancing).
         assert_ne!(p.bank(VReg(0)), p.bank(VReg(2)));
     }
 

@@ -61,7 +61,11 @@ impl PartitionConfig {
     /// density of its block, and the block's nesting depth.
     pub fn importance(&self, flexibility: i64, density: f64, depth: u32) -> f64 {
         debug_assert!(flexibility >= 1);
-        let crit = if flexibility == 1 { self.crit_weight } else { 1.0 };
+        let crit = if flexibility == 1 {
+            self.crit_weight
+        } else {
+            1.0
+        };
         let depth_scale = self.depth_base.powi(depth.saturating_sub(1) as i32);
         crit * density * depth_scale / flexibility as f64
     }

@@ -81,7 +81,8 @@ pub fn insert_copies(body: &Loop, part: &Partition) -> ClusteredLoop {
     let reaching_def = |u: VReg, use_pos: usize| -> usize {
         let defs = &defs_of[u.index()];
         defs.iter()
-            .copied().rfind(|&d| d < use_pos)
+            .copied()
+            .rfind(|&d| d < use_pos)
             .unwrap_or_else(|| *defs.last().expect("variant use must have a def"))
     };
 
@@ -101,9 +102,9 @@ pub fn insert_copies(body: &Loop, part: &Partition) -> ClusteredLoop {
     let mut subst: HashMap<(usize, usize), VReg> = HashMap::new();
 
     let fresh = |classes: &mut Vec<vliw_ir::RegClass>,
-                     banks: &mut Vec<ClusterId>,
-                     class: vliw_ir::RegClass,
-                     bank: ClusterId| {
+                 banks: &mut Vec<ClusterId>,
+                 class: vliw_ir::RegClass,
+                 bank: ClusterId| {
         let v = VReg(classes.len() as u32);
         classes.push(class);
         banks.push(bank);

@@ -57,8 +57,8 @@ pub fn iterated_partition(
     beam: usize,
 ) -> Evaluated {
     // Initial phase: the paper's greedy method on the ideal schedule.
-    let ideal_machine = MachineDesc::monolithic(machine.issue_width())
-        .with_latencies(machine.latencies.clone());
+    let ideal_machine =
+        MachineDesc::monolithic(machine.issue_width()).with_latencies(machine.latencies.clone());
     let ddg = build_ddg(body, &machine.latencies);
     let ideal_problem = SchedProblem::ideal(body, &ideal_machine);
     let ideal =
@@ -66,7 +66,11 @@ pub fn iterated_partition(
     let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
     let rcg = build_rcg(body, &ideal, &slack, cfg);
     let caps: Vec<usize> = machine.clusters.iter().map(|c| c.n_fus).collect();
-    let mut best = evaluate_partition(body, machine, &crate::greedy::assign_banks_caps(&rcg, &caps, cfg));
+    let mut best = evaluate_partition(
+        body,
+        machine,
+        &crate::greedy::assign_banks_caps(&rcg, &caps, cfg),
+    );
 
     for _ in 0..rounds {
         // Candidate registers: used (or defined) on a cluster other than

@@ -114,6 +114,17 @@ impl RcgGraph {
         out
     }
 
+    /// Every undirected edge exactly once, as `(a, b, weight)` with
+    /// `a < b` — the traversal the cross-stage lints use.
+    pub fn edges(&self) -> impl Iterator<Item = (VReg, VReg, f64)> + '_ {
+        (0..self.n).flat_map(move |a| {
+            self.adj[a]
+                .iter()
+                .filter(move |(b, _)| b.index() > a)
+                .map(move |&(b, w)| (VReg(a as u32), b, w))
+        })
+    }
+
     /// Accumulate another RCG over the same register namespace into this
     /// one (used for whole-function partitioning: per-block graphs merge
     /// into one function graph, §6.3 / §7).
@@ -207,7 +218,10 @@ pub fn build_rcg(
         let mut by_row: HashMap<u32, Vec<usize>> = HashMap::new();
         for op in &body.ops {
             if op.def.is_some() {
-                by_row.entry(ideal.row(op.id)).or_default().push(op.id.index());
+                by_row
+                    .entry(ideal.row(op.id))
+                    .or_default()
+                    .push(op.id.index());
             }
         }
         for ops in by_row.values() {

@@ -27,7 +27,11 @@ pub struct XorShift(u64);
 impl XorShift {
     /// Seeded generator (seed must be non-zero; 0 is remapped).
     pub fn new(seed: u64) -> Self {
-        XorShift(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        XorShift(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
 
     /// Next raw value.
@@ -76,9 +80,7 @@ pub fn score_config(loops: &[Loop], machine: &MachineDesc, cfg: &PartitionConfig
             &ImsConfig::default(),
         )
         .expect("ideal schedules");
-        let slack = compute_slack(&ddg, |op| {
-            machine.latencies.of(body.op(op).opcode) as i64
-        });
+        let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
         let rcg = build_rcg(body, &ideal, &slack, cfg);
         let part = assign_banks_caps(&rcg, &caps, cfg);
         let clustered = insert_copies(body, &part);

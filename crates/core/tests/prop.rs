@@ -10,7 +10,10 @@ use vliw_loopgen::Family;
 use vliw_machine::ClusterId;
 
 fn graph() -> impl Strategy<Value = RcgGraph> {
-    (2usize..20, proptest::collection::vec((any::<u8>(), any::<u8>(), -8.0f64..8.0), 0..40))
+    (
+        2usize..20,
+        proptest::collection::vec((any::<u8>(), any::<u8>(), -8.0f64..8.0), 0..40),
+    )
         .prop_map(|(n, edges)| {
             let mut g = RcgGraph::new(n);
             for (a, b, w) in edges {

@@ -28,7 +28,10 @@ pub fn rec_ii(g: &Ddg) -> u32 {
     if g.longest_paths(lo).is_some() {
         return lo;
     }
-    debug_assert!(g.longest_paths(hi).is_some(), "upper bound must be feasible");
+    debug_assert!(
+        g.longest_paths(hi).is_some(),
+        "upper bound must be feasible"
+    );
     // Invariant: lo infeasible, hi feasible.
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;

@@ -6,7 +6,10 @@ use vliw_ddg::{rec_ii, Ddg, DepEdge, DepKind};
 use vliw_ir::OpId;
 
 fn arbitrary_graph() -> impl Strategy<Value = Ddg> {
-    (2usize..12, proptest::collection::vec((any::<u8>(), any::<u8>(), 1u8..13, 0u8..3), 1..24))
+    (
+        2usize..12,
+        proptest::collection::vec((any::<u8>(), any::<u8>(), 1u8..13, 0u8..3), 1..24),
+    )
         .prop_map(|(n, raw)| {
             let mut g = Ddg::new(n);
             for (f, t, lat, dist) in raw {

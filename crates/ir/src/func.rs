@@ -81,7 +81,12 @@ impl FunctionBuilder {
     }
 
     /// Declare a function-wide array (visible to all subsequent blocks).
-    pub fn array(&mut self, name: impl Into<String>, class: RegClass, len: usize) -> crate::ArrayId {
+    pub fn array(
+        &mut self,
+        name: impl Into<String>,
+        class: RegClass,
+        len: usize,
+    ) -> crate::ArrayId {
         self.proto.array(name, class, len)
     }
 
@@ -113,11 +118,7 @@ impl FunctionBuilder {
         f(&mut b);
         // Values defined here become live-ins of later blocks (synthetic
         // seeds keep each block self-simulable).
-        let defined: Vec<VReg> = b
-            .ops()
-            .iter()
-            .filter_map(|o| o.def)
-            .collect();
+        let defined: Vec<VReg> = b.ops().iter().filter_map(|o| o.def).collect();
         let block_loop = b.clone().finish(trip);
         debug_assert!(verify_loop(&block_loop).is_ok());
         self.blocks.push(block_loop);

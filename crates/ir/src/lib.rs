@@ -40,6 +40,6 @@ pub use builder::LoopBuilder;
 pub use func::{Function, FunctionBuilder};
 pub use looprep::{ArrayId, ArrayInfo, InitVal, Loop};
 pub use op::{AluKind, MemRef, OpId, Opcode, Operation};
-pub use reg::{RegClass, VReg};
 pub use parser::{format_loop_full, parse_loop, ParseError};
+pub use reg::{RegClass, VReg};
 pub use verify::{verify_loop, VerifyError};

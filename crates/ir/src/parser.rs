@@ -53,7 +53,11 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 /// included) that [`parse_loop`] accepts.
 pub fn format_loop_full(l: &Loop) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "loop {} (trip {}, depth {})", l.name, l.trip_count, l.nesting_depth);
+    let _ = writeln!(
+        s,
+        "loop {} (trip {}, depth {})",
+        l.name, l.trip_count, l.nesting_depth
+    );
     for (i, a) in l.arrays.iter().enumerate() {
         let _ = writeln!(s, "  array {} {} {}", a.name, a.class, a.len);
         let _ = i;
@@ -89,10 +93,21 @@ fn format_op_full(op: &Operation) -> String {
         // load: "opK load vD a0 off stride"; store: "opK store a0 off stride vS"
         match op.opcode {
             Opcode::Load => {
-                let _ = write!(s, " {} a{} {} {}", op.def.unwrap(), m.array.0, m.offset, m.stride);
+                let _ = write!(
+                    s,
+                    " {} a{} {} {}",
+                    op.def.unwrap(),
+                    m.array.0,
+                    m.offset,
+                    m.stride
+                );
             }
             _ => {
-                let _ = write!(s, " a{} {} {} {}", m.array.0, m.offset, m.stride, op.uses[0]);
+                let _ = write!(
+                    s,
+                    " a{} {} {} {}",
+                    m.array.0, m.offset, m.stride, op.uses[0]
+                );
             }
         }
         return s;
@@ -238,11 +253,13 @@ pub fn parse_loop(text: &str) -> Result<Loop, ParseError> {
                     .get(v.index())
                     .ok_or_else(|| err(line, "live-in register not declared"))?;
                 let init = match class {
-                    RegClass::Int => InitVal::Int(
-                        val.trim().parse().map_err(|_| err(line, "bad int init"))?,
-                    ),
+                    RegClass::Int => {
+                        InitVal::Int(val.trim().parse().map_err(|_| err(line, "bad int init"))?)
+                    }
                     RegClass::Float => InitVal::float(
-                        val.trim().parse().map_err(|_| err(line, "bad float init"))?,
+                        val.trim()
+                            .parse()
+                            .map_err(|_| err(line, "bad float init"))?,
                     ),
                 };
                 live_in.push(v);
@@ -285,7 +302,10 @@ fn parse_op(code: &str, expected_idx: usize, line: usize) -> Result<Operation, P
         .and_then(|n| n.parse().ok())
         .ok_or_else(|| err(line, "bad op id"))?;
     if idx != expected_idx {
-        return Err(err(line, format!("op ids must be dense; expected op{expected_idx}")));
+        return Err(err(
+            line,
+            format!("op ids must be dense; expected op{expected_idx}"),
+        ));
     }
     let opcode = mnemonic_to_opcode(toks.get(1).copied().unwrap_or(""), line)?;
     let mut alu = match opcode {
@@ -434,7 +454,8 @@ mod tests {
     #[test]
     fn rejects_structurally_invalid() {
         // Uses an undeclared register → verifier error surfaces as parse error.
-        let text = "loop bad (trip 1, depth 1)\n  vreg v0 float\n  vreg v1 float\n  op0 fmul v0 v1 v1\n";
+        let text =
+            "loop bad (trip 1, depth 1)\n  vreg v0 float\n  vreg v1 float\n  op0 fmul v0 v1 v1\n";
         assert!(parse_loop(text).is_err());
     }
 

@@ -37,7 +37,10 @@ fn main() {
     );
 
     if let Some(pos) = args.iter().position(|a| a == "--csv") {
-        let path = args.get(pos + 1).cloned().unwrap_or_else(|| "repro.csv".into());
+        let path = args
+            .get(pos + 1)
+            .cloned()
+            .unwrap_or_else(|| "repro.csv".into());
         let mut out = String::from(
             "machine,loop,ops,ideal_ii,clustered_ii,copies,hoisted,normalized,ideal_ipc,clustered_ipc,mve_unroll,fp_pressure,spills\n",
         );
@@ -67,7 +70,10 @@ fn main() {
     if all || has("--example") {
         let ex = paper_example();
         println!("Figures 1-3: the xpos worked example (2 FUs, unit latency)");
-        println!("  ideal schedule      : {} cycles (paper: 7)", ex.ideal_span);
+        println!(
+            "  ideal schedule      : {} cycles (paper: 7)",
+            ex.ideal_span
+        );
         println!(
             "  2-bank partitioned  : {} cycles, {} copies (paper: 9 cycles, 2 copies)\n",
             ex.clustered_span, ex.n_copies
@@ -81,8 +87,11 @@ fn main() {
         println!("{}", table2(&corpus, &cfg).render());
         println!("  (paper: arith 111/150, 126/122, 162/133; harm 109/127, 119/115, 138/124)\n");
     }
-    for (flag, n, paper_zero) in [("--fig5", 2usize, 60.0), ("--fig6", 4, 50.0), ("--fig7", 8, 40.0)]
-    {
+    for (flag, n, paper_zero) in [
+        ("--fig5", 2usize, 60.0),
+        ("--fig6", 4, 50.0),
+        ("--fig7", 8, 40.0),
+    ] {
         if all || has(flag) {
             let f = fig_histogram(&corpus, n, &cfg);
             println!("{}", f.render());

@@ -1,0 +1,154 @@
+//! `vliw-lint` — run the full cross-stage static analysis (plus the dynamic
+//! equivalence oracle) over generated loop families and report findings.
+//!
+//! ```text
+//! vliw-lint [--json] [--families daxpy,dot,...] [--variants N] [--machines all|embedded|copyunit]
+//! ```
+//!
+//! Every loop runs through the complete §4 pipeline with lint gating in
+//! collect mode, so a corrupted stage produces a report instead of an
+//! abort. Exit status: 0 clean (warnings allowed), 1 usage error, 2 when
+//! any Error-level diagnostic fired.
+
+use vliw_loopgen::Family;
+use vliw_machine::MachineDesc;
+use vliw_pipeline::{run_loop, DiagSummary, LintMode, PipelineConfig};
+
+struct Options {
+    json: bool,
+    families: Vec<Family>,
+    variants: usize,
+    machines: Vec<MachineDesc>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        families: Family::ALL.to_vec(),
+        variants: 2,
+        machines: Vec::new(),
+    };
+    let mut machines_arg = String::from("all");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--families" => {
+                let list = args
+                    .next()
+                    .ok_or("--families needs a comma-separated list")?;
+                opts.families = list
+                    .split(',')
+                    .map(|name| {
+                        Family::ALL
+                            .into_iter()
+                            .find(|f| f.name().eq_ignore_ascii_case(name.trim()))
+                            .ok_or_else(|| format!("unknown family '{name}'"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--variants" => {
+                opts.variants = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--variants needs a positive integer")?;
+            }
+            "--machines" => {
+                machines_arg = args
+                    .next()
+                    .ok_or("--machines needs all|embedded|copyunit")?;
+            }
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    opts.machines = match machines_arg.as_str() {
+        "all" => MachineDesc::paper_models(true)
+            .into_iter()
+            .chain(MachineDesc::paper_models(false))
+            .collect(),
+        "embedded" => MachineDesc::paper_models(true),
+        "copyunit" => MachineDesc::paper_models(false),
+        other => return Err(format!("unknown machine set '{other}'")),
+    };
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("vliw-lint: {msg}");
+            }
+            eprintln!(
+                "usage: vliw-lint [--json] [--families daxpy,dot,...] \
+                 [--variants N] [--machines all|embedded|copyunit]"
+            );
+            std::process::exit(if msg.is_empty() { 0 } else { 1 });
+        }
+    };
+
+    // Full pipeline, full checking, never abort: static lints at every
+    // stage gate plus the simulation oracle, collected per loop.
+    let cfg = PipelineConfig {
+        simulate: true,
+        lint: LintMode::Collect,
+        ..Default::default()
+    };
+
+    let mut results = Vec::new();
+    let mut n_loops = 0usize;
+    for machine in &opts.machines {
+        for &family in &opts.families {
+            for idx in 0..opts.variants {
+                // Unroll 1–4 and trip counts big enough to exercise the
+                // prelude/kernel/postlude structure.
+                let unroll = 1 + idx % 4;
+                let body = family.build(idx, unroll, 32 + 8 * idx as u32);
+                let r = run_loop(&body, machine, &cfg);
+                n_loops += 1;
+                if !r.diagnostics.is_empty() {
+                    if opts.json {
+                        for d in &r.diagnostics {
+                            println!("{}", d.render_json());
+                        }
+                    } else {
+                        for d in &r.diagnostics {
+                            println!("{} [{} on {}]", d.render_text(), r.name, machine.name);
+                        }
+                    }
+                }
+                results.push(r);
+            }
+        }
+    }
+
+    let summary = DiagSummary::from_results(&results);
+    if opts.json {
+        let by_code: Vec<String> = summary
+            .by_code
+            .iter()
+            .map(|(c, n)| format!("\"{c}\":{n}"))
+            .collect();
+        println!(
+            "{{\"loops\":{n_loops},\"errors\":{},\"warnings\":{},\"notes\":{},\"by_code\":{{{}}}}}",
+            summary.errors,
+            summary.warns,
+            summary.infos,
+            by_code.join(",")
+        );
+    } else {
+        println!(
+            "linted {n_loops} loop(s) across {} machine model(s), {} famil(ies)",
+            opts.machines.len(),
+            opts.families.len()
+        );
+        print!("{}", summary.render());
+    }
+    if summary.errors > 0 {
+        std::process::exit(2);
+    }
+}

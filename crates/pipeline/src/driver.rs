@@ -1,19 +1,25 @@
 //! The per-loop pipeline driver: §4's five steps plus validation.
+//!
+//! Between stages the driver runs the `vliw-analysis` lint registry over
+//! whatever artifacts exist so far. In debug builds an Error-level finding
+//! panics at the gate it was caught (the lint analogue of the surrounding
+//! `debug_assert!`s); release builds collect everything into
+//! [`LoopResult::diagnostics`] for the harness to aggregate.
 
+use vliw_analysis::{Analyzer, Artifacts, Diagnostic, Report};
 use vliw_core::{
-    bug_partition, build_rcg, component_partition, insert_copies, round_robin_partition,
-    Partition, PartitionConfig,
+    bug_partition, build_rcg, component_partition, insert_copies, round_robin_partition, Partition,
+    PartitionConfig, RcgGraph,
 };
+use vliw_ddg::Ddg;
 use vliw_ddg::{build_ddg, compute_slack};
 use vliw_ir::Loop;
 use vliw_machine::{CopyModel, MachineDesc};
 use vliw_regalloc::allocate;
-use vliw_ddg::Ddg;
 use vliw_sched::{
-    schedule_loop, sms_schedule_loop, verify_schedule, ImsConfig, SchedProblem, Schedule,
-    SmsConfig,
+    schedule_loop, sms_schedule_loop, verify_schedule, ImsConfig, SchedProblem, Schedule, SmsConfig,
 };
-use vliw_sim::check_equivalence;
+use vliw_sim::equivalence_failures;
 
 /// Which partitioner to run in step 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +47,21 @@ pub enum SchedulerKind {
     Swing,
 }
 
+/// How the cross-stage lint gates behave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintMode {
+    /// Run the lints; in debug builds panic at the first stage gate with an
+    /// Error-level finding, in release builds just collect. The default.
+    #[default]
+    Gate,
+    /// Run the lints and collect findings without ever panicking — what
+    /// `vliw-lint` uses so a corrupted pipeline yields a report, not an
+    /// abort.
+    Collect,
+    /// Skip static analysis entirely.
+    Off,
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -61,6 +82,8 @@ pub struct PipelineConfig {
     pub simulate_physical: bool,
     /// Run Chaitin/Briggs per bank and record pressure/spills.
     pub allocate: bool,
+    /// Cross-stage lint gating (see [`LintMode`]).
+    pub lint: LintMode,
 }
 
 impl Default for PipelineConfig {
@@ -73,6 +96,7 @@ impl Default for PipelineConfig {
             simulate: false,
             simulate_physical: false,
             allocate: true,
+            lint: LintMode::default(),
         }
     }
 }
@@ -113,6 +137,10 @@ pub struct LoopResult {
     /// `Some(true)` = simulated and bit-exact vs the scalar reference;
     /// `None` = simulation disabled.
     pub sim_ok: Option<bool>,
+    /// Everything the cross-stage lints (and, when simulation ran, the
+    /// dynamic oracle) found, in stage order. Empty under
+    /// [`LintMode::Off`] and on a clean run.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl LoopResult {
@@ -124,16 +152,25 @@ impl LoopResult {
 
 /// Schedule with the configured scheduler, falling back to IMS if swing
 /// scheduling exhausts its II attempts (rare; keeps the harness total).
-pub fn schedule_with(
-    cfg: &PipelineConfig,
-    problem: &SchedProblem<'_>,
-    ddg: &Ddg,
-) -> Schedule {
+pub fn schedule_with(cfg: &PipelineConfig, problem: &SchedProblem<'_>, ddg: &Ddg) -> Schedule {
     match cfg.scheduler {
         SchedulerKind::Ims => schedule_loop(problem, ddg, &cfg.ims).expect("IMS schedules"),
         SchedulerKind::Swing => sms_schedule_loop(problem, ddg, &SmsConfig::default())
             .unwrap_or_else(|_| schedule_loop(problem, ddg, &cfg.ims).expect("IMS fallback")),
     }
+}
+
+/// Run a stage gate: in [`LintMode::Gate`] under debug assertions an
+/// Error-level finding aborts right where it was caught; otherwise the
+/// findings accumulate into `acc` for the caller to report.
+fn gate(mode: LintMode, loop_name: &str, stage: &str, acc: &mut Report, found: Report) {
+    if mode == LintMode::Gate && cfg!(debug_assertions) && found.has_errors() {
+        panic!(
+            "pipeline stage gate '{stage}' failed for loop '{loop_name}':\n{}",
+            found.render_text()
+        );
+    }
+    acc.merge(found);
 }
 
 /// Run the full pipeline for `body` on `machine`.
@@ -143,32 +180,52 @@ pub fn schedule_with(
 /// clustering.
 pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> LoopResult {
     // Steps 1–2: DDG + ideal schedule on the monolithic twin.
-    let ideal_machine = MachineDesc::monolithic(machine.issue_width())
-        .with_latencies(machine.latencies.clone());
+    let ideal_machine =
+        MachineDesc::monolithic(machine.issue_width()).with_latencies(machine.latencies.clone());
     let ddg = build_ddg(body, &machine.latencies);
     let ideal_problem = SchedProblem::ideal(body, &ideal_machine);
     let ideal = schedule_with(cfg, &ideal_problem, &ddg);
     debug_assert!(verify_schedule(&ideal_problem, &ddg, &ideal).is_ok());
     let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
 
-    // Step 3: partition registers to banks.
+    // Step 3: partition registers to banks. The RCG (when the partitioner
+    // builds one) outlives the match so the gate below can lint it.
     let n_banks = machine.n_clusters();
+    let mut rcg: Option<RcgGraph> = None;
     let partition: Partition = match cfg.partitioner {
         PartitionerKind::Greedy => {
-            let rcg = build_rcg(body, &ideal, &slack, &cfg.partition);
+            let g = rcg.insert(build_rcg(body, &ideal, &slack, &cfg.partition));
             let caps: Vec<usize> = machine.clusters.iter().map(|c| c.n_fus).collect();
-            vliw_core::assign_banks_caps(&rcg, &caps, &cfg.partition)
+            vliw_core::assign_banks_caps(g, &caps, &cfg.partition)
         }
         PartitionerKind::Iterated(rounds, beam) => {
             vliw_core::iterated_partition(body, machine, &cfg.partition, rounds, beam).partition
         }
         PartitionerKind::Bug => bug_partition(body, &slack, machine),
         PartitionerKind::Component => {
-            let rcg = build_rcg(body, &ideal, &slack, &cfg.partition);
-            component_partition(&rcg, n_banks)
+            let g = rcg.insert(build_rcg(body, &ideal, &slack, &cfg.partition));
+            component_partition(g, n_banks)
         }
         PartitionerKind::RoundRobin => round_robin_partition(body.n_vregs(), n_banks),
     };
+
+    let analyzer = Analyzer::with_default_passes();
+    let mut diagnostics = Report::new();
+    if cfg.lint != LintMode::Off {
+        let mut ctx = Artifacts::new(body, machine, &cfg.partition)
+            .with_ideal(&ideal, &slack)
+            .with_partition(&partition);
+        if let Some(g) = &rcg {
+            ctx = ctx.with_rcg(g);
+        }
+        gate(
+            cfg.lint,
+            &body.name,
+            "partition",
+            &mut diagnostics,
+            analyzer.analyze(&ctx),
+        );
+    }
 
     // Step 4: copies + clustered reschedule.
     let clustered = insert_copies(body, &partition);
@@ -242,15 +299,56 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
     let clustered_final_body = work_body;
     let clustered_final_banks = work_banks;
 
+    if cfg.lint != LintMode::Off {
+        let ctx = Artifacts::new(body, machine, &cfg.partition)
+            .with_clustered(&clustered_final_body, &work_cluster, &clustered_final_banks)
+            .with_cddg(&cddg)
+            .with_schedule(&sched);
+        let mut found = analyzer.analyze(&ctx);
+        if spills > 0 {
+            // The allocator already reported this colouring as spilled
+            // (`LoopResult::spills`); pressure above capacity is then the
+            // recorded outcome, not a silent invariant violation, so the
+            // gate must not abort on it.
+            for d in found.diags.iter_mut() {
+                if d.code == vliw_analysis::LintCode::Pres002 {
+                    d.severity = vliw_analysis::Severity::Warn;
+                }
+            }
+        }
+        gate(
+            cfg.lint,
+            &body.name,
+            "clustered-schedule",
+            &mut diagnostics,
+            found,
+        );
+    }
+
     let mut sim_ok = if cfg.simulate {
-        Some(check_equivalence(&clustered_final_body, &sched, &machine.latencies).is_ok())
+        let failures = equivalence_failures(&clustered_final_body, &sched, &machine.latencies);
+        let ok = failures.is_empty();
+        if cfg.lint != LintMode::Off {
+            let mut found = Report::new();
+            for e in &failures {
+                found.push(vliw_analysis::equiv_diagnostic(e));
+            }
+            gate(cfg.lint, &body.name, "sim", &mut diagnostics, found);
+        }
+        Some(ok)
     } else {
         None
     };
     if cfg.simulate_physical && sim_ok != Some(false) {
-        let alloc = allocate(&clustered_final_body, &cddg, &sched, &clustered_final_banks, machine);
-        let ok = alloc.total_spills() == 0
-            && vliw_sim::check_physical_equivalence(
+        let alloc = allocate(
+            &clustered_final_body,
+            &cddg,
+            &sched,
+            &clustered_final_banks,
+            machine,
+        );
+        let ok = if alloc.total_spills() == 0 {
+            let bit_exact = vliw_sim::check_physical_equivalence(
                 &clustered_final_body,
                 &sched,
                 &machine.latencies,
@@ -258,6 +356,46 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
                 &alloc,
             )
             .is_ok();
+            if !bit_exact && cfg.lint != LintMode::Off {
+                let mut found = Report::new();
+                found.push(Diagnostic::new(
+                    vliw_analysis::LintCode::Sim006,
+                    "sim",
+                    vliw_analysis::SourceLoc::default(),
+                    "physical-register execution (post-MVE renaming + colouring) \
+                     diverges from the scalar reference"
+                        .into(),
+                ));
+                gate(
+                    cfg.lint,
+                    &body.name,
+                    "sim-physical",
+                    &mut diagnostics,
+                    found,
+                );
+            }
+            bit_exact
+        } else {
+            // Physical execution is only defined for a spill-free colouring;
+            // an unconverged spill loop leaves the loop unverified (not
+            // diverged), which `LoopResult::spills` already records.
+            if cfg.lint != LintMode::Off {
+                diagnostics.push(
+                    Diagnostic::new(
+                        vliw_analysis::LintCode::Sim006,
+                        "sim",
+                        vliw_analysis::SourceLoc::default(),
+                        format!(
+                            "physical-register verification skipped: colouring \
+                             left {} value(s) spilled",
+                            alloc.total_spills()
+                        ),
+                    )
+                    .warning(),
+                );
+            }
+            false
+        };
         sim_ok = Some(sim_ok.unwrap_or(true) && ok);
     }
 
@@ -282,6 +420,7 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
         peak_float_pressure,
         spill_rounds,
         sim_ok,
+        diagnostics: diagnostics.diags,
     }
 }
 

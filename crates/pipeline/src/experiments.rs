@@ -85,7 +85,12 @@ pub fn table1(corpus: &[Loop], cfg: &PipelineConfig) -> Table1 {
             ideal = arith_mean(&rs.iter().map(|r| r.ideal_ipc).collect::<Vec<_>>());
         }
         let ipc = arith_mean(&rs.iter().map(|r| r.clustered_ipc).collect::<Vec<_>>());
-        rows.push((m.name.clone(), m.n_clusters(), m.copy_model.is_embedded(), ipc));
+        rows.push((
+            m.name.clone(),
+            m.n_clusters(),
+            m.copy_model.is_embedded(),
+            ipc,
+        ));
     }
     Table1 {
         ideal_ipc: ideal,
@@ -117,17 +122,24 @@ impl Table2 {
                 .map_or((f64::NAN, f64::NAN), |r| (r.3, r.4))
         };
         for (label, pick) in [("Arithmetic Mean", 0usize), ("Harmonic Mean", 1)] {
-            let cells: Vec<f64> = [(2, true), (2, false), (4, true), (4, false), (8, true), (8, false)]
-                .into_iter()
-                .map(|(c, e)| {
-                    let (a, h) = find(c, e);
-                    if pick == 0 {
-                        a
-                    } else {
-                        h
-                    }
-                })
-                .collect();
+            let cells: Vec<f64> = [
+                (2, true),
+                (2, false),
+                (4, true),
+                (4, false),
+                (8, true),
+                (8, false),
+            ]
+            .into_iter()
+            .map(|(c, e)| {
+                let (a, h) = find(c, e);
+                if pick == 0 {
+                    a
+                } else {
+                    h
+                }
+            })
+            .collect();
             let _ = writeln!(
                 s,
                 "{:<16} {:>8.0} {:>9.0} {:>8.0} {:>9.0} {:>8.0} {:>9.0}",
@@ -333,29 +345,34 @@ pub struct SchedulerRow {
 /// shows up as lower MVE unroll and lower register pressure.
 pub fn scheduler_compare(corpus: &[Loop], machine: &MachineDesc) -> Vec<SchedulerRow> {
     use crate::driver::SchedulerKind;
-    [("rau-ims", SchedulerKind::Ims), ("swing-sms", SchedulerKind::Swing)]
-        .into_iter()
-        .map(|(name, sched)| {
-            let cfg = PipelineConfig {
-                scheduler: sched,
-                ..Default::default()
-            };
-            let rs = run_corpus(corpus, machine, &cfg);
-            let norm: Vec<f64> = rs.iter().map(|r| r.normalized).collect();
-            let hist = Histogram::from_degradations(
-                &rs.iter().map(|r| r.degradation_pct()).collect::<Vec<_>>(),
-            );
-            SchedulerRow {
-                name: name.to_string(),
-                arith: arith_mean(&norm),
-                pct_zero: hist.percent_undegraded(),
-                mean_unroll: arith_mean(&rs.iter().map(|r| r.mve_unroll as f64).collect::<Vec<_>>()),
-                mean_pressure: arith_mean(
-                    &rs.iter().map(|r| r.peak_float_pressure as f64).collect::<Vec<_>>(),
-                ),
-            }
-        })
-        .collect()
+    [
+        ("rau-ims", SchedulerKind::Ims),
+        ("swing-sms", SchedulerKind::Swing),
+    ]
+    .into_iter()
+    .map(|(name, sched)| {
+        let cfg = PipelineConfig {
+            scheduler: sched,
+            ..Default::default()
+        };
+        let rs = run_corpus(corpus, machine, &cfg);
+        let norm: Vec<f64> = rs.iter().map(|r| r.normalized).collect();
+        let hist = Histogram::from_degradations(
+            &rs.iter().map(|r| r.degradation_pct()).collect::<Vec<_>>(),
+        );
+        SchedulerRow {
+            name: name.to_string(),
+            arith: arith_mean(&norm),
+            pct_zero: hist.percent_undegraded(),
+            mean_unroll: arith_mean(&rs.iter().map(|r| r.mve_unroll as f64).collect::<Vec<_>>()),
+            mean_pressure: arith_mean(
+                &rs.iter()
+                    .map(|r| r.peak_float_pressure as f64)
+                    .collect::<Vec<_>>(),
+            ),
+        }
+    })
+    .collect()
 }
 
 /// Render scheduler-comparison rows.
@@ -421,10 +438,10 @@ pub fn whole_programs(n_funcs: usize) -> (f64, f64, usize) {
         }
     }
     let machine = MachineDesc::embedded(4, 1); // 4-wide, 4 partitions of 1 FU
-    // Straight-line whole-program code is latency-bound, not
-    // throughput-bound: spreading a serial chain across 1-FU clusters buys
-    // nothing and pays copy latency, so the balance term is disabled here —
-    // consistent with the §7 weight tuner, which also drives it to zero.
+                                               // Straight-line whole-program code is latency-bound, not
+                                               // throughput-bound: spreading a serial chain across 1-FU clusters buys
+                                               // nothing and pays copy latency, so the balance term is disabled here —
+                                               // consistent with the §7 weight tuner, which also drives it to zero.
     let cfg = PipelineConfig {
         partition: vliw_core::PartitionConfig::no_balance(),
         ..Default::default()
@@ -493,10 +510,14 @@ pub fn paper_example() -> PaperExample {
     let ideal_span = ideal.iteration_span(&body, &ideal_m);
 
     let part = {
-        let slack = vliw_ddg::compute_slack(&ddg, |op| {
-            ideal_m.latencies.of(body.op(op).opcode) as i64
-        });
-        let rcg = vliw_core::build_rcg(&body, &ideal, &slack, &vliw_core::PartitionConfig::default());
+        let slack =
+            vliw_ddg::compute_slack(&ddg, |op| ideal_m.latencies.of(body.op(op).opcode) as i64);
+        let rcg = vliw_core::build_rcg(
+            &body,
+            &ideal,
+            &slack,
+            &vliw_core::PartitionConfig::default(),
+        );
         vliw_core::assign_banks_caps(&rcg, &[1, 1], &vliw_core::PartitionConfig::default())
     };
     let clustered = vliw_core::insert_copies(&body, &part);

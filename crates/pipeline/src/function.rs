@@ -83,8 +83,8 @@ pub fn run_function(
 ) -> FunctionResult {
     assert!(!func.blocks.is_empty());
     debug_assert!(func.verify().is_ok());
-    let ideal_machine = MachineDesc::monolithic(machine.issue_width())
-        .with_latencies(machine.latencies.clone());
+    let ideal_machine =
+        MachineDesc::monolithic(machine.issue_width()).with_latencies(machine.latencies.clone());
     let n_vregs = func.n_vregs();
 
     // Per-block ideal schedules + merged RCG over the shared namespace.
@@ -94,9 +94,7 @@ pub fn run_function(
         let ddg = build_ddg(body, &machine.latencies);
         let problem = SchedProblem::ideal(body, &ideal_machine);
         let ideal = schedule_block(body, &problem, &ddg, cfg);
-        let slack = compute_slack(&ddg, |op| {
-            machine.latencies.of(body.op(op).opcode) as i64
-        });
+        let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
         merged.merge(&build_rcg(body, &ideal, &slack, &cfg.partition));
         ideals.push((ddg, ideal));
     }
@@ -202,6 +200,10 @@ mod tests {
         let r = run_function(&func, &m, &PipelineConfig::default());
         // Invariant copies are hoisted; kernel copies only for loop-variant
         // cross-bank values.
-        assert!(r.total_copies <= 6, "unexpectedly many copies: {}", r.total_copies);
+        assert!(
+            r.total_copies <= 6,
+            "unexpectedly many copies: {}",
+            r.total_copies
+        );
     }
 }

@@ -18,16 +18,18 @@
 #![warn(missing_docs)]
 
 pub mod driver;
-pub mod function;
 pub mod experiments;
+pub mod function;
 pub mod stats;
 
-pub use driver::{run_loop, schedule_with, LoopResult, PartitionerKind, PipelineConfig, SchedulerKind};
-pub use function::{run_function, BlockResult, FunctionResult};
+pub use driver::{
+    run_loop, schedule_with, LintMode, LoopResult, PartitionerKind, PipelineConfig, SchedulerKind,
+};
 pub use experiments::{
     ablation, fig_histogram, latency_sweep, paper_example, paper_machines, render_ablation,
     render_scheduler_compare, run_corpus, scheduler_compare, table1, table2, whole_programs,
-    AblationRow,
-    HistogramRow, PaperExample, SchedulerRow, Table1, Table2,
+    AblationRow, HistogramRow, PaperExample, SchedulerRow, Table1, Table2,
 };
+pub use function::{run_function, BlockResult, FunctionResult};
+pub use stats::DiagSummary;
 pub use stats::{arith_mean, degradation_bucket, harmonic_mean, Histogram, BUCKET_LABELS};

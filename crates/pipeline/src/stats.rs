@@ -1,4 +1,65 @@
-//! Summary statistics: means and the degradation histogram of Figures 5–7.
+//! Summary statistics: means, the degradation histogram of Figures 5–7,
+//! and the aggregated diagnostics summary of the cross-stage lints.
+
+use std::collections::BTreeMap;
+use vliw_analysis::{Diagnostic, Severity};
+
+/// Aggregated view over every [`Diagnostic`] a batch of pipeline runs
+/// produced — static lints and dynamic-oracle divergences alike render
+/// through this one path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiagSummary {
+    /// Error-level findings.
+    pub errors: usize,
+    /// Warn-level findings.
+    pub warns: usize,
+    /// Info-level findings.
+    pub infos: usize,
+    /// Findings per stable lint code, sorted by code.
+    pub by_code: Vec<(String, usize)>,
+}
+
+impl DiagSummary {
+    /// Summarise a stream of diagnostics (chain `LoopResult::diagnostics`
+    /// slices across a corpus).
+    pub fn from_diags<'a>(diags: impl IntoIterator<Item = &'a Diagnostic>) -> Self {
+        let mut s = DiagSummary::default();
+        let mut by_code: BTreeMap<String, usize> = BTreeMap::new();
+        for d in diags {
+            match d.severity {
+                Severity::Error => s.errors += 1,
+                Severity::Warn => s.warns += 1,
+                Severity::Info => s.infos += 1,
+            }
+            *by_code.entry(d.code.code().to_string()).or_default() += 1;
+        }
+        s.by_code = by_code.into_iter().collect();
+        s
+    }
+
+    /// Summarise everything a slice of loop results collected.
+    pub fn from_results(results: &[crate::LoopResult]) -> Self {
+        Self::from_diags(results.iter().flat_map(|r| r.diagnostics.iter()))
+    }
+
+    /// No findings at all?
+    pub fn is_clean(&self) -> bool {
+        self.errors == 0 && self.warns == 0 && self.infos == 0
+    }
+
+    /// One-paragraph text rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "diagnostics: {} error(s), {} warning(s), {} note(s)\n",
+            self.errors, self.warns, self.infos
+        );
+        for (code, n) in &self.by_code {
+            let _ = writeln!(out, "  {code:<9} ×{n}");
+        }
+        out
+    }
+}
 
 /// Histogram bucket labels exactly as in the paper's figures.
 pub const BUCKET_LABELS: [&str; 11] = [

@@ -73,8 +73,7 @@ pub fn allocate(
         machine.latencies.of(body.op(op).opcode) as i64
     });
 
-    let mut assignment: Vec<Vec<Option<u32>>> =
-        vec![vec![None; unroll as usize]; body.n_vregs()];
+    let mut assignment: Vec<Vec<Option<u32>>> = vec![vec![None; unroll as usize]; body.n_vregs()];
     let mut spilled = Vec::new();
     let mut stats = Vec::new();
 
@@ -82,9 +81,7 @@ pub fn allocate(
         for class in RegClass::ALL {
             let ranges: Vec<LiveRange> = all_ranges
                 .iter()
-                .filter(|r| {
-                    vreg_bank[r.vreg.index()] == bank && body.class_of(r.vreg) == class
-                })
+                .filter(|r| vreg_bank[r.vreg.index()] == bank && body.class_of(r.vreg) == class)
                 .cloned()
                 .collect();
             if ranges.is_empty() {

@@ -141,7 +141,10 @@ mod tests {
         let g = InterferenceGraph::build(&r);
         // Each interval overlaps its two neighbours in the ring.
         let out = color_graph(&g, &r, 2);
-        assert_eq!(out.n_spilled, 0, "optimistic colouring must 2-colour a ring");
+        assert_eq!(
+            out.n_spilled, 0,
+            "optimistic colouring must 2-colour a ring"
+        );
         assert!(out.is_valid(&g));
     }
 

@@ -98,7 +98,9 @@ pub fn kernel_live_ranges(
         if e.kind != DepKind::Flow {
             continue;
         }
-        let Some(d) = body.op(e.from).def else { continue };
+        let Some(d) = body.op(e.from).def else {
+            continue;
+        };
         let use_end = s.time(e.to) + ii * e.distance as i64 + 1;
         end[d.index()] = end[d.index()].max(use_end);
     }
@@ -151,7 +153,9 @@ pub fn kernel_live_ranges(
 /// Maximum number of simultaneously live ranges among `ranges` (register
 /// pressure on the circle).
 pub fn max_pressure(ranges: &[LiveRange]) -> usize {
-    let Some(first) = ranges.first() else { return 0 };
+    let Some(first) = ranges.first() else {
+        return 0;
+    };
     let circle = first.interval.circle;
     (0..circle)
         .map(|p| ranges.iter().filter(|r| r.interval.covers(p)).count())
@@ -221,9 +225,8 @@ mod tests {
         let l = b.finish(64);
         let m = MachineDesc::monolithic(16);
         let (g, s) = pipeline(&l, &m);
-        let (k, ranges) = kernel_live_ranges(&l, &g, &s, |op| {
-            m.latencies.of(l.op(op).opcode) as i64
-        });
+        let (k, ranges) =
+            kernel_live_ranges(&l, &g, &s, |op| m.latencies.of(l.op(op).opcode) as i64);
         assert!(k > 1, "expected MVE unroll, got K={k}");
         // Every variant vreg has exactly K instances.
         let v0_instances = ranges.iter().filter(|r| r.vreg == VReg(0)).count();

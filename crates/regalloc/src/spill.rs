@@ -42,11 +42,7 @@ pub fn spillable(body: &Loop, v: VReg) -> bool {
     }
     let first_def = defs[0].index();
     // A use at or before the first def reads the previous iteration.
-    !body
-        .ops
-        .iter()
-        .take(first_def + 1)
-        .any(|o| o.uses_reg(v))
+    !body.ops.iter().take(first_def + 1).any(|o| o.uses_reg(v))
 }
 
 /// Rewrite `body`, spilling every register in `victims` (all must satisfy

@@ -1,8 +1,8 @@
 //! Property tests for cyclic intervals and colouring.
 
 use proptest::prelude::*;
-use vliw_regalloc::{color_graph, CyclicInterval, InterferenceGraph, LiveRange};
 use vliw_ir::VReg;
+use vliw_regalloc::{color_graph, CyclicInterval, InterferenceGraph, LiveRange};
 
 fn ranges(circle: i64) -> impl Strategy<Value = Vec<LiveRange>> {
     proptest::collection::vec((0..circle, 1..=circle), 1..24).prop_map(move |iv| {

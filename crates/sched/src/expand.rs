@@ -106,7 +106,11 @@ mod tests {
 
     fn sched(ii: u32, times: Vec<i64>) -> Schedule {
         let clusters = vec![ClusterId(0); times.len()];
-        Schedule { ii, times, clusters }
+        Schedule {
+            ii,
+            times,
+            clusters,
+        }
     }
 
     #[test]
@@ -122,12 +126,30 @@ mod tests {
         assert_eq!(p.prelude_cycles, 2);
         assert_eq!(p.kernel_reps, 4);
         // First cycle issues op0 of iteration 0 only.
-        assert_eq!(p.cycles[0], vec![Issue { op: OpId(0), iter: 0 }]);
+        assert_eq!(
+            p.cycles[0],
+            vec![Issue {
+                op: OpId(0),
+                iter: 0
+            }]
+        );
         // Cycle 2 overlaps iteration 1's op0 with iteration 0's op... op2 of
         // iter 0 issues at cycle 3; cycle 2 has op0/iter1 only.
-        assert_eq!(p.cycles[2], vec![Issue { op: OpId(0), iter: 1 }]);
-        assert!(p.cycles[3].contains(&Issue { op: OpId(2), iter: 0 }));
-        assert!(p.cycles[3].contains(&Issue { op: OpId(1), iter: 1 }));
+        assert_eq!(
+            p.cycles[2],
+            vec![Issue {
+                op: OpId(0),
+                iter: 1
+            }]
+        );
+        assert!(p.cycles[3].contains(&Issue {
+            op: OpId(2),
+            iter: 0
+        }));
+        assert!(p.cycles[3].contains(&Issue {
+            op: OpId(1),
+            iter: 1
+        }));
     }
 
     #[test]

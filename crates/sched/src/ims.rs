@@ -76,9 +76,8 @@ pub fn schedule_loop(
             return Ok(s);
         }
     }
-    sequential_fallback(problem, ddg, min_ii).ok_or(SchedError::NoIiFound(
-        min_ii + cfg.max_ii_tries,
-    ))
+    sequential_fallback(problem, ddg, min_ii)
+        .ok_or(SchedError::NoIiFound(min_ii + cfg.max_ii_tries))
 }
 
 /// One II attempt. Returns the schedule on success.
@@ -114,8 +113,7 @@ fn try_ii(problem: &SchedProblem<'_>, ddg: &Ddg, ii: u32, cfg: &ImsConfig) -> Op
         let estart = ddg
             .preds(op)
             .filter_map(|e| {
-                times[e.from.index()]
-                    .map(|t| t + e.latency - (ii as i64) * (e.distance as i64))
+                times[e.from.index()].map(|t| t + e.latency - (ii as i64) * (e.distance as i64))
             })
             .max()
             .unwrap_or(0)
@@ -158,9 +156,16 @@ fn try_ii(problem: &SchedProblem<'_>, ddg: &Ddg, ii: u32, cfg: &ImsConfig) -> Op
 
     let times: Vec<i64> = times.into_iter().map(Option::unwrap).collect();
     let clusters: Vec<ClusterId> = (0..n)
-        .map(|i| mrt.cluster_of(OpId(i as u32)).expect("placed op has a cluster"))
+        .map(|i| {
+            mrt.cluster_of(OpId(i as u32))
+                .expect("placed op has a cluster")
+        })
         .collect();
-    Some(Schedule { ii, times, clusters })
+    Some(Schedule {
+        ii,
+        times,
+        clusters,
+    })
 }
 
 /// Evict enough resource conflicts for `placement` to fit at `t`, preferring
@@ -177,7 +182,10 @@ fn evict_for(
         let mut victims = mrt.conflicts(placement, t);
         // Least critical first.
         victims.sort_by_key(|v| Reverse(slack.lstart[v.index()]));
-        let v = victims.first().copied().expect("conflict set cannot be empty");
+        let v = victims
+            .first()
+            .copied()
+            .expect("conflict set cannot be empty");
         mrt.remove(v);
         times[v.index()] = None;
         heap.push((Reverse(slack.lstart[v.index()]), Reverse(v.index())));
@@ -213,7 +221,11 @@ fn sequential_fallback(problem: &SchedProblem<'_>, ddg: &Ddg, min_ii: u32) -> Op
         mrt.place(op, placement, t);
         clusters.push(mrt.cluster_of(op).unwrap());
     }
-    Some(Schedule { ii, times, clusters })
+    Some(Schedule {
+        ii,
+        times,
+        clusters,
+    })
 }
 
 #[cfg(test)]

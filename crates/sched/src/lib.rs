@@ -38,4 +38,4 @@ pub use mrt::ModuloReservationTable;
 pub use problem::{OpPlacement, SchedProblem};
 pub use schedule::Schedule;
 pub use sms::{sms_schedule_loop, SmsConfig};
-pub use verify::{verify_schedule, ScheduleError};
+pub use verify::{verify_schedule, verify_schedule_all, ScheduleError};

@@ -47,9 +47,10 @@ pub fn list_schedule(problem: &SchedProblem<'_>, ddg: &Ddg) -> Schedule {
         let mut ready: Vec<usize> = (0..n)
             .filter(|&i| {
                 times[i].is_none()
-                    && ddg.preds(OpId(i as u32)).filter(|e| e.distance == 0).all(|e| {
-                        times[e.from.index()].is_some_and(|t| t + e.latency <= cycle)
-                    })
+                    && ddg
+                        .preds(OpId(i as u32))
+                        .filter(|e| e.distance == 0)
+                        .all(|e| times[e.from.index()].is_some_and(|t| t + e.latency <= cycle))
             })
             .collect();
         ready.sort_by_key(|&i| (slack.lstart[i], i));

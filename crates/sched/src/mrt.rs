@@ -82,9 +82,7 @@ impl ModuloReservationTable {
                 .filter(|&c| row.fu[c].len() < self.fu_cap[c])
                 .min_by_key(|&c| row.fu[c].len())
                 .map(|c| ClusterId(c as u32)),
-            OpPlacement::FuIn(c) => {
-                (row.fu[c.index()].len() < self.fu_cap[c.index()]).then_some(c)
-            }
+            OpPlacement::FuIn(c) => (row.fu[c.index()].len() < self.fu_cap[c.index()]).then_some(c),
             OpPlacement::CopyVia(c) => (row.bus.len() < self.bus_cap
                 && row.port[c.index()].len() < self.port_cap)
                 .then_some(c),

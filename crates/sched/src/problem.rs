@@ -43,11 +43,7 @@ impl<'a> SchedProblem<'a> {
     /// each operation was assigned to by the partitioner. Copy operations
     /// take busses/ports under the copy-unit model and FU slots under the
     /// embedded model (§6.1).
-    pub fn clustered(
-        body: &'a Loop,
-        machine: &'a MachineDesc,
-        cluster_of: &[ClusterId],
-    ) -> Self {
+    pub fn clustered(body: &'a Loop, machine: &'a MachineDesc, cluster_of: &[ClusterId]) -> Self {
         assert_eq!(cluster_of.len(), body.n_ops());
         let placement = body
             .ops
@@ -156,7 +152,7 @@ mod tests {
     fn clustered_res_ii_respects_cluster_pressure() {
         let l = small_loop();
         let m = MachineDesc::embedded(2, 1); // 2 clusters of 1 FU
-        // All 4 ops on cluster 0 ⇒ per-cluster ResII = 4.
+                                             // All 4 ops on cluster 0 ⇒ per-cluster ResII = 4.
         let p = SchedProblem::clustered(&l, &m, &[ClusterId(0); 4]);
         assert_eq!(p.res_ii(), 4);
     }

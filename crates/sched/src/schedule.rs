@@ -139,7 +139,11 @@ mod tests {
 
     fn sched(ii: u32, times: Vec<i64>) -> Schedule {
         let clusters = vec![ClusterId(0); times.len()];
-        Schedule { ii, times, clusters }
+        Schedule {
+            ii,
+            times,
+            clusters,
+        }
     }
 
     #[test]

@@ -190,7 +190,11 @@ fn try_ii(problem: &SchedProblem<'_>, ddg: &Ddg, ii: u32, rot: i64) -> Option<Sc
     let clusters: Vec<ClusterId> = (0..n)
         .map(|i| mrt.cluster_of(OpId(i as u32)).expect("placed"))
         .collect();
-    Some(Schedule { ii, times, clusters })
+    Some(Schedule {
+        ii,
+        times,
+        clusters,
+    })
 }
 
 #[cfg(test)]

@@ -37,7 +37,12 @@ impl fmt::Display for ScheduleError {
         match self {
             ScheduleError::Shape => write!(f, "schedule shape mismatch"),
             ScheduleError::NegativeTime(o) => write!(f, "{o} scheduled at negative time"),
-            ScheduleError::Dependence { from, to, need, got } => write!(
+            ScheduleError::Dependence {
+                from,
+                to,
+                need,
+                got,
+            } => write!(
                 f,
                 "dependence {from}→{to} violated: need separation {need}, got {got}"
             ),
@@ -49,19 +54,38 @@ impl fmt::Display for ScheduleError {
 
 impl std::error::Error for ScheduleError {}
 
-/// Check that `s` is a legal modulo schedule for `problem` under `ddg`.
+/// Check that `s` is a legal modulo schedule for `problem` under `ddg`,
+/// stopping at the first violation.
 pub fn verify_schedule(
     problem: &SchedProblem<'_>,
     ddg: &Ddg,
     s: &Schedule,
 ) -> Result<(), ScheduleError> {
+    match verify_schedule_all(problem, ddg, s).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Collect **every** legality violation of `s`, in a stable order: shape,
+/// negative times, dependences, then resource/cluster replay. The lint
+/// framework (`vliw-analysis`) reports through this so one corrupted
+/// schedule yields its full list of findings rather than just the first.
+pub fn verify_schedule_all(
+    problem: &SchedProblem<'_>,
+    ddg: &Ddg,
+    s: &Schedule,
+) -> Vec<ScheduleError> {
     let n = problem.n_ops();
     if s.times.len() != n || s.clusters.len() != n || ddg.n_ops() != n {
-        return Err(ScheduleError::Shape);
+        return vec![ScheduleError::Shape];
     }
+    let mut out = Vec::new();
+    let mut any_negative = false;
     for (i, &t) in s.times.iter().enumerate() {
         if t < 0 {
-            return Err(ScheduleError::NegativeTime(OpId(i as u32)));
+            any_negative = true;
+            out.push(ScheduleError::NegativeTime(OpId(i as u32)));
         }
     }
     // Dependences: cycle(to) ≥ cycle(from) + latency − II·distance.
@@ -69,7 +93,7 @@ pub fn verify_schedule(
         let need = e.latency - (s.ii as i64) * (e.distance as i64);
         let got = s.time(e.to) - s.time(e.from);
         if got < need {
-            return Err(ScheduleError::Dependence {
+            out.push(ScheduleError::Dependence {
                 from: e.from,
                 to: e.to,
                 need,
@@ -77,7 +101,11 @@ pub fn verify_schedule(
             });
         }
     }
-    // Resources: replay every placement into a fresh MRT.
+    // Resources: replay every placement into a fresh MRT. Skipped when any
+    // issue time is negative — rows are undefined there.
+    if any_negative {
+        return out;
+    }
     let mut mrt = ModuloReservationTable::new(problem.machine, s.ii, n);
     for i in 0..n {
         let op = OpId(i as u32);
@@ -87,7 +115,7 @@ pub fn verify_schedule(
         match placement {
             OpPlacement::FuIn(c) | OpPlacement::CopyVia(c) => {
                 if s.cluster(op) != c {
-                    return Err(ScheduleError::WrongCluster(op));
+                    out.push(ScheduleError::WrongCluster(op));
                 }
             }
             OpPlacement::AnyFu => {}
@@ -97,12 +125,15 @@ pub fn verify_schedule(
             OpPlacement::AnyFu => OpPlacement::FuIn(s.cluster(op)),
             other => other,
         };
+        // An op that doesn't fit is reported and left unplaced, so the ops
+        // after it are judged against the legally placed prefix.
         if mrt.fits(eff, s.time(op)).is_none() {
-            return Err(ScheduleError::Resource(op));
+            out.push(ScheduleError::Resource(op));
+        } else {
+            mrt.place(op, eff, s.time(op));
         }
-        mrt.place(op, eff, s.time(op));
     }
-    Ok(())
+    out
 }
 
 #[cfg(test)]

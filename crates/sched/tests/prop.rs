@@ -4,13 +4,13 @@
 
 use proptest::prelude::*;
 use vliw_ddg::{build_ddg, rec_ii};
+use vliw_ir::OpId;
 use vliw_loopgen::Family;
 use vliw_machine::{ClusterId, MachineDesc};
 use vliw_sched::{
-    list_schedule, schedule_loop, verify_schedule, ImsConfig, ModuloReservationTable,
-    OpPlacement, SchedProblem,
+    list_schedule, schedule_loop, verify_schedule, ImsConfig, ModuloReservationTable, OpPlacement,
+    SchedProblem,
 };
-use vliw_ir::OpId;
 
 fn family() -> impl Strategy<Value = Family> {
     prop_oneof![

@@ -47,21 +47,36 @@ pub fn check_equivalence(
     sched: &Schedule,
     lat: &LatencyTable,
 ) -> Result<(), EquivError> {
-    let sim = simulate(body, sched, lat).map_err(EquivError::Sim)?;
+    match equivalence_failures(body, sched, lat).into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Like [`check_equivalence`], but collect **every** divergence — each
+/// mismatching array cell and live-out — instead of stopping at the first.
+/// Feeds the `SIM006` diagnostics of `vliw-analysis`, so one broken
+/// transformation reports its full blast radius.
+pub fn equivalence_failures(body: &Loop, sched: &Schedule, lat: &LatencyTable) -> Vec<EquivError> {
+    let sim = match simulate(body, sched, lat) {
+        Ok(s) => s,
+        Err(e) => return vec![EquivError::Sim(e)],
+    };
     let reference = run_reference(body);
+    let mut out = Vec::new();
     for (a, (ma, mr)) in sim.memory.iter().zip(&reference.memory).enumerate() {
         for (i, (va, vr)) in ma.iter().zip(mr).enumerate() {
             if !va.bits_eq(*vr) {
-                return Err(EquivError::Memory { array: a, index: i });
+                out.push(EquivError::Memory { array: a, index: i });
             }
         }
     }
     for (p, (vs, vr)) in sim.live_out.iter().zip(&reference.live_out).enumerate() {
         if !vs.bits_eq(*vr) {
-            return Err(EquivError::LiveOut { position: p });
+            out.push(EquivError::LiveOut { position: p });
         }
     }
-    Ok(())
+    out
 }
 
 #[cfg(test)]
@@ -83,9 +98,7 @@ mod tests {
             &ImsConfig::default(),
         )
         .unwrap();
-        let slack = compute_slack(&ddg, |op| {
-            machine.latencies.of(body.op(op).opcode) as i64
-        });
+        let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
         let cfg = PartitionConfig::default();
         let rcg = build_rcg(body, &ideal, &slack, &cfg);
         let part = assign_banks(&rcg, machine.n_clusters(), &cfg);
@@ -154,12 +167,8 @@ mod tests {
         let l = b.finish(8);
         let m = MachineDesc::monolithic(4);
         let ddg = build_ddg(&l, &m.latencies);
-        let sched = schedule_loop(
-            &SchedProblem::ideal(&l, &m),
-            &ddg,
-            &ImsConfig::default(),
-        )
-        .unwrap();
+        let sched =
+            schedule_loop(&SchedProblem::ideal(&l, &m), &ddg, &ImsConfig::default()).unwrap();
         // Sanity: unmutated passes.
         check_equivalence(&l, &sched, &m.latencies).unwrap();
         let mut l2 = l.clone();

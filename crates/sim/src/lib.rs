@@ -32,7 +32,7 @@ pub mod phys_sim;
 pub mod reference;
 pub mod value;
 
-pub use equiv::{check_equivalence, EquivError};
+pub use equiv::{check_equivalence, equivalence_failures, EquivError};
 pub use machine_sim::{simulate, SimError, SimOutput};
 pub use memory::init_memory;
 pub use phys_sim::{check_physical_equivalence, PhysReg, PhysSimError};

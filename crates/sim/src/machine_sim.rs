@@ -178,14 +178,22 @@ fn simulate_flat(
                 Opcode::Store => {
                     let m = op.mem.unwrap();
                     let idx = (m.offset + i * m.stride) as usize;
-                    let src_iter = if reads_prev[iss.op.index()][0] { i - 1 } else { i };
+                    let src_iter = if reads_prev[iss.op.index()][0] {
+                        i - 1
+                    } else {
+                        i
+                    };
                     let val = read(&writes, op.uses[0], src_iter, cycle)?;
                     pending_stores.push((cycle + op_lat, m.array.index(), idx, val));
                 }
                 _ => {
                     let mut operands = Vec::with_capacity(op.uses.len());
                     for (slot, &u) in op.uses.iter().enumerate() {
-                        let src_iter = if reads_prev[iss.op.index()][slot] { i - 1 } else { i };
+                        let src_iter = if reads_prev[iss.op.index()][slot] {
+                            i - 1
+                        } else {
+                            i
+                        };
                         operands.push(read(&writes, u, src_iter, cycle)?);
                     }
                     let v = eval_op(op, &operands);

@@ -107,9 +107,7 @@ pub fn check_physical_equivalence(
         // Invariants have a single full-circle range (instance 0 only);
         // spills were rejected above, so a missing instance means exactly
         // that case.
-        let n = row[inst]
-            .or(row[0])
-            .expect("no spills checked above");
+        let n = row[inst].or(row[0]).expect("no spills checked above");
         (vreg_bank[v.index()], body.class_of(v), n)
     };
 
@@ -180,7 +178,11 @@ pub fn check_physical_equivalence(
                         u: VReg,
                         slot: usize|
              -> Result<Value, PhysSimError> {
-                let src_iter = if reads_prev[iss.op.index()][slot] { i - 1 } else { i };
+                let src_iter = if reads_prev[iss.op.index()][slot] {
+                    i - 1
+                } else {
+                    i
+                };
                 let r = phys(u, src_iter);
                 match regs.get(&r) {
                     Some(&(ready, val)) if cycle >= ready => Ok(val),
@@ -288,9 +290,7 @@ mod tests {
             &ImsConfig::default(),
         )
         .unwrap();
-        let slack = compute_slack(&ddg, |op| {
-            machine.latencies.of(body.op(op).opcode) as i64
-        });
+        let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
         let rcg = build_rcg(body, &ideal, &slack, &cfg);
         let caps: Vec<usize> = machine.clusters.iter().map(|c| c.n_fus).collect();
         let part = assign_banks_caps(&rcg, &caps, &cfg);
@@ -298,7 +298,13 @@ mod tests {
         let cddg = build_ddg(&clustered.body, &machine.latencies);
         let problem = SchedProblem::clustered(&clustered.body, machine, &clustered.cluster_of);
         let sched = schedule_loop(&problem, &cddg, &ImsConfig::default()).unwrap();
-        let alloc = allocate(&clustered.body, &cddg, &sched, &clustered.vreg_bank, machine);
+        let alloc = allocate(
+            &clustered.body,
+            &cddg,
+            &sched,
+            &clustered.vreg_bank,
+            machine,
+        );
         check_physical_equivalence(
             &clustered.body,
             &sched,
@@ -361,8 +367,8 @@ mod tests {
         let m = MachineDesc::monolithic(16);
         let cfg = PartitionConfig::default();
         let ddg = build_ddg(&body, &m.latencies);
-        let ideal = schedule_loop(&SchedProblem::ideal(&body, &m), &ddg, &ImsConfig::default())
-            .unwrap();
+        let ideal =
+            schedule_loop(&SchedProblem::ideal(&body, &m), &ddg, &ImsConfig::default()).unwrap();
         let slack = compute_slack(&ddg, |op| m.latencies.of(body.op(op).opcode) as i64);
         let rcg = build_rcg(&body, &ideal, &slack, &cfg);
         let part = assign_banks_caps(&rcg, &[16], &cfg);
@@ -392,8 +398,8 @@ mod tests {
         let body = daxpy(8);
         let m = MachineDesc::monolithic(16).with_regs_per_bank(2, 2);
         let ddg = build_ddg(&body, &m.latencies);
-        let sched = schedule_loop(&SchedProblem::ideal(&body, &m), &ddg, &ImsConfig::default())
-            .unwrap();
+        let sched =
+            schedule_loop(&SchedProblem::ideal(&body, &m), &ddg, &ImsConfig::default()).unwrap();
         let banks = vec![ClusterId(0); body.n_vregs()];
         let alloc = allocate(&body, &ddg, &sched, &banks, &m);
         assert!(alloc.total_spills() > 0);

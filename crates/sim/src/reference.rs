@@ -52,8 +52,7 @@ pub fn run_reference(body: &Loop) -> RefOutput {
                     memory[m.array.index()][idx] = regs[op.uses[0].index()];
                 }
                 _ => {
-                    let operands: Vec<Value> =
-                        op.uses.iter().map(|u| regs[u.index()]).collect();
+                    let operands: Vec<Value> = op.uses.iter().map(|u| regs[u.index()]).collect();
                     let v = eval_op(op, &operands);
                     if let Some(d) = op.def {
                         regs[d.index()] = v;

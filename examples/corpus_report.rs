@@ -59,10 +59,8 @@ fn main() {
 
     let degr: Vec<f64> = results.iter().map(|r| r.degradation_pct()).collect();
     let hist = Histogram::from_degradations(&degr);
-    let mean_ipc_ideal =
-        results.iter().map(|r| r.ideal_ipc).sum::<f64>() / results.len() as f64;
-    let mean_ipc_clu =
-        results.iter().map(|r| r.clustered_ipc).sum::<f64>() / results.len() as f64;
+    let mean_ipc_ideal = results.iter().map(|r| r.ideal_ipc).sum::<f64>() / results.len() as f64;
+    let mean_ipc_clu = results.iter().map(|r| r.clustered_ipc).sum::<f64>() / results.len() as f64;
     println!("\naggregates:");
     println!("  ideal IPC     : {mean_ipc_ideal:.2}");
     println!("  clustered IPC : {mean_ipc_clu:.2}");

@@ -18,7 +18,10 @@ fn main() {
     let ex = paper_example();
     println!("§4.2 worked example — {}", ex.body.name);
     println!("{}", rcg_vliw::ir::printer::format_loop(&ex.body));
-    println!("ideal schedule span     : {} cycles (paper Figure 1: 7)", ex.ideal_span);
+    println!(
+        "ideal schedule span     : {} cycles (paper Figure 1: 7)",
+        ex.ideal_span
+    );
     println!(
         "2-bank partitioned span : {} cycles with {} copies (paper Figure 3: 9 cycles, 2 copies)",
         ex.clustered_span, ex.n_copies

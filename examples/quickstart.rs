@@ -42,9 +42,7 @@ fn main() {
 
     // 3. Partition registers to banks via the register component graph (§5).
     let cfg = PartitionConfig::default();
-    let slack = compute_slack(&ddg, |op| {
-        machine.latencies.of(body.op(op).opcode) as i64
-    });
+    let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
     let rcg = build_rcg(&body, &ideal, &slack, &cfg);
     let caps: Vec<usize> = machine.clusters.iter().map(|c| c.n_fus).collect();
     let part = assign_banks_caps(&rcg, &caps, &cfg);
@@ -68,7 +66,13 @@ fn main() {
     println!("{}", sched.render_kernel(&clustered.body));
 
     // 5. Chaitin/Briggs per bank (§4 step 5).
-    let alloc = allocate(&clustered.body, &cddg, &sched, &clustered.vreg_bank, &machine);
+    let alloc = allocate(
+        &clustered.body,
+        &cddg,
+        &sched,
+        &clustered.vreg_bank,
+        &machine,
+    );
     println!(
         "register allocation: MVE unroll {}, spills {}",
         alloc.unroll,

@@ -42,7 +42,10 @@ fn main() {
     println!("default weights : {:?}", PartitionConfig::default());
     println!("  training score: {:.2} (100 = ideal)", r.baseline_score);
     println!("tuned weights   : {:?}", r.config);
-    println!("  training score: {:.2}  ({} candidates evaluated)", r.score, r.evaluated);
+    println!(
+        "  training score: {:.2}  ({} candidates evaluated)",
+        r.score, r.evaluated
+    );
 
     let val_default = score_config(&validate, &machine, &PartitionConfig::default());
     let val_tuned = score_config(&validate, &machine, &r.config);
@@ -50,8 +53,14 @@ fn main() {
     println!("  default : {val_default:.2}");
     println!("  tuned   : {val_tuned:.2}");
     if val_tuned < val_default {
-        println!("  → tuning generalises: {:.2} points better", val_default - val_tuned);
+        println!(
+            "  → tuning generalises: {:.2} points better",
+            val_default - val_tuned
+        );
     } else {
-        println!("  → tuned weights overfit the training slice (gap {:.2})", val_tuned - val_default);
+        println!(
+            "  → tuned weights overfit the training slice (gap {:.2})",
+            val_tuned - val_default
+        );
     }
 }

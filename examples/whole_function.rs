@@ -91,7 +91,9 @@ fn main() {
         }
         println!(
             "{:<12} weighted degradation {:.1}%  total copies {}\n",
-            "", r.weighted_normalized - 100.0, r.total_copies
+            "",
+            r.weighted_normalized - 100.0,
+            r.total_copies
         );
     }
 }

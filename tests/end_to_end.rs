@@ -2,8 +2,8 @@
 //! cycle-accurate simulation oracle switched on, across every machine model
 //! the paper evaluates.
 
-use rcg_vliw::prelude::*;
 use rcg_vliw::pipeline::paper_machines;
+use rcg_vliw::prelude::*;
 
 fn sample_corpus(n: usize) -> Vec<Loop> {
     let mut c = rcg_vliw::loopgen::corpus();
@@ -160,7 +160,10 @@ fn swing_scheduler_preserves_semantics_and_lowers_lifetimes() {
         unroll_sms += b.mve_unroll;
     }
     // Swing scheduling must not need MORE renaming overall.
-    assert!(unroll_sms <= unroll_ims, "SMS {unroll_sms} vs IMS {unroll_ims}");
+    assert!(
+        unroll_sms <= unroll_ims,
+        "SMS {unroll_sms} vs IMS {unroll_ims}"
+    );
 }
 
 #[test]
@@ -198,9 +201,10 @@ fn extended_families_survive_the_full_pipeline() {
         simulate_physical: true,
         ..Default::default()
     };
-    for body in corpus.iter().filter(|l| {
-        l.name.starts_with("fir") || l.name.starts_with("tridiag")
-    }) {
+    for body in corpus
+        .iter()
+        .filter(|l| l.name.starts_with("fir") || l.name.starts_with("tridiag"))
+    {
         let r = run_loop(body, &machine, &cfg);
         assert_eq!(r.sim_ok, Some(true), "{}", body.name);
     }
@@ -233,7 +237,10 @@ fn chaitin_spill_loop_converges_on_tiny_banks() {
     };
     let r2 = run_loop(&body, &floor_machine, &cfg_v);
     assert!(r2.spills > 0);
-    assert!(r2.clustered_ii > r.clustered_ii, "spill traffic must cost II");
+    assert!(
+        r2.clustered_ii > r.clustered_ii,
+        "spill traffic must cost II"
+    );
     assert_eq!(r2.sim_ok, Some(true));
 }
 
@@ -263,9 +270,7 @@ fn full_pipeline_register_allocation_validates() {
             &ImsConfig::default(),
         )
         .unwrap();
-        let slack = compute_slack(&ddg, |op| {
-            machine.latencies.of(body.op(op).opcode) as i64
-        });
+        let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
         let rcg = build_rcg(body, &ideal, &slack, &cfg);
         let part = assign_banks(&rcg, 4, &cfg);
         let clustered = insert_copies(body, &part);
@@ -276,7 +281,13 @@ fn full_pipeline_register_allocation_validates() {
             &ImsConfig::default(),
         )
         .unwrap();
-        let alloc = allocate(&clustered.body, &cddg, &sched, &clustered.vreg_bank, &machine);
+        let alloc = allocate(
+            &clustered.body,
+            &cddg,
+            &sched,
+            &clustered.vreg_bank,
+            &machine,
+        );
         assert!(
             validate_allocation(
                 &clustered.body,

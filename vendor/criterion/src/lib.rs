@@ -1,0 +1,169 @@
+//! Offline stand-in for the subset of `criterion` the workspace benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group` + `bench_with_input`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Instead of criterion's statistical engine, each benchmark runs a short
+//! warm-up, then a fixed measurement loop, and prints mean wall-clock time
+//! per iteration. Good enough to (a) keep the bench targets compiling
+//! offline and (b) give honest relative numbers; swap the real criterion
+//! back in for publication-grade statistics.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-implementation of `criterion::black_box` (std's is still unstable on
+/// the oldest toolchain this builds on; a volatile read is the classic trick).
+pub fn black_box<T>(x: T) -> T {
+    unsafe {
+        let ret = std::ptr::read_volatile(&x);
+        std::mem::forget(x);
+        ret
+    }
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure given to `bench_function` / `bench_with_input`.
+pub struct Bencher {
+    /// Mean time per iteration, recorded by [`Bencher::iter`].
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~50ms spent or 10 iterations, whichever first.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 10 && warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
+        // Measurement: target ~200ms, between 5 and 1000 iterations.
+        let target = Duration::from_millis(200);
+        let iters = if per_iter.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(5, 1000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / iters as u32;
+        self.iters = iters;
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A benchmark group, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), &mut f);
+        self
+    }
+
+    /// End the group (upstream flushes reports here; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mean: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "bench {name:<60} {:>12.3} µs/iter ({} iters)",
+        b.mean.as_secs_f64() * 1e6,
+        b.iters
+    );
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,131 @@
+//! Offline stand-in for the slice of `rayon` this workspace uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! Unlike most of the vendored stubs this one is not a no-op: `collect`
+//! fans the mapped closure out over `std::thread::scope` with one contiguous
+//! chunk per available core, preserving input order — corpus evaluation
+//! stays embarrassingly parallel without the real rayon dependency.
+
+/// Import surface mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{FromParMap, IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// `.par_iter()` entry point for slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+    /// Borrow the elements as a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element through `f` (executed at `collect` time).
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, executed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Run the map across scoped threads and gather results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromParMap<R>,
+    {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        let mut out: Vec<R> = Vec::with_capacity(n);
+        if threads <= 1 || n <= 1 {
+            out.extend(self.items.iter().map(&self.f));
+        } else {
+            let chunk = n.div_ceil(threads);
+            let f = &self.f;
+            let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .items
+                    .chunks(chunk)
+                    .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for p in parts {
+                out.extend(p);
+            }
+        }
+        C::from_par_map(out)
+    }
+}
+
+/// Containers `ParMap::collect` can produce (stand-in for
+/// `FromParallelIterator`).
+pub trait FromParMap<R> {
+    /// Build the container from the in-order mapped results.
+    fn from_par_map(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParMap<R> for Vec<R> {
+    fn from_par_map(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys.len(), xs.len());
+        assert!(ys.iter().enumerate().all(|(i, &y)| y == 2 * i as u64));
+    }
+
+    #[test]
+    fn works_on_empty_and_single() {
+        let e: Vec<u32> = Vec::new();
+        let out: Vec<u32> = e.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,10 @@
+//! Offline stand-in for `serde`.
+//!
+//! This container has no network access to crates.io, so the workspace
+//! vendors a minimal API-compatible surface: the `Serialize` / `Deserialize`
+//! derive macros (which expand to nothing) and empty marker traits of the
+//! same names so `use serde::{Serialize, Deserialize}` resolves whether the
+//! import is consumed as a trait or as a derive.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
