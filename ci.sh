@@ -14,6 +14,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --release -p vliw-bench --all-targets (bench + baseline runner)"
+# vliw-bench is outside default-members; build its lib, benches and the
+# bench_scheduler baseline bin so perf-tracking code can't silently rot.
+cargo build --release -p vliw-bench --all-targets
+
 echo "==> cargo test"
 cargo test -q
 

@@ -3,10 +3,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use vliw_bench::{rep_ilp_loop, rep_recurrence_loop};
 use vliw_core::{assign_banks_caps, build_rcg, insert_copies, PartitionConfig};
-use vliw_ddg::{build_ddg, compute_slack, rec_ii};
-use vliw_machine::MachineDesc;
+use vliw_ddg::{build_ddg, compute_slack, rec_ii, rec_ii_dense};
+use vliw_machine::{ClusterId, MachineDesc};
 use vliw_regalloc::allocate;
-use vliw_sched::{schedule_loop, ImsConfig, SchedProblem};
+use vliw_sched::{schedule_loop, schedule_loop_with, ImsConfig, SchedContext, SchedProblem};
 use vliw_sim::{check_equivalence, run_reference};
 
 fn bench_micro(c: &mut Criterion) {
@@ -35,6 +35,19 @@ fn bench_micro(c: &mut Criterion) {
             b.iter(|| build_ddg(&body, &machine.latencies))
         });
         c.bench_function(&format!("micro/{tag}/rec_ii"), |b| b.iter(|| rec_ii(&ddg)));
+        // The pre-refactor dense formulation, kept as the regression oracle:
+        // the gap between these two is the O(V·E) vs O(n³) win.
+        c.bench_function(&format!("micro/{tag}/rec_ii_dense"), |b| {
+            b.iter(|| rec_ii_dense(&ddg))
+        });
+        let min_ii = rec_ii(&ddg);
+        c.bench_function(&format!("micro/{tag}/is_feasible"), |b| {
+            let mut scratch = Vec::new();
+            b.iter(|| ddg.is_feasible_with(min_ii, &mut scratch))
+        });
+        c.bench_function(&format!("micro/{tag}/longest_paths"), |b| {
+            b.iter(|| ddg.longest_paths(min_ii).is_some())
+        });
         c.bench_function(&format!("micro/{tag}/ims_ideal"), |b| {
             b.iter(|| {
                 schedule_loop(
@@ -56,6 +69,20 @@ fn bench_micro(c: &mut Criterion) {
         });
         c.bench_function(&format!("micro/{tag}/ims_clustered"), |b| {
             b.iter(|| schedule_loop(&problem, &cddg, &ImsConfig::default()).unwrap())
+        });
+        // Context reuse: the same clustered schedule with RecII and slack
+        // precomputed once — what partition search actually pays per probe.
+        c.bench_function(&format!("micro/{tag}/ims_clustered_ctx"), |b| {
+            let sctx = SchedContext::new(&problem, &cddg);
+            b.iter(|| schedule_loop_with(&problem, &cddg, &ImsConfig::default(), &sctx).unwrap())
+        });
+        // Eviction hot path: every op pinned to one cluster forces the
+        // scheduler through conflicts_into/evict repeatedly.
+        c.bench_function(&format!("micro/{tag}/ims_eviction"), |b| {
+            let pins = vec![ClusterId(0); body.n_ops()];
+            let pinned = SchedProblem::clustered(&body, &machine, &pins);
+            let sctx = SchedContext::new(&pinned, &ddg);
+            b.iter(|| schedule_loop_with(&pinned, &ddg, &ImsConfig::default(), &sctx).unwrap())
         });
         c.bench_function(&format!("micro/{tag}/chaitin_briggs"), |b| {
             b.iter(|| {

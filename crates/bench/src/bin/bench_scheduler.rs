@@ -1,0 +1,286 @@
+//! Scheduler perf baseline runner.
+//!
+//! Times the scheduler-core hot kernels in their old (dense / recompute-
+//! everything) and new (sparse / shared-context) formulations, plus the
+//! corpus pipeline stage by stage, and writes the results as JSON — the
+//! checked-in `BENCH_scheduler.json` at the repo root. Rerun with
+//!
+//! ```text
+//! cargo run --release -p vliw-bench --bin bench_scheduler
+//! ```
+//!
+//! No external deps: timing via `std::time::Instant`, JSON by hand.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use vliw_bench::{full_corpus, rep_ilp_loop, rep_recurrence_loop};
+use vliw_core::{
+    assign_banks_caps, build_rcg, insert_copies, score_config, score_config_ctx, LoopContext,
+    PartitionConfig,
+};
+use vliw_ddg::{build_ddg, compute_slack, rec_ii, rec_ii_dense};
+use vliw_ir::Loop;
+use vliw_machine::MachineDesc;
+use vliw_sched::{schedule_loop, schedule_loop_with, ImsConfig, SchedContext, SchedProblem};
+
+/// Nanoseconds per iteration: warm up, then repeat until ≥25 ms of samples.
+fn bench_ns<R>(mut f: impl FnMut() -> R) -> f64 {
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let start = Instant::now();
+    let mut reps = 0u64;
+    loop {
+        black_box(f());
+        reps += 1;
+        let el = start.elapsed();
+        if el.as_millis() >= 25 || reps >= 2_000_000 {
+            return el.as_secs_f64() * 1e9 / reps as f64;
+        }
+    }
+}
+
+struct Json {
+    buf: String,
+    depth: usize,
+    first: bool,
+}
+
+impl Json {
+    fn new() -> Self {
+        Json {
+            buf: "{\n".into(),
+            depth: 1,
+            first: true,
+        }
+    }
+    fn pad(&mut self) {
+        if !self.first {
+            self.buf.push_str(",\n");
+        }
+        self.first = false;
+        for _ in 0..self.depth {
+            self.buf.push_str("  ");
+        }
+    }
+    fn num(&mut self, key: &str, v: f64) {
+        self.pad();
+        let _ = write!(self.buf, "\"{key}\": {v:.1}");
+    }
+    fn int(&mut self, key: &str, v: u64) {
+        self.pad();
+        let _ = write!(self.buf, "\"{key}\": {v}");
+    }
+    fn str(&mut self, key: &str, v: &str) {
+        self.pad();
+        let _ = write!(self.buf, "\"{key}\": \"{v}\"");
+    }
+    fn open(&mut self, key: &str) {
+        self.pad();
+        let _ = write!(self.buf, "\"{key}\": {{");
+        self.buf.push('\n');
+        self.depth += 1;
+        self.first = true;
+    }
+    fn close(&mut self) {
+        self.buf.push('\n');
+        self.depth -= 1;
+        for _ in 0..self.depth {
+            self.buf.push_str("  ");
+        }
+        self.buf.push('}');
+        self.first = false;
+    }
+    fn finish(mut self) -> String {
+        while self.depth > 1 {
+            self.close();
+        }
+        self.buf.push_str("\n}\n");
+        self.buf
+    }
+}
+
+fn micro_section(j: &mut Json, tag: &str, body: &Loop, machine: &MachineDesc) {
+    let ideal_m =
+        MachineDesc::monolithic(machine.issue_width()).with_latencies(machine.latencies.clone());
+    let ddg = build_ddg(body, &machine.latencies);
+    let min_ii = rec_ii(&ddg);
+
+    j.open(tag);
+    j.int("n_ops", body.n_ops() as u64);
+    j.int("n_edges", ddg.edges().len() as u64);
+    j.int("rec_ii", min_ii as u64);
+
+    j.num(
+        "build_ddg_ns",
+        bench_ns(|| build_ddg(body, &machine.latencies)),
+    );
+
+    // RecII: O(V·E·log) Bellman–Ford binary search vs the old O(n³·log)
+    // Floyd–Warshall formulation.
+    let sparse = bench_ns(|| rec_ii(&ddg));
+    let dense = bench_ns(|| rec_ii_dense(&ddg));
+    j.num("rec_ii_sparse_ns", sparse);
+    j.num("rec_ii_dense_ns", dense);
+    j.num("rec_ii_speedup", dense / sparse);
+
+    // Per-II feasibility probe: what try_ii pays per candidate II.
+    let mut scratch = Vec::new();
+    let feas = bench_ns(|| ddg.is_feasible_with(min_ii, &mut scratch));
+    let paths = bench_ns(|| ddg.longest_paths(min_ii).is_some());
+    j.num("is_feasible_ns", feas);
+    j.num("longest_paths_ns", paths);
+    j.num("feasibility_speedup", paths / feas);
+
+    j.num(
+        "slack_ns",
+        bench_ns(|| compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64)),
+    );
+
+    // Full schedule calls: self-contained wrapper vs precomputed context.
+    let problem = SchedProblem::ideal(body, &ideal_m);
+    let cfg = ImsConfig::default();
+    let wrapped = bench_ns(|| schedule_loop(&problem, &ddg, &cfg).unwrap());
+    let sctx = SchedContext::new(&problem, &ddg);
+    let with_ctx = bench_ns(|| schedule_loop_with(&problem, &ddg, &cfg, &sctx).unwrap());
+    j.num("schedule_loop_ns", wrapped);
+    j.num("schedule_loop_with_ctx_ns", with_ctx);
+    j.num("context_reuse_speedup", wrapped / with_ctx);
+
+    // Eviction-heavy clustered scheduling: all ops pinned to one cluster.
+    let pins = vec![vliw_machine::ClusterId(0); body.n_ops()];
+    let cproblem = SchedProblem::clustered(body, machine, &pins);
+    let csctx = SchedContext::new(&cproblem, &ddg);
+    j.num(
+        "ims_eviction_path_ns",
+        bench_ns(|| schedule_loop_with(&cproblem, &ddg, &cfg, &csctx).unwrap()),
+    );
+    j.close();
+}
+
+fn stage_section(j: &mut Json, corpus: &[Loop], machine: &MachineDesc) {
+    let cfg = PartitionConfig::default();
+    let caps: Vec<usize> = machine.clusters.iter().map(|c| c.n_fus).collect();
+    let ims = ImsConfig::default();
+
+    // One timed sweep over the whole corpus per stage, in pipeline order;
+    // later stages consume the artifacts cached from earlier ones.
+    let t0 = Instant::now();
+    let n_edges: usize = corpus
+        .iter()
+        .map(|l| build_ddg(l, &machine.latencies).edges().len())
+        .sum();
+    let build_ddg_ms = t0.elapsed().as_secs_f64() * 1e3;
+    black_box(n_edges);
+
+    let t0 = Instant::now();
+    let ctxs: Vec<LoopContext> = corpus
+        .iter()
+        .map(|l| LoopContext::new(l, machine))
+        .collect();
+    let front_end_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let parts: Vec<_> = corpus
+        .iter()
+        .zip(&ctxs)
+        .map(|(l, ctx)| {
+            let rcg = build_rcg(l, &ctx.ideal, &ctx.slack, &cfg);
+            assign_banks_caps(&rcg, &caps, &cfg)
+        })
+        .collect();
+    let partition_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let clustered: Vec<_> = corpus
+        .iter()
+        .zip(&parts)
+        .map(|(l, p)| insert_copies(l, p))
+        .collect();
+    let copies_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let mut total_ii = 0u64;
+    for c in &clustered {
+        let cddg = build_ddg(&c.body, &machine.latencies);
+        let problem = SchedProblem::clustered(&c.body, machine, &c.cluster_of);
+        total_ii += schedule_loop(&problem, &cddg, &ims).unwrap().ii as u64;
+    }
+    let clustered_sched_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    j.open("stages");
+    j.int("corpus_loops", corpus.len() as u64);
+    j.num("build_ddg_ms", build_ddg_ms);
+    j.num("front_end_ms", front_end_ms);
+    j.num("partition_ms", partition_ms);
+    j.num("insert_copies_ms", copies_ms);
+    j.num("clustered_schedule_ms", clustered_sched_ms);
+    j.int("total_clustered_ii", total_ii);
+    j.close();
+}
+
+fn tuner_section(j: &mut Json, corpus: &[Loop], machine: &MachineDesc) {
+    // The weight-tuner workload: score the same training set at many grid
+    // points. `score_config` rebuilds the front end per call (the old
+    // shape); `score_config_ctx` shares one LoopContext per loop.
+    let train: Vec<Loop> = corpus.iter().take(24).cloned().collect();
+    let cfg = PartitionConfig::default();
+    const POINTS: usize = 8;
+
+    let t0 = Instant::now();
+    for _ in 0..POINTS {
+        black_box(score_config(&train, machine, &cfg));
+    }
+    let rebuild_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let ctxs: Vec<LoopContext> = train.iter().map(|l| LoopContext::new(l, machine)).collect();
+    for _ in 0..POINTS {
+        black_box(score_config_ctx(&train, &ctxs, machine, &cfg));
+    }
+    let shared_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    j.open("tuner_grid");
+    j.int("training_loops", train.len() as u64);
+    j.int("grid_points", POINTS as u64);
+    j.num("rebuild_per_point_ms", rebuild_ms);
+    j.num("shared_context_ms", shared_ms);
+    j.num("speedup", rebuild_ms / shared_ms);
+    j.close();
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_scheduler.json".into());
+    let machine = MachineDesc::embedded(4, 4);
+    let corpus = full_corpus();
+
+    let mut j = Json::new();
+    j.str("machine", "embedded(4,4)");
+    j.str(
+        "note",
+        "ns/ms wall-clock, release build; rerun: cargo run --release -p vliw-bench --bin bench_scheduler",
+    );
+
+    j.open("micro");
+    micro_section(&mut j, "ilp_daxpy_u8", &rep_ilp_loop(), &machine);
+    micro_section(&mut j, "recurrence_u4", &rep_recurrence_loop(), &machine);
+    micro_section(
+        &mut j,
+        "wide_daxpy_u32",
+        &vliw_loopgen::Family::Daxpy.build(0, 32, 64),
+        &machine,
+    );
+    j.close();
+
+    stage_section(&mut j, &corpus, &machine);
+    tuner_section(&mut j, &corpus, &machine);
+
+    let json = j.finish();
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,145 @@
+//! Shared per-loop analysis context.
+//!
+//! Steps 1–2 of the paper's pipeline (§4) — the dependence graph, the slack
+//! analysis, RecII, and the ideal schedule on the monolithic twin machine —
+//! are pure functions of `(body, machine)`. Before this module each consumer
+//! recomputed them independently: every `iterated_partition` round, every
+//! point of the weight-tuner's grid, and the pipeline driver each rebuilt the
+//! same DDG and re-ran the same ideal schedule. A [`LoopContext`] is built
+//! once and shared by all of them.
+//!
+//! The one invariant that makes the sharing sound: the monolithic twin
+//! machine clones `machine.latencies`, so slack computed against the
+//! original machine's latency table is *identical* to slack computed from
+//! the ideal problem's `latency()` — one [`SlackInfo`] serves the RCG
+//! builder, the partitioners, and the modulo scheduler.
+
+use vliw_ddg::{build_ddg, compute_slack, rec_ii, Ddg, SlackInfo};
+use vliw_ir::Loop;
+use vliw_machine::MachineDesc;
+use vliw_sched::{schedule_loop_with, ImsConfig, SchedContext, SchedProblem, Schedule};
+
+/// Everything II-independent about one loop on one machine, plus the ideal
+/// schedule derived from it. Built once per (loop, machine) pair.
+#[derive(Debug, Clone)]
+pub struct LoopContext {
+    /// The monolithic twin: same issue width and latencies as the target,
+    /// one cluster, one register bank (§4.1's ideal-machine definition).
+    pub ideal_machine: MachineDesc,
+    /// Dependence graph of the original (pre-copy) body.
+    pub ddg: Ddg,
+    /// Earliest/latest-start analysis; shared by the RCG builder and the
+    /// schedulers (see module docs for why that is sound).
+    pub slack: SlackInfo,
+    /// Recurrence-constrained lower bound on II of `ddg`.
+    pub rec_ii: u32,
+    /// The ideal schedule (full width, monolithic bank).
+    pub ideal: Schedule,
+}
+
+impl LoopContext {
+    /// Build the context with Rau's iterative modulo scheduler and default
+    /// knobs — what the paper's pipeline uses.
+    pub fn new(body: &Loop, machine: &MachineDesc) -> Self {
+        Self::with_scheduler(body, machine, |p, g, ctx| {
+            schedule_loop_with(p, g, &ImsConfig::default(), ctx).expect("ideal always schedules")
+        })
+    }
+
+    /// Build the context, producing the ideal schedule with a caller-chosen
+    /// scheduler (the pipeline driver dispatches on its `SchedulerKind`
+    /// here). The closure receives the ideal problem, the DDG, and the
+    /// already-computed [`SchedContext`] so it never recomputes RecII or
+    /// slack.
+    pub fn with_scheduler<F>(body: &Loop, machine: &MachineDesc, schedule: F) -> Self
+    where
+        F: FnOnce(&SchedProblem<'_>, &Ddg, &SchedContext) -> Schedule,
+    {
+        let ideal_machine = MachineDesc::monolithic(machine.issue_width())
+            .with_latencies(machine.latencies.clone());
+        let ddg = build_ddg(body, &machine.latencies);
+        let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
+        let rec = rec_ii(&ddg);
+        let problem = SchedProblem::ideal(body, &ideal_machine);
+        let sctx = SchedContext::from_parts(problem.res_ii(), rec, slack.clone());
+        let ideal = schedule(&problem, &ddg, &sctx);
+        LoopContext {
+            ideal_machine,
+            ddg,
+            slack,
+            rec_ii: rec,
+            ideal,
+        }
+    }
+
+    /// A scheduler context for re-scheduling **this same DDG** under a
+    /// problem whose resource bound is `res_ii`. (Not valid for the
+    /// post-copy clustered body — that has its own DDG.)
+    pub fn sched_context(&self, res_ii: u32) -> SchedContext {
+        SchedContext::from_parts(res_ii, self.rec_ii, self.slack.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ir::{LoopBuilder, RegClass};
+    use vliw_sched::schedule_loop;
+
+    fn sample() -> Loop {
+        let mut b = LoopBuilder::new("ctx");
+        let x = b.array("x", RegClass::Float, 128);
+        let a = b.live_in_float("a");
+        let s = b.live_in_float_val("s", 0.0);
+        let xv = b.load(x, 0, 1);
+        let t = b.fmul(a, s);
+        b.fadd_into(s, t, xv);
+        b.live_out(s);
+        b.finish(64)
+    }
+
+    #[test]
+    fn context_reproduces_direct_pipeline_front_end() {
+        let l = sample();
+        let m = MachineDesc::embedded(2, 4);
+        let ctx = LoopContext::new(&l, &m);
+
+        // Same front end computed by hand.
+        let ideal_m = MachineDesc::monolithic(m.issue_width()).with_latencies(m.latencies.clone());
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &ideal_m);
+        let ideal = schedule_loop(&p, &g, &ImsConfig::default()).unwrap();
+
+        assert_eq!(ctx.ideal.ii, ideal.ii);
+        assert_eq!(ctx.ideal.times, ideal.times);
+        assert_eq!(ctx.rec_ii, rec_ii(&g));
+        assert_eq!(ctx.ddg.n_ops(), g.n_ops());
+        let direct = compute_slack(&g, |op| m.latencies.of(l.op(op).opcode) as i64);
+        assert_eq!(ctx.slack.lstart, direct.lstart);
+        assert_eq!(ctx.slack.estart, direct.estart);
+    }
+
+    #[test]
+    fn slack_from_machine_latencies_matches_ideal_problem_latency() {
+        // The invariant that lets one SlackInfo serve both the RCG and the
+        // scheduler: the monolithic twin inherits the target's latencies.
+        let l = sample();
+        let m = MachineDesc::copy_unit(4, 2);
+        let ctx = LoopContext::new(&l, &m);
+        let p = SchedProblem::ideal(&l, &ctx.ideal_machine);
+        let via_problem = compute_slack(&ctx.ddg, |op| p.latency(op));
+        assert_eq!(ctx.slack.lstart, via_problem.lstart);
+        assert_eq!(ctx.slack.estart, via_problem.estart);
+    }
+
+    #[test]
+    fn sched_context_carries_rec_ii_and_slack() {
+        let l = sample();
+        let m = MachineDesc::monolithic(8);
+        let ctx = LoopContext::new(&l, &m);
+        let sc = ctx.sched_context(3);
+        assert_eq!(sc.res_ii, 3);
+        assert_eq!(sc.rec_ii, ctx.rec_ii);
+        assert_eq!(sc.min_ii(), 3.max(ctx.rec_ii));
+    }
+}

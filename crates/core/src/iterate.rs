@@ -8,10 +8,11 @@
 //! and keeps the move only if the achieved II improves.
 
 use crate::config::PartitionConfig;
+use crate::context::LoopContext;
 use crate::copyins::insert_copies;
 use crate::greedy::Partition;
 use crate::rcg::build_rcg;
-use vliw_ddg::{build_ddg, compute_slack};
+use vliw_ddg::build_ddg;
 use vliw_ir::{Loop, VReg};
 use vliw_machine::MachineDesc;
 use vliw_sched::{schedule_loop, ImsConfig, SchedProblem, Schedule};
@@ -56,15 +57,24 @@ pub fn iterated_partition(
     rounds: usize,
     beam: usize,
 ) -> Evaluated {
+    let ctx = LoopContext::new(body, machine);
+    iterated_partition_ctx(body, machine, cfg, rounds, beam, &ctx)
+}
+
+/// [`iterated_partition`] with the loop's shared front-end analysis
+/// (DDG, slack, ideal schedule) already computed — the pipeline driver and
+/// the weight tuner pass the context they built anyway, so the initial
+/// greedy phase stops re-scheduling the ideal machine from scratch.
+pub fn iterated_partition_ctx(
+    body: &Loop,
+    machine: &MachineDesc,
+    cfg: &PartitionConfig,
+    rounds: usize,
+    beam: usize,
+    ctx: &LoopContext,
+) -> Evaluated {
     // Initial phase: the paper's greedy method on the ideal schedule.
-    let ideal_machine =
-        MachineDesc::monolithic(machine.issue_width()).with_latencies(machine.latencies.clone());
-    let ddg = build_ddg(body, &machine.latencies);
-    let ideal_problem = SchedProblem::ideal(body, &ideal_machine);
-    let ideal =
-        schedule_loop(&ideal_problem, &ddg, &ImsConfig::default()).expect("ideal always schedules");
-    let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
-    let rcg = build_rcg(body, &ideal, &slack, cfg);
+    let rcg = build_rcg(body, &ctx.ideal, &ctx.slack, cfg);
     let caps: Vec<usize> = machine.clusters.iter().map(|c| c.n_fus).collect();
     let mut best = evaluate_partition(
         body,
@@ -158,12 +168,8 @@ mod tests {
         let m = MachineDesc::embedded(4, 4);
         let cfg = PartitionConfig::default();
         let greedy = {
-            let ideal_m = MachineDesc::monolithic(16);
-            let ddg = build_ddg(&l, &m.latencies);
-            let p = SchedProblem::ideal(&l, &ideal_m);
-            let ideal = schedule_loop(&p, &ddg, &ImsConfig::default()).unwrap();
-            let slack = compute_slack(&ddg, |op| m.latencies.of(l.op(op).opcode) as i64);
-            let rcg = build_rcg(&l, &ideal, &slack, &cfg);
+            let ctx = LoopContext::new(&l, &m);
+            let rcg = build_rcg(&l, &ctx.ideal, &ctx.slack, &cfg);
             evaluate_partition(&l, &m, &crate::greedy::assign_banks(&rcg, 4, &cfg))
         };
         let iterated = iterated_partition(&l, &m, &cfg, 4, 8);

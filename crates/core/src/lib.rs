@@ -25,6 +25,7 @@
 
 pub mod baselines;
 pub mod config;
+pub mod context;
 pub mod copyins;
 pub mod greedy;
 pub mod iterate;
@@ -33,8 +34,9 @@ pub mod tune;
 
 pub use baselines::{bug_partition, component_partition, round_robin_partition};
 pub use config::PartitionConfig;
+pub use context::LoopContext;
 pub use copyins::{insert_copies, ClusteredLoop};
 pub use greedy::{assign_banks, assign_banks_caps, assign_banks_pinned, Partition};
-pub use iterate::iterated_partition;
+pub use iterate::{iterated_partition, iterated_partition_ctx};
 pub use rcg::{build_rcg, RcgGraph};
-pub use tune::{score_config, tune_weights, TuneResult};
+pub use tune::{score_config, score_config_ctx, tune_weights, TuneResult};

@@ -11,10 +11,11 @@
 //! whether tuned weights beat the paper's ad hoc ones — not the optimiser.
 
 use crate::config::PartitionConfig;
+use crate::context::LoopContext;
 use crate::copyins::insert_copies;
 use crate::greedy::assign_banks_caps;
 use crate::rcg::build_rcg;
-use vliw_ddg::{build_ddg, compute_slack};
+use vliw_ddg::build_ddg;
 use vliw_ir::Loop;
 use vliw_machine::MachineDesc;
 use vliw_sched::{schedule_loop, ImsConfig, SchedProblem};
@@ -67,27 +68,36 @@ pub struct TuneResult {
 
 /// Mean normalised degradation of `cfg` on `loops` (lower is better;
 /// 100 = every loop at its ideal II).
+///
+/// Convenience wrapper that rebuilds each loop's front-end analysis; a
+/// tuning run scoring many configurations should build the contexts once
+/// and call [`score_config_ctx`].
 pub fn score_config(loops: &[Loop], machine: &MachineDesc, cfg: &PartitionConfig) -> f64 {
+    let ctxs: Vec<LoopContext> = loops.iter().map(|l| LoopContext::new(l, machine)).collect();
+    score_config_ctx(loops, &ctxs, machine, cfg)
+}
+
+/// [`score_config`] against precomputed per-loop contexts. The DDG, slack,
+/// and ideal schedule are configuration-independent, so the tuner shares one
+/// [`LoopContext`] per training loop across its entire weight grid; only the
+/// RCG, the partition, and the clustered reschedule vary per candidate.
+pub fn score_config_ctx(
+    loops: &[Loop],
+    ctxs: &[LoopContext],
+    machine: &MachineDesc,
+    cfg: &PartitionConfig,
+) -> f64 {
+    assert_eq!(loops.len(), ctxs.len());
     let caps: Vec<usize> = machine.clusters.iter().map(|c| c.n_fus).collect();
-    let ideal_machine =
-        MachineDesc::monolithic(machine.issue_width()).with_latencies(machine.latencies.clone());
     let mut total = 0.0;
-    for body in loops {
-        let ddg = build_ddg(body, &machine.latencies);
-        let ideal = schedule_loop(
-            &SchedProblem::ideal(body, &ideal_machine),
-            &ddg,
-            &ImsConfig::default(),
-        )
-        .expect("ideal schedules");
-        let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
-        let rcg = build_rcg(body, &ideal, &slack, cfg);
+    for (body, ctx) in loops.iter().zip(ctxs) {
+        let rcg = build_rcg(body, &ctx.ideal, &ctx.slack, cfg);
         let part = assign_banks_caps(&rcg, &caps, cfg);
         let clustered = insert_copies(body, &part);
         let cddg = build_ddg(&clustered.body, &machine.latencies);
         let problem = SchedProblem::clustered(&clustered.body, machine, &clustered.cluster_of);
         let sched = schedule_loop(&problem, &cddg, &ImsConfig::default()).expect("clustered");
-        total += 100.0 * sched.ii as f64 / ideal.ii as f64;
+        total += 100.0 * sched.ii as f64 / ctx.ideal.ii as f64;
     }
     total / loops.len().max(1) as f64
 }
@@ -102,8 +112,11 @@ pub fn tune_weights(
     seed: u64,
 ) -> TuneResult {
     let mut rng = XorShift::new(seed);
+    // One front-end analysis per training loop for the whole run; every
+    // candidate configuration below reuses them.
+    let ctxs: Vec<LoopContext> = loops.iter().map(|l| LoopContext::new(l, machine)).collect();
     let baseline = PartitionConfig::default();
-    let baseline_score = score_config(loops, machine, &baseline);
+    let baseline_score = score_config_ctx(loops, &ctxs, machine, &baseline);
     let mut best = (baseline, baseline_score);
     let mut evaluated = 1usize;
 
@@ -126,11 +139,11 @@ pub fn tune_weights(
             best.1
         } else {
             evaluated += 1;
-            score_config(loops, machine, &cur)
+            score_config_ctx(loops, &ctxs, machine, &cur)
         };
         for _ in 0..steps {
             let cand = perturb(&mut rng, &cur);
-            let s = score_config(loops, machine, &cand);
+            let s = score_config_ctx(loops, &ctxs, machine, &cand);
             evaluated += 1;
             if s < cur_score {
                 cur = cand;

@@ -1,5 +1,6 @@
 //! The dependence graph data structure.
 
+use std::ops::Index;
 use vliw_ir::OpId;
 
 /// Kind of dependence.
@@ -31,6 +32,66 @@ pub struct DepEdge {
     pub distance: u32,
     /// What the edge models.
     pub kind: DepKind,
+}
+
+/// Sentinel below which a matrix entry means "no path". Kept well away from
+/// `i64::MIN` so additions cannot wrap.
+pub const NO_PATH: i64 = i64::MIN / 4;
+
+/// All-pairs longest-path matrix in a flat row-major buffer.
+///
+/// Produced by [`Ddg::longest_paths`]; reuse one across probes via
+/// [`Ddg::longest_paths_into`] to avoid the O(n²) allocation per call.
+/// `m[(i, j)]` is the maximum over paths i→j of `Σ latency − II·Σ distance`;
+/// entries at or below [`NO_PATH`] mean no path exists.
+#[derive(Debug, Clone, Default)]
+pub struct PathMatrix {
+    n: usize,
+    d: Vec<i64>,
+}
+
+impl PathMatrix {
+    /// An empty matrix, ready to be filled by [`Ddg::longest_paths_into`].
+    pub fn new() -> Self {
+        PathMatrix::default()
+    }
+
+    /// Number of operations (rows/columns).
+    #[inline]
+    pub fn n_ops(&self) -> usize {
+        self.n
+    }
+
+    /// The longest-path weight i→j, or a value ≤ [`NO_PATH`] if unreachable.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> i64 {
+        self.d[i * self.n + j]
+    }
+
+    /// Does a path i→j exist?
+    #[inline]
+    pub fn has_path(&self, i: usize, j: usize) -> bool {
+        self.at(i, j) > NO_PATH
+    }
+
+    /// One full row (length `n_ops`).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[i64] {
+        &self.d[i * self.n..(i + 1) * self.n]
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.d.clear();
+        self.d.resize(n * n, NO_PATH);
+    }
+}
+
+impl Index<(usize, usize)> for PathMatrix {
+    type Output = i64;
+    fn index(&self, (i, j): (usize, usize)) -> &i64 {
+        &self.d[i * self.n + j]
+    }
 }
 
 /// A dependence graph over the operations of one loop body.
@@ -93,43 +154,103 @@ impl Ddg {
         self.pred[op.index()].iter().map(move |&i| &self.edges[i])
     }
 
-    /// Longest-path matrix under a candidate II, or `None` if a positive
-    /// cycle exists (II infeasible). `dist[i][j]` is the maximum over paths
-    /// i→j of `Σ latency − II·Σ distance`; `i64::MIN` marks "no path".
+    /// Is the candidate `ii` feasible — i.e. does the graph have **no**
+    /// positive cycle under edge weights `latency − II·distance`?
     ///
-    /// Floyd–Warshall, O(n³); loop bodies are at most a few hundred ops so
-    /// this is well within budget, and the binary search in
-    /// [`crate::minii::rec_ii`] calls it O(log Σlat) times.
-    pub fn longest_paths(&self, ii: u32) -> Option<Vec<Vec<i64>>> {
-        const NEG: i64 = i64::MIN / 4;
+    /// Bellman–Ford from a virtual source connected to every node with a
+    /// zero-weight edge: O(V·E) and no O(n²) matrix, which is what the
+    /// per-II probe in iterative modulo scheduling wants. See
+    /// [`Ddg::is_feasible_with`] to reuse the O(n) scratch buffer across
+    /// probes.
+    pub fn is_feasible(&self, ii: u32) -> bool {
+        let mut scratch = Vec::new();
+        self.is_feasible_with(ii, &mut scratch)
+    }
+
+    /// [`Ddg::is_feasible`] with a caller-provided scratch buffer, so a
+    /// binary search or II escalation loop performs no per-probe allocation.
+    /// On a feasible return, `scratch[v]` holds the longest-path weight from
+    /// the virtual source to `v` (≥ 0).
+    pub fn is_feasible_with(&self, ii: u32, scratch: &mut Vec<i64>) -> bool {
         let n = self.n;
-        let mut d = vec![vec![NEG; n]; n];
+        scratch.clear();
+        scratch.resize(n, 0);
+        if n == 0 || self.edges.is_empty() {
+            return true;
+        }
+        // The longest simple path from the virtual source uses at most n
+        // real edges; a relaxation that still fires on the n-th pass can
+        // only come from a repeated vertex, i.e. a positive cycle.
+        for _pass in 0..n {
+            let mut changed = false;
+            for e in &self.edges {
+                let w = e.latency - (ii as i64) * (e.distance as i64);
+                let cand = scratch[e.from.index()] + w;
+                if cand > scratch[e.to.index()] {
+                    scratch[e.to.index()] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Per-node longest-path weight from the virtual source under `ii`
+    /// (every weight ≥ 0 since the source reaches each node directly), or
+    /// `None` if `ii` is infeasible. O(V·E), one O(n) allocation.
+    pub fn longest_from_source(&self, ii: u32) -> Option<Vec<i64>> {
+        let mut dist = Vec::new();
+        self.is_feasible_with(ii, &mut dist).then_some(dist)
+    }
+
+    /// Longest-path matrix under a candidate II, or `None` if a positive
+    /// cycle exists (II infeasible).
+    ///
+    /// Floyd–Warshall, O(n³) time and O(n²) space — use only when the
+    /// all-pairs matrix is genuinely needed; per-II feasibility probes
+    /// should call the O(V·E) [`Ddg::is_feasible`] instead. Allocates a
+    /// fresh matrix; reuse one across calls via [`Ddg::longest_paths_into`].
+    pub fn longest_paths(&self, ii: u32) -> Option<PathMatrix> {
+        let mut m = PathMatrix::new();
+        self.longest_paths_into(ii, &mut m).then_some(m)
+    }
+
+    /// Fill `m` with the all-pairs longest paths under `ii`, reusing its
+    /// buffer. Returns `false` (matrix contents unspecified) if a positive
+    /// cycle exists.
+    pub fn longest_paths_into(&self, ii: u32, m: &mut PathMatrix) -> bool {
+        let n = self.n;
+        m.reset(n);
+        let d = &mut m.d;
         for e in &self.edges {
             let w = e.latency - (ii as i64) * (e.distance as i64);
-            let cur = &mut d[e.from.index()][e.to.index()];
+            let cur = &mut d[e.from.index() * n + e.to.index()];
             *cur = (*cur).max(w);
         }
         for k in 0..n {
             for i in 0..n {
-                let dik = d[i][k];
+                let dik = d[i * n + k];
                 // Relaxing through k == i is a no-op whenever d[i][i] ≤ 0,
                 // and a positive d[i][i] is caught below.
-                if dik <= NEG || i == k {
-                    if d[i][i] > 0 {
-                        return None;
+                if dik <= NO_PATH || i == k {
+                    if d[i * n + i] > 0 {
+                        return false;
                     }
                     continue;
                 }
                 // Split borrows: row k is read while row i is written.
                 let (row_k, row_i) = if i < k {
-                    let (lo, hi) = d.split_at_mut(k);
-                    (&hi[0], &mut lo[i])
+                    let (lo, hi) = d.split_at_mut(k * n);
+                    (&hi[..n], &mut lo[i * n..(i + 1) * n])
                 } else {
-                    let (lo, hi) = d.split_at_mut(i);
-                    (&lo[k], &mut hi[0])
+                    let (lo, hi) = d.split_at_mut(i * n);
+                    (&lo[k * n..(k + 1) * n], &mut hi[..n])
                 };
                 for (dij, &dkj) in row_i.iter_mut().zip(row_k.iter()) {
-                    if dkj > NEG {
+                    if dkj > NO_PATH {
                         let w = dik + dkj;
                         if w > *dij {
                             *dij = w;
@@ -137,28 +258,51 @@ impl Ddg {
                     }
                 }
                 // A positive self-loop through k means a positive cycle.
-                if d[i][i] > 0 {
-                    return None;
+                if d[i * n + i] > 0 {
+                    return false;
                 }
             }
         }
-        for (i, row) in d.iter().enumerate() {
-            if row[i] > 0 {
-                return None;
+        for i in 0..n {
+            if d[i * n + i] > 0 {
+                return false;
             }
         }
-        Some(d)
+        true
     }
 
     /// True if some dependence cycle exists (i.e. the loop has a recurrence).
+    ///
+    /// Plain iterative DFS over the full graph — O(V+E), no matrix.
     pub fn has_recurrence(&self) -> bool {
-        // A cycle must contain a distance>0 edge; test feasibility with a
-        // huge II — if even that has a positive cycle something is malformed,
-        // so instead check for any cycle via reachability on the full graph.
-        let d = self
-            .longest_paths(1_000_000)
-            .expect("II=1e6 must be feasible");
-        (0..self.n).any(|i| d[i][i] > i64::MIN / 4)
+        // 0 = unvisited, 1 = on the current DFS path, 2 = done.
+        let mut color = vec![0u8; self.n];
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for s in 0..self.n {
+            if color[s] != 0 {
+                continue;
+            }
+            color[s] = 1;
+            stack.push((s, 0));
+            while let Some((u, i)) = stack.last_mut() {
+                if let Some(&edge_idx) = self.succ[*u].get(*i) {
+                    *i += 1;
+                    let v = self.edges[edge_idx].to.index();
+                    match color[v] {
+                        0 => {
+                            color[v] = 1;
+                            stack.push((v, 0));
+                        }
+                        1 => return true, // back edge, including self-loops
+                        _ => {}
+                    }
+                } else {
+                    color[*u] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        false
     }
 }
 
@@ -205,6 +349,8 @@ mod tests {
         g.add_edge(edge(1, 0, 2, 1));
         assert!(g.longest_paths(4).is_none());
         assert!(g.longest_paths(5).is_some());
+        assert!(!g.is_feasible(4));
+        assert!(g.is_feasible(5));
         assert!(g.has_recurrence());
     }
 
@@ -214,8 +360,42 @@ mod tests {
         g.add_edge(edge(0, 1, 10, 0));
         g.add_edge(edge(1, 2, 10, 0));
         assert!(g.longest_paths(1).is_some());
+        assert!(g.is_feasible(1));
         assert!(!g.has_recurrence());
         let d = g.longest_paths(1).unwrap();
-        assert_eq!(d[0][2], 20);
+        assert_eq!(d[(0, 2)], 20);
+        assert!(d.has_path(0, 2));
+        assert!(!d.has_path(2, 0));
+    }
+
+    #[test]
+    fn longest_from_source_matches_matrix_column_max() {
+        let mut g = Ddg::new(3);
+        g.add_edge(edge(0, 1, 10, 0));
+        g.add_edge(edge(1, 2, 7, 0));
+        let dist = g.longest_from_source(1).unwrap();
+        assert_eq!(dist, vec![0, 10, 17]);
+        assert!(g.longest_from_source(0).is_some()); // acyclic: any II works
+    }
+
+    #[test]
+    fn self_loop_is_a_recurrence() {
+        let mut g = Ddg::new(2);
+        g.add_edge(edge(0, 0, 2, 1));
+        assert!(g.has_recurrence());
+        assert!(!g.is_feasible(1));
+        assert!(g.is_feasible(2));
+    }
+
+    #[test]
+    fn path_matrix_buffer_is_reusable() {
+        let mut g = Ddg::new(2);
+        g.add_edge(edge(0, 1, 3, 0));
+        g.add_edge(edge(1, 0, 2, 1));
+        let mut m = PathMatrix::new();
+        assert!(!g.longest_paths_into(4, &mut m));
+        assert!(g.longest_paths_into(5, &mut m));
+        assert_eq!(m.at(0, 1), 3);
+        assert_eq!(m.n_ops(), 2);
     }
 }

@@ -10,7 +10,10 @@
 //! * **ResII** — the resource-constrained lower bound on the initiation
 //!   interval;
 //! * **RecII** — the recurrence-constrained lower bound, computed by binary
-//!   search with a Floyd–Warshall positive-cycle feasibility test;
+//!   search with an O(V·E) Bellman–Ford positive-cycle feasibility test
+//!   ([`Ddg::is_feasible`]); the dense Floyd–Warshall all-pairs matrix
+//!   ([`Ddg::longest_paths`]) survives only for callers that genuinely need
+//!   every pair, backed by a reusable flat row-major [`PathMatrix`];
 //! * **slack** (the paper's *Flexibility*, §5) — the difference between the
 //!   earliest and latest cycle an operation can occupy without stretching the
 //!   ideal schedule.
@@ -28,6 +31,6 @@ pub mod minii;
 pub mod slack;
 
 pub use build::build_ddg;
-pub use graph::{Ddg, DepEdge, DepKind};
-pub use minii::{min_ii, rec_ii, res_ii};
+pub use graph::{Ddg, DepEdge, DepKind, PathMatrix, NO_PATH};
+pub use minii::{min_ii, rec_ii, rec_ii_dense, res_ii};
 pub use slack::{compute_slack, critical_path_length, SlackInfo};

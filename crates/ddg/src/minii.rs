@@ -19,23 +19,48 @@ pub fn res_ii(l: &Loop, m: &MachineDesc) -> u32 {
 /// Recurrence-constrained minimum II: the smallest II such that the
 /// dependence graph has no positive cycle under edge weights
 /// `latency − II·distance`. Computed by binary search over II with the
-/// Floyd–Warshall feasibility test; monotonicity of feasibility in II makes
-/// the search exact.
+/// O(V·E) Bellman–Ford feasibility test ([`Ddg::is_feasible_with`]);
+/// monotonicity of feasibility in II makes the search exact. Total cost is
+/// O(V·E·log Σlat) with a single O(V) scratch allocation — no n×n matrix
+/// is ever materialised.
 pub fn rec_ii(g: &Ddg) -> u32 {
+    let mut scratch = Vec::new();
     // Upper bound: sum of all positive latencies is always feasible.
     let hi_bound: i64 = g.edges().iter().map(|e| e.latency.max(0)).sum::<i64>() + 1;
     let (mut lo, mut hi) = (1u32, hi_bound.max(1) as u32);
-    if g.longest_paths(lo).is_some() {
+    if g.is_feasible_with(lo, &mut scratch) {
         return lo;
     }
     debug_assert!(
-        g.longest_paths(hi).is_some(),
+        g.is_feasible_with(hi, &mut scratch),
         "upper bound must be feasible"
     );
     // Invariant: lo infeasible, hi feasible.
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if g.longest_paths(mid).is_some() {
+        if g.is_feasible_with(mid, &mut scratch) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Reference RecII via the dense Floyd–Warshall matrix — the original
+/// O(n³·log Σlat) formulation. Kept as the oracle the property tests and
+/// the perf baseline pin the fast [`rec_ii`] against; production callers
+/// should never need it.
+pub fn rec_ii_dense(g: &Ddg) -> u32 {
+    let mut m = crate::graph::PathMatrix::new();
+    let hi_bound: i64 = g.edges().iter().map(|e| e.latency.max(0)).sum::<i64>() + 1;
+    let (mut lo, mut hi) = (1u32, hi_bound.max(1) as u32);
+    if g.longest_paths_into(lo, &mut m) {
+        return lo;
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if g.longest_paths_into(mid, &mut m) {
             hi = mid;
         } else {
             lo = mid;
@@ -119,6 +144,7 @@ mod tests {
             });
         }
         assert_eq!(rec_ii(&g), 5);
+        assert_eq!(rec_ii_dense(&g), 5);
     }
 
     #[test]

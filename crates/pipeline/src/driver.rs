@@ -8,16 +8,17 @@
 
 use vliw_analysis::{Analyzer, Artifacts, Diagnostic, Report};
 use vliw_core::{
-    bug_partition, build_rcg, component_partition, insert_copies, round_robin_partition, Partition,
-    PartitionConfig, RcgGraph,
+    bug_partition, build_rcg, component_partition, insert_copies, round_robin_partition,
+    LoopContext, Partition, PartitionConfig, RcgGraph,
 };
+use vliw_ddg::build_ddg;
 use vliw_ddg::Ddg;
-use vliw_ddg::{build_ddg, compute_slack};
 use vliw_ir::Loop;
 use vliw_machine::{CopyModel, MachineDesc};
 use vliw_regalloc::allocate;
 use vliw_sched::{
-    schedule_loop, sms_schedule_loop, verify_schedule, ImsConfig, SchedProblem, Schedule, SmsConfig,
+    schedule_loop_with, sms_schedule_loop_with, verify_schedule, ImsConfig, SchedContext,
+    SchedProblem, Schedule, SmsConfig,
 };
 use vliw_sim::equivalence_failures;
 
@@ -153,10 +154,27 @@ impl LoopResult {
 /// Schedule with the configured scheduler, falling back to IMS if swing
 /// scheduling exhausts its II attempts (rare; keeps the harness total).
 pub fn schedule_with(cfg: &PipelineConfig, problem: &SchedProblem<'_>, ddg: &Ddg) -> Schedule {
+    let sctx = SchedContext::new(problem, ddg);
+    schedule_with_ctx(cfg, problem, ddg, &sctx)
+}
+
+/// [`schedule_with`] against a precomputed [`SchedContext`] — the driver
+/// builds the context once per (body, DDG) pair and both schedulers reuse
+/// its RecII and slack.
+pub fn schedule_with_ctx(
+    cfg: &PipelineConfig,
+    problem: &SchedProblem<'_>,
+    ddg: &Ddg,
+    sctx: &SchedContext,
+) -> Schedule {
     match cfg.scheduler {
-        SchedulerKind::Ims => schedule_loop(problem, ddg, &cfg.ims).expect("IMS schedules"),
-        SchedulerKind::Swing => sms_schedule_loop(problem, ddg, &SmsConfig::default())
-            .unwrap_or_else(|_| schedule_loop(problem, ddg, &cfg.ims).expect("IMS fallback")),
+        SchedulerKind::Ims => {
+            schedule_loop_with(problem, ddg, &cfg.ims, sctx).expect("IMS schedules")
+        }
+        SchedulerKind::Swing => sms_schedule_loop_with(problem, ddg, &SmsConfig::default(), sctx)
+            .unwrap_or_else(|_| {
+                schedule_loop_with(problem, ddg, &cfg.ims, sctx).expect("IMS fallback")
+            }),
     }
 }
 
@@ -179,14 +197,19 @@ fn gate(mode: LintMode, loop_name: &str, stage: &str, acc: &mut Report, found: R
 /// issue width and latencies (§4.1's definition), regardless of `machine`'s
 /// clustering.
 pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> LoopResult {
-    // Steps 1–2: DDG + ideal schedule on the monolithic twin.
-    let ideal_machine =
-        MachineDesc::monolithic(machine.issue_width()).with_latencies(machine.latencies.clone());
-    let ddg = build_ddg(body, &machine.latencies);
-    let ideal_problem = SchedProblem::ideal(body, &ideal_machine);
-    let ideal = schedule_with(cfg, &ideal_problem, &ddg);
-    debug_assert!(verify_schedule(&ideal_problem, &ddg, &ideal).is_ok());
-    let slack = compute_slack(&ddg, |op| machine.latencies.of(body.op(op).opcode) as i64);
+    // Steps 1–2: the shared per-loop front end — DDG, slack, RecII, and the
+    // ideal schedule on the monolithic twin — built exactly once and reused
+    // by every stage below (including the iterated partitioner's rounds).
+    let ctx = LoopContext::with_scheduler(body, machine, |p, g, sctx| {
+        let s = schedule_with_ctx(cfg, p, g, sctx);
+        debug_assert!(verify_schedule(p, g, &s).is_ok());
+        s
+    });
+    let LoopContext {
+        ref slack,
+        ref ideal,
+        ..
+    } = ctx;
 
     // Step 3: partition registers to banks. The RCG (when the partitioner
     // builds one) outlives the match so the gate below can lint it.
@@ -194,16 +217,17 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
     let mut rcg: Option<RcgGraph> = None;
     let partition: Partition = match cfg.partitioner {
         PartitionerKind::Greedy => {
-            let g = rcg.insert(build_rcg(body, &ideal, &slack, &cfg.partition));
+            let g = rcg.insert(build_rcg(body, ideal, slack, &cfg.partition));
             let caps: Vec<usize> = machine.clusters.iter().map(|c| c.n_fus).collect();
             vliw_core::assign_banks_caps(g, &caps, &cfg.partition)
         }
         PartitionerKind::Iterated(rounds, beam) => {
-            vliw_core::iterated_partition(body, machine, &cfg.partition, rounds, beam).partition
+            vliw_core::iterated_partition_ctx(body, machine, &cfg.partition, rounds, beam, &ctx)
+                .partition
         }
-        PartitionerKind::Bug => bug_partition(body, &slack, machine),
+        PartitionerKind::Bug => bug_partition(body, slack, machine),
         PartitionerKind::Component => {
-            let g = rcg.insert(build_rcg(body, &ideal, &slack, &cfg.partition));
+            let g = rcg.insert(build_rcg(body, ideal, slack, &cfg.partition));
             component_partition(g, n_banks)
         }
         PartitionerKind::RoundRobin => round_robin_partition(body.n_vregs(), n_banks),
@@ -212,18 +236,18 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
     let analyzer = Analyzer::with_default_passes();
     let mut diagnostics = Report::new();
     if cfg.lint != LintMode::Off {
-        let mut ctx = Artifacts::new(body, machine, &cfg.partition)
-            .with_ideal(&ideal, &slack)
+        let mut actx = Artifacts::new(body, machine, &cfg.partition)
+            .with_ideal(ideal, slack)
             .with_partition(&partition);
         if let Some(g) = &rcg {
-            ctx = ctx.with_rcg(g);
+            actx = actx.with_rcg(g);
         }
         gate(
             cfg.lint,
             &body.name,
             "partition",
             &mut diagnostics,
-            analyzer.analyze(&ctx),
+            analyzer.analyze(&actx),
         );
     }
 
@@ -300,11 +324,11 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
     let clustered_final_banks = work_banks;
 
     if cfg.lint != LintMode::Off {
-        let ctx = Artifacts::new(body, machine, &cfg.partition)
+        let actx = Artifacts::new(body, machine, &cfg.partition)
             .with_clustered(&clustered_final_body, &work_cluster, &clustered_final_banks)
             .with_cddg(&cddg)
             .with_schedule(&sched);
-        let mut found = analyzer.analyze(&ctx);
+        let mut found = analyzer.analyze(&actx);
         if spills > 0 {
             // The allocator already reported this colouring as spilled
             // (`LoopResult::spills`); pressure above capacity is then the

@@ -23,6 +23,31 @@ pub fn run_corpus(corpus: &[Loop], machine: &MachineDesc, cfg: &PipelineConfig) 
         .collect()
 }
 
+/// Run the corpus against several machines as ONE flat parallel sweep over
+/// every `(machine, loop)` pair, regrouped per machine in input order.
+///
+/// Sweeping machine-by-machine leaves cores idle at the tail of each
+/// machine's corpus (a handful of expensive loops finish last while the next
+/// machine waits); flattening the grid gives the work distributor
+/// `machines × loops` items to balance instead of `loops`.
+pub fn run_corpus_grid(
+    corpus: &[Loop],
+    machines: &[MachineDesc],
+    cfg: &PipelineConfig,
+) -> Vec<Vec<LoopResult>> {
+    let pairs: Vec<(&MachineDesc, &Loop)> = machines
+        .iter()
+        .flat_map(|m| corpus.iter().map(move |l| (m, l)))
+        .collect();
+    let flat: Vec<LoopResult> = pairs
+        .par_iter()
+        .map(|&(m, l)| run_loop(l, m, cfg))
+        .collect();
+    flat.chunks(corpus.len().max(1))
+        .map(|c| c.to_vec())
+        .collect()
+}
+
 /// Table 1: kernel IPC of the ideal and clustered pipelines.
 #[derive(Debug, Clone)]
 pub struct Table1 {
@@ -77,10 +102,10 @@ impl Table1 {
 /// Compute Table 1 from per-machine corpus results.
 pub fn table1(corpus: &[Loop], cfg: &PipelineConfig) -> Table1 {
     let machines = paper_machines();
+    let per_machine = run_corpus_grid(corpus, &machines, cfg);
     let mut rows = Vec::new();
     let mut ideal = f64::NAN;
-    for m in &machines {
-        let rs = run_corpus(corpus, m, cfg);
+    for (m, rs) in machines.iter().zip(&per_machine) {
         if ideal.is_nan() {
             ideal = arith_mean(&rs.iter().map(|r| r.ideal_ipc).collect::<Vec<_>>());
         }
@@ -153,10 +178,11 @@ impl Table2 {
 /// Compute Table 2.
 pub fn table2(corpus: &[Loop], cfg: &PipelineConfig) -> Table2 {
     let machines = paper_machines();
+    let per_machine = run_corpus_grid(corpus, &machines, cfg);
     let rows = machines
         .iter()
-        .map(|m| {
-            let rs = run_corpus(corpus, m, cfg);
+        .zip(&per_machine)
+        .map(|(m, rs)| {
             let norm: Vec<f64> = rs.iter().map(|r| r.normalized).collect();
             (
                 m.name.clone(),
@@ -209,14 +235,18 @@ impl HistogramRow {
 /// Compute Fig. 5 (`n_clusters = 2`), Fig. 6 (4) or Fig. 7 (8).
 pub fn fig_histogram(corpus: &[Loop], n_clusters: usize, cfg: &PipelineConfig) -> HistogramRow {
     let fus = 16 / n_clusters;
-    let run = |m: &MachineDesc| {
-        let rs = run_corpus(corpus, m, cfg);
+    let machines = [
+        MachineDesc::embedded(n_clusters, fus),
+        MachineDesc::copy_unit(n_clusters, fus),
+    ];
+    let per_machine = run_corpus_grid(corpus, &machines, cfg);
+    let hist = |rs: &[LoopResult]| {
         Histogram::from_degradations(&rs.iter().map(|r| r.degradation_pct()).collect::<Vec<_>>())
     };
     HistogramRow {
         n_clusters,
-        embedded: run(&MachineDesc::embedded(n_clusters, fus)),
-        copy_unit: run(&MachineDesc::copy_unit(n_clusters, fus)),
+        embedded: hist(&per_machine[0]),
+        copy_unit: hist(&per_machine[1]),
     }
 }
 
@@ -563,6 +593,25 @@ mod tests {
             ex.clustered_span,
             ex.ideal_span
         );
+    }
+
+    #[test]
+    fn grid_sweep_matches_per_machine_sweep() {
+        let c = small_corpus(10);
+        let machines = [MachineDesc::embedded(2, 8), MachineDesc::copy_unit(4, 4)];
+        let cfg = PipelineConfig::default();
+        let grid = run_corpus_grid(&c, &machines, &cfg);
+        assert_eq!(grid.len(), machines.len());
+        for (m, rows) in machines.iter().zip(&grid) {
+            let seq = run_corpus(&c, m, &cfg);
+            assert_eq!(rows.len(), seq.len());
+            for (a, b) in rows.iter().zip(&seq) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.clustered_ii, b.clustered_ii);
+                assert_eq!(a.n_copies, b.n_copies);
+                assert_eq!(a.normalized, b.normalized);
+            }
+        }
     }
 
     #[test]

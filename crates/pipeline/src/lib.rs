@@ -23,12 +23,13 @@ pub mod function;
 pub mod stats;
 
 pub use driver::{
-    run_loop, schedule_with, LintMode, LoopResult, PartitionerKind, PipelineConfig, SchedulerKind,
+    run_loop, schedule_with, schedule_with_ctx, LintMode, LoopResult, PartitionerKind,
+    PipelineConfig, SchedulerKind,
 };
 pub use experiments::{
     ablation, fig_histogram, latency_sweep, paper_example, paper_machines, render_ablation,
-    render_scheduler_compare, run_corpus, scheduler_compare, table1, table2, whole_programs,
-    AblationRow, HistogramRow, PaperExample, SchedulerRow, Table1, Table2,
+    render_scheduler_compare, run_corpus, run_corpus_grid, scheduler_compare, table1, table2,
+    whole_programs, AblationRow, HistogramRow, PaperExample, SchedulerRow, Table1, Table2,
 };
 pub use function::{run_function, BlockResult, FunctionResult};
 pub use stats::DiagSummary;

@@ -1,0 +1,85 @@
+//! Precomputed, II-independent scheduling context.
+//!
+//! Everything the modulo schedulers need that does **not** depend on the
+//! candidate II — the resource and recurrence lower bounds and the slack
+//! (criticality) analysis — is computed once here and threaded through
+//! [`schedule_loop_with`](crate::ims::schedule_loop_with) /
+//! [`sms_schedule_loop_with`](crate::sms::sms_schedule_loop_with). Callers
+//! that evaluate many candidates against the *same* DDG (the iterated
+//! partitioner's beam, the weight tuner's grid, the pipeline driver) build
+//! one `SchedContext` and stop paying for a silent `rec_ii` + slack
+//! recomputation per call.
+
+use crate::problem::SchedProblem;
+use vliw_ddg::{compute_slack, rec_ii, Ddg, SlackInfo};
+
+/// II-independent inputs to modulo scheduling, computed once per
+/// (problem, DDG) pair.
+#[derive(Debug, Clone)]
+pub struct SchedContext {
+    /// Resource-constrained lower bound on II (per-cluster FU and copy
+    /// pressure included).
+    pub res_ii: u32,
+    /// Recurrence-constrained lower bound on II.
+    pub rec_ii: u32,
+    /// Earliest/latest-start analysis over the distance-0 subgraph; the
+    /// schedulers' placement priority.
+    pub slack: SlackInfo,
+}
+
+impl SchedContext {
+    /// Compute the context for `problem` against `ddg`.
+    pub fn new(problem: &SchedProblem<'_>, ddg: &Ddg) -> Self {
+        SchedContext {
+            res_ii: problem.res_ii(),
+            rec_ii: rec_ii(ddg),
+            slack: compute_slack(ddg, |op| problem.latency(op)),
+        }
+    }
+
+    /// Assemble a context from already-known parts (e.g. a shared per-loop
+    /// context that computed RecII and slack once for several consumers).
+    pub fn from_parts(res_ii: u32, rec_ii: u32, slack: SlackInfo) -> Self {
+        SchedContext {
+            res_ii,
+            rec_ii,
+            slack,
+        }
+    }
+
+    /// `MinII = max(ResII, RecII)` — where II escalation starts.
+    pub fn min_ii(&self) -> u32 {
+        self.res_ii.max(self.rec_ii).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_ddg::build_ddg;
+    use vliw_ir::{LoopBuilder, RegClass};
+    use vliw_machine::MachineDesc;
+
+    #[test]
+    fn context_matches_direct_computation() {
+        let mut b = LoopBuilder::new("ctx");
+        let x = b.array("x", RegClass::Float, 64);
+        let a = b.live_in_float("a");
+        let s = b.live_in_float_val("s", 0.0);
+        let xv = b.load(x, 0, 1);
+        let t = b.fmul(a, s);
+        b.fadd_into(s, t, xv);
+        b.live_out(s);
+        let l = b.finish(64);
+        let m = MachineDesc::monolithic(16);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let ctx = SchedContext::new(&p, &g);
+        assert_eq!(ctx.res_ii, p.res_ii());
+        assert_eq!(ctx.rec_ii, rec_ii(&g));
+        assert_eq!(ctx.min_ii(), p.res_ii().max(rec_ii(&g)));
+        let direct = compute_slack(&g, |op| p.latency(op));
+        assert_eq!(ctx.slack.lstart, direct.lstart);
+        assert_eq!(ctx.slack.estart, direct.estart);
+    }
+}

@@ -9,12 +9,13 @@
 //! scheduling restarts. A sequential fallback schedule (one operation per
 //! kernel row) guarantees termination for any loop the IR can express.
 
+use crate::context::SchedContext;
 use crate::mrt::ModuloReservationTable;
 use crate::problem::{OpPlacement, SchedProblem};
 use crate::schedule::Schedule;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use vliw_ddg::{compute_slack, rec_ii, Ddg};
+use vliw_ddg::{Ddg, SlackInfo};
 use vliw_ir::OpId;
 use vliw_machine::ClusterId;
 
@@ -57,6 +58,11 @@ impl std::fmt::Display for SchedError {
 impl std::error::Error for SchedError {}
 
 /// Modulo-schedule `problem` against its dependence graph `ddg`.
+///
+/// Convenience wrapper that computes the II-independent [`SchedContext`]
+/// (RecII, slack) itself. Callers scheduling the same DDG repeatedly —
+/// partition search, weight tuning, pipeline stages — should build the
+/// context once and call [`schedule_loop_with`].
 pub fn schedule_loop(
     problem: &SchedProblem<'_>,
     ddg: &Ddg,
@@ -64,15 +70,32 @@ pub fn schedule_loop(
 ) -> Result<Schedule, SchedError> {
     assert_eq!(ddg.n_ops(), problem.n_ops());
     if problem.n_ops() == 0 {
-        return Ok(Schedule {
-            ii: 1,
-            times: Vec::new(),
-            clusters: Vec::new(),
-        });
+        return Ok(empty_schedule());
     }
-    let min_ii = problem.res_ii().max(rec_ii(ddg));
+    let ctx = SchedContext::new(problem, ddg);
+    schedule_loop_with(problem, ddg, cfg, &ctx)
+}
+
+/// Modulo-schedule `problem` with a precomputed [`SchedContext`].
+///
+/// Nothing II-independent is recomputed here: MinII comes from the context,
+/// slack is shared across every II attempt, and the feasibility / eviction
+/// scratch buffers are reused between attempts.
+pub fn schedule_loop_with(
+    problem: &SchedProblem<'_>,
+    ddg: &Ddg,
+    cfg: &ImsConfig,
+    ctx: &SchedContext,
+) -> Result<Schedule, SchedError> {
+    assert_eq!(ddg.n_ops(), problem.n_ops());
+    if problem.n_ops() == 0 {
+        return Ok(empty_schedule());
+    }
+    let min_ii = ctx.min_ii();
+    let mut feas: Vec<i64> = Vec::new();
+    let mut victims: Vec<OpId> = Vec::new();
     for ii in min_ii..min_ii + cfg.max_ii_tries {
-        if let Some(s) = try_ii(problem, ddg, ii, cfg) {
+        if let Some(s) = try_ii(problem, ddg, ii, cfg, &ctx.slack, &mut feas, &mut victims) {
             return Ok(s);
         }
     }
@@ -80,14 +103,32 @@ pub fn schedule_loop(
         .ok_or(SchedError::NoIiFound(min_ii + cfg.max_ii_tries))
 }
 
-/// One II attempt. Returns the schedule on success.
-fn try_ii(problem: &SchedProblem<'_>, ddg: &Ddg, ii: u32, cfg: &ImsConfig) -> Option<Schedule> {
-    let n = problem.n_ops();
-    // Feasibility of the recurrence constraints at this II.
-    ddg.longest_paths(ii)?;
+fn empty_schedule() -> Schedule {
+    Schedule {
+        ii: 1,
+        times: Vec::new(),
+        clusters: Vec::new(),
+    }
+}
 
-    // Priorities: smaller latest-start ⇒ more critical ⇒ scheduled first.
-    let slack = compute_slack(ddg, |op| problem.latency(op));
+/// One II attempt. Returns the schedule on success. `slack` is the
+/// II-independent criticality analysis from the caller's [`SchedContext`];
+/// `feas` and `victims` are reusable scratch buffers.
+fn try_ii(
+    problem: &SchedProblem<'_>,
+    ddg: &Ddg,
+    ii: u32,
+    cfg: &ImsConfig,
+    slack: &SlackInfo,
+    feas: &mut Vec<i64>,
+    victims: &mut Vec<OpId>,
+) -> Option<Schedule> {
+    let n = problem.n_ops();
+    // Feasibility of the recurrence constraints at this II — O(V·E)
+    // Bellman–Ford, no all-pairs matrix.
+    if !ddg.is_feasible_with(ii, feas) {
+        return None;
+    }
 
     let mut times: Vec<Option<i64>> = vec![None; n];
     let mut prev_time: Vec<Option<i64>> = vec![None; n];
@@ -129,7 +170,9 @@ fn try_ii(problem: &SchedProblem<'_>, ddg: &Ddg, ii: u32, cfg: &ImsConfig) -> Op
                     Some(pt) => estart.max(pt + 1),
                     None => estart,
                 };
-                evict_for(&mut mrt, &mut times, &mut heap, &slack, placement, t);
+                evict_for(
+                    &mut mrt, &mut times, &mut heap, slack, placement, t, victims,
+                );
                 debug_assert!(mrt.fits(placement, t).is_some());
                 t
             }
@@ -169,22 +212,25 @@ fn try_ii(problem: &SchedProblem<'_>, ddg: &Ddg, ii: u32, cfg: &ImsConfig) -> Op
 }
 
 /// Evict enough resource conflicts for `placement` to fit at `t`, preferring
-/// the least critical victims (largest lstart).
+/// the least critical victims (largest lstart). `victims` is caller scratch;
+/// the whole loop is allocation-free once it has warmed up.
 fn evict_for(
     mrt: &mut ModuloReservationTable,
     times: &mut [Option<i64>],
     heap: &mut BinaryHeap<(Reverse<i64>, Reverse<usize>)>,
-    slack: &vliw_ddg::SlackInfo,
+    slack: &SlackInfo,
     placement: OpPlacement,
     t: i64,
+    victims: &mut Vec<OpId>,
 ) {
     while mrt.fits(placement, t).is_none() {
-        let mut victims = mrt.conflicts(placement, t);
-        // Least critical first.
-        victims.sort_by_key(|v| Reverse(slack.lstart[v.index()]));
+        mrt.conflicts_into(placement, t, victims);
+        // Least critical victim: largest lstart, ties broken by op index so
+        // the choice is independent of slot-occupancy order.
         let v = victims
-            .first()
+            .iter()
             .copied()
+            .max_by_key(|v| (slack.lstart[v.index()], Reverse(v.index())))
             .expect("conflict set cannot be empty");
         mrt.remove(v);
         times[v.index()] = None;

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod expand;
 pub mod ims;
 pub mod list;
@@ -31,11 +32,12 @@ pub mod schedule;
 pub mod sms;
 pub mod verify;
 
+pub use context::SchedContext;
 pub use expand::{expand, FlatProgram};
-pub use ims::{schedule_loop, ImsConfig, SchedError};
+pub use ims::{schedule_loop, schedule_loop_with, ImsConfig, SchedError};
 pub use list::list_schedule;
 pub use mrt::ModuloReservationTable;
 pub use problem::{OpPlacement, SchedProblem};
 pub use schedule::Schedule;
-pub use sms::{sms_schedule_loop, SmsConfig};
+pub use sms::{sms_schedule_loop, sms_schedule_loop_with, SmsConfig};
 pub use verify::{verify_schedule, verify_schedule_all, ScheduleError};

@@ -5,31 +5,43 @@
 //! use system-wide, and how many copy ports are in use per cluster. An
 //! operation scheduled at absolute time `t` occupies resources in row
 //! `t mod II` — the defining property of modulo scheduling (§2).
+//!
+//! Storage is flat: occupancy counters per (row, resource) answer
+//! [`fits`](ModuloReservationTable::fits) in O(1) per cluster, and fixed
+//! capacity-sized slot arrays record *which* op holds each resource so the
+//! eviction path ([`conflicts_into`](ModuloReservationTable::conflicts_into))
+//! fills a caller-provided scratch buffer without allocating. After
+//! construction the table never allocates.
 
 use crate::problem::OpPlacement;
 use vliw_ir::OpId;
 use vliw_machine::{ClusterId, CopyModel, MachineDesc};
 
-/// Per-row resource occupancy, with the ops occupying each resource recorded
-/// so the scheduler can evict them.
-#[derive(Debug, Clone, Default)]
-struct Row {
-    /// Ops holding an FU slot, per cluster.
-    fu: Vec<Vec<OpId>>,
-    /// Ops holding a copy bus (system-wide).
-    bus: Vec<OpId>,
-    /// Ops holding a copy port, per destination cluster.
-    port: Vec<Vec<OpId>>,
-}
-
 /// Modulo reservation table for a machine and a candidate II.
 #[derive(Debug, Clone)]
 pub struct ModuloReservationTable {
     ii: u32,
-    rows: Vec<Row>,
+    n_clusters: usize,
+    /// FU capacity per cluster.
     fu_cap: Vec<usize>,
+    /// Offset of each cluster's slot block within a row's FU slots.
+    fu_off: Vec<usize>,
+    /// Σ fu_cap — width of one row's FU slot block.
+    fu_stride: usize,
+    /// `rows × fu_stride` op slots (`None` = free).
+    fu_slots: Vec<Option<OpId>>,
+    /// `rows × n_clusters` occupancy counters.
+    fu_used: Vec<u32>,
     bus_cap: usize,
+    /// `rows × bus_cap` op slots.
+    bus_slots: Vec<Option<OpId>>,
+    /// `rows` occupancy counters.
+    bus_used: Vec<u32>,
     port_cap: usize,
+    /// `rows × n_clusters × port_cap` op slots.
+    port_slots: Vec<Option<OpId>>,
+    /// `rows × n_clusters` occupancy counters.
+    port_used: Vec<u32>,
     /// For `AnyFu` placements we still need to know which cluster's slot the
     /// op occupies; remember it per op.
     holding: Vec<Option<(u32, OpPlacement, ClusterId)>>,
@@ -39,6 +51,7 @@ impl ModuloReservationTable {
     /// Empty table for `machine` at initiation interval `ii`.
     pub fn new(machine: &MachineDesc, ii: u32, n_ops: usize) -> Self {
         let n_clusters = machine.n_clusters();
+        let rows = ii as usize;
         let (bus_cap, port_cap) = match machine.copy_model {
             CopyModel::CopyUnit {
                 busses,
@@ -46,18 +59,27 @@ impl ModuloReservationTable {
             } => (busses, ports_per_cluster),
             CopyModel::Embedded => (0, 0),
         };
+        let fu_cap: Vec<usize> = machine.clusters.iter().map(|c| c.n_fus).collect();
+        let mut fu_off = Vec::with_capacity(n_clusters);
+        let mut fu_stride = 0usize;
+        for &cap in &fu_cap {
+            fu_off.push(fu_stride);
+            fu_stride += cap;
+        }
         ModuloReservationTable {
             ii,
-            rows: (0..ii)
-                .map(|_| Row {
-                    fu: vec![Vec::new(); n_clusters],
-                    bus: Vec::new(),
-                    port: vec![Vec::new(); n_clusters],
-                })
-                .collect(),
-            fu_cap: machine.clusters.iter().map(|c| c.n_fus).collect(),
+            n_clusters,
+            fu_cap,
+            fu_off,
+            fu_stride,
+            fu_slots: vec![None; rows * fu_stride],
+            fu_used: vec![0; rows * n_clusters],
             bus_cap,
+            bus_slots: vec![None; rows * bus_cap],
+            bus_used: vec![0; rows],
             port_cap,
+            port_slots: vec![None; rows * n_clusters * port_cap],
+            port_used: vec![0; rows * n_clusters],
             holding: vec![None; n_ops],
         }
     }
@@ -72,20 +94,61 @@ impl ModuloReservationTable {
         (time as u64 % self.ii as u64) as usize
     }
 
+    /// FU slot block of cluster `c` in row `r`.
+    #[inline]
+    fn fu_block(&self, r: usize, c: usize) -> std::ops::Range<usize> {
+        let base = r * self.fu_stride + self.fu_off[c];
+        base..base + self.fu_cap[c]
+    }
+
+    /// Copy-port slot block of cluster `c` in row `r`.
+    #[inline]
+    fn port_block(&self, r: usize, c: usize) -> std::ops::Range<usize> {
+        let base = (r * self.n_clusters + c) * self.port_cap;
+        base..base + self.port_cap
+    }
+
+    /// Bus slot block of row `r`.
+    #[inline]
+    fn bus_block(&self, r: usize) -> std::ops::Range<usize> {
+        r * self.bus_cap..(r + 1) * self.bus_cap
+    }
+
     /// Can `op` with `placement` be placed at `time`? Returns the cluster
     /// whose slot it would occupy (for `AnyFu`, the least-loaded cluster with
-    /// a free slot).
+    /// a free slot). O(n_clusters) worst case, allocation-free.
     pub fn fits(&self, placement: OpPlacement, time: i64) -> Option<ClusterId> {
-        let row = &self.rows[self.row_of(time)];
+        let r = self.row_of(time);
         match placement {
-            OpPlacement::AnyFu => (0..row.fu.len())
-                .filter(|&c| row.fu[c].len() < self.fu_cap[c])
-                .min_by_key(|&c| row.fu[c].len())
+            OpPlacement::AnyFu => (0..self.n_clusters)
+                .filter(|&c| (self.fu_used[r * self.n_clusters + c] as usize) < self.fu_cap[c])
+                .min_by_key(|&c| self.fu_used[r * self.n_clusters + c])
                 .map(|c| ClusterId(c as u32)),
-            OpPlacement::FuIn(c) => (row.fu[c.index()].len() < self.fu_cap[c.index()]).then_some(c),
-            OpPlacement::CopyVia(c) => (row.bus.len() < self.bus_cap
-                && row.port[c.index()].len() < self.port_cap)
+            OpPlacement::FuIn(c) => ((self.fu_used[r * self.n_clusters + c.index()] as usize)
+                < self.fu_cap[c.index()])
+            .then_some(c),
+            OpPlacement::CopyVia(c) => ((self.bus_used[r] as usize) < self.bus_cap
+                && (self.port_used[r * self.n_clusters + c.index()] as usize) < self.port_cap)
                 .then_some(c),
+        }
+    }
+
+    fn claim(slots: &mut [Option<OpId>], op: OpId) {
+        for s in slots.iter_mut() {
+            if s.is_none() {
+                *s = Some(op);
+                return;
+            }
+        }
+        unreachable!("claim() called on a full slot block");
+    }
+
+    fn release(slots: &mut [Option<OpId>], op: OpId) {
+        for s in slots.iter_mut() {
+            if *s == Some(op) {
+                *s = None;
+                return;
+            }
         }
     }
 
@@ -97,12 +160,19 @@ impl ModuloReservationTable {
             .fits(placement, time)
             .expect("place() called without a fitting slot");
         let r = self.row_of(time);
-        let row = &mut self.rows[r];
         match placement {
-            OpPlacement::AnyFu | OpPlacement::FuIn(_) => row.fu[cluster.index()].push(op),
+            OpPlacement::AnyFu | OpPlacement::FuIn(_) => {
+                let block = self.fu_block(r, cluster.index());
+                Self::claim(&mut self.fu_slots[block], op);
+                self.fu_used[r * self.n_clusters + cluster.index()] += 1;
+            }
             OpPlacement::CopyVia(c) => {
-                row.bus.push(op);
-                row.port[c.index()].push(op);
+                let bus = self.bus_block(r);
+                Self::claim(&mut self.bus_slots[bus], op);
+                self.bus_used[r] += 1;
+                let port = self.port_block(r, c.index());
+                Self::claim(&mut self.port_slots[port], op);
+                self.port_used[r * self.n_clusters + c.index()] += 1;
             }
         }
         self.holding[op.index()] = Some((r as u32, placement, cluster));
@@ -113,14 +183,20 @@ impl ModuloReservationTable {
         let Some((r, placement, cluster)) = self.holding[op.index()].take() else {
             return;
         };
-        let row = &mut self.rows[r as usize];
+        let r = r as usize;
         match placement {
             OpPlacement::AnyFu | OpPlacement::FuIn(_) => {
-                row.fu[cluster.index()].retain(|&o| o != op)
+                let block = self.fu_block(r, cluster.index());
+                Self::release(&mut self.fu_slots[block], op);
+                self.fu_used[r * self.n_clusters + cluster.index()] -= 1;
             }
             OpPlacement::CopyVia(c) => {
-                row.bus.retain(|&o| o != op);
-                row.port[c.index()].retain(|&o| o != op);
+                let bus = self.bus_block(r);
+                Self::release(&mut self.bus_slots[bus], op);
+                self.bus_used[r] -= 1;
+                let port = self.port_block(r, c.index());
+                Self::release(&mut self.port_slots[port], op);
+                self.port_used[r * self.n_clusters + c.index()] -= 1;
             }
         }
     }
@@ -130,30 +206,50 @@ impl ModuloReservationTable {
         self.holding[op.index()].map(|(_, _, c)| c)
     }
 
-    /// Ops that would have to be evicted for `op` with `placement` to fit at
-    /// `time`. Returns candidates sharing the contended resource in that row.
-    pub fn conflicts(&self, placement: OpPlacement, time: i64) -> Vec<OpId> {
-        let row = &self.rows[self.row_of(time)];
+    /// Fill `out` with the ops that would have to be evicted for `op` with
+    /// `placement` to fit at `time` — the candidates sharing the contended
+    /// resource in that row. Allocation-free given a warmed-up scratch
+    /// buffer; this is the eviction hot path.
+    pub fn conflicts_into(&self, placement: OpPlacement, time: i64, out: &mut Vec<OpId>) {
+        out.clear();
+        let r = self.row_of(time);
         match placement {
             OpPlacement::AnyFu => {
                 // Every cluster is full (else `fits` would have succeeded);
                 // the cheapest eviction is from the cluster with capacity.
-                row.fu.iter().flatten().copied().collect()
+                out.extend(
+                    self.fu_slots[r * self.fu_stride..(r + 1) * self.fu_stride]
+                        .iter()
+                        .flatten(),
+                );
             }
-            OpPlacement::FuIn(c) => row.fu[c.index()].clone(),
+            OpPlacement::FuIn(c) => {
+                let block = self.fu_block(r, c.index());
+                out.extend(self.fu_slots[block].iter().flatten());
+            }
             OpPlacement::CopyVia(c) => {
-                let mut v = Vec::new();
-                if row.bus.len() >= self.bus_cap {
-                    v.extend(row.bus.iter().copied());
+                if self.bus_used[r] as usize >= self.bus_cap {
+                    out.extend(self.bus_slots[self.bus_block(r)].iter().flatten());
                 }
-                if row.port[c.index()].len() >= self.port_cap {
-                    v.extend(row.port[c.index()].iter().copied());
+                if self.port_used[r * self.n_clusters + c.index()] as usize >= self.port_cap {
+                    out.extend(
+                        self.port_slots[self.port_block(r, c.index())]
+                            .iter()
+                            .flatten(),
+                    );
                 }
-                v.sort_unstable();
-                v.dedup();
-                v
+                out.sort_unstable();
+                out.dedup();
             }
         }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`conflicts_into`](ModuloReservationTable::conflicts_into).
+    pub fn conflicts(&self, placement: OpPlacement, time: i64) -> Vec<OpId> {
+        let mut out = Vec::new();
+        self.conflicts_into(placement, time, &mut out);
+        out
     }
 }
 
@@ -226,5 +322,30 @@ mod tests {
         let c = t.conflicts(OpPlacement::FuIn(ClusterId(0)), 2);
         assert_eq!(c.len(), 2);
         assert!(c.contains(&OpId(3)) && c.contains(&OpId(4)));
+    }
+
+    #[test]
+    fn conflicts_into_reuses_scratch_without_stale_entries() {
+        let mut t = table(2, 1, 1);
+        t.place(OpId(0), OpPlacement::FuIn(ClusterId(0)), 0);
+        t.place(OpId(1), OpPlacement::FuIn(ClusterId(1)), 0);
+        let mut scratch = vec![OpId(9); 7]; // pre-polluted
+        t.conflicts_into(OpPlacement::FuIn(ClusterId(0)), 0, &mut scratch);
+        assert_eq!(scratch, vec![OpId(0)]);
+        t.conflicts_into(OpPlacement::AnyFu, 0, &mut scratch);
+        assert_eq!(scratch.len(), 2);
+    }
+
+    #[test]
+    fn place_remove_place_reuses_freed_slot() {
+        let mut t = table(1, 2, 1);
+        t.place(OpId(0), OpPlacement::AnyFu, 0);
+        t.place(OpId(1), OpPlacement::AnyFu, 0);
+        assert!(t.fits(OpPlacement::AnyFu, 0).is_none());
+        t.remove(OpId(0));
+        t.place(OpId(2), OpPlacement::AnyFu, 0);
+        assert!(t.fits(OpPlacement::AnyFu, 0).is_none());
+        let c = t.conflicts(OpPlacement::FuIn(ClusterId(0)), 0);
+        assert!(c.contains(&OpId(1)) && c.contains(&OpId(2)));
     }
 }

@@ -21,11 +21,12 @@
 //! There is no eviction: if any node fails to place, the II is bumped and
 //! the whole schedule restarts — exactly Llosa's formulation.
 
+use crate::context::SchedContext;
 use crate::ims::SchedError;
 use crate::mrt::ModuloReservationTable;
 use crate::problem::SchedProblem;
 use crate::schedule::Schedule;
-use vliw_ddg::{compute_slack, rec_ii, Ddg};
+use vliw_ddg::{Ddg, SlackInfo};
 use vliw_ir::OpId;
 use vliw_machine::ClusterId;
 
@@ -48,6 +49,9 @@ impl Default for SmsConfig {
 }
 
 /// Swing-modulo-schedule `problem` against `ddg`.
+///
+/// Convenience wrapper computing the II-independent [`SchedContext`]; see
+/// [`sms_schedule_loop_with`] for callers that already have one.
 pub fn sms_schedule_loop(
     problem: &SchedProblem<'_>,
     ddg: &Ddg,
@@ -61,15 +65,38 @@ pub fn sms_schedule_loop(
             clusters: Vec::new(),
         });
     }
-    let min_ii = problem.res_ii().max(rec_ii(ddg));
+    let ctx = SchedContext::new(problem, ddg);
+    sms_schedule_loop_with(problem, ddg, cfg, &ctx)
+}
+
+/// Swing-modulo-schedule `problem` with a precomputed [`SchedContext`].
+pub fn sms_schedule_loop_with(
+    problem: &SchedProblem<'_>,
+    ddg: &Ddg,
+    cfg: &SmsConfig,
+    ctx: &SchedContext,
+) -> Result<Schedule, SchedError> {
+    assert_eq!(ddg.n_ops(), problem.n_ops());
+    if problem.n_ops() == 0 {
+        return Ok(Schedule {
+            ii: 1,
+            times: Vec::new(),
+            clusters: Vec::new(),
+        });
+    }
+    let min_ii = ctx.min_ii();
+    let mut feas: Vec<i64> = Vec::new();
     for ii in min_ii..min_ii + cfg.max_ii_tries {
+        if !ddg.is_feasible_with(ii, &mut feas) {
+            continue;
+        }
         // Attempt 0 is pure SMS. Because every op of a small kernel lands
         // below the first wraparound, a resource wedge at one II recurs
         // identically at the next, so instead of only bumping II we also
         // retry with rotated forward-scan starts, which perturbs the packing
         // while preserving every dependence bound.
         for rot in 0..cfg.rotations.max(1) {
-            if let Some(s) = try_ii(problem, ddg, ii, rot as i64) {
+            if let Some(s) = try_ii(problem, ddg, ii, rot as i64, &ctx.slack) {
                 return Ok(s);
             }
         }
@@ -77,10 +104,14 @@ pub fn sms_schedule_loop(
     Err(SchedError::NoIiFound(min_ii + cfg.max_ii_tries))
 }
 
-fn try_ii(problem: &SchedProblem<'_>, ddg: &Ddg, ii: u32, rot: i64) -> Option<Schedule> {
-    ddg.longest_paths(ii)?;
+fn try_ii(
+    problem: &SchedProblem<'_>,
+    ddg: &Ddg,
+    ii: u32,
+    rot: i64,
+    slack: &SlackInfo,
+) -> Option<Schedule> {
     let n = problem.n_ops();
-    let slack = compute_slack(ddg, |op| problem.latency(op));
 
     // Ordering, following Llosa's two invariants: (a) the most constrained
     // nodes (lowest mobility — critical recurrences and paths) seed the

@@ -8,8 +8,9 @@ use vliw_ir::OpId;
 use vliw_loopgen::Family;
 use vliw_machine::{ClusterId, MachineDesc};
 use vliw_sched::{
-    list_schedule, schedule_loop, verify_schedule, ImsConfig, ModuloReservationTable, OpPlacement,
-    SchedProblem,
+    list_schedule, schedule_loop, schedule_loop_with, sms_schedule_loop, sms_schedule_loop_with,
+    verify_schedule, ImsConfig, ModuloReservationTable, OpPlacement, SchedContext, SchedProblem,
+    SmsConfig,
 };
 
 fn family() -> impl Strategy<Value = Family> {
@@ -52,6 +53,46 @@ proptest! {
         let s = schedule_loop(&p, &g, &ImsConfig::default()).unwrap();
         prop_assert!(verify_schedule(&p, &g, &s).is_ok());
         prop_assert!(s.ii >= p.res_ii().max(rec_ii(&g)));
+    }
+
+    #[test]
+    fn schedule_loop_with_context_is_identical(
+        fam in family(),
+        u in 1usize..8,
+        m in machine(),
+    ) {
+        // The context-passing entry point must be a pure refactor: same II,
+        // same placement times, same cluster assignment as the wrapper that
+        // computes RecII and slack itself.
+        let l = fam.build(0, u, 32);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let cfg = ImsConfig::default();
+        let direct = schedule_loop(&p, &g, &cfg).unwrap();
+        let ctx = SchedContext::new(&p, &g);
+        let via_ctx = schedule_loop_with(&p, &g, &cfg, &ctx).unwrap();
+        prop_assert_eq!(direct.ii, via_ctx.ii);
+        prop_assert_eq!(&direct.times, &via_ctx.times);
+        prop_assert_eq!(&direct.clusters, &via_ctx.clusters);
+        prop_assert!(verify_schedule(&p, &g, &via_ctx).is_ok());
+    }
+
+    #[test]
+    fn sms_with_context_is_identical(
+        fam in family(),
+        u in 1usize..6,
+        m in machine(),
+    ) {
+        let l = fam.build(0, u, 32);
+        let g = build_ddg(&l, &m.latencies);
+        let p = SchedProblem::ideal(&l, &m);
+        let cfg = SmsConfig::default();
+        let direct = sms_schedule_loop(&p, &g, &cfg).unwrap();
+        let ctx = SchedContext::new(&p, &g);
+        let via_ctx = sms_schedule_loop_with(&p, &g, &cfg, &ctx).unwrap();
+        prop_assert_eq!(direct.ii, via_ctx.ii);
+        prop_assert_eq!(&direct.times, &via_ctx.times);
+        prop_assert_eq!(&direct.clusters, &via_ctx.clusters);
     }
 
     #[test]

@@ -2,9 +2,13 @@
 //! `slice.par_iter().map(f).collect::<Vec<_>>()`.
 //!
 //! Unlike most of the vendored stubs this one is not a no-op: `collect`
-//! fans the mapped closure out over `std::thread::scope` with one contiguous
-//! chunk per available core, preserving input order — corpus evaluation
-//! stays embarrassingly parallel without the real rayon dependency.
+//! fans the mapped closure out over `std::thread::scope`, preserving input
+//! order — corpus evaluation stays embarrassingly parallel without the real
+//! rayon dependency. Work is handed out one index at a time from a shared
+//! atomic counter rather than in contiguous per-thread chunks: corpus items
+//! have wildly different costs (a 4-op copy loop vs a 160-op unrolled
+//! stencil), and static chunking left whole cores idle behind whichever
+//! chunk drew the expensive loops.
 
 /// Import surface mirroring `rayon::prelude::*`.
 pub mod prelude {
@@ -76,19 +80,39 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         if threads <= 1 || n <= 1 {
             out.extend(self.items.iter().map(&self.f));
         } else {
-            let chunk = n.div_ceil(threads);
+            // Dynamic work distribution: each worker repeatedly claims the
+            // next unprocessed index, so expensive items never serialise
+            // behind one unlucky thread's static chunk.
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let items = self.items;
             let f = &self.f;
-            let parts: Vec<Vec<R>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .items
-                    .chunks(chunk)
-                    .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+            let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if i >= items.len() {
+                                    return local;
+                                }
+                                local.push((i, f(&items[i])));
+                            }
+                        })
+                    })
                     .collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
             });
-            for p in parts {
-                out.extend(p);
+            // Reassemble in input order.
+            let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            for part in parts {
+                for (i, r) in part {
+                    debug_assert!(slots[i].is_none());
+                    slots[i] = Some(r);
+                }
             }
+            out.extend(slots.into_iter().map(|s| s.expect("every index claimed")));
         }
         C::from_par_map(out)
     }
@@ -117,6 +141,21 @@ mod tests {
         let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
         assert_eq!(ys.len(), xs.len());
         assert!(ys.iter().enumerate().all(|(i, &y)| y == 2 * i as u64));
+    }
+
+    #[test]
+    fn unbalanced_workloads_cover_every_index_once() {
+        // Item cost varies by 1000×; dynamic distribution must still produce
+        // every result exactly once, in order.
+        let xs: Vec<u64> = (0..257).collect();
+        let ys: Vec<u64> = xs
+            .par_iter()
+            .map(|&x| {
+                let reps = if x % 7 == 0 { 10_000 } else { 10 };
+                (0..reps).fold(x, |a, _| std::hint::black_box(a) | x)
+            })
+            .collect();
+        assert_eq!(ys, xs);
     }
 
     #[test]
