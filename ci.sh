@@ -26,4 +26,33 @@ echo "==> vliw-lint (cross-stage sanitizer over three loop families)"
 cargo run --release --quiet --bin vliw-lint -- \
     --families daxpy,dot,stencil --variants 2 --machines embedded
 
+echo "==> vliw-serve smoke test (TCP round-trip, repeat served from cache)"
+SMOKE_DIR=$(mktemp -d)
+cleanup_smoke() {
+    [ -n "${SERVED_PID:-}" ] && kill "$SERVED_PID" 2>/dev/null || true
+    rm -rf "$SMOKE_DIR"
+}
+trap cleanup_smoke EXIT
+target/release/vliw-served --addr 127.0.0.1:0 --cache-dir "$SMOKE_DIR/cache" \
+    > "$SMOKE_DIR/served.log" &
+SERVED_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^vliw-served listening on //p' "$SMOKE_DIR/served.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "vliw-served did not come up"; cat "$SMOKE_DIR/served.log"; exit 1; }
+target/release/vliw-client --addr "$ADDR" --compile --gen 0 --repeat 2 \
+    | tee "$SMOKE_DIR/client.log"
+grep -q 'compile\[0\] served=compiled' "$SMOKE_DIR/client.log"
+grep -q 'compile\[1\] served=cache' "$SMOKE_DIR/client.log"
+target/release/vliw-client --addr "$ADDR" --stats --shutdown
+wait "$SERVED_PID"
+SERVED_PID=""
+
+echo "==> repro --cache (cached corpus driver, truncated run)"
+target/release/repro --table1 --loops 8 --cache --cache-dir "$SMOKE_DIR/repro-cache" \
+    | grep -q '^cache: hits='
+
 echo "CI OK"

@@ -5,7 +5,7 @@
 
 use crate::artifacts::Artifacts;
 use crate::diag::{Diagnostic, LintCode, Report, SourceLoc};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vliw_ddg::DepKind;
 
 /// Checks the copy network of the clustered body.
@@ -34,7 +34,9 @@ impl crate::passes::LintPass for CopyPass {
         }
 
         // Duplicate detection: (reaching producer, destination bank) → copies.
-        let mut sources: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        // BTreeMap so duplicate-copy findings are emitted in a stable order
+        // (the report feeds serialized output and golden files).
+        let mut sources: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
 
         for op in &cb.ops {
             if !op.opcode.is_copy() {

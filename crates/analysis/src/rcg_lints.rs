@@ -9,7 +9,7 @@
 
 use crate::artifacts::Artifacts;
 use crate::diag::{Diagnostic, LintCode, Report, SourceLoc};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use vliw_ir::VReg;
 
 /// Absolute tolerance for comparing accumulated f64 edge weights.
@@ -94,9 +94,12 @@ impl crate::passes::LintPass for RcgPass {
             }
         }
 
-        // Repulsion: pairs of defs in the same ideal kernel row.
+        // Repulsion: pairs of defs in the same ideal kernel row. Sorted row
+        // order (BTreeMap) keeps the f64 accumulation below — and the row a
+        // finding reports — identical across runs, mirroring the production
+        // builder in `vliw_core::build_rcg`.
         if ctx.cfg.repulse_factor > 0.0 {
-            let mut by_row: HashMap<u32, Vec<usize>> = HashMap::new();
+            let mut by_row: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
             for op in &body.ops {
                 if op.def.is_some() {
                     by_row

@@ -1,0 +1,168 @@
+//! Cache-path benchmark for the compile service.
+//!
+//! Sweeps the corpus across two paper machines through
+//! [`vliw_serve::CachedCompiler`] four ways — direct (no cache), cold cache
+//! (every request compiles and populates both tiers), warm memory (same
+//! engine again) and warm disk (fresh engine over the populated store) —
+//! and writes the wall-clock comparison as JSON, the checked-in
+//! `BENCH_serve.json` at the repo root. Rerun with
+//!
+//! ```text
+//! cargo run --release -p vliw-bench --bin bench_serve
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use vliw_bench::full_corpus;
+use vliw_ir::Loop;
+use vliw_machine::MachineDesc;
+use vliw_pipeline::{run_corpus_grid_with, run_loop, LoopResult, PipelineConfig};
+use vliw_serve::{CachedCompiler, CompileRequest, DiskStore, TieredCache};
+
+struct Json {
+    buf: String,
+    first: bool,
+}
+
+impl Json {
+    fn new() -> Self {
+        Json {
+            buf: "{\n".into(),
+            first: true,
+        }
+    }
+    fn pad(&mut self) {
+        if !self.first {
+            self.buf.push_str(",\n");
+        }
+        self.first = false;
+        self.buf.push_str("  ");
+    }
+    fn num(&mut self, key: &str, v: f64) {
+        self.pad();
+        let _ = write!(self.buf, "\"{key}\": {v:.2}");
+    }
+    fn int(&mut self, key: &str, v: u64) {
+        self.pad();
+        let _ = write!(self.buf, "\"{key}\": {v}");
+    }
+    fn str(&mut self, key: &str, v: &str) {
+        self.pad();
+        let _ = write!(self.buf, "\"{key}\": \"{v}\"");
+    }
+    fn finish(mut self) -> String {
+        self.buf.push_str("\n}\n");
+        self.buf
+    }
+}
+
+fn cached_sweep(
+    engine: &Arc<CachedCompiler>,
+    corpus: &[Loop],
+    machines: &[MachineDesc],
+    cfg: &PipelineConfig,
+) -> f64 {
+    let runner = |l: &Loop, m: &MachineDesc, c: &PipelineConfig| -> LoopResult {
+        let req = CompileRequest::from_parts(l, m, c);
+        let key = req.cache_key();
+        engine
+            .compile_canonical(&req, &key, None)
+            .expect("cached compile")
+            .0
+            .to_loop_result()
+    };
+    let t0 = Instant::now();
+    let grid = run_corpus_grid_with(corpus, machines, cfg, &runner);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(grid.len(), machines.len());
+    ms
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+    let corpus = full_corpus();
+    let machines = [MachineDesc::embedded(4, 4), MachineDesc::copy_unit(4, 4)];
+    let cfg = PipelineConfig::default();
+    let n_requests = (corpus.len() * machines.len()) as u64;
+
+    let root = std::env::temp_dir().join(format!("vliw-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Reference: the same sweep with no cache in the path.
+    let t0 = Instant::now();
+    let grid = run_corpus_grid_with(&corpus, &machines, &cfg, &run_loop);
+    let direct_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let baseline: Vec<Vec<LoopResult>> = grid;
+
+    // Cold: every request misses, compiles, and populates both tiers.
+    let engine = CachedCompiler::new(TieredCache::new(8192, Some(DiskStore::new(&root))));
+    let cold_ms = cached_sweep(&engine, &corpus, &machines, &cfg);
+    let cold_snap = engine.stats().snapshot();
+    assert_eq!(cold_snap.compiles, n_requests, "cold sweep compiles all");
+
+    // Warm memory: identical sweep on the same engine.
+    let warm_mem_ms = cached_sweep(&engine, &corpus, &machines, &cfg);
+    let mem_snap = engine.stats().snapshot();
+    assert_eq!(mem_snap.compiles, n_requests, "warm sweep compiles nothing");
+
+    // Warm disk: a fresh engine over the populated store (cold memory).
+    let fresh = CachedCompiler::new(TieredCache::new(8192, Some(DiskStore::new(&root))));
+    let warm_disk_ms = cached_sweep(&fresh, &corpus, &machines, &cfg);
+    let disk_snap = fresh.stats().snapshot();
+    assert_eq!(disk_snap.compiles, 0, "disk-warm sweep compiles nothing");
+
+    // Cached results agree with the direct path on every scalar the
+    // experiment harness consumes.
+    let runner_check = |l: &Loop, m: &MachineDesc, c: &PipelineConfig| -> LoopResult {
+        let req = CompileRequest::from_parts(l, m, c);
+        let key = req.cache_key();
+        fresh
+            .compile_canonical(&req, &key, None)
+            .expect("cached compile")
+            .0
+            .to_loop_result()
+    };
+    for (m_idx, m) in machines.iter().enumerate() {
+        for (l_idx, l) in corpus.iter().enumerate() {
+            let cached = runner_check(l, m, &cfg);
+            let direct = &baseline[m_idx][l_idx];
+            assert_eq!(cached.clustered_ii, direct.clustered_ii, "{}", l.name);
+            assert_eq!(cached.normalized, direct.normalized, "{}", l.name);
+        }
+    }
+
+    let mut j = Json::new();
+    j.str("workload", "corpus x [embedded(4,4), copyunit(4,4)]");
+    j.int("corpus_loops", corpus.len() as u64);
+    j.int("requests_per_sweep", n_requests);
+    j.str(
+        "note",
+        "ms wall-clock, release build; rerun: cargo run --release -p vliw-bench --bin bench_serve",
+    );
+    j.num("direct_ms", direct_ms);
+    j.num("cold_cache_ms", cold_ms);
+    j.num("warm_mem_ms", warm_mem_ms);
+    j.num("warm_disk_ms", warm_disk_ms);
+    j.num("cold_overhead_ratio", cold_ms / direct_ms);
+    j.num("warm_mem_speedup_vs_cold", cold_ms / warm_mem_ms);
+    j.num("warm_disk_speedup_vs_cold", cold_ms / warm_disk_ms);
+    j.int("cold_compiles", cold_snap.compiles);
+    j.int("warm_mem_hits", mem_snap.mem_hits);
+    j.int("warm_disk_hits", disk_snap.disk_hits);
+
+    let json = j.finish();
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    let _ = std::fs::remove_dir_all(&root);
+    assert!(
+        cold_ms / warm_mem_ms >= 5.0,
+        "warm-memory sweep must be >=5x faster than cold (got {:.1}x)",
+        cold_ms / warm_mem_ms
+    );
+}

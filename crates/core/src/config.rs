@@ -57,6 +57,41 @@ impl PartitionConfig {
         }
     }
 
+    /// Canonical one-line text encoding, e.g.
+    /// `crit=4.0 repulse=0.5 balance=0.6 depth_base=2.0`.
+    ///
+    /// Floats are rendered with `{:?}` (shortest round-trip form), so
+    /// [`PartitionConfig::parse_canonical`] recovers the exact bits — the
+    /// property the compile-service cache key needs.
+    pub fn canonical_text(&self) -> String {
+        format!(
+            "crit={:?} repulse={:?} balance={:?} depth_base={:?}",
+            self.crit_weight, self.repulse_factor, self.balance_factor, self.depth_base
+        )
+    }
+
+    /// Parse the form produced by [`PartitionConfig::canonical_text`].
+    /// Unknown keys are rejected; missing keys keep their defaults.
+    pub fn parse_canonical(text: &str) -> Result<Self, String> {
+        let mut cfg = PartitionConfig::default();
+        for kv in text.split_whitespace() {
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("config item `{kv}` is not key=value"))?;
+            let v: f64 = v
+                .parse()
+                .map_err(|_| format!("bad float in config item `{kv}`"))?;
+            match k {
+                "crit" => cfg.crit_weight = v,
+                "repulse" => cfg.repulse_factor = v,
+                "balance" => cfg.balance_factor = v,
+                "depth_base" => cfg.depth_base = v,
+                other => return Err(format!("unknown config key `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+
     /// Importance of an operation given its flexibility (slack+1), the DDD
     /// density of its block, and the block's nesting depth.
     pub fn importance(&self, flexibility: i64, density: f64, depth: u32) -> f64 {
@@ -96,6 +131,27 @@ mod tests {
     fn density_scales_linearly() {
         let c = PartitionConfig::default();
         assert!((c.importance(2, 4.0, 1) / c.importance(2, 2.0, 1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonical_text_round_trips() {
+        for cfg in [
+            PartitionConfig::default(),
+            PartitionConfig::no_balance(),
+            PartitionConfig {
+                crit_weight: 3.25,
+                repulse_factor: 0.1,
+                balance_factor: 1e-3,
+                depth_base: 1.5,
+            },
+        ] {
+            let text = cfg.canonical_text();
+            let back = PartitionConfig::parse_canonical(&text).unwrap();
+            assert_eq!(back, cfg, "{text}");
+            assert_eq!(back.canonical_text(), text);
+        }
+        assert!(PartitionConfig::parse_canonical("crit=1 bogus=2").is_err());
+        assert!(PartitionConfig::parse_canonical("crit").is_err());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The register component graph (§4.1, §5).
 
 use crate::config::PartitionConfig;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vliw_ddg::SlackInfo;
 use vliw_ir::{Loop, VReg};
 use vliw_sched::Schedule;
@@ -213,9 +213,13 @@ pub fn build_rcg(
         }
     }
 
-    // Repulsion: defs in the same ideal instruction (kernel row).
+    // Repulsion: defs in the same ideal instruction (kernel row). Rows are
+    // visited in sorted order (BTreeMap): a register pair can pick up
+    // repulsion from several rows, and f64 accumulation order would
+    // otherwise leak HashMap iteration order into the edge weights — and
+    // from there into content hashes of any serialized partition.
     if cfg.repulse_factor > 0.0 {
-        let mut by_row: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut by_row: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
         for op in &body.ops {
             if op.def.is_some() {
                 by_row

@@ -1,0 +1,74 @@
+//! Parser/printer round-trip over real loopgen corpora.
+//!
+//! The compile service caches on a content hash of the canonical loop text,
+//! so `parse(print(l)) == l` and print-is-a-fixed-point must hold for every
+//! loop the generators can emit — not just the hand-built property shapes.
+//! These tests sweep the full calibrated corpus plus the extended families
+//! and seed/trip variations.
+
+use proptest::prelude::*;
+use vliw_ir::{format_loop_full, parse_loop, verify_loop};
+use vliw_loopgen::{corpus, corpus_with, CorpusSpec};
+
+#[test]
+fn full_paper_corpus_round_trips() {
+    for (i, l) in corpus().iter().enumerate() {
+        let text = format_loop_full(l);
+        let back = parse_loop(&text).unwrap_or_else(|e| panic!("loop {i} ({}): {e}", l.name));
+        assert_eq!(&back, l, "loop {i} ({}) reparse differs", l.name);
+        assert_eq!(
+            format_loop_full(&back),
+            text,
+            "loop {i} ({}) print is not a fixed point",
+            l.name
+        );
+    }
+}
+
+#[test]
+fn extended_families_round_trip() {
+    let spec = CorpusSpec {
+        n: 64,
+        ..CorpusSpec::extended()
+    };
+    for l in corpus_with(&spec) {
+        verify_loop(&l).expect("generated loop verifies");
+        let text = format_loop_full(&l);
+        let back = parse_loop(&text).unwrap_or_else(|e| panic!("{}: {e}", l.name));
+        assert_eq!(back, l, "{}", l.name);
+    }
+}
+
+#[test]
+fn formatting_noise_parses_to_the_same_loop() {
+    for l in corpus().iter().take(20) {
+        let text = format_loop_full(l);
+        // Comment lines, trailing comments, blank lines and indentation are
+        // all erased by the parser, so hashes over re-printed text agree.
+        let noisy: String = text
+            .lines()
+            .map(|line| format!("  {line} ; trailing\n\n"))
+            .collect();
+        let noisy = format!("; header comment\n{noisy}");
+        let back = parse_loop(&noisy).unwrap_or_else(|e| panic!("{}: {e}", l.name));
+        assert_eq!(&back, l, "{}", l.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any seed/size/trip-range variation of the generator stays inside the
+    /// canonical grammar.
+    #[test]
+    fn generator_variations_round_trip(seed in 0u64..1_000, n in 1usize..12, lo in 8u32..64) {
+        let spec = CorpusSpec { n, seed, trip_range: (lo, lo + 64), ..CorpusSpec::default() };
+        for l in corpus_with(&spec) {
+            let text = format_loop_full(&l);
+            let back = parse_loop(&text)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", l.name)))?;
+            prop_assert_eq!(&back, &l);
+            prop_assert_eq!(format_loop_full(&back), text);
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Canonical text encoding of machine descriptions.
+//!
+//! The compile service (`vliw-serve`) keys its cache on a content hash over
+//! the canonical request encoding, so every machine a request can name needs
+//! a deterministic, round-trippable text form. The grammar is line-oriented
+//! (one item per line, `;` comments allowed), mirroring the loop format in
+//! `vliw_ir::parser`:
+//!
+//! ```text
+//! machine 16w-4x4-embedded
+//! copy embedded              ; or: copy unit BUSSES PORTS
+//! latency copy_int=2 copy_float=3 load=2 int_mul=5 int_div=12 \
+//!         int_other=1 fp_mul=2 fp_div=2 fp_other=2 store=4
+//! cluster FUS INT_REGS FLOAT_REGS   ; one line per cluster, in order
+//! ```
+//!
+//! `parse_machine(format_machine(m)) == m` for every well-formed
+//! description, and `format_machine` is a fixed point under re-parsing — the
+//! properties the cache key relies on.
+
+use crate::desc::{ClusterDesc, CopyModel, MachineDesc};
+use crate::latency::LatencyTable;
+use std::fmt::Write as _;
+
+/// A machine-description parse failure with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineParseError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for MachineParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for MachineParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> MachineParseError {
+    MachineParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Render `m` in the canonical text form accepted by [`parse_machine`].
+pub fn format_machine(m: &MachineDesc) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "machine {}", m.name);
+    match m.copy_model {
+        CopyModel::Embedded => {
+            let _ = writeln!(s, "copy embedded");
+        }
+        CopyModel::CopyUnit {
+            busses,
+            ports_per_cluster,
+        } => {
+            let _ = writeln!(s, "copy unit {busses} {ports_per_cluster}");
+        }
+    }
+    let l = &m.latencies;
+    let _ = writeln!(
+        s,
+        "latency copy_int={} copy_float={} load={} int_mul={} int_div={} \
+         int_other={} fp_mul={} fp_div={} fp_other={} store={}",
+        l.copy_int,
+        l.copy_float,
+        l.load,
+        l.int_mul,
+        l.int_div,
+        l.int_other,
+        l.fp_mul,
+        l.fp_div,
+        l.fp_other,
+        l.store
+    );
+    for c in &m.clusters {
+        let _ = writeln!(s, "cluster {} {} {}", c.n_fus, c.int_regs, c.float_regs);
+    }
+    s
+}
+
+/// Parse the canonical text form produced by [`format_machine`].
+pub fn parse_machine(text: &str) -> Result<MachineDesc, MachineParseError> {
+    let mut name: Option<String> = None;
+    let mut copy_model: Option<CopyModel> = None;
+    let mut latencies: Option<LatencyTable> = None;
+    let mut clusters: Vec<ClusterDesc> = Vec::new();
+
+    for (ln, raw) in text.lines().enumerate() {
+        let line = ln + 1;
+        let code = raw.split(';').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        if let Some(rest) = code.strip_prefix("machine ") {
+            name = Some(rest.trim().to_string());
+            continue;
+        }
+        if let Some(rest) = code.strip_prefix("copy ") {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            copy_model = Some(match toks.as_slice() {
+                ["embedded"] => CopyModel::Embedded,
+                ["unit", b, p] => CopyModel::CopyUnit {
+                    busses: b.parse().map_err(|_| err(line, "bad bus count"))?,
+                    ports_per_cluster: p.parse().map_err(|_| err(line, "bad port count"))?,
+                },
+                _ => return Err(err(line, "copy needs: embedded | unit BUSSES PORTS")),
+            });
+            continue;
+        }
+        if let Some(rest) = code.strip_prefix("latency ") {
+            let mut l = LatencyTable::unit();
+            for kv in rest.split_whitespace() {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| err(line, format!("latency item `{kv}` is not key=value")))?;
+                let v: u32 = v
+                    .parse()
+                    .map_err(|_| err(line, format!("bad latency value in `{kv}`")))?;
+                match k {
+                    "copy_int" => l.copy_int = v,
+                    "copy_float" => l.copy_float = v,
+                    "load" => l.load = v,
+                    "int_mul" => l.int_mul = v,
+                    "int_div" => l.int_div = v,
+                    "int_other" => l.int_other = v,
+                    "fp_mul" => l.fp_mul = v,
+                    "fp_div" => l.fp_div = v,
+                    "fp_other" => l.fp_other = v,
+                    "store" => l.store = v,
+                    other => return Err(err(line, format!("unknown latency field `{other}`"))),
+                }
+            }
+            latencies = Some(l);
+            continue;
+        }
+        if let Some(rest) = code.strip_prefix("cluster ") {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() != 3 {
+                return Err(err(line, "cluster needs: cluster FUS INT_REGS FLOAT_REGS"));
+            }
+            clusters.push(ClusterDesc {
+                n_fus: toks[0].parse().map_err(|_| err(line, "bad FU count"))?,
+                int_regs: toks[1].parse().map_err(|_| err(line, "bad int regs"))?,
+                float_regs: toks[2].parse().map_err(|_| err(line, "bad float regs"))?,
+            });
+            continue;
+        }
+        return Err(err(line, format!("unrecognised line `{code}`")));
+    }
+
+    if clusters.is_empty() {
+        return Err(err(0, "machine has no clusters"));
+    }
+    Ok(MachineDesc {
+        name: name.ok_or_else(|| err(0, "missing `machine NAME` line"))?,
+        clusters,
+        copy_model: copy_model.ok_or_else(|| err(0, "missing `copy` line"))?,
+        latencies: latencies.ok_or_else(|| err(0, "missing `latency` line"))?,
+    })
+}
+
+/// Resolve a short machine spec — `ideal:W`, `embedded:NxM`, `copyunit:NxM`
+/// — or fall back to parsing a full canonical description. The short forms
+/// are what the client CLI accepts on the command line.
+pub fn machine_from_spec(spec: &str) -> Result<MachineDesc, MachineParseError> {
+    let parse_grid = |s: &str| -> Option<(usize, usize)> {
+        let (n, m) = s.split_once('x')?;
+        Some((n.parse().ok()?, m.parse().ok()?))
+    };
+    if let Some(rest) = spec.strip_prefix("ideal:") {
+        let w: usize = rest
+            .parse()
+            .map_err(|_| err(0, format!("bad ideal width `{rest}`")))?;
+        return Ok(MachineDesc::monolithic(w));
+    }
+    if let Some(rest) = spec.strip_prefix("embedded:") {
+        let (n, m) =
+            parse_grid(rest).ok_or_else(|| err(0, format!("bad cluster grid `{rest}`")))?;
+        return Ok(MachineDesc::embedded(n, m));
+    }
+    if let Some(rest) = spec.strip_prefix("copyunit:") {
+        let (n, m) =
+            parse_grid(rest).ok_or_else(|| err(0, format!("bad cluster grid `{rest}`")))?;
+        return Ok(MachineDesc::copy_unit(n, m));
+    }
+    parse_machine(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_paper_models() {
+        for emb in [true, false] {
+            for m in MachineDesc::paper_models(emb) {
+                let text = format_machine(&m);
+                let back = parse_machine(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+                assert_eq!(back, m);
+                // The canonical form is a fixed point under re-parsing.
+                assert_eq!(format_machine(&back), text);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_monolithic_and_custom_latencies() {
+        let m = MachineDesc::monolithic(16).with_latencies(LatencyTable::paper_fast_copies());
+        let back = parse_machine(&format_machine(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn short_specs_resolve() {
+        assert_eq!(machine_from_spec("ideal:16").unwrap().issue_width(), 16);
+        let e = machine_from_spec("embedded:4x4").unwrap();
+        assert_eq!(e.n_clusters(), 4);
+        assert!(e.copy_model.is_embedded());
+        let c = machine_from_spec("copyunit:2x8").unwrap();
+        assert!(!c.copy_model.is_embedded());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_machine("machine x\ncopy embedded\n").is_err()); // no clusters
+        assert!(parse_machine("machine x\ncopy frobnicate\ncluster 1 8 8\n").is_err());
+        assert!(parse_machine("nonsense line\n").is_err());
+        assert!(machine_from_spec("embedded:4by4").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text =
+            "; a comment\nmachine tiny\n\ncopy embedded ; inline\nlatency load=1\ncluster 2 8 8\n";
+        let m = parse_machine(text).unwrap();
+        assert_eq!(m.name, "tiny");
+        assert_eq!(m.n_clusters(), 1);
+        assert_eq!(m.latencies.load, 1);
+    }
+}

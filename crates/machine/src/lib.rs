@@ -19,7 +19,9 @@
 #![warn(missing_docs)]
 
 pub mod desc;
+pub mod encode;
 pub mod latency;
 
 pub use desc::{ClusterDesc, ClusterId, CopyModel, MachineDesc};
+pub use encode::{format_machine, machine_from_spec, parse_machine, MachineParseError};
 pub use latency::LatencyTable;

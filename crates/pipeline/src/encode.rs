@@ -1,0 +1,237 @@
+//! Canonical text encoding of [`PipelineConfig`].
+//!
+//! The compile service keys its cache on a content hash over the canonical
+//! request encoding (loop text + machine text + config text), so the full
+//! heuristic configuration needs a deterministic, round-trippable text form.
+//! One item per line:
+//!
+//! ```text
+//! partitioner greedy            ; or bug | component | round-robin | iterated R B
+//! scheduler ims                 ; or swing
+//! partition crit=4.0 repulse=0.5 balance=0.6 depth_base=2.0
+//! ims budget_ratio=12 max_ii_tries=48
+//! simulate false
+//! simulate_physical false
+//! allocate true
+//! lint gate                     ; or collect | off
+//! ```
+//!
+//! `parse_pipeline_config(format_pipeline_config(c)) == c` and the rendered
+//! form is a fixed point under re-parsing.
+
+use crate::driver::{LintMode, PartitionerKind, PipelineConfig, SchedulerKind};
+use std::fmt::Write as _;
+use vliw_core::PartitionConfig;
+use vliw_sched::ImsConfig;
+
+/// A pipeline-config parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigParseError {
+    /// 1-based line of the offending text.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigParseError {
+    ConfigParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Render `cfg` in the canonical text form accepted by
+/// [`parse_pipeline_config`].
+pub fn format_pipeline_config(cfg: &PipelineConfig) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "partitioner {}",
+        match cfg.partitioner {
+            PartitionerKind::Greedy => "greedy".to_string(),
+            PartitionerKind::Iterated(r, b) => format!("iterated {r} {b}"),
+            PartitionerKind::Bug => "bug".to_string(),
+            PartitionerKind::Component => "component".to_string(),
+            PartitionerKind::RoundRobin => "round-robin".to_string(),
+        }
+    );
+    let _ = writeln!(
+        s,
+        "scheduler {}",
+        match cfg.scheduler {
+            SchedulerKind::Ims => "ims",
+            SchedulerKind::Swing => "swing",
+        }
+    );
+    let _ = writeln!(s, "partition {}", cfg.partition.canonical_text());
+    let _ = writeln!(
+        s,
+        "ims budget_ratio={} max_ii_tries={}",
+        cfg.ims.budget_ratio, cfg.ims.max_ii_tries
+    );
+    let _ = writeln!(s, "simulate {}", cfg.simulate);
+    let _ = writeln!(s, "simulate_physical {}", cfg.simulate_physical);
+    let _ = writeln!(s, "allocate {}", cfg.allocate);
+    let _ = writeln!(
+        s,
+        "lint {}",
+        match cfg.lint {
+            LintMode::Gate => "gate",
+            LintMode::Collect => "collect",
+            LintMode::Off => "off",
+        }
+    );
+    s
+}
+
+fn parse_bool(tok: &str, line: usize) -> Result<bool, ConfigParseError> {
+    match tok {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(err(line, format!("expected true|false, got `{other}`"))),
+    }
+}
+
+/// Parse the canonical text form produced by [`format_pipeline_config`].
+/// Missing lines keep their [`PipelineConfig::default`] values.
+pub fn parse_pipeline_config(text: &str) -> Result<PipelineConfig, ConfigParseError> {
+    let mut cfg = PipelineConfig::default();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = ln + 1;
+        let code = raw.split(';').next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+        let (key, rest) = code.split_once(' ').unwrap_or((code, ""));
+        let rest = rest.trim();
+        match key {
+            "partitioner" => {
+                let toks: Vec<&str> = rest.split_whitespace().collect();
+                cfg.partitioner = match toks.as_slice() {
+                    ["greedy"] => PartitionerKind::Greedy,
+                    ["bug"] => PartitionerKind::Bug,
+                    ["component"] => PartitionerKind::Component,
+                    ["round-robin"] => PartitionerKind::RoundRobin,
+                    ["iterated", r, b] => PartitionerKind::Iterated(
+                        r.parse().map_err(|_| err(line, "bad iterated rounds"))?,
+                        b.parse().map_err(|_| err(line, "bad iterated beam"))?,
+                    ),
+                    _ => return Err(err(line, format!("unknown partitioner `{rest}`"))),
+                };
+            }
+            "scheduler" => {
+                cfg.scheduler = match rest {
+                    "ims" => SchedulerKind::Ims,
+                    "swing" => SchedulerKind::Swing,
+                    other => return Err(err(line, format!("unknown scheduler `{other}`"))),
+                };
+            }
+            "partition" => {
+                cfg.partition = PartitionConfig::parse_canonical(rest).map_err(|m| err(line, m))?;
+            }
+            "ims" => {
+                let mut ims = ImsConfig::default();
+                for kv in rest.split_whitespace() {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| err(line, format!("ims item `{kv}` is not key=value")))?;
+                    let v: u32 = v
+                        .parse()
+                        .map_err(|_| err(line, format!("bad value in `{kv}`")))?;
+                    match k {
+                        "budget_ratio" => ims.budget_ratio = v,
+                        "max_ii_tries" => ims.max_ii_tries = v,
+                        other => return Err(err(line, format!("unknown ims key `{other}`"))),
+                    }
+                }
+                cfg.ims = ims;
+            }
+            "simulate" => cfg.simulate = parse_bool(rest, line)?,
+            "simulate_physical" => cfg.simulate_physical = parse_bool(rest, line)?,
+            "allocate" => cfg.allocate = parse_bool(rest, line)?,
+            "lint" => {
+                cfg.lint = match rest {
+                    "gate" => LintMode::Gate,
+                    "collect" => LintMode::Collect,
+                    "off" => LintMode::Off,
+                    other => return Err(err(line, format!("unknown lint mode `{other}`"))),
+                };
+            }
+            other => return Err(err(line, format!("unrecognised config line `{other}`"))),
+        }
+    }
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_round_trip(cfg: &PipelineConfig) {
+        let text = format_pipeline_config(cfg);
+        let back = parse_pipeline_config(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(back.partitioner, cfg.partitioner);
+        assert_eq!(back.scheduler, cfg.scheduler);
+        assert_eq!(back.partition, cfg.partition);
+        assert_eq!(back.ims.budget_ratio, cfg.ims.budget_ratio);
+        assert_eq!(back.ims.max_ii_tries, cfg.ims.max_ii_tries);
+        assert_eq!(back.simulate, cfg.simulate);
+        assert_eq!(back.simulate_physical, cfg.simulate_physical);
+        assert_eq!(back.allocate, cfg.allocate);
+        assert_eq!(back.lint, cfg.lint);
+        assert_eq!(format_pipeline_config(&back), text, "not a fixed point");
+    }
+
+    #[test]
+    fn round_trips_default_and_variants() {
+        assert_round_trip(&PipelineConfig::default());
+        assert_round_trip(&PipelineConfig {
+            partitioner: PartitionerKind::Iterated(4, 8),
+            scheduler: SchedulerKind::Swing,
+            partition: vliw_core::PartitionConfig::no_balance(),
+            ims: ImsConfig {
+                budget_ratio: 7,
+                max_ii_tries: 9,
+            },
+            simulate: true,
+            simulate_physical: true,
+            allocate: false,
+            lint: LintMode::Collect,
+        });
+        for p in [
+            PartitionerKind::Bug,
+            PartitionerKind::Component,
+            PartitionerKind::RoundRobin,
+        ] {
+            assert_round_trip(&PipelineConfig {
+                partitioner: p,
+                ..Default::default()
+            });
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_pipeline_config("partitioner frobnicate").is_err());
+        assert!(parse_pipeline_config("scheduler frobnicate").is_err());
+        assert!(parse_pipeline_config("lint frobnicate").is_err());
+        assert!(parse_pipeline_config("nonsense").is_err());
+        assert!(parse_pipeline_config("ims budget_ratio=x").is_err());
+    }
+
+    #[test]
+    fn missing_lines_fall_back_to_defaults() {
+        let cfg = parse_pipeline_config("scheduler swing\n").unwrap();
+        assert_eq!(cfg.scheduler, SchedulerKind::Swing);
+        assert_eq!(cfg.partitioner, PartitionerKind::Greedy);
+        assert!(cfg.allocate);
+    }
+}

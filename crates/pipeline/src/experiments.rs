@@ -15,6 +15,24 @@ pub fn paper_machines() -> Vec<MachineDesc> {
     v
 }
 
+/// A pluggable per-loop compile function: the experiment harness calls this
+/// for every `(loop, machine, config)` triple. The plain entry points pass
+/// [`run_loop`]; `vliw-serve` injects its content-cached runner so corpus
+/// sweeps become warm-cache incremental.
+pub trait LoopRunner: Sync {
+    /// Compile `body` for `machine` under `cfg`.
+    fn run(&self, body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> LoopResult;
+}
+
+impl<F> LoopRunner for F
+where
+    F: Fn(&Loop, &MachineDesc, &PipelineConfig) -> LoopResult + Sync,
+{
+    fn run(&self, body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> LoopResult {
+        self(body, machine, cfg)
+    }
+}
+
 /// Run the whole corpus against every machine (rayon-parallel over loops).
 pub fn run_corpus(corpus: &[Loop], machine: &MachineDesc, cfg: &PipelineConfig) -> Vec<LoopResult> {
     corpus
@@ -35,13 +53,23 @@ pub fn run_corpus_grid(
     machines: &[MachineDesc],
     cfg: &PipelineConfig,
 ) -> Vec<Vec<LoopResult>> {
+    run_corpus_grid_with(corpus, machines, cfg, &run_loop)
+}
+
+/// [`run_corpus_grid`] with an injected per-loop runner (see [`LoopRunner`]).
+pub fn run_corpus_grid_with(
+    corpus: &[Loop],
+    machines: &[MachineDesc],
+    cfg: &PipelineConfig,
+    runner: &dyn LoopRunner,
+) -> Vec<Vec<LoopResult>> {
     let pairs: Vec<(&MachineDesc, &Loop)> = machines
         .iter()
         .flat_map(|m| corpus.iter().map(move |l| (m, l)))
         .collect();
     let flat: Vec<LoopResult> = pairs
         .par_iter()
-        .map(|&(m, l)| run_loop(l, m, cfg))
+        .map(|&(m, l)| runner.run(l, m, cfg))
         .collect();
     flat.chunks(corpus.len().max(1))
         .map(|c| c.to_vec())
@@ -101,8 +129,13 @@ impl Table1 {
 
 /// Compute Table 1 from per-machine corpus results.
 pub fn table1(corpus: &[Loop], cfg: &PipelineConfig) -> Table1 {
+    table1_with(corpus, cfg, &run_loop)
+}
+
+/// [`table1`] with an injected per-loop runner.
+pub fn table1_with(corpus: &[Loop], cfg: &PipelineConfig, runner: &dyn LoopRunner) -> Table1 {
     let machines = paper_machines();
-    let per_machine = run_corpus_grid(corpus, &machines, cfg);
+    let per_machine = run_corpus_grid_with(corpus, &machines, cfg, runner);
     let mut rows = Vec::new();
     let mut ideal = f64::NAN;
     for (m, rs) in machines.iter().zip(&per_machine) {
@@ -177,8 +210,13 @@ impl Table2 {
 
 /// Compute Table 2.
 pub fn table2(corpus: &[Loop], cfg: &PipelineConfig) -> Table2 {
+    table2_with(corpus, cfg, &run_loop)
+}
+
+/// [`table2`] with an injected per-loop runner.
+pub fn table2_with(corpus: &[Loop], cfg: &PipelineConfig, runner: &dyn LoopRunner) -> Table2 {
     let machines = paper_machines();
-    let per_machine = run_corpus_grid(corpus, &machines, cfg);
+    let per_machine = run_corpus_grid_with(corpus, &machines, cfg, runner);
     let rows = machines
         .iter()
         .zip(&per_machine)
@@ -234,12 +272,22 @@ impl HistogramRow {
 
 /// Compute Fig. 5 (`n_clusters = 2`), Fig. 6 (4) or Fig. 7 (8).
 pub fn fig_histogram(corpus: &[Loop], n_clusters: usize, cfg: &PipelineConfig) -> HistogramRow {
+    fig_histogram_with(corpus, n_clusters, cfg, &run_loop)
+}
+
+/// [`fig_histogram`] with an injected per-loop runner.
+pub fn fig_histogram_with(
+    corpus: &[Loop],
+    n_clusters: usize,
+    cfg: &PipelineConfig,
+    runner: &dyn LoopRunner,
+) -> HistogramRow {
     let fus = 16 / n_clusters;
     let machines = [
         MachineDesc::embedded(n_clusters, fus),
         MachineDesc::copy_unit(n_clusters, fus),
     ];
-    let per_machine = run_corpus_grid(corpus, &machines, cfg);
+    let per_machine = run_corpus_grid_with(corpus, &machines, cfg, runner);
     let hist = |rs: &[LoopResult]| {
         Histogram::from_degradations(&rs.iter().map(|r| r.degradation_pct()).collect::<Vec<_>>())
     };

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod encode;
 pub mod experiments;
 pub mod function;
 pub mod stats;
@@ -26,10 +27,12 @@ pub use driver::{
     run_loop, schedule_with, schedule_with_ctx, LintMode, LoopResult, PartitionerKind,
     PipelineConfig, SchedulerKind,
 };
+pub use encode::{format_pipeline_config, parse_pipeline_config, ConfigParseError};
 pub use experiments::{
-    ablation, fig_histogram, latency_sweep, paper_example, paper_machines, render_ablation,
-    render_scheduler_compare, run_corpus, run_corpus_grid, scheduler_compare, table1, table2,
-    whole_programs, AblationRow, HistogramRow, PaperExample, SchedulerRow, Table1, Table2,
+    ablation, fig_histogram, fig_histogram_with, latency_sweep, paper_example, paper_machines,
+    render_ablation, render_scheduler_compare, run_corpus, run_corpus_grid, run_corpus_grid_with,
+    scheduler_compare, table1, table1_with, table2, table2_with, whole_programs, AblationRow,
+    HistogramRow, LoopRunner, PaperExample, SchedulerRow, Table1, Table2,
 };
 pub use function::{run_function, BlockResult, FunctionResult};
 pub use stats::DiagSummary;

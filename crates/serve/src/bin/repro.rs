@@ -4,16 +4,41 @@
 //! repro [--table1] [--table2] [--fig5] [--fig6] [--fig7]
 //!       [--example] [--ablation] [--latency-sweep] [--all]
 //!       [--loops N]   # truncate the corpus for a quick run
+//!       [--cache] [--cache-dir PATH]
 //! ```
 //!
 //! `--csv PATH` additionally writes per-loop rows for every paper machine
 //! model to PATH. With no flags, `--all` is assumed.
+//!
+//! `--cache` routes every per-loop compile of the table/figure sweeps
+//! through a process-local content-addressed cache (in-memory LRU over
+//! `--cache-dir`, default `target/vliw-cache/`), so a re-run of the same
+//! corpus is served from disk. The ablation/scheduler/latency sweeps vary
+//! configurations per row and keep their direct path.
 
+use std::sync::Arc;
+use vliw_ir::Loop;
 use vliw_machine::MachineDesc;
 use vliw_pipeline::{
-    ablation, fig_histogram, latency_sweep, paper_example, render_ablation,
-    render_scheduler_compare, scheduler_compare, table1, table2, PipelineConfig,
+    ablation, fig_histogram_with, latency_sweep, paper_example, render_ablation,
+    render_scheduler_compare, scheduler_compare, table1_with, table2_with, LoopResult, LoopRunner,
+    PipelineConfig,
 };
+use vliw_serve::{CachedCompiler, CompileRequest, DiskStore, TieredCache};
+
+/// Routes compiles through the content-addressed cache.
+struct CachedRunner(Arc<CachedCompiler>);
+
+impl LoopRunner for CachedRunner {
+    fn run(&self, body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> LoopResult {
+        let req = CompileRequest::from_parts(body, machine, cfg);
+        let key = req.cache_key();
+        match self.0.compile_canonical(&req, &key, None) {
+            Ok((res, _)) => res.to_loop_result(),
+            Err(e) => panic!("cached compile of {} failed: {e}", body.name),
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,9 +56,28 @@ fn main() {
     corpus.truncate(n_loops);
     let cfg = PipelineConfig::default();
 
+    let engine = if has("--cache") {
+        let root = args
+            .iter()
+            .position(|a| a == "--cache-dir")
+            .and_then(|pos| args.get(pos + 1))
+            .map(|p| DiskStore::new(p.clone()))
+            .unwrap_or_else(|| DiskStore::new(DiskStore::default_root()));
+        Some(CachedCompiler::new(TieredCache::new(8192, Some(root))))
+    } else {
+        None
+    };
+    let cached_runner = engine.as_ref().map(|e| CachedRunner(Arc::clone(e)));
+    let direct: fn(&Loop, &MachineDesc, &PipelineConfig) -> LoopResult = vliw_pipeline::run_loop;
+    let runner: &dyn LoopRunner = match &cached_runner {
+        Some(r) => r,
+        None => &direct,
+    };
+
     println!(
-        "rcg-vliw reproduction — {} loops, 16-wide machines, paper latencies\n",
-        corpus.len()
+        "rcg-vliw reproduction — {} loops, 16-wide machines, paper latencies{}\n",
+        corpus.len(),
+        if engine.is_some() { ", cached" } else { "" }
     );
 
     if let Some(pos) = args.iter().position(|a| a == "--csv") {
@@ -44,8 +88,10 @@ fn main() {
         let mut out = String::from(
             "machine,loop,ops,ideal_ii,clustered_ii,copies,hoisted,normalized,ideal_ipc,clustered_ipc,mve_unroll,fp_pressure,spills\n",
         );
-        for m in vliw_pipeline::paper_machines() {
-            for r in vliw_pipeline::run_corpus(&corpus, &m, &cfg) {
+        let machines = vliw_pipeline::paper_machines();
+        let grid = vliw_pipeline::run_corpus_grid_with(&corpus, &machines, &cfg, runner);
+        for (m, rows) in machines.iter().zip(grid) {
+            for r in rows {
                 out.push_str(&format!(
                     "{},{},{},{},{},{},{},{:.2},{:.3},{:.3},{},{},{}\n",
                     m.name,
@@ -80,11 +126,11 @@ fn main() {
         );
     }
     if all || has("--table1") {
-        println!("{}", table1(&corpus, &cfg).render());
+        println!("{}", table1_with(&corpus, &cfg, runner).render());
         println!("  (paper: Ideal 8.6; Clustered 9.3/6.2, 8.4/7.5, 6.9/6.8)\n");
     }
     if all || has("--table2") {
-        println!("{}", table2(&corpus, &cfg).render());
+        println!("{}", table2_with(&corpus, &cfg, runner).render());
         println!("  (paper: arith 111/150, 126/122, 162/133; harm 109/127, 119/115, 138/124)\n");
     }
     for (flag, n, paper_zero) in [
@@ -93,7 +139,7 @@ fn main() {
         ("--fig7", 8, 40.0),
     ] {
         if all || has(flag) {
-            let f = fig_histogram(&corpus, n, &cfg);
+            let f = fig_histogram_with(&corpus, n, &cfg, runner);
             println!("{}", f.render());
             println!(
                 "  zero-degradation: {:.1}% embedded / {:.1}% copy-unit (paper: ~{}%)\n",
@@ -135,6 +181,18 @@ fn main() {
         println!(
             "{}",
             render_ablation(&rows, "Ablation B: copy latency on 4-cluster machines")
+        );
+    }
+    if let Some(engine) = &engine {
+        let snap = engine.stats().snapshot();
+        println!(
+            "cache: hits={} (mem={} disk={}) misses={} compiles={} evictions={}",
+            snap.hits(),
+            snap.mem_hits,
+            snap.disk_hits,
+            snap.misses,
+            snap.compiles,
+            engine.evictions()
         );
     }
 }

@@ -1,0 +1,154 @@
+//! `vliw-client` — CLI for the compile server.
+//!
+//! ```text
+//! vliw-client --addr HOST:PORT [--ping] [--stats] [--shutdown]
+//!             [--compile] [--loop-file PATH | --gen IDX]
+//!             [--machine SPEC] [--config-file PATH]
+//!             [--timeout-ms N] [--repeat N]
+//! ```
+//!
+//! `--compile` sends one job built from either a canonical loop file
+//! (`--loop-file`) or corpus loop number IDX (`--gen`, deterministic
+//! loopgen). `--machine` takes the short specs understood by
+//! `vliw_machine::machine_from_spec` (`embedded:4x4`, `copyunit:2x8`,
+//! `ideal:16`) or a path is not needed — full machine text can go through
+//! a loop file's sibling. `--repeat N` resends the identical request N
+//! times and reports how each was served, which is how the CI smoke test
+//! asserts the second send is a cache hit.
+
+use vliw_machine::machine_from_spec;
+use vliw_pipeline::{format_pipeline_config, PipelineConfig};
+use vliw_serve::{Client, CompileRequest, Json};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vliw-client --addr HOST:PORT [--ping] [--stats] [--shutdown]\n\
+         \x20                  [--compile] [--loop-file PATH | --gen IDX]\n\
+         \x20                  [--machine SPEC] [--config-file PATH]\n\
+         \x20                  [--timeout-ms N] [--repeat N]"
+    );
+    std::process::exit(2);
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("vliw-client: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut do_ping = false;
+    let mut do_stats = false;
+    let mut do_shutdown = false;
+    let mut do_compile = false;
+    let mut loop_file = None;
+    let mut gen_idx = None;
+    let mut machine_spec = "embedded:4x4".to_string();
+    let mut config_file = None;
+    let mut timeout_ms = None;
+    let mut repeat = 1usize;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => addr = Some(value()),
+            "--ping" => do_ping = true,
+            "--stats" => do_stats = true,
+            "--shutdown" => do_shutdown = true,
+            "--compile" => do_compile = true,
+            "--loop-file" => loop_file = Some(value()),
+            "--gen" => gen_idx = Some(value().parse::<usize>().unwrap_or_else(|_| usage())),
+            "--machine" => machine_spec = value(),
+            "--config-file" => config_file = Some(value()),
+            "--timeout-ms" => timeout_ms = Some(value().parse().unwrap_or_else(|_| usage())),
+            "--repeat" => repeat = value().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let addr = addr.unwrap_or_else(|| usage());
+    if !(do_ping || do_stats || do_shutdown || do_compile) {
+        usage();
+    }
+    let mut client =
+        Client::connect(&addr).unwrap_or_else(|e| fatal(&format!("connect {addr}: {e}")));
+
+    if do_ping {
+        client.ping().unwrap_or_else(|e| fatal(&e));
+        println!("pong");
+    }
+
+    if do_compile {
+        let loop_text = match (&loop_file, gen_idx) {
+            (Some(path), None) => std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fatal(&format!("read {path}: {e}"))),
+            (None, Some(idx)) => {
+                let mut loops = vliw_loopgen::corpus();
+                if idx >= loops.len() {
+                    fatal(&format!(
+                        "--gen {idx} out of range (corpus has {})",
+                        loops.len()
+                    ));
+                }
+                vliw_ir::format_loop_full(&loops.swap_remove(idx))
+            }
+            _ => fatal("--compile needs exactly one of --loop-file or --gen"),
+        };
+        let machine = machine_from_spec(&machine_spec)
+            .unwrap_or_else(|e| fatal(&format!("bad --machine: {e}")));
+        let config_text = match &config_file {
+            Some(path) => std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fatal(&format!("read {path}: {e}"))),
+            None => format_pipeline_config(&PipelineConfig::default()),
+        };
+        let req = CompileRequest {
+            loop_text,
+            machine_text: vliw_machine::format_machine(&machine),
+            config_text,
+        };
+        for i in 0..repeat.max(1) {
+            let served = client
+                .compile(&req, timeout_ms)
+                .unwrap_or_else(|e| fatal(&e));
+            let r = &served.result;
+            println!(
+                "compile[{i}] served={} key={} loop={} ideal_ii={} clustered_ii={} copies={} normalized={:.1}",
+                served.served, r.key, r.name, r.ideal_ii, r.clustered_ii, r.n_copies, r.normalized
+            );
+        }
+    }
+
+    if do_stats {
+        let stats = client.stats().unwrap_or_else(|e| fatal(&e));
+        let n = |k: &str| {
+            stats
+                .get(k)
+                .and_then(Json::as_f64)
+                .map(|v| v as u64)
+                .unwrap_or(0)
+        };
+        println!(
+            "stats hits={} (mem={} disk={}) misses={} compiles={} dedup_waits={} evictions={} timeouts={} errors={} p50_us={} p90_us={} p99_us={}",
+            n("hits"),
+            n("mem_hits"),
+            n("disk_hits"),
+            n("misses"),
+            n("compiles"),
+            n("dedup_waits"),
+            n("evictions"),
+            n("timeouts"),
+            n("errors"),
+            n("p50_us"),
+            n("p90_us"),
+            n("p99_us")
+        );
+    }
+
+    if do_shutdown {
+        client.shutdown().unwrap_or_else(|e| fatal(&e));
+        println!("shutdown acknowledged");
+    }
+}

@@ -1,0 +1,102 @@
+//! `vliw-served` — the compile server.
+//!
+//! ```text
+//! vliw-served [--addr HOST:PORT] [--workers N] [--mem-capacity N]
+//!             [--cache-dir PATH | --no-disk] [--timeout-ms N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:0`, an ephemeral port), prints
+//! `vliw-served listening on ADDR` on stdout, then serves the JSON-lines
+//! protocol until a `shutdown` request or SIGTERM/SIGINT arrives. The disk
+//! tier defaults to `target/vliw-cache/`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use vliw_serve::{CachedCompiler, DiskStore, Server, ServerConfig, TieredCache};
+
+/// Process-wide flag flipped by the signal handler; a bridge thread relays
+/// it into the server's own shutdown handle.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+fn install_signal_handlers() {
+    // The container has no libc crate, but every Rust binary links libc;
+    // declare the one symbol we need. SIGTERM = 15, SIGINT = 2 on Linux.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(15, handler);
+        signal(2, handler);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vliw-served [--addr HOST:PORT] [--workers N] [--mem-capacity N]\n\
+         \x20                  [--cache-dir PATH | --no-disk] [--timeout-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut workers = 4usize;
+    let mut mem_capacity = 4096usize;
+    let mut cache_dir = Some(DiskStore::default_root());
+    let mut timeout_ms = 30_000u64;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => addr = value(),
+            "--workers" => workers = value().parse().unwrap_or_else(|_| usage()),
+            "--mem-capacity" => mem_capacity = value().parse().unwrap_or_else(|_| usage()),
+            "--cache-dir" => cache_dir = Some(value().into()),
+            "--no-disk" => cache_dir = None,
+            "--timeout-ms" => timeout_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    install_signal_handlers();
+    let disk = cache_dir.map(DiskStore::new);
+    let engine = CachedCompiler::new(TieredCache::new(mem_capacity, disk));
+    let server = Server::bind(
+        ServerConfig {
+            addr,
+            workers,
+            default_timeout: Duration::from_millis(timeout_ms),
+        },
+        engine,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("vliw-served: bind failed: {e}");
+        std::process::exit(1);
+    });
+
+    let bound = server.local_addr().expect("bound listener has an address");
+    // The smoke tests parse this line to learn the ephemeral port.
+    println!("vliw-served listening on {bound}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let handle = server.shutdown_handle();
+    std::thread::spawn(move || loop {
+        if SIGNALLED.load(Ordering::SeqCst) {
+            handle.store(true, Ordering::SeqCst);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
+    server.run();
+    println!("vliw-served: drained, exiting");
+}

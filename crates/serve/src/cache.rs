@@ -1,0 +1,393 @@
+//! Two-tier artifact cache: sharded in-memory LRU over an on-disk
+//! content-addressed store.
+//!
+//! * **Memory tier** — [`MemCache`]: N mutex-guarded shards (key-sharded by
+//!   the first hex byte of the SHA-256 key, which is uniformly distributed),
+//!   each an exact LRU bounded by entry count. Eviction order is tracked
+//!   with a monotone tick per shard and a `BTreeMap<tick, key>`, so the
+//!   oldest untouched entry pops in O(log n) without a linked list.
+//! * **Disk tier** — [`DiskStore`]: one single-line JSON file per key under
+//!   `<root>/ab/<key>.json` (two-hex-char fan-out). Writes go to a unique
+//!   temp file in the same directory and are published with an atomic
+//!   rename, so readers never observe a torn file. Reads tolerate
+//!   corruption: any unparseable file is deleted and reported as a miss.
+//!
+//! [`TieredCache`] composes the two with read-through promotion and keeps
+//! hit/miss/eviction counters in [`crate::stats::StatsRegistry`].
+
+use crate::envelope::{CacheKey, CompileResult};
+use crate::stats::StatsRegistry;
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of LRU shards. Sixteen matches the first hex digit of the key, so
+/// sharding is a single nibble extraction.
+const N_SHARDS: usize = 16;
+
+struct Shard {
+    /// key → (value, tick of last touch).
+    map: HashMap<CacheKey, (CompileResult, u64)>,
+    /// tick of last touch → key; the smallest tick is the LRU victim.
+    order: BTreeMap<u64, CacheKey>,
+    tick: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &str) {
+        if let Some((_, t)) = self.map.get(key) {
+            let old = *t;
+            self.order.remove(&old);
+            self.tick += 1;
+            let now = self.tick;
+            self.order.insert(now, key.to_string());
+            self.map.get_mut(key).expect("present").1 = now;
+        }
+    }
+}
+
+/// Sharded in-memory LRU keyed by content hash.
+pub struct MemCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    evictions: AtomicU64,
+}
+
+impl MemCache {
+    /// A cache holding at most `capacity` entries (rounded up to a multiple
+    /// of the shard count; minimum one entry per shard).
+    pub fn new(capacity: usize) -> Self {
+        MemCache {
+            shards: (0..N_SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            per_shard_cap: capacity.div_ceil(N_SHARDS).max(1),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        // First hex digit of the SHA-256 key: uniform over shards.
+        let nibble = key
+            .as_bytes()
+            .first()
+            .map(|b| (*b as char).to_digit(16).unwrap_or(0) as usize)
+            .unwrap_or(0);
+        &self.shards[nibble % N_SHARDS]
+    }
+
+    /// Look up `key`, refreshing its recency on hit.
+    pub fn get(&self, key: &str) -> Option<CompileResult> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.touch(key);
+        shard.map.get(key).map(|(v, _)| v.clone())
+    }
+
+    /// Insert (or refresh) `key`, evicting the least recently used entry of
+    /// the shard if it is full.
+    pub fn put(&self, key: CacheKey, value: CompileResult) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        if let Some((_, old)) = shard.map.remove(&key) {
+            shard.order.remove(&old);
+        } else if shard.map.len() >= self.per_shard_cap {
+            if let Some((&oldest, _)) = shard.order.iter().next() {
+                let victim = shard.order.remove(&oldest).expect("present");
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.tick += 1;
+        let now = shard.tick;
+        shard.order.insert(now, key.clone());
+        shard.map.insert(key, (value, now));
+    }
+
+    /// Total entries across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+/// On-disk content-addressed store of compile results.
+pub struct DiskStore {
+    root: PathBuf,
+    seq: AtomicU64,
+}
+
+impl DiskStore {
+    /// A store rooted at `root` (created on first write).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        DiskStore {
+            root: root.into(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The default store location used by the bins: `target/vliw-cache/`
+    /// relative to the working directory.
+    pub fn default_root() -> PathBuf {
+        PathBuf::from("target/vliw-cache")
+    }
+
+    fn path_for(&self, key: &str) -> PathBuf {
+        // Two-hex-char fan-out keeps directory sizes bounded on large
+        // corpora. Keys are validated hex, but fall back gracefully.
+        let prefix = if key.len() >= 2 { &key[..2] } else { "xx" };
+        self.root.join(prefix).join(format!("{key}.json"))
+    }
+
+    /// Read the result stored under `key`. A missing file is a miss; an
+    /// unreadable or unparseable file is deleted and reported as a miss.
+    pub fn get(&self, key: &str) -> Option<CompileResult> {
+        let path = self.path_for(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => return None,
+        };
+        match CompileResult::from_json_text(&text) {
+            Ok(res) if res.key == key => Some(res),
+            _ => {
+                // Corrupt or mislabelled entry: drop it so the slot heals.
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Store `value` under `key` atomically (temp file + rename). Returns
+    /// `false` if the filesystem rejected the write; the cache then simply
+    /// degrades to memory-only for this entry.
+    pub fn put(&self, key: &str, value: &CompileResult) -> bool {
+        let path = self.path_for(key);
+        let dir = match path.parent() {
+            Some(d) => d,
+            None => return false,
+        };
+        if fs::create_dir_all(dir).is_err() {
+            return false;
+        }
+        let unique = self.seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!(".{key}.{}.{unique}.tmp", std::process::id()));
+        let write = (|| -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(value.to_json().render().as_bytes())?;
+            f.write_all(b"\n")?;
+            f.sync_all()?;
+            Ok(())
+        })();
+        if write.is_err() {
+            let _ = fs::remove_file(&tmp);
+            return false;
+        }
+        if fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
+            return false;
+        }
+        true
+    }
+
+    /// The store root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+/// Memory LRU in front of the disk store, with shared statistics.
+pub struct TieredCache {
+    mem: MemCache,
+    disk: Option<DiskStore>,
+    stats: StatsRegistry,
+}
+
+impl TieredCache {
+    /// A tiered cache with `mem_capacity` in-memory entries over `disk`
+    /// (pass `None` for a memory-only cache).
+    pub fn new(mem_capacity: usize, disk: Option<DiskStore>) -> Self {
+        TieredCache {
+            mem: MemCache::new(mem_capacity),
+            disk,
+            stats: StatsRegistry::new(),
+        }
+    }
+
+    /// Look up `key` in memory, then on disk (promoting a disk hit into
+    /// memory). Updates hit/miss counters.
+    pub fn get(&self, key: &str) -> Option<CompileResult> {
+        if let Some(hit) = self.mem.get(key) {
+            self.stats.mem_hit();
+            return Some(hit);
+        }
+        if let Some(disk) = &self.disk {
+            if let Some(hit) = disk.get(key) {
+                self.stats.disk_hit();
+                self.mem.put(key.to_string(), hit.clone());
+                return Some(hit);
+            }
+        }
+        self.stats.miss();
+        None
+    }
+
+    /// Store `value` in both tiers.
+    pub fn put(&self, key: &str, value: &CompileResult) {
+        self.mem.put(key.to_string(), value.clone());
+        if let Some(disk) = &self.disk {
+            disk.put(key, value);
+        }
+    }
+
+    /// The statistics registry (shared with the server).
+    pub fn stats(&self) -> &StatsRegistry {
+        &self.stats
+    }
+
+    /// Memory-tier evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.mem.evictions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::envelope::CompileRequest;
+    use vliw_loopgen::{corpus_with, CorpusSpec};
+    use vliw_machine::MachineDesc;
+    use vliw_pipeline::{run_loop, PipelineConfig};
+
+    fn make_results(n: usize) -> Vec<CompileResult> {
+        let spec = CorpusSpec {
+            n,
+            ..Default::default()
+        };
+        let machine = MachineDesc::embedded(2, 4);
+        let cfg = PipelineConfig::default();
+        corpus_with(&spec)
+            .iter()
+            .map(|l| {
+                let req = CompileRequest::from_parts(l, &machine, &cfg);
+                CompileResult::from_loop_result(req.cache_key(), &run_loop(l, &machine, &cfg))
+            })
+            .collect()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("vliw-serve-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn mem_cache_hits_and_evicts_lru() {
+        let results = make_results(8);
+        // One entry per shard: inserting two keys in the same shard evicts
+        // the older one.
+        let cache = MemCache::new(1);
+        for r in &results {
+            cache.put(r.key.clone(), r.clone());
+        }
+        assert!(cache.len() <= N_SHARDS);
+        // Most recent insertions are present unless a same-shard collision
+        // evicted them; at minimum the last one must be live.
+        let last = results.last().unwrap();
+        assert_eq!(cache.get(&last.key).unwrap(), *last);
+        assert!(cache.get("0".repeat(64).as_str()).is_none());
+    }
+
+    #[test]
+    fn mem_cache_lru_order_respects_touches() {
+        let results = make_results(3);
+        let cache = MemCache::new(0); // per-shard capacity clamps to 1
+        let shard_of = |k: &str| (k.as_bytes()[0] as char).to_digit(16).unwrap();
+        // Find two results in the same shard, if any; otherwise synthesise
+        // keys that collide.
+        let (a, b) = (&results[0], &results[1]);
+        if shard_of(&a.key) == shard_of(&b.key) {
+            cache.put(a.key.clone(), a.clone());
+            cache.put(b.key.clone(), b.clone());
+            assert!(cache.get(&a.key).is_none(), "older entry should evict");
+            assert!(cache.get(&b.key).is_some());
+            assert_eq!(cache.evictions(), 1);
+        } else {
+            let mut fake_a = a.clone();
+            fake_a.key = format!("a{}", &a.key[1..]);
+            let mut fake_b = b.clone();
+            fake_b.key = format!("a{}", &b.key[1..]);
+            cache.put(fake_a.key.clone(), fake_a.clone());
+            cache.put(fake_b.key.clone(), fake_b.clone());
+            assert!(cache.get(&fake_a.key).is_none());
+            assert!(cache.get(&fake_b.key).is_some());
+            assert_eq!(cache.evictions(), 1);
+        }
+    }
+
+    #[test]
+    fn disk_store_round_trips_and_heals_corruption() {
+        let root = tmpdir("disk");
+        let store = DiskStore::new(&root);
+        let results = make_results(2);
+        let r = &results[0];
+        assert!(store.get(&r.key).is_none(), "cold store misses");
+        assert!(store.put(&r.key, r));
+        assert_eq!(store.get(&r.key).unwrap(), *r);
+
+        // Corrupt the file: the next read must miss and delete it.
+        let path = root.join(&r.key[..2]).join(format!("{}.json", r.key));
+        fs::write(&path, b"{ not json").unwrap();
+        assert!(store.get(&r.key).is_none());
+        assert!(!path.exists(), "corrupt entry should be removed");
+
+        // A mislabelled entry (valid JSON, wrong key) is also healed.
+        let other = &results[1];
+        fs::write(&path, other.to_json().render()).unwrap();
+        assert!(store.get(&r.key).is_none());
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tiered_cache_promotes_disk_hits() {
+        let root = tmpdir("tiered");
+        let results = make_results(1);
+        let r = &results[0];
+
+        // Populate via one cache instance, read via a fresh one (cold
+        // memory, warm disk) to exercise promotion.
+        let warm = TieredCache::new(64, Some(DiskStore::new(&root)));
+        assert!(warm.get(&r.key).is_none());
+        warm.put(&r.key, r);
+        assert_eq!(warm.get(&r.key).unwrap(), *r);
+        let snap = warm.stats().snapshot();
+        assert_eq!((snap.mem_hits, snap.disk_hits, snap.misses), (1, 0, 1));
+
+        let fresh = TieredCache::new(64, Some(DiskStore::new(&root)));
+        assert_eq!(fresh.get(&r.key).unwrap(), *r, "disk hit");
+        assert_eq!(fresh.get(&r.key).unwrap(), *r, "promoted to memory");
+        let snap = fresh.stats().snapshot();
+        assert_eq!((snap.mem_hits, snap.disk_hits, snap.misses), (1, 1, 0));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,114 @@
+//! Blocking client for the JSON-lines compile protocol.
+
+use crate::envelope::{CompileRequest, CompileResult};
+use crate::json::{parse_json, Json};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A connected protocol client. One request/response pair in flight at a
+/// time; the connection is reused across calls.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// A compile response: the result plus how the server satisfied it
+/// (`"cache"`, `"compiled"` or `"deduped"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServedResult {
+    /// The artifact set.
+    pub result: CompileResult,
+    /// The server's `served` label.
+    pub served: String,
+}
+
+impl ServedResult {
+    /// Whether the server answered from its cache.
+    pub fn is_cache_hit(&self) -> bool {
+        self.served == "cache"
+    }
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:7878`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn round_trip(&mut self, request: &Json) -> Result<Json, String> {
+        writeln!(self.writer, "{}", request.render()).map_err(|e| e.to_string())?;
+        self.writer.flush().map_err(|e| e.to_string())?;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Err("server closed the connection".into()),
+                Ok(_) if line.trim().is_empty() => continue,
+                Ok(_) => break,
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+        let doc = parse_json(line.trim()).map_err(|e| e.to_string())?;
+        match doc.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(doc),
+            Some(false) => Err(doc
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown server error")
+                .to_string()),
+            None => Err("malformed server response".into()),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<(), String> {
+        self.round_trip(&Json::obj([("op", Json::Str("ping".into()))]))
+            .map(|_| ())
+    }
+
+    /// Submit one compile job. `timeout_ms` bounds this request's wait on
+    /// the server side; `None` uses the server default.
+    pub fn compile(
+        &mut self,
+        req: &CompileRequest,
+        timeout_ms: Option<u64>,
+    ) -> Result<ServedResult, String> {
+        let mut pairs = vec![
+            ("op", Json::Str("compile".into())),
+            ("request", req.to_json()),
+        ];
+        if let Some(ms) = timeout_ms {
+            pairs.push(("timeout_ms", Json::Num(ms as f64)));
+        }
+        let doc = self.round_trip(&Json::obj(pairs))?;
+        let result = doc
+            .get("result")
+            .ok_or("compile response missing `result`")?;
+        let result = CompileResult::from_json(result)?;
+        let served = doc
+            .get("served")
+            .and_then(Json::as_str)
+            .ok_or("compile response missing `served`")?
+            .to_string();
+        Ok(ServedResult { result, served })
+    }
+
+    /// Fetch the server's counters as a JSON object.
+    pub fn stats(&mut self) -> Result<Json, String> {
+        let doc = self.round_trip(&Json::obj([("op", Json::Str("stats".into()))]))?;
+        doc.get("stats")
+            .cloned()
+            .ok_or_else(|| "stats response missing `stats`".into())
+    }
+
+    /// Ask the server to drain and stop.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.round_trip(&Json::obj([("op", Json::Str("shutdown".into()))]))
+            .map(|_| ())
+    }
+}

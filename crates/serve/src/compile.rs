@@ -1,0 +1,321 @@
+//! The cached, deduplicating compile engine.
+//!
+//! [`CachedCompiler`] is the piece both the TCP server and the `repro
+//! --cache` driver share: a [`TieredCache`] plus an in-flight table that
+//! collapses concurrent identical requests onto one pipeline execution.
+//!
+//! The in-flight table maps cache key → a condvar-signalled slot. The first
+//! requester of a key (the *leader*) spawns a detached compute thread and
+//! then waits on the slot like everyone else; later requesters of the same
+//! key just wait. The compute thread publishes to the cache *before*
+//! signalling the slot and removing it from the table, so a request that
+//! misses the table afterwards is guaranteed to hit the cache. A deadline
+//! expiry returns [`CompileError::Timeout`] to that caller only — the
+//! compute thread keeps running and still populates the cache, so a retry
+//! of the same request is cheap.
+
+use crate::cache::TieredCache;
+use crate::envelope::{CacheKey, CompileRequest, CompileResult, RequestError};
+use crate::stats::StatsRegistry;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use vliw_pipeline::run_loop;
+
+/// How a request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Served from the cache (either tier).
+    Cache,
+    /// This request's own pipeline execution.
+    Compiled,
+    /// Piggybacked on an identical in-flight execution.
+    Deduped,
+}
+
+impl Source {
+    /// Whether the result came from the cache rather than a fresh execution.
+    pub fn is_cache_hit(self) -> bool {
+        matches!(self, Source::Cache)
+    }
+
+    /// Wire label for the `served` field of a compile response.
+    pub fn label(self) -> &'static str {
+        match self {
+            Source::Cache => "cache",
+            Source::Compiled => "compiled",
+            Source::Deduped => "deduped",
+        }
+    }
+}
+
+/// A compile failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The request failed validation.
+    BadRequest(RequestError),
+    /// The per-request deadline expired; the execution continues in the
+    /// background and will populate the cache.
+    Timeout,
+    /// The pipeline panicked or the engine failed internally.
+    Internal(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::BadRequest(e) => write!(f, "{e}"),
+            CompileError::Timeout => write!(f, "compile deadline expired"),
+            CompileError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// One in-flight execution slot.
+struct Inflight {
+    done: Mutex<Option<Result<CompileResult, String>>>,
+    cv: Condvar,
+}
+
+/// Content-cached compiler with in-flight deduplication.
+pub struct CachedCompiler {
+    cache: TieredCache,
+    inflight: Mutex<HashMap<CacheKey, Arc<Inflight>>>,
+}
+
+impl CachedCompiler {
+    /// Wrap `cache`.
+    pub fn new(cache: TieredCache) -> Arc<Self> {
+        Arc::new(CachedCompiler {
+            cache,
+            inflight: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The cache statistics (shared with the server's `stats` endpoint).
+    pub fn stats(&self) -> &StatsRegistry {
+        self.cache.stats()
+    }
+
+    /// Memory-tier evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// Compile `req`, canonicalising it first. `deadline` bounds how long
+    /// this caller waits; the execution itself is never cancelled.
+    pub fn compile(
+        self: &Arc<Self>,
+        req: &CompileRequest,
+        deadline: Option<Duration>,
+    ) -> Result<(CompileResult, Source), CompileError> {
+        let canonical = req.canonicalize().map_err(CompileError::BadRequest)?;
+        let key = canonical.cache_key();
+        self.compile_canonical(&canonical, &key, deadline)
+    }
+
+    /// Compile an already-canonical request under a precomputed `key`.
+    pub fn compile_canonical(
+        self: &Arc<Self>,
+        req: &CompileRequest,
+        key: &str,
+        deadline: Option<Duration>,
+    ) -> Result<(CompileResult, Source), CompileError> {
+        if let Some(hit) = self.cache.get(key) {
+            return Ok((hit, Source::Cache));
+        }
+
+        let (slot, leader) = {
+            let mut table = self.inflight.lock().expect("inflight table poisoned");
+            match table.get(key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(Inflight {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    table.insert(key.to_string(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+
+        if leader {
+            self.spawn_compute(req.clone(), key.to_string(), Arc::clone(&slot));
+        } else {
+            self.stats().dedup_wait();
+        }
+
+        let started = Instant::now();
+        let mut done = slot.done.lock().expect("inflight slot poisoned");
+        loop {
+            if let Some(outcome) = done.as_ref() {
+                return match outcome {
+                    Ok(res) => Ok((
+                        res.clone(),
+                        if leader {
+                            Source::Compiled
+                        } else {
+                            Source::Deduped
+                        },
+                    )),
+                    Err(m) => Err(CompileError::Internal(m.clone())),
+                };
+            }
+            match deadline {
+                None => {
+                    done = slot.cv.wait(done).expect("inflight slot poisoned");
+                }
+                Some(limit) => {
+                    let elapsed = started.elapsed();
+                    if elapsed >= limit {
+                        self.stats().timeout();
+                        return Err(CompileError::Timeout);
+                    }
+                    let (guard, _) = slot
+                        .cv
+                        .wait_timeout(done, limit - elapsed)
+                        .expect("inflight slot poisoned");
+                    done = guard;
+                }
+            }
+        }
+    }
+
+    fn spawn_compute(self: &Arc<Self>, req: CompileRequest, key: CacheKey, slot: Arc<Inflight>) {
+        let engine = Arc::clone(self);
+        std::thread::spawn(move || {
+            let outcome = match req.decode() {
+                Err(e) => Err(e.to_string()),
+                Ok((body, machine, cfg)) => {
+                    engine.stats().compile();
+                    catch_unwind(AssertUnwindSafe(|| run_loop(&body, &machine, &cfg)))
+                        .map(|lr| CompileResult::from_loop_result(key.clone(), &lr))
+                        .map_err(|p| {
+                            let msg = p
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| p.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "pipeline panicked".to_string());
+                            format!("pipeline panicked: {msg}")
+                        })
+                }
+            };
+            // Publish to the cache before signalling, so anyone who misses
+            // the inflight table after removal is guaranteed a cache hit.
+            if let Ok(res) = &outcome {
+                engine.cache.put(&key, res);
+            }
+            *slot.done.lock().expect("inflight slot poisoned") = Some(outcome);
+            slot.cv.notify_all();
+            engine
+                .inflight
+                .lock()
+                .expect("inflight table poisoned")
+                .remove(&key);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{DiskStore, TieredCache};
+    use vliw_loopgen::{corpus_with, CorpusSpec};
+    use vliw_machine::MachineDesc;
+    use vliw_pipeline::PipelineConfig;
+
+    fn engine() -> Arc<CachedCompiler> {
+        CachedCompiler::new(TieredCache::new(256, None))
+    }
+
+    fn sample_request(i: usize) -> CompileRequest {
+        let spec = CorpusSpec {
+            n: i + 1,
+            ..Default::default()
+        };
+        let body = corpus_with(&spec).remove(i);
+        CompileRequest::from_parts(
+            &body,
+            &MachineDesc::embedded(2, 4),
+            &PipelineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn second_identical_request_is_a_cache_hit() {
+        let engine = engine();
+        let req = sample_request(0);
+        let (first, src1) = engine.compile(&req, None).unwrap();
+        assert_eq!(src1, Source::Compiled);
+        let (second, src2) = engine.compile(&req, None).unwrap();
+        assert_eq!(src2, Source::Cache);
+        assert_eq!(first, second);
+        let snap = engine.stats().snapshot();
+        assert_eq!(snap.compiles, 1);
+        assert_eq!(snap.mem_hits, 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_execute_once() {
+        let engine = engine();
+        let req = sample_request(1);
+        let results: Vec<(CompileResult, Source)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let engine = Arc::clone(&engine);
+                    let req = req.clone();
+                    s.spawn(move || engine.compile(&req, None).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let snap = engine.stats().snapshot();
+        assert_eq!(snap.compiles, 1, "dedup must collapse to one execution");
+        let reference = &results[0].0;
+        for (res, _) in &results {
+            assert_eq!(res, reference);
+        }
+        let compiled = results
+            .iter()
+            .filter(|(_, s)| *s == Source::Compiled)
+            .count();
+        assert_eq!(compiled, 1);
+    }
+
+    #[test]
+    fn malformed_request_is_rejected_without_execution() {
+        let engine = engine();
+        let req = CompileRequest {
+            loop_text: "garbage".into(),
+            machine_text: "machine m\ncluster 4 32 32".into(),
+            config_text: String::new(),
+        };
+        match engine.compile(&req, None) {
+            Err(CompileError::BadRequest(e)) => assert_eq!(e.section, "loop"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        assert_eq!(engine.stats().snapshot().compiles, 0);
+    }
+
+    #[test]
+    fn disk_tier_survives_engine_restart() {
+        let root =
+            std::env::temp_dir().join(format!("vliw-serve-test-engine-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let req = sample_request(2);
+        let first = {
+            let engine = CachedCompiler::new(TieredCache::new(8, Some(DiskStore::new(&root))));
+            engine.compile(&req, None).unwrap().0
+        };
+        let engine = CachedCompiler::new(TieredCache::new(8, Some(DiskStore::new(&root))));
+        let (second, src) = engine.compile(&req, None).unwrap();
+        assert_eq!(src, Source::Cache);
+        assert_eq!(first, second);
+        assert_eq!(engine.stats().snapshot().compiles, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,422 @@
+//! Request/result envelopes and the content-hash cache key.
+//!
+//! A [`CompileRequest`] carries the three inputs of one pipeline run as
+//! canonical text — the loop body ([`vliw_ir::format_loop_full`]), the
+//! machine ([`vliw_machine::format_machine`]) and the configuration
+//! ([`vliw_pipeline::format_pipeline_config`]). Canonicalisation is
+//! parse-then-reprint, so two requests that differ only in whitespace,
+//! comments or line order of unordered sections hash to the same
+//! [`CacheKey`]: the SHA-256 digest over a length-prefixed concatenation of
+//! the three canonical texts (length prefixes prevent boundary-shift
+//! collisions between the sections).
+//!
+//! A [`CompileResult`] carries every scalar artifact of
+//! [`vliw_pipeline::LoopResult`] plus the lint diagnostics pre-rendered as
+//! text lines. Diagnostics cross the wire as rendered strings because
+//! [`vliw_analysis::Diagnostic`] anchors its `stage` as `&'static str`; a
+//! result reconstructed from cache therefore reports diagnostics in
+//! [`CompileResult::diagnostics`] only, with an empty `LoopResult` list.
+
+use crate::hash::Sha256;
+use crate::json::{parse_json, Json};
+use vliw_ir::{format_loop_full, parse_loop, Loop};
+use vliw_machine::{format_machine, parse_machine, MachineDesc};
+use vliw_pipeline::{format_pipeline_config, parse_pipeline_config, LoopResult, PipelineConfig};
+
+/// SHA-256 cache key as 64 lowercase hex digits.
+pub type CacheKey = String;
+
+/// One compile job: the full pipeline input set as canonical text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileRequest {
+    /// Canonical loop text.
+    pub loop_text: String,
+    /// Canonical machine description text.
+    pub machine_text: String,
+    /// Canonical pipeline configuration text.
+    pub config_text: String,
+}
+
+/// A [`CompileRequest`] that failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// Which section failed: `"loop"`, `"machine"` or `"config"`.
+    pub section: &'static str,
+    /// The underlying parse error.
+    pub message: String,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad {} section: {}", self.section, self.message)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl CompileRequest {
+    /// Build a request from in-memory pipeline inputs. The encoders emit
+    /// canonical text directly, so no re-canonicalisation is needed.
+    pub fn from_parts(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Self {
+        CompileRequest {
+            loop_text: format_loop_full(body),
+            machine_text: format_machine(machine),
+            config_text: format_pipeline_config(cfg),
+        }
+    }
+
+    /// Parse all three sections, rejecting the request if any is malformed,
+    /// and return the decoded inputs. Used by the server before compiling.
+    pub fn decode(&self) -> Result<(Loop, MachineDesc, PipelineConfig), RequestError> {
+        let body = parse_loop(&self.loop_text).map_err(|e| RequestError {
+            section: "loop",
+            message: e.to_string(),
+        })?;
+        let machine = parse_machine(&self.machine_text).map_err(|e| RequestError {
+            section: "machine",
+            message: e.to_string(),
+        })?;
+        let cfg = parse_pipeline_config(&self.config_text).map_err(|e| RequestError {
+            section: "config",
+            message: e.to_string(),
+        })?;
+        Ok((body, machine, cfg))
+    }
+
+    /// Re-print each section from its parsed form, so formatting variants of
+    /// the same inputs (extra whitespace, comments) share a cache key.
+    pub fn canonicalize(&self) -> Result<CompileRequest, RequestError> {
+        let (body, machine, cfg) = self.decode()?;
+        Ok(CompileRequest::from_parts(&body, &machine, &cfg))
+    }
+
+    /// The content hash over the canonical encoding. Assumes `self` is
+    /// already canonical (as produced by [`CompileRequest::from_parts`] or
+    /// [`CompileRequest::canonicalize`]).
+    pub fn cache_key(&self) -> CacheKey {
+        let mut h = Sha256::new();
+        for section in [&self.loop_text, &self.machine_text, &self.config_text] {
+            h.update(&(section.len() as u64).to_be_bytes());
+            h.update(section.as_bytes());
+        }
+        let digest = h.finish();
+        let mut s = String::with_capacity(64);
+        for b in digest {
+            use std::fmt::Write as _;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+
+    /// JSON object form used on the wire and in the disk store.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("loop", Json::Str(self.loop_text.clone())),
+            ("machine", Json::Str(self.machine_text.clone())),
+            ("config", Json::Str(self.config_text.clone())),
+        ])
+    }
+
+    /// Decode from the JSON object form.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("request missing string field `{k}`"))
+        };
+        Ok(CompileRequest {
+            loop_text: field("loop")?,
+            machine_text: field("machine")?,
+            config_text: field("config")?,
+        })
+    }
+}
+
+/// The artifact set produced by one pipeline run, in wire/cache form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileResult {
+    /// Cache key of the request that produced this result.
+    pub key: CacheKey,
+    /// Loop name.
+    pub name: String,
+    /// Original (pre-copy) operation count.
+    pub n_ops: usize,
+    /// II of the ideal monolithic schedule.
+    pub ideal_ii: u32,
+    /// II after partitioning, copy insertion and rescheduling.
+    pub clustered_ii: u32,
+    /// Kernel copies inserted.
+    pub n_copies: usize,
+    /// Hoisted (pre-loop) invariant copies.
+    pub n_hoisted: usize,
+    /// Ideal kernel IPC.
+    pub ideal_ipc: f64,
+    /// Clustered kernel IPC.
+    pub clustered_ipc: f64,
+    /// Degradation normalised to 100.
+    pub normalized: f64,
+    /// Spills during per-bank colouring.
+    pub spills: usize,
+    /// MVE kernel unroll factor.
+    pub mve_unroll: u32,
+    /// Peak float-register pressure in the busiest bank.
+    pub peak_float_pressure: usize,
+    /// Chaitin spill rounds before colouring succeeded.
+    pub spill_rounds: usize,
+    /// Simulation verdict (`None` = simulation disabled).
+    pub sim_ok: Option<bool>,
+    /// Lint findings, pre-rendered with `Diagnostic::render_text`.
+    pub diagnostics: Vec<String>,
+}
+
+impl CompileResult {
+    /// Package a pipeline result under `key`.
+    pub fn from_loop_result(key: CacheKey, r: &LoopResult) -> Self {
+        CompileResult {
+            key,
+            name: r.name.clone(),
+            n_ops: r.n_ops,
+            ideal_ii: r.ideal_ii,
+            clustered_ii: r.clustered_ii,
+            n_copies: r.n_copies,
+            n_hoisted: r.n_hoisted,
+            ideal_ipc: r.ideal_ipc,
+            clustered_ipc: r.clustered_ipc,
+            normalized: r.normalized,
+            spills: r.spills,
+            mve_unroll: r.mve_unroll,
+            peak_float_pressure: r.peak_float_pressure,
+            spill_rounds: r.spill_rounds,
+            sim_ok: r.sim_ok,
+            diagnostics: r.diagnostics.iter().map(|d| d.render_text()).collect(),
+        }
+    }
+
+    /// Reconstruct a [`LoopResult`] for harness code that consumes one.
+    /// Diagnostics stay in [`CompileResult::diagnostics`] as text (see the
+    /// module docs); the reconstructed list is empty.
+    pub fn to_loop_result(&self) -> LoopResult {
+        LoopResult {
+            name: self.name.clone(),
+            n_ops: self.n_ops,
+            ideal_ii: self.ideal_ii,
+            clustered_ii: self.clustered_ii,
+            n_copies: self.n_copies,
+            n_hoisted: self.n_hoisted,
+            ideal_ipc: self.ideal_ipc,
+            clustered_ipc: self.clustered_ipc,
+            normalized: self.normalized,
+            spills: self.spills,
+            mve_unroll: self.mve_unroll,
+            peak_float_pressure: self.peak_float_pressure,
+            spill_rounds: self.spill_rounds,
+            sim_ok: self.sim_ok,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// JSON object form used on the wire and in the disk store.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("key", Json::Str(self.key.clone())),
+            ("name", Json::Str(self.name.clone())),
+            ("n_ops", Json::Num(self.n_ops as f64)),
+            ("ideal_ii", Json::Num(self.ideal_ii as f64)),
+            ("clustered_ii", Json::Num(self.clustered_ii as f64)),
+            ("n_copies", Json::Num(self.n_copies as f64)),
+            ("n_hoisted", Json::Num(self.n_hoisted as f64)),
+            ("ideal_ipc", Json::Num(self.ideal_ipc)),
+            ("clustered_ipc", Json::Num(self.clustered_ipc)),
+            ("normalized", Json::Num(self.normalized)),
+            ("spills", Json::Num(self.spills as f64)),
+            ("mve_unroll", Json::Num(self.mve_unroll as f64)),
+            (
+                "peak_float_pressure",
+                Json::Num(self.peak_float_pressure as f64),
+            ),
+            ("spill_rounds", Json::Num(self.spill_rounds as f64)),
+            (
+                "sim_ok",
+                match self.sim_ok {
+                    Some(b) => Json::Bool(b),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "diagnostics",
+                Json::Arr(
+                    self.diagnostics
+                        .iter()
+                        .map(|d| Json::Str(d.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decode from the JSON object form.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        let str_field = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("result missing string field `{k}`"))
+        };
+        let num = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("result missing numeric field `{k}`"))
+        };
+        let int = |k: &str| -> Result<usize, String> {
+            let n = num(k)?;
+            if n < 0.0 || n != n.trunc() {
+                return Err(format!("field `{k}` is not a non-negative integer"));
+            }
+            Ok(n as usize)
+        };
+        let sim_ok = match v.get("sim_ok") {
+            Some(Json::Null) | None => None,
+            Some(Json::Bool(b)) => Some(*b),
+            Some(_) => return Err("field `sim_ok` is not bool or null".into()),
+        };
+        let diagnostics = v
+            .get("diagnostics")
+            .and_then(Json::as_arr)
+            .ok_or("result missing array field `diagnostics`")?
+            .iter()
+            .map(|d| {
+                d.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "non-string diagnostic".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CompileResult {
+            key: str_field("key")?,
+            name: str_field("name")?,
+            n_ops: int("n_ops")?,
+            ideal_ii: int("ideal_ii")? as u32,
+            clustered_ii: int("clustered_ii")? as u32,
+            n_copies: int("n_copies")?,
+            n_hoisted: int("n_hoisted")?,
+            ideal_ipc: num("ideal_ipc")?,
+            clustered_ipc: num("clustered_ipc")?,
+            normalized: num("normalized")?,
+            spills: int("spills")?,
+            mve_unroll: int("mve_unroll")? as u32,
+            peak_float_pressure: int("peak_float_pressure")?,
+            spill_rounds: int("spill_rounds")?,
+            sim_ok,
+            diagnostics,
+        })
+    }
+
+    /// Parse the single-line JSON document stored on disk.
+    pub fn from_json_text(text: &str) -> Result<Self, String> {
+        let v = parse_json(text).map_err(|e| e.to_string())?;
+        CompileResult::from_json(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vliw_loopgen::{corpus_with, CorpusSpec};
+
+    fn sample_inputs() -> (Loop, MachineDesc, PipelineConfig) {
+        let spec = CorpusSpec {
+            n: 1,
+            ..Default::default()
+        };
+        let body = corpus_with(&spec).remove(0);
+        (body, MachineDesc::embedded(2, 4), PipelineConfig::default())
+    }
+
+    #[test]
+    fn key_is_stable_and_input_sensitive() {
+        let (body, machine, cfg) = sample_inputs();
+        let req = CompileRequest::from_parts(&body, &machine, &cfg);
+        let k1 = req.cache_key();
+        assert_eq!(k1.len(), 64);
+        assert_eq!(k1, req.cache_key());
+        // Any section change moves the key.
+        let other_machine = CompileRequest::from_parts(&body, &MachineDesc::copy_unit(2, 4), &cfg);
+        assert_ne!(k1, other_machine.cache_key());
+        let mut cfg2 = cfg;
+        cfg2.simulate = true;
+        assert_ne!(
+            k1,
+            CompileRequest::from_parts(&body, &machine, &cfg2).cache_key()
+        );
+    }
+
+    #[test]
+    fn canonicalize_erases_formatting_variants() {
+        let (body, machine, cfg) = sample_inputs();
+        let req = CompileRequest::from_parts(&body, &machine, &cfg);
+        let noisy = CompileRequest {
+            loop_text: format!("; leading comment\n{}\n\n", req.loop_text),
+            machine_text: format!("  {}", req.machine_text.replace('\n', "\n  ")),
+            config_text: format!("{}; trailing comment\n", req.config_text),
+        };
+        let canon = noisy.canonicalize().unwrap();
+        assert_eq!(canon, req);
+        assert_eq!(canon.cache_key(), req.cache_key());
+    }
+
+    #[test]
+    fn request_json_round_trips() {
+        let (body, machine, cfg) = sample_inputs();
+        let req = CompileRequest::from_parts(&body, &machine, &cfg);
+        let back =
+            CompileRequest::from_json(&parse_json(&req.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn result_json_round_trips() {
+        let (body, machine, cfg) = sample_inputs();
+        let req = CompileRequest::from_parts(&body, &machine, &cfg);
+        let lr = vliw_pipeline::run_loop(&body, &machine, &cfg);
+        let res = CompileResult::from_loop_result(req.cache_key(), &lr);
+        let back = CompileResult::from_json_text(&res.to_json().render()).unwrap();
+        assert_eq!(back, res);
+        // Scalars survive the LoopResult reconstruction.
+        let rebuilt = back.to_loop_result();
+        assert_eq!(rebuilt.clustered_ii, lr.clustered_ii);
+        assert_eq!(rebuilt.normalized, lr.normalized);
+        assert_eq!(rebuilt.sim_ok, lr.sim_ok);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_sections() {
+        let (body, machine, cfg) = sample_inputs();
+        let good = CompileRequest::from_parts(&body, &machine, &cfg);
+        for (section, bad) in [
+            (
+                "loop",
+                CompileRequest {
+                    loop_text: "not a loop".into(),
+                    ..good.clone()
+                },
+            ),
+            (
+                "machine",
+                CompileRequest {
+                    machine_text: "machine\ncluster x".into(),
+                    ..good.clone()
+                },
+            ),
+            (
+                "config",
+                CompileRequest {
+                    config_text: "partitioner frobnicate".into(),
+                    ..good.clone()
+                },
+            ),
+        ] {
+            let err = bad.decode().unwrap_err();
+            assert_eq!(err.section, section, "{err}");
+        }
+    }
+}

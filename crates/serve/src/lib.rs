@@ -1,0 +1,43 @@
+//! # vliw-serve — a batched, content-cached compilation service
+//!
+//! Turns the paper pipeline into a long-running service: requests carry the
+//! full input set (loop, machine, configuration) as canonical text, results
+//! carry the full artifact set of [`vliw_pipeline::LoopResult`], and a
+//! deterministic content hash over the canonical request encoding keys a
+//! two-tier cache (sharded in-memory LRU over an on-disk content-addressed
+//! store under `target/vliw-cache/`).
+//!
+//! * [`envelope`] — request/result envelopes, canonicalisation, cache key;
+//! * [`hash`] — hand-rolled SHA-256 (offline container, no crypto crate);
+//! * [`json`] — minimal JSON value/parser/writer (the vendored `serde` is a
+//!   no-op stub);
+//! * [`cache`] — the two tiers and their composition;
+//! * [`compile`] — [`compile::CachedCompiler`], the cache plus in-flight
+//!   dedup of concurrent identical requests;
+//! * [`stats`] — hit/miss/eviction counters and latency percentiles;
+//! * [`server`] / [`client`] — JSON-lines protocol over TCP, thread-pool
+//!   server (`vliw-served`) and client CLI (`vliw-client`).
+//!
+//! The `repro` binary (moved here from `vliw-pipeline` so it can see the
+//! cache) accepts `--cache` to route every experiment's per-loop compile
+//! through a process-local [`compile::CachedCompiler`].
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod compile;
+pub mod envelope;
+pub mod hash;
+pub mod json;
+pub mod server;
+pub mod stats;
+
+pub use cache::{DiskStore, MemCache, TieredCache};
+pub use client::{Client, ServedResult};
+pub use compile::{CachedCompiler, CompileError, Source};
+pub use envelope::{CacheKey, CompileRequest, CompileResult, RequestError};
+pub use hash::sha256_hex;
+pub use json::{parse_json, Json, JsonParseError};
+pub use server::{Server, ServerConfig};
+pub use stats::{StatsRegistry, StatsSnapshot};

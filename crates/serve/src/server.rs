@@ -1,0 +1,357 @@
+//! Thread-pool TCP compile server.
+//!
+//! The wire protocol is JSON-lines over plain TCP: each request is one JSON
+//! object on one line, each response one JSON object on one line, and a
+//! connection carries any number of request/response pairs in order.
+//!
+//! | request                                             | response                                             |
+//! |-----------------------------------------------------|------------------------------------------------------|
+//! | `{"op":"ping"}`                                     | `{"ok":true,"op":"ping"}`                            |
+//! | `{"op":"compile","request":{...},"timeout_ms":N}`   | `{"ok":true,"op":"compile","served":S,"result":{..}}`|
+//! | `{"op":"stats"}`                                    | `{"ok":true,"op":"stats","stats":{...}}`             |
+//! | `{"op":"shutdown"}`                                 | `{"ok":true,"op":"shutdown"}`, then the server stops |
+//!
+//! `served` is `"cache"`, `"compiled"` or `"deduped"`. Failures are
+//! `{"ok":false,"error":"..."}` (the connection stays open). `timeout_ms`
+//! is optional and clamps this request's wait, not the execution.
+//!
+//! The accept loop is nonblocking and polls a shutdown flag (set by the
+//! `shutdown` op or, in the binary, by SIGTERM/SIGINT), so a drain is
+//! graceful: the listener stops accepting, idle workers exit when the
+//! connection channel closes, and busy workers notice the flag at their
+//! next read-timeout tick.
+
+use crate::compile::{CachedCompiler, CompileError};
+use crate::envelope::CompileRequest;
+use crate::json::{parse_json, Json};
+use crate::stats::StatsSnapshot;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Server::bind`].
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Per-request wait deadline applied when the client sends none.
+    pub default_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            default_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A bound compile server, ready to [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<CachedCompiler>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind the listener and prepare the worker pool.
+    pub fn bind(config: ServerConfig, engine: Arc<CachedCompiler>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            engine,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops the server when set (wire `shutdown` op, signal
+    /// handlers, or tests).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serve until the shutdown flag is set, then drain the workers.
+    pub fn run(self) {
+        let (tx, rx) = channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<_> = (0..self.config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let engine = Arc::clone(&self.engine);
+                let shutdown = Arc::clone(&self.shutdown);
+                let default_timeout = self.config.default_timeout;
+                std::thread::spawn(move || worker_loop(&rx, &engine, &shutdown, default_timeout))
+            })
+            .collect();
+
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {
+                    // Transient accept failure (e.g. aborted connection);
+                    // keep serving.
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+        drop(tx); // closes the channel: idle workers exit
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    engine: &Arc<CachedCompiler>,
+    shutdown: &Arc<AtomicBool>,
+    default_timeout: Duration,
+) {
+    loop {
+        let stream = {
+            let guard = rx.lock().expect("connection queue poisoned");
+            match guard.recv_timeout(Duration::from_millis(100)) {
+                Ok(s) => s,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        serve_connection(stream, engine, shutdown, default_timeout);
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    engine: &Arc<CachedCompiler>,
+    shutdown: &Arc<AtomicBool>,
+    default_timeout: Duration,
+) {
+    // A finite read timeout lets the worker notice shutdown between
+    // requests on an idle connection.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = handle_line(line.trim(), engine, shutdown, default_timeout);
+                let stop = response.get("op").and_then(Json::as_str) == Some("shutdown");
+                if writeln!(writer, "{}", response.render()).is_err() {
+                    return;
+                }
+                let _ = writer.flush();
+                if stop {
+                    return;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn error_response(message: impl Into<String>) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.into())),
+    ])
+}
+
+/// Dispatch one protocol line. Public for the in-process tests; the wire
+/// path goes through [`Server::run`].
+pub fn handle_line(
+    line: &str,
+    engine: &Arc<CachedCompiler>,
+    shutdown: &Arc<AtomicBool>,
+    default_timeout: Duration,
+) -> Json {
+    let doc = match parse_json(line) {
+        Ok(d) => d,
+        Err(e) => {
+            engine.stats().error();
+            return error_response(e.to_string());
+        }
+    };
+    match doc.get("op").and_then(Json::as_str) {
+        Some("ping") => Json::obj([("ok", Json::Bool(true)), ("op", Json::Str("ping".into()))]),
+        Some("stats") => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("op", Json::Str("stats".into())),
+            (
+                "stats",
+                stats_json(&engine.stats().snapshot(), engine.evictions()),
+            ),
+        ]),
+        Some("shutdown") => {
+            shutdown.store(true, Ordering::SeqCst);
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("shutdown".into())),
+            ])
+        }
+        Some("compile") => {
+            let req = match doc.get("request").map(CompileRequest::from_json) {
+                Some(Ok(r)) => r,
+                Some(Err(m)) => {
+                    engine.stats().error();
+                    return error_response(m);
+                }
+                None => {
+                    engine.stats().error();
+                    return error_response("compile op missing `request` object");
+                }
+            };
+            let timeout = match doc.get("timeout_ms") {
+                None => default_timeout,
+                Some(v) => match v.as_f64() {
+                    Some(ms) if ms >= 0.0 => Duration::from_millis(ms as u64),
+                    _ => {
+                        engine.stats().error();
+                        return error_response("bad `timeout_ms`");
+                    }
+                },
+            };
+            let started = Instant::now();
+            let outcome = engine.compile(&req, Some(timeout));
+            engine
+                .stats()
+                .observe_latency_us(started.elapsed().as_micros() as u64);
+            match outcome {
+                Ok((result, source)) => Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("op", Json::Str("compile".into())),
+                    ("served", Json::Str(source.label().into())),
+                    ("result", result.to_json()),
+                ]),
+                Err(e) => {
+                    if !matches!(e, CompileError::Timeout) {
+                        engine.stats().error();
+                    }
+                    error_response(e.to_string())
+                }
+            }
+        }
+        _ => {
+            engine.stats().error();
+            error_response("missing or unknown `op`")
+        }
+    }
+}
+
+/// Render a stats snapshot for the `stats` endpoint.
+pub fn stats_json(snap: &StatsSnapshot, evictions: u64) -> Json {
+    Json::obj([
+        ("mem_hits", Json::Num(snap.mem_hits as f64)),
+        ("disk_hits", Json::Num(snap.disk_hits as f64)),
+        ("hits", Json::Num(snap.hits() as f64)),
+        ("misses", Json::Num(snap.misses as f64)),
+        ("compiles", Json::Num(snap.compiles as f64)),
+        ("dedup_waits", Json::Num(snap.dedup_waits as f64)),
+        ("timeouts", Json::Num(snap.timeouts as f64)),
+        ("errors", Json::Num(snap.errors as f64)),
+        ("evictions", Json::Num(evictions as f64)),
+        ("samples", Json::Num(snap.samples as f64)),
+        ("p50_us", Json::Num(snap.p50_us as f64)),
+        ("p90_us", Json::Num(snap.p90_us as f64)),
+        ("p99_us", Json::Num(snap.p99_us as f64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::TieredCache;
+
+    fn engine() -> Arc<CachedCompiler> {
+        CachedCompiler::new(TieredCache::new(64, None))
+    }
+
+    fn dispatch(line: &str, engine: &Arc<CachedCompiler>) -> Json {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        handle_line(line, engine, &shutdown, Duration::from_secs(10))
+    }
+
+    #[test]
+    fn ping_and_unknown_ops() {
+        let engine = engine();
+        let pong = dispatch("{\"op\":\"ping\"}", &engine);
+        assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+        let bad = dispatch("{\"op\":\"frobnicate\"}", &engine);
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+        let nojson = dispatch("not json", &engine);
+        assert_eq!(nojson.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(engine.stats().snapshot().errors, 2);
+    }
+
+    #[test]
+    fn shutdown_op_sets_flag() {
+        let engine = engine();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let resp = handle_line(
+            "{\"op\":\"shutdown\"}",
+            &engine,
+            &shutdown,
+            Duration::from_secs(1),
+        );
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(shutdown.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn stats_op_reports_counters() {
+        let engine = engine();
+        let resp = dispatch("{\"op\":\"stats\"}", &engine);
+        let stats = resp.get("stats").expect("stats object");
+        assert_eq!(stats.get("hits").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(stats.get("evictions").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn compile_op_requires_request_object() {
+        let engine = engine();
+        let resp = dispatch("{\"op\":\"compile\"}", &engine);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    }
+}

@@ -1,0 +1,210 @@
+//! Service counters and latency percentiles.
+//!
+//! Counters are relaxed atomics — they are monotone event tallies, so no
+//! ordering is needed. Latencies go into a fixed-size mutex-guarded ring (the
+//! last [`RING_CAP`] requests); percentiles are computed over a sorted copy
+//! at snapshot time, which keeps the hot path to a push.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How many recent request latencies the percentile ring retains.
+const RING_CAP: usize = 4096;
+
+/// Shared counters for one cache/server instance.
+#[derive(Default)]
+pub struct StatsRegistry {
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    compiles: AtomicU64,
+    dedup_waits: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+    /// `(samples, write cursor)`: once full, the cursor wraps and overwrites
+    /// the oldest slot, keeping a rolling window of the last RING_CAP values.
+    latencies_us: Mutex<(Vec<u64>, usize)>,
+}
+
+/// A point-in-time copy of the counters plus latency percentiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Memory-tier cache hits.
+    pub mem_hits: u64,
+    /// Disk-tier cache hits (served after a memory miss).
+    pub disk_hits: u64,
+    /// Full misses (required a pipeline execution or a wait on one).
+    pub misses: u64,
+    /// Pipeline executions actually performed.
+    pub compiles: u64,
+    /// Requests that waited on an identical in-flight compile instead of
+    /// executing their own.
+    pub dedup_waits: u64,
+    /// Requests that hit their deadline before the compile finished.
+    pub timeouts: u64,
+    /// Malformed or failed requests.
+    pub errors: u64,
+    /// Number of latency samples currently in the ring.
+    pub samples: u64,
+    /// 50th-percentile request latency, microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile request latency, microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+}
+
+impl StatsRegistry {
+    /// Fresh zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a memory-tier hit.
+    pub fn mem_hit(&self) {
+        self.mem_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a disk-tier hit.
+    pub fn disk_hit(&self) {
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a full miss.
+    pub fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an actual pipeline execution.
+    pub fn compile(&self) {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request that piggybacked on an in-flight identical compile.
+    pub fn dedup_wait(&self) {
+        self.dedup_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request deadline expiry.
+    pub fn timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a malformed or failed request.
+    pub fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Push one request latency into the percentile ring.
+    pub fn observe_latency_us(&self, us: u64) {
+        let mut guard = self.latencies_us.lock().expect("latency ring poisoned");
+        let (ring, cursor) = &mut *guard;
+        if ring.len() < RING_CAP {
+            ring.push(us);
+        } else {
+            ring[*cursor] = us;
+        }
+        *cursor = (*cursor + 1) % RING_CAP;
+    }
+
+    /// Copy out the counters and compute percentiles.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut lat = self
+            .latencies_us
+            .lock()
+            .expect("latency ring poisoned")
+            .0
+            .clone();
+        lat.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if lat.is_empty() {
+                0
+            } else {
+                let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+                lat[idx.min(lat.len() - 1)]
+            }
+        };
+        StatsSnapshot {
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            samples: lat.len() as u64,
+            p50_us: pct(0.50),
+            p90_us: pct(0.90),
+            p99_us: pct(0.99),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Total cache hits across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.mem_hits + self.disk_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = StatsRegistry::new();
+        s.mem_hit();
+        s.mem_hit();
+        s.disk_hit();
+        s.miss();
+        s.compile();
+        s.dedup_wait();
+        s.timeout();
+        s.error();
+        let snap = s.snapshot();
+        assert_eq!(snap.mem_hits, 2);
+        assert_eq!(snap.disk_hits, 1);
+        assert_eq!(snap.hits(), 3);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.compiles, 1);
+        assert_eq!(snap.dedup_waits, 1);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.errors, 1);
+    }
+
+    #[test]
+    fn percentiles_over_known_distribution() {
+        let s = StatsRegistry::new();
+        for us in 1..=100 {
+            s.observe_latency_us(us);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.samples, 100);
+        assert!((49..=51).contains(&snap.p50_us), "p50={}", snap.p50_us);
+        assert!((89..=91).contains(&snap.p90_us), "p90={}", snap.p90_us);
+        assert!((98..=100).contains(&snap.p99_us), "p99={}", snap.p99_us);
+    }
+
+    #[test]
+    fn ring_wraps_and_drops_oldest() {
+        let s = StatsRegistry::new();
+        // Fill with large values, then overwrite the whole window with 1s:
+        // the old values must be gone from the percentiles.
+        for _ in 0..RING_CAP {
+            s.observe_latency_us(1_000_000);
+        }
+        for _ in 0..RING_CAP {
+            s.observe_latency_us(1);
+        }
+        let snap = s.snapshot();
+        assert_eq!(snap.samples as usize, RING_CAP);
+        assert_eq!(snap.p99_us, 1);
+    }
+
+    #[test]
+    fn empty_ring_yields_zero_percentiles() {
+        let snap = StatsRegistry::new().snapshot();
+        assert_eq!((snap.p50_us, snap.p99_us, snap.samples), (0, 0, 0));
+    }
+}

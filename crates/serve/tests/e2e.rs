@@ -1,0 +1,201 @@
+//! End-to-end tests of the compile service over real TCP.
+//!
+//! Each test binds its own server on an ephemeral loopback port, drives it
+//! through [`vliw_serve::Client`], and shuts it down over the wire.
+
+use std::time::Duration;
+use vliw_loopgen::{corpus_with, CorpusSpec};
+use vliw_machine::MachineDesc;
+use vliw_pipeline::PipelineConfig;
+use vliw_serve::{
+    CachedCompiler, Client, CompileRequest, DiskStore, Json, Server, ServerConfig, TieredCache,
+};
+
+struct TestServer {
+    addr: String,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TestServer {
+    /// Bind on an ephemeral port and serve from a background thread.
+    fn start(disk: Option<DiskStore>) -> TestServer {
+        let engine = CachedCompiler::new(TieredCache::new(1024, disk));
+        let server = Server::bind(
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 4,
+                default_timeout: Duration::from_secs(30),
+            },
+            engine,
+        )
+        .expect("bind ephemeral port");
+        let addr = server.local_addr().expect("bound address").to_string();
+        let thread = std::thread::spawn(move || server.run());
+        TestServer {
+            addr,
+            thread: Some(thread),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.addr).expect("connect to test server")
+    }
+
+    /// Wire-shutdown and join the server thread.
+    fn stop(mut self) {
+        let mut c = self.client();
+        c.shutdown().expect("shutdown ack");
+        self.thread
+            .take()
+            .expect("not yet stopped")
+            .join()
+            .expect("server thread exits cleanly");
+    }
+}
+
+fn sample_request(idx: usize) -> CompileRequest {
+    let spec = CorpusSpec {
+        n: idx + 1,
+        ..Default::default()
+    };
+    let body = corpus_with(&spec).remove(idx);
+    CompileRequest::from_parts(
+        &body,
+        &MachineDesc::embedded(2, 4),
+        &PipelineConfig::default(),
+    )
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vliw-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn round_trip_and_repeat_is_cache_hit() {
+    let server = TestServer::start(None);
+    let mut client = server.client();
+    client.ping().expect("ping");
+
+    let req = sample_request(0);
+    let first = client.compile(&req, None).expect("first compile");
+    assert_eq!(first.served, "compiled");
+    assert_eq!(
+        first.result.key,
+        req.cache_key(),
+        "key matches content hash"
+    );
+    assert!(first.result.clustered_ii >= first.result.ideal_ii);
+
+    // The identical request again: served from cache, byte-identical
+    // artifact set under the identical hash.
+    let second = client.compile(&req, None).expect("second compile");
+    assert!(second.is_cache_hit(), "served={}", second.served);
+    assert_eq!(second.result, first.result);
+    assert_eq!(second.result.key, first.result.key);
+
+    // A formatting variant of the same inputs canonicalises to the same key.
+    let noisy = CompileRequest {
+        loop_text: format!("; comment\n{}", req.loop_text),
+        ..req.clone()
+    };
+    let third = client.compile(&noisy, None).expect("noisy compile");
+    assert!(third.is_cache_hit());
+    assert_eq!(third.result.key, first.result.key);
+
+    let stats = client.stats().expect("stats");
+    let n = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap() as u64;
+    assert_eq!(n("compiles"), 1);
+    assert_eq!(n("hits"), 2);
+    assert_eq!(n("misses"), 1);
+
+    server.stop();
+}
+
+#[test]
+fn concurrent_identical_requests_compile_once() {
+    let server = TestServer::start(None);
+    let req = sample_request(1);
+
+    // Eight connections race the same request; the in-flight table must
+    // collapse them onto one pipeline execution.
+    let results: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let req = req.clone();
+                let addr = server.addr.clone();
+                s.spawn(move || {
+                    let mut c = Client::connect(&addr).expect("connect");
+                    c.compile(&req, None).expect("compile")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let reference = &results[0].result;
+    for r in &results {
+        assert_eq!(&r.result, reference, "all callers see the same artifact");
+    }
+    let compiled = results.iter().filter(|r| r.served == "compiled").count();
+    assert_eq!(compiled, 1, "exactly one request ran the pipeline");
+
+    let mut client = server.client();
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.get("compiles").and_then(Json::as_f64),
+        Some(1.0),
+        "server-side execution count"
+    );
+
+    server.stop();
+}
+
+#[test]
+fn disk_tier_survives_server_restart() {
+    let root = tmpdir("restart");
+    let req = sample_request(2);
+
+    let first = {
+        let server = TestServer::start(Some(DiskStore::new(&root)));
+        let mut client = server.client();
+        let out = client.compile(&req, None).expect("cold compile");
+        assert_eq!(out.served, "compiled");
+        server.stop();
+        out
+    };
+
+    // A fresh server over the same cache directory serves the request
+    // without compiling.
+    let server = TestServer::start(Some(DiskStore::new(&root)));
+    let mut client = server.client();
+    let warm = client.compile(&req, None).expect("warm compile");
+    assert!(warm.is_cache_hit(), "served={}", warm.served);
+    assert_eq!(warm.result, first.result);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.get("compiles").and_then(Json::as_f64), Some(0.0));
+    server.stop();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn malformed_requests_get_errors_not_disconnects() {
+    let server = TestServer::start(None);
+    let mut client = server.client();
+
+    let bad = CompileRequest {
+        loop_text: "this is not a loop".into(),
+        machine_text: "machine m\ncluster 4 32 32".into(),
+        config_text: String::new(),
+    };
+    let err = client.compile(&bad, None).expect_err("must fail");
+    assert!(err.contains("loop"), "error names the section: {err}");
+
+    // The connection survives a rejected request.
+    client.ping().expect("still connected");
+    let ok = client.compile(&sample_request(0), None).expect("recovers");
+    assert_eq!(ok.served, "compiled");
+
+    server.stop();
+}
