@@ -30,6 +30,8 @@ echo "==> vliw-serve smoke test (TCP round-trip, repeat served from cache)"
 SMOKE_DIR=$(mktemp -d)
 cleanup_smoke() {
     [ -n "${SERVED_PID:-}" ] && kill "$SERVED_PID" 2>/dev/null || true
+    [ -n "${PEER1_PID:-}" ] && kill "$PEER1_PID" 2>/dev/null || true
+    [ -n "${PEER2_PID:-}" ] && kill "$PEER2_PID" 2>/dev/null || true
     rm -rf "$SMOKE_DIR"
 }
 trap cleanup_smoke EXIT
@@ -50,6 +52,53 @@ grep -q 'compile\[1\] served=cache' "$SMOKE_DIR/client.log"
 target/release/vliw-client --addr "$ADDR" --stats --shutdown
 wait "$SERVED_PID"
 SERVED_PID=""
+
+echo "==> vliw-serve sharded smoke test (two peers, batch routing, failover)"
+serve_peer() { # $1 = cache dir, $2 = log file
+    target/release/vliw-served --addr 127.0.0.1:0 --cache-dir "$1" > "$2" &
+}
+peer_addr() { # $1 = log file
+    local a=""
+    for _ in $(seq 1 100); do
+        a=$(sed -n 's/^vliw-served listening on //p' "$1")
+        [ -n "$a" ] && break
+        sleep 0.1
+    done
+    [ -n "$a" ] || { echo "sharded peer did not come up" >&2; cat "$1" >&2; exit 1; }
+    echo "$a"
+}
+serve_peer "$SMOKE_DIR/shard1" "$SMOKE_DIR/peer1.log"; PEER1_PID=$!
+serve_peer "$SMOKE_DIR/shard2" "$SMOKE_DIR/peer2.log"; PEER2_PID=$!
+PEERS="$(peer_addr "$SMOKE_DIR/peer1.log"),$(peer_addr "$SMOKE_DIR/peer2.log")"
+# Cold sweep: every entry compiles, routed across both peers by key.
+target/release/vliw-client --peers "$PEERS" --batch --gen-range 0:32 \
+    > "$SMOKE_DIR/shard-cold.log"
+grep -q 'batch\[0\] served=compiled' "$SMOKE_DIR/shard-cold.log"
+! grep -q 'served=cache' "$SMOKE_DIR/shard-cold.log"
+# Warm sweep: same batch, now every entry is a cache hit and nothing reroutes.
+target/release/vliw-client --peers "$PEERS" --batch --gen-range 0:32 \
+    > "$SMOKE_DIR/shard-warm.log"
+grep -q 'batch\[0\] served=cache' "$SMOKE_DIR/shard-warm.log"
+! grep -q 'served=compiled' "$SMOKE_DIR/shard-warm.log"
+grep -q '^failovers=0$' "$SMOKE_DIR/shard-warm.log"
+# Aggregate stats merge both peers' counters.
+target/release/vliw-client --peers "$PEERS" --stats --aggregate \
+    > "$SMOKE_DIR/shard-stats.log"
+grep -q '^aggregate hits=' "$SMOKE_DIR/shard-stats.log"
+grep -q '^aggregate peers=2 reporting=2' "$SMOKE_DIR/shard-stats.log"
+# Kill one peer hard: its keys fail over to the ring successor and the
+# batch still fully succeeds.
+kill -9 "$PEER1_PID" 2>/dev/null
+wait "$PEER1_PID" 2>/dev/null || true
+PEER1_PID=""
+target/release/vliw-client --peers "$PEERS" --batch --gen-range 0:32 \
+    > "$SMOKE_DIR/shard-failover.log"
+! grep -q '] error:' "$SMOKE_DIR/shard-failover.log"
+grep -Eq '^failovers=[1-9][0-9]*$' "$SMOKE_DIR/shard-failover.log"
+target/release/vliw-client --peers "$PEERS" --shutdown \
+    | grep -q 'shutdown acknowledged by 1 peer(s)'
+wait "$PEER2_PID" 2>/dev/null || true
+PEER2_PID=""
 
 echo "==> repro --cache (cached corpus driver, truncated run)"
 target/release/repro --table1 --loops 8 --cache --cache-dir "$SMOKE_DIR/repro-cache" \

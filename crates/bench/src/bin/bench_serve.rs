@@ -1,25 +1,33 @@
-//! Cache-path benchmark for the compile service.
+//! Cache-path and wire-protocol benchmark for the compile service.
 //!
 //! Sweeps the corpus across two paper machines through
 //! [`vliw_serve::CachedCompiler`] four ways — direct (no cache), cold cache
 //! (every request compiles and populates both tiers), warm memory (same
 //! engine again) and warm disk (fresh engine over the populated store) —
-//! and writes the wall-clock comparison as JSON, the checked-in
-//! `BENCH_serve.json` at the repo root. Rerun with
+//! then measures the wire protocol over a real loopback server: per-line
+//! `compile` round trips vs one `compile_batch`, and a two-peer sharded
+//! sweep. Results are written as JSON, the checked-in `BENCH_serve.json`
+//! at the repo root. Rerun with
 //!
 //! ```text
 //! cargo run --release -p vliw-bench --bin bench_serve
 //! ```
+//!
+//! The exits double as regression gates: the cold-path overhead ratio and
+//! the batch-vs-per-line speedup are asserted, not just recorded.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vliw_bench::full_corpus;
 use vliw_ir::Loop;
 use vliw_machine::MachineDesc;
 use vliw_pipeline::{run_corpus_grid_with, run_loop, LoopResult, PipelineConfig};
-use vliw_serve::{CachedCompiler, CompileRequest, DiskStore, TieredCache};
+use vliw_serve::{
+    CachedCompiler, Client, CompileRequest, DiskStore, Server, ServerConfig, ShardedClient,
+    TieredCache,
+};
 
 struct Json {
     buf: String,
@@ -65,10 +73,8 @@ fn cached_sweep(
     cfg: &PipelineConfig,
 ) -> f64 {
     let runner = |l: &Loop, m: &MachineDesc, c: &PipelineConfig| -> LoopResult {
-        let req = CompileRequest::from_parts(l, m, c);
-        let key = req.cache_key();
         engine
-            .compile_canonical(&req, &key, None)
+            .compile_parts(l, m, c, None)
             .expect("cached compile")
             .0
             .to_loop_result()
@@ -78,6 +84,24 @@ fn cached_sweep(
     let ms = t0.elapsed().as_secs_f64() * 1e3;
     assert_eq!(grid.len(), machines.len());
     ms
+}
+
+/// Bind an in-process server over `engine` and return its address plus the
+/// serving thread.
+fn spawn_server(engine: Arc<CachedCompiler>) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            default_timeout: Duration::from_secs(60),
+            batch_parallelism: 8,
+        },
+        engine,
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr().expect("bound address").to_string();
+    let thread = std::thread::spawn(move || server.run());
+    (addr, thread)
 }
 
 fn main() {
@@ -98,7 +122,8 @@ fn main() {
     let direct_ms = t0.elapsed().as_secs_f64() * 1e3;
     let baseline: Vec<Vec<LoopResult>> = grid;
 
-    // Cold: every request misses, compiles, and populates both tiers.
+    // Cold: every request misses, compiles, and populates both tiers (the
+    // disk tier through the write-behind queue, off the request path).
     let engine = CachedCompiler::new(TieredCache::new(8192, Some(DiskStore::new(&root))));
     let cold_ms = cached_sweep(&engine, &corpus, &machines, &cfg);
     let cold_snap = engine.stats().snapshot();
@@ -110,6 +135,8 @@ fn main() {
     assert_eq!(mem_snap.compiles, n_requests, "warm sweep compiles nothing");
 
     // Warm disk: a fresh engine over the populated store (cold memory).
+    // Flush first so every write-behind entry is on disk.
+    engine.flush();
     let fresh = CachedCompiler::new(TieredCache::new(8192, Some(DiskStore::new(&root))));
     let warm_disk_ms = cached_sweep(&fresh, &corpus, &machines, &cfg);
     let disk_snap = fresh.stats().snapshot();
@@ -135,6 +162,79 @@ fn main() {
         }
     }
 
+    // ---- wire protocol: per-line vs batched, over the warm engine --------
+    let mut reqs: Vec<CompileRequest> = Vec::with_capacity(n_requests as usize);
+    for m in &machines {
+        for l in &corpus {
+            reqs.push(CompileRequest::from_parts(l, m, &cfg));
+        }
+    }
+
+    let (addr, server_thread) = spawn_server(Arc::clone(&engine));
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Both wire phases are warm and idempotent; take the best of three
+    // passes so a scheduler hiccup doesn't masquerade as protocol cost.
+    let mut per_line_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for req in &reqs {
+            let served = client.compile(req, None).expect("warm wire compile");
+            assert!(served.is_cache_hit(), "served={}", served.served);
+        }
+        per_line_ms = per_line_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    let mut batch_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let batch = client
+            .compile_batch(&reqs, None, Some(8))
+            .expect("warm wire batch");
+        batch_ms = batch_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(batch.len(), reqs.len());
+        for res in &batch {
+            assert!(res.as_ref().expect("batch entry").is_cache_hit());
+        }
+    }
+
+    client.shutdown().expect("shutdown");
+    server_thread.join().expect("server exits");
+
+    // ---- two-peer sharded sweep ------------------------------------------
+    let engine_a = CachedCompiler::new(TieredCache::new(8192, None));
+    let engine_b = CachedCompiler::new(TieredCache::new(8192, None));
+    let (addr_a, thread_a) = spawn_server(Arc::clone(&engine_a));
+    let (addr_b, thread_b) = spawn_server(Arc::clone(&engine_b));
+    let mut sharded = ShardedClient::new([addr_a, addr_b]);
+
+    let cold_batch = sharded
+        .compile_batch(&reqs, None, Some(8))
+        .expect("sharded cold batch");
+    assert!(cold_batch.iter().all(Result::is_ok));
+
+    let t0 = Instant::now();
+    let warm_batch = sharded
+        .compile_batch(&reqs, None, Some(8))
+        .expect("sharded warm batch");
+    let sharded_batch_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for res in &warm_batch {
+        assert!(res.as_ref().expect("sharded entry").is_cache_hit());
+    }
+    assert_eq!(sharded.failovers(), 0, "both peers stayed up");
+
+    let mut shard_counts = [0u64; 2];
+    for req in &reqs {
+        let key = req.canonicalize().expect("canonical").cache_key();
+        shard_counts[sharded.ring().route(&key).expect("route")] += 1;
+    }
+    let shard_max = *shard_counts.iter().max().unwrap() as f64;
+    let shard_min = *shard_counts.iter().min().unwrap() as f64;
+
+    assert_eq!(sharded.shutdown_all(), 2);
+    thread_a.join().expect("peer A exits");
+    thread_b.join().expect("peer B exits");
+
     let mut j = Json::new();
     j.str("workload", "corpus x [embedded(4,4), copyunit(4,4)]");
     j.int("corpus_loops", corpus.len() as u64);
@@ -153,6 +253,12 @@ fn main() {
     j.int("cold_compiles", cold_snap.compiles);
     j.int("warm_mem_hits", mem_snap.mem_hits);
     j.int("warm_disk_hits", disk_snap.disk_hits);
+    j.num("per_line_ms", per_line_ms);
+    j.num("batch_ms", batch_ms);
+    j.num("batch_speedup_vs_per_line", per_line_ms / batch_ms);
+    j.num("sharded_warm_batch_ms", sharded_batch_ms);
+    j.int("sharded_peers", 2);
+    j.num("shard_balance_max_min", shard_max / shard_min);
 
     let json = j.finish();
     std::fs::write(&out_path, &json).expect("write bench json");
@@ -164,5 +270,22 @@ fn main() {
         cold_ms / warm_mem_ms >= 5.0,
         "warm-memory sweep must be >=5x faster than cold (got {:.1}x)",
         cold_ms / warm_mem_ms
+    );
+    assert!(
+        cold_ms / direct_ms <= 3.83,
+        "cold-path overhead regressed past the pre-optimisation baseline \
+         (got {:.2}x, baseline 3.83x)",
+        cold_ms / direct_ms
+    );
+    assert!(
+        per_line_ms / batch_ms >= 3.0,
+        "one compile_batch must beat {} per-line round trips by >=3x (got {:.1}x)",
+        reqs.len(),
+        per_line_ms / batch_ms
+    );
+    assert!(
+        shard_max / shard_min <= 2.0,
+        "consistent hashing must keep shard loads within 2x (got {:.2}x)",
+        shard_max / shard_min
     );
 }

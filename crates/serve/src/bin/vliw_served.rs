@@ -3,6 +3,7 @@
 //! ```text
 //! vliw-served [--addr HOST:PORT] [--workers N] [--mem-capacity N]
 //!             [--cache-dir PATH | --no-disk] [--timeout-ms N]
+//!             [--batch-parallelism N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0`, an ephemeral port), prints
@@ -38,7 +39,8 @@ fn install_signal_handlers() {
 fn usage() -> ! {
     eprintln!(
         "usage: vliw-served [--addr HOST:PORT] [--workers N] [--mem-capacity N]\n\
-         \x20                  [--cache-dir PATH | --no-disk] [--timeout-ms N]"
+         \x20                  [--cache-dir PATH | --no-disk] [--timeout-ms N]\n\
+         \x20                  [--batch-parallelism N]"
     );
     std::process::exit(2);
 }
@@ -50,6 +52,7 @@ fn main() {
     let mut mem_capacity = 4096usize;
     let mut cache_dir = Some(DiskStore::default_root());
     let mut timeout_ms = 30_000u64;
+    let mut batch_parallelism = 8usize;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -61,6 +64,9 @@ fn main() {
             "--cache-dir" => cache_dir = Some(value().into()),
             "--no-disk" => cache_dir = None,
             "--timeout-ms" => timeout_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--batch-parallelism" => {
+                batch_parallelism = value().parse().unwrap_or_else(|_| usage())
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -74,6 +80,7 @@ fn main() {
             addr,
             workers,
             default_timeout: Duration::from_millis(timeout_ms),
+            batch_parallelism,
         },
         engine,
     )

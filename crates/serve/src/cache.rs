@@ -11,8 +11,17 @@
 //!   temp file in the same directory and are published with an atomic
 //!   rename, so readers never observe a torn file. Reads tolerate
 //!   corruption: any unparseable file is deleted and reported as a miss.
+//! * **Write-behind** — [`WriteBehind`]: persistence is off the request
+//!   path. Puts enqueue onto a bounded channel drained by one writer
+//!   thread; a full queue degrades to a synchronous write (results are
+//!   never dropped), and drop/[`WriteBehind::flush`] drain every pending
+//!   write before returning, so shutdown never loses artifacts. The writer
+//!   appends to a per-process journal file (cheap even on one core) and
+//!   fans it out into fsynced per-key files at every flush barrier, at
+//!   shutdown, and past a size threshold; journals abandoned by crashed
+//!   processes are compacted on the next startup.
 //!
-//! [`TieredCache`] composes the two with read-through promotion and keeps
+//! [`TieredCache`] composes the tiers with read-through promotion and keeps
 //! hit/miss/eviction counters in [`crate::stats::StatsRegistry`].
 
 use crate::envelope::{CacheKey, CompileResult};
@@ -22,7 +31,8 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
 
 /// Number of LRU shards. Sixteen matches the first hex digit of the key, so
 /// sharding is a single nibble extraction.
@@ -158,6 +168,70 @@ impl DiskStore {
         self.root.join(prefix).join(format!("{key}.json"))
     }
 
+    /// A fresh, collision-free journal path for one writer instance.
+    fn new_journal_path(&self) -> PathBuf {
+        static JOURNAL_SEQ: AtomicU64 = AtomicU64::new(0);
+        self.root.join(format!(
+            "journal-{}-{}.jsonl",
+            std::process::id(),
+            JOURNAL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    /// Journal files abandoned by crashed writers: any `journal-<pid>-*`
+    /// whose process is gone. Journals of live processes (including this
+    /// one) are skipped — their writers still hold the file open.
+    fn stale_journals(&self) -> Vec<PathBuf> {
+        let mut out = Vec::new();
+        if let Ok(entries) = fs::read_dir(&self.root) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                let pid = name
+                    .strip_prefix("journal-")
+                    .and_then(|rest| rest.split('-').next())
+                    .and_then(|pid| pid.parse::<u32>().ok());
+                let Some(pid) = pid else { continue };
+                if !name.ends_with(".jsonl") || pid == std::process::id() {
+                    continue;
+                }
+                let proc_root = Path::new("/proc");
+                if proc_root.exists() && proc_root.join(pid.to_string()).exists() {
+                    continue; // writer still running
+                }
+                out.push(entry.path());
+            }
+        }
+        out
+    }
+
+    /// Fan a journal's entries out into per-key files (fsynced), then
+    /// remove the journal. Idempotent: a crash mid-compaction leaves the
+    /// journal in place and the rewrites are content-addressed.
+    fn compact_journal(&self, journal: &Path) {
+        let text = match fs::read_to_string(journal) {
+            Ok(t) => t,
+            Err(_) => return,
+        };
+        let mut dirty = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Ok(res) = CompileResult::from_json_text(line) {
+                if self.put_with_sync(&res.key, &res, false) {
+                    dirty.push(self.path_for(&res.key));
+                }
+            }
+        }
+        for path in dirty {
+            if let Ok(f) = fs::File::open(&path) {
+                let _ = f.sync_all();
+            }
+        }
+        let _ = fs::remove_file(journal);
+    }
+
     /// Read the result stored under `key`. A missing file is a miss; an
     /// unreadable or unparseable file is deleted and reported as a miss.
     pub fn get(&self, key: &str) -> Option<CompileResult> {
@@ -176,10 +250,17 @@ impl DiskStore {
         }
     }
 
-    /// Store `value` under `key` atomically (temp file + rename). Returns
-    /// `false` if the filesystem rejected the write; the cache then simply
-    /// degrades to memory-only for this entry.
+    /// Store `value` under `key` atomically (temp file + rename + fsync).
+    /// Returns `false` if the filesystem rejected the write; the cache then
+    /// simply degrades to memory-only for this entry.
     pub fn put(&self, key: &str, value: &CompileResult) -> bool {
+        self.put_with_sync(key, value, true)
+    }
+
+    /// Like [`DiskStore::put`] but leaves the data in the page cache; the
+    /// write-behind writer batches one fsync pass per flush instead of
+    /// paying one per entry.
+    fn put_with_sync(&self, key: &str, value: &CompileResult, sync: bool) -> bool {
         let path = self.path_for(key);
         let dir = match path.parent() {
             Some(d) => d,
@@ -194,7 +275,9 @@ impl DiskStore {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(value.to_json().render().as_bytes())?;
             f.write_all(b"\n")?;
-            f.sync_all()?;
+            if sync {
+                f.sync_all()?;
+            }
             Ok(())
         })();
         if write.is_err() {
@@ -214,47 +297,216 @@ impl DiskStore {
     }
 }
 
-/// Memory LRU in front of the disk store, with shared statistics.
+/// Entries the write-behind queue buffers before degrading to synchronous
+/// writes. Sized so a corpus-scale burst fits while the writer drains.
+const WRITE_QUEUE_CAP: usize = 1024;
+
+/// Journal size that triggers an inline compaction pass, bounding both
+/// replay cost after a crash and duplicate storage.
+const JOURNAL_COMPACT_BYTES: u64 = 8 * 1024 * 1024;
+
+enum WriteCmd {
+    /// The result carries its own content-addressed key.
+    Put(CompileResult),
+    /// Barrier: acknowledged only after every earlier `Put` is on disk.
+    Flush(SyncSender<()>),
+}
+
+/// Bounded write-behind queue in front of a [`DiskStore`].
+///
+/// `put` enqueues and returns immediately; one writer thread journals the
+/// entries and compacts them into per-key files (see [`writer_loop`]). A
+/// full queue falls back to a synchronous write in the caller (counted in
+/// [`StatsRegistry`] as `sync_writes`) — results are never dropped.
+/// [`WriteBehind::flush`] is a barrier: when it returns, every earlier put
+/// is an fsynced per-key file. Dropping the queue joins the writer after
+/// draining and compacting everything still pending, so shutdown persists
+/// all completed compiles.
+pub struct WriteBehind {
+    store: Arc<DiskStore>,
+    tx: Option<SyncSender<WriteCmd>>,
+    writer: Option<std::thread::JoinHandle<()>>,
+    stats: Arc<StatsRegistry>,
+}
+
+impl WriteBehind {
+    /// Wrap `store`, spawning the writer thread.
+    pub fn new(store: DiskStore, stats: Arc<StatsRegistry>) -> Self {
+        let store = Arc::new(store);
+        let (tx, rx) = sync_channel::<WriteCmd>(WRITE_QUEUE_CAP);
+        let writer_store = Arc::clone(&store);
+        let writer = std::thread::spawn(move || writer_loop(&writer_store, &rx));
+        WriteBehind {
+            store,
+            tx: Some(tx),
+            writer: Some(writer),
+            stats,
+        }
+    }
+
+    /// The underlying store (reads bypass the queue; the memory tier holds
+    /// every entry newer than the writer's progress).
+    pub fn store(&self) -> &DiskStore {
+        &self.store
+    }
+
+    /// Enqueue a persistence request; degrade to a synchronous write if the
+    /// queue is full or the writer is gone.
+    pub fn put(&self, key: &str, value: &CompileResult) {
+        let tx = self.tx.as_ref().expect("writer alive until drop");
+        match tx.try_send(WriteCmd::Put(value.clone())) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.stats.sync_write();
+                self.store.put(key, value);
+            }
+        }
+    }
+
+    /// Block until every previously enqueued write is on disk.
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = sync_channel(1);
+        if let Some(tx) = &self.tx {
+            if tx.send(WriteCmd::Flush(ack_tx)).is_ok() {
+                let _ = ack_rx.recv();
+            }
+        }
+    }
+}
+
+impl Drop for WriteBehind {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the channel; the writer drains and exits
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+}
+
+/// The write-behind writer: appends results to a per-process journal
+/// (one buffered file — cheap on the request path even on a single core)
+/// and fans the journal out into fsynced per-key files on every flush
+/// barrier, at shutdown, and whenever the journal grows past
+/// [`JOURNAL_COMPACT_BYTES`]. On startup any journal left behind by a
+/// crashed process is compacted first, so no acknowledged result is ever
+/// lost.
+fn writer_loop(store: &DiskStore, rx: &std::sync::mpsc::Receiver<WriteCmd>) {
+    for journal in store.stale_journals() {
+        store.compact_journal(&journal);
+    }
+    let journal_path = store.new_journal_path();
+    let mut journal: Option<std::io::BufWriter<fs::File>> = None;
+    let mut journal_bytes = 0u64;
+
+    let compact = |journal: &mut Option<std::io::BufWriter<fs::File>>, journal_bytes: &mut u64| {
+        if let Some(mut w) = journal.take() {
+            let _ = w.flush();
+            let _ = w.into_inner().map(|f| f.sync_all());
+        }
+        store.compact_journal(&journal_path);
+        *journal_bytes = 0;
+    };
+
+    // `recv` drains every buffered command before reporting the channel
+    // closed, so dropping the sender flushes the queue.
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            WriteCmd::Put(value) => {
+                if journal.is_none() {
+                    if fs::create_dir_all(store.root()).is_err() {
+                        continue;
+                    }
+                    journal = fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&journal_path)
+                        .ok()
+                        .map(std::io::BufWriter::new);
+                }
+                if let Some(w) = &mut journal {
+                    let mut line = value.to_json().render();
+                    line.push('\n');
+                    if w.write_all(line.as_bytes()).is_ok() {
+                        journal_bytes += line.len() as u64;
+                    }
+                }
+                if journal_bytes >= JOURNAL_COMPACT_BYTES {
+                    compact(&mut journal, &mut journal_bytes);
+                }
+            }
+            WriteCmd::Flush(ack) => {
+                compact(&mut journal, &mut journal_bytes);
+                let _ = ack.send(());
+            }
+        }
+    }
+    compact(&mut journal, &mut journal_bytes);
+}
+
+/// Memory LRU in front of the write-behind disk store, with shared
+/// statistics.
 pub struct TieredCache {
     mem: MemCache,
-    disk: Option<DiskStore>,
-    stats: StatsRegistry,
+    disk: Option<WriteBehind>,
+    stats: Arc<StatsRegistry>,
 }
 
 impl TieredCache {
     /// A tiered cache with `mem_capacity` in-memory entries over `disk`
     /// (pass `None` for a memory-only cache).
     pub fn new(mem_capacity: usize, disk: Option<DiskStore>) -> Self {
+        let stats = Arc::new(StatsRegistry::new());
         TieredCache {
             mem: MemCache::new(mem_capacity),
-            disk,
-            stats: StatsRegistry::new(),
+            disk: disk.map(|d| WriteBehind::new(d, Arc::clone(&stats))),
+            stats,
         }
     }
 
     /// Look up `key` in memory, then on disk (promoting a disk hit into
     /// memory). Updates hit/miss counters.
     pub fn get(&self, key: &str) -> Option<CompileResult> {
+        self.get_impl(key, true)
+    }
+
+    /// Like [`TieredCache::get`] but a miss is not counted: used for the
+    /// raw-key fast path, where the canonical lookup that follows is the
+    /// authoritative miss.
+    pub fn probe(&self, key: &str) -> Option<CompileResult> {
+        self.get_impl(key, false)
+    }
+
+    fn get_impl(&self, key: &str, count_miss: bool) -> Option<CompileResult> {
         if let Some(hit) = self.mem.get(key) {
             self.stats.mem_hit();
             return Some(hit);
         }
         if let Some(disk) = &self.disk {
-            if let Some(hit) = disk.get(key) {
+            if let Some(hit) = disk.store().get(key) {
                 self.stats.disk_hit();
                 self.mem.put(key.to_string(), hit.clone());
                 return Some(hit);
             }
         }
-        self.stats.miss();
+        if count_miss {
+            self.stats.miss();
+        }
         None
     }
 
-    /// Store `value` in both tiers.
+    /// Store `value` in both tiers. The disk write is asynchronous
+    /// (write-behind); use [`TieredCache::flush`] to force persistence.
     pub fn put(&self, key: &str, value: &CompileResult) {
         self.mem.put(key.to_string(), value.clone());
         if let Some(disk) = &self.disk {
             disk.put(key, value);
+        }
+    }
+
+    /// Barrier: every completed `put` is on disk when this returns.
+    pub fn flush(&self) {
+        if let Some(disk) = &self.disk {
+            disk.flush();
         }
     }
 
@@ -369,6 +621,32 @@ mod tests {
     }
 
     #[test]
+    fn write_behind_persists_on_drop_and_flush() {
+        let root = tmpdir("wb");
+        let results = make_results(4);
+        {
+            let wb = WriteBehind::new(DiskStore::new(&root), Arc::new(StatsRegistry::new()));
+            for r in &results[..2] {
+                wb.put(&r.key, r);
+            }
+            // Flush is a barrier: both writes are observable immediately.
+            wb.flush();
+            for r in &results[..2] {
+                assert_eq!(wb.store().get(&r.key).unwrap(), *r);
+            }
+            for r in &results[2..] {
+                wb.put(&r.key, r);
+            }
+            // No flush: drop must drain the queue before joining.
+        }
+        let store = DiskStore::new(&root);
+        for r in &results {
+            assert_eq!(store.get(&r.key).unwrap(), *r, "{} lost on drop", r.key);
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn tiered_cache_promotes_disk_hits() {
         let root = tmpdir("tiered");
         let results = make_results(1);
@@ -383,6 +661,9 @@ mod tests {
         let snap = warm.stats().snapshot();
         assert_eq!((snap.mem_hits, snap.disk_hits, snap.misses), (1, 0, 1));
 
+        // The disk write is behind the queue; barrier before reading the
+        // store from a second cache instance.
+        warm.flush();
         let fresh = TieredCache::new(64, Some(DiskStore::new(&root)));
         assert_eq!(fresh.get(&r.key).unwrap(), *r, "disk hit");
         assert_eq!(fresh.get(&r.key).unwrap(), *r, "promoted to memory");

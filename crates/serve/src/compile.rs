@@ -5,14 +5,21 @@
 //! collapses concurrent identical requests onto one pipeline execution.
 //!
 //! The in-flight table maps cache key → a condvar-signalled slot. The first
-//! requester of a key (the *leader*) spawns a detached compute thread and
-//! then waits on the slot like everyone else; later requesters of the same
-//! key just wait. The compute thread publishes to the cache *before*
-//! signalling the slot and removing it from the table, so a request that
-//! misses the table afterwards is guaranteed to hit the cache. A deadline
-//! expiry returns [`CompileError::Timeout`] to that caller only — the
-//! compute thread keeps running and still populates the cache, so a retry
-//! of the same request is cheap.
+//! requester of a key (the *leader*) runs the pipeline and then signals the
+//! slot; later requesters of the same key just wait. With no deadline the
+//! leader computes **inline** on the calling thread (no spawn, no clone —
+//! this is the corpus-sweep hot path). With a deadline the leader detaches
+//! the execution onto a compute thread so an expiry returns
+//! [`CompileError::Timeout`] to that caller only — the execution keeps
+//! running and still populates the cache, so a retry of the same request is
+//! cheap. Either way the result is published to the cache *before* the slot
+//! is signalled and removed from the table, so a request that misses the
+//! table afterwards is guaranteed to hit the cache.
+//!
+//! Parsing happens exactly once per request: [`CachedCompiler::compile`]
+//! decodes the wire text up front and hands the parsed IR/machine/config
+//! structures straight to `run_loop`; [`CachedCompiler::compile_parts`]
+//! starts from parsed structures and never parses at all.
 
 use crate::cache::TieredCache;
 use crate::envelope::{CacheKey, CompileRequest, CompileResult, RequestError};
@@ -21,7 +28,9 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use vliw_pipeline::run_loop;
+use vliw_ir::Loop;
+use vliw_machine::MachineDesc;
+use vliw_pipeline::{run_loop, PipelineConfig};
 
 /// How a request was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,10 +89,34 @@ struct Inflight {
     cv: Condvar,
 }
 
+impl Inflight {
+    fn new() -> Arc<Self> {
+        Arc::new(Inflight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+/// Entries kept in the preimage→key memo and the rendered-result cache
+/// before each is cleared wholesale. Both are derived, content-addressed
+/// side tables — a clear costs only recomputation, never correctness.
+const SIDE_TABLE_CAP: usize = 16 * 1024;
+
 /// Content-cached compiler with in-flight deduplication.
 pub struct CachedCompiler {
     cache: TieredCache,
     inflight: Mutex<HashMap<CacheKey, Arc<Inflight>>>,
+    /// Request → cache key. Hashing a request costs a SHA-256 pass over
+    /// ~1 KiB of canonical text plus building the preimage buffer; repeat
+    /// requests (every warm sweep) skip both with one table probe keyed on
+    /// the request sections themselves. The key is a pure function of the
+    /// request text, so the memo can never serve a stale key.
+    key_memo: Mutex<HashMap<CompileRequest, CacheKey>>,
+    /// Cache key → pre-rendered result JSON, shared into responses as
+    /// [`crate::Json::Raw`]. Keys are content hashes, so an entry can never
+    /// go stale; the bound only limits memory.
+    rendered: Mutex<HashMap<CacheKey, Arc<str>>>,
 }
 
 impl CachedCompiler {
@@ -92,7 +125,74 @@ impl CachedCompiler {
         Arc::new(CachedCompiler {
             cache,
             inflight: Mutex::new(HashMap::new()),
+            key_memo: Mutex::new(HashMap::new()),
+            rendered: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// The cache key for `req`, memoised so warm-path requests skip both
+    /// the preimage build and the SHA-256 pass.
+    fn key_for(&self, req: &CompileRequest) -> CacheKey {
+        if let Some(key) = self.key_memo.lock().expect("key memo poisoned").get(req) {
+            return key.clone();
+        }
+        let key = crate::hash::sha256_hex(&req.preimage());
+        let mut memo = self.key_memo.lock().expect("key memo poisoned");
+        if memo.len() >= SIDE_TABLE_CAP {
+            memo.clear();
+        }
+        memo.insert(req.clone(), key.clone());
+        key
+    }
+
+    /// Serve `req` as pre-rendered result JSON — the server's hot path. A
+    /// rendered-map hit returns the shared bytes without even cloning the
+    /// cached result (the map is keyed by content hash, so an entry can
+    /// never be stale; it just doesn't refresh LRU recency). Anything else
+    /// falls through to the full compile path and renders once.
+    pub fn serve_rendered(
+        self: &Arc<Self>,
+        req: &CompileRequest,
+        deadline: Option<Duration>,
+    ) -> Result<(Arc<str>, Source), CompileError> {
+        let raw_key = self.key_for(req);
+        if let Some(doc) = self
+            .rendered
+            .lock()
+            .expect("rendered cache poisoned")
+            .get(&raw_key)
+        {
+            self.stats().mem_hit();
+            return Ok((Arc::clone(doc), Source::Cache));
+        }
+        let (res, source) = match self.cache.probe(&raw_key) {
+            Some(hit) => (hit, Source::Cache),
+            None => {
+                let (body, machine, cfg) = req.decode().map_err(CompileError::BadRequest)?;
+                self.compile_parts(&body, &machine, &cfg, deadline)?
+            }
+        };
+        Ok((self.rendered(&res), source))
+    }
+
+    /// The result's wire JSON, pre-rendered once per key and shared across
+    /// responses.
+    pub fn rendered(&self, res: &CompileResult) -> Arc<str> {
+        if let Some(doc) = self
+            .rendered
+            .lock()
+            .expect("rendered cache poisoned")
+            .get(&res.key)
+        {
+            return Arc::clone(doc);
+        }
+        let doc: Arc<str> = res.to_json().render().into();
+        let mut cache = self.rendered.lock().expect("rendered cache poisoned");
+        if cache.len() >= SIDE_TABLE_CAP {
+            cache.clear();
+        }
+        cache.insert(res.key.clone(), Arc::clone(&doc));
+        doc
     }
 
     /// The cache statistics (shared with the server's `stats` endpoint).
@@ -105,19 +205,76 @@ impl CachedCompiler {
         self.cache.evictions()
     }
 
-    /// Compile `req`, canonicalising it first. `deadline` bounds how long
-    /// this caller waits; the execution itself is never cancelled.
+    /// Barrier: every completed compile is persisted when this returns.
+    pub fn flush(&self) {
+        self.cache.flush();
+    }
+
+    /// Compile `req`. The raw wire bytes double as the cache-key preimage,
+    /// so a request whose text is already canonical (anything our own
+    /// client or the sharded router sends) is served from cache without
+    /// parsing at all. Only on a raw-key miss is the text parsed — exactly
+    /// once — and the parsed structures handed straight to the pipeline;
+    /// non-canonical spellings of a cached request converge to the same
+    /// canonical key there. `deadline` bounds how long this caller waits;
+    /// the execution itself is never cancelled.
     pub fn compile(
         self: &Arc<Self>,
         req: &CompileRequest,
         deadline: Option<Duration>,
     ) -> Result<(CompileResult, Source), CompileError> {
-        let canonical = req.canonicalize().map_err(CompileError::BadRequest)?;
-        let key = canonical.cache_key();
-        self.compile_canonical(&canonical, &key, deadline)
+        let raw_key = self.key_for(req);
+        if let Some(hit) = self.cache.probe(&raw_key) {
+            return Ok((hit, Source::Cache));
+        }
+        let (body, machine, cfg) = req.decode().map_err(CompileError::BadRequest)?;
+        self.compile_parts(&body, &machine, &cfg, deadline)
     }
 
-    /// Compile an already-canonical request under a precomputed `key`.
+    /// Compile already-parsed pipeline inputs: canonical text is formatted
+    /// once for the key preimage, and a miss runs `run_loop` on the given
+    /// structures directly — no text is ever parsed.
+    pub fn compile_parts(
+        self: &Arc<Self>,
+        body: &Loop,
+        machine: &MachineDesc,
+        cfg: &PipelineConfig,
+        deadline: Option<Duration>,
+    ) -> Result<(CompileResult, Source), CompileError> {
+        let canonical = CompileRequest::from_parts(body, machine, cfg);
+        let key = self.key_for(&canonical);
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok((hit, Source::Cache));
+        }
+        let (slot, leader) = self.join_inflight(&key);
+        if !leader {
+            return self.wait(&slot, deadline, false);
+        }
+        match deadline {
+            None => {
+                let outcome = self.execute_parts(body, machine, cfg, &key);
+                self.publish(&key, &slot, outcome.clone());
+                match outcome {
+                    Ok(res) => Ok((res, Source::Compiled)),
+                    Err(m) => Err(CompileError::Internal(m)),
+                }
+            }
+            Some(_) => {
+                let engine = Arc::clone(self);
+                let (body, machine, cfg) = (body.clone(), machine.clone(), cfg.clone());
+                let thread_slot = Arc::clone(&slot);
+                let thread_key = key.clone();
+                std::thread::spawn(move || {
+                    let outcome = engine.execute_parts(&body, &machine, &cfg, &thread_key);
+                    engine.publish(&thread_key, &thread_slot, outcome);
+                });
+                self.wait(&slot, deadline, true)
+            }
+        }
+    }
+
+    /// Compile an already-canonical request under a precomputed `key`. The
+    /// text is decoded only on a miss (one parse, no re-format).
     pub fn compile_canonical(
         self: &Arc<Self>,
         req: &CompileRequest,
@@ -127,28 +284,102 @@ impl CachedCompiler {
         if let Some(hit) = self.cache.get(key) {
             return Ok((hit, Source::Cache));
         }
-
-        let (slot, leader) = {
-            let mut table = self.inflight.lock().expect("inflight table poisoned");
-            match table.get(key) {
-                Some(slot) => (Arc::clone(slot), false),
-                None => {
-                    let slot = Arc::new(Inflight {
-                        done: Mutex::new(None),
-                        cv: Condvar::new(),
-                    });
-                    table.insert(key.to_string(), Arc::clone(&slot));
-                    (slot, true)
+        let (slot, leader) = self.join_inflight(key);
+        if !leader {
+            return self.wait(&slot, deadline, false);
+        }
+        match deadline {
+            None => {
+                let outcome = match req.decode() {
+                    Err(e) => Err(e.to_string()),
+                    Ok((body, machine, cfg)) => self.execute_parts(&body, &machine, &cfg, key),
+                };
+                self.publish(key, &slot, outcome.clone());
+                match outcome {
+                    Ok(res) => Ok((res, Source::Compiled)),
+                    Err(m) => Err(CompileError::Internal(m)),
                 }
             }
-        };
-
-        if leader {
-            self.spawn_compute(req.clone(), key.to_string(), Arc::clone(&slot));
-        } else {
-            self.stats().dedup_wait();
+            Some(_) => {
+                let engine = Arc::clone(self);
+                let req = req.clone();
+                let thread_slot = Arc::clone(&slot);
+                let thread_key = key.to_string();
+                std::thread::spawn(move || {
+                    let outcome = match req.decode() {
+                        Err(e) => Err(e.to_string()),
+                        Ok((body, machine, cfg)) => {
+                            engine.execute_parts(&body, &machine, &cfg, &thread_key)
+                        }
+                    };
+                    engine.publish(&thread_key, &thread_slot, outcome);
+                });
+                self.wait(&slot, deadline, true)
+            }
         }
+    }
 
+    /// Join (or create) the in-flight slot for `key`. Returns the slot and
+    /// whether this caller is the leader.
+    fn join_inflight(&self, key: &str) -> (Arc<Inflight>, bool) {
+        let mut table = self.inflight.lock().expect("inflight table poisoned");
+        match table.get(key) {
+            Some(slot) => {
+                self.stats().dedup_wait();
+                (Arc::clone(slot), false)
+            }
+            None => {
+                let slot = Inflight::new();
+                table.insert(key.to_string(), Arc::clone(&slot));
+                (slot, true)
+            }
+        }
+    }
+
+    /// Run the pipeline on parsed inputs, converting panics to errors.
+    fn execute_parts(
+        &self,
+        body: &Loop,
+        machine: &MachineDesc,
+        cfg: &PipelineConfig,
+        key: &str,
+    ) -> Result<CompileResult, String> {
+        self.stats().compile();
+        catch_unwind(AssertUnwindSafe(|| run_loop(body, machine, cfg)))
+            .map(|lr| CompileResult::from_loop_result(key.to_string(), &lr))
+            .map_err(|p| {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "pipeline panicked".to_string());
+                format!("pipeline panicked: {msg}")
+            })
+    }
+
+    /// Publish `outcome` to the cache, then to the slot, then retire the
+    /// slot — in that order, so anyone who misses the inflight table after
+    /// removal is guaranteed a cache hit.
+    fn publish(&self, key: &str, slot: &Arc<Inflight>, outcome: Result<CompileResult, String>) {
+        if let Ok(res) = &outcome {
+            self.cache.put(key, res);
+        }
+        *slot.done.lock().expect("inflight slot poisoned") = Some(outcome);
+        slot.cv.notify_all();
+        self.inflight
+            .lock()
+            .expect("inflight table poisoned")
+            .remove(key);
+    }
+
+    /// Wait on an in-flight slot until its outcome is published or the
+    /// deadline expires.
+    fn wait(
+        &self,
+        slot: &Arc<Inflight>,
+        deadline: Option<Duration>,
+        leader: bool,
+    ) -> Result<(CompileResult, Source), CompileError> {
         let started = Instant::now();
         let mut done = slot.done.lock().expect("inflight slot poisoned");
         loop {
@@ -183,40 +414,6 @@ impl CachedCompiler {
                 }
             }
         }
-    }
-
-    fn spawn_compute(self: &Arc<Self>, req: CompileRequest, key: CacheKey, slot: Arc<Inflight>) {
-        let engine = Arc::clone(self);
-        std::thread::spawn(move || {
-            let outcome = match req.decode() {
-                Err(e) => Err(e.to_string()),
-                Ok((body, machine, cfg)) => {
-                    engine.stats().compile();
-                    catch_unwind(AssertUnwindSafe(|| run_loop(&body, &machine, &cfg)))
-                        .map(|lr| CompileResult::from_loop_result(key.clone(), &lr))
-                        .map_err(|p| {
-                            let msg = p
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| p.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "pipeline panicked".to_string());
-                            format!("pipeline panicked: {msg}")
-                        })
-                }
-            };
-            // Publish to the cache before signalling, so anyone who misses
-            // the inflight table after removal is guaranteed a cache hit.
-            if let Ok(res) = &outcome {
-                engine.cache.put(&key, res);
-            }
-            *slot.done.lock().expect("inflight slot poisoned") = Some(outcome);
-            slot.cv.notify_all();
-            engine
-                .inflight
-                .lock()
-                .expect("inflight table poisoned")
-                .remove(&key);
-        });
     }
 }
 
@@ -257,6 +454,26 @@ mod tests {
         let snap = engine.stats().snapshot();
         assert_eq!(snap.compiles, 1);
         assert_eq!(snap.mem_hits, 1);
+    }
+
+    #[test]
+    fn compile_parts_matches_text_path() {
+        let engine = engine();
+        let spec = CorpusSpec {
+            n: 1,
+            ..Default::default()
+        };
+        let body = corpus_with(&spec).remove(0);
+        let machine = MachineDesc::embedded(2, 4);
+        let cfg = PipelineConfig::default();
+        let (from_parts, src) = engine.compile_parts(&body, &machine, &cfg, None).unwrap();
+        assert_eq!(src, Source::Compiled);
+        // The text path lands on the same key and is served from cache.
+        let req = CompileRequest::from_parts(&body, &machine, &cfg);
+        let (from_text, src) = engine.compile(&req, None).unwrap();
+        assert_eq!(src, Source::Cache);
+        assert_eq!(from_parts, from_text);
+        assert_eq!(from_parts.key, req.cache_key());
     }
 
     #[test]
@@ -310,6 +527,7 @@ mod tests {
         let first = {
             let engine = CachedCompiler::new(TieredCache::new(8, Some(DiskStore::new(&root))));
             engine.compile(&req, None).unwrap().0
+            // Dropping the engine drains the write-behind queue.
         };
         let engine = CachedCompiler::new(TieredCache::new(8, Some(DiskStore::new(&root))));
         let (second, src) = engine.compile(&req, None).unwrap();
@@ -317,5 +535,18 @@ mod tests {
         assert_eq!(first, second);
         assert_eq!(engine.stats().snapshot().compiles, 0);
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn deadline_requests_still_populate_cache() {
+        let engine = engine();
+        let req = sample_request(3);
+        // A generous deadline: the spawned compute path must behave exactly
+        // like the inline one.
+        let (res, src) = engine.compile(&req, Some(Duration::from_secs(60))).unwrap();
+        assert_eq!(src, Source::Compiled);
+        let (hit, src) = engine.compile(&req, None).unwrap();
+        assert_eq!(src, Source::Cache);
+        assert_eq!(hit, res);
     }
 }

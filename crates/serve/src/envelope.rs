@@ -6,9 +6,11 @@
 //! ([`vliw_pipeline::format_pipeline_config`]). Canonicalisation is
 //! parse-then-reprint, so two requests that differ only in whitespace,
 //! comments or line order of unordered sections hash to the same
-//! [`CacheKey`]: the SHA-256 digest over a length-prefixed concatenation of
+//! [`CacheKey`]: the SHA-256 digest over a single preimage buffer holding
+//! the [`CACHE_FORMAT_VERSION`] byte and a length-prefixed concatenation of
 //! the three canonical texts (length prefixes prevent boundary-shift
-//! collisions between the sections).
+//! collisions between the sections; the version byte retires every key the
+//! moment compile semantics change without the text changing).
 //!
 //! A [`CompileResult`] carries every scalar artifact of
 //! [`vliw_pipeline::LoopResult`] plus the lint diagnostics pre-rendered as
@@ -17,7 +19,7 @@
 //! result reconstructed from cache therefore reports diagnostics in
 //! [`CompileResult::diagnostics`] only, with an empty `LoopResult` list.
 
-use crate::hash::Sha256;
+use crate::hash::sha256_hex;
 use crate::json::{parse_json, Json};
 use vliw_ir::{format_loop_full, parse_loop, Loop};
 use vliw_machine::{format_machine, parse_machine, MachineDesc};
@@ -26,8 +28,18 @@ use vliw_pipeline::{format_pipeline_config, parse_pipeline_config, LoopResult, P
 /// SHA-256 cache key as 64 lowercase hex digits.
 pub type CacheKey = String;
 
+/// Cache-format version folded into every key preimage. Bump this whenever
+/// a change alters compile semantics *without* changing the canonical
+/// request text (a new config default, a heuristic fix, a result-field
+/// change), so stale disk artifacts from older builds can never be served:
+/// they simply live under keys no current request can produce.
+///
+/// History: 1 = PR 3 layout (implicit — no version byte in the preimage);
+/// 2 = this version byte plus the single-buffer preimage.
+pub const CACHE_FORMAT_VERSION: u8 = 2;
+
 /// One compile job: the full pipeline input set as canonical text.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CompileRequest {
     /// Canonical loop text.
     pub loop_text: String,
@@ -90,22 +102,31 @@ impl CompileRequest {
         Ok(CompileRequest::from_parts(&body, &machine, &cfg))
     }
 
-    /// The content hash over the canonical encoding. Assumes `self` is
+    /// The canonical key preimage: one contiguous buffer holding the
+    /// format-version byte followed by the length-prefixed sections (length
+    /// prefixes prevent boundary-shift collisions). Built once and hashed in
+    /// one pass — the sections are never re-encoded.
+    pub fn preimage(&self) -> Vec<u8> {
+        self.preimage_with_version(CACHE_FORMAT_VERSION)
+    }
+
+    fn preimage_with_version(&self, version: u8) -> Vec<u8> {
+        let sections = [&self.loop_text, &self.machine_text, &self.config_text];
+        let cap = 1 + sections.iter().map(|s| 8 + s.len()).sum::<usize>();
+        let mut out = Vec::with_capacity(cap);
+        out.push(version);
+        for section in sections {
+            out.extend_from_slice(&(section.len() as u64).to_be_bytes());
+            out.extend_from_slice(section.as_bytes());
+        }
+        out
+    }
+
+    /// The content hash over [`CompileRequest::preimage`]. Assumes `self` is
     /// already canonical (as produced by [`CompileRequest::from_parts`] or
     /// [`CompileRequest::canonicalize`]).
     pub fn cache_key(&self) -> CacheKey {
-        let mut h = Sha256::new();
-        for section in [&self.loop_text, &self.machine_text, &self.config_text] {
-            h.update(&(section.len() as u64).to_be_bytes());
-            h.update(section.as_bytes());
-        }
-        let digest = h.finish();
-        let mut s = String::with_capacity(64);
-        for b in digest {
-            use std::fmt::Write as _;
-            let _ = write!(s, "{b:02x}");
-        }
-        s
+        sha256_hex(&self.preimage())
     }
 
     /// JSON object form used on the wire and in the disk store.
@@ -119,16 +140,59 @@ impl CompileRequest {
 
     /// Decode from the JSON object form.
     pub fn from_json(v: &Json) -> Result<Self, String> {
-        let field = |k: &str| -> Result<String, String> {
-            v.get(k)
-                .and_then(Json::as_str)
-                .map(str::to_string)
-                .ok_or_else(|| format!("request missing string field `{k}`"))
+        Self::from_json_with_defaults(v, None, None)
+    }
+
+    /// Decode a (possibly abbreviated) request object: a batch entry may
+    /// omit `machine`/`config` and inherit the batch-level defaults the
+    /// client hoisted out of the entry list.
+    pub fn from_json_with_defaults(
+        v: &Json,
+        default_machine: Option<&str>,
+        default_config: Option<&str>,
+    ) -> Result<Self, String> {
+        let field = |k: &str, default: Option<&str>| -> Result<String, String> {
+            match v.get(k).map(|f| f.as_str()) {
+                Some(Some(s)) => Ok(s.to_string()),
+                Some(None) => Err(format!("request field `{k}` is not a string")),
+                None => default
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("request missing string field `{k}`")),
+            }
         };
         Ok(CompileRequest {
-            loop_text: field("loop")?,
-            machine_text: field("machine")?,
-            config_text: field("config")?,
+            loop_text: field("loop", None)?,
+            machine_text: field("machine", default_machine)?,
+            config_text: field("config", default_config)?,
+        })
+    }
+
+    /// Consuming variant of [`CompileRequest::from_json_with_defaults`]:
+    /// moves the sections out of an owned entry instead of cloning them —
+    /// the batch path owns its entry array, so each loop body transfers
+    /// into the request without a copy.
+    pub fn take_from_json(
+        v: Json,
+        default_machine: Option<&str>,
+        default_config: Option<&str>,
+    ) -> Result<Self, String> {
+        let mut m = match v {
+            Json::Obj(m) => m,
+            _ => return Err("request missing string field `loop`".to_string()),
+        };
+        let mut field = |k: &str, default: Option<&str>| -> Result<String, String> {
+            match m.remove(k) {
+                Some(Json::Str(s)) => Ok(s),
+                Some(_) => Err(format!("request field `{k}` is not a string")),
+                None => default
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("request missing string field `{k}`")),
+            }
+        };
+        Ok(CompileRequest {
+            loop_text: field("loop", None)?,
+            machine_text: field("machine", default_machine)?,
+            config_text: field("config", default_config)?,
         })
     }
 }
@@ -348,6 +412,22 @@ mod tests {
             k1,
             CompileRequest::from_parts(&body, &machine, &cfg2).cache_key()
         );
+    }
+
+    #[test]
+    fn key_moves_when_format_version_moves() {
+        let (body, machine, cfg) = sample_inputs();
+        let req = CompileRequest::from_parts(&body, &machine, &cfg);
+        let current = sha256_hex(&req.preimage_with_version(CACHE_FORMAT_VERSION));
+        assert_eq!(current, req.cache_key());
+        let bumped = sha256_hex(&req.preimage_with_version(CACHE_FORMAT_VERSION + 1));
+        assert_ne!(
+            current, bumped,
+            "a version bump must retire every existing key"
+        );
+        // The PR-3 layout (no version byte) is also retired by version 2.
+        let unversioned = sha256_hex(&req.preimage()[1..]);
+        assert_ne!(current, unversioned);
     }
 
     #[test]

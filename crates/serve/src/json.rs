@@ -6,8 +6,64 @@
 //! requirement that drives the canonical request encodings — and numbers are
 //! kept as `f64` with integral values rendered without a fractional part.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Map a wire field name to its static spelling, so object keys on the hot
+/// path are stored and compared without per-key heap allocations.
+fn intern_key(key: &str) -> Option<&'static str> {
+    Some(match key {
+        "ok" => "ok",
+        "op" => "op",
+        "served" => "served",
+        "result" => "result",
+        "results" => "results",
+        "error" => "error",
+        "stats" => "stats",
+        "n" => "n",
+        "requests" => "requests",
+        "defaults" => "defaults",
+        "timeout_ms" => "timeout_ms",
+        "parallelism" => "parallelism",
+        "request" => "request",
+        "loop" => "loop",
+        "machine" => "machine",
+        "config" => "config",
+        "key" => "key",
+        "name" => "name",
+        "n_ops" => "n_ops",
+        "ideal_ii" => "ideal_ii",
+        "clustered_ii" => "clustered_ii",
+        "n_copies" => "n_copies",
+        "n_hoisted" => "n_hoisted",
+        "ideal_ipc" => "ideal_ipc",
+        "clustered_ipc" => "clustered_ipc",
+        "normalized" => "normalized",
+        "spills" => "spills",
+        "mve_unroll" => "mve_unroll",
+        "peak_float_pressure" => "peak_float_pressure",
+        "spill_rounds" => "spill_rounds",
+        "sim_ok" => "sim_ok",
+        "diagnostics" => "diagnostics",
+        "mem_hits" => "mem_hits",
+        "disk_hits" => "disk_hits",
+        "hits" => "hits",
+        "misses" => "misses",
+        "compiles" => "compiles",
+        "dedup_waits" => "dedup_waits",
+        "timeouts" => "timeouts",
+        "errors" => "errors",
+        "batches" => "batches",
+        "sync_writes" => "sync_writes",
+        "evictions" => "evictions",
+        "samples" => "samples",
+        "p50_us" => "p50_us",
+        "p90_us" => "p90_us",
+        "p99_us" => "p99_us",
+        _ => return None,
+    })
+}
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,14 +78,26 @@ pub enum Json {
     Str(String),
     /// An array.
     Arr(Vec<Json>),
-    /// An object; key order is sorted, so rendering is deterministic.
-    Obj(BTreeMap<String, Json>),
+    /// An object; key order is sorted, so rendering is deterministic. Keys
+    /// are `Cow` so the fixed wire vocabulary (see [`intern_key`]) is
+    /// stored allocation-free.
+    Obj(BTreeMap<Cow<'static, str>, Json>),
+    /// A pre-rendered JSON document, spliced verbatim into the output.
+    /// Invariant: holds one valid single-line JSON value. Produced only by
+    /// response assembly (the rendered-result cache), never by the parser;
+    /// cheap to clone so cached renderings can be shared across responses.
+    Raw(std::sync::Arc<str>),
 }
 
 impl Json {
     /// Build an object from key/value pairs.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (Cow::Borrowed(k), v))
+                .collect(),
+        )
     }
 
     /// The string payload, if this is a `Str`.
@@ -107,6 +175,7 @@ impl Json {
                 }
                 out.push('}');
             }
+            Json::Raw(doc) => out.push_str(doc),
         }
     }
 }
@@ -123,21 +192,33 @@ fn write_num(n: f64, out: &mut String) {
     }
 }
 
-fn write_str(s: &str, out: &mut String) {
+/// Escape `s` as a quoted JSON string into `out`. Crate-visible so hot
+/// paths (batch entry encoding, response assembly) can render without
+/// building a [`Json`] tree first.
+pub(crate) fn write_str(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+    // Copy unescaped runs wholesale; every byte that needs escaping is
+    // ASCII, so slicing at those positions stays on char boundaries.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'"' && b != b'\\' && b >= 0x20 {
+            continue;
         }
+        out.push_str(&s[start..i]);
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            b'\r' => out.push_str("\\r"),
+            b'\t' => out.push_str("\\t"),
+            _ => {
+                let _ = write!(out, "\\u{:04x}", b);
+            }
+        }
+        start = i + 1;
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
@@ -177,13 +258,13 @@ fn fail(offset: usize, message: impl Into<String>) -> JsonParseError {
     }
 }
 
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
+pub(crate) fn skip_ws(bytes: &[u8], pos: &mut usize) {
     while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
         *pos += 1;
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonParseError> {
+pub(crate) fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonParseError> {
     if *pos < bytes.len() && bytes[*pos] == b {
         *pos += 1;
         Ok(())
@@ -192,7 +273,7 @@ fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonParseError> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
+pub(crate) fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(fail(*pos, "unexpected end of input")),
@@ -227,7 +308,21 @@ fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii slice");
+    let token = &bytes[start..*pos];
+    // Small integers dominate the wire (counters, IIs, op counts); build
+    // them directly instead of going through the general float parser.
+    let (neg, digits) = match token.split_first() {
+        Some((b'-', rest)) => (true, rest),
+        _ => (false, token),
+    };
+    if !digits.is_empty() && digits.len() <= 15 && digits.iter().all(u8::is_ascii_digit) {
+        let mut v: i64 = 0;
+        for &d in digits {
+            v = v * 10 + i64::from(d - b'0');
+        }
+        return Ok(Json::Num(if neg { -v as f64 } else { v as f64 }));
+    }
+    let text = std::str::from_utf8(token).expect("ascii slice");
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| fail(start, format!("bad number `{text}`")))
@@ -235,7 +330,26 @@ fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
 
 fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, JsonParseError> {
     expect(bytes, pos, b'"')?;
-    let mut out = String::new();
+    // Pre-scan to the closing quote: escape-free strings (object keys, most
+    // payloads) copy out in one shot, and escaped ones get a right-sized
+    // buffer instead of a realloc chain.
+    let mut end = *pos;
+    let mut escaped = false;
+    while end < bytes.len() && bytes[end] != b'"' {
+        if bytes[end] == b'\\' {
+            escaped = true;
+            end += 2;
+        } else {
+            end += 1;
+        }
+    }
+    if !escaped && end < bytes.len() {
+        let chunk =
+            std::str::from_utf8(&bytes[*pos..end]).map_err(|_| fail(*pos, "invalid utf-8"))?;
+        *pos = end + 1;
+        return Ok(chunk.to_string());
+    }
+    let mut out = String::with_capacity(end.min(bytes.len()).saturating_sub(*pos));
     loop {
         match bytes.get(*pos) {
             None => return Err(fail(*pos, "unterminated string")),
@@ -272,12 +386,16 @@ fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, JsonParseError> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 character.
-                let rest =
-                    std::str::from_utf8(&bytes[*pos..]).map_err(|_| fail(*pos, "invalid utf-8"))?;
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole run up to the next quote or escape in
+                // one go — validating per character re-scans the rest of
+                // the input and turns big payloads quadratic.
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                let chunk = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|_| fail(start, "invalid utf-8"))?;
+                out.push_str(chunk);
             }
         }
     }
@@ -305,6 +423,32 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
     }
 }
 
+/// Parse an object key: escape-free keys (all of our wire vocabulary) are
+/// matched against the intern table straight from the input slice, with no
+/// allocation at all for known names.
+pub(crate) fn parse_key(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<Cow<'static, str>, JsonParseError> {
+    if bytes.get(*pos) == Some(&b'"') {
+        let start = *pos + 1;
+        let mut end = start;
+        while end < bytes.len() && bytes[end] != b'"' && bytes[end] != b'\\' {
+            end += 1;
+        }
+        if bytes.get(end) == Some(&b'"') {
+            let s = std::str::from_utf8(&bytes[start..end])
+                .map_err(|_| fail(start, "invalid utf-8"))?;
+            *pos = end + 1;
+            return Ok(match intern_key(s) {
+                Some(k) => Cow::Borrowed(k),
+                None => Cow::Owned(s.to_string()),
+            });
+        }
+    }
+    parse_str(bytes, pos).map(Cow::Owned)
+}
+
 fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
     expect(bytes, pos, b'{')?;
     let mut map = BTreeMap::new();
@@ -315,7 +459,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
     }
     loop {
         skip_ws(bytes, pos);
-        let key = parse_str(bytes, pos)?;
+        let key = parse_key(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
         let value = parse_value(bytes, pos)?;

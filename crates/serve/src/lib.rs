@@ -16,7 +16,10 @@
 //!   dedup of concurrent identical requests;
 //! * [`stats`] — hit/miss/eviction counters and latency percentiles;
 //! * [`server`] / [`client`] — JSON-lines protocol over TCP, thread-pool
-//!   server (`vliw-served`) and client CLI (`vliw-client`).
+//!   server (`vliw-served`) and client CLI (`vliw-client`), including the
+//!   `compile_batch` op (N requests, one wire round trip);
+//! * [`ring`] / [`shard`] — consistent-hash routing over multiple peers
+//!   with failover to ring successors and aggregated stats.
 //!
 //! The `repro` binary (moved here from `vliw-pipeline` so it can see the
 //! cache) accepts `--cache` to route every experiment's per-loop compile
@@ -30,14 +33,18 @@ pub mod compile;
 pub mod envelope;
 pub mod hash;
 pub mod json;
+pub mod ring;
 pub mod server;
+pub mod shard;
 pub mod stats;
 
-pub use cache::{DiskStore, MemCache, TieredCache};
-pub use client::{Client, ServedResult};
+pub use cache::{DiskStore, MemCache, TieredCache, WriteBehind};
+pub use client::{Client, ClientError, ServedResult};
 pub use compile::{CachedCompiler, CompileError, Source};
-pub use envelope::{CacheKey, CompileRequest, CompileResult, RequestError};
+pub use envelope::{CacheKey, CompileRequest, CompileResult, RequestError, CACHE_FORMAT_VERSION};
 pub use hash::sha256_hex;
 pub use json::{parse_json, Json, JsonParseError};
-pub use server::{Server, ServerConfig};
+pub use ring::{HashRing, VNODES_PER_PEER};
+pub use server::{handle_line, ServeOptions, Server, ServerConfig, AGGREGATE_SUM_FIELDS};
+pub use shard::{PeerStats, ShardedClient};
 pub use stats::{StatsRegistry, StatsSnapshot};

@@ -1,0 +1,158 @@
+//! Consistent-hash ring for multi-node cache sharding.
+//!
+//! Content-addressed cache keys make compile results location-independent,
+//! so any peer can serve any key — routing only decides which peer's cache
+//! accumulates which slice of the corpus. [`HashRing`] places
+//! [`VNODES_PER_PEER`] virtual nodes per peer on a 64-bit ring (each point
+//! is the truncated SHA-256 of `"<peer>\0<vnode>"`), and a key routes to
+//! the owner of the first point at or clockwise after the key's own hash.
+//! Virtual nodes smooth the load split; the ring is *stable*: adding or
+//! removing a peer only remaps keys owned by that peer's points, never
+//! keys settled on other peers (the property tests in
+//! `tests/ring_prop.rs` pin this).
+//!
+//! On a connection failure the sharded client walks
+//! [`HashRing::successors`] — the distinct peers in ring order from the
+//! key's position — so failover lands exactly where the key would route if
+//! the dead peer were removed.
+
+use crate::hash::Sha256;
+
+/// Virtual nodes per peer. 128 keeps the max/min shard-load ratio over the
+/// 422-key corpus grid comfortably under 2× for small clusters.
+pub const VNODES_PER_PEER: usize = 128;
+
+/// A stable consistent-hash ring over a fixed peer list.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, peer index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+    peers: Vec<String>,
+}
+
+fn hash64(data: &[u8]) -> u64 {
+    let mut h = Sha256::new();
+    h.update(data);
+    let digest = h.finish();
+    u64::from_be_bytes(digest[..8].try_into().expect("8-byte prefix"))
+}
+
+impl HashRing {
+    /// Build a ring over `peers` with [`VNODES_PER_PEER`] points each.
+    /// Duplicate peer names are collapsed; an empty peer list yields an
+    /// empty ring (every route returns `None`).
+    pub fn new<I, S>(peers: I) -> HashRing
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut unique: Vec<String> = Vec::new();
+        for p in peers {
+            let p = p.into();
+            if !unique.contains(&p) {
+                unique.push(p);
+            }
+        }
+        let mut points = Vec::with_capacity(unique.len() * VNODES_PER_PEER);
+        for (idx, peer) in unique.iter().enumerate() {
+            for vnode in 0..VNODES_PER_PEER {
+                let mut preimage = Vec::with_capacity(peer.len() + 9);
+                preimage.extend_from_slice(peer.as_bytes());
+                preimage.push(0);
+                preimage.extend_from_slice(&(vnode as u64).to_be_bytes());
+                points.push((hash64(&preimage), idx));
+            }
+        }
+        // Sort by (point, peer index) so the rare point collision resolves
+        // deterministically regardless of peer-list order.
+        points.sort_unstable();
+        HashRing {
+            points,
+            peers: unique,
+        }
+    }
+
+    /// The deduplicated peer list, in construction order.
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// Peer name for a peer index.
+    pub fn peer(&self, idx: usize) -> &str {
+        &self.peers[idx]
+    }
+
+    /// Index into the point list of the first point at or after the key's
+    /// hash, wrapping at the top of the ring.
+    fn first_point(&self, key: &str) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let h = hash64(key.as_bytes());
+        let at = self.points.partition_point(|&(p, _)| p < h);
+        Some(at % self.points.len())
+    }
+
+    /// The peer index owning `key`, or `None` on an empty ring.
+    pub fn route(&self, key: &str) -> Option<usize> {
+        self.first_point(key).map(|at| self.points[at].1)
+    }
+
+    /// Distinct peer indices in ring order starting at the key's owner: the
+    /// failover sequence. Every peer appears exactly once.
+    pub fn successors(&self, key: &str) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.peers.len());
+        let Some(start) = self.first_point(key) else {
+            return order;
+        };
+        let mut seen = vec![false; self.peers.len()];
+        for i in 0..self.points.len() {
+            let (_, peer) = self.points[(start + i) % self.points.len()];
+            if !seen[peer] {
+                seen[peer] = true;
+                order.push(peer);
+                if order.len() == self.peers.len() {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let ring = HashRing::new(Vec::<String>::new());
+        assert_eq!(ring.route("abc"), None);
+        assert!(ring.successors("abc").is_empty());
+    }
+
+    #[test]
+    fn single_peer_owns_everything() {
+        let ring = HashRing::new(["127.0.0.1:1000"]);
+        for key in ["a", "b", "0123", "deadbeef"] {
+            assert_eq!(ring.route(key), Some(0));
+            assert_eq!(ring.successors(key), vec![0]);
+        }
+    }
+
+    #[test]
+    fn duplicate_peers_collapse() {
+        let ring = HashRing::new(["a:1", "a:1", "b:2"]);
+        assert_eq!(ring.peers().len(), 2);
+    }
+
+    #[test]
+    fn successors_enumerate_all_peers_once() {
+        let ring = HashRing::new(["a:1", "b:2", "c:3"]);
+        let succ = ring.successors("some-key");
+        let mut sorted = succ.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        assert_eq!(succ[0], ring.route("some-key").unwrap());
+    }
+}

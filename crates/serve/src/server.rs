@@ -8,12 +8,32 @@
 //! |-----------------------------------------------------|------------------------------------------------------|
 //! | `{"op":"ping"}`                                     | `{"ok":true,"op":"ping"}`                            |
 //! | `{"op":"compile","request":{...},"timeout_ms":N}`   | `{"ok":true,"op":"compile","served":S,"result":{..}}`|
+//! | `{"op":"compile_batch","requests":[...],`           | `{"ok":true,"op":"compile_batch","n":N,`             |
+//! | ` "timeout_ms":N,"parallelism":P}`                  | ` "results":[{"ok":true,"served":S,"result":{..}}    |
+//! |                                                     |   \| {"ok":false,"error":"..."} , ...]}`             |
 //! | `{"op":"stats"}`                                    | `{"ok":true,"op":"stats","stats":{...}}`             |
 //! | `{"op":"shutdown"}`                                 | `{"ok":true,"op":"shutdown"}`, then the server stops |
 //!
 //! `served` is `"cache"`, `"compiled"` or `"deduped"`. Failures are
 //! `{"ok":false,"error":"..."}` (the connection stays open). `timeout_ms`
 //! is optional and clamps this request's wait, not the execution.
+//!
+//! A `compile_batch` carries any number of requests in one line and returns
+//! one aggregated response with per-entry `served` labels in request order;
+//! a malformed entry fails alone, never its batch-mates. Entries fan out
+//! over a scoped worker set bounded by `min(parallelism, batch_parallelism
+//! cap, n)`; identical keys inside one batch collapse through the engine's
+//! in-flight table (first entry compiles, concurrent twins dedup, later
+//! twins hit the cache).
+//!
+//! Canonical batch lines put `op` first and `requests` last (control fields
+//! in between). A server that has no fan-out to offer (one core, or a
+//! parallelism cap of 1) serves such lines by streaming: each entry is
+//! parsed, served, and its response rendered before the next is read, so
+//! only one entry is ever resident. Field order is otherwise free — any
+//! shape the streaming pass can't take falls back to the tree handler —
+//! but control fields after `requests` are rejected on the streaming path,
+//! since the entries they would govern have already been served.
 //!
 //! The accept loop is nonblocking and polls a shutdown flag (set by the
 //! `shutdown` op or, in the binary, by SIGTERM/SIGINT), so a drain is
@@ -27,10 +47,28 @@ use crate::json::{parse_json, Json};
 use crate::stats::StatsSnapshot;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Stats fields that are additive across peers — the sharded client's
+/// `stats --aggregate` sums exactly these (latency percentiles are not
+/// additive and are merged by max instead).
+pub const AGGREGATE_SUM_FIELDS: &[&str] = &[
+    "mem_hits",
+    "disk_hits",
+    "hits",
+    "misses",
+    "compiles",
+    "dedup_waits",
+    "timeouts",
+    "errors",
+    "batches",
+    "sync_writes",
+    "evictions",
+    "samples",
+];
 
 /// Tunables for [`Server::bind`].
 pub struct ServerConfig {
@@ -40,6 +78,9 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Per-request wait deadline applied when the client sends none.
     pub default_timeout: Duration,
+    /// Upper bound on per-batch fan-out; a client's `parallelism` is
+    /// clamped to this.
+    pub batch_parallelism: usize,
 }
 
 impl Default for ServerConfig {
@@ -48,8 +89,18 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             default_timeout: Duration::from_secs(30),
+            batch_parallelism: 8,
         }
     }
+}
+
+/// Per-request knobs threaded from [`ServerConfig`] into the dispatcher.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Deadline applied when the client sends no `timeout_ms`.
+    pub default_timeout: Duration,
+    /// Cap on per-batch fan-out.
+    pub batch_parallelism: usize,
 }
 
 /// A bound compile server, ready to [`Server::run`].
@@ -84,17 +135,21 @@ impl Server {
         Arc::clone(&self.shutdown)
     }
 
-    /// Serve until the shutdown flag is set, then drain the workers.
+    /// Serve until the shutdown flag is set, then drain the workers and
+    /// flush the engine's write-behind queue.
     pub fn run(self) {
         let (tx, rx) = channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
+        let options = ServeOptions {
+            default_timeout: self.config.default_timeout,
+            batch_parallelism: self.config.batch_parallelism.max(1),
+        };
         let workers: Vec<_> = (0..self.config.workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let engine = Arc::clone(&self.engine);
                 let shutdown = Arc::clone(&self.shutdown);
-                let default_timeout = self.config.default_timeout;
-                std::thread::spawn(move || worker_loop(&rx, &engine, &shutdown, default_timeout))
+                std::thread::spawn(move || worker_loop(&rx, &engine, &shutdown, options))
             })
             .collect();
 
@@ -119,6 +174,9 @@ impl Server {
         for w in workers {
             let _ = w.join();
         }
+        // Flush-on-shutdown: every compile whose response was sent is on
+        // disk before the listener goes away.
+        self.engine.flush();
     }
 }
 
@@ -126,7 +184,7 @@ fn worker_loop(
     rx: &Arc<Mutex<Receiver<TcpStream>>>,
     engine: &Arc<CachedCompiler>,
     shutdown: &Arc<AtomicBool>,
-    default_timeout: Duration,
+    options: ServeOptions,
 ) {
     loop {
         let stream = {
@@ -142,7 +200,7 @@ fn worker_loop(
                 Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
             }
         };
-        serve_connection(stream, engine, shutdown, default_timeout);
+        serve_connection(stream, engine, shutdown, options);
     }
 }
 
@@ -150,11 +208,13 @@ fn serve_connection(
     stream: TcpStream,
     engine: &Arc<CachedCompiler>,
     shutdown: &Arc<AtomicBool>,
-    default_timeout: Duration,
+    options: ServeOptions,
 ) {
     // A finite read timeout lets the worker notice shutdown between
-    // requests on an idle connection.
+    // requests on an idle connection. Nagle off: responses are single
+    // lines that must turn around immediately.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -169,7 +229,7 @@ fn serve_connection(
                 if line.trim().is_empty() {
                     continue;
                 }
-                let response = handle_line(line.trim(), engine, shutdown, default_timeout);
+                let response = handle_line(line.trim(), engine, shutdown, options);
                 let stop = response.get("op").and_then(Json::as_str) == Some("shutdown");
                 if writeln!(writer, "{}", response.render()).is_err() {
                     return;
@@ -199,14 +259,332 @@ fn error_response(message: impl Into<String>) -> Json {
     ])
 }
 
+/// Parse the optional `timeout_ms` field, falling back to the default.
+fn request_timeout(doc: &Json, default_timeout: Duration) -> Result<Duration, Json> {
+    match doc.get("timeout_ms") {
+        None => Ok(default_timeout),
+        Some(v) => match v.as_f64() {
+            Some(ms) if ms >= 0.0 => Ok(Duration::from_millis(ms as u64)),
+            _ => Err(error_response("bad `timeout_ms`")),
+        },
+    }
+}
+
+/// Compile one entry and render its wire object (shared by `compile` and
+/// the per-entry bodies of `compile_batch`).
+fn compile_entry(
+    engine: &Arc<CachedCompiler>,
+    req: &CompileRequest,
+    timeout: Duration,
+    op: &str,
+) -> Json {
+    let started = Instant::now();
+    let outcome = engine.serve_rendered(req, Some(timeout));
+    engine
+        .stats()
+        .observe_latency_us(started.elapsed().as_micros() as u64);
+    match outcome {
+        Ok((rendered, source)) => {
+            // Assemble the hot-path response by hand around the engine's
+            // pre-rendered result JSON: no tree build, no re-escape. Every
+            // spliced piece is fixed text or already valid JSON.
+            let mut doc = String::with_capacity(rendered.len() + 64);
+            doc.push_str("{\"ok\":true,\"op\":\"");
+            doc.push_str(op);
+            doc.push_str("\",\"result\":");
+            doc.push_str(&rendered);
+            doc.push_str(",\"served\":\"");
+            doc.push_str(source.label());
+            doc.push_str("\"}");
+            Json::Raw(doc.into())
+        }
+        Err(e) => {
+            if !matches!(e, CompileError::Timeout) {
+                engine.stats().error();
+            }
+            error_response(e.to_string())
+        }
+    }
+}
+
+/// Serve a `compile_batch`: fan the entries over up to `cap` scoped worker
+/// threads pulling from a shared index. Per-entry failures (parse or
+/// compile) land in that entry's slot; the batch itself always succeeds.
+fn handle_batch(doc: Json, engine: &Arc<CachedCompiler>, options: ServeOptions) -> Json {
+    if doc.get("requests").and_then(Json::as_arr).is_none() {
+        engine.stats().error();
+        return error_response("compile_batch op missing `requests` array");
+    }
+    let timeout = match request_timeout(&doc, options.default_timeout) {
+        Ok(t) => t,
+        Err(resp) => {
+            engine.stats().error();
+            return resp;
+        }
+    };
+    let requested_cap = match doc.get("parallelism") {
+        None => options.batch_parallelism,
+        Some(v) => match v.as_f64() {
+            Some(p) if p >= 1.0 => p as usize,
+            _ => {
+                engine.stats().error();
+                return error_response("bad `parallelism`");
+            }
+        },
+    };
+    engine.stats().batch();
+    // Dismantle the owned document so defaults and entries move rather
+    // than clone; the `requests` array was validated above.
+    let mut top = match doc {
+        Json::Obj(m) => m,
+        _ => unreachable!("batch doc is an object"),
+    };
+    let defaults = top.remove("defaults");
+    let default_machine = defaults
+        .as_ref()
+        .and_then(|d| d.get("machine"))
+        .and_then(Json::as_str);
+    let default_config = defaults
+        .as_ref()
+        .and_then(|d| d.get("config"))
+        .and_then(Json::as_str);
+    let entries = match top.remove("requests") {
+        Some(Json::Arr(v)) => v,
+        _ => unreachable!("batch requests validated above"),
+    };
+    let jobs: Vec<Result<CompileRequest, String>> = entries
+        .into_iter()
+        .map(|e| CompileRequest::take_from_json(e, default_machine, default_config))
+        .collect();
+    let n = jobs.len();
+    // Fan-out beyond the machine's cores only adds contention; on a
+    // single-core host the whole batch runs inline.
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let cap = requested_cap
+        .min(options.batch_parallelism)
+        .min(cores)
+        .min(n.max(1));
+
+    let run_one = |job: &Result<CompileRequest, String>| -> Json {
+        match job {
+            Ok(req) => compile_entry(engine, req, timeout, "compile"),
+            Err(m) => {
+                engine.stats().error();
+                error_response(m.clone())
+            }
+        }
+    };
+
+    let results: Vec<Json> = if cap <= 1 {
+        jobs.iter().map(run_one).collect()
+    } else {
+        let slots: Vec<Mutex<Json>> = (0..n).map(|_| Mutex::new(Json::Null)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..cap {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    *slots[i].lock().expect("batch slot poisoned") = run_one(&jobs[i]);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("batch slot poisoned"))
+            .collect()
+    };
+
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", Json::Str("compile_batch".into())),
+        ("n", Json::Num(n as f64)),
+        ("results", Json::Arr(results)),
+    ])
+}
+
+/// Serve a canonical `compile_batch` line without materialising the full
+/// request tree. The canonical encoder writes `op` first and `requests`
+/// last, so the control fields stream in before the entries and each entry
+/// can be parsed, served, and its response rendered with only one entry
+/// resident at a time — on a 400-entry grid that keeps the working set
+/// cache-hot instead of walking a multi-hundred-KB document three times.
+///
+/// Returns `None` (always before any entry has been served) when the line
+/// doesn't match the canonical shape; the caller falls back to the
+/// tree-based [`handle_batch`]. The streaming path only engages when the
+/// effective fan-out is one worker: with real parallelism available,
+/// materialise-and-fan-out wins.
+fn handle_batch_streaming(
+    line: &str,
+    engine: &Arc<CachedCompiler>,
+    options: ServeOptions,
+) -> Option<Json> {
+    use crate::json as js;
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    js::skip_ws(bytes, &mut pos);
+    js::expect(bytes, &mut pos, b'{').ok()?;
+    let mut timeout = options.default_timeout;
+    let mut requested_cap = options.batch_parallelism;
+    let mut defaults: Option<Json> = None;
+    let mut saw_op = false;
+    loop {
+        js::skip_ws(bytes, &mut pos);
+        let key = js::parse_key(bytes, &mut pos).ok()?;
+        js::skip_ws(bytes, &mut pos);
+        js::expect(bytes, &mut pos, b':').ok()?;
+        if key.as_ref() == "requests" {
+            break;
+        }
+        let value = js::parse_value(bytes, &mut pos).ok()?;
+        match key.as_ref() {
+            "op" => {
+                if value.as_str() != Some("compile_batch") {
+                    return None;
+                }
+                saw_op = true;
+            }
+            "timeout_ms" => match value.as_f64() {
+                Some(ms) if ms >= 0.0 => timeout = Duration::from_millis(ms as u64),
+                _ => {
+                    engine.stats().error();
+                    return Some(error_response("bad `timeout_ms`"));
+                }
+            },
+            "parallelism" => match value.as_f64() {
+                Some(p) if p >= 1.0 => requested_cap = p as usize,
+                _ => {
+                    engine.stats().error();
+                    return Some(error_response("bad `parallelism`"));
+                }
+            },
+            "defaults" => defaults = Some(value),
+            // Unrecognised control field: let the tree handler decide.
+            _ => return None,
+        }
+        js::skip_ws(bytes, &mut pos);
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            // Object ended without `requests`; the tree handler reports it.
+            _ => return None,
+        }
+    }
+    if !saw_op {
+        return None;
+    }
+    // Streaming trades fan-out for locality, which only pays off when
+    // there is no fan-out to be had.
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    if requested_cap.min(options.batch_parallelism).min(cores) > 1 {
+        return None;
+    }
+    js::skip_ws(bytes, &mut pos);
+    if bytes.get(pos) != Some(&b'[') {
+        engine.stats().error();
+        return Some(error_response("compile_batch op missing `requests` array"));
+    }
+    pos += 1;
+    let default_machine = defaults
+        .as_ref()
+        .and_then(|d| d.get("machine"))
+        .and_then(Json::as_str);
+    let default_config = defaults
+        .as_ref()
+        .and_then(|d| d.get("config"))
+        .and_then(Json::as_str);
+    engine.stats().batch();
+    let mut results = String::with_capacity(1024);
+    let mut n = 0usize;
+    js::skip_ws(bytes, &mut pos);
+    if bytes.get(pos) == Some(&b']') {
+        pos += 1;
+    } else {
+        loop {
+            let entry = match js::parse_value(bytes, &mut pos) {
+                Ok(e) => e,
+                Err(e) => {
+                    engine.stats().error();
+                    return Some(error_response(e.to_string()));
+                }
+            };
+            if n > 0 {
+                results.push(',');
+            }
+            let resp = match CompileRequest::take_from_json(entry, default_machine, default_config)
+            {
+                Ok(req) => compile_entry(engine, &req, timeout, "compile"),
+                Err(m) => {
+                    engine.stats().error();
+                    error_response(m)
+                }
+            };
+            match resp {
+                Json::Raw(doc) => results.push_str(&doc),
+                other => results.push_str(&other.render()),
+            }
+            n += 1;
+            js::skip_ws(bytes, &mut pos);
+            match bytes.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b']') => {
+                    pos += 1;
+                    break;
+                }
+                _ => {
+                    engine.stats().error();
+                    return Some(error_response(format!(
+                        "offset {pos}: expected `,` or `]` in `requests`"
+                    )));
+                }
+            }
+        }
+    }
+    js::skip_ws(bytes, &mut pos);
+    if bytes.get(pos) != Some(&b'}') {
+        // Entries are already served, so control fields can no longer
+        // apply; reject rather than silently mis-serve.
+        engine.stats().error();
+        return Some(error_response(
+            "compile_batch fields after `requests` are not supported",
+        ));
+    }
+    pos += 1;
+    js::skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        engine.stats().error();
+        return Some(error_response(format!(
+            "offset {pos}: trailing characters after document"
+        )));
+    }
+    // Assemble the aggregate response in the same key order the tree
+    // handler's sorted-map rendering produces.
+    let mut out = String::with_capacity(results.len() + 64);
+    out.push_str("{\"n\":");
+    out.push_str(&n.to_string());
+    out.push_str(",\"ok\":true,\"op\":\"compile_batch\",\"results\":[");
+    out.push_str(&results);
+    out.push_str("]}");
+    Some(Json::Raw(out.into()))
+}
+
 /// Dispatch one protocol line. Public for the in-process tests; the wire
 /// path goes through [`Server::run`].
 pub fn handle_line(
     line: &str,
     engine: &Arc<CachedCompiler>,
     shutdown: &Arc<AtomicBool>,
-    default_timeout: Duration,
+    options: ServeOptions,
 ) -> Json {
+    // Canonical batch lines (op first, requests last) stream straight off
+    // the wire bytes; anything else takes the general tree path below.
+    if line.starts_with("{\"op\":\"compile_batch\"") {
+        if let Some(resp) = handle_batch_streaming(line, engine, options) {
+            return resp;
+        }
+    }
     let doc = match parse_json(line) {
         Ok(d) => d,
         Err(e) => {
@@ -214,6 +592,11 @@ pub fn handle_line(
             return error_response(e.to_string());
         }
     };
+    // The batch handler consumes the document (entries move out of it), so
+    // it dispatches before the borrowing match below.
+    if doc.get("op").and_then(Json::as_str) == Some("compile_batch") {
+        return handle_batch(doc, engine, options);
+    }
     match doc.get("op").and_then(Json::as_str) {
         Some("ping") => Json::obj([("ok", Json::Bool(true)), ("op", Json::Str("ping".into()))]),
         Some("stats") => Json::obj([
@@ -243,35 +626,14 @@ pub fn handle_line(
                     return error_response("compile op missing `request` object");
                 }
             };
-            let timeout = match doc.get("timeout_ms") {
-                None => default_timeout,
-                Some(v) => match v.as_f64() {
-                    Some(ms) if ms >= 0.0 => Duration::from_millis(ms as u64),
-                    _ => {
-                        engine.stats().error();
-                        return error_response("bad `timeout_ms`");
-                    }
-                },
-            };
-            let started = Instant::now();
-            let outcome = engine.compile(&req, Some(timeout));
-            engine
-                .stats()
-                .observe_latency_us(started.elapsed().as_micros() as u64);
-            match outcome {
-                Ok((result, source)) => Json::obj([
-                    ("ok", Json::Bool(true)),
-                    ("op", Json::Str("compile".into())),
-                    ("served", Json::Str(source.label().into())),
-                    ("result", result.to_json()),
-                ]),
-                Err(e) => {
-                    if !matches!(e, CompileError::Timeout) {
-                        engine.stats().error();
-                    }
-                    error_response(e.to_string())
+            let timeout = match request_timeout(&doc, options.default_timeout) {
+                Ok(t) => t,
+                Err(resp) => {
+                    engine.stats().error();
+                    return resp;
                 }
-            }
+            };
+            compile_entry(engine, &req, timeout, "compile")
         }
         _ => {
             engine.stats().error();
@@ -291,6 +653,8 @@ pub fn stats_json(snap: &StatsSnapshot, evictions: u64) -> Json {
         ("dedup_waits", Json::Num(snap.dedup_waits as f64)),
         ("timeouts", Json::Num(snap.timeouts as f64)),
         ("errors", Json::Num(snap.errors as f64)),
+        ("batches", Json::Num(snap.batches as f64)),
+        ("sync_writes", Json::Num(snap.sync_writes as f64)),
         ("evictions", Json::Num(evictions as f64)),
         ("samples", Json::Num(snap.samples as f64)),
         ("p50_us", Json::Num(snap.p50_us as f64)),
@@ -308,9 +672,16 @@ mod tests {
         CachedCompiler::new(TieredCache::new(64, None))
     }
 
+    fn test_options() -> ServeOptions {
+        ServeOptions {
+            default_timeout: Duration::from_secs(10),
+            batch_parallelism: 4,
+        }
+    }
+
     fn dispatch(line: &str, engine: &Arc<CachedCompiler>) -> Json {
         let shutdown = Arc::new(AtomicBool::new(false));
-        handle_line(line, engine, &shutdown, Duration::from_secs(10))
+        handle_line(line, engine, &shutdown, test_options())
     }
 
     #[test]
@@ -329,12 +700,7 @@ mod tests {
     fn shutdown_op_sets_flag() {
         let engine = engine();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let resp = handle_line(
-            "{\"op\":\"shutdown\"}",
-            &engine,
-            &shutdown,
-            Duration::from_secs(1),
-        );
+        let resp = handle_line("{\"op\":\"shutdown\"}", &engine, &shutdown, test_options());
         assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
         assert!(shutdown.load(Ordering::SeqCst));
     }

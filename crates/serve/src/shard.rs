@@ -1,0 +1,235 @@
+//! Multi-node sharded client: consistent-hash routing over a peer list.
+//!
+//! [`ShardedClient`] holds one lazy connection per peer and routes every
+//! compile by the content-addressed cache key through a [`HashRing`], so
+//! identical requests always land on the same peer and each peer's cache
+//! accumulates a disjoint slice of the corpus. Requests are canonicalised
+//! client-side (the client links the same parsers as the server), so the
+//! routed key is exactly the key the server will compute.
+//!
+//! On a transport failure ([`ClientError::is_transport`]) the request is
+//! retried on the next distinct ring successor and the `failovers` counter
+//! advances; server-reported errors are never retried. Batches are split
+//! into one `compile_batch` sub-request per live peer and reassembled in
+//! request order; a peer that dies mid-batch gets its slice rerouted the
+//! same way.
+
+use crate::client::{Client, ClientError, ServedResult};
+use crate::envelope::CompileRequest;
+use crate::json::Json;
+use crate::ring::HashRing;
+use crate::server::AGGREGATE_SUM_FIELDS;
+use std::collections::BTreeMap;
+
+/// One peer's `stats` snapshot (or the failure fetching it), tagged with
+/// its address.
+pub type PeerStats = (String, Result<Json, ClientError>);
+
+/// A sharded view over several `vliw-served` peers.
+pub struct ShardedClient {
+    ring: HashRing,
+    conns: Vec<Option<Client>>,
+    failovers: u64,
+}
+
+impl ShardedClient {
+    /// A client over `peers` (host:port strings). Connections are opened
+    /// lazily on first use and reopened after failures.
+    pub fn new<I, S>(peers: I) -> ShardedClient
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let ring = HashRing::new(peers);
+        let n = ring.peers().len();
+        ShardedClient {
+            ring,
+            conns: (0..n).map(|_| None).collect(),
+            failovers: 0,
+        }
+    }
+
+    /// The peer list the ring was built over.
+    pub fn peers(&self) -> &[String] {
+        self.ring.peers()
+    }
+
+    /// Requests rerouted to a ring successor after a transport failure.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// The routing ring (for balance inspection and tests).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    fn conn(&mut self, peer: usize) -> Result<&mut Client, ClientError> {
+        if self.conns[peer].is_none() {
+            let addr = self.ring.peer(peer).to_string();
+            let client = Client::connect(&addr)
+                .map_err(|e| ClientError::Disconnected(format!("connect {addr}: {e}")))?;
+            self.conns[peer] = Some(client);
+        }
+        Ok(self.conns[peer].as_mut().expect("just connected"))
+    }
+
+    /// Run `op` against `peer`, dropping the cached connection on a
+    /// transport failure so the next attempt reconnects.
+    fn on_peer<T>(
+        &mut self,
+        peer: usize,
+        op: impl FnOnce(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let out = self.conn(peer).and_then(op);
+        if let Err(e) = &out {
+            if e.is_transport() {
+                self.conns[peer] = None;
+            }
+        }
+        out
+    }
+
+    /// Compile one request on the peer owning its cache key, failing over
+    /// along the ring on transport errors. Returns the served result and
+    /// the address of the peer that answered.
+    pub fn compile(
+        &mut self,
+        req: &CompileRequest,
+        timeout_ms: Option<u64>,
+    ) -> Result<(ServedResult, String), ClientError> {
+        let canonical = req
+            .canonicalize()
+            .map_err(|e| ClientError::BadRequest(e.to_string()))?;
+        let key = canonical.cache_key();
+        let order = self.ring.successors(&key);
+        if order.is_empty() {
+            return Err(ClientError::BadRequest("no peers configured".into()));
+        }
+        let mut last = None;
+        for (attempt, peer) in order.into_iter().enumerate() {
+            if attempt > 0 {
+                self.failovers += 1;
+            }
+            match self.on_peer(peer, |c| c.compile(&canonical, timeout_ms)) {
+                Ok(res) => return Ok((res, self.ring.peer(peer).to_string())),
+                Err(e) if e.is_transport() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt"))
+    }
+
+    /// Compile a batch: entries are grouped per owning peer, shipped as one
+    /// `compile_batch` per peer, and reassembled in request order. A peer
+    /// that fails mid-batch is marked dead and its entries reroute to their
+    /// ring successors (counted per rerouted entry in `failovers`).
+    pub fn compile_batch(
+        &mut self,
+        reqs: &[CompileRequest],
+        timeout_ms: Option<u64>,
+        parallelism: Option<usize>,
+    ) -> Result<Vec<Result<ServedResult, String>>, ClientError> {
+        let n_peers = self.ring.peers().len();
+        if n_peers == 0 {
+            return Err(ClientError::BadRequest("no peers configured".into()));
+        }
+        let mut out: Vec<Option<Result<ServedResult, String>>> = Vec::new();
+        out.resize_with(reqs.len(), || None);
+
+        // Canonicalise every entry once; invalid entries fail in place.
+        let mut pending: Vec<(usize, CompileRequest, String)> = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            match req.canonicalize() {
+                Ok(canonical) => {
+                    let key = canonical.cache_key();
+                    pending.push((i, canonical, key));
+                }
+                Err(e) => out[i] = Some(Err(format!("bad request: {e}"))),
+            }
+        }
+
+        let mut dead = vec![false; n_peers];
+        while !pending.is_empty() {
+            // Group by the first live successor of each entry's key.
+            let mut groups: BTreeMap<usize, Vec<(usize, CompileRequest, String)>> = BTreeMap::new();
+            for (i, req, key) in pending.drain(..) {
+                match self.ring.successors(&key).into_iter().find(|&p| !dead[p]) {
+                    Some(peer) => groups.entry(peer).or_default().push((i, req, key)),
+                    None => return Err(ClientError::Disconnected("all peers unreachable".into())),
+                }
+            }
+            for (peer, group) in groups {
+                let batch: Vec<CompileRequest> =
+                    group.iter().map(|(_, req, _)| req.clone()).collect();
+                match self.on_peer(peer, |c| c.compile_batch(&batch, timeout_ms, parallelism)) {
+                    Ok(results) => {
+                        for ((i, _, _), res) in group.into_iter().zip(results) {
+                            out[i] = Some(res);
+                        }
+                    }
+                    Err(e) if e.is_transport() => {
+                        dead[peer] = true;
+                        self.failovers += group.len() as u64;
+                        pending.extend(group);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|slot| slot.expect("every entry settled"))
+            .collect())
+    }
+
+    /// Fetch every reachable peer's stats snapshot plus a merged view:
+    /// counters are summed, latency percentiles take the worst (max) peer.
+    /// Unreachable peers are reported with `Err` and skipped in the merge.
+    pub fn stats_aggregate(&mut self) -> Result<(Vec<PeerStats>, Json), ClientError> {
+        let n_peers = self.ring.peers().len();
+        let mut per_peer = Vec::with_capacity(n_peers);
+        let mut sums: BTreeMap<&'static str, f64> = BTreeMap::new();
+        let mut maxima: BTreeMap<&'static str, f64> = BTreeMap::new();
+        let mut reporting = 0u64;
+        for peer in 0..n_peers {
+            let addr = self.ring.peer(peer).to_string();
+            let snap = self.on_peer(peer, Client::stats);
+            if let Ok(stats) = &snap {
+                reporting += 1;
+                for field in AGGREGATE_SUM_FIELDS {
+                    if let Some(v) = stats.get(field).and_then(Json::as_f64) {
+                        *sums.entry(field).or_insert(0.0) += v;
+                    }
+                }
+                for field in ["p50_us", "p90_us", "p99_us"] {
+                    if let Some(v) = stats.get(field).and_then(Json::as_f64) {
+                        let slot = maxima.entry(field).or_insert(0.0);
+                        *slot = slot.max(v);
+                    }
+                }
+            }
+            per_peer.push((addr, snap));
+        }
+        let mut merged: BTreeMap<std::borrow::Cow<'static, str>, Json> = BTreeMap::new();
+        for (k, v) in sums {
+            merged.insert(k.into(), Json::Num(v));
+        }
+        for (k, v) in maxima {
+            merged.insert(format!("max_{k}").into(), Json::Num(v));
+        }
+        merged.insert("peers".into(), Json::Num(n_peers as f64));
+        merged.insert("peers_reporting".into(), Json::Num(reporting as f64));
+        merged.insert("failovers".into(), Json::Num(self.failovers as f64));
+        Ok((per_peer, Json::Obj(merged)))
+    }
+
+    /// Best-effort shutdown of every reachable peer; returns how many
+    /// acknowledged.
+    pub fn shutdown_all(&mut self) -> usize {
+        let n_peers = self.ring.peers().len();
+        (0..n_peers)
+            .filter(|&peer| self.on_peer(peer, Client::shutdown).is_ok())
+            .count()
+    }
+}

@@ -21,6 +21,8 @@ pub struct StatsRegistry {
     dedup_waits: AtomicU64,
     timeouts: AtomicU64,
     errors: AtomicU64,
+    batches: AtomicU64,
+    sync_writes: AtomicU64,
     /// `(samples, write cursor)`: once full, the cursor wraps and overwrites
     /// the oldest slot, keeping a rolling window of the last RING_CAP values.
     latencies_us: Mutex<(Vec<u64>, usize)>,
@@ -44,6 +46,11 @@ pub struct StatsSnapshot {
     pub timeouts: u64,
     /// Malformed or failed requests.
     pub errors: u64,
+    /// `compile_batch` requests served (each carries many entries).
+    pub batches: u64,
+    /// Disk writes that ran synchronously because the write-behind queue
+    /// was full (degraded mode — results are never dropped).
+    pub sync_writes: u64,
     /// Number of latency samples currently in the ring.
     pub samples: u64,
     /// 50th-percentile request latency, microseconds.
@@ -95,6 +102,16 @@ impl StatsRegistry {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one served `compile_batch` request.
+    pub fn batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a synchronous disk write forced by a full write-behind queue.
+    pub fn sync_write(&self) {
+        self.sync_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Push one request latency into the percentile ring.
     pub fn observe_latency_us(&self, us: u64) {
         let mut guard = self.latencies_us.lock().expect("latency ring poisoned");
@@ -132,6 +149,8 @@ impl StatsRegistry {
             dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            sync_writes: self.sync_writes.load(Ordering::Relaxed),
             samples: lat.len() as u64,
             p50_us: pct(0.50),
             p90_us: pct(0.90),
@@ -162,6 +181,8 @@ mod tests {
         s.dedup_wait();
         s.timeout();
         s.error();
+        s.batch();
+        s.sync_write();
         let snap = s.snapshot();
         assert_eq!(snap.mem_hits, 2);
         assert_eq!(snap.disk_hits, 1);
@@ -171,6 +192,8 @@ mod tests {
         assert_eq!(snap.dedup_waits, 1);
         assert_eq!(snap.timeouts, 1);
         assert_eq!(snap.errors, 1);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.sync_writes, 1);
     }
 
     #[test]

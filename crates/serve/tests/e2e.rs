@@ -8,7 +8,8 @@ use vliw_loopgen::{corpus_with, CorpusSpec};
 use vliw_machine::MachineDesc;
 use vliw_pipeline::PipelineConfig;
 use vliw_serve::{
-    CachedCompiler, Client, CompileRequest, DiskStore, Json, Server, ServerConfig, TieredCache,
+    CachedCompiler, Client, ClientError, CompileRequest, DiskStore, Json, Server, ServerConfig,
+    ShardedClient, TieredCache,
 };
 
 struct TestServer {
@@ -25,6 +26,7 @@ impl TestServer {
                 addr: "127.0.0.1:0".into(),
                 workers: 4,
                 default_timeout: Duration::from_secs(30),
+                batch_parallelism: 4,
             },
             engine,
         )
@@ -45,6 +47,15 @@ impl TestServer {
     fn stop(mut self) {
         let mut c = self.client();
         c.shutdown().expect("shutdown ack");
+        self.thread
+            .take()
+            .expect("not yet stopped")
+            .join()
+            .expect("server thread exits cleanly");
+    }
+
+    /// Join after the server was already shut down out-of-band.
+    fn stop_joined(mut self) {
         self.thread
             .take()
             .expect("not yet stopped")
@@ -190,7 +201,10 @@ fn malformed_requests_get_errors_not_disconnects() {
         config_text: String::new(),
     };
     let err = client.compile(&bad, None).expect_err("must fail");
-    assert!(err.contains("loop"), "error names the section: {err}");
+    match &err {
+        ClientError::Server(m) => assert!(m.contains("loop"), "error names the section: {m}"),
+        other => panic!("expected a server error, got {other:?}"),
+    }
 
     // The connection survives a rejected request.
     client.ping().expect("still connected");
@@ -198,4 +212,144 @@ fn malformed_requests_get_errors_not_disconnects() {
     assert_eq!(ok.served, "compiled");
 
     server.stop();
+}
+
+#[test]
+fn peer_hangup_is_a_disconnect_not_a_malformed_reply() {
+    // A raw listener that accepts one connection and immediately drops it:
+    // the client must classify the 0-byte read as Disconnected, which is
+    // the signal the sharded failover path keys on.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let accept = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        drop(stream);
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    accept.join().expect("accept thread");
+    let err = client.ping().expect_err("peer hung up");
+    assert!(err.is_transport(), "transport-class error: {err:?}");
+    assert!(
+        matches!(err, ClientError::Disconnected(_)),
+        "disconnect, not malformed: {err:?}"
+    );
+}
+
+#[test]
+fn batch_op_compiles_all_entries_and_dedups_duplicates() {
+    let server = TestServer::start(None);
+    let mut client = server.client();
+
+    // Six entries, two of them identical: the duplicate pair must collapse
+    // through the in-flight table / cache, and a bad entry must fail alone.
+    let reqs: Vec<CompileRequest> = vec![
+        sample_request(0),
+        sample_request(1),
+        sample_request(2),
+        sample_request(0), // duplicate of entry 0
+        sample_request(3),
+        CompileRequest {
+            loop_text: "not a loop".into(),
+            machine_text: "machine m\ncluster 4 32 32".into(),
+            config_text: String::new(),
+        },
+    ];
+    let results = client
+        .compile_batch(&reqs, None, Some(4))
+        .expect("batch round trip");
+    assert_eq!(results.len(), reqs.len());
+    for (i, res) in results.iter().enumerate().take(5) {
+        let served = res.as_ref().expect("entry compiles");
+        assert!(
+            served.served == "compiled" || served.served == "cache" || served.served == "deduped",
+            "entry {i} served={}",
+            served.served
+        );
+    }
+    let dup = results[3].as_ref().expect("duplicate entry");
+    let orig = results[0].as_ref().expect("original entry");
+    assert_eq!(dup.result, orig.result, "duplicates share one artifact");
+    let bad = results[5].as_ref().expect_err("bad entry fails in place");
+    assert!(bad.contains("loop"), "error names the section: {bad}");
+
+    let stats = client.stats().expect("stats");
+    let n = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap() as u64;
+    assert_eq!(n("batches"), 1);
+    assert_eq!(n("compiles"), 4, "duplicate entry never recompiles");
+
+    // The same batch again is served entirely from cache.
+    let again = client
+        .compile_batch(&reqs[..5], None, None)
+        .expect("warm batch");
+    for res in &again {
+        assert!(res.as_ref().expect("warm entry").is_cache_hit());
+    }
+
+    server.stop();
+}
+
+#[test]
+fn sharded_client_routes_batches_and_fails_over() {
+    let a = TestServer::start(None);
+    let b = TestServer::start(None);
+    let mut sharded = ShardedClient::new([a.addr.clone(), b.addr.clone()]);
+
+    let reqs: Vec<CompileRequest> = (0..8).map(sample_request).collect();
+    let first = sharded
+        .compile_batch(&reqs, None, Some(4))
+        .expect("sharded batch");
+    assert_eq!(first.len(), reqs.len());
+    for res in &first {
+        assert_eq!(res.as_ref().expect("entry compiles").served, "compiled");
+    }
+    assert_eq!(sharded.failovers(), 0, "no failover while both peers live");
+
+    // Same batch again: every entry lands on the same peer and hits cache.
+    let warm = sharded
+        .compile_batch(&reqs, None, None)
+        .expect("warm batch");
+    for res in &warm {
+        assert!(res.as_ref().expect("warm entry").is_cache_hit());
+    }
+
+    // Aggregated stats see both peers and the full corpus.
+    let (per_peer, merged) = sharded.stats_aggregate().expect("aggregate");
+    assert_eq!(per_peer.len(), 2);
+    assert!(per_peer.iter().all(|(_, s)| s.is_ok()));
+    let m = |k: &str| merged.get(k).and_then(Json::as_f64).unwrap() as u64;
+    assert_eq!(m("peers_reporting"), 2);
+    assert_eq!(m("compiles"), 8, "each entry compiled exactly once overall");
+    assert_eq!(m("hits"), 8, "warm batch hit cache on every entry");
+
+    // Kill peer A outright (no graceful shutdown): the next batch must
+    // reroute A's slice to B and count one failover per rerouted entry.
+    let a_addr = a.addr.clone();
+    let mut killer = a.client();
+    let _ = killer.shutdown();
+    a.stop_joined();
+    let rerouted = sharded
+        .compile_batch(&reqs, None, Some(4))
+        .expect("failover batch");
+    for res in &rerouted {
+        res.as_ref().expect("entry still served");
+    }
+    let expected_on_a = reqs
+        .iter()
+        .filter(|r| {
+            let key = r.canonicalize().expect("canonical").cache_key();
+            sharded
+                .ring()
+                .peer(sharded.ring().route(&key).expect("route"))
+                == a_addr
+        })
+        .count() as u64;
+    assert!(expected_on_a > 0, "corpus should split across both peers");
+    assert_eq!(sharded.failovers(), expected_on_a);
+
+    // Single-request path fails over too.
+    let (res, peer) = sharded.compile(&reqs[0], None).expect("single failover");
+    assert!(res.served == "cache" || res.served == "compiled");
+    assert_eq!(peer, b.addr, "only peer B is left");
+
+    b.stop();
 }

@@ -1,0 +1,110 @@
+//! Property tests for the consistent-hash ring.
+//!
+//! The ring is the sharded client's routing contract, so these pin the
+//! three properties failover correctness depends on: determinism (same
+//! peer list → same routes, regardless of construction order), stability
+//! (removing a peer remaps only the keys that peer owned) and balance
+//! (no peer owns more than 2× another's share of the real 422-key corpus
+//! grid).
+
+use proptest::prelude::*;
+use vliw_machine::MachineDesc;
+use vliw_pipeline::PipelineConfig;
+use vliw_serve::{CompileRequest, HashRing};
+
+fn peer_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
+}
+
+fn arb_key() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..16, 4..40)
+        .prop_map(|nibbles| nibbles.iter().map(|n| format!("{n:x}")).collect())
+}
+
+/// Every (loop, machine) cache key of the corpus grid the benchmarks
+/// sweep: 211 loops × 2 machines = 422 keys.
+fn corpus_grid_keys() -> Vec<String> {
+    let corpus = vliw_loopgen::corpus();
+    let machines = [MachineDesc::embedded(4, 4), MachineDesc::copy_unit(4, 4)];
+    let cfg = PipelineConfig::default();
+    let mut keys = Vec::with_capacity(corpus.len() * machines.len());
+    for machine in &machines {
+        for body in &corpus {
+            keys.push(CompileRequest::from_parts(body, machine, &cfg).cache_key());
+        }
+    }
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn routing_is_deterministic(key in arb_key(), n in 1usize..6) {
+        let a = HashRing::new(peer_names(n));
+        let b = HashRing::new(peer_names(n));
+        prop_assert_eq!(a.route(&key), b.route(&key));
+        prop_assert_eq!(a.successors(&key), b.successors(&key));
+    }
+
+    #[test]
+    fn successors_start_at_owner_and_cover_every_peer(key in arb_key(), n in 1usize..6) {
+        let ring = HashRing::new(peer_names(n));
+        let succ = ring.successors(&key);
+        prop_assert_eq!(succ[0], ring.route(&key).unwrap());
+        let mut sorted = succ.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), n);
+    }
+
+    #[test]
+    fn removing_a_peer_remaps_only_its_keys(
+        key in arb_key(),
+        n in 2usize..6,
+        removed in 0usize..6,
+    ) {
+        let removed = removed % n;
+        let peers = peer_names(n);
+        let full = HashRing::new(peers.clone());
+        let mut rest = peers.clone();
+        rest.remove(removed);
+        let reduced = HashRing::new(rest);
+
+        // Compare routes by peer *name*: indices shift when a peer leaves.
+        let before = full.peer(full.route(&key).unwrap()).to_string();
+        let after = reduced.peer(reduced.route(&key).unwrap()).to_string();
+        if before != peers[removed] {
+            prop_assert_eq!(before, after, "settled key must not move");
+        } else {
+            // An orphaned key lands exactly on its next ring successor.
+            let successor = full
+                .successors(&key)
+                .into_iter()
+                .map(|p| full.peer(p).to_string())
+                .find(|p| p != &peers[removed])
+                .unwrap();
+            prop_assert_eq!(after, successor);
+        }
+    }
+}
+
+#[test]
+fn corpus_grid_load_is_balanced_within_2x() {
+    let keys = corpus_grid_keys();
+    assert_eq!(keys.len(), 422, "the corpus grid the benchmarks sweep");
+    for n in 2..=4 {
+        let ring = HashRing::new(peer_names(n));
+        let mut counts = vec![0usize; n];
+        for key in &keys {
+            counts[ring.route(key).unwrap()] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(min > 0, "every peer owns some of the corpus ({n} peers)");
+        assert!(
+            max <= 2 * min,
+            "{n} peers: shard loads {counts:?} exceed 2x max/min"
+        );
+    }
+}
