@@ -104,4 +104,8 @@ echo "==> repro --cache (cached corpus driver, truncated run)"
 target/release/repro --table1 --loops 8 --cache --cache-dir "$SMOKE_DIR/repro-cache" \
     | grep -q '^cache: hits='
 
+echo "==> repro --gap (optimality-gap smoke: exact closes, never loses to greedy)"
+target/release/repro --gap --loops 40 --budget-ms 2000 > "$SMOKE_DIR/gap.log"
+grep -q '^all_optimal=true exact<=greedy=true$' "$SMOKE_DIR/gap.log"
+
 echo "CI OK"

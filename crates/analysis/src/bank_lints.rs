@@ -2,7 +2,7 @@
 //! register-pressure accounting (`PRES002`).
 
 use crate::artifacts::Artifacts;
-use crate::diag::{Diagnostic, LintCode, Report, SourceLoc};
+use crate::diag::{Diagnostic, LintCode, Report, SourceLoc, Stage};
 use vliw_ir::RegClass;
 use vliw_regalloc::{kernel_live_ranges, max_pressure, LiveRange};
 
@@ -25,7 +25,7 @@ impl crate::passes::LintPass for BankPass {
                 if b.index() >= n_banks {
                     report.push(Diagnostic::new(
                         LintCode::Bank002,
-                        "partition",
+                        Stage::Partition,
                         SourceLoc::vreg(vliw_ir::VReg(i as u32)).in_cluster(*b),
                         format!(
                             "v{i} assigned to bank {} but the machine has {} cluster(s)",
@@ -50,7 +50,7 @@ impl crate::passes::LintPass for BankPass {
                     if frac >= 0.85 {
                         report.push(Diagnostic::new(
                             LintCode::Bank003,
-                            "partition",
+                            Stage::Partition,
                             SourceLoc::default()
                                 .in_cluster(vliw_machine::ClusterId(heaviest as u32)),
                             format!(
@@ -70,7 +70,7 @@ impl crate::passes::LintPass for BankPass {
                 if b.index() >= n_banks {
                     report.push(Diagnostic::new(
                         LintCode::Bank002,
-                        "copies",
+                        Stage::Copies,
                         SourceLoc::vreg(vliw_ir::VReg(i as u32)).in_cluster(*b),
                         format!(
                             "clustered v{i} assigned to bank {} but the machine has \
@@ -96,7 +96,7 @@ impl crate::passes::LintPass for BankPass {
                     if banks[u.index()] != c {
                         report.push(Diagnostic::new(
                             LintCode::Bank001,
-                            "copies",
+                            Stage::Copies,
                             SourceLoc::op(op.id).in_cluster(c),
                             format!(
                                 "{} reads v{} from bank {} but executes on cluster \
@@ -114,7 +114,7 @@ impl crate::passes::LintPass for BankPass {
                 if banks[d.index()] != c {
                     report.push(Diagnostic::new(
                         LintCode::Bank001,
-                        "copies",
+                        Stage::Copies,
                         SourceLoc::op(op.id).in_cluster(c),
                         format!(
                             "{} defines v{} into bank {} but executes on cluster {}",
@@ -172,7 +172,7 @@ impl crate::passes::LintPass for PressurePass {
                 if need > cap {
                     report.push(Diagnostic::new(
                         LintCode::Pres002,
-                        "pressure",
+                        Stage::Pressure,
                         SourceLoc::default().in_cluster(vliw_machine::ClusterId(bank_idx as u32)),
                         format!(
                             "bank {bank_idx} {class:?} MaxLive {need} exceeds capacity \

@@ -4,7 +4,7 @@
 //! rebuilt DDG with the machine's copy latency.
 
 use crate::artifacts::Artifacts;
-use crate::diag::{Diagnostic, LintCode, Report, SourceLoc};
+use crate::diag::{Diagnostic, LintCode, Report, SourceLoc, Stage};
 use std::collections::BTreeMap;
 use vliw_ddg::DepKind;
 
@@ -46,7 +46,7 @@ impl crate::passes::LintPass for CopyPass {
             let (Some(d), [src]) = (op.def, op.uses.as_slice()) else {
                 report.push(Diagnostic::new(
                     LintCode::Copy004,
-                    "copies",
+                    Stage::Copies,
                     loc,
                     format!(
                         "copy op{} is malformed: expected exactly one def and one \
@@ -63,7 +63,7 @@ impl crate::passes::LintPass for CopyPass {
             if banks[d.index()] == banks[src.index()] {
                 report.push(Diagnostic::new(
                     LintCode::Copy004,
-                    "copies",
+                    Stage::Copies,
                     loc.in_cluster(banks[d.index()]),
                     format!(
                         "copy op{} moves v{} to v{} within bank {} — a copy must \
@@ -78,7 +78,7 @@ impl crate::passes::LintPass for CopyPass {
             if cb.class_of(d) != cb.class_of(src) {
                 report.push(Diagnostic::new(
                     LintCode::Copy004,
-                    "copies",
+                    Stage::Copies,
                     loc,
                     format!(
                         "copy op{} changes register class: v{} is {:?}, v{} is {:?}",
@@ -93,7 +93,7 @@ impl crate::passes::LintPass for CopyPass {
             if use_count[d.index()] == 0 && !cb.live_out.contains(&d) {
                 report.push(Diagnostic::new(
                     LintCode::Copy004,
-                    "copies",
+                    Stage::Copies,
                     loc,
                     format!(
                         "copy op{} is orphaned: its result v{} is never read and \
@@ -124,7 +124,7 @@ impl crate::passes::LintPass for CopyPass {
                 None => {
                     report.push(Diagnostic::new(
                         LintCode::Copy004,
-                        "copies",
+                        Stage::Copies,
                         loc,
                         format!(
                             "copy op{} reads loop-invariant v{} in the kernel — \
@@ -145,7 +145,7 @@ impl crate::passes::LintPass for CopyPass {
                 if !srcdefs.is_empty() && !has_producer_edge {
                     report.push(Diagnostic::new(
                         LintCode::Copy005,
-                        "copies",
+                        Stage::Copies,
                         loc,
                         format!(
                             "rebuilt DDG has no flow edge from v{}'s producer into \
@@ -160,7 +160,7 @@ impl crate::passes::LintPass for CopyPass {
                     if e.kind == DepKind::Flow && e.latency != copy_lat {
                         report.push(Diagnostic::new(
                             LintCode::Copy005,
-                            "copies",
+                            Stage::Copies,
                             loc,
                             format!(
                                 "flow edge op{}→op{} carries latency {} but the \
@@ -179,7 +179,7 @@ impl crate::passes::LintPass for CopyPass {
             if copies.len() > 1 {
                 report.push(Diagnostic::new(
                     LintCode::Copy004,
-                    "copies",
+                    Stage::Copies,
                     SourceLoc::op(vliw_ir::OpId(copies[1] as u32))
                         .in_cluster(vliw_machine::ClusterId(bank as u32)),
                     format!(

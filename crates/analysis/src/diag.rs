@@ -16,13 +16,94 @@ pub enum Severity {
     Error,
 }
 
+impl Severity {
+    /// The canonical lowercase name (`info` / `warn` / `error`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Inverse of [`Severity::name`], for wire decoding.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The pipeline stage a finding belongs to. Carried on every
+/// [`Diagnostic`] as a closed enum (not a free-form string) so diagnostics
+/// survive a round trip through the vliw-serve wire/cache encoding intact:
+/// [`Stage::parse`] is the exact inverse of [`Stage::name`], and the
+/// canonical names are stable across versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Structural verification of the input IR.
+    Ir,
+    /// Register component graph construction (§4.1).
+    Rcg,
+    /// Bank assignment / partitioning of the RCG.
+    Partition,
+    /// Copy insertion and the rebuilt clustered body.
+    Copies,
+    /// Per-bank register-pressure accounting.
+    Pressure,
+    /// Modulo scheduling (ideal or clustered).
+    Schedule,
+    /// Prelude/kernel/postlude flat-code expansion.
+    Expand,
+    /// Dynamic equivalence oracles (virtual or physical simulation).
+    Sim,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Ir,
+        Stage::Rcg,
+        Stage::Partition,
+        Stage::Copies,
+        Stage::Pressure,
+        Stage::Schedule,
+        Stage::Expand,
+        Stage::Sim,
+    ];
+
+    /// The stable canonical name, e.g. `partition`.
+    pub fn name(self) -> &'static str {
         match self {
-            Severity::Info => write!(f, "info"),
-            Severity::Warn => write!(f, "warn"),
-            Severity::Error => write!(f, "error"),
+            Stage::Ir => "ir",
+            Stage::Rcg => "rcg",
+            Stage::Partition => "partition",
+            Stage::Copies => "copies",
+            Stage::Pressure => "pressure",
+            Stage::Schedule => "schedule",
+            Stage::Expand => "expand",
+            Stage::Sim => "sim",
         }
+    }
+
+    /// Inverse of [`Stage::name`], for wire decoding.
+    pub fn parse(s: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|st| st.name() == s)
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
     }
 }
 
@@ -79,6 +160,34 @@ pub enum LintCode {
 }
 
 impl LintCode {
+    /// Every lint code the engine can emit. Wire decoders resolve codes
+    /// through this table ([`LintCode::from_code`]); extending the enum
+    /// without extending `ALL` breaks the `codes_round_trip` test.
+    pub const ALL: [LintCode; 17] = [
+        LintCode::Bank001,
+        LintCode::Bank002,
+        LintCode::Bank003,
+        LintCode::Pres002,
+        LintCode::Rcg001,
+        LintCode::Rcg002,
+        LintCode::Rcg003,
+        LintCode::Rcg004,
+        LintCode::Copy004,
+        LintCode::Copy005,
+        LintCode::Exp005,
+        LintCode::Sched001,
+        LintCode::Sched002,
+        LintCode::Sched003,
+        LintCode::Sched004,
+        LintCode::Sim006,
+        LintCode::Ir007,
+    ];
+
+    /// Inverse of [`LintCode::code`], for wire decoding.
+    pub fn from_code(code: &str) -> Option<LintCode> {
+        LintCode::ALL.into_iter().find(|c| c.code() == code)
+    }
+
     /// The stable short code, e.g. `BANK001`.
     pub fn code(self) -> &'static str {
         match self {
@@ -217,13 +326,13 @@ pub struct Diagnostic {
     pub message: String,
     /// Anchor in the artifact.
     pub loc: SourceLoc,
-    /// Pipeline stage that produced the artifact, e.g. `"rcg"`, `"banks"`.
-    pub stage: &'static str,
+    /// Pipeline stage that produced the artifact.
+    pub stage: Stage,
 }
 
 impl Diagnostic {
     /// New diagnostic at the code's default severity.
-    pub fn new(code: LintCode, stage: &'static str, loc: SourceLoc, message: String) -> Self {
+    pub fn new(code: LintCode, stage: Stage, loc: SourceLoc, message: String) -> Self {
         Diagnostic {
             code,
             severity: code.default_severity(),
@@ -258,8 +367,8 @@ impl Diagnostic {
         let mut fields = vec![
             format!("\"code\":{}", json_str(self.code.code())),
             format!("\"slug\":{}", json_str(self.code.slug())),
-            format!("\"severity\":{}", json_str(&self.severity.to_string())),
-            format!("\"stage\":{}", json_str(self.stage)),
+            format!("\"severity\":{}", json_str(self.severity.name())),
+            format!("\"stage\":{}", json_str(self.stage.name())),
             format!("\"message\":{}", json_str(&self.message)),
         ];
         if let Some(o) = self.loc.op {
@@ -390,13 +499,13 @@ mod tests {
         let mut r = Report::new();
         r.push(Diagnostic::new(
             LintCode::Bank001,
-            "banks",
+            Stage::Partition,
             SourceLoc::op(OpId(3)).in_cluster(ClusterId(1)),
             "operand v2 lives in c0".into(),
         ));
         r.push(Diagnostic::new(
             LintCode::Bank003,
-            "banks",
+            Stage::Partition,
             SourceLoc::default(),
             "bank 0 holds 90% of registers".into(),
         ));
@@ -418,11 +527,52 @@ mod tests {
     fn json_escaping() {
         let d = Diagnostic::new(
             LintCode::Sim006,
-            "sim",
+            Stage::Sim,
             SourceLoc::default(),
             "bad \"quote\" and\nnewline".into(),
         );
         let j = d.render_json();
         assert!(j.contains("bad \\\"quote\\\" and\\nnewline"));
+    }
+
+    #[test]
+    fn stage_names_round_trip() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::parse(s.name()), Some(s), "{s}");
+        }
+        assert_eq!(Stage::parse("banks"), None);
+        assert_eq!(Stage::parse(""), None);
+        // The canonical names are a wire format: spell them out so a rename
+        // fails here, not in a stale cache.
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "ir",
+                "rcg",
+                "partition",
+                "copies",
+                "pressure",
+                "schedule",
+                "expand",
+                "sim"
+            ]
+        );
+    }
+
+    #[test]
+    fn codes_round_trip() {
+        for c in LintCode::ALL {
+            assert_eq!(LintCode::from_code(c.code()), Some(c), "{c}");
+        }
+        assert_eq!(LintCode::from_code("BANK999"), None);
+    }
+
+    #[test]
+    fn severities_round_trip() {
+        for s in [Severity::Info, Severity::Warn, Severity::Error] {
+            assert_eq!(Severity::parse(s.name()), Some(s));
+        }
+        assert_eq!(Severity::parse("fatal"), None);
     }
 }

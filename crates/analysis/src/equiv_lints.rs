@@ -3,7 +3,7 @@
 //! as the static lints, so one report path renders both.
 
 use crate::artifacts::Artifacts;
-use crate::diag::{Diagnostic, LintCode, Report, SourceLoc};
+use crate::diag::{Diagnostic, LintCode, Report, SourceLoc, Stage};
 use vliw_sim::{equivalence_failures, EquivError};
 
 /// Convert one equivalence failure into a diagnostic.
@@ -14,7 +14,7 @@ pub fn equiv_diagnostic(err: &EquivError) -> Diagnostic {
     };
     Diagnostic::new(
         LintCode::Sim006,
-        "sim",
+        Stage::Sim,
         loc,
         format!("pipelined execution diverges from the scalar reference: {err}"),
     )

@@ -2,7 +2,7 @@
 //! `vliw_ir::verify_loop` before anything downstream is trustworthy.
 
 use crate::artifacts::Artifacts;
-use crate::diag::{Diagnostic, LintCode, Report, SourceLoc};
+use crate::diag::{Diagnostic, LintCode, Report, SourceLoc, Stage};
 use vliw_ir::{verify_loop, Loop};
 
 /// Runs `verify_loop` over the original and (when present) clustered body.
@@ -25,7 +25,7 @@ fn check(l: &Loop, which: &str, report: &mut Report) {
     if let Err(e) = verify_loop(l) {
         report.push(Diagnostic::new(
             LintCode::Ir007,
-            "ir",
+            Stage::Ir,
             SourceLoc::default(),
             format!("{which} body fails IR verification: {e}"),
         ));

@@ -36,7 +36,7 @@ pub mod rcg_lints;
 pub mod sched_lints;
 
 pub use artifacts::Artifacts;
-pub use diag::{Diagnostic, LintCode, Report, Severity, SourceLoc};
+pub use diag::{Diagnostic, LintCode, Report, Severity, SourceLoc, Stage};
 pub use equiv_lints::{equiv_diagnostic, DynamicOraclePass};
 pub use passes::{analyze, Analyzer, LintPass};
 pub use sched_lints::{check_expansion, schedule_diag};

@@ -8,7 +8,7 @@
 //! cannot hide from its own checker.
 
 use crate::artifacts::Artifacts;
-use crate::diag::{Diagnostic, LintCode, Report, SourceLoc};
+use crate::diag::{Diagnostic, LintCode, Report, SourceLoc, Stage};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use vliw_ir::VReg;
 
@@ -49,7 +49,7 @@ impl crate::passes::LintPass for RcgPass {
                     if (back - w).abs() > TOL {
                         report.push(Diagnostic::new(
                             LintCode::Rcg002,
-                            "rcg",
+                            Stage::Rcg,
                             SourceLoc::vreg(a),
                             format!(
                                 "edge v{}—v{} is asymmetric: {:.4} forward, {:.4} back",
@@ -140,7 +140,7 @@ impl crate::passes::LintPass for RcgPass {
             let d = if e.attr == 0.0 && e.rep == 0.0 {
                 Diagnostic::new(
                     LintCode::Rcg004,
-                    "rcg",
+                    Stage::Rcg,
                     SourceLoc::vreg(a),
                     format!(
                         "edge v{ai}—v{bi} (weight {got:.4}) has no def/use or \
@@ -154,7 +154,7 @@ impl crate::passes::LintPass for RcgPass {
                 }
                 Diagnostic::new(
                     LintCode::Rcg003,
-                    "rcg",
+                    Stage::Rcg,
                     loc,
                     format!(
                         "v{ai} and v{bi} are defined in the same ideal kernel row \
@@ -165,7 +165,7 @@ impl crate::passes::LintPass for RcgPass {
             } else if diff < 0.0 && e.attr > 0.0 {
                 Diagnostic::new(
                     LintCode::Rcg001,
-                    "rcg",
+                    Stage::Rcg,
                     SourceLoc::vreg(a),
                     format!(
                         "def/use pair v{ai}—v{bi} lacks its attraction weight: \
@@ -175,7 +175,7 @@ impl crate::passes::LintPass for RcgPass {
             } else {
                 Diagnostic::new(
                     LintCode::Rcg004,
-                    "rcg",
+                    Stage::Rcg,
                     SourceLoc::vreg(a),
                     format!(
                         "edge v{ai}—v{bi} weight {got:.4} disagrees with its \

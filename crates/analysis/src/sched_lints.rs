@@ -4,7 +4,7 @@
 //! violations through [`verify_schedule_all`] rather than the first.
 
 use crate::artifacts::Artifacts;
-use crate::diag::{Diagnostic, LintCode, Report, SourceLoc};
+use crate::diag::{Diagnostic, LintCode, Report, SourceLoc, Stage};
 use std::collections::HashSet;
 use vliw_ir::Loop;
 use vliw_machine::MachineDesc;
@@ -50,13 +50,13 @@ pub fn schedule_diag(e: &ScheduleError, s: &Schedule, which: &str) -> Diagnostic
     match e {
         ScheduleError::Shape => Diagnostic::new(
             LintCode::Sched004,
-            "schedule",
+            Stage::Schedule,
             SourceLoc::default(),
             format!("{which} schedule shape mismatch: {e}"),
         ),
         ScheduleError::NegativeTime(o) => Diagnostic::new(
             LintCode::Sched004,
-            "schedule",
+            Stage::Schedule,
             SourceLoc::op(*o).at_cycle(s.time(*o)),
             format!("{which} schedule issues op{} at negative time", o.index()),
         ),
@@ -67,7 +67,7 @@ pub fn schedule_diag(e: &ScheduleError, s: &Schedule, which: &str) -> Diagnostic
             got,
         } => Diagnostic::new(
             LintCode::Sched001,
-            "schedule",
+            Stage::Schedule,
             SourceLoc::op(*to).at_cycle(s.time(*to)),
             format!(
                 "{which} schedule violates dependence op{}→op{} modulo II {}: \
@@ -79,7 +79,7 @@ pub fn schedule_diag(e: &ScheduleError, s: &Schedule, which: &str) -> Diagnostic
         ),
         ScheduleError::Resource(o) => Diagnostic::new(
             LintCode::Sched002,
-            "schedule",
+            Stage::Schedule,
             SourceLoc::op(*o)
                 .at_cycle(s.row(*o) as i64)
                 .in_cluster(s.cluster(*o)),
@@ -91,7 +91,7 @@ pub fn schedule_diag(e: &ScheduleError, s: &Schedule, which: &str) -> Diagnostic
         ),
         ScheduleError::WrongCluster(o) => Diagnostic::new(
             LintCode::Sched003,
-            "schedule",
+            Stage::Schedule,
             SourceLoc::op(*o).in_cluster(s.cluster(*o)),
             format!(
                 "{which} schedule places op{} on {} instead of its pinned cluster",
@@ -132,7 +132,7 @@ impl crate::passes::LintPass for ExpansionPass {
 /// [`FlatProgram`] directly.
 pub fn check_expansion(body: &Loop, s: &Schedule, flat: &FlatProgram, report: &mut Report) {
     let push = |report: &mut Report, loc: SourceLoc, msg: String| {
-        report.push(Diagnostic::new(LintCode::Exp005, "expand", loc, msg));
+        report.push(Diagnostic::new(LintCode::Exp005, Stage::Expand, loc, msg));
     };
     if flat.ii != s.ii {
         push(

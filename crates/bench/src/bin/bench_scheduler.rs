@@ -221,6 +221,61 @@ fn stage_section(j: &mut Json, corpus: &[Loop], machine: &MachineDesc) {
     j.close();
 }
 
+fn exact_section(j: &mut Json, corpus: &[Loop], machine: &MachineDesc) {
+    // The branch-and-bound partitioner over the gap experiment's slice
+    // (loops with ≤ 12 virtual registers), seeded with the greedy
+    // partition it has to beat. Node-expansion counts are the solver's
+    // work metric: they move when the bound, the symmetry breaking or the
+    // dominance rule regresses, independent of machine speed.
+    let cfg = PartitionConfig::default();
+    let caps: Vec<usize> = machine.clusters.iter().map(|c| c.n_fus).collect();
+    let small: Vec<&Loop> = corpus.iter().filter(|l| l.n_vregs() <= 12).collect();
+    let inputs: Vec<_> = small
+        .iter()
+        .map(|l| {
+            let ctx = LoopContext::new(l, machine);
+            let g = build_rcg(l, &ctx.ideal, &ctx.slack, &cfg);
+            let seed = assign_banks_caps(&g, &caps, &cfg);
+            (g, seed)
+        })
+        .collect();
+
+    let solve_all = |parallel: bool| {
+        let ecfg = vliw_exact::ExactConfig {
+            parallel,
+            ..Default::default()
+        };
+        let mut nodes = 0u64;
+        let mut pruned = 0u64;
+        let mut dominance = 0u64;
+        let mut n_optimal = 0u64;
+        let t0 = Instant::now();
+        for (g, seed) in &inputs {
+            let r = vliw_exact::solve(g, machine.n_clusters(), Some(seed), &ecfg);
+            nodes += r.stats.nodes_expanded;
+            pruned += r.stats.pruned_bound;
+            dominance += r.stats.dominance_assigns;
+            n_optimal += r.optimal as u64;
+            black_box(r.cost);
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        (ms, nodes, pruned, dominance, n_optimal)
+    };
+
+    let (seq_ms, nodes, pruned, dominance, n_optimal) = solve_all(false);
+    let (par_ms, ..) = solve_all(true);
+
+    j.open("exact_partitioner");
+    j.int("small_loops", small.len() as u64);
+    j.int("n_optimal", n_optimal);
+    j.num("solve_sequential_ms", seq_ms);
+    j.num("solve_parallel_ms", par_ms);
+    j.int("nodes_expanded", nodes);
+    j.int("pruned_bound", pruned);
+    j.int("dominance_assigns", dominance);
+    j.close();
+}
+
 fn tuner_section(j: &mut Json, corpus: &[Loop], machine: &MachineDesc) {
     // The weight-tuner workload: score the same training set at many grid
     // points. `score_config` rebuilds the front end per call (the old
@@ -277,6 +332,7 @@ fn main() {
     j.close();
 
     stage_section(&mut j, &corpus, &machine);
+    exact_section(&mut j, &corpus, &machine);
     tuner_section(&mut j, &corpus, &machine);
 
     let json = j.finish();

@@ -1,0 +1,201 @@
+//! Parallel subtree exploration over the vendored rayon stub.
+//!
+//! The stub supports exactly one shape — `slice.par_iter().map(f).collect()`
+//! with dynamic index hand-out — so the search parallelises the same way the
+//! corpus sweeps do: materialise a list of independent work items, fan the
+//! mapped closure out, and reduce the in-order results.
+//!
+//! The work items are *subproblems*: the first few levels of the
+//! branch-and-bound tree are expanded breadth-first (honouring the same
+//! symmetry breaking as the sequential search, but skipping dominance and
+//! bounding so the frontier shape is trivially deterministic) until there
+//! are several subtrees per hardware thread. Each task then runs the
+//! ordinary sequential [`Searcher`] over its subtree. Tasks share one
+//! `AtomicU64` holding the best cost seen anywhere as f64 bits — costs are
+//! non-negative, so bit order equals numeric order — which only ever
+//! *tightens* pruning; because pruning is strict (`bound > best + EPS`), no
+//! subtree containing a minimum-cost completion is ever discarded, whatever
+//! the cross-thread timing.
+//!
+//! Every task starts from the same seed incumbent, so each returns the
+//! `(cost, lexicographic)`-minimum over {seed} ∪ {its subtree's surviving
+//! leaves}; the final reduction takes the same minimum across tasks, which
+//! makes the parallel result identical to the sequential one.
+
+use crate::bound::UNASSIGNED;
+use crate::search::{Problem, Searcher, SolveStats, EPS};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A partial assignment of the first `depth` registers in branch order.
+#[derive(Clone)]
+struct Subproblem {
+    assigned: Vec<u8>,
+    counts: Vec<u32>,
+    used: usize,
+    partial: f64,
+    depth: usize,
+}
+
+/// Expand the root breadth-first until there are at least `target`
+/// subproblems (or the tree is exhausted). Children are pushed in bank
+/// order, so the frontier — and therefore the reduction order — is a pure
+/// function of the problem.
+fn build_frontier(p: &Problem, target: usize) -> Vec<Subproblem> {
+    let mut frontier = vec![Subproblem {
+        assigned: vec![UNASSIGNED; p.n],
+        counts: vec![0; p.n_banks],
+        used: 0,
+        partial: 0.0,
+        depth: 0,
+    }];
+    while frontier.len() < target {
+        let Some(pos) = frontier.iter().position(|s| s.depth < p.n) else {
+            break; // every subproblem is already a complete assignment
+        };
+        let s = frontier.remove(pos);
+        let v = p.order[s.depth];
+        let cand = (s.used + 1).min(p.n_banks);
+        for b in 0..cand {
+            let mut child = s.clone();
+            let mut d = crate::bound::assign_edge_cost(&p.adj[v], &child.assigned, b as u8);
+            if p.balance_weight > 0.0 {
+                d += p.balance_weight * (2 * u64::from(child.counts[b]) + 1) as f64;
+            }
+            child.assigned[v] = b as u8;
+            child.counts[b] += 1;
+            child.partial += d;
+            if b == child.used {
+                child.used += 1;
+            }
+            child.depth += 1;
+            frontier.push(child);
+        }
+    }
+    frontier
+}
+
+/// Run the search across threads. Returns
+/// `(best_cost, best_assign, stats, timed_out)` exactly as the sequential
+/// path does.
+pub(crate) fn solve_parallel(
+    p: &Problem,
+    seed_cost: f64,
+    seed_assign: Vec<u8>,
+    deadline: Option<Instant>,
+) -> (f64, Vec<u8>, SolveStats, bool) {
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1);
+    let frontier = build_frontier(p, threads * 4);
+
+    let shared = AtomicU64::new(seed_cost.to_bits());
+    let any_timeout = AtomicBool::new(false);
+
+    let results: Vec<(f64, Vec<u8>, SolveStats)> = frontier
+        .par_iter()
+        .map(|s| {
+            let mut searcher =
+                Searcher::new(p, seed_cost, seed_assign.clone(), Some(&shared), deadline);
+            searcher.assigned.copy_from_slice(&s.assigned);
+            searcher.counts.copy_from_slice(&s.counts);
+            searcher.used = s.used;
+            searcher.partial = s.partial;
+            searcher.dfs(s.depth);
+            if searcher.timed_out {
+                any_timeout.store(true, Ordering::Relaxed);
+            }
+            (searcher.best_cost, searcher.best_assign, searcher.stats)
+        })
+        .collect();
+
+    // Deterministic reduction: frontier order is fixed, every task already
+    // folded the seed in, so the (cost, lex) minimum over tasks is the
+    // global (cost, lex) minimum.
+    let mut best_cost = seed_cost;
+    let mut best_assign = seed_assign;
+    let mut stats = SolveStats::default();
+    // Frontier expansion did not run bound checks, but each expansion is a
+    // tree node the sequential search would also have visited.
+    stats.nodes_expanded += frontier.len() as u64;
+    for (cost, assign, s) in results {
+        stats.absorb(&s);
+        let better = cost < best_cost - EPS;
+        let tied_but_smaller =
+            cost <= best_cost + EPS && assign.as_slice() < best_assign.as_slice();
+        if better || tied_but_smaller {
+            best_cost = best_cost.min(cost);
+            best_assign = assign;
+        }
+    }
+    (
+        best_cost,
+        best_assign,
+        stats,
+        any_timeout.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::search::{solve, ExactConfig};
+    use vliw_core::RcgGraph;
+    use vliw_ir::VReg;
+
+    fn dense_graph(n: u32, seed: u64) -> RcgGraph {
+        let mut g = RcgGraph::new(n as usize);
+        let mut state = seed;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                // SplitMix64 step — deterministic pseudo-random weights.
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^= z >> 31;
+                let w = (z % 9) as f64 - 4.0;
+                if w != 0.0 {
+                    g.bump_edge(VReg(a), VReg(b), w);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for (n, banks, seed) in [(6u32, 2usize, 1u64), (8, 4, 2), (10, 3, 3), (12, 4, 4)] {
+            let g = dense_graph(n, seed);
+            let seq = solve(&g, banks, None, &ExactConfig::default());
+            let par = solve(
+                &g,
+                banks,
+                None,
+                &ExactConfig {
+                    parallel: true,
+                    ..Default::default()
+                },
+            );
+            assert!(seq.optimal && par.optimal);
+            assert_eq!(
+                seq.partition, par.partition,
+                "n={n} banks={banks}: parallel must return the identical partition"
+            );
+            assert!((seq.cost - par.cost).abs() <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_is_deterministic_across_runs() {
+        let g = dense_graph(11, 7);
+        let cfg = ExactConfig {
+            parallel: true,
+            ..Default::default()
+        };
+        let r1 = solve(&g, 4, None, &cfg);
+        let r2 = solve(&g, 4, None, &cfg);
+        assert_eq!(r1.partition, r2.partition);
+        assert_eq!(r1.cost, r2.cost);
+    }
+}

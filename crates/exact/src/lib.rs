@@ -1,0 +1,47 @@
+//! # vliw-exact — provably optimal bank assignment by branch-and-bound
+//!
+//! The paper's greedy RCG heuristic (§5) is only ever compared against other
+//! *heuristics* — BUG, round-robin, component packing. This crate supplies
+//! the honest yardstick: a branch-and-bound search over complete bank
+//! assignments that provably minimises the RCG objective (cut attraction +
+//! uncut repulsion, the graph-level proxy for inserted copy cost) for loops
+//! small enough to close the search, and degrades gracefully into an anytime
+//! heuristic for everything else.
+//!
+//! The search (see [`solve`]) combines four classic ingredients:
+//!
+//! * an **admissible lower bound** — the cost of the partial assignment plus,
+//!   for every unassigned register, the cheapest bank it could still take
+//!   against the already-assigned ones, plus a water-filling relaxation of
+//!   the balance term ([`bound`]);
+//! * **bank-permutation symmetry breaking** — banks are interchangeable in
+//!   the objective, so a node may only open one fresh bank: the first K
+//!   distinct nodes are effectively pinned to banks `0..K` ([`search`]);
+//! * **dominance pruning** — a register with no unassigned neighbours
+//!   contributes independently of every later decision and is placed at its
+//!   cheapest bank without branching ([`search`]);
+//! * an **anytime time budget** — the incumbent starts from a caller-supplied
+//!   seed (in the pipeline: the greedy partition), so interrupting the search
+//!   at the deadline returns a partition never worse than the seed, flagged
+//!   `optimal: false` ([`ExactResult`]).
+//!
+//! Subtree exploration optionally fans out across the vendored rayon stub
+//! ([`frontier`]): the first few levels of the tree are expanded
+//! breadth-first into independent subproblems that share a best-cost bound
+//! through an atomic, and each subtree runs the same sequential search.
+//!
+//! The brute-force enumeration in [`oracle`] exists for tests: it checks the
+//! branch-and-bound against an exhaustive scan of all `banks^registers`
+//! assignments on tiny graphs.
+
+#![warn(missing_docs)]
+
+pub mod bound;
+pub mod frontier;
+pub mod objective;
+pub mod oracle;
+pub mod search;
+
+pub use objective::partition_cost;
+pub use oracle::brute_force;
+pub use search::{solve, ExactConfig, ExactResult, SolveStats};

@@ -1,0 +1,531 @@
+//! The branch-and-bound search itself.
+//!
+//! Registers are branched in *most-constrained-first* order (decreasing sum
+//! of incident |edge weight|, ties by index): the registers whose placement
+//! moves the objective most are decided first, which tightens the lower
+//! bound early. At each tree node:
+//!
+//! * **bound** — prune when the admissible bound ([`crate::bound`]) exceeds
+//!   the incumbent *strictly* (`> best + EPS`). Strict pruning never
+//!   discards a subtree containing a minimum-cost completion, so the final
+//!   answer is independent of exploration timing even when a shared bound
+//!   races across threads;
+//! * **symmetry breaking** — a register may enter an occupied bank or open
+//!   exactly one fresh bank (banks `0..used` are always the occupied ones),
+//!   collapsing the `banks!` permutations of every solution to one canonical
+//!   representative — equivalently, the first K distinct registers are
+//!   pinned to banks `0..K`;
+//! * **dominance** — a register with no *unassigned* neighbours (and no
+//!   balance term) interacts with nothing decided later, so it is placed at
+//!   its cheapest bank outright instead of branching;
+//! * **anytime deadline** — the deadline is polled every 1024 expansions;
+//!   on expiry the search unwinds and reports the incumbent with
+//!   `optimal = false`.
+//!
+//! Ties between equal-cost leaves (within `EPS`) are broken toward the
+//! lexicographically smallest `bank_of` vector, making the returned
+//! partition — not just its cost — deterministic.
+
+use crate::bound::{assign_edge_cost, balance_relaxation, unassigned_edge_bound, UNASSIGNED};
+use crate::objective::partition_cost;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use vliw_core::{Partition, RcgGraph};
+use vliw_ir::VReg;
+use vliw_machine::ClusterId;
+
+/// Cost slack under which two solutions count as "equal" for incumbent
+/// updates and above which a bound must clear the incumbent to prune.
+/// Guards against f64 accumulation-order noise; see the module docs.
+pub(crate) const EPS: f64 = 1e-9;
+
+/// Knobs for [`solve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactConfig {
+    /// Wall-clock budget in milliseconds; `0` means unlimited (the search
+    /// runs to proven optimality, however long that takes).
+    pub budget_ms: u64,
+    /// Fan subtrees out across threads (see [`crate::frontier`]). Off by
+    /// default: the pipeline driver already runs inside rayon corpus sweeps,
+    /// and nesting thread pools multiplies instead of helping. The gap
+    /// harness and benches, which solve one loop at a time, switch it on.
+    pub parallel: bool,
+    /// Weight of the quadratic bank-occupancy term in the objective;
+    /// `0.0` (the default) scores pure copy cost.
+    pub balance_weight: f64,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            budget_ms: 0,
+            parallel: false,
+            balance_weight: 0.0,
+        }
+    }
+}
+
+/// Search effort counters, reported alongside every solve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStats {
+    /// Tree nodes expanded (bound evaluations + leaves).
+    pub nodes_expanded: u64,
+    /// Subtrees discarded because the lower bound cleared the incumbent.
+    pub pruned_bound: u64,
+    /// Registers placed by dominance instead of branching.
+    pub dominance_assigns: u64,
+    /// Wall-clock time of the whole solve.
+    pub elapsed: Duration,
+}
+
+impl SolveStats {
+    pub(crate) fn absorb(&mut self, other: &SolveStats) {
+        self.nodes_expanded += other.nodes_expanded;
+        self.pruned_bound += other.pruned_bound;
+        self.dominance_assigns += other.dominance_assigns;
+    }
+}
+
+/// Outcome of [`solve`].
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// The best complete assignment found (provably optimal when
+    /// `optimal` is true; otherwise never worse than the seed).
+    pub partition: Partition,
+    /// Objective value of `partition` under the configured cost model.
+    pub cost: f64,
+    /// Whether the search closed — i.e. `partition` is a provable minimum —
+    /// rather than being cut off by the time budget.
+    pub optimal: bool,
+    /// Effort counters.
+    pub stats: SolveStats,
+}
+
+/// The static half of a solve: dense adjacency, branch order, cost model.
+pub(crate) struct Problem {
+    pub(crate) n: usize,
+    pub(crate) n_banks: usize,
+    /// `adj[v]` lists `(neighbour_index, weight)`.
+    pub(crate) adj: Vec<Vec<(usize, f64)>>,
+    /// Branch order: most-constrained first.
+    pub(crate) order: Vec<usize>,
+    pub(crate) balance_weight: f64,
+}
+
+impl Problem {
+    pub(crate) fn new(g: &RcgGraph, n_banks: usize, balance_weight: f64) -> Self {
+        let n = g.n_nodes();
+        let adj: Vec<Vec<(usize, f64)>> = (0..n)
+            .map(|v| {
+                g.neighbours(VReg(v as u32))
+                    .iter()
+                    .map(|&(u, w)| (u.index(), w))
+                    .collect()
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        let constraint: Vec<f64> = adj
+            .iter()
+            .map(|a| a.iter().map(|&(_, w)| w.abs()).sum())
+            .collect();
+        order.sort_by(|&a, &b| {
+            constraint[b]
+                .partial_cmp(&constraint[a])
+                .expect("edge weights are finite")
+                .then(a.cmp(&b))
+        });
+        Problem {
+            n,
+            n_banks,
+            adj,
+            order,
+            balance_weight,
+        }
+    }
+}
+
+/// One DFS worker: the mutable half of a solve. The frontier module runs
+/// many of these over disjoint subtrees with a shared pruning bound.
+pub(crate) struct Searcher<'a> {
+    pub(crate) p: &'a Problem,
+    /// Register index → bank, [`UNASSIGNED`] for the suffix.
+    pub(crate) assigned: Vec<u8>,
+    /// Bank occupancy counts.
+    pub(crate) counts: Vec<u32>,
+    /// Number of occupied banks (always the prefix `0..used`).
+    pub(crate) used: usize,
+    /// Cost committed by the assigned prefix.
+    pub(crate) partial: f64,
+    /// Incumbent cost (starts at the seed's).
+    pub(crate) best_cost: f64,
+    /// Incumbent assignment (starts as the seed's).
+    pub(crate) best_assign: Vec<u8>,
+    /// Cross-thread best-cost bound as f64 bits (costs are non-negative, so
+    /// the IEEE bit pattern orders like the float). Pruning reads it;
+    /// improvements `fetch_min` into it. `None` when solving sequentially.
+    pub(crate) shared: Option<&'a AtomicU64>,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) timed_out: bool,
+    pub(crate) stats: SolveStats,
+}
+
+impl<'a> Searcher<'a> {
+    pub(crate) fn new(
+        p: &'a Problem,
+        seed_cost: f64,
+        seed_assign: Vec<u8>,
+        shared: Option<&'a AtomicU64>,
+        deadline: Option<Instant>,
+    ) -> Self {
+        Searcher {
+            assigned: vec![UNASSIGNED; p.n],
+            counts: vec![0; p.n_banks],
+            used: 0,
+            partial: 0.0,
+            best_cost: seed_cost,
+            best_assign: seed_assign,
+            shared,
+            deadline,
+            timed_out: false,
+            stats: SolveStats::default(),
+            p,
+        }
+    }
+
+    /// The tightest bound any thread has proven so far.
+    #[inline]
+    fn pruning_best(&self) -> f64 {
+        match self.shared {
+            Some(a) => f64::from_bits(a.load(Ordering::Relaxed)).min(self.best_cost),
+            None => self.best_cost,
+        }
+    }
+
+    /// Cost increase of placing `v` in bank `b` against the current prefix.
+    #[inline]
+    fn delta(&self, v: usize, b: u8) -> f64 {
+        let mut d = assign_edge_cost(&self.p.adj[v], &self.assigned, b);
+        if self.p.balance_weight > 0.0 {
+            d += self.p.balance_weight * (2 * u64::from(self.counts[b as usize]) + 1) as f64;
+        }
+        d
+    }
+
+    #[inline]
+    fn place(&mut self, v: usize, b: u8, d: f64) {
+        self.assigned[v] = b;
+        self.counts[b as usize] += 1;
+        self.partial += d;
+        if b as usize == self.used {
+            self.used += 1;
+        }
+    }
+
+    #[inline]
+    fn unplace(&mut self, v: usize, b: u8, d: f64, prev_used: usize) {
+        self.assigned[v] = UNASSIGNED;
+        self.counts[b as usize] -= 1;
+        self.partial -= d;
+        self.used = prev_used;
+    }
+
+    fn record_leaf(&mut self) {
+        let cost = self.partial;
+        let better = cost < self.best_cost - EPS;
+        let tied_but_smaller =
+            cost <= self.best_cost + EPS && self.assigned.as_slice() < self.best_assign.as_slice();
+        if better || tied_but_smaller {
+            self.best_cost = self.best_cost.min(cost);
+            self.best_assign.copy_from_slice(&self.assigned);
+            if let Some(a) = self.shared {
+                a.fetch_min(self.best_cost.to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Explore every completion of the current prefix, `depth` registers of
+    /// the branch order already placed.
+    pub(crate) fn dfs(&mut self, depth: usize) {
+        if self.timed_out {
+            return;
+        }
+        self.stats.nodes_expanded += 1;
+        if self.stats.nodes_expanded & 1023 == 0 {
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.timed_out = true;
+                    return;
+                }
+            }
+        }
+        if depth == self.p.n {
+            self.record_leaf();
+            return;
+        }
+
+        let lb = self.partial
+            + unassigned_edge_bound(&self.p.adj, &self.assigned, self.used, self.p.n_banks)
+            + balance_relaxation(&self.counts, self.p.n - depth, self.p.balance_weight);
+        if lb > self.pruning_best() + EPS {
+            self.stats.pruned_bound += 1;
+            return;
+        }
+
+        let v = self.p.order[depth];
+        let cand = (self.used + 1).min(self.p.n_banks) as u8;
+
+        // Dominance: with no balance term and no unassigned neighbour, v's
+        // contribution is already fully determined — place it at its
+        // cheapest bank (lowest index on ties) without branching.
+        if self.p.balance_weight == 0.0
+            && self.p.adj[v]
+                .iter()
+                .all(|&(u, _)| self.assigned[u] != UNASSIGNED)
+        {
+            let (mut best_b, mut best_d) = (0u8, f64::INFINITY);
+            for b in 0..cand {
+                let d = self.delta(v, b);
+                if d < best_d {
+                    best_d = d;
+                    best_b = b;
+                }
+            }
+            self.stats.dominance_assigns += 1;
+            let prev_used = self.used;
+            self.place(v, best_b, best_d);
+            self.dfs(depth + 1);
+            self.unplace(v, best_b, best_d, prev_used);
+            return;
+        }
+
+        // Branch cheapest-delta-first (ties by bank index): good incumbents
+        // arrive early, which makes the bound bite sooner.
+        let mut branches: Vec<(f64, u8)> = (0..cand).map(|b| (self.delta(v, b), b)).collect();
+        branches.sort_by(|x, y| {
+            x.0.partial_cmp(&y.0)
+                .expect("deltas are finite")
+                .then(x.1.cmp(&y.1))
+        });
+        for (d, b) in branches {
+            let prev_used = self.used;
+            self.place(v, b, d);
+            self.dfs(depth + 1);
+            self.unplace(v, b, d, prev_used);
+            if self.timed_out {
+                return;
+            }
+        }
+    }
+}
+
+/// Seed handling shared by the sequential and parallel paths: score the
+/// caller's partition (the pipeline passes the greedy result) or fall back
+/// to the worst admissible incumbent.
+pub(crate) fn seed_incumbent(
+    g: &RcgGraph,
+    n_banks: usize,
+    seed: Option<&Partition>,
+    balance_weight: f64,
+) -> (f64, Vec<u8>) {
+    match seed {
+        Some(part) => {
+            assert_eq!(
+                part.bank_of.len(),
+                g.n_nodes(),
+                "seed covers every register"
+            );
+            assert!(part.n_banks <= n_banks, "seed uses more banks than allowed");
+            let assign: Vec<u8> = part.bank_of.iter().map(|c| c.index() as u8).collect();
+            (partition_cost(g, part, balance_weight), assign)
+        }
+        // Bank 0 for everything: always feasible, deliberately poor.
+        None => {
+            let part = Partition::trivial(g.n_nodes().max(1));
+            let part = Partition {
+                bank_of: part.bank_of[..g.n_nodes()].to_vec(),
+                n_banks,
+            };
+            (
+                partition_cost(g, &part, balance_weight),
+                vec![0u8; g.n_nodes()],
+            )
+        }
+    }
+}
+
+/// Find a minimum-cost bank assignment of `g`'s registers to `n_banks`
+/// banks by branch-and-bound.
+///
+/// `seed` primes the incumbent (the driver passes the greedy partition), so
+/// even a budget-expired solve returns something no worse than the seed.
+/// The result is deterministic: equal-cost optima resolve to the
+/// lexicographically smallest `bank_of`.
+pub fn solve(
+    g: &RcgGraph,
+    n_banks: usize,
+    seed: Option<&Partition>,
+    cfg: &ExactConfig,
+) -> ExactResult {
+    assert!(n_banks >= 1, "at least one bank");
+    assert!(n_banks < UNASSIGNED as usize, "bank indices must fit in u8");
+    let start = Instant::now();
+    let deadline = (cfg.budget_ms > 0).then(|| start + Duration::from_millis(cfg.budget_ms));
+
+    let p = Problem::new(g, n_banks, cfg.balance_weight);
+    let (seed_cost, seed_assign) = seed_incumbent(g, n_banks, seed, cfg.balance_weight);
+
+    let (best_cost, best_assign, mut stats, timed_out) = if cfg.parallel && p.n >= 4 {
+        crate::frontier::solve_parallel(&p, seed_cost, seed_assign, deadline)
+    } else {
+        let mut s = Searcher::new(&p, seed_cost, seed_assign, None, deadline);
+        s.dfs(0);
+        (s.best_cost, s.best_assign, s.stats, s.timed_out)
+    };
+    stats.elapsed = start.elapsed();
+
+    ExactResult {
+        partition: Partition {
+            bank_of: best_assign
+                .into_iter()
+                .map(|b| ClusterId(u32::from(b)))
+                .collect(),
+            n_banks,
+        },
+        cost: best_cost,
+        optimal: !timed_out,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attracted_pair_ends_up_together() {
+        let mut g = RcgGraph::new(2);
+        g.bump_edge(VReg(0), VReg(1), 5.0);
+        let r = solve(&g, 4, None, &ExactConfig::default());
+        assert!(r.optimal);
+        assert_eq!(r.cost, 0.0);
+        assert_eq!(r.partition.bank(VReg(0)), r.partition.bank(VReg(1)));
+    }
+
+    #[test]
+    fn repelled_pair_splits() {
+        let mut g = RcgGraph::new(2);
+        g.bump_edge(VReg(0), VReg(1), -5.0);
+        let r = solve(&g, 2, None, &ExactConfig::default());
+        assert!(r.optimal);
+        assert_eq!(r.cost, 0.0);
+        assert_ne!(r.partition.bank(VReg(0)), r.partition.bank(VReg(1)));
+    }
+
+    #[test]
+    fn single_bank_pays_every_repulsion() {
+        let mut g = RcgGraph::new(3);
+        g.bump_edge(VReg(0), VReg(1), -2.0);
+        g.bump_edge(VReg(1), VReg(2), -3.0);
+        let r = solve(&g, 1, None, &ExactConfig::default());
+        assert!(r.optimal);
+        assert_eq!(r.cost, 5.0);
+    }
+
+    #[test]
+    fn frustrated_triangle_pays_the_cheapest_edge() {
+        // Three mutually-attracted nodes, two banks... all together is free.
+        // Make the triangle frustrated instead: two attractions, one strong
+        // repulsion. Best: split the repelled pair, cut the weaker
+        // attraction.
+        let mut g = RcgGraph::new(3);
+        g.bump_edge(VReg(0), VReg(1), 1.0);
+        g.bump_edge(VReg(1), VReg(2), 2.0);
+        g.bump_edge(VReg(0), VReg(2), -10.0);
+        let r = solve(&g, 2, None, &ExactConfig::default());
+        assert!(r.optimal);
+        assert!((r.cost - 1.0).abs() < 1e-12, "cost = {}", r.cost);
+    }
+
+    #[test]
+    fn result_is_canonical_under_symmetry() {
+        // Whatever the optimum, the returned labelling opens banks in order:
+        // the first node of bank k+1 appears after the first node of bank k.
+        let mut g = RcgGraph::new(4);
+        g.bump_edge(VReg(0), VReg(1), -1.0);
+        g.bump_edge(VReg(2), VReg(3), -1.0);
+        let r = solve(&g, 4, None, &ExactConfig::default());
+        assert!(r.optimal);
+        let mut seen = 0u32;
+        for c in &r.partition.bank_of {
+            assert!(c.0 <= seen, "bank labels must open contiguously");
+            seen = seen.max(c.0 + 1);
+        }
+    }
+
+    #[test]
+    fn seed_is_never_worsened_even_with_tiny_budget() {
+        let mut g = RcgGraph::new(6);
+        for a in 0..6u32 {
+            for b in (a + 1)..6u32 {
+                g.bump_edge(VReg(a), VReg(b), if (a + b) % 2 == 0 { 1.5 } else { -0.5 });
+            }
+        }
+        let seed = Partition {
+            bank_of: (0..6).map(|i| ClusterId(i % 2)).collect(),
+            n_banks: 2,
+        };
+        let seed_cost = partition_cost(&g, &seed, 0.0);
+        // A zero-ish budget: either it finishes (tiny graph) or it returns
+        // the seed; both must satisfy cost ≤ seed_cost.
+        let r = solve(
+            &g,
+            2,
+            Some(&seed),
+            &ExactConfig {
+                budget_ms: 1,
+                ..Default::default()
+            },
+        );
+        assert!(r.cost <= seed_cost + 1e-12);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut g = RcgGraph::new(8);
+        for a in 0..8u32 {
+            for b in (a + 1)..8u32 {
+                let w = ((a * 7 + b * 3) % 5) as f64 - 2.0;
+                if w != 0.0 {
+                    g.bump_edge(VReg(a), VReg(b), w);
+                }
+            }
+        }
+        let r1 = solve(&g, 4, None, &ExactConfig::default());
+        let r2 = solve(&g, 4, None, &ExactConfig::default());
+        assert!(r1.optimal && r2.optimal);
+        assert_eq!(r1.partition, r2.partition);
+        assert_eq!(r1.cost, r2.cost);
+    }
+
+    #[test]
+    fn empty_graph_solves_trivially() {
+        let g = RcgGraph::new(0);
+        let r = solve(&g, 4, None, &ExactConfig::default());
+        assert!(r.optimal);
+        assert_eq!(r.cost, 0.0);
+        assert!(r.partition.bank_of.is_empty());
+    }
+
+    #[test]
+    fn balance_weight_spreads_isolated_nodes() {
+        let g = RcgGraph::new(4);
+        let cfg = ExactConfig {
+            balance_weight: 0.25,
+            ..Default::default()
+        };
+        let r = solve(&g, 2, None, &cfg);
+        assert!(r.optimal);
+        let sizes = r.partition.sizes();
+        assert_eq!(sizes, vec![2, 2], "quadratic balance wants an even split");
+    }
+}

@@ -36,6 +36,14 @@ pub enum PartitionerKind {
     Component,
     /// Round-robin.
     RoundRobin,
+    /// Branch-and-bound over the RCG (`vliw-exact`), seeded with the greedy
+    /// partition: provably optimal on small loops, anytime best-so-far on
+    /// the rest. `budget_ms` caps the search wall-clock; `0` means
+    /// unlimited.
+    Exact {
+        /// Search budget in milliseconds (`0` = run to proven optimality).
+        budget_ms: u64,
+    },
 }
 
 /// Which modulo scheduler produces the ideal and clustered schedules.
@@ -231,6 +239,18 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
             component_partition(g, n_banks)
         }
         PartitionerKind::RoundRobin => round_robin_partition(body.n_vregs(), n_banks),
+        PartitionerKind::Exact { budget_ms } => {
+            let g = rcg.insert(build_rcg(body, ideal, slack, &cfg.partition));
+            let caps: Vec<usize> = machine.clusters.iter().map(|c| c.n_fus).collect();
+            let seed = vliw_core::assign_banks_caps(g, &caps, &cfg.partition);
+            // Sequential on purpose: run_loop is routinely fanned out over
+            // rayon corpus sweeps, and nested thread pools would multiply.
+            let exact_cfg = vliw_exact::ExactConfig {
+                budget_ms,
+                ..Default::default()
+            };
+            vliw_exact::solve(g, n_banks, Some(&seed), &exact_cfg).partition
+        }
     };
 
     let analyzer = Analyzer::with_default_passes();
@@ -384,7 +404,7 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
                 let mut found = Report::new();
                 found.push(Diagnostic::new(
                     vliw_analysis::LintCode::Sim006,
-                    "sim",
+                    vliw_analysis::Stage::Sim,
                     vliw_analysis::SourceLoc::default(),
                     "physical-register execution (post-MVE renaming + colouring) \
                      diverges from the scalar reference"
@@ -407,7 +427,7 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
                 diagnostics.push(
                     Diagnostic::new(
                         vliw_analysis::LintCode::Sim006,
-                        "sim",
+                        vliw_analysis::Stage::Sim,
                         vliw_analysis::SourceLoc::default(),
                         format!(
                             "physical-register verification skipped: colouring \
@@ -488,6 +508,7 @@ mod tests {
             PartitionerKind::Component,
             PartitionerKind::RoundRobin,
             PartitionerKind::Iterated(2, 4),
+            PartitionerKind::Exact { budget_ms: 2000 },
         ] {
             let cfg = PipelineConfig {
                 partitioner: kind,

@@ -6,7 +6,7 @@
 //! One item per line:
 //!
 //! ```text
-//! partitioner greedy            ; or bug | component | round-robin | iterated R B
+//! partitioner greedy            ; or bug | component | round-robin | iterated R B | exact MS
 //! scheduler ims                 ; or swing
 //! partition crit=4.0 repulse=0.5 balance=0.6 depth_base=2.0
 //! ims budget_ratio=12 max_ii_tries=48
@@ -61,6 +61,7 @@ pub fn format_pipeline_config(cfg: &PipelineConfig) -> String {
             PartitionerKind::Bug => "bug".to_string(),
             PartitionerKind::Component => "component".to_string(),
             PartitionerKind::RoundRobin => "round-robin".to_string(),
+            PartitionerKind::Exact { budget_ms } => format!("exact {budget_ms}"),
         }
     );
     let _ = writeln!(
@@ -124,6 +125,9 @@ pub fn parse_pipeline_config(text: &str) -> Result<PipelineConfig, ConfigParseEr
                         r.parse().map_err(|_| err(line, "bad iterated rounds"))?,
                         b.parse().map_err(|_| err(line, "bad iterated beam"))?,
                     ),
+                    ["exact", ms] => PartitionerKind::Exact {
+                        budget_ms: ms.parse().map_err(|_| err(line, "bad exact budget"))?,
+                    },
                     _ => return Err(err(line, format!("unknown partitioner `{rest}`"))),
                 };
             }
@@ -213,6 +217,60 @@ mod tests {
         ] {
             assert_round_trip(&PipelineConfig {
                 partitioner: p,
+                ..Default::default()
+            });
+        }
+    }
+
+    /// A strategy over EVERY `PartitionerKind` variant. The inner match is
+    /// deliberately non-wildcard: adding a variant without extending this
+    /// strategy (and the canonical encode/parse above) is a compile error
+    /// here, not a silently-broken cache key in vliw-serve.
+    fn any_partitioner() -> impl proptest::prelude::Strategy<Value = PartitionerKind> {
+        use proptest::prelude::*;
+        #[allow(dead_code)]
+        fn exhaustiveness_guard(k: PartitionerKind) {
+            match k {
+                PartitionerKind::Greedy
+                | PartitionerKind::Bug
+                | PartitionerKind::Component
+                | PartitionerKind::RoundRobin
+                | PartitionerKind::Iterated(_, _)
+                | PartitionerKind::Exact { .. } => {}
+            }
+        }
+        prop_oneof![
+            Just(PartitionerKind::Greedy),
+            Just(PartitionerKind::Bug),
+            Just(PartitionerKind::Component),
+            Just(PartitionerKind::RoundRobin),
+            (0usize..64, 0usize..64).prop_map(|(r, b)| PartitionerKind::Iterated(r, b)),
+            (0u64..1_000_000).prop_map(|budget_ms| PartitionerKind::Exact { budget_ms }),
+        ]
+    }
+
+    proptest::proptest! {
+        /// Satellite: encode → parse → encode is a fixpoint for every
+        /// partitioner variant, so the serve cache keys stay faithful.
+        #[test]
+        fn partitioner_round_trip_is_exhaustive(p in any_partitioner()) {
+            let cfg = PipelineConfig {
+                partitioner: p,
+                ..Default::default()
+            };
+            let text = format_pipeline_config(&cfg);
+            let back = parse_pipeline_config(&text)
+                .map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+            proptest::prop_assert_eq!(back.partitioner, p);
+            proptest::prop_assert_eq!(format_pipeline_config(&back), text);
+        }
+    }
+
+    #[test]
+    fn round_trips_exact_variant() {
+        for budget_ms in [0u64, 1, 2000, u64::MAX] {
+            assert_round_trip(&PipelineConfig {
+                partitioner: PartitionerKind::Exact { budget_ms },
                 ..Default::default()
             });
         }

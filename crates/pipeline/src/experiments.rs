@@ -360,6 +360,17 @@ pub fn ablation(corpus: &[Loop], machine: &MachineDesc) -> Vec<AblationRow> {
                 ..Default::default()
             },
         ),
+        (
+            // Anytime budget per loop: small loops close optimally, large
+            // ones return the greedy seed improved as far as the budget
+            // allowed — so this row lower-bounds what optimal partitioning
+            // could buy end-to-end.
+            "exact(200ms)",
+            PipelineConfig {
+                partitioner: PartitionerKind::Exact { budget_ms: 200 },
+                ..Default::default()
+            },
+        ),
     ];
     variants
         .into_iter()
@@ -400,6 +411,233 @@ pub fn render_ablation(rows: &[AblationRow], title: &str) -> String {
         );
     }
     s
+}
+
+/// One machine model's row of the greedy-vs-optimal gap table.
+#[derive(Debug, Clone)]
+pub struct GapRow {
+    /// Machine name.
+    pub machine: String,
+    /// Loops evaluated (the small-loop slice of the corpus).
+    pub n_loops: usize,
+    /// Loops where the branch-and-bound closed, i.e. proved optimality.
+    pub n_optimal: usize,
+    /// Loops where the greedy partition already achieves the optimal RCG
+    /// objective (within 1e-9).
+    pub n_greedy_optimal: usize,
+    /// Mean RCG objective of the greedy partition.
+    pub mean_greedy_cost: f64,
+    /// Mean RCG objective of the exact partition.
+    pub mean_exact_cost: f64,
+    /// Greedy's excess objective over optimal as a percent of the greedy
+    /// total (`100·(Σgreedy − Σexact)/Σgreedy`; 0 = greedy optimal
+    /// everywhere).
+    pub cost_excess_pct: f64,
+    /// Mean kernel copies under the greedy partitioner (full pipeline).
+    pub mean_greedy_copies: f64,
+    /// Mean kernel copies under the exact partitioner (full pipeline).
+    pub mean_exact_copies: f64,
+    /// Mean normalised II under greedy (100 = ideal).
+    pub mean_greedy_norm: f64,
+    /// Mean normalised II under exact (100 = ideal).
+    pub mean_exact_norm: f64,
+    /// Branch-and-bound tree nodes expanded across the slice.
+    pub nodes_expanded: u64,
+}
+
+/// The optimality-gap experiment: greedy vs branch-and-bound, per machine.
+#[derive(Debug, Clone)]
+pub struct GapTable {
+    /// Per-loop search budget used, in milliseconds.
+    pub budget_ms: u64,
+    /// Register-count ceiling of the corpus slice.
+    pub max_regs: usize,
+    /// One row per machine model.
+    pub rows: Vec<GapRow>,
+}
+
+impl GapTable {
+    /// True iff the search closed on every loop of every row.
+    pub fn all_optimal(&self) -> bool {
+        self.rows.iter().all(|r| r.n_optimal == r.n_loops)
+    }
+
+    /// True iff the exact objective never exceeds the greedy objective
+    /// (guaranteed by construction — the search is seeded with greedy —
+    /// so a `false` here means the solver is broken).
+    pub fn exact_le_greedy(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|r| r.mean_exact_cost <= r.mean_greedy_cost + 1e-9)
+    }
+
+    /// Render as the EXPERIMENTS.md table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Optimality gap: greedy vs branch-and-bound (loops with ≤{} vregs, budget {} ms)",
+            self.max_regs, self.budget_ms
+        );
+        let _ = writeln!(
+            s,
+            "{:<10} {:>5} {:>6} {:>9} {:>9} {:>9} {:>8} {:>11} {:>11}",
+            "Model",
+            "Loops",
+            "Opt%",
+            "Grdy-opt%",
+            "Cost-grdy",
+            "Cost-opt",
+            "Excess%",
+            "Copies g/e",
+            "NormII g/e"
+        );
+        for r in &self.rows {
+            let pct = |n: usize| 100.0 * n as f64 / r.n_loops.max(1) as f64;
+            let _ = writeln!(
+                s,
+                "{:<10} {:>5} {:>5.0}% {:>8.0}% {:>9.2} {:>9.2} {:>7.1}% {:>5.2}/{:<5.2} {:>5.1}/{:<5.1}",
+                r.machine,
+                r.n_loops,
+                pct(r.n_optimal),
+                pct(r.n_greedy_optimal),
+                r.mean_greedy_cost,
+                r.mean_exact_cost,
+                r.cost_excess_pct,
+                r.mean_greedy_copies,
+                r.mean_exact_copies,
+                r.mean_greedy_norm,
+                r.mean_exact_norm
+            );
+        }
+        let _ = writeln!(
+            s,
+            "all_optimal={} exact<=greedy={}",
+            self.all_optimal(),
+            self.exact_le_greedy()
+        );
+        s
+    }
+}
+
+/// Compute the gap table over the paper's six machine models.
+pub fn gap_table(corpus: &[Loop], budget_ms: u64, max_regs: usize) -> GapTable {
+    gap_table_with(corpus, &paper_machines(), budget_ms, max_regs, &run_loop)
+}
+
+/// [`gap_table`] with explicit machines and an injected runner for the two
+/// full-pipeline passes (the RCG-objective comparison always runs in
+/// process — it needs the graph, not just the [`LoopResult`]).
+pub fn gap_table_with(
+    corpus: &[Loop],
+    machines: &[MachineDesc],
+    budget_ms: u64,
+    max_regs: usize,
+    runner: &dyn LoopRunner,
+) -> GapTable {
+    let small: Vec<&Loop> = corpus.iter().filter(|l| l.n_vregs() <= max_regs).collect();
+    struct PairOut {
+        greedy_cost: f64,
+        exact_cost: f64,
+        optimal: bool,
+        nodes: u64,
+        greedy_copies: usize,
+        exact_copies: usize,
+        greedy_norm: f64,
+        exact_norm: f64,
+    }
+    let pairs: Vec<(&MachineDesc, &Loop)> = machines
+        .iter()
+        .flat_map(|m| small.iter().map(move |&l| (m, l)))
+        .collect();
+    let flat: Vec<PairOut> = pairs
+        .par_iter()
+        .map(|&(m, l)| {
+            let part_cfg = vliw_core::PartitionConfig::default();
+            let ctx = vliw_core::LoopContext::new(l, m);
+            let g = vliw_core::build_rcg(l, &ctx.ideal, &ctx.slack, &part_cfg);
+            let caps: Vec<usize> = m.clusters.iter().map(|c| c.n_fus).collect();
+            let greedy = vliw_core::assign_banks_caps(&g, &caps, &part_cfg);
+            let greedy_cost = vliw_exact::partition_cost(&g, &greedy, 0.0);
+            let exact = vliw_exact::solve(
+                &g,
+                m.n_clusters(),
+                Some(&greedy),
+                &vliw_exact::ExactConfig {
+                    budget_ms,
+                    ..Default::default()
+                },
+            );
+            let rg = runner.run(l, m, &PipelineConfig::default());
+            let re = runner.run(
+                l,
+                m,
+                &PipelineConfig {
+                    partitioner: PartitionerKind::Exact { budget_ms },
+                    ..Default::default()
+                },
+            );
+            PairOut {
+                greedy_cost,
+                exact_cost: exact.cost,
+                optimal: exact.optimal,
+                nodes: exact.stats.nodes_expanded,
+                greedy_copies: rg.n_copies,
+                exact_copies: re.n_copies,
+                greedy_norm: rg.normalized,
+                exact_norm: re.normalized,
+            }
+        })
+        .collect();
+
+    let rows = machines
+        .iter()
+        .zip(flat.chunks(small.len().max(1)))
+        .map(|(m, outs)| {
+            let n = outs.len();
+            let sum_greedy: f64 = outs.iter().map(|o| o.greedy_cost).sum();
+            let sum_exact: f64 = outs.iter().map(|o| o.exact_cost).sum();
+            GapRow {
+                machine: m.name.clone(),
+                n_loops: n,
+                n_optimal: outs.iter().filter(|o| o.optimal).count(),
+                n_greedy_optimal: outs
+                    .iter()
+                    .filter(|o| o.greedy_cost <= o.exact_cost + 1e-9)
+                    .count(),
+                mean_greedy_cost: sum_greedy / n.max(1) as f64,
+                mean_exact_cost: sum_exact / n.max(1) as f64,
+                cost_excess_pct: if sum_greedy > 0.0 {
+                    100.0 * (sum_greedy - sum_exact) / sum_greedy
+                } else {
+                    0.0
+                },
+                mean_greedy_copies: arith_mean(
+                    &outs
+                        .iter()
+                        .map(|o| o.greedy_copies as f64)
+                        .collect::<Vec<_>>(),
+                ),
+                mean_exact_copies: arith_mean(
+                    &outs
+                        .iter()
+                        .map(|o| o.exact_copies as f64)
+                        .collect::<Vec<_>>(),
+                ),
+                mean_greedy_norm: arith_mean(
+                    &outs.iter().map(|o| o.greedy_norm).collect::<Vec<_>>(),
+                ),
+                mean_exact_norm: arith_mean(&outs.iter().map(|o| o.exact_norm).collect::<Vec<_>>()),
+                nodes_expanded: outs.iter().map(|o| o.nodes).sum(),
+            }
+        })
+        .collect();
+
+    GapTable {
+        budget_ms,
+        max_regs,
+        rows,
+    }
 }
 
 /// One row of the scheduler comparison.

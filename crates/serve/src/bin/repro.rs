@@ -2,13 +2,21 @@
 //!
 //! ```text
 //! repro [--table1] [--table2] [--fig5] [--fig6] [--fig7]
-//!       [--example] [--ablation] [--latency-sweep] [--all]
+//!       [--example] [--ablation] [--gap] [--latency-sweep] [--all]
 //!       [--loops N]   # truncate the corpus for a quick run
+//!       [--partitioner greedy|exact]  # table/figure sweeps' partitioner
+//!       [--budget-ms N]               # exact-search budget (default 2000)
 //!       [--cache] [--cache-dir PATH]
 //! ```
 //!
 //! `--csv PATH` additionally writes per-loop rows for every paper machine
 //! model to PATH. With no flags, `--all` is assumed.
+//!
+//! `--gap` prints the optimality-gap table: on the ≤12-register slice of
+//! the corpus, the greedy partition is compared against the `vliw-exact`
+//! branch-and-bound optimum — RCG objective and full-pipeline II/copies —
+//! per paper machine model. The trailing `all_optimal=…` /
+//! `exact<=greedy=…` line is what `ci.sh`'s gap smoke asserts on.
 //!
 //! `--cache` routes every per-loop compile of the table/figure sweeps
 //! through a process-local content-addressed cache (in-memory LRU over
@@ -52,7 +60,21 @@ fn main() {
     }
     let mut corpus = vliw_loopgen::corpus();
     corpus.truncate(n_loops);
-    let cfg = PipelineConfig::default();
+
+    let budget_ms: u64 = args
+        .iter()
+        .position(|a| a == "--budget-ms")
+        .and_then(|pos| args.get(pos + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let mut cfg = PipelineConfig::default();
+    if let Some(pos) = args.iter().position(|a| a == "--partitioner") {
+        cfg.partitioner = match args.get(pos + 1).map(String::as_str) {
+            Some("greedy") | None => vliw_pipeline::PartitionerKind::Greedy,
+            Some("exact") => vliw_pipeline::PartitionerKind::Exact { budget_ms },
+            Some(other) => panic!("--partitioner expects greedy|exact, got `{other}`"),
+        };
+    }
 
     let engine = if has("--cache") {
         let root = args
@@ -153,6 +175,17 @@ fn main() {
             "{}",
             render_ablation(&rows, "Ablation A: partitioners on 4x4 embedded")
         );
+        println!();
+    }
+    if all || has("--gap") {
+        let table = vliw_pipeline::gap_table_with(
+            &corpus,
+            &vliw_pipeline::paper_machines(),
+            budget_ms,
+            12,
+            runner,
+        );
+        println!("{}", table.render());
         println!();
     }
     if all || has("--schedulers") {

@@ -13,14 +13,17 @@
 //! moment compile semantics change without the text changing).
 //!
 //! A [`CompileResult`] carries every scalar artifact of
-//! [`vliw_pipeline::LoopResult`] plus the lint diagnostics pre-rendered as
-//! text lines. Diagnostics cross the wire as rendered strings because
-//! [`vliw_analysis::Diagnostic`] anchors its `stage` as `&'static str`; a
-//! result reconstructed from cache therefore reports diagnostics in
-//! [`CompileResult::diagnostics`] only, with an empty `LoopResult` list.
+//! [`vliw_pipeline::LoopResult`] plus the lint diagnostics as structured
+//! JSON objects (code, severity, stage, message, and the optional source
+//! anchors). Every field of [`vliw_analysis::Diagnostic`] round-trips —
+//! `stage` is the closed [`vliw_analysis::Stage`] enum and codes resolve
+//! through [`vliw_analysis::LintCode::from_code`] — so a result
+//! reconstructed from cache carries the same diagnostics a direct
+//! [`vliw_pipeline::run_loop`] call would have produced.
 
 use crate::hash::sha256_hex;
 use crate::json::{parse_json, Json};
+use vliw_analysis::{Diagnostic, LintCode, Severity, SourceLoc, Stage};
 use vliw_ir::{format_loop_full, parse_loop, Loop};
 use vliw_machine::{format_machine, parse_machine, MachineDesc};
 use vliw_pipeline::{format_pipeline_config, parse_pipeline_config, LoopResult, PipelineConfig};
@@ -35,8 +38,9 @@ pub type CacheKey = String;
 /// they simply live under keys no current request can produce.
 ///
 /// History: 1 = PR 3 layout (implicit — no version byte in the preimage);
-/// 2 = this version byte plus the single-buffer preimage.
-pub const CACHE_FORMAT_VERSION: u8 = 2;
+/// 2 = this version byte plus the single-buffer preimage; 3 = diagnostics
+/// stored as structured objects instead of pre-rendered text lines.
+pub const CACHE_FORMAT_VERSION: u8 = 3;
 
 /// One compile job: the full pipeline input set as canonical text.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -230,8 +234,78 @@ pub struct CompileResult {
     pub spill_rounds: usize,
     /// Simulation verdict (`None` = simulation disabled).
     pub sim_ok: Option<bool>,
-    /// Lint findings, pre-rendered with `Diagnostic::render_text`.
-    pub diagnostics: Vec<String>,
+    /// Lint findings, carried in full structured form.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Encode one diagnostic as the wire/cache JSON object. The shape matches
+/// [`Diagnostic::render_json`]: `code`, `slug`, `severity`, `stage`,
+/// `message`, plus whichever source anchors are present.
+fn diag_to_json(d: &Diagnostic) -> Json {
+    let mut fields: Vec<(&str, Json)> = vec![
+        ("code", Json::Str(d.code.code().to_string())),
+        ("slug", Json::Str(d.code.slug().to_string())),
+        ("severity", Json::Str(d.severity.name().to_string())),
+        ("stage", Json::Str(d.stage.name().to_string())),
+        ("message", Json::Str(d.message.clone())),
+    ];
+    if let Some(o) = d.loc.op {
+        fields.push(("op", Json::Num(o.index() as f64)));
+    }
+    if let Some(v) = d.loc.vreg {
+        fields.push(("vreg", Json::Num(v.index() as f64)));
+    }
+    if let Some(c) = d.loc.cycle {
+        fields.push(("cycle", Json::Num(c as f64)));
+    }
+    if let Some(c) = d.loc.cluster {
+        fields.push(("cluster", Json::Num(c.index() as f64)));
+    }
+    Json::obj(fields)
+}
+
+/// Decode one diagnostic object. `slug` is derived from the code and is
+/// ignored on input; unknown codes, stages or severities are decode errors
+/// (the cache-format version retires old spellings, so a mismatch means
+/// corruption, not drift).
+fn diag_from_json(v: &Json) -> Result<Diagnostic, String> {
+    let s = |k: &str| -> Result<&str, String> {
+        v.get(k)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("diagnostic missing string field `{k}`"))
+    };
+    let code = LintCode::from_code(s("code")?)
+        .ok_or_else(|| format!("unknown lint code `{}`", s("code").unwrap()))?;
+    let severity = Severity::parse(s("severity")?)
+        .ok_or_else(|| format!("unknown severity `{}`", s("severity").unwrap()))?;
+    let stage = Stage::parse(s("stage")?)
+        .ok_or_else(|| format!("unknown stage `{}`", s("stage").unwrap()))?;
+    let opt_u32 = |k: &str| -> Result<Option<u32>, String> {
+        match v.get(k) {
+            None | Some(Json::Null) => Ok(None),
+            Some(j) => j
+                .as_f64()
+                .filter(|n| *n >= 0.0 && *n == n.trunc())
+                .map(|n| Some(n as u32))
+                .ok_or_else(|| format!("diagnostic field `{k}` is not an index")),
+        }
+    };
+    let loc = SourceLoc {
+        op: opt_u32("op")?.map(vliw_ir::OpId),
+        vreg: opt_u32("vreg")?.map(vliw_ir::VReg),
+        cycle: match v.get("cycle") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(
+                j.as_f64()
+                    .filter(|n| *n == n.trunc())
+                    .ok_or("diagnostic field `cycle` is not an integer")? as i64,
+            ),
+        },
+        cluster: opt_u32("cluster")?.map(vliw_machine::ClusterId),
+    };
+    let mut d = Diagnostic::new(code, stage, loc, s("message")?.to_string());
+    d.severity = severity;
+    Ok(d)
 }
 
 impl CompileResult {
@@ -253,13 +327,13 @@ impl CompileResult {
             peak_float_pressure: r.peak_float_pressure,
             spill_rounds: r.spill_rounds,
             sim_ok: r.sim_ok,
-            diagnostics: r.diagnostics.iter().map(|d| d.render_text()).collect(),
+            diagnostics: r.diagnostics.clone(),
         }
     }
 
     /// Reconstruct a [`LoopResult`] for harness code that consumes one.
-    /// Diagnostics stay in [`CompileResult::diagnostics`] as text (see the
-    /// module docs); the reconstructed list is empty.
+    /// Diagnostics carry over in full: a cache hit reports the same
+    /// findings the original compile did.
     pub fn to_loop_result(&self) -> LoopResult {
         LoopResult {
             name: self.name.clone(),
@@ -276,7 +350,7 @@ impl CompileResult {
             peak_float_pressure: self.peak_float_pressure,
             spill_rounds: self.spill_rounds,
             sim_ok: self.sim_ok,
-            diagnostics: Vec::new(),
+            diagnostics: self.diagnostics.clone(),
         }
     }
 
@@ -309,12 +383,7 @@ impl CompileResult {
             ),
             (
                 "diagnostics",
-                Json::Arr(
-                    self.diagnostics
-                        .iter()
-                        .map(|d| Json::Str(d.clone()))
-                        .collect(),
-                ),
+                Json::Arr(self.diagnostics.iter().map(diag_to_json).collect()),
             ),
         ])
     }
@@ -349,11 +418,7 @@ impl CompileResult {
             .and_then(Json::as_arr)
             .ok_or("result missing array field `diagnostics`")?
             .iter()
-            .map(|d| {
-                d.as_str()
-                    .map(str::to_string)
-                    .ok_or_else(|| "non-string diagnostic".to_string())
-            })
+            .map(diag_from_json)
             .collect::<Result<Vec<_>, _>>()?;
         Ok(CompileResult {
             key: str_field("key")?,
@@ -466,6 +531,75 @@ mod tests {
         assert_eq!(rebuilt.clustered_ii, lr.clustered_ii);
         assert_eq!(rebuilt.normalized, lr.normalized);
         assert_eq!(rebuilt.sim_ok, lr.sim_ok);
+    }
+
+    #[test]
+    fn diagnostics_round_trip_structured() {
+        // A hand-built result exercising every diagnostic field, including a
+        // severity that differs from the code's default and every source
+        // anchor at once.
+        let mut demoted = Diagnostic::new(
+            LintCode::Pres002,
+            Stage::Pressure,
+            SourceLoc::vreg(vliw_ir::VReg(7))
+                .at_cycle(-3)
+                .in_cluster(vliw_machine::ClusterId(2)),
+            "pressure 9 exceeds capacity 8 with \"quotes\"\nand a newline".into(),
+        );
+        demoted.severity = Severity::Warn;
+        let res = CompileResult {
+            key: "k".repeat(64),
+            name: "diag-loop".into(),
+            n_ops: 1,
+            ideal_ii: 1,
+            clustered_ii: 1,
+            n_copies: 0,
+            n_hoisted: 0,
+            ideal_ipc: 1.0,
+            clustered_ipc: 1.0,
+            normalized: 100.0,
+            spills: 0,
+            mve_unroll: 1,
+            peak_float_pressure: 0,
+            spill_rounds: 0,
+            sim_ok: Some(false),
+            diagnostics: vec![
+                demoted,
+                Diagnostic::new(
+                    LintCode::Sim006,
+                    Stage::Sim,
+                    SourceLoc::op(vliw_ir::OpId(4)),
+                    "divergence".into(),
+                ),
+            ],
+        };
+        let back = CompileResult::from_json_text(&res.to_json().render()).unwrap();
+        assert_eq!(back, res);
+        // The reconstructed LoopResult carries the findings too — a cache
+        // hit is indistinguishable from a direct compile.
+        assert_eq!(back.to_loop_result().diagnostics, res.diagnostics);
+    }
+
+    #[test]
+    fn diagnostic_decode_rejects_unknown_names() {
+        let good = diag_to_json(&Diagnostic::new(
+            LintCode::Bank001,
+            Stage::Partition,
+            SourceLoc::default(),
+            "m".into(),
+        ));
+        assert!(diag_from_json(&good).is_ok());
+        for (field, bad) in [
+            ("code", "BANK999"),
+            ("severity", "fatal"),
+            ("stage", "banks"),
+        ] {
+            let mut j = good.clone();
+            if let Json::Obj(m) = &mut j {
+                m.insert(field.into(), Json::Str(bad.to_string()));
+            }
+            assert!(diag_from_json(&j).is_err(), "`{field}` = `{bad}`");
+        }
     }
 
     #[test]

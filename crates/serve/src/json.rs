@@ -46,6 +46,14 @@ fn intern_key(key: &str) -> Option<&'static str> {
         "spill_rounds" => "spill_rounds",
         "sim_ok" => "sim_ok",
         "diagnostics" => "diagnostics",
+        "code" => "code",
+        "slug" => "slug",
+        "severity" => "severity",
+        "stage" => "stage",
+        "message" => "message",
+        "vreg" => "vreg",
+        "cycle" => "cycle",
+        "cluster" => "cluster",
         "mem_hits" => "mem_hits",
         "disk_hits" => "disk_hits",
         "hits" => "hits",

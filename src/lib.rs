@@ -17,6 +17,7 @@
 //! | [`ddg`] | `vliw-ddg` | dependence graphs, ResII/RecII, slack |
 //! | [`sched`] | `vliw-sched` | iterative modulo scheduling, MRT, list scheduling, prelude/postlude expansion |
 //! | [`core`] | `vliw-core` | **the paper's contribution**: RCG build, greedy bank assignment, copy insertion, baselines, iterated refinement |
+//! | [`exact`] | `vliw-exact` | branch-and-bound optimal bank assignment — the yardstick the greedy heuristic is measured against |
 //! | [`regalloc`] | `vliw-regalloc` | MVE live ranges, Chaitin/Briggs per bank |
 //! | [`sim`] | `vliw-sim` | cycle-accurate simulator + scalar reference oracle |
 //! | [`loopgen`] | `vliw-loopgen` | the deterministic 211-loop corpus |
@@ -50,6 +51,7 @@
 
 pub use vliw_core as core;
 pub use vliw_ddg as ddg;
+pub use vliw_exact as exact;
 pub use vliw_ir as ir;
 pub use vliw_loopgen as loopgen;
 pub use vliw_machine as machine;
@@ -65,6 +67,7 @@ pub mod prelude {
         PartitionConfig,
     };
     pub use vliw_ddg::{build_ddg, compute_slack, min_ii, rec_ii, res_ii};
+    pub use vliw_exact::{solve as solve_exact, ExactConfig, ExactResult};
     pub use vliw_ir::{Loop, LoopBuilder, Opcode, RegClass, VReg};
     pub use vliw_machine::{ClusterId, CopyModel, LatencyTable, MachineDesc};
     pub use vliw_pipeline::{run_loop, LoopResult, PartitionerKind, PipelineConfig};

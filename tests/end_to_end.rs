@@ -86,6 +86,7 @@ fn all_partitioners_preserve_semantics_on_samples() {
         PartitionerKind::Component,
         PartitionerKind::RoundRobin,
         PartitionerKind::Iterated(2, 4),
+        PartitionerKind::Exact { budget_ms: 2000 },
     ] {
         let cfg = PipelineConfig {
             partitioner: kind,
