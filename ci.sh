@@ -5,6 +5,26 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> canonical encoders stay free of hash-ordered collections"
+# Files on the canonical-output path (the alpha-normal form, structural
+# hashes, cache-key preimages, wire/disk encodings) must never iterate a
+# HashMap/HashSet: iteration order varies across runs and would make
+# "canonical" output nondeterministic. Keyed lookups belong in BTreeMap or
+# pre-sorted vectors here.
+CANON_ENCODER_PATHS=(
+    crates/ir/src/printer.rs
+    crates/normal/src
+    crates/analysis/src/diag.rs
+    crates/serve/src/envelope.rs
+    crates/serve/src/json.rs
+    crates/serve/src/hash.rs
+)
+if grep -rn 'HashMap\|HashSet' "${CANON_ENCODER_PATHS[@]}"; then
+    echo "error: HashMap/HashSet found on a canonical-encoder path (see above);"
+    echo "use BTreeMap/BTreeSet or sorted vectors for deterministic output."
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -25,6 +45,11 @@ cargo test -q
 echo "==> vliw-lint (cross-stage sanitizer over three loop families)"
 cargo run --release --quiet --bin vliw-lint -- \
     --families daxpy,dot,stencil --variants 2 --machines embedded
+
+echo "==> vliw-lint --canon (alpha-canonicalization audit: NRM001-003)"
+cargo run --release --quiet --bin vliw-lint -- \
+    --canon --families daxpy,dot,stencil,rec1 --variants 3 \
+    | grep -q ' 0 error(s)'
 
 echo "==> vliw-serve smoke test (TCP round-trip, repeat served from cache)"
 SMOKE_DIR=$(mktemp -d)
@@ -49,6 +74,11 @@ target/release/vliw-client --addr "$ADDR" --compile --gen 0 --repeat 2 \
     | tee "$SMOKE_DIR/client.log"
 grep -q 'compile\[0\] served=compiled' "$SMOKE_DIR/client.log"
 grep -q 'compile\[1\] served=cache' "$SMOKE_DIR/client.log"
+# An isomorphic renaming of the warmed loop (fresh exact key, same semantic
+# key) must be served from the canonical alias, not recompiled.
+target/release/vliw-client --addr "$ADDR" --compile --gen-variant 0:7 \
+    | tee "$SMOKE_DIR/client-variant.log"
+grep -q 'compile\[0\] served=cache' "$SMOKE_DIR/client-variant.log"
 target/release/vliw-client --addr "$ADDR" --stats --shutdown
 wait "$SERVED_PID"
 SERVED_PID=""
@@ -81,6 +111,12 @@ target/release/vliw-client --peers "$PEERS" --batch --gen-range 0:32 \
 grep -q 'batch\[0\] served=cache' "$SMOKE_DIR/shard-warm.log"
 ! grep -q 'served=compiled' "$SMOKE_DIR/shard-warm.log"
 grep -q '^failovers=0$' "$SMOKE_DIR/shard-warm.log"
+# Renamed variant of a warmed loop: requests route by semantic key, so the
+# variant lands on the peer holding its class representative's alias and
+# is served from cache across the wire.
+target/release/vliw-client --peers "$PEERS" --compile --gen-variant 3:11 \
+    > "$SMOKE_DIR/shard-variant.log"
+grep -q 'compile\[0\] served=cache' "$SMOKE_DIR/shard-variant.log"
 # Aggregate stats merge both peers' counters.
 target/release/vliw-client --peers "$PEERS" --stats --aggregate \
     > "$SMOKE_DIR/shard-stats.log"

@@ -66,11 +66,13 @@ pub enum Stage {
     Expand,
     /// Dynamic equivalence oracles (virtual or physical simulation).
     Sim,
+    /// Alpha-canonicalization (normal form, structural hash, witness).
+    Normal,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Ir,
         Stage::Rcg,
         Stage::Partition,
@@ -79,6 +81,7 @@ impl Stage {
         Stage::Schedule,
         Stage::Expand,
         Stage::Sim,
+        Stage::Normal,
     ];
 
     /// The stable canonical name, e.g. `partition`.
@@ -92,6 +95,7 @@ impl Stage {
             Stage::Schedule => "schedule",
             Stage::Expand => "expand",
             Stage::Sim => "sim",
+            Stage::Normal => "normal",
         }
     }
 
@@ -157,13 +161,23 @@ pub enum LintCode {
     Sim006,
     /// The IR itself fails structural verification.
     Ir007,
+    /// Canonicalizing the canonical form changed it (the normal-form
+    /// rewrite is not a projection).
+    Nrm001,
+    /// Structural hash and alpha-equivalence disagree: an isomorphic
+    /// variant changed the hash, a perturbed loop kept it, or a witness
+    /// failed validation.
+    Nrm002,
+    /// The canonical form diverges from the original under the `vliw-sim`
+    /// scalar reference oracle (canonicalization changed semantics).
+    Nrm003,
 }
 
 impl LintCode {
     /// Every lint code the engine can emit. Wire decoders resolve codes
     /// through this table ([`LintCode::from_code`]); extending the enum
     /// without extending `ALL` breaks the `codes_round_trip` test.
-    pub const ALL: [LintCode; 17] = [
+    pub const ALL: [LintCode; 20] = [
         LintCode::Bank001,
         LintCode::Bank002,
         LintCode::Bank003,
@@ -181,6 +195,9 @@ impl LintCode {
         LintCode::Sched004,
         LintCode::Sim006,
         LintCode::Ir007,
+        LintCode::Nrm001,
+        LintCode::Nrm002,
+        LintCode::Nrm003,
     ];
 
     /// Inverse of [`LintCode::code`], for wire decoding.
@@ -208,6 +225,9 @@ impl LintCode {
             LintCode::Sched004 => "SCHED004",
             LintCode::Sim006 => "SIM006",
             LintCode::Ir007 => "IR007",
+            LintCode::Nrm001 => "NRM001",
+            LintCode::Nrm002 => "NRM002",
+            LintCode::Nrm003 => "NRM003",
         }
     }
 
@@ -231,6 +251,9 @@ impl LintCode {
             LintCode::Sched004 => "schedule-shape-error",
             LintCode::Sim006 => "dynamic-oracle-divergence",
             LintCode::Ir007 => "ir-verification-failure",
+            LintCode::Nrm001 => "canonical-form-not-idempotent",
+            LintCode::Nrm002 => "hash-equivalence-disagreement",
+            LintCode::Nrm003 => "canonicalization-changed-semantics",
         }
     }
 
@@ -555,7 +578,8 @@ mod tests {
                 "pressure",
                 "schedule",
                 "expand",
-                "sim"
+                "sim",
+                "normal"
             ]
         );
     }

@@ -33,6 +33,7 @@ impl Analyzer {
     pub fn with_default_passes() -> Self {
         let mut a = Analyzer::empty();
         a.register(Box::new(crate::ir_lints::IrPass));
+        a.register(Box::new(crate::normal_lints::NormalFormPass));
         a.register(Box::new(crate::rcg_lints::RcgPass));
         a.register(Box::new(crate::bank_lints::BankPass));
         a.register(Box::new(crate::bank_lints::PressurePass));

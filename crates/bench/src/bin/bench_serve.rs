@@ -4,10 +4,13 @@
 //! [`vliw_serve::CachedCompiler`] four ways — direct (no cache), cold cache
 //! (every request compiles and populates both tiers), warm memory (same
 //! engine again) and warm disk (fresh engine over the populated store) —
-//! then measures the wire protocol over a real loopback server: per-line
+//! runs a variant corpus (a generated isomorphic renaming of every loop,
+//! which must warm-hit the semantic alias instead of compiling), then
+//! measures the wire protocol over a real loopback server: per-line
 //! `compile` round trips vs one `compile_batch`, and a two-peer sharded
-//! sweep. Results are written as JSON, the checked-in `BENCH_serve.json`
-//! at the repo root. Rerun with
+//! sweep (semantic routing, renamed variants included). Results are
+//! written as JSON, the checked-in `BENCH_serve.json` at the repo root.
+//! Rerun with
 //!
 //! ```text
 //! cargo run --release -p vliw-bench --bin bench_serve
@@ -127,12 +130,22 @@ fn main() {
     let engine = CachedCompiler::new(TieredCache::new(8192, Some(DiskStore::new(&root))));
     let cold_ms = cached_sweep(&engine, &corpus, &machines, &cfg);
     let cold_snap = engine.stats().snapshot();
-    assert_eq!(cold_snap.compiles, n_requests, "cold sweep compiles all");
+    // The corpus contains a handful of alpha-equivalent loops; those are
+    // served from the semantic alias their class representative stored, so
+    // even the cold sweep compiles only one loop per equivalence class.
+    assert_eq!(
+        cold_snap.compiles + cold_snap.canon_hits,
+        n_requests,
+        "cold sweep compiles one representative per class"
+    );
 
     // Warm memory: identical sweep on the same engine.
     let warm_mem_ms = cached_sweep(&engine, &corpus, &machines, &cfg);
     let mem_snap = engine.stats().snapshot();
-    assert_eq!(mem_snap.compiles, n_requests, "warm sweep compiles nothing");
+    assert_eq!(
+        mem_snap.compiles, cold_snap.compiles,
+        "warm sweep compiles nothing"
+    );
 
     // Warm disk: a fresh engine over the populated store (cold memory).
     // Flush first so every write-behind entry is on disk.
@@ -161,6 +174,54 @@ fn main() {
             assert_eq!(cached.normalized, direct.normalized, "{}", l.name);
         }
     }
+
+    // ---- variant corpus: isomorphic renamings must warm-hit --------------
+    // One generated variant per corpus loop (register renaming, commutative
+    // operand swap, dependence-legal statement permutation): every variant
+    // has a fresh exact key, but its alpha-canonical form matches the
+    // warmed loop's, so the semantic alias must convert what would be a
+    // cold compile into a warm hit — and the served result must be exactly
+    // the representative's alias entry pushed through the variant's own
+    // witness, bit-for-bit on the wire.
+    let var_machine = &machines[0];
+    let variants: Vec<(CompileRequest, CompileRequest)> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            let base = CompileRequest::from_parts(l, var_machine, &cfg);
+            let var = vliw_normal::variant(l, 1 + i as u64 * 13);
+            (base, CompileRequest::from_parts(&var, var_machine, &cfg))
+        })
+        .collect();
+    let n_variants = variants.len() as u64;
+    assert!(n_variants >= 200, "variant corpus too small: {n_variants}");
+    let before = fresh.stats().snapshot();
+    let t0 = Instant::now();
+    let mut variant_hits = 0u64;
+    for (base, var) in &variants {
+        assert_ne!(base.cache_key(), var.cache_key(), "variant text differs");
+        let (served, src) = fresh.compile(var, None).expect("variant compile");
+        if src.is_cache_hit() {
+            variant_hits += 1;
+        }
+        // The canonical request's exact key IS the semantic key, so this
+        // fetches the alias entry itself; mapping it out through the
+        // variant's witness must reproduce the served bytes exactly.
+        let (canon_req, _) = base.semantic_canonicalize().expect("canonicalize");
+        let (alias_entry, alias_src) = fresh.compile(&canon_req, None).expect("alias fetch");
+        assert!(alias_src.is_cache_hit(), "alias entry must be cached");
+        let (_, var_w) = var.semantic_canonicalize().expect("variant witness");
+        let expected = alias_entry.from_canonical_space(var.cache_key(), &var_w);
+        assert_eq!(
+            served.to_json().render(),
+            expected.to_json().render(),
+            "variant result must be the alias entry mapped through the witness"
+        );
+    }
+    let variant_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let after = fresh.stats().snapshot();
+    let variant_canon_hits = after.canon_hits - before.canon_hits;
+    let variant_hit_rate = variant_hits as f64 / n_variants as f64;
 
     // ---- wire protocol: per-line vs batched, over the warm engine --------
     let mut reqs: Vec<CompileRequest> = Vec::with_capacity(n_requests as usize);
@@ -225,11 +286,27 @@ fn main() {
 
     let mut shard_counts = [0u64; 2];
     for req in &reqs {
-        let key = req.canonicalize().expect("canonical").cache_key();
+        // Routing is by semantic key so isomorphic variants colocate.
+        let key = req
+            .canonicalize()
+            .expect("canonical")
+            .semantic_key()
+            .expect("semantic");
         shard_counts[sharded.ring().route(&key).expect("route")] += 1;
     }
     let shard_max = *shard_counts.iter().max().unwrap() as f64;
     let shard_min = *shard_counts.iter().min().unwrap() as f64;
+
+    // Renamed variants of warmed loops route to the same peer as their
+    // representative and hit its semantic alias — across the wire, too.
+    let mut sharded_variant_hits = 0u64;
+    let sharded_variant_total = 16u64.min(variants.len() as u64);
+    for (_, var) in variants.iter().take(sharded_variant_total as usize) {
+        let (res, _peer) = sharded.compile(var, None).expect("sharded variant");
+        if res.is_cache_hit() {
+            sharded_variant_hits += 1;
+        }
+    }
 
     assert_eq!(sharded.shutdown_all(), 2);
     thread_a.join().expect("peer A exits");
@@ -251,14 +328,22 @@ fn main() {
     j.num("warm_mem_speedup_vs_cold", cold_ms / warm_mem_ms);
     j.num("warm_disk_speedup_vs_cold", cold_ms / warm_disk_ms);
     j.int("cold_compiles", cold_snap.compiles);
+    j.int("cold_canon_hits", cold_snap.canon_hits);
     j.int("warm_mem_hits", mem_snap.mem_hits);
     j.int("warm_disk_hits", disk_snap.disk_hits);
+    j.int("variant_requests", n_variants);
+    j.int("variant_warm_hits", variant_hits);
+    j.int("variant_canon_hits", variant_canon_hits);
+    j.num("variant_hit_rate", variant_hit_rate);
+    j.num("variant_corpus_ms", variant_ms);
     j.num("per_line_ms", per_line_ms);
     j.num("batch_ms", batch_ms);
     j.num("batch_speedup_vs_per_line", per_line_ms / batch_ms);
     j.num("sharded_warm_batch_ms", sharded_batch_ms);
     j.int("sharded_peers", 2);
     j.num("shard_balance_max_min", shard_max / shard_min);
+    j.int("sharded_variant_requests", sharded_variant_total);
+    j.int("sharded_variant_hits", sharded_variant_hits);
 
     let json = j.finish();
     std::fs::write(&out_path, &json).expect("write bench json");
@@ -287,5 +372,16 @@ fn main() {
         shard_max / shard_min <= 2.0,
         "consistent hashing must keep shard loads within 2x (got {:.2}x)",
         shard_max / shard_min
+    );
+    assert!(
+        variant_hit_rate >= 0.90,
+        "isomorphic variants must warm-hit the semantic alias at >=90% \
+         (got {:.1}% over {n_variants})",
+        variant_hit_rate * 100.0
+    );
+    assert!(
+        sharded_variant_hits == sharded_variant_total,
+        "semantic routing must land every renamed variant on its \
+         representative's peer cache ({sharded_variant_hits}/{sharded_variant_total} hit)"
     );
 }

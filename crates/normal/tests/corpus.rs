@@ -1,0 +1,155 @@
+//! Corpus-scale validation of the canonicalizer: the acceptance criterion
+//! for the alpha-equivalence engine.
+//!
+//! Over the full loopgen corpus and hundreds of generated isomorphic
+//! variants (register renaming, commutative swap, legal statement
+//! permutation):
+//!
+//! * canonical hashes collide exactly within equivalence classes and never
+//!   across them (any same-hash pair must be provably alpha-equivalent);
+//! * canonicalization is idempotent;
+//! * the normal form is semantics-preserving under the `vliw-sim`
+//!   reference interpreter, with live-outs compared through the witness;
+//! * perturbed (genuinely different) loops never collide with their
+//!   originals.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::collections::BTreeMap;
+use vliw_ir::{verify_loop, Loop, VReg};
+use vliw_normal::{
+    alpha_equivalent, canonicalize, check_witness, perturb, structural_hash, variant,
+};
+use vliw_sim::reference::run_reference;
+
+fn corpus() -> Vec<Loop> {
+    vliw_loopgen::corpus()
+}
+
+/// Reference-run `l` and its canonical form; compare memory directly
+/// (array order is preserved) and live-outs through the witness renaming.
+fn assert_semantics_preserved(l: &Loop) {
+    let c = canonicalize(l);
+    verify_loop(&c.body).unwrap_or_else(|e| panic!("{}: canonical body invalid: {e}", l.name));
+    let orig = run_reference(l);
+    let canon = run_reference(&c.body);
+    assert_eq!(orig.memory.len(), canon.memory.len(), "{}", l.name);
+    for (k, (a, b)) in orig.memory.iter().zip(&canon.memory).enumerate() {
+        assert_eq!(a.len(), b.len(), "{}: array {k} length", l.name);
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(x.bits_eq(*y), "{}: array {k}[{i}]: {x:?} vs {y:?}", l.name);
+        }
+    }
+    for (p, &v) in l.live_out.iter().enumerate() {
+        let cv = VReg(c.witness.vreg_to_canon[v.index()]);
+        let cp = c
+            .body
+            .live_out
+            .iter()
+            .position(|&r| r == cv)
+            .unwrap_or_else(|| panic!("{}: live-out {v:?} missing from canonical form", l.name));
+        assert!(
+            orig.live_out[p].bits_eq(canon.live_out[cp]),
+            "{}: live-out {v:?} differs",
+            l.name
+        );
+    }
+}
+
+#[test]
+fn corpus_canonicalizes_idempotently_and_semantics_hold() {
+    for l in corpus() {
+        let c = canonicalize(&l);
+        let again = canonicalize(&c.body);
+        assert_eq!(
+            c.body, again.body,
+            "{}: canonicalize is not a projection",
+            l.name
+        );
+        assert_eq!(c.hash, again.hash, "{}", l.name);
+        assert_semantics_preserved(&l);
+    }
+}
+
+/// ≥200 isomorphic variants across the corpus: every variant must land on
+/// its original's hash, and any cross-loop hash collision must be a real
+/// equivalence (checked by witness, both directions).
+#[test]
+fn variant_corpus_hashes_collide_exactly_within_classes() {
+    let loops = corpus();
+    let mut by_hash: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    let mut n_variants = 0usize;
+    for (idx, l) in loops.iter().enumerate() {
+        let h = structural_hash(l);
+        by_hash.entry(h.hex()).or_default().push(idx);
+        for seed in 0..3u64 {
+            let v = variant(l, seed.wrapping_add(idx as u64 * 31));
+            verify_loop(&v).unwrap_or_else(|e| panic!("{}: variant invalid: {e}", l.name));
+            assert_eq!(
+                structural_hash(&v),
+                h,
+                "{}: variant seed {seed} changed the canonical hash",
+                l.name
+            );
+            n_variants += 1;
+        }
+    }
+    assert!(
+        n_variants >= 200,
+        "acceptance requires ≥200 variants, generated {n_variants}"
+    );
+    // Cross-class soundness: same hash ⇒ provable equivalence with a
+    // checkable witness.
+    for indices in by_hash.values().filter(|v| v.len() > 1) {
+        for w in indices.windows(2) {
+            let (a, b) = (&loops[w[0]], &loops[w[1]]);
+            let wit = alpha_equivalent(a, b).unwrap_or_else(|| {
+                panic!(
+                    "hash collision between non-equivalent {} and {}",
+                    a.name, b.name
+                )
+            });
+            check_witness(a, b, &wit)
+                .unwrap_or_else(|e| panic!("{} ≅ {}: bad witness: {e}", a.name, b.name));
+        }
+    }
+}
+
+#[test]
+fn perturbed_loops_never_collide_with_their_original() {
+    for (idx, l) in corpus().iter().enumerate() {
+        let Some(p) = perturb(l, idx as u64) else {
+            continue;
+        };
+        assert_ne!(
+            structural_hash(&p),
+            structural_hash(l),
+            "{}: perturbation must change the hash",
+            l.name
+        );
+        assert!(alpha_equivalent(l, &p).is_none(), "{}", l.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random seeds over a rotating corpus slice: variants keep the hash,
+    /// canonical forms match exactly, and variant semantics survive the
+    /// round trip through the normal form.
+    #[test]
+    fn random_variants_share_the_canonical_form(seed in 0u64..1_000_000, pick in 0usize..1_000) {
+        let loops = corpus();
+        let l = &loops[pick % loops.len()];
+        let v = variant(l, seed);
+        let cl = canonicalize(l);
+        let cv = canonicalize(&v);
+        prop_assert_eq!(&cl.body, &cv.body);
+        prop_assert_eq!(cl.hash, cv.hash);
+        let wit = alpha_equivalent(l, &v)
+            .ok_or_else(|| TestCaseError::fail(format!("{}: variant not equivalent", l.name)))?;
+        check_witness(l, &v, &wit)
+            .map_err(|e| TestCaseError::fail(format!("{}: {e}", l.name)))?;
+        assert_semantics_preserved(&v);
+    }
+}

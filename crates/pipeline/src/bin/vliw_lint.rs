@@ -3,12 +3,21 @@
 //!
 //! ```text
 //! vliw-lint [--json] [--families daxpy,dot,...] [--variants N] [--machines all|embedded|copyunit]
+//! vliw-lint --canon [--json] [--families daxpy,dot,...] [--variants N]
 //! ```
 //!
 //! Every loop runs through the complete §4 pipeline with lint gating in
 //! collect mode, so a corrupted stage produces a report instead of an
 //! abort. Exit status: 0 clean (warnings allowed), 1 usage error, 2 when
 //! any Error-level diagnostic fired.
+//!
+//! `--canon` switches to the alpha-canonicalization audit: instead of the
+//! pipeline, each loop is canonicalized and checked for idempotence
+//! (`NRM001`), hash/equivalence agreement over generated isomorphic
+//! variants and a perturbed negative (`NRM002`), and semantics
+//! preservation under the scalar reference (`NRM003`); loops are then
+//! grouped into equivalence classes by structural hash, and any
+//! same-hash pair must prove equivalence with a checkable witness.
 
 use vliw_loopgen::Family;
 use vliw_machine::MachineDesc;
@@ -16,6 +25,7 @@ use vliw_pipeline::{run_loop, DiagSummary, LintMode, PipelineConfig};
 
 struct Options {
     json: bool,
+    canon: bool,
     families: Vec<Family>,
     variants: usize,
     machines: Vec<MachineDesc>,
@@ -24,6 +34,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         json: false,
+        canon: false,
         families: Family::ALL.to_vec(),
         variants: 2,
         machines: Vec::new(),
@@ -33,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--canon" => opts.canon = true,
             "--families" => {
                 let list = args
                     .next()
@@ -76,6 +88,115 @@ fn parse_args() -> Result<Options, String> {
     Ok(opts)
 }
 
+/// The `--canon` audit: canonicalization invariants over the loop corpus,
+/// no machine model involved. Returns the number of Error-level findings.
+fn run_canon(opts: &Options) -> usize {
+    use std::collections::BTreeMap;
+    use vliw_analysis::canonical_semantics_diags;
+    use vliw_normal::{
+        alpha_equivalent, canonicalize, check_witness, perturb, structural_hash, variant,
+    };
+
+    let mut loops = Vec::new();
+    for &family in &opts.families {
+        for idx in 0..opts.variants {
+            let unroll = 1 + idx % 4;
+            loops.push(family.build(idx, unroll, 32 + 8 * idx as u32));
+        }
+    }
+
+    let mut errors = Vec::new();
+    let mut n_variant_checks = 0usize;
+    let mut by_hash: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (idx, l) in loops.iter().enumerate() {
+        let c = canonicalize(l);
+        by_hash.entry(c.hash.hex()).or_default().push(idx);
+
+        let again = canonicalize(&c.body);
+        if again.body != c.body || again.hash != c.hash {
+            errors.push(format!(
+                "NRM001 {}: canonical form is not a fixed point",
+                l.name
+            ));
+        }
+        for seed in [3u64, 41, 271] {
+            n_variant_checks += 1;
+            let v = variant(l, seed.wrapping_add(idx as u64 * 7));
+            if structural_hash(&v) != c.hash {
+                errors.push(format!(
+                    "NRM002 {}: isomorphic variant (seed {seed}) changed the hash",
+                    l.name
+                ));
+            } else {
+                match alpha_equivalent(l, &v) {
+                    None => errors.push(format!(
+                        "NRM002 {}: variant shares the hash but no witness found",
+                        l.name
+                    )),
+                    Some(w) => {
+                        if let Err(e) = check_witness(l, &v, &w) {
+                            errors.push(format!("NRM002 {}: bad witness: {e}", l.name));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(p) = perturb(l, idx as u64) {
+            if structural_hash(&p) == c.hash {
+                errors.push(format!(
+                    "NRM002 {}: perturbed loop collides with its original",
+                    l.name
+                ));
+            }
+        }
+        for d in canonical_semantics_diags(l) {
+            errors.push(format!("{} [{}]", d.render_text(), l.name));
+        }
+    }
+    // Cross-class soundness: any same-hash pair must prove equivalence.
+    for members in by_hash.values().filter(|v| v.len() > 1) {
+        for w in members.windows(2) {
+            let (a, b) = (&loops[w[0]], &loops[w[1]]);
+            if alpha_equivalent(a, b).is_none() {
+                errors.push(format!(
+                    "NRM002: hash collision between non-equivalent '{}' and '{}'",
+                    a.name, b.name
+                ));
+            }
+        }
+    }
+
+    let n_classes = by_hash.len();
+    if opts.json {
+        let errs: Vec<String> = errors
+            .iter()
+            .map(|e| format!("\"{}\"", e.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        println!(
+            "{{\"loops\":{},\"classes\":{n_classes},\"variant_checks\":{n_variant_checks},\
+             \"errors\":{},\"error_list\":[{}]}}",
+            loops.len(),
+            errors.len(),
+            errs.join(",")
+        );
+    } else {
+        for e in &errors {
+            println!("{e}");
+        }
+        println!(
+            "canon audit: {} loop(s) in {n_classes} equivalence class(es), \
+             {n_variant_checks} variant check(s), {} error(s)",
+            loops.len(),
+            errors.len()
+        );
+        for (h, members) in by_hash.iter().filter(|(_, m)| m.len() > 1) {
+            let names: Vec<&str> = members.iter().map(|&i| loops[i].name.as_str()).collect();
+            println!("  class {h}: {}", names.join(", "));
+        }
+    }
+    errors.len()
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -84,12 +205,17 @@ fn main() {
                 eprintln!("vliw-lint: {msg}");
             }
             eprintln!(
-                "usage: vliw-lint [--json] [--families daxpy,dot,...] \
+                "usage: vliw-lint [--canon] [--json] [--families daxpy,dot,...] \
                  [--variants N] [--machines all|embedded|copyunit]"
             );
             std::process::exit(if msg.is_empty() { 0 } else { 1 });
         }
     };
+
+    if opts.canon {
+        let errors = run_canon(&opts);
+        std::process::exit(if errors > 0 { 2 } else { 0 });
+    }
 
     // Full pipeline, full checking, never abort: static lints at every
     // stage gate plus the simulation oracle, collected per loop.

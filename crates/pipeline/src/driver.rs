@@ -377,6 +377,12 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
             for e in &failures {
                 found.push(vliw_analysis::equiv_diagnostic(e));
             }
+            // NRM003 rides the simulate path: like the dynamic oracle its
+            // cost scales with the trip count, so it is opt-in here rather
+            // than part of the static registry.
+            for d in vliw_analysis::canonical_semantics_diags(body) {
+                found.push(d);
+            }
             gate(cfg.lint, &body.name, "sim", &mut diagnostics, found);
         }
         Some(ok)

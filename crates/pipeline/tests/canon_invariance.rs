@@ -1,0 +1,67 @@
+//! Pipeline-level invariants of alpha-canonicalization.
+//!
+//! The pipeline as a whole is *not* equivariant under renaming — heuristic
+//! tie-breaks (copy insertion, MVE unroll choice, hoisting) read vreg and
+//! statement indices, so isomorphic inputs can take different downstream
+//! paths. That is exactly why the serve cache keeps the exact key
+//! authoritative and only aliases semantically-equal requests to a single
+//! representative's compilation (see DESIGN.md §12).
+//!
+//! What *must* hold, and is pinned here:
+//!
+//! * `ideal_ii` — the dependence-derived recurrence/resource bound — is a
+//!   function of loop structure alone, so canonicalization and isomorphic
+//!   variants cannot move it;
+//! * the driver's simulate path (which now embeds the `NRM003`
+//!   semantics-preservation oracle) stays clean over the corpus for both
+//!   the original and the canonical form.
+
+use vliw_machine::MachineDesc;
+use vliw_normal::{canonicalize, variant};
+use vliw_pipeline::{run_loop, LintMode, PipelineConfig};
+
+#[test]
+fn ideal_ii_is_invariant_under_canonicalization_and_variants() {
+    let corpus = vliw_loopgen::corpus();
+    let machines = [MachineDesc::embedded(4, 4), MachineDesc::copy_unit(4, 4)];
+    let cfg = PipelineConfig::default();
+    for m in &machines {
+        for l in &corpus {
+            let base = run_loop(l, m, &cfg);
+            let canon = run_loop(&canonicalize(l).body, m, &cfg);
+            let var = run_loop(&variant(l, 17), m, &cfg);
+            assert_eq!(
+                base.ideal_ii, canon.ideal_ii,
+                "{} on {}: canonicalization moved ideal_ii",
+                l.name, m.name
+            );
+            assert_eq!(
+                base.ideal_ii, var.ideal_ii,
+                "{} on {}: isomorphic variant moved ideal_ii",
+                l.name, m.name
+            );
+        }
+    }
+}
+
+#[test]
+fn simulate_path_with_nrm003_is_clean_on_canonical_forms() {
+    let corpus = vliw_loopgen::corpus();
+    let machine = MachineDesc::embedded(4, 4);
+    let cfg = PipelineConfig {
+        simulate: true,
+        lint: LintMode::Collect,
+        ..Default::default()
+    };
+    for l in corpus.iter().take(16) {
+        for body in [l.clone(), canonicalize(l).body] {
+            let r = run_loop(&body, &machine, &cfg);
+            let errors: Vec<_> = r
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == vliw_analysis::Severity::Error)
+                .collect();
+            assert!(errors.is_empty(), "{}: {errors:?}", body.name);
+        }
+    }
+}

@@ -3,14 +3,19 @@
 //! ```text
 //! vliw-client (--addr HOST:PORT | --peers A,B,..) [--ping] [--stats]
 //!             [--shutdown] [--compile] [--batch]
-//!             [--loop-file PATH | --gen IDX | --gen-range LO:HI]
+//!             [--loop-file PATH | --gen IDX | --gen-variant IDX:SEED | --gen-range LO:HI]
 //!             [--machine SPEC] [--config-file PATH]
 //!             [--timeout-ms N] [--repeat N] [--parallelism N] [--aggregate]
 //! ```
 //!
 //! `--compile` sends one job built from either a canonical loop file
 //! (`--loop-file`) or corpus loop number IDX (`--gen`, deterministic
-//! loopgen). `--batch` with `--gen-range LO:HI` ships corpus loops
+//! loopgen); `--gen-variant IDX:SEED` sends a deterministic *isomorphic
+//! renaming* of corpus loop IDX (fresh register/array/loop names,
+//! commutative operand swaps, a dependence-legal statement permutation) —
+//! a different exact cache key but the same semantic key, which is how the
+//! CI smoke asserts renamed requests warm-hit the semantic alias.
+//! `--batch` with `--gen-range LO:HI` ships corpus loops
 //! `[LO, HI)` as a single `compile_batch` wire round trip (`--parallelism`
 //! caps the server-side fan-out). `--machine` takes the short specs
 //! understood by `vliw_machine::machine_from_spec` (`embedded:4x4`,
@@ -33,7 +38,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: vliw-client (--addr HOST:PORT | --peers A,B,..) [--ping] [--stats]\n\
          \x20                  [--shutdown] [--compile] [--batch]\n\
-         \x20                  [--loop-file PATH | --gen IDX | --gen-range LO:HI]\n\
+         \x20                  [--loop-file PATH | --gen IDX | --gen-variant IDX:SEED\n\
+         \x20                   | --gen-range LO:HI]\n\
          \x20                  [--machine SPEC] [--config-file PATH]\n\
          \x20                  [--timeout-ms N] [--repeat N] [--parallelism N] [--aggregate]"
     );
@@ -96,6 +102,19 @@ fn corpus_loop_text(idx: usize) -> String {
     vliw_ir::format_loop_full(&loops.swap_remove(idx))
 }
 
+/// A deterministic isomorphic renaming of corpus loop `idx`: same semantic
+/// cache key as the original, different exact key.
+fn corpus_variant_text(idx: usize, seed: u64) -> String {
+    let mut loops = vliw_loopgen::corpus();
+    if idx >= loops.len() {
+        fatal(&format!(
+            "loop index {idx} out of range (corpus has {})",
+            loops.len()
+        ));
+    }
+    vliw_ir::format_loop_full(&vliw_normal::variant(&loops.swap_remove(idx), seed))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = None;
@@ -108,6 +127,7 @@ fn main() {
     let mut do_aggregate = false;
     let mut loop_file = None;
     let mut gen_idx = None;
+    let mut gen_variant = None;
     let mut gen_range = None;
     let mut machine_spec = "embedded:4x4".to_string();
     let mut config_file = None;
@@ -138,6 +158,14 @@ fn main() {
             "--aggregate" => do_aggregate = true,
             "--loop-file" => loop_file = Some(value()),
             "--gen" => gen_idx = Some(value().parse::<usize>().unwrap_or_else(|_| usage())),
+            "--gen-variant" => {
+                let v = value();
+                let (idx, seed) = v.split_once(':').unwrap_or_else(|| usage());
+                gen_variant = Some((
+                    idx.parse::<usize>().unwrap_or_else(|_| usage()),
+                    seed.parse::<u64>().unwrap_or_else(|_| usage()),
+                ));
+            }
             "--gen-range" => {
                 let v = value();
                 let (lo, hi) = v.split_once(':').unwrap_or_else(|| usage());
@@ -186,11 +214,12 @@ fn main() {
     };
 
     let single_request = || {
-        let loop_text = match (&loop_file, gen_idx) {
-            (Some(path), None) => std::fs::read_to_string(path)
+        let loop_text = match (&loop_file, gen_idx, gen_variant) {
+            (Some(path), None, None) => std::fs::read_to_string(path)
                 .unwrap_or_else(|e| fatal(&format!("read {path}: {e}"))),
-            (None, Some(idx)) => corpus_loop_text(idx),
-            _ => fatal("--compile needs exactly one of --loop-file or --gen"),
+            (None, Some(idx), None) => corpus_loop_text(idx),
+            (None, None, Some((idx, seed))) => corpus_variant_text(idx, seed),
+            _ => fatal("--compile needs exactly one of --loop-file, --gen or --gen-variant"),
         };
         request_for(loop_text)
     };

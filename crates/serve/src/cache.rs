@@ -620,6 +620,76 @@ mod tests {
         let _ = fs::remove_dir_all(&root);
     }
 
+    /// A disk entry written by an older format (no `v` field, or an
+    /// explicit `v: 3`) must fail closed: the read misses and the entry is
+    /// deleted so the slot heals with a fresh compile.
+    #[test]
+    fn disk_store_rejects_and_heals_pre_v4_entries() {
+        let root = tmpdir("disk-v3");
+        let store = DiskStore::new(&root);
+        let r = &make_results(1)[0];
+        let path = root.join(&r.key[..2]).join(format!("{}.json", r.key));
+        let mut doc = match r.to_json() {
+            crate::Json::Obj(m) => m,
+            _ => unreachable!(),
+        };
+
+        // v3-era layout: no version field at all.
+        doc.remove("v");
+        store.put(&r.key, r);
+        fs::write(&path, crate::Json::Obj(doc.clone()).render()).unwrap();
+        assert!(store.get(&r.key).is_none(), "versionless entry must miss");
+        assert!(!path.exists(), "versionless entry must be deleted");
+
+        // Explicitly versioned foreign entry.
+        doc.insert("v".into(), crate::Json::Num(3.0));
+        store.put(&r.key, r);
+        fs::write(&path, crate::Json::Obj(doc).render()).unwrap();
+        assert!(store.get(&r.key).is_none(), "v3 entry must miss");
+        assert!(!path.exists(), "v3 entry must be deleted");
+
+        // The current format still round-trips through the same slot.
+        store.put(&r.key, r);
+        assert_eq!(store.get(&r.key).unwrap(), *r);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    /// Stale journals left by a crashed pre-v4 writer compact without
+    /// resurrecting old-format lines: undecodable entries are dropped on
+    /// the floor, current-format lines fan out normally.
+    #[test]
+    fn stale_journal_compaction_drops_pre_v4_lines() {
+        let root = tmpdir("journal-v3");
+        let store = DiskStore::new(&root);
+        let results = make_results(2);
+        let (current, old) = (&results[0], &results[1]);
+        let mut old_doc = match old.to_json() {
+            crate::Json::Obj(m) => m,
+            _ => unreachable!(),
+        };
+        old_doc.insert("v".into(), crate::Json::Num(3.0));
+        fs::create_dir_all(&root).unwrap();
+        let journal = root.join("journal-99999-0.jsonl");
+        fs::write(
+            &journal,
+            format!(
+                "{}\n{}\nnot json at all\n",
+                current.to_json().render(),
+                crate::Json::Obj(old_doc).render()
+            ),
+        )
+        .unwrap();
+
+        store.compact_journal(&journal);
+        assert!(!journal.exists(), "journal must be consumed");
+        assert_eq!(store.get(&current.key).unwrap(), *current);
+        assert!(
+            store.get(&old.key).is_none(),
+            "pre-v4 journal line must not be resurrected"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
     #[test]
     fn write_behind_persists_on_drop_and_flush() {
         let root = tmpdir("wb");

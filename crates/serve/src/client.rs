@@ -281,7 +281,10 @@ impl Client {
             }
             counts
                 .into_iter()
-                .max_by_key(|&(_, n)| n)
+                // Tie-break on the text itself: max over bare counts would
+                // resolve ties by HashMap iteration order and make the
+                // encoded batch line nondeterministic across runs.
+                .max_by_key(|&(s, n)| (n, s))
                 .filter(|&(_, n)| n > 1)
                 .map(|(s, _)| s)
         };

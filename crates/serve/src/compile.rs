@@ -243,17 +243,66 @@ impl CachedCompiler {
     ) -> Result<(CompileResult, Source), CompileError> {
         let canonical = CompileRequest::from_parts(body, machine, cfg);
         let key = self.key_for(&canonical);
-        if let Some(hit) = self.cache.get(&key) {
+        if let Some(hit) = self.cache.probe(&key) {
             return Ok((hit, Source::Cache));
         }
-        let (slot, leader) = self.join_inflight(&key);
+        self.compile_missed(body, machine, cfg, &key, deadline)
+    }
+
+    /// Compile an already-canonical request under a precomputed `key`. The
+    /// text is decoded only on a miss (one parse, no re-format).
+    pub fn compile_canonical(
+        self: &Arc<Self>,
+        req: &CompileRequest,
+        key: &str,
+        deadline: Option<Duration>,
+    ) -> Result<(CompileResult, Source), CompileError> {
+        if let Some(hit) = self.cache.probe(key) {
+            return Ok((hit, Source::Cache));
+        }
+        let (body, machine, cfg) = req.decode().map_err(CompileError::BadRequest)?;
+        self.compile_missed(&body, &machine, &cfg, &key.to_string(), deadline)
+    }
+
+    /// The exact-key-missed path shared by every compile entry point.
+    ///
+    /// The exact key stays authoritative — an exact repeat is always served
+    /// bit-identically from its own entry. But the pipeline's heuristic
+    /// tie-breaks are index-sensitive, so isomorphic loops can compile to
+    /// different (equally valid) results; to make the cache see through
+    /// renaming anyway, each compiled result is *also* stored under its
+    /// **semantic key** (the exact key of its alpha-canonical form), mapped
+    /// into canonical space. A later exact-miss whose canonical form
+    /// matches is then served the equivalence class representative's
+    /// compilation, mapped back into the caller's names through the
+    /// caller's own witness — no witness ever needs persisting, and the
+    /// alias entries ride the ordinary mem/disk tiers, journal and all.
+    fn compile_missed(
+        self: &Arc<Self>,
+        body: &Loop,
+        machine: &MachineDesc,
+        cfg: &PipelineConfig,
+        key: &CacheKey,
+        deadline: Option<Duration>,
+    ) -> Result<(CompileResult, Source), CompileError> {
+        let canon = vliw_normal::canonicalize(body);
+        let sem_key = self.key_for(&CompileRequest::from_parts(&canon.body, machine, cfg));
+        let alias = (sem_key != *key).then(|| Arc::new((sem_key, canon.witness)));
+        if let Some(a) = &alias {
+            if let Some(hit) = self.cache.probe(&a.0) {
+                self.stats().canon_hit();
+                return Ok((hit.from_canonical_space(key.clone(), &a.1), Source::Cache));
+            }
+        }
+        self.stats().miss();
+        let (slot, leader) = self.join_inflight(key);
         if !leader {
             return self.wait(&slot, deadline, false);
         }
         match deadline {
             None => {
-                let outcome = self.execute_parts(body, machine, cfg, &key);
-                self.publish(&key, &slot, outcome.clone());
+                let outcome = self.execute_parts(body, machine, cfg, key);
+                self.publish(key, &slot, outcome.clone(), alias.as_deref());
                 match outcome {
                     Ok(res) => Ok((res, Source::Compiled)),
                     Err(m) => Err(CompileError::Internal(m)),
@@ -266,53 +315,7 @@ impl CachedCompiler {
                 let thread_key = key.clone();
                 std::thread::spawn(move || {
                     let outcome = engine.execute_parts(&body, &machine, &cfg, &thread_key);
-                    engine.publish(&thread_key, &thread_slot, outcome);
-                });
-                self.wait(&slot, deadline, true)
-            }
-        }
-    }
-
-    /// Compile an already-canonical request under a precomputed `key`. The
-    /// text is decoded only on a miss (one parse, no re-format).
-    pub fn compile_canonical(
-        self: &Arc<Self>,
-        req: &CompileRequest,
-        key: &str,
-        deadline: Option<Duration>,
-    ) -> Result<(CompileResult, Source), CompileError> {
-        if let Some(hit) = self.cache.get(key) {
-            return Ok((hit, Source::Cache));
-        }
-        let (slot, leader) = self.join_inflight(key);
-        if !leader {
-            return self.wait(&slot, deadline, false);
-        }
-        match deadline {
-            None => {
-                let outcome = match req.decode() {
-                    Err(e) => Err(e.to_string()),
-                    Ok((body, machine, cfg)) => self.execute_parts(&body, &machine, &cfg, key),
-                };
-                self.publish(key, &slot, outcome.clone());
-                match outcome {
-                    Ok(res) => Ok((res, Source::Compiled)),
-                    Err(m) => Err(CompileError::Internal(m)),
-                }
-            }
-            Some(_) => {
-                let engine = Arc::clone(self);
-                let req = req.clone();
-                let thread_slot = Arc::clone(&slot);
-                let thread_key = key.to_string();
-                std::thread::spawn(move || {
-                    let outcome = match req.decode() {
-                        Err(e) => Err(e.to_string()),
-                        Ok((body, machine, cfg)) => {
-                            engine.execute_parts(&body, &machine, &cfg, &thread_key)
-                        }
-                    };
-                    engine.publish(&thread_key, &thread_slot, outcome);
+                    engine.publish(&thread_key, &thread_slot, outcome, alias.as_deref());
                 });
                 self.wait(&slot, deadline, true)
             }
@@ -359,10 +362,22 @@ impl CachedCompiler {
 
     /// Publish `outcome` to the cache, then to the slot, then retire the
     /// slot — in that order, so anyone who misses the inflight table after
-    /// removal is guaranteed a cache hit.
-    fn publish(&self, key: &str, slot: &Arc<Inflight>, outcome: Result<CompileResult, String>) {
+    /// removal is guaranteed a cache hit. When a semantic `alias` is given,
+    /// the result is also stored in canonical space under the semantic key,
+    /// so future isomorphic variants of this loop hit without compiling.
+    fn publish(
+        &self,
+        key: &str,
+        slot: &Arc<Inflight>,
+        outcome: Result<CompileResult, String>,
+        alias: Option<&(CacheKey, vliw_normal::Witness)>,
+    ) {
         if let Ok(res) = &outcome {
             self.cache.put(key, res);
+            if let Some((sem_key, witness)) = alias {
+                self.cache
+                    .put(sem_key, &res.into_canonical_space(sem_key.clone(), witness));
+            }
         }
         *slot.done.lock().expect("inflight slot poisoned") = Some(outcome);
         slot.cv.notify_all();
@@ -534,6 +549,86 @@ mod tests {
         assert_eq!(src, Source::Cache);
         assert_eq!(first, second);
         assert_eq!(engine.stats().snapshot().compiles, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// An isomorphic variant of a compiled loop must be served from the
+    /// canonical-space alias entry without a second pipeline execution, and
+    /// the served result must be bit-identical to the representative's
+    /// result pushed through base→canon→variant witness composition.
+    #[test]
+    fn isomorphic_variant_hits_the_semantic_alias() {
+        let engine = engine();
+        let spec = CorpusSpec {
+            n: 5,
+            ..Default::default()
+        };
+        let body = corpus_with(&spec).remove(4);
+        let machine = MachineDesc::embedded(2, 4);
+        let cfg = PipelineConfig::default();
+        let base_req = CompileRequest::from_parts(&body, &machine, &cfg);
+        let (base, src) = engine.compile(&base_req, None).unwrap();
+        assert_eq!(src, Source::Compiled);
+
+        let var_body = vliw_normal::variant(&body, 23);
+        let var_req = CompileRequest::from_parts(&var_body, &machine, &cfg);
+        assert_ne!(var_req.cache_key(), base_req.cache_key());
+        let (served, src) = engine.compile(&var_req, None).unwrap();
+        assert_eq!(src, Source::Cache, "variant must not recompile");
+        let snap = engine.stats().snapshot();
+        assert_eq!(snap.compiles, 1);
+        assert_eq!(snap.canon_hits, 1);
+
+        // Reconstruct what the alias path must produce: the base result in
+        // canonical space, mapped out through the variant's own witness.
+        let (canon_req, base_w) = base_req.semantic_canonicalize().unwrap();
+        let sem_key = canon_req.cache_key();
+        assert_eq!(var_req.semantic_key().unwrap(), sem_key);
+        let (_, var_w) = var_req.semantic_canonicalize().unwrap();
+        let expected = base
+            .into_canonical_space(sem_key, &base_w)
+            .from_canonical_space(var_req.cache_key(), &var_w);
+        assert_eq!(served, expected);
+        assert_eq!(served.name, var_body.name);
+        assert_eq!(
+            served.to_json().render(),
+            expected.to_json().render(),
+            "wire JSON must be bit-identical"
+        );
+
+        // The variant's exact key was never populated (aliases live only
+        // under the semantic key), so a repeat takes the alias path again.
+        let (_, src) = engine.compile(&var_req, None).unwrap();
+        assert_eq!(src, Source::Cache);
+        assert_eq!(engine.stats().snapshot().canon_hits, 2);
+    }
+
+    /// Alias entries ride the ordinary disk tier: a fresh engine over the
+    /// same store serves a *renamed* loop from cache without compiling.
+    #[test]
+    fn semantic_alias_survives_engine_restart() {
+        let root =
+            std::env::temp_dir().join(format!("vliw-serve-test-alias-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let spec = CorpusSpec {
+            n: 6,
+            ..Default::default()
+        };
+        let body = corpus_with(&spec).remove(5);
+        let machine = MachineDesc::embedded(2, 4);
+        let cfg = PipelineConfig::default();
+        {
+            let engine = CachedCompiler::new(TieredCache::new(8, Some(DiskStore::new(&root))));
+            engine.compile_parts(&body, &machine, &cfg, None).unwrap();
+        }
+        let engine = CachedCompiler::new(TieredCache::new(8, Some(DiskStore::new(&root))));
+        let var_body = vliw_normal::variant(&body, 99);
+        let (_, src) = engine
+            .compile_parts(&var_body, &machine, &cfg, None)
+            .unwrap();
+        assert_eq!(src, Source::Cache);
+        let snap = engine.stats().snapshot();
+        assert_eq!((snap.compiles, snap.canon_hits), (0, 1));
         let _ = std::fs::remove_dir_all(&root);
     }
 

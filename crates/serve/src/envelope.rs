@@ -26,6 +26,7 @@ use crate::json::{parse_json, Json};
 use vliw_analysis::{Diagnostic, LintCode, Severity, SourceLoc, Stage};
 use vliw_ir::{format_loop_full, parse_loop, Loop};
 use vliw_machine::{format_machine, parse_machine, MachineDesc};
+use vliw_normal::Witness;
 use vliw_pipeline::{format_pipeline_config, parse_pipeline_config, LoopResult, PipelineConfig};
 
 /// SHA-256 cache key as 64 lowercase hex digits.
@@ -39,8 +40,12 @@ pub type CacheKey = String;
 ///
 /// History: 1 = PR 3 layout (implicit — no version byte in the preimage);
 /// 2 = this version byte plus the single-buffer preimage; 3 = diagnostics
-/// stored as structured objects instead of pre-rendered text lines.
-pub const CACHE_FORMAT_VERSION: u8 = 3;
+/// stored as structured objects instead of pre-rendered text lines; 4 =
+/// semantic (alpha-canonical) cache aliasing — results additionally stored
+/// in canonical-class space, and every stored result carries an explicit
+/// `v` field that decode rejects when it disagrees (mixed-version shards
+/// fail closed instead of serving mis-keyed or mis-shaped entries).
+pub const CACHE_FORMAT_VERSION: u8 = 4;
 
 /// One compile job: the full pipeline input set as canonical text.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -131,6 +136,32 @@ impl CompileRequest {
     /// [`CompileRequest::canonicalize`]).
     pub fn cache_key(&self) -> CacheKey {
         sha256_hex(&self.preimage())
+    }
+
+    /// Alpha-canonicalize the loop section (text canonicalisation for the
+    /// other two): the returned request's [`CompileRequest::cache_key`] is
+    /// the *semantic* key, shared by every request whose loop is isomorphic
+    /// to this one (register renaming, commutative operand order,
+    /// dependence-legal statement order, loop/array names). The witness
+    /// maps this request's loop onto the canonical body and back.
+    pub fn semantic_canonicalize(&self) -> Result<(CompileRequest, Witness), RequestError> {
+        let (body, machine, cfg) = self.decode()?;
+        let canon = vliw_normal::canonicalize(&body);
+        Ok((
+            CompileRequest {
+                loop_text: format_loop_full(&canon.body),
+                machine_text: format_machine(&machine),
+                config_text: format_pipeline_config(&cfg),
+            },
+            canon.witness,
+        ))
+    }
+
+    /// The semantic cache key: the exact key of the alpha-canonical form.
+    /// Equal across all isomorphic variants of the same loop (with the same
+    /// machine and configuration).
+    pub fn semantic_key(&self) -> Result<CacheKey, RequestError> {
+        Ok(self.semantic_canonicalize()?.0.cache_key())
     }
 
     /// JSON object form used on the wire and in the disk store.
@@ -308,6 +339,22 @@ fn diag_from_json(v: &Json) -> Result<Diagnostic, String> {
     Ok(d)
 }
 
+/// Renumber diagnostic source anchors through a witness direction map.
+/// Anchors outside the map's domain (ops or registers the pipeline created
+/// during expansion/copy insertion) are dropped rather than mis-mapped.
+fn map_diag_anchors(diags: &mut [Diagnostic], op_map: &[u32], vreg_map: &[u32]) {
+    for d in diags {
+        d.loc.op = d
+            .loc
+            .op
+            .and_then(|o| op_map.get(o.index()).map(|&mapped| vliw_ir::OpId(mapped)));
+        d.loc.vreg = d
+            .loc
+            .vreg
+            .and_then(|v| vreg_map.get(v.index()).map(|&mapped| vliw_ir::VReg(mapped)));
+    }
+}
+
 impl CompileResult {
     /// Package a pipeline result under `key`.
     pub fn from_loop_result(key: CacheKey, r: &LoopResult) -> Self {
@@ -354,9 +401,38 @@ impl CompileResult {
         }
     }
 
-    /// JSON object form used on the wire and in the disk store.
+    /// Rewrite this result from the space of the loop it was compiled in
+    /// into canonical-class space: the name becomes the canonical loop
+    /// name and diagnostic source anchors are renumbered through `w`
+    /// (anchors pointing at pipeline-created ops/registers beyond the
+    /// original body are dropped — they have no canonical identity).
+    /// `key` should be the semantic key the aliased entry is stored under.
+    pub fn into_canonical_space(&self, key: CacheKey, w: &Witness) -> CompileResult {
+        let mut out = self.clone();
+        out.key = key;
+        out.name = vliw_normal::CANONICAL_LOOP_NAME.to_string();
+        map_diag_anchors(&mut out.diagnostics, &w.op_to_canon, &w.vreg_to_canon);
+        out
+    }
+
+    /// Rewrite a canonical-space result into the space of the caller's
+    /// loop: the inverse direction of
+    /// [`CompileResult::into_canonical_space`], using the *caller's*
+    /// witness. `key` should be the caller's exact cache key.
+    pub fn from_canonical_space(&self, key: CacheKey, w: &Witness) -> CompileResult {
+        let mut out = self.clone();
+        out.key = key;
+        out.name = w.original_name.clone();
+        map_diag_anchors(&mut out.diagnostics, &w.op_from_canon, &w.vreg_from_canon);
+        out
+    }
+
+    /// JSON object form used on the wire and in the disk store. Carries the
+    /// [`CACHE_FORMAT_VERSION`] explicitly so decode can fail closed on
+    /// entries written by any other format version.
     pub fn to_json(&self) -> Json {
         Json::obj([
+            ("v", Json::Num(CACHE_FORMAT_VERSION as f64)),
             ("key", Json::Str(self.key.clone())),
             ("name", Json::Str(self.name.clone())),
             ("n_ops", Json::Num(self.n_ops as f64)),
@@ -388,8 +464,23 @@ impl CompileResult {
         ])
     }
 
-    /// Decode from the JSON object form.
+    /// Decode from the JSON object form. Rejects entries whose `v` field is
+    /// missing (pre-v4 layouts) or disagrees with [`CACHE_FORMAT_VERSION`]:
+    /// a mixed-version shard must fail closed, never serve a stale entry.
     pub fn from_json(v: &Json) -> Result<Self, String> {
+        match v.get("v").and_then(Json::as_f64) {
+            Some(ver) if ver == CACHE_FORMAT_VERSION as f64 => {}
+            Some(ver) => {
+                return Err(format!(
+                    "cache format version mismatch: entry is v{ver}, this build reads v{CACHE_FORMAT_VERSION}"
+                ))
+            }
+            None => {
+                return Err(format!(
+                    "cache entry has no `v` field (pre-v{CACHE_FORMAT_VERSION} layout)"
+                ))
+            }
+        }
         let str_field = |k: &str| -> Result<String, String> {
             v.get(k)
                 .and_then(Json::as_str)
@@ -600,6 +691,97 @@ mod tests {
             }
             assert!(diag_from_json(&j).is_err(), "`{field}` = `{bad}`");
         }
+    }
+
+    #[test]
+    fn result_decode_rejects_other_format_versions() {
+        let (body, machine, cfg) = sample_inputs();
+        let req = CompileRequest::from_parts(&body, &machine, &cfg);
+        let lr = vliw_pipeline::run_loop(&body, &machine, &cfg);
+        let res = CompileResult::from_loop_result(req.cache_key(), &lr);
+        let mut doc = match res.to_json() {
+            Json::Obj(m) => m,
+            _ => unreachable!(),
+        };
+        // A v3-era entry carries no `v` field at all: must fail closed.
+        doc.remove("v");
+        let err = CompileResult::from_json(&Json::Obj(doc.clone())).unwrap_err();
+        assert!(err.contains("no `v` field"), "{err}");
+        // An explicit other version must fail closed too.
+        doc.insert("v".into(), Json::Num(3.0));
+        let err = CompileResult::from_json(&Json::Obj(doc.clone())).unwrap_err();
+        assert!(err.contains("version mismatch"), "{err}");
+        doc.insert("v".into(), Json::Num(CACHE_FORMAT_VERSION as f64 + 1.0));
+        assert!(CompileResult::from_json(&Json::Obj(doc)).is_err());
+    }
+
+    #[test]
+    fn semantic_key_is_shared_by_isomorphic_variants_only() {
+        let (body, machine, cfg) = sample_inputs();
+        let req = CompileRequest::from_parts(&body, &machine, &cfg);
+        let variant = vliw_normal::variant(&body, 11);
+        let vreq = CompileRequest::from_parts(&variant, &machine, &cfg);
+        assert_ne!(req.cache_key(), vreq.cache_key(), "texts differ");
+        assert_eq!(
+            req.semantic_key().unwrap(),
+            vreq.semantic_key().unwrap(),
+            "semantic keys agree"
+        );
+        // A different machine must split the semantic key.
+        let other = CompileRequest::from_parts(&variant, &MachineDesc::copy_unit(2, 4), &cfg);
+        assert_ne!(req.semantic_key().unwrap(), other.semantic_key().unwrap());
+        // A semantically different loop must split it too.
+        let perturbed = vliw_normal::perturb(&body, 5).expect("mutable");
+        let preq = CompileRequest::from_parts(&perturbed, &machine, &cfg);
+        assert_ne!(req.semantic_key().unwrap(), preq.semantic_key().unwrap());
+    }
+
+    #[test]
+    fn canonical_space_round_trip_maps_anchors_and_name() {
+        let (body, machine, cfg) = sample_inputs();
+        let req = CompileRequest::from_parts(&body, &machine, &cfg);
+        let (canon_req, w) = req.semantic_canonicalize().unwrap();
+        let sem_key = canon_req.cache_key();
+        let lr = vliw_pipeline::run_loop(&body, &machine, &cfg);
+        let mut res = CompileResult::from_loop_result(req.cache_key(), &lr);
+        // Attach anchored diagnostics: one mappable, one pointing past the
+        // original body (a pipeline-created op) that must drop its anchor.
+        res.diagnostics = vec![
+            Diagnostic::new(
+                LintCode::Ir007,
+                Stage::Ir,
+                SourceLoc {
+                    op: Some(vliw_ir::OpId(0)),
+                    vreg: Some(vliw_ir::VReg(0)),
+                    ..Default::default()
+                },
+                "anchored".into(),
+            ),
+            Diagnostic::new(
+                LintCode::Sched001,
+                Stage::Schedule,
+                SourceLoc::op(vliw_ir::OpId(10_000)),
+                "expansion op".into(),
+            ),
+        ];
+        let canonical = res.into_canonical_space(sem_key.clone(), &w);
+        assert_eq!(canonical.key, sem_key);
+        assert_eq!(canonical.name, vliw_normal::CANONICAL_LOOP_NAME);
+        assert_eq!(
+            canonical.diagnostics[0].loc.op,
+            Some(vliw_ir::OpId(w.op_to_canon[0]))
+        );
+        assert_eq!(
+            canonical.diagnostics[1].loc.op, None,
+            "out-of-range anchor drops"
+        );
+        let back = canonical.from_canonical_space(req.cache_key(), &w);
+        assert_eq!(back.name, body.name);
+        assert_eq!(back.diagnostics[0].loc.op, Some(vliw_ir::OpId(0)));
+        assert_eq!(back.diagnostics[0].loc.vreg, Some(vliw_ir::VReg(0)));
+        // Scalars are class-level: untouched by the mapping.
+        assert_eq!(back.clustered_ii, res.clustered_ii);
+        assert_eq!(back.normalized, res.normalized);
     }
 
     #[test]

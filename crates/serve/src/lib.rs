@@ -48,3 +48,7 @@ pub use ring::{HashRing, VNODES_PER_PEER};
 pub use server::{handle_line, ServeOptions, Server, ServerConfig, AGGREGATE_SUM_FIELDS};
 pub use shard::{PeerStats, ShardedClient};
 pub use stats::{StatsRegistry, StatsSnapshot};
+
+// The witness type that maps results between a caller's register/op names
+// and the alpha-canonical space the semantic cache entries live in.
+pub use vliw_normal::Witness;

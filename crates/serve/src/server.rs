@@ -58,6 +58,7 @@ use std::time::{Duration, Instant};
 pub const AGGREGATE_SUM_FIELDS: &[&str] = &[
     "mem_hits",
     "disk_hits",
+    "canon_hits",
     "hits",
     "misses",
     "compiles",
@@ -647,6 +648,7 @@ pub fn stats_json(snap: &StatsSnapshot, evictions: u64) -> Json {
     Json::obj([
         ("mem_hits", Json::Num(snap.mem_hits as f64)),
         ("disk_hits", Json::Num(snap.disk_hits as f64)),
+        ("canon_hits", Json::Num(snap.canon_hits as f64)),
         ("hits", Json::Num(snap.hits() as f64)),
         ("misses", Json::Num(snap.misses as f64)),
         ("compiles", Json::Num(snap.compiles as f64)),

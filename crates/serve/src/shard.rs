@@ -90,9 +90,12 @@ impl ShardedClient {
         out
     }
 
-    /// Compile one request on the peer owning its cache key, failing over
-    /// along the ring on transport errors. Returns the served result and
-    /// the address of the peer that answered.
+    /// Compile one request on the peer owning its **semantic** cache key
+    /// (the key of its alpha-canonical form), failing over along the ring
+    /// on transport errors. Routing by semantic key lands every isomorphic
+    /// variant of a loop on the same peer, so a renamed request warm-hits
+    /// the alias entry its representative populated. Returns the served
+    /// result and the address of the peer that answered.
     pub fn compile(
         &mut self,
         req: &CompileRequest,
@@ -101,7 +104,9 @@ impl ShardedClient {
         let canonical = req
             .canonicalize()
             .map_err(|e| ClientError::BadRequest(e.to_string()))?;
-        let key = canonical.cache_key();
+        let key = canonical
+            .semantic_key()
+            .map_err(|e| ClientError::BadRequest(e.to_string()))?;
         let order = self.ring.successors(&key);
         if order.is_empty() {
             return Err(ClientError::BadRequest("no peers configured".into()));
@@ -138,13 +143,15 @@ impl ShardedClient {
         out.resize_with(reqs.len(), || None);
 
         // Canonicalise every entry once; invalid entries fail in place.
+        // Entries route by semantic key so isomorphic variants group onto
+        // the same peer (and its alias entries).
         let mut pending: Vec<(usize, CompileRequest, String)> = Vec::new();
         for (i, req) in reqs.iter().enumerate() {
-            match req.canonicalize() {
-                Ok(canonical) => {
-                    let key = canonical.cache_key();
-                    pending.push((i, canonical, key));
-                }
+            match req.canonicalize().and_then(|canonical| {
+                let key = canonical.semantic_key()?;
+                Ok((canonical, key))
+            }) {
+                Ok((canonical, key)) => pending.push((i, canonical, key)),
                 Err(e) => out[i] = Some(Err(format!("bad request: {e}"))),
             }
         }

@@ -16,6 +16,7 @@ const RING_CAP: usize = 4096;
 pub struct StatsRegistry {
     mem_hits: AtomicU64,
     disk_hits: AtomicU64,
+    canon_hits: AtomicU64,
     misses: AtomicU64,
     compiles: AtomicU64,
     dedup_waits: AtomicU64,
@@ -35,6 +36,11 @@ pub struct StatsSnapshot {
     pub mem_hits: u64,
     /// Disk-tier cache hits (served after a memory miss).
     pub disk_hits: u64,
+    /// Semantic (alpha-equivalence) hits: the exact key missed but the
+    /// canonical form's key held an alias entry, so an isomorphic variant
+    /// of a cached loop was served without compiling. Each one is also
+    /// counted as a mem/disk hit by the tier that held the alias.
+    pub canon_hits: u64,
     /// Full misses (required a pipeline execution or a wait on one).
     pub misses: u64,
     /// Pipeline executions actually performed.
@@ -75,6 +81,11 @@ impl StatsRegistry {
     /// Record a disk-tier hit.
     pub fn disk_hit(&self) {
         self.disk_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a semantic (canonical-form alias) hit.
+    pub fn canon_hit(&self) {
+        self.canon_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a full miss.
@@ -144,6 +155,7 @@ impl StatsRegistry {
         StatsSnapshot {
             mem_hits: self.mem_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            canon_hits: self.canon_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             compiles: self.compiles.load(Ordering::Relaxed),
             dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
@@ -176,6 +188,7 @@ mod tests {
         s.mem_hit();
         s.mem_hit();
         s.disk_hit();
+        s.canon_hit();
         s.miss();
         s.compile();
         s.dedup_wait();
@@ -187,6 +200,7 @@ mod tests {
         assert_eq!(snap.mem_hits, 2);
         assert_eq!(snap.disk_hits, 1);
         assert_eq!(snap.hits(), 3);
+        assert_eq!(snap.canon_hits, 1);
         assert_eq!(snap.misses, 1);
         assert_eq!(snap.compiles, 1);
         assert_eq!(snap.dedup_waits, 1);

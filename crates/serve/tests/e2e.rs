@@ -336,7 +336,12 @@ fn sharded_client_routes_batches_and_fails_over() {
     let expected_on_a = reqs
         .iter()
         .filter(|r| {
-            let key = r.canonicalize().expect("canonical").cache_key();
+            // Routing is by semantic key (see `ShardedClient::compile`).
+            let key = r
+                .canonicalize()
+                .expect("canonical")
+                .semantic_key()
+                .expect("semantic");
             sharded
                 .ring()
                 .peer(sharded.ring().route(&key).expect("route"))
