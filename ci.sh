@@ -83,6 +83,33 @@ target/release/vliw-client --addr "$ADDR" --stats --shutdown
 wait "$SERVED_PID"
 SERVED_PID=""
 
+echo "==> vliw-serve concurrency smoke (256 connections on 2 workers, zero dropped)"
+# The reactor core must hold 256 simultaneous connections on a 2-worker
+# compile pool and serve one request on each with nothing rejected, timed
+# out, or errored.
+target/release/vliw-served --addr 127.0.0.1:0 --no-disk --workers 2 \
+    > "$SMOKE_DIR/conc.log" &
+SERVED_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^vliw-served listening on //p' "$SMOKE_DIR/conc.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "vliw-served did not come up"; cat "$SMOKE_DIR/conc.log"; exit 1; }
+target/release/vliw-client --addr "$ADDR" --compile --gen 0 --concurrent 256 \
+    | tee "$SMOKE_DIR/conc-client.log"
+grep -q '^concurrent n=256 ok=256 errors=0$' "$SMOKE_DIR/conc-client.log"
+target/release/vliw-client --addr "$ADDR" --stats | tee "$SMOKE_DIR/conc-stats.log"
+grep -q ' timeouts=0 ' "$SMOKE_DIR/conc-stats.log"
+grep -q ' errors=0 ' "$SMOKE_DIR/conc-stats.log"
+grep -q ' conns_rejected=0 ' "$SMOKE_DIR/conc-stats.log"
+ACCEPTS=$(sed -n 's/.* accepts=\([0-9]*\).*/\1/p' "$SMOKE_DIR/conc-stats.log")
+[ "${ACCEPTS:-0}" -ge 257 ] || { echo "expected >=257 accepts, got ${ACCEPTS:-none}"; exit 1; }
+target/release/vliw-client --addr "$ADDR" --shutdown
+wait "$SERVED_PID"
+SERVED_PID=""
+
 echo "==> vliw-serve sharded smoke test (two peers, batch routing, failover)"
 serve_peer() { # $1 = cache dir, $2 = log file
     target/release/vliw-served --addr 127.0.0.1:0 --cache-dir "$1" > "$2" &

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! vliw-client (--addr HOST:PORT | --peers A,B,..) [--ping] [--stats]
-//!             [--shutdown] [--compile] [--batch]
+//!             [--shutdown] [--compile] [--batch] [--concurrent N]
 //!             [--loop-file PATH | --gen IDX | --gen-variant IDX:SEED | --gen-range LO:HI]
 //!             [--machine SPEC] [--config-file PATH]
 //!             [--timeout-ms N] [--repeat N] [--parallelism N] [--aggregate]
@@ -21,7 +21,12 @@
 //! understood by `vliw_machine::machine_from_spec` (`embedded:4x4`,
 //! `copyunit:2x8`, `ideal:16`). `--repeat N` resends the identical request
 //! N times and reports how each was served, which is how the CI smoke test
-//! asserts the second send is a cache hit.
+//! asserts the second send is a cache hit. `--concurrent N` holds N
+//! simultaneous connections open and sends one request on each (the
+//! `--compile` request if one is configured, a ping otherwise), then
+//! prints `concurrent n=N ok=K errors=E` — the CI smoke uses it to assert
+//! the reactor core multiplexes hundreds of connections on a small worker
+//! pool without dropping any.
 //!
 //! With `--peers A,B,..` every request routes by its content hash over a
 //! consistent-hash ring: identical requests always land on the same peer,
@@ -37,7 +42,7 @@ use vliw_serve::{Client, CompileRequest, Json, ServedResult, ShardedClient};
 fn usage() -> ! {
     eprintln!(
         "usage: vliw-client (--addr HOST:PORT | --peers A,B,..) [--ping] [--stats]\n\
-         \x20                  [--shutdown] [--compile] [--batch]\n\
+         \x20                  [--shutdown] [--compile] [--batch] [--concurrent N]\n\
          \x20                  [--loop-file PATH | --gen IDX | --gen-variant IDX:SEED\n\
          \x20                   | --gen-range LO:HI]\n\
          \x20                  [--machine SPEC] [--config-file PATH]\n\
@@ -73,7 +78,7 @@ fn print_stats_line(prefix: &str, stats: &Json) {
             .unwrap_or(0)
     };
     println!(
-        "{prefix} hits={} (mem={} disk={}) misses={} compiles={} dedup_waits={} batches={} sync_writes={} evictions={} timeouts={} errors={} p50_us={} p90_us={} p99_us={}",
+        "{prefix} hits={} (mem={} disk={}) misses={} compiles={} dedup_waits={} batches={} sync_writes={} evictions={} timeouts={} errors={} accepts={} conns_rejected={} p50_us={} p90_us={} p99_us={} queue_p99_us={}",
         n("hits"),
         n("mem_hits"),
         n("disk_hits"),
@@ -85,9 +90,12 @@ fn print_stats_line(prefix: &str, stats: &Json) {
         n("evictions"),
         n("timeouts"),
         n("errors"),
+        n("accepts"),
+        n("conns_rejected"),
         n("p50_us"),
         n("p90_us"),
-        n("p99_us")
+        n("p99_us"),
+        n("queue_p99_us")
     );
 }
 
@@ -134,6 +142,7 @@ fn main() {
     let mut timeout_ms = None;
     let mut repeat = 1usize;
     let mut parallelism = None;
+    let mut concurrent: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -183,6 +192,9 @@ fn main() {
             "--parallelism" => {
                 parallelism = Some(value().parse::<usize>().unwrap_or_else(|_| usage()))
             }
+            "--concurrent" => {
+                concurrent = Some(value().parse::<usize>().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -191,7 +203,7 @@ fn main() {
     if do_aggregate {
         do_stats = true;
     }
-    if !(do_ping || do_stats || do_shutdown || do_compile || do_batch) {
+    if !(do_ping || do_stats || do_shutdown || do_compile || do_batch || concurrent.is_some()) {
         usage();
     }
     if addr.is_some() == peers.is_some() {
@@ -252,6 +264,9 @@ fn main() {
         if do_ping {
             fatal("--ping targets one server; use --addr");
         }
+        if concurrent.is_some() {
+            fatal("--concurrent targets one server; use --addr");
+        }
         if do_compile {
             let req = single_request();
             for i in 0..repeat.max(1) {
@@ -301,12 +316,43 @@ fn main() {
     let mut client =
         Client::connect(&addr).unwrap_or_else(|e| fatal(&format!("connect {addr}: {e}")));
 
+    if let Some(n) = concurrent {
+        // Hold `n` simultaneous connections and send one request on each;
+        // every connection stays open until all have been served, so the
+        // server really multiplexes `n` live sockets at once.
+        let req = if do_compile {
+            Some(single_request())
+        } else {
+            None
+        };
+        let mut conns = Vec::with_capacity(n);
+        let mut ok = 0u64;
+        let mut errors = 0u64;
+        for _ in 0..n {
+            match Client::connect(&addr) {
+                Ok(c) => conns.push(c),
+                Err(_) => errors += 1,
+            }
+        }
+        for c in conns.iter_mut() {
+            let sent = match &req {
+                Some(req) => c.compile(req, timeout_ms).map(|_| ()),
+                None => c.ping(),
+            };
+            match sent {
+                Ok(()) => ok += 1,
+                Err(_) => errors += 1,
+            }
+        }
+        println!("concurrent n={n} ok={ok} errors={errors}");
+    }
+
     if do_ping {
         client.ping().unwrap_or_else(|e| fatal(&e.to_string()));
         println!("pong");
     }
 
-    if do_compile {
+    if do_compile && concurrent.is_none() {
         let req = single_request();
         for i in 0..repeat.max(1) {
             let served = client

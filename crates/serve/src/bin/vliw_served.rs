@@ -3,24 +3,38 @@
 //! ```text
 //! vliw-served [--addr HOST:PORT] [--workers N] [--mem-capacity N]
 //!             [--cache-dir PATH | --no-disk] [--timeout-ms N]
-//!             [--batch-parallelism N]
+//!             [--batch-parallelism N] [--max-conns N]
+//!             [--idle-timeout-ms N] [--core reactor|threads] [--force-poll]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0`, an ephemeral port), prints
 //! `vliw-served listening on ADDR` on stdout, then serves the JSON-lines
 //! protocol until a `shutdown` request or SIGTERM/SIGINT arrives. The disk
 //! tier defaults to `target/vliw-cache/`.
+//!
+//! The default core is the event-driven reactor: `--workers` sizes the
+//! compile pool (not the connection count — one reactor thread holds every
+//! connection), `--max-conns` caps concurrent connections, and
+//! `--idle-timeout-ms` evicts idle connections (0 disables; default 5
+//! minutes). `--core threads` selects the legacy thread-per-connection
+//! core; `--force-poll` pins the reactor to the portable `poll(2)` backend.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
-use vliw_serve::{CachedCompiler, DiskStore, Server, ServerConfig, TieredCache};
+use vliw_serve::{
+    CachedCompiler, DiskStore, Server, ServerConfig, ServerCore, ShutdownHandle, TieredCache,
+};
 
-/// Process-wide flag flipped by the signal handler; a bridge thread relays
-/// it into the server's own shutdown handle.
-static SIGNALLED: AtomicBool = AtomicBool::new(false);
+/// Set once the server is bound; the signal handler signals through it.
+/// `ShutdownHandle::signal` is an atomic store plus one `write(2)` on a
+/// pre-opened socketpair fd, so it is safe in signal context, and the wake
+/// means shutdown needs no bridge thread polling a flag.
+static HANDLE: OnceLock<ShutdownHandle> = OnceLock::new();
 
 extern "C" fn on_signal(_sig: i32) {
-    SIGNALLED.store(true, Ordering::SeqCst);
+    if let Some(handle) = HANDLE.get() {
+        handle.signal();
+    }
 }
 
 fn install_signal_handlers() {
@@ -40,7 +54,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: vliw-served [--addr HOST:PORT] [--workers N] [--mem-capacity N]\n\
          \x20                  [--cache-dir PATH | --no-disk] [--timeout-ms N]\n\
-         \x20                  [--batch-parallelism N]"
+         \x20                  [--batch-parallelism N] [--max-conns N]\n\
+         \x20                  [--idle-timeout-ms N] [--core reactor|threads]\n\
+         \x20                  [--force-poll]"
     );
     std::process::exit(2);
 }
@@ -53,6 +69,10 @@ fn main() {
     let mut cache_dir = Some(DiskStore::default_root());
     let mut timeout_ms = 30_000u64;
     let mut batch_parallelism = 8usize;
+    let mut max_conns = 4096usize;
+    let mut idle_timeout_ms = 300_000u64; // 5 minutes; 0 disables
+    let mut core = ServerCore::Reactor;
+    let mut force_poll = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -67,12 +87,21 @@ fn main() {
             "--batch-parallelism" => {
                 batch_parallelism = value().parse().unwrap_or_else(|_| usage())
             }
+            "--max-conns" => max_conns = value().parse().unwrap_or_else(|_| usage()),
+            "--idle-timeout-ms" => idle_timeout_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--core" => {
+                core = match value().as_str() {
+                    "reactor" => ServerCore::Reactor,
+                    "threads" => ServerCore::ThreadPool,
+                    _ => usage(),
+                }
+            }
+            "--force-poll" => force_poll = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
 
-    install_signal_handlers();
     let disk = cache_dir.map(DiskStore::new);
     let engine = CachedCompiler::new(TieredCache::new(mem_capacity, disk));
     let server = Server::bind(
@@ -81,6 +110,11 @@ fn main() {
             workers,
             default_timeout: Duration::from_millis(timeout_ms),
             batch_parallelism,
+            core,
+            idle_timeout: (idle_timeout_ms > 0).then(|| Duration::from_millis(idle_timeout_ms)),
+            max_conns,
+            force_poll,
+            ..ServerConfig::default()
         },
         engine,
     )
@@ -95,14 +129,8 @@ fn main() {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
-    let handle = server.shutdown_handle();
-    std::thread::spawn(move || loop {
-        if SIGNALLED.load(Ordering::SeqCst) {
-            handle.store(true, Ordering::SeqCst);
-            return;
-        }
-        std::thread::sleep(Duration::from_millis(50));
-    });
+    let _ = HANDLE.set(server.shutdown_handle());
+    install_signal_handlers();
 
     server.run();
     println!("vliw-served: drained, exiting");

@@ -1,0 +1,967 @@
+//! Per-connection protocol state machine for the reactor core.
+//!
+//! A [`Conn`] owns a connection's buffered wire bytes and pending response
+//! bytes but never touches a socket or the compile engine: the reactor
+//! feeds it raw bytes ([`Conn::push_bytes`]), asks it to make progress
+//! ([`Conn::advance`]), and gets back [`Action`]s describing work to
+//! dispatch. That split keeps every protocol edge case — partial lines,
+//! pipelined requests, streamed batches, oversized lines — unit-testable
+//! without sockets or threads.
+//!
+//! The interesting state is the **streamed batch**. A canonical
+//! `compile_batch` line (`op` first, `requests` last) is recognised from
+//! its first bytes; the control fields are parsed as they arrive, and each
+//! entry of `requests` is handed to the compile workers the moment its
+//! closing brace lands — entry `k` compiles while entry `k+1` is still on
+//! the wire. Entry dispatch stops while `inflight == cap`, which (via
+//! [`Conn::wants_read`]) pauses read interest and lets TCP back-pressure
+//! throttle a fast client. Results come back out of order and are
+//! reassembled into request-order slots; the aggregate response renders
+//! once the wire side is fully parsed and every slot is filled.
+//!
+//! Lines that cannot take the streaming path (non-canonical field order,
+//! unknown control fields) fall back to whole-line accumulation and are
+//! served by the ordinary dispatcher, exactly as the thread-pool core
+//! serves them.
+
+use crate::json::{self as js, Json, Scan};
+use crate::server::{error_response, ServeOptions};
+use crate::stats::StatsRegistry;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The exact first bytes of a canonical batch line (matching the check in
+/// `handle_line`, so both cores agree on what is streamable).
+const BATCH_PREFIX: &[u8] = b"{\"op\":\"compile_batch\"";
+
+/// Per-connection parsing limits and dispatch knobs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ConnLimits {
+    /// Request-level options (default timeout, batch fan-out cap).
+    pub opts: ServeOptions,
+    /// Longest tolerated request line / unconsumed residue, in bytes.
+    pub max_line_bytes: usize,
+}
+
+/// Batch-level defaults shared by every entry job of one batch.
+#[derive(Debug, Default)]
+pub(crate) struct BatchDefaults {
+    /// `defaults.machine`, spliced into entries that omit `machine`.
+    pub machine: Option<String>,
+    /// `defaults.config`, spliced into entries that omit `config`.
+    pub config: Option<String>,
+}
+
+/// Work the state machine hands back to the reactor.
+#[derive(Debug)]
+pub(crate) enum Action {
+    /// A complete stand-alone request line (trimmed, non-empty). At most
+    /// one per [`Conn::advance`] call: the reactor either answers it inline
+    /// or marks the connection busy and dispatches it to a worker.
+    Line(String),
+    /// One complete batch entry to compile into result slot `idx` of batch
+    /// generation `gen` (stale generations are dropped on completion).
+    Entry {
+        /// Batch generation the entry belongs to.
+        gen: u64,
+        /// Result slot index, in request order.
+        idx: usize,
+        /// The entry's raw JSON text.
+        text: String,
+        /// Batch-level `timeout_ms`, if the client sent one.
+        timeout_ms: Option<u64>,
+        /// Batch-level defaults for entries omitting machine/config.
+        defaults: Arc<BatchDefaults>,
+    },
+    /// A fatal guard tripped (oversized line); the typed error response is
+    /// already queued — flush it, then close the connection.
+    CloseAfterFlush,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Accumulating a line; still deciding whether it streams as a batch.
+    Line,
+    /// The current line cannot stream; wait for its newline and emit whole.
+    WholeLine,
+    /// Streaming a canonical batch body (state in `Conn::batch`).
+    Batch,
+    /// A batch aborted mid-line: the error response is queued; discard wire
+    /// bytes until the terminating newline, then resume `Line`.
+    DrainLine,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Inside `requests`, expecting an entry value or `]`.
+    Entry,
+    /// After an entry, expecting `,` or `]`.
+    Separator,
+    /// After `]`, expecting `}` and the line's newline.
+    Tail,
+    /// Wire side fully parsed; waiting for outstanding entry results.
+    Await,
+}
+
+#[derive(Debug)]
+struct BatchState {
+    phase: Phase,
+    timeout_ms: Option<u64>,
+    /// In-flight entry cap: `min(parallelism, batch_parallelism)`. The cap
+    /// deliberately exceeds the worker count so the queue stays non-empty
+    /// and a worker can start the next entry without waiting for the
+    /// reactor to observe the previous completion first.
+    cap: usize,
+    defaults: Arc<BatchDefaults>,
+    next_idx: usize,
+    /// Request-ordered result slots; `None` while the entry is compiling.
+    results: Vec<Option<Arc<str>>>,
+    done: usize,
+    inflight: usize,
+    /// Entry count, known once `]` is parsed.
+    total: Option<usize>,
+}
+
+/// Outcome of one header-parse attempt over buffered (possibly truncated)
+/// bytes.
+enum Header {
+    /// Undecidable yet; wait for more bytes.
+    NeedMore,
+    /// Not a canonical streaming batch; serve the whole line normally.
+    Fallback,
+    /// A batch-level protocol error; respond and drain the line.
+    Error(Json),
+    /// Canonical: control fields parsed, `requests` array opened.
+    Commit {
+        /// Bytes consumed through the `[` of `requests`.
+        consumed: usize,
+        state: BatchState,
+    },
+}
+
+/// One connection's protocol state.
+pub(crate) struct Conn {
+    /// Unconsumed wire bytes.
+    buf: Vec<u8>,
+    /// Pending response bytes.
+    out: Vec<u8>,
+    /// How much of `out` has been written to the socket.
+    out_pos: usize,
+    mode: Mode,
+    batch: Option<BatchState>,
+    /// A stand-alone line job is in flight on a worker.
+    pub(crate) busy: bool,
+    /// Close once `out` drains.
+    pub(crate) closing: bool,
+    /// The peer half-closed; finish outstanding work, flush, then close.
+    pub(crate) peer_closed: bool,
+    /// Last wire activity (read bytes or write progress), for idle sweeps.
+    pub(crate) last_activity: Instant,
+    /// Batch generation; bumped on abort/finish so late entry results from
+    /// a dead batch are dropped.
+    gen: u64,
+}
+
+fn push_doc(out: &mut Vec<u8>, doc: &Json) {
+    out.extend_from_slice(doc.render().as_bytes());
+    out.push(b'\n');
+}
+
+fn find_newline(buf: &[u8]) -> Option<usize> {
+    buf.iter().position(|&b| b == b'\n')
+}
+
+impl Conn {
+    pub(crate) fn new() -> Conn {
+        Conn {
+            buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            mode: Mode::Line,
+            batch: None,
+            busy: false,
+            closing: false,
+            peer_closed: false,
+            last_activity: Instant::now(),
+            gen: 0,
+        }
+    }
+
+    /// Buffer freshly read wire bytes.
+    pub(crate) fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+        self.last_activity = Instant::now();
+    }
+
+    /// Mark non-read activity (write progress) for the idle sweep.
+    pub(crate) fn note_activity(&mut self) {
+        self.last_activity = Instant::now();
+    }
+
+    /// Response bytes not yet written, if any.
+    pub(crate) fn pending_write(&self) -> Option<&[u8]> {
+        let rest = &self.out[self.out_pos..];
+        (!rest.is_empty()).then_some(rest)
+    }
+
+    /// Whether any response bytes await the socket.
+    pub(crate) fn has_pending_write(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Record `n` response bytes as written.
+    pub(crate) fn consume_written(&mut self, n: usize) {
+        self.out_pos += n;
+        debug_assert!(self.out_pos <= self.out.len());
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+    }
+
+    /// Whether the reactor should keep READ interest: back-pressure pauses
+    /// reads while a response is unflushed, a line job is in flight, or a
+    /// batch has no free in-flight slot.
+    pub(crate) fn wants_read(&self) -> bool {
+        if self.closing || self.peer_closed || self.busy || self.has_pending_write() {
+            return false;
+        }
+        match self.mode {
+            Mode::Line | Mode::WholeLine | Mode::DrainLine => true,
+            Mode::Batch => match &self.batch {
+                Some(st) => st.phase != Phase::Await && st.inflight < st.cap,
+                None => true,
+            },
+        }
+    }
+
+    /// Whether the server itself owes this connection work (a line job or
+    /// batch entries in flight). Such connections are exempt from the idle
+    /// sweep — the slowness is ours, not the client's.
+    pub(crate) fn waiting_on_server(&self) -> bool {
+        self.busy || self.batch.as_ref().is_some_and(|st| st.inflight > 0)
+    }
+
+    /// Queue a rendered response for a stand-alone line and clear `busy`.
+    pub(crate) fn on_line_response(&mut self, doc: &str) {
+        self.out.extend_from_slice(doc.as_bytes());
+        self.out.push(b'\n');
+        self.busy = false;
+    }
+
+    /// Queue a typed error response and close once it flushes.
+    pub(crate) fn fail_and_close(&mut self, message: &str) {
+        push_doc(&mut self.out, &error_response(message));
+        self.closing = true;
+    }
+
+    /// Deliver one batch entry's rendered result. Stale generations (from
+    /// an aborted batch) are dropped. Call [`Conn::advance`] afterwards:
+    /// the freed in-flight slot may unblock parsing, and the last result
+    /// triggers the aggregate response.
+    pub(crate) fn on_entry_result(&mut self, gen: u64, idx: usize, doc: Arc<str>) {
+        if gen != self.gen {
+            return;
+        }
+        if let Some(st) = self.batch.as_mut() {
+            if let Some(slot @ None) = st.results.get_mut(idx) {
+                *slot = Some(doc);
+                st.done += 1;
+                st.inflight -= 1;
+            }
+        }
+    }
+
+    /// Drive the state machine over the buffered bytes, returning dispatch
+    /// actions. Stops at the first [`Action::Line`] (the reactor decides
+    /// how to serve it before more lines are parsed) and when more input,
+    /// a free in-flight slot, or an entry result is needed.
+    pub(crate) fn advance(&mut self, limits: &ConnLimits, stats: &StatsRegistry) -> Vec<Action> {
+        let mut actions = Vec::new();
+        loop {
+            if self.closing {
+                break;
+            }
+            let progressed = match self.mode {
+                Mode::Line => self.step_line(limits, stats, &mut actions),
+                Mode::WholeLine => self.step_whole_line(limits, stats, &mut actions),
+                Mode::Batch => self.step_batch(limits, stats, &mut actions),
+                Mode::DrainLine => self.step_drain(),
+            };
+            if matches!(actions.last(), Some(Action::Line(_))) || !progressed {
+                break;
+            }
+        }
+        actions
+    }
+
+    fn oversize(&mut self, stats: &StatsRegistry, actions: &mut Vec<Action>) {
+        stats.oversize_close();
+        push_doc(
+            &mut self.out,
+            &error_response("request line exceeds the server's length limit"),
+        );
+        self.closing = true;
+        actions.push(Action::CloseAfterFlush);
+    }
+
+    fn step_line(
+        &mut self,
+        limits: &ConnLimits,
+        stats: &StatsRegistry,
+        actions: &mut Vec<Action>,
+    ) -> bool {
+        if self.busy {
+            return false;
+        }
+        // Blank space between lines (including the newlines themselves) is
+        // skipped, mirroring the thread-pool core's trim-and-skip.
+        let lead = self
+            .buf
+            .iter()
+            .take_while(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+            .count();
+        if lead > 0 {
+            self.buf.drain(..lead);
+        }
+        if self.buf.is_empty() {
+            return false;
+        }
+        let probe = self.buf.len().min(BATCH_PREFIX.len());
+        if self.buf[..probe] != BATCH_PREFIX[..probe] {
+            self.mode = Mode::WholeLine;
+            return true;
+        }
+        if self.buf.len() < BATCH_PREFIX.len() {
+            return false; // prefix still undecided — a handful of bytes
+        }
+        let header = match find_newline(&self.buf) {
+            // The whole line is here: every outcome is decidable now.
+            Some(i) => header_of(&self.buf[..i], limits, true),
+            None => header_of(&self.buf, limits, false),
+        };
+        match header {
+            Header::NeedMore => {
+                if self.buf.len() > limits.max_line_bytes {
+                    self.oversize(stats, actions);
+                    return true;
+                }
+                false
+            }
+            Header::Fallback => {
+                self.mode = Mode::WholeLine;
+                true
+            }
+            Header::Error(doc) => {
+                stats.error();
+                push_doc(&mut self.out, &doc);
+                self.mode = Mode::DrainLine;
+                true
+            }
+            Header::Commit { consumed, state } => {
+                self.buf.drain(..consumed);
+                stats.batch();
+                self.batch = Some(state);
+                self.mode = Mode::Batch;
+                true
+            }
+        }
+    }
+
+    fn step_whole_line(
+        &mut self,
+        limits: &ConnLimits,
+        stats: &StatsRegistry,
+        actions: &mut Vec<Action>,
+    ) -> bool {
+        if self.busy {
+            return false;
+        }
+        match find_newline(&self.buf) {
+            None => {
+                if self.buf.len() > limits.max_line_bytes {
+                    self.oversize(stats, actions);
+                    return true;
+                }
+                false
+            }
+            Some(i) => {
+                let line = String::from_utf8_lossy(&self.buf[..i]).trim().to_string();
+                self.buf.drain(..=i);
+                self.mode = Mode::Line;
+                if !line.is_empty() {
+                    actions.push(Action::Line(line));
+                }
+                true
+            }
+        }
+    }
+
+    fn step_batch(
+        &mut self,
+        limits: &ConnLimits,
+        stats: &StatsRegistry,
+        actions: &mut Vec<Action>,
+    ) -> bool {
+        enum Fate {
+            More,
+            Stall,
+            StallMaybeOversize,
+            Abort { doc: Json, line_consumed: bool },
+            Finish,
+        }
+        let gen = self.gen;
+        let fate = {
+            let Some(st) = self.batch.as_mut() else {
+                self.mode = Mode::Line;
+                return true;
+            };
+            let buf = &mut self.buf;
+            match st.phase {
+                Phase::Entry => {
+                    let mut pos = 0;
+                    js::skip_ws(buf, &mut pos);
+                    if pos > 0 {
+                        buf.drain(..pos);
+                    }
+                    match buf.first() {
+                        None => Fate::Stall,
+                        Some(b']') => {
+                            buf.drain(..1);
+                            st.total = Some(st.next_idx);
+                            st.phase = Phase::Tail;
+                            Fate::More
+                        }
+                        Some(_) if st.inflight >= st.cap => Fate::Stall,
+                        Some(_) => match js::scan_value(buf, 0) {
+                            Err(_) => Fate::Abort {
+                                doc: error_response("malformed `requests` array"),
+                                line_consumed: false,
+                            },
+                            Ok(Scan::Partial) => Fate::StallMaybeOversize,
+                            Ok(Scan::Complete(end)) => {
+                                let text = String::from_utf8_lossy(&buf[..end]).into_owned();
+                                buf.drain(..end);
+                                actions.push(Action::Entry {
+                                    gen,
+                                    idx: st.next_idx,
+                                    text,
+                                    timeout_ms: st.timeout_ms,
+                                    defaults: Arc::clone(&st.defaults),
+                                });
+                                st.results.push(None);
+                                st.next_idx += 1;
+                                st.inflight += 1;
+                                st.phase = Phase::Separator;
+                                Fate::More
+                            }
+                        },
+                    }
+                }
+                Phase::Separator => {
+                    let mut pos = 0;
+                    js::skip_ws(buf, &mut pos);
+                    if pos > 0 {
+                        buf.drain(..pos);
+                    }
+                    match buf.first() {
+                        None => Fate::Stall,
+                        Some(b',') => {
+                            buf.drain(..1);
+                            st.phase = Phase::Entry;
+                            Fate::More
+                        }
+                        Some(b']') => {
+                            buf.drain(..1);
+                            st.total = Some(st.next_idx);
+                            st.phase = Phase::Tail;
+                            Fate::More
+                        }
+                        Some(_) => Fate::Abort {
+                            doc: error_response("expected `,` or `]` in `requests`"),
+                            line_consumed: false,
+                        },
+                    }
+                }
+                Phase::Tail => match find_newline(buf) {
+                    None => Fate::StallMaybeOversize,
+                    Some(i) => {
+                        let line = &buf[..i];
+                        let mut pos = 0;
+                        js::skip_ws(line, &mut pos);
+                        let fate = if line.get(pos) != Some(&b'}') {
+                            Fate::Abort {
+                                doc: error_response(
+                                    "compile_batch fields after `requests` are not supported",
+                                ),
+                                line_consumed: true,
+                            }
+                        } else {
+                            pos += 1;
+                            js::skip_ws(line, &mut pos);
+                            if pos != line.len() {
+                                Fate::Abort {
+                                    doc: error_response("trailing characters after document"),
+                                    line_consumed: true,
+                                }
+                            } else {
+                                st.phase = Phase::Await;
+                                Fate::More
+                            }
+                        };
+                        buf.drain(..=i);
+                        fate
+                    }
+                },
+                Phase::Await => {
+                    if st.total == Some(st.done) {
+                        Fate::Finish
+                    } else {
+                        Fate::Stall
+                    }
+                }
+            }
+        };
+        match fate {
+            Fate::More => true,
+            Fate::Stall => false,
+            Fate::StallMaybeOversize => {
+                if self.buf.len() > limits.max_line_bytes {
+                    self.batch = None;
+                    self.gen += 1;
+                    self.oversize(stats, actions);
+                    return true;
+                }
+                false
+            }
+            Fate::Abort { doc, line_consumed } => {
+                self.batch = None;
+                self.gen += 1;
+                stats.error();
+                push_doc(&mut self.out, &doc);
+                self.mode = if line_consumed {
+                    Mode::Line
+                } else {
+                    Mode::DrainLine
+                };
+                true
+            }
+            Fate::Finish => {
+                let st = self.batch.take().expect("finishing batch state");
+                self.gen += 1;
+                self.mode = Mode::Line;
+                let n = st.results.len();
+                let body: usize = st
+                    .results
+                    .iter()
+                    .map(|r| r.as_ref().map_or(0, |d| d.len() + 1))
+                    .sum();
+                // Same key order the tree handler's sorted-map rendering
+                // produces, so clients see one response shape.
+                let mut out = String::with_capacity(body + 64);
+                out.push_str("{\"n\":");
+                out.push_str(&n.to_string());
+                out.push_str(",\"ok\":true,\"op\":\"compile_batch\",\"results\":[");
+                for (i, slot) in st.results.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(slot.as_deref().expect("all batch slots filled"));
+                }
+                out.push_str("]}\n");
+                self.out.extend_from_slice(out.as_bytes());
+                true
+            }
+        }
+    }
+
+    fn step_drain(&mut self) -> bool {
+        match find_newline(&self.buf) {
+            Some(i) => {
+                self.buf.drain(..=i);
+                self.mode = Mode::Line;
+                true
+            }
+            None => {
+                // Everything buffered belongs to the doomed line.
+                self.buf.clear();
+                false
+            }
+        }
+    }
+}
+
+/// Parse the control-field prefix of a canonical batch line. `strict` means
+/// the slice is a complete line (a newline followed it), so parse failures
+/// are final; otherwise failures mean "wait for more bytes".
+fn header_of(bytes: &[u8], limits: &ConnLimits, strict: bool) -> Header {
+    fn undecided(strict: bool) -> Header {
+        if strict {
+            Header::Fallback
+        } else {
+            Header::NeedMore
+        }
+    }
+    let mut pos = 0usize;
+    js::skip_ws(bytes, &mut pos);
+    if js::expect(bytes, &mut pos, b'{').is_err() {
+        return undecided(strict);
+    }
+    let mut timeout_ms: Option<u64> = None;
+    let mut requested = limits.opts.batch_parallelism;
+    let mut defaults = BatchDefaults::default();
+    let mut saw_op = false;
+    loop {
+        js::skip_ws(bytes, &mut pos);
+        if pos >= bytes.len() {
+            return undecided(strict);
+        }
+        let key = match js::parse_key(bytes, &mut pos) {
+            Ok(k) => k,
+            Err(_) => return undecided(strict),
+        };
+        js::skip_ws(bytes, &mut pos);
+        if js::expect(bytes, &mut pos, b':').is_err() {
+            return undecided(strict);
+        }
+        if key.as_ref() == "requests" {
+            if !saw_op {
+                return Header::Fallback;
+            }
+            js::skip_ws(bytes, &mut pos);
+            return match bytes.get(pos) {
+                None => undecided(strict),
+                Some(b'[') => {
+                    let cap = requested.min(limits.opts.batch_parallelism).max(1);
+                    Header::Commit {
+                        consumed: pos + 1,
+                        state: BatchState {
+                            phase: Phase::Entry,
+                            timeout_ms,
+                            cap,
+                            defaults: Arc::new(defaults),
+                            next_idx: 0,
+                            results: Vec::new(),
+                            done: 0,
+                            inflight: 0,
+                            total: None,
+                        },
+                    }
+                }
+                Some(_) => {
+                    Header::Error(error_response("compile_batch op missing `requests` array"))
+                }
+            };
+        }
+        // Control values must be complete before they can be interpreted.
+        match js::scan_value(bytes, pos) {
+            Err(_) | Ok(Scan::Partial) => return undecided(strict),
+            Ok(Scan::Complete(_)) => {}
+        }
+        let value = match js::parse_value(bytes, &mut pos) {
+            Ok(v) => v,
+            Err(_) => return undecided(strict),
+        };
+        match key.as_ref() {
+            "op" => {
+                if value.as_str() != Some("compile_batch") {
+                    return Header::Fallback;
+                }
+                saw_op = true;
+            }
+            "timeout_ms" => match value.as_f64() {
+                Some(ms) if ms >= 0.0 => timeout_ms = Some(ms as u64),
+                _ => return Header::Error(error_response("bad `timeout_ms`")),
+            },
+            "parallelism" => match value.as_f64() {
+                Some(p) if p >= 1.0 => requested = p as usize,
+                _ => return Header::Error(error_response("bad `parallelism`")),
+            },
+            "defaults" => {
+                defaults = BatchDefaults {
+                    machine: value
+                        .get("machine")
+                        .and_then(Json::as_str)
+                        .map(str::to_string),
+                    config: value
+                        .get("config")
+                        .and_then(Json::as_str)
+                        .map(str::to_string),
+                };
+            }
+            // Unrecognised control field: let the tree handler decide.
+            _ => return Header::Fallback,
+        }
+        js::skip_ws(bytes, &mut pos);
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            None => return undecided(strict),
+            // The object ended without `requests`; the tree handler
+            // reports it.
+            Some(_) => return Header::Fallback,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn limits() -> ConnLimits {
+        ConnLimits {
+            opts: ServeOptions {
+                default_timeout: Duration::from_secs(10),
+                batch_parallelism: 8,
+            },
+            max_line_bytes: 1 << 20,
+        }
+    }
+
+    fn out_str(conn: &Conn) -> String {
+        String::from_utf8_lossy(conn.pending_write().unwrap_or(b"")).into_owned()
+    }
+
+    #[test]
+    fn plain_line_emits_once_complete() {
+        let (limits, stats) = (limits(), StatsRegistry::new());
+        let mut conn = Conn::new();
+        let line = b"{\"op\":\"ping\"}\n";
+        // Byte-at-a-time: nothing fires until the newline lands.
+        for &b in &line[..line.len() - 1] {
+            conn.push_bytes(&[b]);
+            assert!(conn.advance(&limits, &stats).is_empty());
+        }
+        conn.push_bytes(b"\n");
+        let actions = conn.advance(&limits, &stats);
+        assert!(
+            matches!(actions.as_slice(), [Action::Line(l)] if l == "{\"op\":\"ping\"}"),
+            "{actions:?}"
+        );
+    }
+
+    #[test]
+    fn pipelined_lines_come_one_per_advance() {
+        let (limits, stats) = (limits(), StatsRegistry::new());
+        let mut conn = Conn::new();
+        conn.push_bytes(b"{\"op\":\"ping\"}\n{\"op\":\"stats\"}\n");
+        let first = conn.advance(&limits, &stats);
+        assert!(matches!(first.as_slice(), [Action::Line(l)] if l.contains("ping")));
+        // The reactor answered inline; the next line parses on re-entry.
+        conn.on_line_response("{\"ok\":true}");
+        let second = conn.advance(&limits, &stats);
+        assert!(matches!(second.as_slice(), [Action::Line(l)] if l.contains("stats")));
+    }
+
+    #[test]
+    fn busy_connection_defers_parsing() {
+        let (limits, stats) = (limits(), StatsRegistry::new());
+        let mut conn = Conn::new();
+        conn.push_bytes(b"{\"op\":\"ping\"}\n");
+        conn.busy = true;
+        assert!(conn.advance(&limits, &stats).is_empty());
+        assert!(!conn.wants_read());
+        conn.on_line_response("{\"ok\":true}"); // clears busy
+        conn.consume_written(conn.pending_write().unwrap().len());
+        assert_eq!(conn.advance(&limits, &stats).len(), 1);
+    }
+
+    #[test]
+    fn streamed_batch_dispatches_entries_under_cap_and_assembles_in_order() {
+        let (limits, stats) = (limits(), StatsRegistry::new());
+        let mut conn = Conn::new();
+        conn.push_bytes(
+            b"{\"op\":\"compile_batch\",\"timeout_ms\":100,\"parallelism\":2,\
+              \"defaults\":{\"config\":\"c\",\"machine\":\"m\"},\
+              \"requests\":[{\"loop\":\"a\"},{\"loop\":\"b\"},{\"loop\":\"c\"}]}\n",
+        );
+        // parallelism=2 caps in-flight entries at 2, so only two dispatch now.
+        let actions = conn.advance(&limits, &stats);
+        let entries: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Entry {
+                    gen,
+                    idx,
+                    text,
+                    timeout_ms,
+                    defaults,
+                } => Some((*gen, *idx, text.clone(), *timeout_ms, Arc::clone(defaults))),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(entries.len(), 2, "{actions:?}");
+        assert_eq!(entries[0].1, 0);
+        assert_eq!(entries[0].2, "{\"loop\":\"a\"}");
+        assert_eq!(entries[0].3, Some(100));
+        assert_eq!(entries[0].4.machine.as_deref(), Some("m"));
+        assert_eq!(entries[0].4.config.as_deref(), Some("c"));
+        assert!(!conn.wants_read(), "cap reached: reads pause");
+        // Completing slot 1 first exercises out-of-order reassembly and
+        // frees budget for the third entry.
+        let gen = entries[0].0;
+        conn.on_entry_result(gen, 1, Arc::from("{\"r\":1}"));
+        let more = conn.advance(&limits, &stats);
+        assert!(
+            matches!(more.as_slice(), [Action::Entry { idx: 2, .. }]),
+            "{more:?}"
+        );
+        conn.on_entry_result(gen, 0, Arc::from("{\"r\":0}"));
+        conn.on_entry_result(gen, 2, Arc::from("{\"r\":2}"));
+        assert!(conn.advance(&limits, &stats).is_empty());
+        assert_eq!(
+            out_str(&conn),
+            "{\"n\":3,\"ok\":true,\"op\":\"compile_batch\",\
+             \"results\":[{\"r\":0},{\"r\":1},{\"r\":2}]}\n"
+        );
+        assert_eq!(stats.snapshot().batches, 1);
+    }
+
+    #[test]
+    fn batch_streams_before_the_line_completes() {
+        let (limits, stats) = (limits(), StatsRegistry::new());
+        let mut conn = Conn::new();
+        // Header plus one complete entry — the `]` is still on the wire.
+        conn.push_bytes(b"{\"op\":\"compile_batch\",\"requests\":[{\"loop\":\"a\"},");
+        let actions = conn.advance(&limits, &stats);
+        assert!(
+            matches!(actions.as_slice(), [Action::Entry { idx: 0, .. }]),
+            "entry dispatched mid-line: {actions:?}"
+        );
+        // Rest of the line arrives; result lands; response renders.
+        conn.push_bytes(b"{\"loop\":\"b\"}]}\n");
+        let actions = conn.advance(&limits, &stats);
+        assert!(matches!(actions.as_slice(), [Action::Entry { idx: 1, .. }]));
+        conn.on_entry_result(conn.gen, 0, Arc::from("{\"r\":0}"));
+        conn.on_entry_result(conn.gen, 1, Arc::from("{\"r\":1}"));
+        assert!(conn.advance(&limits, &stats).is_empty());
+        assert!(out_str(&conn).starts_with("{\"n\":2,"));
+    }
+
+    #[test]
+    fn empty_batch_answers_immediately() {
+        let (limits, stats) = (limits(), StatsRegistry::new());
+        let mut conn = Conn::new();
+        conn.push_bytes(b"{\"op\":\"compile_batch\",\"requests\":[]}\n");
+        assert!(conn.advance(&limits, &stats).is_empty());
+        assert_eq!(
+            out_str(&conn),
+            "{\"n\":0,\"ok\":true,\"op\":\"compile_batch\",\"results\":[]}\n"
+        );
+    }
+
+    #[test]
+    fn non_canonical_batch_falls_back_to_whole_line() {
+        let (limits, stats) = (limits(), StatsRegistry::new());
+        let mut conn = Conn::new();
+        // `op` is not the first field: not streamable; served as one line.
+        conn.push_bytes(b"{\"requests\":[],\"op\":\"compile_batch\"}\n");
+        let actions = conn.advance(&limits, &stats);
+        assert!(
+            matches!(actions.as_slice(), [Action::Line(_)]),
+            "{actions:?}"
+        );
+        // Unknown control field: same fallback.
+        conn.on_line_response("{}");
+        let mut conn2 = Conn::new();
+        conn2.push_bytes(b"{\"op\":\"compile_batch\",\"zzz\":1,\"requests\":[]}\n");
+        let actions = conn2.advance(&limits, &stats);
+        assert!(
+            matches!(actions.as_slice(), [Action::Line(_)]),
+            "{actions:?}"
+        );
+    }
+
+    #[test]
+    fn control_fields_after_requests_are_rejected() {
+        let (limits, stats) = (limits(), StatsRegistry::new());
+        let mut conn = Conn::new();
+        conn.push_bytes(b"{\"op\":\"compile_batch\",\"requests\":[],\"timeout_ms\":5}\n");
+        assert!(conn.advance(&limits, &stats).is_empty());
+        let out = out_str(&conn);
+        assert!(out.contains("\"ok\":false"), "{out}");
+        assert!(out.contains("after `requests`"), "{out}");
+        assert_eq!(stats.snapshot().errors, 1);
+        // The connection survives: a later line still parses.
+        conn.consume_written(conn.pending_write().unwrap().len());
+        conn.push_bytes(b"{\"op\":\"ping\"}\n");
+        assert_eq!(conn.advance(&limits, &stats).len(), 1);
+    }
+
+    #[test]
+    fn bad_timeout_in_header_errors_and_drains_the_line() {
+        let (limits, stats) = (limits(), StatsRegistry::new());
+        let mut conn = Conn::new();
+        conn.push_bytes(b"{\"op\":\"compile_batch\",\"timeout_ms\":-3,\"requests\":[");
+        assert!(conn.advance(&limits, &stats).is_empty());
+        assert!(out_str(&conn).contains("bad `timeout_ms`"));
+        // The rest of the doomed line is discarded; the next line works.
+        conn.consume_written(conn.pending_write().unwrap().len());
+        conn.push_bytes(b"{\"loop\":\"x\"}]}\n{\"op\":\"ping\"}\n");
+        let actions = conn.advance(&limits, &stats);
+        assert!(
+            matches!(actions.as_slice(), [Action::Line(l)] if l.contains("ping")),
+            "{actions:?}"
+        );
+    }
+
+    #[test]
+    fn aborted_batch_drops_stale_entry_results() {
+        let (limits, stats) = (limits(), StatsRegistry::new());
+        let mut conn = Conn::new();
+        conn.push_bytes(b"{\"op\":\"compile_batch\",\"requests\":[{\"loop\":\"a\"},");
+        let actions = conn.advance(&limits, &stats);
+        let gen = match actions.as_slice() {
+            [Action::Entry { gen, .. }] => *gen,
+            other => panic!("expected entry, got {other:?}"),
+        };
+        // Garbage where the next entry should be: batch aborts.
+        conn.push_bytes(b":::\n");
+        assert!(conn.advance(&limits, &stats).is_empty());
+        assert!(out_str(&conn).contains("\"ok\":false"));
+        // The late result from the aborted batch is silently dropped.
+        conn.on_entry_result(gen, 0, Arc::from("{\"r\":0}"));
+        conn.consume_written(conn.pending_write().unwrap().len());
+        conn.push_bytes(b"{\"op\":\"ping\"}\n");
+        assert_eq!(conn.advance(&limits, &stats).len(), 1);
+    }
+
+    #[test]
+    fn oversized_line_gets_typed_error_then_close() {
+        let (mut limits, stats) = (limits(), StatsRegistry::new());
+        limits.max_line_bytes = 64;
+        let mut conn = Conn::new();
+        conn.push_bytes(&[b'x'; 100]);
+        let actions = conn.advance(&limits, &stats);
+        assert!(
+            matches!(actions.as_slice(), [Action::CloseAfterFlush]),
+            "{actions:?}"
+        );
+        assert!(conn.closing);
+        assert!(out_str(&conn).contains("length limit"));
+        assert_eq!(stats.snapshot().oversize_closed, 1);
+    }
+
+    #[test]
+    fn oversized_batch_entry_is_guarded_too() {
+        let (mut limits, stats) = (limits(), StatsRegistry::new());
+        limits.max_line_bytes = 64;
+        let mut conn = Conn::new();
+        conn.push_bytes(b"{\"op\":\"compile_batch\",\"requests\":[{\"loop\":\"");
+        conn.push_bytes(&[b'y'; 100]);
+        let actions = conn.advance(&limits, &stats);
+        assert!(matches!(actions.as_slice(), [Action::CloseAfterFlush]));
+        assert_eq!(stats.snapshot().oversize_closed, 1);
+    }
+
+    #[test]
+    fn back_pressure_pauses_reads_while_writes_pend() {
+        let mut conn = Conn::new();
+        assert!(conn.wants_read());
+        conn.on_line_response("{\"ok\":true}");
+        assert!(!conn.wants_read(), "unflushed response pauses reads");
+        let n = conn.pending_write().unwrap().len();
+        conn.consume_written(n);
+        assert!(conn.wants_read());
+    }
+}

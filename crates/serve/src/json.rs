@@ -69,6 +69,15 @@ fn intern_key(key: &str) -> Option<&'static str> {
         "p50_us" => "p50_us",
         "p90_us" => "p90_us",
         "p99_us" => "p99_us",
+        "accepts" => "accepts",
+        "conns_rejected" => "conns_rejected",
+        "idle_closed" => "idle_closed",
+        "oversize_closed" => "oversize_closed",
+        "queue_samples" => "queue_samples",
+        "queue_p50_us" => "queue_p50_us",
+        "queue_p99_us" => "queue_p99_us",
+        "latency_hist" => "latency_hist",
+        "queue_hist" => "queue_hist",
         _ => return None,
     })
 }
@@ -457,6 +466,100 @@ pub(crate) fn parse_key(
     parse_str(bytes, pos).map(Cow::Owned)
 }
 
+/// Outcome of [`scan_value`] over a possibly-truncated buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Scan {
+    /// A complete value spans `start..end` (exclusive); `end` is the first
+    /// byte after it.
+    Complete(usize),
+    /// The buffer ends before the value does; read more and retry.
+    Partial,
+}
+
+/// Find the extent of one JSON value starting at `start`, without parsing
+/// it. This is what lets the reactor's connection state machine dispatch
+/// each batch entry the moment its closing brace arrives, while the rest of
+/// the batch is still on the wire. The scan is structural only (string- and
+/// escape-aware bracket matching); the dispatched slice still goes through
+/// the real parser, which reports mismatched brackets and other nonsense.
+///
+/// `Err` means the first non-whitespace byte cannot start a JSON value.
+/// A bare scalar that runs to the end of the buffer is `Partial` — it might
+/// continue — so scalars only complete at a delimiter, which the JSON-lines
+/// framing guarantees eventually arrives.
+pub(crate) fn scan_value(bytes: &[u8], start: usize) -> Result<Scan, JsonParseError> {
+    let mut pos = start;
+    skip_ws(bytes, &mut pos);
+    let Some(&first) = bytes.get(pos) else {
+        return Ok(Scan::Partial);
+    };
+    match first {
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut in_str = false;
+            let mut escape = false;
+            while pos < bytes.len() {
+                let b = bytes[pos];
+                if in_str {
+                    if escape {
+                        escape = false;
+                    } else if b == b'\\' {
+                        escape = true;
+                    } else if b == b'"' {
+                        in_str = false;
+                    }
+                } else {
+                    match b {
+                        b'"' => in_str = true,
+                        b'{' | b'[' => depth += 1,
+                        b'}' | b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Ok(Scan::Complete(pos + 1));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                pos += 1;
+            }
+            Ok(Scan::Partial)
+        }
+        b'"' => {
+            pos += 1;
+            let mut escape = false;
+            while pos < bytes.len() {
+                let b = bytes[pos];
+                if escape {
+                    escape = false;
+                } else if b == b'\\' {
+                    escape = true;
+                } else if b == b'"' {
+                    return Ok(Scan::Complete(pos + 1));
+                }
+                pos += 1;
+            }
+            Ok(Scan::Partial)
+        }
+        b't' | b'f' | b'n' | b'-' | b'+' | b'.' | b'0'..=b'9' => {
+            while pos < bytes.len()
+                && !matches!(
+                    bytes[pos],
+                    b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r'
+                )
+            {
+                pos += 1;
+            }
+            if pos == bytes.len() {
+                Ok(Scan::Partial)
+            } else {
+                Ok(Scan::Complete(pos))
+            }
+        }
+        _ => Err(fail(pos, "expected a JSON value")),
+    }
+}
+
 fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonParseError> {
     expect(bytes, pos, b'{')?;
     let mut map = BTreeMap::new();
@@ -532,6 +635,30 @@ mod tests {
         assert!(parse_json("\"abc").is_err());
         assert!(parse_json("{\"a\":1} trailing").is_err());
         assert!(parse_json("truue").is_err());
+    }
+
+    #[test]
+    fn scan_value_finds_extents_and_reports_partials() {
+        let doc = br#"{"loop":"a[}\"]b","n":[1,2]} ,tail"#;
+        assert_eq!(scan_value(doc, 0).unwrap(), Scan::Complete(28));
+        // Every proper prefix of the object is partial, never an error.
+        for cut in 1..28 {
+            assert_eq!(
+                scan_value(&doc[..cut], 0).unwrap(),
+                Scan::Partial,
+                "cut={cut}"
+            );
+        }
+        // Scalars complete only at a delimiter.
+        assert_eq!(scan_value(b"123", 0).unwrap(), Scan::Partial);
+        assert_eq!(scan_value(b"123,", 0).unwrap(), Scan::Complete(3));
+        assert_eq!(scan_value(b" true]", 0).unwrap(), Scan::Complete(5));
+        assert_eq!(scan_value(b"\"ab\\\"c\"", 0).unwrap(), Scan::Complete(7));
+        // A byte that cannot start a value is an error, not a stall.
+        assert!(scan_value(b"}", 0).is_err());
+        assert!(scan_value(b":1", 0).is_err());
+        // Whitespace-only input is partial (the value hasn't started yet).
+        assert_eq!(scan_value(b"  ", 0).unwrap(), Scan::Partial);
     }
 
     #[test]

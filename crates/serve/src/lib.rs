@@ -15,9 +15,15 @@
 //! * [`compile`] — [`compile::CachedCompiler`], the cache plus in-flight
 //!   dedup of concurrent identical requests;
 //! * [`stats`] — hit/miss/eviction counters and latency percentiles;
-//! * [`server`] / [`client`] — JSON-lines protocol over TCP, thread-pool
-//!   server (`vliw-served`) and client CLI (`vliw-client`), including the
+//! * [`server`] / [`client`] — JSON-lines protocol over TCP, server
+//!   (`vliw-served`) and client CLI (`vliw-client`), including the
 //!   `compile_batch` op (N requests, one wire round trip);
+//! * [`sys`] / [`reactor`] — the default event-driven serving core: a
+//!   libc-free epoll/poll readiness facility and the reactor that
+//!   multiplexes every connection on one thread while a worker pool runs
+//!   the compiles (a thread-per-connection core remains as baseline);
+//! * [`hist`] — lock-free log-linear latency histograms whose buckets are
+//!   additive, so sharded stats merge into honest percentiles;
 //! * [`ring`] / [`shard`] — consistent-hash routing over multiple peers
 //!   with failover to ring successors and aggregated stats.
 //!
@@ -30,13 +36,17 @@
 pub mod cache;
 pub mod client;
 pub mod compile;
+mod conn;
 pub mod envelope;
 pub mod hash;
+pub mod hist;
 pub mod json;
+pub mod reactor;
 pub mod ring;
 pub mod server;
 pub mod shard;
 pub mod stats;
+pub mod sys;
 
 pub use cache::{DiskStore, MemCache, TieredCache, WriteBehind};
 pub use client::{Client, ClientError, ServedResult};
@@ -45,7 +55,10 @@ pub use envelope::{CacheKey, CompileRequest, CompileResult, RequestError, CACHE_
 pub use hash::sha256_hex;
 pub use json::{parse_json, Json, JsonParseError};
 pub use ring::{HashRing, VNODES_PER_PEER};
-pub use server::{handle_line, ServeOptions, Server, ServerConfig, AGGREGATE_SUM_FIELDS};
+pub use server::{
+    handle_line, ServeOptions, Server, ServerConfig, ServerCore, ShutdownHandle,
+    AGGREGATE_SUM_FIELDS,
+};
 pub use shard::{PeerStats, ShardedClient};
 pub use stats::{StatsRegistry, StatsSnapshot};
 

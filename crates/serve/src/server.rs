@@ -35,18 +35,27 @@
 //! but control fields after `requests` are rejected on the streaming path,
 //! since the entries they would govern have already been served.
 //!
-//! The accept loop is nonblocking and polls a shutdown flag (set by the
-//! `shutdown` op or, in the binary, by SIGTERM/SIGINT), so a drain is
-//! graceful: the listener stops accepting, idle workers exit when the
-//! connection channel closes, and busy workers notice the flag at their
-//! next read-timeout tick.
+//! Two serving cores share this protocol (selected by
+//! [`ServerConfig::core`]). The default [`ServerCore::Reactor`] multiplexes
+//! every connection over an epoll/poll readiness loop on one thread and
+//! runs compiles on a small worker pool (see [`crate::reactor`]), so
+//! thousands of mostly-idle connections cost file descriptors rather than
+//! threads. [`ServerCore::ThreadPool`] is the original
+//! thread-per-connection core, kept as a benchmark baseline; its accept
+//! loop blocks in the poller (no sleeps) and is interrupted by the same
+//! [`ShutdownHandle`] wake. Either way a drain is graceful: the listener
+//! stops accepting, in-flight requests finish and flush, and the engine's
+//! write-behind queue is flushed before `run` returns.
 
 use crate::compile::{CachedCompiler, CompileError};
 use crate::envelope::CompileRequest;
 use crate::json::{parse_json, Json};
+use crate::reactor;
 use crate::stats::StatsSnapshot;
+use crate::sys::{Interest, Poller, Waker};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
@@ -69,19 +78,55 @@ pub const AGGREGATE_SUM_FIELDS: &[&str] = &[
     "sync_writes",
     "evictions",
     "samples",
+    "accepts",
+    "conns_rejected",
+    "idle_closed",
+    "oversize_closed",
+    "queue_samples",
 ];
+
+/// Selects the connection-serving engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerCore {
+    /// Event-driven readiness loop (epoll, or `poll(2)` as fallback): one
+    /// reactor thread multiplexes every connection and `workers` pool
+    /// threads run the compiles. Idle connections cost a file descriptor,
+    /// not a thread.
+    #[default]
+    Reactor,
+    /// The original blocking core: a worker thread owns each connection
+    /// for its lifetime. Kept as a benchmark baseline and portability
+    /// hedge.
+    ThreadPool,
+}
 
 /// Tunables for [`Server::bind`].
 pub struct ServerConfig {
     /// Listen address, e.g. `127.0.0.1:0` for an ephemeral port.
     pub addr: String,
-    /// Worker threads serving connections.
+    /// Compile worker threads (reactor core) / connection worker threads
+    /// (thread-pool core).
     pub workers: usize,
     /// Per-request wait deadline applied when the client sends none.
     pub default_timeout: Duration,
     /// Upper bound on per-batch fan-out; a client's `parallelism` is
     /// clamped to this.
     pub batch_parallelism: usize,
+    /// Which serving core drives connections.
+    pub core: ServerCore,
+    /// Reactor core: close connections idle longer than this with a typed
+    /// error (`None` disables the sweep). Connections waiting on their own
+    /// compiles are never swept.
+    pub idle_timeout: Option<Duration>,
+    /// Reactor core: longest accepted request line in bytes; beyond it the
+    /// connection gets a typed error and is closed (slowloris guard).
+    pub max_line_bytes: usize,
+    /// Reactor core: concurrent-connection cap; excess accepts receive a
+    /// typed error and are closed immediately.
+    pub max_conns: usize,
+    /// Reactor core: use the portable `poll(2)` backend even where epoll
+    /// is available (tests exercise both).
+    pub force_poll: bool,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +136,11 @@ impl Default for ServerConfig {
             workers: 4,
             default_timeout: Duration::from_secs(30),
             batch_parallelism: 8,
+            core: ServerCore::Reactor,
+            idle_timeout: None,
+            max_line_bytes: 8 << 20,
+            max_conns: 4096,
+            force_poll: false,
         }
     }
 }
@@ -110,10 +160,37 @@ pub struct Server {
     engine: Arc<CachedCompiler>,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+}
+
+/// A cloneable handle that stops a running [`Server`].
+///
+/// [`ShutdownHandle::signal`] sets the shutdown flag *and* wakes the
+/// serving loop through a socketpair, so a sleeping server reacts
+/// immediately — nothing polls the flag. The wake is one atomic store plus
+/// one `write(2)` on a pre-opened fd, so calling it from a signal handler
+/// is safe.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+}
+
+impl ShutdownHandle {
+    /// Request shutdown and wake the serving loop.
+    pub fn signal(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        self.waker.wake();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_signalled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
 }
 
 impl Server {
-    /// Bind the listener and prepare the worker pool.
+    /// Bind the listener and prepare the serving core.
     pub fn bind(config: ServerConfig, engine: Arc<CachedCompiler>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
@@ -122,6 +199,7 @@ impl Server {
             engine,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
+            waker: Arc::new(Waker::new()?),
         })
     }
 
@@ -130,21 +208,49 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// A handle that stops the server when set (wire `shutdown` op, signal
-    /// handlers, or tests).
-    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
-        Arc::clone(&self.shutdown)
+    /// A handle that stops the server (wire `shutdown` op uses the same
+    /// flag; this handle serves signal handlers and tests).
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            waker: Arc::clone(&self.waker),
+        }
     }
 
-    /// Serve until the shutdown flag is set, then drain the workers and
+    /// Serve until shutdown is signalled, then drain in-flight work and
     /// flush the engine's write-behind queue.
     pub fn run(self) {
-        let (tx, rx) = channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
         let options = ServeOptions {
             default_timeout: self.config.default_timeout,
             batch_parallelism: self.config.batch_parallelism.max(1),
         };
+        match self.config.core {
+            ServerCore::Reactor => {
+                let config = reactor::ReactorConfig {
+                    opts: options,
+                    workers: self.config.workers.max(1),
+                    idle_timeout: self.config.idle_timeout,
+                    max_line_bytes: self.config.max_line_bytes.max(1024),
+                    max_conns: self.config.max_conns.max(1),
+                    force_poll: self.config.force_poll,
+                };
+                if let Err(e) = reactor::run(
+                    self.listener,
+                    self.engine,
+                    self.shutdown,
+                    self.waker,
+                    config,
+                ) {
+                    eprintln!("vliw-serve: reactor core failed: {e}");
+                }
+            }
+            ServerCore::ThreadPool => self.run_thread_pool(options),
+        }
+    }
+
+    fn run_thread_pool(self, options: ServeOptions) {
+        let (tx, rx) = channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
         let workers: Vec<_> = (0..self.config.workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
@@ -154,20 +260,43 @@ impl Server {
             })
             .collect();
 
-        while !self.shutdown.load(Ordering::SeqCst) {
-            match self.listener.accept() {
-                Ok((stream, _)) => {
-                    if tx.send(stream).is_err() {
-                        break;
+        // Readiness-driven accept: block in the poller until the listener
+        // is ready or a ShutdownHandle wakes us. The finite tick exists
+        // only to observe a shutdown flag set without a wake (the wire
+        // `shutdown` op lands on a worker thread, which has no waker).
+        let mut poller = match Poller::new() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("vliw-serve: poller init failed: {e}");
+                return;
+            }
+        };
+        let _ = poller.register(self.listener.as_raw_fd(), 0, Interest::READ);
+        let _ = poller.register(self.waker.fd(), 1, Interest::READ);
+        let mut events = Vec::new();
+        'accept: while !self.shutdown.load(Ordering::SeqCst) {
+            if poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .is_err()
+            {
+                break;
+            }
+            if events.iter().any(|ev| ev.token == 1) {
+                self.waker.drain();
+            }
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        self.engine.stats().accept();
+                        if tx.send(stream).is_err() {
+                            break 'accept;
+                        }
                     }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(_) => {
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                     // Transient accept failure (e.g. aborted connection);
                     // keep serving.
-                    std::thread::sleep(Duration::from_millis(10));
+                    Err(_) => break,
                 }
             }
         }
@@ -253,7 +382,7 @@ fn serve_connection(
     }
 }
 
-fn error_response(message: impl Into<String>) -> Json {
+pub(crate) fn error_response(message: impl Into<String>) -> Json {
     Json::obj([
         ("ok", Json::Bool(false)),
         ("error", Json::Str(message.into())),
@@ -273,7 +402,7 @@ fn request_timeout(doc: &Json, default_timeout: Duration) -> Result<Duration, Js
 
 /// Compile one entry and render its wire object (shared by `compile` and
 /// the per-entry bodies of `compile_batch`).
-fn compile_entry(
+pub(crate) fn compile_entry(
     engine: &Arc<CachedCompiler>,
     req: &CompileRequest,
     timeout: Duration,
@@ -662,7 +791,28 @@ pub fn stats_json(snap: &StatsSnapshot, evictions: u64) -> Json {
         ("p50_us", Json::Num(snap.p50_us as f64)),
         ("p90_us", Json::Num(snap.p90_us as f64)),
         ("p99_us", Json::Num(snap.p99_us as f64)),
+        ("accepts", Json::Num(snap.accepts as f64)),
+        ("conns_rejected", Json::Num(snap.conns_rejected as f64)),
+        ("idle_closed", Json::Num(snap.idle_closed as f64)),
+        ("oversize_closed", Json::Num(snap.oversize_closed as f64)),
+        ("queue_samples", Json::Num(snap.queue_samples as f64)),
+        ("queue_p50_us", Json::Num(snap.queue_p50_us as f64)),
+        ("queue_p99_us", Json::Num(snap.queue_p99_us as f64)),
+        ("latency_hist", hist_json(&snap.latency_hist)),
+        ("queue_hist", hist_json(&snap.queue_hist)),
     ])
+}
+
+/// Render a sparse histogram as `[[bucket, count], ...]` for the stats
+/// wire; the sharded aggregator sums these across peers and recomputes
+/// honest fleet-wide percentiles.
+fn hist_json(sparse: &[(u32, u64)]) -> Json {
+    Json::Arr(
+        sparse
+            .iter()
+            .map(|&(i, c)| Json::Arr(vec![Json::Num(i as f64), Json::Num(c as f64)]))
+            .collect(),
+    )
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 
 use crate::client::{Client, ClientError, ServedResult};
 use crate::envelope::CompileRequest;
+use crate::hist;
 use crate::json::Json;
 use crate::ring::HashRing;
 use crate::server::AGGREGATE_SUM_FIELDS;
@@ -24,6 +25,24 @@ use std::collections::BTreeMap;
 /// One peer's `stats` snapshot (or the failure fetching it), tagged with
 /// its address.
 pub type PeerStats = (String, Result<Json, ClientError>);
+
+/// Decode a wire histogram (`[[bucket, count], ...]`) into sparse pairs;
+/// anything malformed decodes as empty rather than failing the aggregate.
+fn sparse_from_json(v: Option<&Json>) -> Vec<(u32, u64)> {
+    v.and_then(Json::as_arr)
+        .map(|pairs| {
+            pairs
+                .iter()
+                .filter_map(|pair| {
+                    let pair = pair.as_arr()?;
+                    let idx = pair.first()?.as_f64()? as u32;
+                    let count = pair.get(1)?.as_f64()? as u64;
+                    Some((idx, count))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
 
 /// A sharded view over several `vliw-served` peers.
 pub struct ShardedClient {
@@ -191,13 +210,20 @@ impl ShardedClient {
     }
 
     /// Fetch every reachable peer's stats snapshot plus a merged view:
-    /// counters are summed, latency percentiles take the worst (max) peer.
-    /// Unreachable peers are reported with `Err` and skipped in the merge.
+    /// counters are summed, and the fleet-wide latency percentiles are
+    /// computed from the *sum* of the peers' histogram buckets (shipped as
+    /// `latency_hist` / `queue_hist` in each snapshot), so `p50_us`,
+    /// `p90_us`, `p99_us`, `queue_p50_us` and `queue_p99_us` describe the
+    /// true merged distribution rather than any single peer. The older
+    /// worst-peer view is kept alongside as `max_p50_us` etc. Unreachable
+    /// peers are reported with `Err` and skipped in the merge.
     pub fn stats_aggregate(&mut self) -> Result<(Vec<PeerStats>, Json), ClientError> {
         let n_peers = self.ring.peers().len();
         let mut per_peer = Vec::with_capacity(n_peers);
         let mut sums: BTreeMap<&'static str, f64> = BTreeMap::new();
         let mut maxima: BTreeMap<&'static str, f64> = BTreeMap::new();
+        let mut lat_acc = [0u64; hist::NBUCKETS];
+        let mut queue_acc = [0u64; hist::NBUCKETS];
         let mut reporting = 0u64;
         for peer in 0..n_peers {
             let addr = self.ring.peer(peer).to_string();
@@ -215,6 +241,8 @@ impl ShardedClient {
                         *slot = slot.max(v);
                     }
                 }
+                hist::merge_sparse(&mut lat_acc, &sparse_from_json(stats.get("latency_hist")));
+                hist::merge_sparse(&mut queue_acc, &sparse_from_json(stats.get("queue_hist")));
             }
             per_peer.push((addr, snap));
         }
@@ -224,6 +252,15 @@ impl ShardedClient {
         }
         for (k, v) in maxima {
             merged.insert(format!("max_{k}").into(), Json::Num(v));
+        }
+        for (k, p) in [("p50_us", 0.50), ("p90_us", 0.90), ("p99_us", 0.99)] {
+            merged.insert(k.into(), Json::Num(hist::percentile_of(&lat_acc, p) as f64));
+        }
+        for (k, p) in [("queue_p50_us", 0.50), ("queue_p99_us", 0.99)] {
+            merged.insert(
+                k.into(),
+                Json::Num(hist::percentile_of(&queue_acc, p) as f64),
+            );
         }
         merged.insert("peers".into(), Json::Num(n_peers as f64));
         merged.insert("peers_reporting".into(), Json::Num(reporting as f64));

@@ -1,15 +1,21 @@
 //! Service counters and latency percentiles.
 //!
 //! Counters are relaxed atomics — they are monotone event tallies, so no
-//! ordering is needed. Latencies go into a fixed-size mutex-guarded ring (the
-//! last [`RING_CAP`] requests); percentiles are computed over a sorted copy
-//! at snapshot time, which keeps the hot path to a push.
+//! ordering is needed. Latencies go into lock-free log-linear histograms
+//! ([`crate::hist::Hist`]): the hot path is one `fetch_add`, percentiles
+//! are computed from bucket counts at snapshot time, and bucket counts are
+//! additive so the sharded aggregate view can merge peers into one honest
+//! distribution instead of taking the worst peer's percentile.
+//!
+//! The reactor splits each request's wall time into **queue wait** (from
+//! the moment the parsed request is handed to the compile worker pool
+//! until a worker picks it up) and **service time** (cache probe or
+//! pipeline execution plus response rendering). Queue wait rising while
+//! service time stays flat is the signature of an under-provisioned worker
+//! pool; both rising together means the compiles themselves got slower.
 
+use crate::hist::Hist;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
-/// How many recent request latencies the percentile ring retains.
-const RING_CAP: usize = 4096;
 
 /// Shared counters for one cache/server instance.
 #[derive(Default)]
@@ -24,13 +30,18 @@ pub struct StatsRegistry {
     errors: AtomicU64,
     batches: AtomicU64,
     sync_writes: AtomicU64,
-    /// `(samples, write cursor)`: once full, the cursor wraps and overwrites
-    /// the oldest slot, keeping a rolling window of the last RING_CAP values.
-    latencies_us: Mutex<(Vec<u64>, usize)>,
+    accepts: AtomicU64,
+    conns_rejected: AtomicU64,
+    idle_closed: AtomicU64,
+    oversize_closed: AtomicU64,
+    /// Request service time (cache probe / compile + render), microseconds.
+    latency_us: Hist,
+    /// Time a job waited in the worker queue before pickup, microseconds.
+    queue_us: Hist,
 }
 
 /// A point-in-time copy of the counters plus latency percentiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     /// Memory-tier cache hits.
     pub mem_hits: u64,
@@ -57,14 +68,34 @@ pub struct StatsSnapshot {
     /// Disk writes that ran synchronously because the write-behind queue
     /// was full (degraded mode — results are never dropped).
     pub sync_writes: u64,
-    /// Number of latency samples currently in the ring.
+    /// Connections accepted over the server's lifetime.
+    pub accepts: u64,
+    /// Connections refused at the `max_conns` cap.
+    pub conns_rejected: u64,
+    /// Connections closed by the idle-timeout sweep (slowloris defense).
+    pub idle_closed: u64,
+    /// Connections closed for exceeding the request-line length cap.
+    pub oversize_closed: u64,
+    /// Number of service-latency samples recorded.
     pub samples: u64,
-    /// 50th-percentile request latency, microseconds.
+    /// 50th-percentile service time, microseconds.
     pub p50_us: u64,
-    /// 90th-percentile request latency, microseconds.
+    /// 90th-percentile service time, microseconds.
     pub p90_us: u64,
-    /// 99th-percentile request latency, microseconds.
+    /// 99th-percentile service time, microseconds.
     pub p99_us: u64,
+    /// Number of queue-wait samples recorded.
+    pub queue_samples: u64,
+    /// 50th-percentile worker-queue wait, microseconds.
+    pub queue_p50_us: u64,
+    /// 99th-percentile worker-queue wait, microseconds.
+    pub queue_p99_us: u64,
+    /// Sparse `(bucket, count)` service-time histogram (see [`crate::hist`]).
+    /// Shipped on the stats wire so the sharded aggregator can sum peers'
+    /// distributions and report honest fleet-wide percentiles.
+    pub latency_hist: Vec<(u32, u64)>,
+    /// Sparse `(bucket, count)` worker-queue-wait histogram.
+    pub queue_hist: Vec<(u32, u64)>,
 }
 
 impl StatsRegistry {
@@ -123,35 +154,38 @@ impl StatsRegistry {
         self.sync_writes.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Push one request latency into the percentile ring.
+    /// Record an accepted connection.
+    pub fn accept(&self) {
+        self.accepts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection refused at the `max_conns` cap.
+    pub fn conn_rejected(&self) {
+        self.conns_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection closed by the idle-timeout sweep.
+    pub fn idle_close(&self) {
+        self.idle_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection closed for an oversized request line.
+    pub fn oversize_close(&self) {
+        self.oversize_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request's service time.
     pub fn observe_latency_us(&self, us: u64) {
-        let mut guard = self.latencies_us.lock().expect("latency ring poisoned");
-        let (ring, cursor) = &mut *guard;
-        if ring.len() < RING_CAP {
-            ring.push(us);
-        } else {
-            ring[*cursor] = us;
-        }
-        *cursor = (*cursor + 1) % RING_CAP;
+        self.latency_us.record(us);
+    }
+
+    /// Record one job's worker-queue wait.
+    pub fn observe_queue_us(&self, us: u64) {
+        self.queue_us.record(us);
     }
 
     /// Copy out the counters and compute percentiles.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let mut lat = self
-            .latencies_us
-            .lock()
-            .expect("latency ring poisoned")
-            .0
-            .clone();
-        lat.sort_unstable();
-        let pct = |p: f64| -> u64 {
-            if lat.is_empty() {
-                0
-            } else {
-                let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
-                lat[idx.min(lat.len() - 1)]
-            }
-        };
         StatsSnapshot {
             mem_hits: self.mem_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
@@ -163,10 +197,19 @@ impl StatsRegistry {
             errors: self.errors.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             sync_writes: self.sync_writes.load(Ordering::Relaxed),
-            samples: lat.len() as u64,
-            p50_us: pct(0.50),
-            p90_us: pct(0.90),
-            p99_us: pct(0.99),
+            accepts: self.accepts.load(Ordering::Relaxed),
+            conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            oversize_closed: self.oversize_closed.load(Ordering::Relaxed),
+            samples: self.latency_us.count(),
+            p50_us: self.latency_us.percentile(0.50),
+            p90_us: self.latency_us.percentile(0.90),
+            p99_us: self.latency_us.percentile(0.99),
+            queue_samples: self.queue_us.count(),
+            queue_p50_us: self.queue_us.percentile(0.50),
+            queue_p99_us: self.queue_us.percentile(0.99),
+            latency_hist: self.latency_us.sparse(),
+            queue_hist: self.queue_us.sparse(),
         }
     }
 }
@@ -196,6 +239,10 @@ mod tests {
         s.error();
         s.batch();
         s.sync_write();
+        s.accept();
+        s.conn_rejected();
+        s.idle_close();
+        s.oversize_close();
         let snap = s.snapshot();
         assert_eq!(snap.mem_hits, 2);
         assert_eq!(snap.disk_hits, 1);
@@ -208,6 +255,10 @@ mod tests {
         assert_eq!(snap.errors, 1);
         assert_eq!(snap.batches, 1);
         assert_eq!(snap.sync_writes, 1);
+        assert_eq!(snap.accepts, 1);
+        assert_eq!(snap.conns_rejected, 1);
+        assert_eq!(snap.idle_closed, 1);
+        assert_eq!(snap.oversize_closed, 1);
     }
 
     #[test]
@@ -224,24 +275,27 @@ mod tests {
     }
 
     #[test]
-    fn ring_wraps_and_drops_oldest() {
+    fn queue_wait_is_tracked_separately_from_service_time() {
         let s = StatsRegistry::new();
-        // Fill with large values, then overwrite the whole window with 1s:
-        // the old values must be gone from the percentiles.
-        for _ in 0..RING_CAP {
-            s.observe_latency_us(1_000_000);
-        }
-        for _ in 0..RING_CAP {
-            s.observe_latency_us(1);
+        for _ in 0..100 {
+            s.observe_latency_us(10);
+            s.observe_queue_us(10_000);
         }
         let snap = s.snapshot();
-        assert_eq!(snap.samples as usize, RING_CAP);
-        assert_eq!(snap.p99_us, 1);
+        assert_eq!(snap.samples, 100);
+        assert_eq!(snap.queue_samples, 100);
+        assert_eq!(snap.p50_us, 10, "service stays flat");
+        assert!(
+            snap.queue_p50_us > 9_000,
+            "queue wait visible on its own axis: {}",
+            snap.queue_p50_us
+        );
     }
 
     #[test]
-    fn empty_ring_yields_zero_percentiles() {
+    fn empty_registry_yields_zero_percentiles() {
         let snap = StatsRegistry::new().snapshot();
         assert_eq!((snap.p50_us, snap.p99_us, snap.samples), (0, 0, 0));
+        assert_eq!((snap.queue_p50_us, snap.queue_samples), (0, 0));
     }
 }

@@ -1,0 +1,135 @@
+//! Portable `poll(2)` backend: the fallback where `epoll` is unavailable,
+//! and a second implementation of the same interface so tests can prove the
+//! reactor is backend-agnostic.
+//!
+//! Registrations live in a flat `pollfd` array plus a parallel token array;
+//! each wait hands the whole array to the kernel, so waits are
+//! O(registered) rather than O(ready) — fine for hundreds of connections,
+//! which is exactly the regime the fallback serves.
+
+use super::{timeout_ms, Event, Interest};
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+const EINTR: i32 = 4;
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+fn mask(interest: Interest) -> i16 {
+    let mut m = 0;
+    if interest.readable {
+        m |= POLLIN;
+    }
+    if interest.writable {
+        m |= POLLOUT;
+    }
+    m
+}
+
+/// The registered fd set for the `poll(2)` backend.
+#[derive(Default)]
+pub struct PollSet {
+    fds: Vec<PollFd>,
+    tokens: Vec<u64>,
+}
+
+impl PollSet {
+    /// An empty set.
+    pub fn new() -> PollSet {
+        PollSet::default()
+    }
+
+    fn position(&self, fd: RawFd) -> Option<usize> {
+        self.fds.iter().position(|p| p.fd == fd)
+    }
+
+    /// Watch `fd` under `token`.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        if self.position(fd).is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        self.fds.push(PollFd {
+            fd,
+            events: mask(interest),
+            revents: 0,
+        });
+        self.tokens.push(token);
+        Ok(())
+    }
+
+    /// Update the interest mask for `fd`.
+    pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match self.position(fd) {
+            Some(i) => {
+                self.fds[i].events = mask(interest);
+                self.tokens[i] = token;
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    /// Stop watching `fd`.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match self.position(fd) {
+            Some(i) => {
+                self.fds.swap_remove(i);
+                self.tokens.swap_remove(i);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    /// Wait for events (see [`super::Poller::wait`]).
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        // SAFETY: the array is live and nfds matches its length (poll with
+        // zero fds is a plain interruptible sleep, which is what we want).
+        let n = unsafe {
+            poll(
+                self.fds.as_mut_ptr(),
+                self.fds.len() as u64,
+                timeout_ms(timeout),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.raw_os_error() == Some(EINTR) {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for (p, &token) in self.fds.iter().zip(&self.tokens) {
+            if p.revents == 0 {
+                continue;
+            }
+            events.push(Event {
+                token,
+                readable: p.revents & POLLIN != 0,
+                writable: p.revents & POLLOUT != 0,
+                hangup: p.revents & (POLLERR | POLLHUP | POLLNVAL) != 0,
+            });
+        }
+        Ok(())
+    }
+}

@@ -3,13 +3,15 @@
 //! Each test binds its own server on an ephemeral loopback port, drives it
 //! through [`vliw_serve::Client`], and shuts it down over the wire.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::time::Duration;
 use vliw_loopgen::{corpus_with, CorpusSpec};
 use vliw_machine::MachineDesc;
 use vliw_pipeline::PipelineConfig;
 use vliw_serve::{
     CachedCompiler, Client, ClientError, CompileRequest, DiskStore, Json, Server, ServerConfig,
-    ShardedClient, TieredCache,
+    ServerCore, ShardedClient, TieredCache,
 };
 
 struct TestServer {
@@ -20,17 +22,22 @@ struct TestServer {
 impl TestServer {
     /// Bind on an ephemeral port and serve from a background thread.
     fn start(disk: Option<DiskStore>) -> TestServer {
+        TestServer::start_with(disk, |_| {})
+    }
+
+    /// Like [`TestServer::start`], with a config hook for per-test knobs
+    /// (core selection, worker count, idle timeout, line cap, ...).
+    fn start_with(disk: Option<DiskStore>, tweak: impl FnOnce(&mut ServerConfig)) -> TestServer {
         let engine = CachedCompiler::new(TieredCache::new(1024, disk));
-        let server = Server::bind(
-            ServerConfig {
-                addr: "127.0.0.1:0".into(),
-                workers: 4,
-                default_timeout: Duration::from_secs(30),
-                batch_parallelism: 4,
-            },
-            engine,
-        )
-        .expect("bind ephemeral port");
+        let mut config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            default_timeout: Duration::from_secs(30),
+            batch_parallelism: 4,
+            ..ServerConfig::default()
+        };
+        tweak(&mut config);
+        let server = Server::bind(config, engine).expect("bind ephemeral port");
         let addr = server.local_addr().expect("bound address").to_string();
         let thread = std::thread::spawn(move || server.run());
         TestServer {
@@ -357,4 +364,190 @@ fn sharded_client_routes_batches_and_fails_over() {
     assert_eq!(peer, b.addr, "only peer B is left");
 
     b.stop();
+}
+
+/// Read one newline-terminated response off a raw socket.
+fn read_line_raw(stream: &mut TcpStream) -> String {
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                buf.push(byte[0]);
+            }
+            Err(e) => panic!("raw read failed: {e}"),
+        }
+    }
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+/// Render one batch entry object the way the canonical wire line carries it.
+fn entry_json(req: &CompileRequest) -> String {
+    Json::obj([
+        ("loop", Json::Str(req.loop_text.clone())),
+        ("machine", Json::Str(req.machine_text.clone())),
+        ("config", Json::Str(req.config_text.clone())),
+    ])
+    .render()
+}
+
+#[test]
+fn reactor_holds_512_mostly_idle_connections_on_two_workers() {
+    // The thread-pool core would need 512 threads for this; the reactor
+    // holds them all on one thread with a 2-worker compile pool.
+    let server = TestServer::start_with(None, |c| {
+        c.workers = 2;
+        c.max_conns = 1024;
+    });
+    let mut clients: Vec<Client> = (0..512).map(|_| server.client()).collect();
+    for c in clients.iter_mut() {
+        c.ping().expect("every connection answers");
+    }
+    // One connection compiles while the other 511 sit idle.
+    let out = clients[7]
+        .compile(&sample_request(0), None)
+        .expect("compile among idle crowd");
+    assert_eq!(out.served, "compiled");
+    // A sprinkle of re-use across the idle set.
+    for c in clients.iter_mut().step_by(37) {
+        c.ping().expect("idle connection still live");
+    }
+    let stats = clients[0].stats().expect("stats");
+    let accepts = stats.get("accepts").and_then(Json::as_f64).unwrap();
+    assert!(accepts >= 512.0, "accepts={accepts}");
+    drop(clients);
+    server.stop();
+}
+
+#[test]
+fn byte_at_a_time_requests_assemble_correctly() {
+    let server = TestServer::start(None);
+    let mut s = TcpStream::connect(&server.addr).expect("raw connect");
+    s.set_nodelay(true).expect("nodelay");
+
+    // A simple op dribbled one byte per write.
+    for &b in b"{\"op\":\"ping\"}\n" {
+        s.write_all(&[b]).expect("write byte");
+    }
+    let resp = read_line_raw(&mut s);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+
+    // A canonical streaming batch, also one byte at a time: the server
+    // must start entry 0 before the line (or even entry 1) is complete.
+    let e0 = entry_json(&sample_request(0));
+    let e1 = entry_json(&sample_request(1));
+    let line = format!("{{\"op\":\"compile_batch\",\"requests\":[{e0},{e1}]}}\n");
+    for &b in line.as_bytes() {
+        s.write_all(&[b]).expect("write batch byte");
+    }
+    let resp = read_line_raw(&mut s);
+    assert!(resp.contains("\"n\":2"), "{resp}");
+    assert!(resp.contains("\"op\":\"compile_batch\""), "{resp}");
+    assert_eq!(resp.matches("\"served\"").count(), 2, "{resp}");
+    server.stop();
+}
+
+#[test]
+fn server_survives_client_with_tiny_receive_window() {
+    // Shrink the client's receive buffer and read the response in 64-byte
+    // nibbles: the server's writes hit WouldBlock and must finish under
+    // WRITE-readiness events instead of blocking a thread.
+    let server = TestServer::start(None);
+    let mut s = TcpStream::connect(&server.addr).expect("raw connect");
+    vliw_serve::sys::set_recv_buffer_size(&s, 1024).expect("shrink rcvbuf");
+
+    let entry = entry_json(&sample_request(0));
+    let entries = vec![entry; 64].join(",");
+    let line = format!("{{\"op\":\"compile_batch\",\"requests\":[{entries}]}}\n");
+    s.write_all(line.as_bytes()).expect("send batch");
+
+    let mut resp = Vec::new();
+    let mut buf = [0u8; 64];
+    loop {
+        let n = s.read(&mut buf).expect("nibble read");
+        assert!(n > 0, "connection closed before the response finished");
+        resp.extend_from_slice(&buf[..n]);
+        if resp.contains(&b'\n') {
+            break;
+        }
+    }
+    let resp = String::from_utf8_lossy(&resp);
+    assert!(resp.contains("\"n\":64"), "got {} bytes", resp.len());
+    assert_eq!(resp.matches("\"served\"").count(), 64);
+    server.stop();
+}
+
+#[test]
+fn idle_connections_are_swept_with_typed_error() {
+    let server = TestServer::start_with(None, |c| {
+        c.idle_timeout = Some(Duration::from_millis(200));
+    });
+    let mut s = TcpStream::connect(&server.addr).expect("raw connect");
+    // Send nothing: the sweep must push a typed error and close.
+    let resp = read_line_raw(&mut s);
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    assert!(resp.contains("idle timeout"), "{resp}");
+    let mut buf = [0u8; 16];
+    assert_eq!(s.read(&mut buf).unwrap_or(0), 0, "connection is closed");
+
+    // An active connection must not be swept.
+    let mut c = server.client();
+    for _ in 0..4 {
+        c.ping().expect("active connection survives the sweep");
+        std::thread::sleep(Duration::from_millis(90));
+    }
+    let stats = c.stats().expect("stats");
+    let swept = stats.get("idle_closed").and_then(Json::as_f64).unwrap();
+    assert!(swept >= 1.0, "idle_closed={swept}");
+    server.stop();
+}
+
+#[test]
+fn oversized_request_line_is_rejected_and_closed() {
+    let server = TestServer::start_with(None, |c| c.max_line_bytes = 4096);
+    let mut s = TcpStream::connect(&server.addr).expect("raw connect");
+    s.write_all(&vec![b'a'; 10_000])
+        .expect("send oversized junk");
+    let resp = read_line_raw(&mut s);
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    assert!(resp.contains("length limit"), "{resp}");
+    let mut buf = [0u8; 16];
+    assert_eq!(s.read(&mut buf).unwrap_or(0), 0, "connection is closed");
+    server.stop();
+}
+
+#[test]
+fn poll_backend_serves_the_same_protocol() {
+    let server = TestServer::start_with(None, |c| c.force_poll = true);
+    let mut client = server.client();
+    client.ping().expect("ping over poll backend");
+    let out = client
+        .compile(&sample_request(4), None)
+        .expect("compile over poll backend");
+    assert_eq!(out.served, "compiled");
+    let reqs: Vec<CompileRequest> = (0..3).map(sample_request).collect();
+    let results = client
+        .compile_batch(&reqs, None, Some(2))
+        .expect("batch over poll backend");
+    assert_eq!(results.len(), 3);
+    for r in &results {
+        r.as_ref().expect("entry compiles");
+    }
+    server.stop();
+}
+
+#[test]
+fn thread_pool_core_still_serves() {
+    let server = TestServer::start_with(None, |c| c.core = ServerCore::ThreadPool);
+    let mut client = server.client();
+    client.ping().expect("ping over thread-pool core");
+    let out = client
+        .compile(&sample_request(5), None)
+        .expect("compile over thread-pool core");
+    assert_eq!(out.served, "compiled");
+    server.stop();
 }
