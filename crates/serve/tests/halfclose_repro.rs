@@ -1,0 +1,59 @@
+//! Temporary review repro: does a half-closing client still get its response?
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+use vliw_kernels::corpus_with;
+use vliw_kernels::CorpusSpec;
+use vliw_serve::{
+    CachedCompiler, CompileRequest, MemCache, Server, ServerConfig, TieredCache,
+};
+use vliw_sched::machine::MachineDesc;
+use vliw_sched::pipeline::PipelineConfig;
+
+#[test]
+fn half_close_client_still_gets_response() {
+    let engine = CachedCompiler::new(TieredCache::new(64, None));
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..Default::default()
+        },
+        Arc::new(engine),
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.shutdown_handle();
+    let t = std::thread::spawn(move || server.run());
+
+    // Occupy the single worker with a real compile.
+    let spec = CorpusSpec { n: 4, ..Default::default() };
+    let bodies = corpus_with(&spec);
+    let mut busy = TcpStream::connect(addr).unwrap();
+    for body in &bodies {
+        let req = CompileRequest::from_parts(
+            body,
+            &MachineDesc::embedded(2, 4),
+            &PipelineConfig::default(),
+        );
+        let line = req.to_wire_compile().render();
+        busy.write_all(line.as_bytes()).unwrap();
+        busy.write_all(b"\n").unwrap();
+    }
+
+    // Half-closing client: request lands in the queue behind the compiles.
+    let mut hc = TcpStream::connect(addr).unwrap();
+    hc.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+    hc.shutdown(Shutdown::Write).unwrap();
+    hc.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut line = String::new();
+    let got = BufReader::new(&hc).read_line(&mut line);
+    handle.signal();
+    t.join().unwrap();
+    match got {
+        Ok(n) if n > 0 => println!("half-close response: {line}"),
+        other => panic!("half-close client got no response: {other:?} line={line:?}"),
+    }
+}
