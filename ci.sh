@@ -169,6 +169,10 @@ target/release/repro --table1 --loops 8 --cache --cache-dir "$SMOKE_DIR/repro-ca
 
 echo "==> repro --gap (optimality-gap smoke: exact closes, never loses to greedy)"
 target/release/repro --gap --loops 40 --budget-ms 2000 > "$SMOKE_DIR/gap.log"
-grep -q '^all_optimal=true exact<=greedy=true$' "$SMOKE_DIR/gap.log"
+grep -q '^all_optimal=true exact<=greedy=true budget_exceeded=0$' "$SMOKE_DIR/gap.log"
+
+echo "==> repro --joint-gap (joint solver smoke: every loop closed, II never above greedy)"
+target/release/repro --joint-gap --loops 40 --budget-ms 4000 > "$SMOKE_DIR/joint-gap.log"
+grep -q '^all_closed=true joint_ii<=greedy_ii=true' "$SMOKE_DIR/joint-gap.log"
 
 echo "CI OK"

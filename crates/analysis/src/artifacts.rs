@@ -6,6 +6,7 @@
 //! driver gates with a partially-filled bundle right after partitioning,
 //! then again with the full bundle after the clustered reschedule.
 
+use crate::joint_lints::JointClaim;
 use vliw_core::{Partition, PartitionConfig, RcgGraph};
 use vliw_ddg::{Ddg, SlackInfo};
 use vliw_ir::Loop;
@@ -42,6 +43,9 @@ pub struct Artifacts<'a> {
     /// Flat prelude/kernel/postlude expansion, if already materialised
     /// (the expansion lint expands on the fly otherwise).
     pub flat: Option<&'a FlatProgram>,
+    /// The joint (II, slot, bank) solver's witness and claims, when the
+    /// joint partitioner produced the clustered schedule.
+    pub joint: Option<JointClaim<'a>>,
 }
 
 impl<'a> Artifacts<'a> {
@@ -61,6 +65,7 @@ impl<'a> Artifacts<'a> {
             cddg: None,
             clustered_sched: None,
             flat: None,
+            joint: None,
         }
     }
 
@@ -111,6 +116,12 @@ impl<'a> Artifacts<'a> {
     /// Attach a materialised flat expansion.
     pub fn with_flat(mut self, flat: &'a FlatProgram) -> Self {
         self.flat = Some(flat);
+        self
+    }
+
+    /// Attach the joint solver's witness and claims.
+    pub fn with_joint(mut self, claim: JointClaim<'a>) -> Self {
+        self.joint = Some(claim);
         self
     }
 }

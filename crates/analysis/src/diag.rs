@@ -68,11 +68,14 @@ pub enum Stage {
     Sim,
     /// Alpha-canonicalization (normal form, structural hash, witness).
     Normal,
+    /// Joint (II, slot, bank) solver claims (witness legality, bound
+    /// consistency, optimality honesty).
+    Joint,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Ir,
         Stage::Rcg,
         Stage::Partition,
@@ -82,6 +85,7 @@ impl Stage {
         Stage::Expand,
         Stage::Sim,
         Stage::Normal,
+        Stage::Joint,
     ];
 
     /// The stable canonical name, e.g. `partition`.
@@ -96,6 +100,7 @@ impl Stage {
             Stage::Expand => "expand",
             Stage::Sim => "sim",
             Stage::Normal => "normal",
+            Stage::Joint => "joint",
         }
     }
 
@@ -171,13 +176,23 @@ pub enum LintCode {
     /// The canonical form diverges from the original under the `vliw-sim`
     /// scalar reference oracle (canonicalization changed semantics).
     Nrm003,
+    /// The joint solver's schedule witness is illegal: wrong shape for the
+    /// clustered body, or it violates a dependence or resource constraint.
+    Jnt001,
+    /// The joint solver's claims are mutually inconsistent: the claimed II
+    /// disagrees with the witness, exceeds the greedy II, or undercuts the
+    /// reported lower bound.
+    Jnt002,
+    /// The solver claims optimality while its own lower bound leaves a gap
+    /// below the claimed II.
+    Jnt003,
 }
 
 impl LintCode {
     /// Every lint code the engine can emit. Wire decoders resolve codes
     /// through this table ([`LintCode::from_code`]); extending the enum
     /// without extending `ALL` breaks the `codes_round_trip` test.
-    pub const ALL: [LintCode; 20] = [
+    pub const ALL: [LintCode; 23] = [
         LintCode::Bank001,
         LintCode::Bank002,
         LintCode::Bank003,
@@ -198,6 +213,9 @@ impl LintCode {
         LintCode::Nrm001,
         LintCode::Nrm002,
         LintCode::Nrm003,
+        LintCode::Jnt001,
+        LintCode::Jnt002,
+        LintCode::Jnt003,
     ];
 
     /// Inverse of [`LintCode::code`], for wire decoding.
@@ -228,6 +246,9 @@ impl LintCode {
             LintCode::Nrm001 => "NRM001",
             LintCode::Nrm002 => "NRM002",
             LintCode::Nrm003 => "NRM003",
+            LintCode::Jnt001 => "JNT001",
+            LintCode::Jnt002 => "JNT002",
+            LintCode::Jnt003 => "JNT003",
         }
     }
 
@@ -254,6 +275,9 @@ impl LintCode {
             LintCode::Nrm001 => "canonical-form-not-idempotent",
             LintCode::Nrm002 => "hash-equivalence-disagreement",
             LintCode::Nrm003 => "canonicalization-changed-semantics",
+            LintCode::Jnt001 => "joint-witness-illegal",
+            LintCode::Jnt002 => "joint-claim-inconsistent",
+            LintCode::Jnt003 => "joint-optimality-overclaim",
         }
     }
 
@@ -579,7 +603,8 @@ mod tests {
                 "schedule",
                 "expand",
                 "sim",
-                "normal"
+                "normal",
+                "joint"
             ]
         );
     }

@@ -1,0 +1,314 @@
+//! Joint-solver claim lints (`JNT001`–`JNT003`).
+//!
+//! The joint (II, slot, bank) solver hands the driver a schedule *witness*
+//! together with three claims: the II it achieved, the greedy II it started
+//! from, and a lower bound (with an `optimal` flag when the two meet).
+//! None of that is taken on faith — this pass re-derives everything from
+//! the artifacts bundle:
+//!
+//! * `JNT001 joint-witness-illegal` — the witness has the wrong shape for
+//!   the clustered body, or violates a dependence or resource constraint
+//!   when re-verified against the rebuilt clustered problem;
+//! * `JNT002 joint-claim-inconsistent` — the claimed II disagrees with the
+//!   witness's own II, exceeds the greedy II the solver was seeded with
+//!   (the incumbent can never lose to its seed), or undercuts the reported
+//!   lower bound;
+//! * `JNT003 joint-optimality-overclaim` — the solver claims optimality
+//!   while its own lower bound sits strictly below the claimed II.
+//!
+//! The pass runs only when a [`JointClaim`] and the clustered artifacts are
+//! both present; every other pipeline configuration skips it silently.
+
+use crate::artifacts::Artifacts;
+use crate::diag::{Diagnostic, LintCode, Report, SourceLoc, Stage};
+use vliw_sched::{verify_schedule_all, SchedProblem, Schedule};
+
+/// What the joint solver asserts about its result. Attached to the
+/// [`Artifacts`] bundle by the driver when the joint partitioner ran and
+/// its witness was adopted as the clustered schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct JointClaim<'a> {
+    /// The schedule witness, over the copy-inserted clustered body.
+    pub schedule: &'a Schedule,
+    /// The II the solver claims to have achieved.
+    pub claimed_ii: u32,
+    /// The greedy (partition + IMS) II the search was seeded with.
+    pub greedy_ii: u32,
+    /// The largest II the solver proved infeasible, plus one — i.e. a
+    /// certified lower bound on the jointly achievable II.
+    pub lower_bound_ii: u32,
+    /// True when the solver claims `claimed_ii` is jointly optimal.
+    pub optimal: bool,
+}
+
+/// Re-derives schedule legality and bound consistency for a joint-solver
+/// claim (`JNT001`–`JNT003`).
+pub struct JointPass;
+
+impl crate::passes::LintPass for JointPass {
+    fn name(&self) -> &'static str {
+        "joint-claims"
+    }
+
+    fn run(&self, ctx: &Artifacts<'_>, report: &mut Report) {
+        let Some(claim) = ctx.joint else { return };
+        let (Some(cb), Some(cluster_of), Some(cddg)) =
+            (ctx.clustered_body, ctx.cluster_of, ctx.cddg)
+        else {
+            return;
+        };
+
+        // JNT001: the witness must actually schedule the clustered body.
+        let s = claim.schedule;
+        if s.times.len() != cb.n_ops() {
+            report.push(Diagnostic::new(
+                LintCode::Jnt001,
+                Stage::Joint,
+                SourceLoc::default(),
+                format!(
+                    "joint witness covers {} op(s) but the clustered body has {}",
+                    s.times.len(),
+                    cb.n_ops()
+                ),
+            ));
+        } else {
+            let problem = SchedProblem::clustered(cb, ctx.machine, cluster_of);
+            for e in verify_schedule_all(&problem, cddg, s) {
+                report.push(Diagnostic::new(
+                    LintCode::Jnt001,
+                    Stage::Joint,
+                    SourceLoc::default(),
+                    format!("joint witness fails re-verification: {e}"),
+                ));
+            }
+        }
+
+        // JNT002: the three numbers must agree with the witness and each
+        // other.
+        if claim.claimed_ii != s.ii {
+            report.push(Diagnostic::new(
+                LintCode::Jnt002,
+                Stage::Joint,
+                SourceLoc::default(),
+                format!(
+                    "solver claims II {} but its witness has II {}",
+                    claim.claimed_ii, s.ii
+                ),
+            ));
+        }
+        if claim.claimed_ii > claim.greedy_ii {
+            report.push(Diagnostic::new(
+                LintCode::Jnt002,
+                Stage::Joint,
+                SourceLoc::default(),
+                format!(
+                    "claimed II {} exceeds the greedy seed's II {} — the \
+                     incumbent can never lose to its seed",
+                    claim.claimed_ii, claim.greedy_ii
+                ),
+            ));
+        }
+        if claim.lower_bound_ii > claim.claimed_ii {
+            report.push(Diagnostic::new(
+                LintCode::Jnt002,
+                Stage::Joint,
+                SourceLoc::default(),
+                format!(
+                    "reported lower bound {} sits above the claimed II {}",
+                    claim.lower_bound_ii, claim.claimed_ii
+                ),
+            ));
+        }
+
+        // JNT003: "optimal" requires the bound to close the gap.
+        if claim.optimal && claim.lower_bound_ii != claim.claimed_ii {
+            report.push(Diagnostic::new(
+                LintCode::Jnt003,
+                Stage::Joint,
+                SourceLoc::default(),
+                format!(
+                    "solver claims optimality at II {} while its lower bound \
+                     is {}",
+                    claim.claimed_ii, claim.lower_bound_ii
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::LintPass;
+    use vliw_core::{assign_banks, build_rcg, insert_copies, LoopContext, PartitionConfig};
+    use vliw_ddg::build_ddg;
+    use vliw_ir::Loop;
+    use vliw_machine::MachineDesc;
+    use vliw_sched::schedule_loop;
+
+    /// Greedy-partition + IMS a corpus loop and return everything the pass
+    /// needs, with an honest claim.
+    fn pipeline(body: &Loop, machine: &MachineDesc) -> (vliw_core::ClusteredLoop, Schedule) {
+        let cfg = PartitionConfig::default();
+        let cx = LoopContext::new(body, machine);
+        let rcg = build_rcg(body, &cx.ideal, &cx.slack, &cfg);
+        let part = assign_banks(&rcg, machine.n_clusters(), &cfg);
+        let cl = insert_copies(body, &part);
+        let cddg = build_ddg(&cl.body, &machine.latencies);
+        let problem = SchedProblem::clustered(&cl.body, machine, &cl.cluster_of);
+        let sched = schedule_loop(&problem, &cddg, &Default::default()).expect("schedulable");
+        (cl, sched)
+    }
+
+    fn run_pass(
+        body: &Loop,
+        machine: &MachineDesc,
+        cl: &vliw_core::ClusteredLoop,
+        cddg: &vliw_ddg::Ddg,
+        claim: JointClaim<'_>,
+    ) -> Report {
+        let cfg = PartitionConfig::default();
+        let ctx = Artifacts::new(body, machine, &cfg)
+            .with_clustered(&cl.body, &cl.cluster_of, &cl.vreg_bank)
+            .with_cddg(cddg)
+            .with_joint(claim);
+        let mut report = Report::new();
+        JointPass.run(&ctx, &mut report);
+        report
+    }
+
+    #[test]
+    fn honest_claim_is_clean() {
+        let body = &vliw_loopgen::corpus()[0];
+        let machine = MachineDesc::embedded(2, 2);
+        let (cl, sched) = pipeline(body, &machine);
+        let cddg = build_ddg(&cl.body, &machine.latencies);
+        let r = run_pass(
+            body,
+            &machine,
+            &cl,
+            &cddg,
+            JointClaim {
+                schedule: &sched,
+                claimed_ii: sched.ii,
+                greedy_ii: sched.ii,
+                lower_bound_ii: 1,
+                optimal: false,
+            },
+        );
+        assert!(!r.has_errors(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn corrupted_witness_fires_jnt001() {
+        let body = &vliw_loopgen::corpus()[0];
+        let machine = MachineDesc::embedded(2, 2);
+        let (cl, mut sched) = pipeline(body, &machine);
+        let cddg = build_ddg(&cl.body, &machine.latencies);
+        // Collapse every op onto one cycle: resources must over-subscribe.
+        for t in sched.times.iter_mut() {
+            *t = 0;
+        }
+        let r = run_pass(
+            body,
+            &machine,
+            &cl,
+            &cddg,
+            JointClaim {
+                schedule: &sched,
+                claimed_ii: sched.ii,
+                greedy_ii: sched.ii,
+                lower_bound_ii: 1,
+                optimal: false,
+            },
+        );
+        assert!(r.has_code(LintCode::Jnt001), "{}", r.render_text());
+    }
+
+    #[test]
+    fn truncated_witness_fires_jnt001_shape() {
+        let body = &vliw_loopgen::corpus()[0];
+        let machine = MachineDesc::embedded(2, 2);
+        let (cl, mut sched) = pipeline(body, &machine);
+        let cddg = build_ddg(&cl.body, &machine.latencies);
+        sched.times.pop();
+        let r = run_pass(
+            body,
+            &machine,
+            &cl,
+            &cddg,
+            JointClaim {
+                schedule: &sched,
+                claimed_ii: sched.ii,
+                greedy_ii: sched.ii,
+                lower_bound_ii: 1,
+                optimal: false,
+            },
+        );
+        assert!(r.has_code(LintCode::Jnt001), "{}", r.render_text());
+    }
+
+    #[test]
+    fn inconsistent_claims_fire_jnt002() {
+        let body = &vliw_loopgen::corpus()[0];
+        let machine = MachineDesc::embedded(2, 2);
+        let (cl, sched) = pipeline(body, &machine);
+        let cddg = build_ddg(&cl.body, &machine.latencies);
+        // Claimed II disagrees with the witness AND beats the greedy seed
+        // AND undercuts the bound: all three JNT002 arms at once.
+        let r = run_pass(
+            body,
+            &machine,
+            &cl,
+            &cddg,
+            JointClaim {
+                schedule: &sched,
+                claimed_ii: sched.ii + 5,
+                greedy_ii: sched.ii,
+                lower_bound_ii: sched.ii + 6,
+                optimal: false,
+            },
+        );
+        assert_eq!(
+            r.with_code(LintCode::Jnt002).len(),
+            3,
+            "{}",
+            r.render_text()
+        );
+    }
+
+    #[test]
+    fn optimality_overclaim_fires_jnt003() {
+        let body = &vliw_loopgen::corpus()[0];
+        let machine = MachineDesc::embedded(2, 2);
+        let (cl, sched) = pipeline(body, &machine);
+        let cddg = build_ddg(&cl.body, &machine.latencies);
+        assert!(sched.ii > 1, "need room below the achieved II");
+        let r = run_pass(
+            body,
+            &machine,
+            &cl,
+            &cddg,
+            JointClaim {
+                schedule: &sched,
+                claimed_ii: sched.ii,
+                greedy_ii: sched.ii,
+                lower_bound_ii: sched.ii - 1,
+                optimal: true,
+            },
+        );
+        assert!(r.has_code(LintCode::Jnt003), "{}", r.render_text());
+        assert!(!r.has_code(LintCode::Jnt002), "{}", r.render_text());
+    }
+
+    #[test]
+    fn pass_skips_without_claim_or_artifacts() {
+        let body = &vliw_loopgen::corpus()[0];
+        let machine = MachineDesc::embedded(2, 2);
+        let cfg = PartitionConfig::default();
+        let ctx = Artifacts::new(body, &machine, &cfg);
+        let mut report = Report::new();
+        JointPass.run(&ctx, &mut report);
+        assert!(report.diags.is_empty());
+    }
+}

@@ -17,7 +17,8 @@
 //!   optional fields let the same analyzer gate a half-finished pipeline;
 //! * [`passes`] — the [`LintPass`] trait and the [`Analyzer`] registry;
 //! * the lint modules — [`ir_lints`], [`normal_lints`], [`rcg_lints`],
-//!   [`bank_lints`], [`copy_lints`], [`sched_lints`], [`equiv_lints`].
+//!   [`bank_lints`], [`copy_lints`], [`sched_lints`], [`joint_lints`],
+//!   [`equiv_lints`].
 //!
 //! The schedule lints subsume `vliw_sched::verify_schedule`; this crate
 //! re-exports that API (and the IR verifier) so downstream code has one
@@ -31,6 +32,7 @@ pub mod copy_lints;
 pub mod diag;
 pub mod equiv_lints;
 pub mod ir_lints;
+pub mod joint_lints;
 pub mod normal_lints;
 pub mod passes;
 pub mod rcg_lints;
@@ -39,6 +41,7 @@ pub mod sched_lints;
 pub use artifacts::Artifacts;
 pub use diag::{Diagnostic, LintCode, Report, Severity, SourceLoc, Stage};
 pub use equiv_lints::{equiv_diagnostic, DynamicOraclePass};
+pub use joint_lints::{JointClaim, JointPass};
 pub use normal_lints::{canonical_semantics_diags, NormalFormPass};
 pub use passes::{analyze, Analyzer, LintPass};
 pub use sched_lints::{check_expansion, schedule_diag};

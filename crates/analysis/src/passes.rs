@@ -40,6 +40,7 @@ impl Analyzer {
         a.register(Box::new(crate::copy_lints::CopyPass));
         a.register(Box::new(crate::sched_lints::SchedPass));
         a.register(Box::new(crate::sched_lints::ExpansionPass));
+        a.register(Box::new(crate::joint_lints::JointPass));
         a
     }
 

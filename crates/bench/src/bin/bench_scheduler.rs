@@ -276,6 +276,44 @@ fn exact_section(j: &mut Json, corpus: &[Loop], machine: &MachineDesc) {
     j.close();
 }
 
+fn joint_section(j: &mut Json, corpus: &[Loop], machine: &MachineDesc) {
+    // The joint (II, slot, bank) branch-and-bound over the same ≤12-vreg
+    // slice the exact partitioner benches on. Bank-node / schedule-node /
+    // propagation counts are the solver's work metric: they move when a
+    // propagator, the value ordering or the symmetry breaking regresses,
+    // independent of machine speed. `n_closed` guards optimality claims.
+    let cfg = PartitionConfig::default();
+    let jcfg = vliw_joint::JointConfig { budget_ms: 4000 };
+    let small: Vec<&Loop> = corpus.iter().filter(|l| l.n_vregs() <= 12).collect();
+
+    let mut bank_nodes = 0u64;
+    let mut sched_nodes = 0u64;
+    let mut propagations = 0u64;
+    let mut n_closed = 0u64;
+    let mut n_wins = 0u64;
+    let t0 = Instant::now();
+    for l in &small {
+        let r = vliw_joint::solve_joint(l, machine, &cfg, &jcfg);
+        bank_nodes += r.stats.bank_nodes;
+        sched_nodes += r.stats.sched_nodes;
+        propagations += r.stats.propagations;
+        n_closed += r.optimal as u64;
+        n_wins += (r.ii < r.greedy_ii) as u64;
+        black_box(r.ii);
+    }
+    let solve_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    j.open("joint_solver");
+    j.int("small_loops", small.len() as u64);
+    j.int("n_closed", n_closed);
+    j.int("n_joint_wins", n_wins);
+    j.num("solve_ms", solve_ms);
+    j.int("bank_nodes", bank_nodes);
+    j.int("sched_nodes", sched_nodes);
+    j.int("propagations", propagations);
+    j.close();
+}
+
 fn tuner_section(j: &mut Json, corpus: &[Loop], machine: &MachineDesc) {
     // The weight-tuner workload: score the same training set at many grid
     // points. `score_config` rebuilds the front end per call (the old
@@ -333,6 +371,7 @@ fn main() {
 
     stage_section(&mut j, &corpus, &machine);
     exact_section(&mut j, &corpus, &machine);
+    joint_section(&mut j, &corpus, &machine);
     tuner_section(&mut j, &corpus, &machine);
 
     let json = j.finish();

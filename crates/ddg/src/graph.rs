@@ -198,6 +198,44 @@ impl Ddg {
         false
     }
 
+    /// [`Ddg::is_feasible_with`] under per-edge latency adjustments: edge
+    /// weights become `latency + extra(edge) − II·distance`.
+    ///
+    /// The joint solver's recurrence propagator probes candidate IIs with
+    /// cross-bank flow edges lengthened by the copy latency a partial bank
+    /// assignment already commits to, without materialising the clustered
+    /// body. `extra` must be non-negative for the probe to stay a sound
+    /// relaxation of the copy-inserted graph. On a feasible return,
+    /// `scratch[v]` holds the longest-path weight from the virtual source.
+    pub fn is_feasible_adjusted(
+        &self,
+        ii: u32,
+        extra: impl Fn(&DepEdge) -> i64,
+        scratch: &mut Vec<i64>,
+    ) -> bool {
+        let n = self.n;
+        scratch.clear();
+        scratch.resize(n, 0);
+        if n == 0 || self.edges.is_empty() {
+            return true;
+        }
+        for _pass in 0..n {
+            let mut changed = false;
+            for e in &self.edges {
+                let w = e.latency + extra(e) - (ii as i64) * (e.distance as i64);
+                let cand = scratch[e.from.index()] + w;
+                if cand > scratch[e.to.index()] {
+                    scratch[e.to.index()] = cand;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+        false
+    }
+
     /// Per-node longest-path weight from the virtual source under `ii`
     /// (every weight ≥ 0 since the source reaches each node directly), or
     /// `None` if `ii` is infeasible. O(V·E), one O(n) allocation.
@@ -376,6 +414,22 @@ mod tests {
         let dist = g.longest_from_source(1).unwrap();
         assert_eq!(dist, vec![0, 10, 17]);
         assert!(g.longest_from_source(0).is_some()); // acyclic: any II works
+    }
+
+    #[test]
+    fn adjusted_feasibility_lengthens_edges() {
+        // Cycle 0→1→0: RecII = 5. Stretching the forward edge by 2 (a copy
+        // on the 0→1 value) raises it to 7.
+        let mut g = Ddg::new(2);
+        g.add_edge(edge(0, 1, 3, 0));
+        g.add_edge(edge(1, 0, 2, 1));
+        let stretch = |e: &DepEdge| if e.from == OpId(0) { 2 } else { 0 };
+        let mut s = Vec::new();
+        assert!(g.is_feasible_adjusted(5, |_| 0, &mut s));
+        assert!(!g.is_feasible_adjusted(6, stretch, &mut s));
+        assert!(g.is_feasible_adjusted(7, stretch, &mut s));
+        // Zero adjustment agrees with the plain probe.
+        assert_eq!(g.is_feasible(4), g.is_feasible_adjusted(4, |_| 0, &mut s));
     }
 
     #[test]

@@ -115,25 +115,8 @@ pub(crate) struct Problem {
 impl Problem {
     pub(crate) fn new(g: &RcgGraph, n_banks: usize, balance_weight: f64) -> Self {
         let n = g.n_nodes();
-        let adj: Vec<Vec<(usize, f64)>> = (0..n)
-            .map(|v| {
-                g.neighbours(VReg(v as u32))
-                    .iter()
-                    .map(|&(u, w)| (u.index(), w))
-                    .collect()
-            })
-            .collect();
-        let mut order: Vec<usize> = (0..n).collect();
-        let constraint: Vec<f64> = adj
-            .iter()
-            .map(|a| a.iter().map(|&(_, w)| w.abs()).sum())
-            .collect();
-        order.sort_by(|&a, &b| {
-            constraint[b]
-                .partial_cmp(&constraint[a])
-                .expect("edge weights are finite")
-                .then(a.cmp(&b))
-        });
+        let adj = dense_adjacency(g);
+        let order = branch_order(g);
         Problem {
             n,
             n_banks,
@@ -142,6 +125,39 @@ impl Problem {
             balance_weight,
         }
     }
+}
+
+/// The RCG adjacency as dense index pairs, the shape [`crate::bound`]'s
+/// functions consume: `adj[v]` lists `(neighbour_index, weight)`.
+pub fn dense_adjacency(g: &RcgGraph) -> Vec<Vec<(usize, f64)>> {
+    (0..g.n_nodes())
+        .map(|v| {
+            g.neighbours(VReg(v as u32))
+                .iter()
+                .map(|&(u, w)| (u.index(), w))
+                .collect()
+        })
+        .collect()
+}
+
+/// Most-constrained-first branch order over `g`'s registers: decreasing sum
+/// of incident |edge weight|, ties by index. Shared with other searches over
+/// the same graph (the joint solver's bank enumeration) so their trees agree
+/// with the exact partitioner's.
+pub fn branch_order(g: &RcgGraph) -> Vec<usize> {
+    let adj = dense_adjacency(g);
+    let mut order: Vec<usize> = (0..g.n_nodes()).collect();
+    let constraint: Vec<f64> = adj
+        .iter()
+        .map(|a| a.iter().map(|&(_, w)| w.abs()).sum())
+        .collect();
+    order.sort_by(|&a, &b| {
+        constraint[b]
+            .partial_cmp(&constraint[a])
+            .expect("edge weights are finite")
+            .then(a.cmp(&b))
+    });
+    order
 }
 
 /// One DFS worker: the mutable half of a solve. The frontier module runs

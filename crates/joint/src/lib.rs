@@ -1,0 +1,54 @@
+//! # vliw-joint — joint (II, slot, bank) scheduling by constraint propagation
+//!
+//! The paper's pipeline — and `vliw-exact` on top of it — decides the bank
+//! partition *given* a schedule: the RCG is built from the ideal schedule,
+//! the partition is chosen to minimise a copy-cost proxy, and only then does
+//! the modulo scheduler see the clustered loop. That ordering can lose whole
+//! II cycles: a partition that looks more expensive on the RCG objective may
+//! admit a schedule at a smaller initiation interval, and a schedule the
+//! heuristic scheduler misses may exist for the very partition it was given.
+//!
+//! This crate searches the joint space. [`solve_joint`] runs an outer loop
+//! over candidate IIs from a machine-independent lower bound up to the greedy
+//! pipeline's achieved II (the incumbent), and for each target II runs a
+//! branch-and-bound over **bank assignments** whose leaves invoke a
+//! **complete fixed-II modulo scheduler** ([`schedule_fixed_ii`]). Three
+//! propagators prune the bank tree:
+//!
+//! * **capacity** — every op pinned (by the decided banks of its operands)
+//!   to a cluster occupies one of that cluster's `II·n_fus` kernel slots,
+//!   and every forced cross-bank copy of a loop-variant value occupies a
+//!   slot (embedded model) or a bus/port transfer (copy-unit model); any
+//!   overflow kills the subtree;
+//! * **recurrence** — cross-bank flow edges between decided endpoints are
+//!   lengthened by the copy latency and the DDG is probed for a positive
+//!   cycle at the target II ([`vliw_ddg::Ddg::is_feasible_adjusted`]);
+//! * **modulo resources** — at each leaf (and inside the fixed-II search
+//!   itself) the modulo reservation table rejects residue assignments that
+//!   oversubscribe a functional unit, bus, or port.
+//!
+//! Value ordering reuses `vliw-exact`'s admissible edge-cost bound
+//! (cheapest-copy-first), branch ordering its most-constrained-first
+//! register order, and bank-permutation symmetry is broken on homogeneous
+//! machines exactly as in the exact partitioner. The greedy pipeline seeds
+//! the incumbent twice over: its II is the upper bound the outer loop walks
+//! down from, and its partition is probed first at every target II (the
+//! heuristic scheduler may simply have missed a schedule for it).
+//!
+//! The search is **anytime**: a wall-clock budget cuts it off, the greedy
+//! incumbent is returned, and `optimal` is reported `false` with the lowest
+//! *unproven* II as the honest bound — `optimal: true` is only ever claimed
+//! when every II below the returned one was exhausted.
+//!
+//! Scope: "optimal" is with respect to the pipeline's copy-insertion policy
+//! (`vliw_core::insert_copies` — shared copies placed after the reaching
+//! def, invariant operands hoisted). The solver proves the best II over all
+//! partitions and all modulo schedules of the resulting clustered bodies.
+
+#![warn(missing_docs)]
+
+pub mod fixed_ii;
+pub mod solver;
+
+pub use fixed_ii::{schedule_fixed_ii, FixedIiOutcome, FixedIiStats};
+pub use solver::{solve_joint, JointConfig, JointResult, JointStats};

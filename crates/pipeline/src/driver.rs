@@ -44,6 +44,16 @@ pub enum PartitionerKind {
         /// Search budget in milliseconds (`0` = run to proven optimality).
         budget_ms: u64,
     },
+    /// Joint (II, slot, bank) constraint search (`vliw-joint`): branch-and-
+    /// bound over bank assignments whose leaves run a complete fixed-II
+    /// modulo scheduler, walking candidate IIs up from the machine lower
+    /// bound. Returns the partition *and* a witness schedule the driver
+    /// adopts directly; greedy seeds the incumbent so a budget-expired
+    /// search degrades to the greedy pipeline with `optimal = false`.
+    Joint {
+        /// Search budget in milliseconds (`0` = run to proven optimality).
+        budget_ms: u64,
+    },
 }
 
 /// Which modulo scheduler produces the ideal and clustered schedules.
@@ -223,6 +233,7 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
     // builds one) outlives the match so the gate below can lint it.
     let n_banks = machine.n_clusters();
     let mut rcg: Option<RcgGraph> = None;
+    let mut joint: Option<vliw_joint::JointResult> = None;
     let partition: Partition = match cfg.partitioner {
         PartitionerKind::Greedy => {
             let g = rcg.insert(build_rcg(body, ideal, slack, &cfg.partition));
@@ -250,6 +261,21 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
                 ..Default::default()
             };
             vliw_exact::solve(g, n_banks, Some(&seed), &exact_cfg).partition
+        }
+        PartitionerKind::Joint { budget_ms } => {
+            // The RCG is rebuilt for the gate below; the solver derives its
+            // own internally (it also needs the greedy incumbent). Runs
+            // sequentially for the same nested-pool reason as Exact.
+            rcg = Some(build_rcg(body, ideal, slack, &cfg.partition));
+            let r = vliw_joint::solve_joint(
+                body,
+                machine,
+                &cfg.partition,
+                &vliw_joint::JointConfig { budget_ms },
+            );
+            let part = r.partition.clone();
+            joint = Some(r);
+            part
         }
     };
 
@@ -280,9 +306,23 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
     let mut cddg = build_ddg(&work_body, &machine.latencies);
     let mut sched = {
         let problem = SchedProblem::clustered(&work_body, machine, &work_cluster);
-        let s = schedule_with(cfg, &problem, &cddg);
-        debug_assert!(verify_schedule(&problem, &cddg, &s).is_ok());
-        s
+        // The joint solver already carries a schedule of exactly this
+        // clustered body (copy insertion is deterministic in the partition).
+        // Adopt it after re-verifying; any mismatch falls back to the
+        // heuristic scheduler and the Joint lint gate reports the claim gap.
+        let witness = joint.as_ref().and_then(|j| {
+            (j.schedule.times.len() == work_body.n_ops()
+                && verify_schedule(&problem, &cddg, &j.schedule).is_ok())
+            .then(|| j.schedule.clone())
+        });
+        match witness {
+            Some(s) => s,
+            None => {
+                let s = schedule_with(cfg, &problem, &cddg);
+                debug_assert!(verify_schedule(&problem, &cddg, &s).is_ok());
+                s
+            }
+        }
     };
 
     // Step 5: per-bank Chaitin/Briggs, with the classic build–colour–spill
@@ -344,10 +384,21 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
     let clustered_final_banks = work_banks;
 
     if cfg.lint != LintMode::Off {
-        let actx = Artifacts::new(body, machine, &cfg.partition)
+        let mut actx = Artifacts::new(body, machine, &cfg.partition)
             .with_clustered(&clustered_final_body, &work_cluster, &clustered_final_banks)
             .with_cddg(&cddg)
             .with_schedule(&sched);
+        if let (Some(j), 0) = (&joint, spill_rounds) {
+            // The claim describes the unspilled clustered body; spill code
+            // would change the op set the witness is checked against.
+            actx = actx.with_joint(vliw_analysis::JointClaim {
+                schedule: &j.schedule,
+                claimed_ii: j.ii,
+                greedy_ii: j.greedy_ii,
+                lower_bound_ii: j.lower_bound_ii,
+                optimal: j.optimal,
+            });
+        }
         let mut found = analyzer.analyze(&actx);
         if spills > 0 {
             // The allocator already reported this colouring as spilled
@@ -515,6 +566,7 @@ mod tests {
             PartitionerKind::RoundRobin,
             PartitionerKind::Iterated(2, 4),
             PartitionerKind::Exact { budget_ms: 2000 },
+            PartitionerKind::Joint { budget_ms: 4000 },
         ] {
             let cfg = PipelineConfig {
                 partitioner: kind,

@@ -62,6 +62,7 @@ pub fn format_pipeline_config(cfg: &PipelineConfig) -> String {
             PartitionerKind::Component => "component".to_string(),
             PartitionerKind::RoundRobin => "round-robin".to_string(),
             PartitionerKind::Exact { budget_ms } => format!("exact {budget_ms}"),
+            PartitionerKind::Joint { budget_ms } => format!("joint {budget_ms}"),
         }
     );
     let _ = writeln!(
@@ -127,6 +128,9 @@ pub fn parse_pipeline_config(text: &str) -> Result<PipelineConfig, ConfigParseEr
                     ),
                     ["exact", ms] => PartitionerKind::Exact {
                         budget_ms: ms.parse().map_err(|_| err(line, "bad exact budget"))?,
+                    },
+                    ["joint", ms] => PartitionerKind::Joint {
+                        budget_ms: ms.parse().map_err(|_| err(line, "bad joint budget"))?,
                     },
                     _ => return Err(err(line, format!("unknown partitioner `{rest}`"))),
                 };
@@ -236,7 +240,8 @@ mod tests {
                 | PartitionerKind::Component
                 | PartitionerKind::RoundRobin
                 | PartitionerKind::Iterated(_, _)
-                | PartitionerKind::Exact { .. } => {}
+                | PartitionerKind::Exact { .. }
+                | PartitionerKind::Joint { .. } => {}
             }
         }
         prop_oneof![
@@ -246,6 +251,7 @@ mod tests {
             Just(PartitionerKind::RoundRobin),
             (0usize..64, 0usize..64).prop_map(|(r, b)| PartitionerKind::Iterated(r, b)),
             (0u64..1_000_000).prop_map(|budget_ms| PartitionerKind::Exact { budget_ms }),
+            (0u64..1_000_000).prop_map(|budget_ms| PartitionerKind::Joint { budget_ms }),
         ]
     }
 
@@ -271,6 +277,16 @@ mod tests {
         for budget_ms in [0u64, 1, 2000, u64::MAX] {
             assert_round_trip(&PipelineConfig {
                 partitioner: PartitionerKind::Exact { budget_ms },
+                ..Default::default()
+            });
+        }
+    }
+
+    #[test]
+    fn round_trips_joint_variant() {
+        for budget_ms in [0u64, 1, 2000, u64::MAX] {
+            assert_round_trip(&PipelineConfig {
+                partitioner: PartitionerKind::Joint { budget_ms },
                 ..Default::default()
             });
         }

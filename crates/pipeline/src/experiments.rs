@@ -413,6 +413,39 @@ pub fn render_ablation(rows: &[AblationRow], title: &str) -> String {
     s
 }
 
+/// How one budgeted exact solve ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// The search closed: the reported cost is proven optimal.
+    Closed,
+    /// The per-loop deadline expired first: the reported cost is only the
+    /// best incumbent and proves nothing about the greedy seed.
+    BudgetExceeded,
+}
+
+/// One loop's observation feeding a [`GapRow`] — public so the aggregation
+/// ([`aggregate_gap_row`]) is testable without running any solver.
+#[derive(Debug, Clone)]
+pub struct GapObs {
+    /// RCG objective of the greedy partition.
+    pub greedy_cost: f64,
+    /// RCG objective of the budgeted branch-and-bound (incumbent on
+    /// timeout).
+    pub exact_cost: f64,
+    /// Whether the solve closed or hit its per-loop budget.
+    pub outcome: SolveOutcome,
+    /// Branch-and-bound tree nodes expanded.
+    pub nodes: u64,
+    /// Kernel copies under the greedy partitioner (full pipeline).
+    pub greedy_copies: usize,
+    /// Kernel copies under the exact partitioner (full pipeline).
+    pub exact_copies: usize,
+    /// Normalised II under greedy (100 = ideal).
+    pub greedy_norm: f64,
+    /// Normalised II under exact (100 = ideal).
+    pub exact_norm: f64,
+}
+
 /// One machine model's row of the greedy-vs-optimal gap table.
 #[derive(Debug, Clone)]
 pub struct GapRow {
@@ -422,8 +455,13 @@ pub struct GapRow {
     pub n_loops: usize,
     /// Loops where the branch-and-bound closed, i.e. proved optimality.
     pub n_optimal: usize,
-    /// Loops where the greedy partition already achieves the optimal RCG
-    /// objective (within 1e-9).
+    /// Loops where the per-loop budget expired before the search closed
+    /// (`n_optimal + n_budget_exceeded == n_loops`).
+    pub n_budget_exceeded: usize,
+    /// Loops where the search closed AND the greedy partition already
+    /// achieves the optimal RCG objective (within 1e-9). A timed-out solve
+    /// never counts: its incumbent equals the greedy seed by construction,
+    /// which proves nothing.
     pub n_greedy_optimal: usize,
     /// Mean RCG objective of the greedy partition.
     pub mean_greedy_cost: f64,
@@ -512,11 +550,60 @@ impl GapTable {
         }
         let _ = writeln!(
             s,
-            "all_optimal={} exact<=greedy={}",
+            "all_optimal={} exact<=greedy={} budget_exceeded={}",
             self.all_optimal(),
-            self.exact_le_greedy()
+            self.exact_le_greedy(),
+            self.rows.iter().map(|r| r.n_budget_exceeded).sum::<usize>()
         );
         s
+    }
+}
+
+/// Fold one machine's per-loop observations into its [`GapRow`]. Split out
+/// of [`gap_table_with`] so the budget semantics — a timed-out solve is
+/// `BudgetExceeded`, never silently "greedy was optimal" — are pinned by a
+/// deterministic test.
+pub fn aggregate_gap_row(machine: &str, outs: &[GapObs]) -> GapRow {
+    let n = outs.len();
+    let sum_greedy: f64 = outs.iter().map(|o| o.greedy_cost).sum();
+    let sum_exact: f64 = outs.iter().map(|o| o.exact_cost).sum();
+    GapRow {
+        machine: machine.to_string(),
+        n_loops: n,
+        n_optimal: outs
+            .iter()
+            .filter(|o| o.outcome == SolveOutcome::Closed)
+            .count(),
+        n_budget_exceeded: outs
+            .iter()
+            .filter(|o| o.outcome == SolveOutcome::BudgetExceeded)
+            .count(),
+        n_greedy_optimal: outs
+            .iter()
+            .filter(|o| o.outcome == SolveOutcome::Closed && o.greedy_cost <= o.exact_cost + 1e-9)
+            .count(),
+        mean_greedy_cost: sum_greedy / n.max(1) as f64,
+        mean_exact_cost: sum_exact / n.max(1) as f64,
+        cost_excess_pct: if sum_greedy > 0.0 {
+            100.0 * (sum_greedy - sum_exact) / sum_greedy
+        } else {
+            0.0
+        },
+        mean_greedy_copies: arith_mean(
+            &outs
+                .iter()
+                .map(|o| o.greedy_copies as f64)
+                .collect::<Vec<_>>(),
+        ),
+        mean_exact_copies: arith_mean(
+            &outs
+                .iter()
+                .map(|o| o.exact_copies as f64)
+                .collect::<Vec<_>>(),
+        ),
+        mean_greedy_norm: arith_mean(&outs.iter().map(|o| o.greedy_norm).collect::<Vec<_>>()),
+        mean_exact_norm: arith_mean(&outs.iter().map(|o| o.exact_norm).collect::<Vec<_>>()),
+        nodes_expanded: outs.iter().map(|o| o.nodes).sum(),
     }
 }
 
@@ -536,21 +623,11 @@ pub fn gap_table_with(
     runner: &dyn LoopRunner,
 ) -> GapTable {
     let small: Vec<&Loop> = corpus.iter().filter(|l| l.n_vregs() <= max_regs).collect();
-    struct PairOut {
-        greedy_cost: f64,
-        exact_cost: f64,
-        optimal: bool,
-        nodes: u64,
-        greedy_copies: usize,
-        exact_copies: usize,
-        greedy_norm: f64,
-        exact_norm: f64,
-    }
     let pairs: Vec<(&MachineDesc, &Loop)> = machines
         .iter()
         .flat_map(|m| small.iter().map(move |&l| (m, l)))
         .collect();
-    let flat: Vec<PairOut> = pairs
+    let flat: Vec<GapObs> = pairs
         .par_iter()
         .map(|&(m, l)| {
             let part_cfg = vliw_core::PartitionConfig::default();
@@ -577,10 +654,14 @@ pub fn gap_table_with(
                     ..Default::default()
                 },
             );
-            PairOut {
+            GapObs {
                 greedy_cost,
                 exact_cost: exact.cost,
-                optimal: exact.optimal,
+                outcome: if exact.optimal {
+                    SolveOutcome::Closed
+                } else {
+                    SolveOutcome::BudgetExceeded
+                },
                 nodes: exact.stats.nodes_expanded,
                 greedy_copies: rg.n_copies,
                 exact_copies: re.n_copies,
@@ -593,47 +674,175 @@ pub fn gap_table_with(
     let rows = machines
         .iter()
         .zip(flat.chunks(small.len().max(1)))
-        .map(|(m, outs)| {
-            let n = outs.len();
-            let sum_greedy: f64 = outs.iter().map(|o| o.greedy_cost).sum();
-            let sum_exact: f64 = outs.iter().map(|o| o.exact_cost).sum();
-            GapRow {
-                machine: m.name.clone(),
-                n_loops: n,
-                n_optimal: outs.iter().filter(|o| o.optimal).count(),
-                n_greedy_optimal: outs
-                    .iter()
-                    .filter(|o| o.greedy_cost <= o.exact_cost + 1e-9)
-                    .count(),
-                mean_greedy_cost: sum_greedy / n.max(1) as f64,
-                mean_exact_cost: sum_exact / n.max(1) as f64,
-                cost_excess_pct: if sum_greedy > 0.0 {
-                    100.0 * (sum_greedy - sum_exact) / sum_greedy
-                } else {
-                    0.0
-                },
-                mean_greedy_copies: arith_mean(
-                    &outs
-                        .iter()
-                        .map(|o| o.greedy_copies as f64)
-                        .collect::<Vec<_>>(),
-                ),
-                mean_exact_copies: arith_mean(
-                    &outs
-                        .iter()
-                        .map(|o| o.exact_copies as f64)
-                        .collect::<Vec<_>>(),
-                ),
-                mean_greedy_norm: arith_mean(
-                    &outs.iter().map(|o| o.greedy_norm).collect::<Vec<_>>(),
-                ),
-                mean_exact_norm: arith_mean(&outs.iter().map(|o| o.exact_norm).collect::<Vec<_>>()),
-                nodes_expanded: outs.iter().map(|o| o.nodes).sum(),
-            }
-        })
+        .map(|(m, outs)| aggregate_gap_row(&m.name, outs))
         .collect();
 
     GapTable {
+        budget_ms,
+        max_regs,
+        rows,
+    }
+}
+
+/// One machine model's row of the joint (II, slot, bank) gap experiment.
+#[derive(Debug, Clone)]
+pub struct JointGapRow {
+    /// Machine name.
+    pub machine: String,
+    /// Loops evaluated (the small-loop slice of the corpus).
+    pub n_loops: usize,
+    /// Loops where the joint search closed, i.e. proved its II optimal.
+    pub n_closed: usize,
+    /// Loops where the per-loop budget truncated the search
+    /// (`n_closed + n_budget_exceeded == n_loops`).
+    pub n_budget_exceeded: usize,
+    /// Loops where the joint solver beat greedy by at least one full II.
+    pub n_joint_wins: usize,
+    /// Loops where the joint II exceeds the greedy II — impossible by
+    /// construction (the search is seeded with the greedy schedule), so
+    /// anything non-zero means the solver is broken.
+    pub n_joint_regressions: usize,
+    /// Mean II of the greedy partition + IMS pipeline.
+    pub mean_greedy_ii: f64,
+    /// Mean II of the joint solver (incumbent on timeout).
+    pub mean_joint_ii: f64,
+    /// Bank-assignment search nodes expanded across the slice.
+    pub bank_nodes: u64,
+    /// Fixed-II residue-search nodes expanded across the slice.
+    pub sched_nodes: u64,
+    /// Propagator invocations (capacity + recurrence + q-system checks).
+    pub propagations: u64,
+}
+
+/// The joint-solver experiment: greedy (partition, then schedule) vs the
+/// joint (II, slot, bank) branch-and-bound, per machine model.
+#[derive(Debug, Clone)]
+pub struct JointGapTable {
+    /// Per-loop search budget used, in milliseconds (`0` = unlimited).
+    pub budget_ms: u64,
+    /// Register-count ceiling of the corpus slice.
+    pub max_regs: usize,
+    /// One row per machine model.
+    pub rows: Vec<JointGapRow>,
+}
+
+impl JointGapTable {
+    /// True iff the joint search closed on every loop of every row.
+    pub fn all_closed(&self) -> bool {
+        self.rows.iter().all(|r| r.n_closed == r.n_loops)
+    }
+
+    /// True iff the joint II never exceeds the greedy II anywhere.
+    pub fn joint_le_greedy(&self) -> bool {
+        self.rows.iter().all(|r| r.n_joint_regressions == 0)
+    }
+
+    /// Loops, across all rows, where the joint solver beat greedy by ≥1
+    /// full II.
+    pub fn n_joint_wins(&self) -> usize {
+        self.rows.iter().map(|r| r.n_joint_wins).sum()
+    }
+
+    /// Render as the EXPERIMENTS.md table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Joint (II, slot, bank) solver vs greedy pipeline (loops with ≤{} vregs, budget {} ms)",
+            self.max_regs, self.budget_ms
+        );
+        let _ = writeln!(
+            s,
+            "{:<10} {:>5} {:>7} {:>5} {:>5} {:>8} {:>8} {:>10} {:>10} {:>11}",
+            "Model",
+            "Loops",
+            "Closed%",
+            "Bdgt",
+            "Wins",
+            "II-grdy",
+            "II-jnt",
+            "BankNodes",
+            "SchedNodes",
+            "Propagations"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:<10} {:>5} {:>6.0}% {:>5} {:>5} {:>8.2} {:>8.2} {:>10} {:>10} {:>11}",
+                r.machine,
+                r.n_loops,
+                100.0 * r.n_closed as f64 / r.n_loops.max(1) as f64,
+                r.n_budget_exceeded,
+                r.n_joint_wins,
+                r.mean_greedy_ii,
+                r.mean_joint_ii,
+                r.bank_nodes,
+                r.sched_nodes,
+                r.propagations
+            );
+        }
+        let _ = writeln!(
+            s,
+            "all_closed={} joint_ii<=greedy_ii={} joint_wins_ge1={}",
+            self.all_closed(),
+            self.joint_le_greedy(),
+            self.n_joint_wins()
+        );
+        s
+    }
+}
+
+/// Compute the joint-gap table over the paper's six machine models.
+pub fn joint_gap_table(corpus: &[Loop], budget_ms: u64, max_regs: usize) -> JointGapTable {
+    joint_gap_table_with(corpus, &paper_machines(), budget_ms, max_regs)
+}
+
+/// [`joint_gap_table`] with explicit machines. Each `(machine, loop)` pair
+/// runs [`vliw_joint::solve_joint`] under the per-loop budget; the greedy
+/// baseline is the solver's own seed, so the comparison is exact (same
+/// partition policy, same copy insertion, same IMS configuration).
+pub fn joint_gap_table_with(
+    corpus: &[Loop],
+    machines: &[MachineDesc],
+    budget_ms: u64,
+    max_regs: usize,
+) -> JointGapTable {
+    let small: Vec<&Loop> = corpus.iter().filter(|l| l.n_vregs() <= max_regs).collect();
+    let pairs: Vec<(&MachineDesc, &Loop)> = machines
+        .iter()
+        .flat_map(|m| small.iter().map(move |&l| (m, l)))
+        .collect();
+    let flat: Vec<vliw_joint::JointResult> = pairs
+        .par_iter()
+        .map(|&(m, l)| {
+            vliw_joint::solve_joint(
+                l,
+                m,
+                &vliw_core::PartitionConfig::default(),
+                &vliw_joint::JointConfig { budget_ms },
+            )
+        })
+        .collect();
+    let rows = machines
+        .iter()
+        .zip(flat.chunks(small.len().max(1)))
+        .map(|(m, outs)| JointGapRow {
+            machine: m.name.clone(),
+            n_loops: outs.len(),
+            n_closed: outs.iter().filter(|r| r.optimal).count(),
+            n_budget_exceeded: outs.iter().filter(|r| !r.optimal).count(),
+            n_joint_wins: outs.iter().filter(|r| r.ii < r.greedy_ii).count(),
+            n_joint_regressions: outs.iter().filter(|r| r.ii > r.greedy_ii).count(),
+            mean_greedy_ii: arith_mean(
+                &outs.iter().map(|r| r.greedy_ii as f64).collect::<Vec<_>>(),
+            ),
+            mean_joint_ii: arith_mean(&outs.iter().map(|r| r.ii as f64).collect::<Vec<_>>()),
+            bank_nodes: outs.iter().map(|r| r.stats.bank_nodes).sum(),
+            sched_nodes: outs.iter().map(|r| r.stats.sched_nodes).sum(),
+            propagations: outs.iter().map(|r| r.stats.propagations).sum(),
+        })
+        .collect();
+    JointGapTable {
         budget_ms,
         max_regs,
         rows,
@@ -926,6 +1135,64 @@ mod tests {
         }
         let total_pct: f64 = (0..11).map(|i| f.embedded.percent(i)).sum();
         assert!((total_pct - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gap_aggregation_pins_budget_semantics() {
+        let obs = |cost_g: f64, cost_e: f64, outcome| GapObs {
+            greedy_cost: cost_g,
+            exact_cost: cost_e,
+            outcome,
+            nodes: 10,
+            greedy_copies: 2,
+            exact_copies: 1,
+            greedy_norm: 110.0,
+            exact_norm: 105.0,
+        };
+        let outs = [
+            // Closed, greedy already optimal: counts toward both.
+            obs(5.0, 5.0, SolveOutcome::Closed),
+            // Closed, exact strictly better: optimal but not greedy-optimal.
+            obs(5.0, 3.0, SolveOutcome::Closed),
+            // Timed out with incumbent == greedy seed: this is exactly the
+            // case that used to be silently counted as "greedy optimal".
+            obs(5.0, 5.0, SolveOutcome::BudgetExceeded),
+        ];
+        let row = aggregate_gap_row("m", &outs);
+        assert_eq!(row.n_loops, 3);
+        assert_eq!(row.n_optimal, 2);
+        assert_eq!(row.n_budget_exceeded, 1);
+        assert_eq!(
+            row.n_greedy_optimal, 1,
+            "a timed-out solve must never prove greedy optimal"
+        );
+        assert_eq!(row.nodes_expanded, 30);
+        assert!((row.mean_greedy_cost - 5.0).abs() < 1e-12);
+        assert!((row.mean_exact_cost - 13.0 / 3.0).abs() < 1e-12);
+        // The trailing status line carries the truncation count.
+        let table = GapTable {
+            budget_ms: 7,
+            max_regs: 12,
+            rows: vec![row],
+        };
+        assert!(!table.all_optimal());
+        let text = table.render();
+        assert!(text.contains("all_optimal=false exact<=greedy=true budget_exceeded=1"));
+    }
+
+    #[test]
+    fn joint_gap_table_invariants_on_slice() {
+        let c = small_corpus(10);
+        let machines = [MachineDesc::embedded(4, 4), MachineDesc::copy_unit(2, 8)];
+        let t = joint_gap_table_with(&c, &machines, 500, 12);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.joint_le_greedy(), "{}", t.render());
+        for r in &t.rows {
+            assert_eq!(r.n_closed + r.n_budget_exceeded, r.n_loops);
+            assert!(r.mean_joint_ii <= r.mean_greedy_ii + 1e-9);
+        }
+        let text = t.render();
+        assert!(text.contains("joint_ii<=greedy_ii=true"));
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! repro [--table1] [--table2] [--fig5] [--fig6] [--fig7]
-//!       [--example] [--ablation] [--gap] [--latency-sweep] [--all]
+//!       [--example] [--ablation] [--gap] [--joint-gap] [--latency-sweep]
+//!       [--all]
 //!       [--loops N]   # truncate the corpus for a quick run
-//!       [--partitioner greedy|exact]  # table/figure sweeps' partitioner
-//!       [--budget-ms N]               # exact-search budget (default 2000)
+//!       [--partitioner greedy|exact|joint]  # table/figure sweeps' partitioner
+//!       [--budget-ms N]               # exact/joint search budget (default 2000)
 //!       [--cache] [--cache-dir PATH]
 //! ```
 //!
@@ -17,6 +18,13 @@
 //! branch-and-bound optimum — RCG objective and full-pipeline II/copies —
 //! per paper machine model. The trailing `all_optimal=…` /
 //! `exact<=greedy=…` line is what `ci.sh`'s gap smoke asserts on.
+//!
+//! `--joint-gap` prints the joint (II, slot, bank) solver table: on the same
+//! ≤12-register slice, the greedy partition + IMS pipeline is compared
+//! against `vliw-joint`'s branch-and-bound over complete bank assignments ×
+//! exhaustive modulo schedules, per paper machine model. The trailing
+//! `all_closed=…` / `joint_ii<=greedy_ii=…` line is what `ci.sh`'s joint
+//! smoke asserts on.
 //!
 //! `--cache` routes every per-loop compile of the table/figure sweeps
 //! through a process-local content-addressed cache (in-memory LRU over
@@ -72,7 +80,8 @@ fn main() {
         cfg.partitioner = match args.get(pos + 1).map(String::as_str) {
             Some("greedy") | None => vliw_pipeline::PartitionerKind::Greedy,
             Some("exact") => vliw_pipeline::PartitionerKind::Exact { budget_ms },
-            Some(other) => panic!("--partitioner expects greedy|exact, got `{other}`"),
+            Some("joint") => vliw_pipeline::PartitionerKind::Joint { budget_ms },
+            Some(other) => panic!("--partitioner expects greedy|exact|joint, got `{other}`"),
         };
     }
 
@@ -184,6 +193,16 @@ fn main() {
             budget_ms,
             12,
             runner,
+        );
+        println!("{}", table.render());
+        println!();
+    }
+    if all || has("--joint-gap") {
+        let table = vliw_pipeline::joint_gap_table_with(
+            &corpus,
+            &vliw_pipeline::paper_machines(),
+            budget_ms,
+            12,
         );
         println!("{}", table.render());
         println!();

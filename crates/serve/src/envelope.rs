@@ -571,6 +571,26 @@ mod tests {
     }
 
     #[test]
+    fn joint_partitioner_round_trips_and_keys_distinctly() {
+        // The joint solver rides the existing canonical config encoding, so
+        // no cache-format bump: a joint request decodes back to itself and
+        // keys apart from greedy/exact at any budget.
+        let (body, machine, cfg) = sample_inputs();
+        let base_key = CompileRequest::from_parts(&body, &machine, &cfg).cache_key();
+        let mut seen = vec![base_key];
+        for budget_ms in [0u64, 2000] {
+            let mut jcfg = cfg.clone();
+            jcfg.partitioner = vliw_pipeline::PartitionerKind::Joint { budget_ms };
+            let req = CompileRequest::from_parts(&body, &machine, &jcfg);
+            let (_, _, back) = req.decode().unwrap();
+            assert_eq!(back.partitioner, jcfg.partitioner);
+            let key = req.cache_key();
+            assert!(!seen.contains(&key), "budget {budget_ms} collided");
+            seen.push(key);
+        }
+    }
+
+    #[test]
     fn key_moves_when_format_version_moves() {
         let (body, machine, cfg) = sample_inputs();
         let req = CompileRequest::from_parts(&body, &machine, &cfg);

@@ -40,9 +40,13 @@ extern "C" {
 }
 
 fn mask(interest: Interest) -> u32 {
-    let mut m = EPOLLRDHUP;
+    // RDHUP rides the read interest only: a half-closed peer that has been
+    // read to EOF (and whose connection is merely waiting for its response)
+    // must not keep waking the loop — the reactor drops read interest after
+    // observing `read() == 0`, and the subscription must go with it.
+    let mut m = 0;
     if interest.readable {
-        m |= EPOLLIN;
+        m |= EPOLLIN | EPOLLRDHUP;
     }
     if interest.writable {
         m |= EPOLLOUT;
@@ -123,9 +127,14 @@ impl Epoll {
             let token = { ev.data };
             events.push(Event {
                 token,
-                readable: bits & EPOLLIN != 0,
+                // RDHUP surfaces as readability: the owner reads to EOF and
+                // decides. It is NOT a hangup — the peer only closed its
+                // write side and can still receive our response; lumping it
+                // into `hangup` made the reactor drop half-closed clients
+                // whose replies were still in flight.
+                readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
                 writable: bits & EPOLLOUT != 0,
-                hangup: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                hangup: bits & (EPOLLERR | EPOLLHUP) != 0,
             });
         }
         Ok(())

@@ -1,16 +1,12 @@
-//! Temporary review repro: does a half-closing client still get its response?
+//! Regression repro: does a half-closing client still get its response?
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpStream};
-use std::sync::Arc;
 use std::time::Duration;
-use vliw_kernels::corpus_with;
-use vliw_kernels::CorpusSpec;
-use vliw_serve::{
-    CachedCompiler, CompileRequest, MemCache, Server, ServerConfig, TieredCache,
-};
-use vliw_sched::machine::MachineDesc;
-use vliw_sched::pipeline::PipelineConfig;
+use vliw_loopgen::{corpus_with, CorpusSpec};
+use vliw_machine::MachineDesc;
+use vliw_pipeline::PipelineConfig;
+use vliw_serve::{CachedCompiler, CompileRequest, Json, Server, ServerConfig, TieredCache};
 
 #[test]
 fn half_close_client_still_gets_response() {
@@ -21,15 +17,18 @@ fn half_close_client_still_gets_response() {
             workers: 1,
             ..Default::default()
         },
-        Arc::new(engine),
+        engine,
     )
     .unwrap();
     let addr = server.local_addr().unwrap();
     let handle = server.shutdown_handle();
     let t = std::thread::spawn(move || server.run());
 
-    // Occupy the single worker with a real compile.
-    let spec = CorpusSpec { n: 4, ..Default::default() };
+    // Occupy the single worker with real compiles.
+    let spec = CorpusSpec {
+        n: 4,
+        ..Default::default()
+    };
     let bodies = corpus_with(&spec);
     let mut busy = TcpStream::connect(addr).unwrap();
     for body in &bodies {
@@ -38,7 +37,11 @@ fn half_close_client_still_gets_response() {
             &MachineDesc::embedded(2, 4),
             &PipelineConfig::default(),
         );
-        let line = req.to_wire_compile().render();
+        let line = Json::obj([
+            ("op", Json::Str("compile".into())),
+            ("request", req.to_json()),
+        ])
+        .render();
         busy.write_all(line.as_bytes()).unwrap();
         busy.write_all(b"\n").unwrap();
     }

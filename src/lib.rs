@@ -18,6 +18,8 @@
 //! | [`sched`] | `vliw-sched` | iterative modulo scheduling, MRT, list scheduling, prelude/postlude expansion |
 //! | [`core`] | `vliw-core` | **the paper's contribution**: RCG build, greedy bank assignment, copy insertion, baselines, iterated refinement |
 //! | [`exact`] | `vliw-exact` | branch-and-bound optimal bank assignment — the yardstick the greedy heuristic is measured against |
+//! | [`joint`] | `vliw-joint` | constraint-propagation solver for the joint (II, slot, bank) problem |
+//! | [`analysis`] | `vliw-analysis` | cross-stage lint registry and diagnostics |
 //! | [`regalloc`] | `vliw-regalloc` | MVE live ranges, Chaitin/Briggs per bank |
 //! | [`sim`] | `vliw-sim` | cycle-accurate simulator + scalar reference oracle |
 //! | [`loopgen`] | `vliw-loopgen` | the deterministic 211-loop corpus |
@@ -49,10 +51,12 @@
 //! assert_eq!(result.spills, 0);
 //! ```
 
+pub use vliw_analysis as analysis;
 pub use vliw_core as core;
 pub use vliw_ddg as ddg;
 pub use vliw_exact as exact;
 pub use vliw_ir as ir;
+pub use vliw_joint as joint;
 pub use vliw_loopgen as loopgen;
 pub use vliw_machine as machine;
 pub use vliw_pipeline as pipeline;
