@@ -174,5 +174,38 @@ grep -q '^all_optimal=true exact<=greedy=true budget_exceeded=0$' "$SMOKE_DIR/ga
 echo "==> repro --joint-gap (joint solver smoke: every loop closed, II never above greedy)"
 target/release/repro --joint-gap --loops 40 --budget-ms 4000 > "$SMOKE_DIR/joint-gap.log"
 grep -q '^all_closed=true joint_ii<=greedy_ii=true' "$SMOKE_DIR/joint-gap.log"
+# The 13–24-vreg scaling table under the 500 ms interactive budget: every
+# solve classified (closed/bounded/budget-exceeded sum to the slice) and at
+# least 60% closed.
+grep -Eq '^closed_pct=[0-9.]+ bounds_honest=true$' "$SMOKE_DIR/joint-gap.log"
+CLOSED_PCT=$(sed -n 's/^closed_pct=\([0-9.]*\) .*/\1/p' "$SMOKE_DIR/joint-gap.log")
+awk -v p="$CLOSED_PCT" 'BEGIN { exit !(p >= 60.0) }' \
+    || { echo "joint scaling closed_pct=$CLOSED_PCT below the 60% floor"; exit 1; }
+
+echo "==> vliw-serve joint anytime smoke (under-budgeted large loop, typed truncation)"
+# A 25-vreg daxpy with a deliberate 1 ms joint budget: the server must
+# answer with the incumbent and the proven lower bound — a typed reply, not
+# a timeout and not a dropped connection.
+target/release/vliw-served --addr 127.0.0.1:0 --no-disk > "$SMOKE_DIR/joint-served.log" &
+SERVED_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^vliw-served listening on //p' "$SMOKE_DIR/joint-served.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "vliw-served did not come up"; cat "$SMOKE_DIR/joint-served.log"; exit 1; }
+printf 'partitioner joint 1\n' > "$SMOKE_DIR/joint.cfg"
+target/release/vliw-client --addr "$ADDR" --compile --gen 6 \
+    --config-file "$SMOKE_DIR/joint.cfg" | tee "$SMOKE_DIR/joint-client.log"
+grep -Eq 'compile\[0\] served=compiled .*joint_ii=[0-9]+ joint_lb=[0-9]+ joint_optimal=false' \
+    "$SMOKE_DIR/joint-client.log"
+target/release/vliw-client --addr "$ADDR" --stats | tee "$SMOKE_DIR/joint-stats.log"
+grep -q ' joint_truncated=1 ' "$SMOKE_DIR/joint-stats.log"
+grep -q ' timeouts=0 ' "$SMOKE_DIR/joint-stats.log"
+grep -q ' errors=0 ' "$SMOKE_DIR/joint-stats.log"
+target/release/vliw-client --addr "$ADDR" --shutdown
+wait "$SERVED_PID"
+SERVED_PID=""
 
 echo "CI OK"

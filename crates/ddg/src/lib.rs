@@ -27,10 +27,12 @@
 
 pub mod build;
 pub mod graph;
+pub mod incr;
 pub mod minii;
 pub mod slack;
 
 pub use build::build_ddg;
 pub use graph::{Ddg, DepEdge, DepKind, PathMatrix, NO_PATH};
+pub use incr::IncrementalFeasibility;
 pub use minii::{min_ii, rec_ii, rec_ii_dense, res_ii};
 pub use slack::{compute_slack, critical_path_length, SlackInfo};

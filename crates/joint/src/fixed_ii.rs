@@ -25,13 +25,20 @@
 //! endpoint contributes the weakest weight any completion could give it
 //! (minimising over the free residues), so the propagation never prunes a
 //! subtree containing a schedule, while decided-residue recurrence
-//! conflicts cut the tree early. The search is therefore **complete**: it
-//! returns a schedule iff one exists at this II, modulo the wall-clock
-//! deadline (reported as [`FixedIiOutcome::TimedOut`], never misreported as
-//! infeasibility).
+//! conflicts cut the tree early.
+//!
+//! The relaxed check is maintained **incrementally**
+//! ([`vliw_ddg::IncrementalFeasibility`]): deciding a residue can only
+//! *raise* the relaxed weights of the edges incident to that op (a free
+//! residue is minimised over), so each placement re-relaxes just those
+//! edges outward from the change, and backtracking restores the potentials
+//! from a trail instead of re-running Bellman–Ford over every edge. The
+//! search is therefore **complete**: it returns a schedule iff one exists
+//! at this II, modulo the wall-clock deadline (reported as
+//! [`FixedIiOutcome::TimedOut`], never misreported as infeasibility).
 
 use std::time::Instant;
-use vliw_ddg::Ddg;
+use vliw_ddg::{Ddg, IncrementalFeasibility};
 use vliw_ir::OpId;
 use vliw_machine::CopyModel;
 use vliw_sched::{ModuloReservationTable, OpPlacement, SchedProblem, Schedule};
@@ -101,6 +108,32 @@ pub fn schedule_fixed_ii(
     // Residue hint: the infinite-resource earliest start, wrapped. Scanning
     // each op's residues from its hint keeps dependence chains packed.
     let hint: Vec<i64> = estart.iter().map(|&t| t.rem_euclid(iil)).collect();
+    let base: Vec<i64> = ddg
+        .edges()
+        .iter()
+        .map(|e| e.latency - iil * e.distance as i64)
+        .collect();
+    // Incremental stage-count maintainer, seeded with the all-free
+    // relaxation (both residues minimised over). Deciding an op's residue
+    // only raises its incident edges.
+    let incr = IncrementalFeasibility::new(
+        n,
+        ddg.edges().iter().enumerate().map(|(i, e)| {
+            let w = div_ceil(base[i] - (iil - 1), iil);
+            (e.from.index() as u32, e.to.index() as u32, w)
+        }),
+    );
+    stats.q_checks += 1;
+    if !incr.root_feasible() {
+        return FixedIiOutcome::Infeasible;
+    }
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (i, e) in ddg.edges().iter().enumerate() {
+        incident[e.from.index()].push(i as u32);
+        if e.to != e.from {
+            incident[e.to.index()].push(i as u32);
+        }
+    }
     let mut s = Searcher {
         problem,
         ddg,
@@ -108,13 +141,10 @@ pub fn schedule_fixed_ii(
         order: branch_order(problem, ii, &estart),
         residue: vec![-1; n],
         hint,
-        base: ddg
-            .edges()
-            .iter()
-            .map(|e| e.latency - iil * e.distance as i64)
-            .collect(),
+        base,
         mrt: ModuloReservationTable::new(problem.machine, ii, n),
-        pot: vec![0; n],
+        incr,
+        incident,
         deadline,
         timed_out: false,
         stats,
@@ -183,56 +213,38 @@ struct Searcher<'p, 'a, 's> {
     /// Per-edge `latency − II·distance`, parallel to `ddg.edges()`.
     base: Vec<i64>,
     mrt: ModuloReservationTable,
-    /// Longest-path potentials of the stage-count system (the `q` witness
-    /// at a feasible leaf).
-    pot: Vec<i64>,
+    /// Incremental stage-count difference system: decided endpoints use
+    /// their exact weight, a free residue is minimised over (it ranges
+    /// `[0, II)`), so the maintained check is a sound relaxation at internal
+    /// nodes and exact at leaves; its potentials are the `q` witness.
+    incr: IncrementalFeasibility,
+    /// Per op: DDG edge indices incident to it (its weights change only
+    /// when one of its endpoints is decided).
+    incident: Vec<Vec<u32>>,
     deadline: Option<Instant>,
     timed_out: bool,
     stats: &'s mut FixedIiStats,
 }
 
 impl Searcher<'_, '_, '_> {
-    /// Is the stage-count difference system satisfiable under the current
-    /// partial residue assignment? Decided endpoints use their exact weight;
-    /// a free residue is minimised over (it ranges `[0, II)`), so the check
-    /// is a sound relaxation at internal nodes and exact at leaves. On
-    /// success `self.pot` holds the potentials.
-    fn q_feasible(&mut self) -> bool {
-        self.stats.q_checks += 1;
-        let n = self.ddg.n_ops();
-        for p in self.pot.iter_mut() {
-            *p = 0;
-        }
-        for _pass in 0..n {
-            let mut changed = false;
-            for (idx, e) in self.ddg.edges().iter().enumerate() {
-                let rf = self.residue[e.from.index()];
-                let rt = self.residue[e.to.index()];
-                let num = match (rf >= 0, rt >= 0) {
-                    (true, true) => self.base[idx] + rf - rt,
-                    (true, false) => self.base[idx] + rf - (self.ii - 1),
-                    (false, true) => self.base[idx] - rt,
-                    (false, false) => self.base[idx] - (self.ii - 1),
-                };
-                let w = div_ceil(num, self.ii);
-                let cand = self.pot[e.from.index()] + w;
-                if cand > self.pot[e.to.index()] {
-                    self.pot[e.to.index()] = cand;
-                    changed = true;
-                }
-            }
-            if !changed {
-                return true;
-            }
-        }
-        false
+    /// Relaxed stage-count weight of edge `ei` under the current residues.
+    fn q_weight(&self, ei: usize) -> i64 {
+        let e = &self.ddg.edges()[ei];
+        let rf = self.residue[e.from.index()];
+        let rt = self.residue[e.to.index()];
+        let num = match (rf >= 0, rt >= 0) {
+            (true, true) => self.base[ei] + rf - rt,
+            (true, false) => self.base[ei] + rf - (self.ii - 1),
+            (false, true) => self.base[ei] - rt,
+            (false, false) => self.base[ei] - (self.ii - 1),
+        };
+        div_ceil(num, self.ii)
     }
 
     fn extract(&self) -> Schedule {
         let n = self.problem.n_ops();
-        let times: Vec<i64> = (0..n)
-            .map(|v| self.pot[v] * self.ii + self.residue[v])
-            .collect();
+        let pot = self.incr.potentials();
+        let times: Vec<i64> = (0..n).map(|v| pot[v] * self.ii + self.residue[v]).collect();
         let clusters = (0..n)
             .map(|v| {
                 self.mrt
@@ -260,10 +272,9 @@ impl Searcher<'_, '_, '_> {
                 }
             }
         }
-        if !self.q_feasible() {
-            return None;
-        }
         if depth == self.order.len() {
+            // The last decision's propagation already proved the (now exact)
+            // system feasible; the maintained potentials are the witness.
             return Some(self.extract());
         }
         let v = self.order[depth];
@@ -276,7 +287,22 @@ impl Searcher<'_, '_, '_> {
             }
             self.residue[v] = r;
             self.mrt.place(OpId(v as u32), placement, r);
-            let found = self.dfs(depth + 1);
+            // Deciding `r` raises only v's incident edges: re-relax from
+            // them; a positive cycle rolls the frame back and vetoes the
+            // child before it is ever expanded.
+            self.stats.q_checks += 1;
+            self.incr.push_frame();
+            for i in 0..self.incident[v].len() {
+                let ei = self.incident[v][i] as usize;
+                self.incr.set_weight(ei, self.q_weight(ei));
+            }
+            let found = if self.incr.propagate() {
+                let f = self.dfs(depth + 1);
+                self.incr.pop_frame();
+                f
+            } else {
+                None
+            };
             self.mrt.remove(OpId(v as u32));
             self.residue[v] = -1;
             if found.is_some() {

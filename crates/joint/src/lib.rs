@@ -21,24 +21,42 @@
 //!   slot (embedded model) or a bus/port transfer (copy-unit model); any
 //!   overflow kills the subtree;
 //! * **recurrence** — cross-bank flow edges between decided endpoints are
-//!   lengthened by the copy latency and the DDG is probed for a positive
-//!   cycle at the target II ([`vliw_ddg::Ddg::is_feasible_adjusted`]);
+//!   lengthened by the copy latency, and feasibility at the target II is
+//!   maintained *incrementally* ([`vliw_ddg::IncrementalFeasibility`]):
+//!   each decision re-relaxes only from the edges it adjusted, with
+//!   trail-based O(changes) rollback on backtrack, instead of a full
+//!   Bellman–Ford per node;
 //! * **modulo resources** — at each leaf (and inside the fixed-II search
 //!   itself) the modulo reservation table rejects residue assignments that
 //!   oversubscribe a functional unit, bus, or port.
 //!
+//! Refuted decisions are **learned**: both conflict kinds carry an exact
+//! `min_ii` threshold below which they stay infeasible (a positive cycle of
+//! latency `L`/distance `D` up to `⌈L/D⌉`, a resource overflow up to its
+//! water-fill II), so each is recorded as a `(vreg, bank)` no-good in a
+//! [`NoGoodStore`] shared across the II ladder and replayed as a unit veto
+//! at every later rung still under the threshold.
+//!
 //! Value ordering reuses `vliw-exact`'s admissible edge-cost bound
 //! (cheapest-copy-first), branch ordering its most-constrained-first
 //! register order, and bank-permutation symmetry is broken on homogeneous
-//! machines exactly as in the exact partitioner. The greedy pipeline seeds
-//! the incumbent twice over: its II is the upper bound the outer loop walks
-//! down from, and its partition is probed first at every target II (the
-//! heuristic scheduler may simply have missed a schedule for it).
+//! machines exactly as in the exact partitioner. Two heuristics seed the
+//! incumbent: the greedy pipeline's partition and a load-balance-aware
+//! variant; the better II is the upper bound the ladder stops at, the
+//! winning partition is probed first at every target II (the heuristic
+//! scheduler may simply have missed a schedule for it), and the analytic
+//! floor is sharpened by the water-fill forced-copy bound
+//! ([`forced_copy_floor`]) so a seed sitting on the floor closes with zero
+//! search.
 //!
-//! The search is **anytime**: a wall-clock budget cuts it off, the greedy
+//! The search is **anytime**: a wall-clock budget cuts it off, the best
 //! incumbent is returned, and `optimal` is reported `false` with the lowest
 //! *unproven* II as the honest bound — `optimal: true` is only ever claimed
-//! when every II below the returned one was exhausted.
+//! when every II below the returned one was exhausted. The result's
+//! `seed_lb` records the pre-search analytic floor, so callers can tell a
+//! truncated solve whose ladder certified rungs beyond analysis
+//! (`lower_bound_ii > seed_lb`) from one that exceeded its budget before
+//! finishing a single rung.
 //!
 //! Scope: "optimal" is with respect to the pipeline's copy-insertion policy
 //! (`vliw_core::insert_copies` — shared copies placed after the reaching
@@ -48,7 +66,11 @@
 #![warn(missing_docs)]
 
 pub mod fixed_ii;
+pub mod propagate;
 pub mod solver;
 
 pub use fixed_ii::{schedule_fixed_ii, FixedIiOutcome, FixedIiStats};
-pub use solver::{solve_joint, JointConfig, JointResult, JointStats};
+pub use propagate::{
+    capacity_conflict, forced_copy_floor, recurrence_feasible, NoGood, NoGoodKind, NoGoodStore,
+};
+pub use solver::{solve_joint, solve_joint_traced, JointConfig, JointResult, JointStats};

@@ -3,22 +3,33 @@
 //!
 //! See the crate docs for the model. The division of labour:
 //!
-//! * [`solve_joint`] — greedy incumbent, machine-level II lower bound,
-//!   ascending II loop with honest anytime semantics;
+//! * [`solve_joint`] — two heuristic incumbents (the pipeline's greedy
+//!   partition and a load-balance-aware seed), machine-level II lower bound
+//!   sharpened by the water-fill forced-copy floor, ascending II loop with
+//!   honest anytime semantics and a conflict store shared across the ladder;
 //! * [`BankSearcher`](struct@self) (private) — DFS over bank assignments in
-//!   `vliw-exact`'s most-constrained-first order with capacity and
-//!   recurrence propagation, symmetry breaking on homogeneous machines, and
-//!   cheapest-copy-first value ordering via the exact partitioner's
-//!   admissible edge bound.
+//!   `vliw-exact`'s most-constrained-first order. Decisions are checked
+//!   before the child is expanded: replayed no-goods veto branches outright,
+//!   the capacity propagator and an admissible future-copy bound price the
+//!   committed demand, and recurrence feasibility is maintained
+//!   *incrementally* ([`vliw_ddg::IncrementalFeasibility`]) — only edges
+//!   whose copy-adjusted weight the decision changed are re-relaxed, with
+//!   trail-based O(1) rollback on backtrack. Refuted decisions are recorded
+//!   as `(vreg, bank)` no-goods with exact II thresholds and replayed as
+//!   unit propagations at higher rungs of the ladder.
 
 use crate::fixed_ii::{schedule_fixed_ii, FixedIiOutcome, FixedIiStats};
+use crate::propagate::{
+    capacity_conflict, capacity_counts, copy_extras, deciding_vregs, forced_copy_floor,
+    future_copy_bound, variant_mask, NoGoodKind, NoGoodStore,
+};
 use std::time::{Duration, Instant};
 use vliw_core::{
     assign_banks_caps, build_rcg, insert_copies, LoopContext, Partition, PartitionConfig,
 };
-use vliw_ddg::{build_ddg, Ddg, DepKind};
+use vliw_ddg::{build_ddg, Ddg, DepKind, IncrementalFeasibility};
 use vliw_exact::bound::{assign_edge_cost, UNASSIGNED};
-use vliw_ir::{Loop, Opcode};
+use vliw_ir::Loop;
 use vliw_machine::{ClusterId, CopyModel, MachineDesc};
 use vliw_sched::{schedule_loop, ImsConfig, SchedProblem, Schedule};
 
@@ -31,15 +42,31 @@ pub struct JointConfig {
 }
 
 /// Search effort counters, reported alongside every solve.
+///
+/// Prune attribution is split so regressions in one mechanism cannot hide
+/// behind another: `pruned_propagation` counts refutations by the
+/// capacity/recurrence propagators, `pruned_bound` counts refutations by the
+/// admissible future-copy bound, and `nogood_hits` counts branches vetoed by
+/// replayed conflicts before any propagator ran.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JointStats {
     /// Bank-assignment tree nodes expanded.
     pub bank_nodes: u64,
     /// Residue tree nodes expanded across all fixed-II leaf searches.
     pub sched_nodes: u64,
-    /// Propagator invocations (capacity + recurrence at bank nodes,
+    /// Propagator invocations (capacity + recurrence at bank decisions,
     /// stage-count checks at schedule nodes).
     pub propagations: u64,
+    /// Bank decisions refuted by a propagator (capacity overflow or a
+    /// positive copy-adjusted recurrence cycle).
+    pub pruned_propagation: u64,
+    /// Bank decisions refuted by the admissible future-copy lower bound.
+    pub pruned_bound: u64,
+    /// Branches vetoed by a no-good replayed from an earlier conflict
+    /// (same or lower II rung).
+    pub nogood_hits: u64,
+    /// Conflicts recorded into the ladder's no-good store.
+    pub nogoods_recorded: u64,
     /// Wall-clock time of the whole solve.
     pub elapsed: Duration,
 }
@@ -63,6 +90,10 @@ pub struct JointResult {
     /// was exhausted. Equals `ii` when `optimal`; below it, the honest gap
     /// a budget-truncated search leaves open.
     pub lower_bound_ii: u32,
+    /// The pre-search analytic floor (machine bound ∨ RecII ∨ water-fill
+    /// forced-copy floor). `lower_bound_ii > seed_lb` on a truncated solve
+    /// means the ladder certified rungs beyond what analysis alone proved.
+    pub seed_lb: u32,
     /// Whether `ii` is provably minimal over all partitions and modulo
     /// schedules (under the pipeline's copy-insertion policy), rather than
     /// the search having been cut off by the budget.
@@ -90,6 +121,55 @@ fn pipeline_schedule(body: &Loop, machine: &MachineDesc, part: &Partition) -> Sc
         .expect("IMS with sequential fallback schedules every clustered loop")
 }
 
+/// A load-balance-aware seed partition: vregs in most-constrained-first
+/// order, each to the bank with the lowest committed issue load (normalised
+/// by FU count), ties broken by RCG cut cost. The greedy partitioner
+/// optimises locality and routinely piles connected lanes onto one bank; on
+/// wide low-pressure loops the resulting issue imbalance alone costs an II.
+/// This seed trades a few copies for balance, and when its IMS schedule
+/// already sits on the analytic floor the solve closes with zero search.
+fn balanced_partition(body: &Loop, machine: &MachineDesc, rcg: &vliw_core::RcgGraph) -> Partition {
+    let n_banks = machine.n_clusters();
+    let n_vregs = body.n_vregs();
+    let deciding = deciding_vregs(body);
+    let mut pinned = vec![0u64; n_vregs];
+    let mut load = vec![0u64; n_banks];
+    for d in &deciding {
+        match d {
+            Some(v) => pinned[*v] += 1,
+            // Ops no vreg decides pin to bank 0, exactly as in `leaf`.
+            None => load[0] += 1,
+        }
+    }
+    let adj = vliw_exact::dense_adjacency(rcg);
+    let order = vliw_exact::branch_order(rcg);
+    let mut assigned = vec![UNASSIGNED; n_vregs];
+    for &v in &order {
+        let mut best = 0u8;
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        for b in 0..n_banks as u8 {
+            let fus = machine.clusters[b as usize].n_fus.max(1) as f64;
+            let key = (
+                (load[b as usize] + pinned[v]) as f64 / fus,
+                assign_edge_cost(&adj[v], &assigned, b),
+            );
+            if key < best_key {
+                best_key = key;
+                best = b;
+            }
+        }
+        assigned[v] = best;
+        load[best as usize] += pinned[v];
+    }
+    Partition {
+        bank_of: assigned
+            .iter()
+            .map(|&b| ClusterId(if b == UNASSIGNED { 0 } else { u32::from(b) }))
+            .collect(),
+        n_banks,
+    }
+}
+
 /// Solve the joint (II, slot, bank) problem for `body` on `machine`.
 ///
 /// `part_cfg` parameterises the RCG the greedy incumbent and the value
@@ -101,9 +181,22 @@ pub fn solve_joint(
     part_cfg: &PartitionConfig,
     cfg: &JointConfig,
 ) -> JointResult {
+    solve_joint_traced(body, machine, part_cfg, cfg).0
+}
+
+/// [`solve_joint`], additionally returning the no-good store the ladder
+/// accumulated — property tests audit every recorded conflict against the
+/// full (non-incremental) oracles.
+pub fn solve_joint_traced(
+    body: &Loop,
+    machine: &MachineDesc,
+    part_cfg: &PartitionConfig,
+    cfg: &JointConfig,
+) -> (JointResult, NoGoodStore) {
     let start = Instant::now();
     let deadline = (cfg.budget_ms > 0).then(|| start + Duration::from_millis(cfg.budget_ms));
     let mut stats = JointStats::default();
+    let mut store = NoGoodStore::new(body.n_vregs(), machine.n_clusters());
 
     // Greedy incumbent: the paper's partition-then-schedule pipeline.
     let ctx = LoopContext::new(body, machine);
@@ -113,7 +206,22 @@ pub fn solve_joint(
     let greedy_sched = pipeline_schedule(body, machine, &greedy_part);
     let greedy_ii = greedy_sched.ii;
 
+    // Second incumbent: the balance-aware seed. Both are heuristic
+    // schedules, so the better one caps the ladder; the `greedy_ii` the
+    // result reports stays the pipeline's own number.
+    let bal_part = balanced_partition(body, machine, &rcg);
+    let bal_sched = pipeline_schedule(body, machine, &bal_part);
+    let (inc_part, inc_sched) = if bal_sched.ii < greedy_ii {
+        (bal_part, bal_sched)
+    } else {
+        (greedy_part, greedy_sched)
+    };
+    let inc_ii = inc_sched.ii;
+
+    // Machine bound, then the water-fill forced-copy floor: IIs it refutes
+    // are proven unachievable before any search runs.
     let lb = lower_bound_ii(body, machine, ctx.rec_ii);
+    let lb = forced_copy_floor(body, machine, lb, greedy_ii);
     let finish = |partition: Partition,
                   schedule: Schedule,
                   lower_bound_ii: u32,
@@ -127,42 +235,38 @@ pub fn solve_joint(
             ii,
             greedy_ii,
             lower_bound_ii,
+            seed_lb: lb,
             optimal,
             stats,
         }
     };
-    if greedy_ii <= lb {
-        // The heuristic already sits on the machine lower bound: proven
-        // optimal with zero search.
-        return finish(greedy_part, greedy_sched, greedy_ii, true, stats);
+    if inc_ii <= lb {
+        // A heuristic already sits on the proven lower bound: optimal with
+        // zero search.
+        return (finish(inc_part, inc_sched, inc_ii, true, stats), store);
     }
 
     // Ascending targets: reaching `target` means every smaller II was
-    // exhausted, so the first hit is optimal by construction.
-    for target in lb..greedy_ii {
+    // exhausted, so the first hit is optimal by construction. Conflicts
+    // recorded at one rung replay as unit propagations at the next.
+    for target in lb..inc_ii {
+        store.activate(target);
         match search_ii(
-            body,
-            machine,
-            &rcg,
-            &ctx.ddg,
-            &greedy_part,
-            target,
-            deadline,
-            &mut stats,
+            body, machine, &rcg, &ctx.ddg, &inc_part, target, deadline, &mut stats, &mut store,
         ) {
             IiOutcome::Found(part, sched) => {
-                return finish(part, sched, target, true, stats);
+                return (finish(part, sched, target, true, stats), store);
             }
             IiOutcome::Infeasible => continue,
             IiOutcome::TimedOut => {
                 // `target` was neither achieved nor refuted: report the
-                // greedy incumbent with the gap left open.
-                return finish(greedy_part, greedy_sched, target, false, stats);
+                // best incumbent with the gap left open.
+                return (finish(inc_part, inc_sched, target, false, stats), store);
             }
         }
     }
-    // Every II below the greedy one is proven infeasible.
-    finish(greedy_part, greedy_sched, greedy_ii, true, stats)
+    // Every II below the incumbent's is proven infeasible.
+    (finish(inc_part, inc_sched, inc_ii, true, stats), store)
 }
 
 enum IiOutcome {
@@ -179,30 +283,42 @@ fn search_ii(
     machine: &MachineDesc,
     rcg: &vliw_core::RcgGraph,
     ddg: &Ddg,
-    greedy_part: &Partition,
+    seed_part: &Partition,
     target: u32,
     deadline: Option<Instant>,
     stats: &mut JointStats,
+    store: &mut NoGoodStore,
 ) -> IiOutcome {
     let n_banks = machine.n_clusters();
     let n_vregs = body.n_vregs();
-    let copy_extra: Vec<i64> = (0..n_vregs)
-        .map(|v| {
-            let class = body.class_of(vliw_ir::VReg(v as u32));
-            machine.latencies.of(Opcode::copy_for(class)) as i64
-        })
-        .collect();
-    let deciding: Vec<Option<usize>> = body
-        .ops
-        .iter()
-        .map(|o| o.def.or_else(|| o.uses.first().copied()).map(|v| v.index()))
-        .collect();
-    let variant: Vec<bool> = (0..n_vregs)
-        .map(|v| !body.is_invariant(vliw_ir::VReg(v as u32)))
-        .collect();
+    let copy_extra = copy_extras(body, machine);
+    let deciding = deciding_vregs(body);
+    let variant = variant_mask(body);
     let homogeneous = machine.clusters.windows(2).all(|w| {
         (w[0].n_fus, w[0].int_regs, w[0].float_regs) == (w[1].n_fus, w[1].int_regs, w[1].float_regs)
     });
+
+    // The incremental recurrence maintainer starts from the unadjusted
+    // system; each bank decision raises only the flow edges it commits a
+    // copy on. `affected[v]` lists the edges whose adjustment can change
+    // when `v` is decided (its defs' out-flows and the flows into ops it
+    // decides).
+    let incr = IncrementalFeasibility::for_ddg(ddg, target, |_| 0);
+    let mut affected: Vec<Vec<u32>> = vec![Vec::new(); n_vregs];
+    for (i, e) in ddg.edges().iter().enumerate() {
+        if e.kind != DepKind::Flow {
+            continue;
+        }
+        let Some(d) = body.op(e.from).def else {
+            continue;
+        };
+        affected[d.index()].push(i as u32);
+        if let Some(t) = deciding[e.to.index()] {
+            if t != d.index() {
+                affected[t].push(i as u32);
+            }
+        }
+    }
 
     let mut s = BankSearcher {
         body,
@@ -218,17 +334,37 @@ fn search_ii(
         variant,
         copy_extra,
         ddg,
+        incr,
+        affected,
         deadline,
         timed_out: false,
         stats,
-        scratch: Vec::new(),
+        store,
         copy_marks: vec![false; n_vregs * n_banks],
         found: None,
     };
 
-    // Incumbent seeding: probe the greedy partition first — the heuristic
-    // scheduler may simply have missed a schedule at this II for it.
-    if s.try_partition(greedy_part.clone()) {
+    // Root checks: an empty assignment can already overflow (ops with no
+    // operands pin to cluster 0) or carry an intrinsic positive cycle.
+    if !s.incr.root_feasible()
+        || capacity_conflict(
+            body,
+            machine,
+            target,
+            &s.assigned,
+            &s.deciding,
+            &s.variant,
+            &mut s.copy_marks,
+        )
+        .is_some()
+    {
+        return IiOutcome::Infeasible;
+    }
+
+    // Incumbent seeding: probe the incumbent's partition first — the
+    // heuristic scheduler may simply have missed a schedule at this II
+    // for it.
+    if s.try_partition(seed_part.clone()) {
         let (p, sched) = s.found.take().expect("probe succeeded");
         return IiOutcome::Found(p, sched);
     }
@@ -257,133 +393,165 @@ struct BankSearcher<'a> {
     used: usize,
     /// All clusters identical ⇒ bank permutations are true symmetries.
     homogeneous: bool,
-    /// Per op: the vreg whose bank decides the op's cluster (its def, or —
-    /// for stores — its first use), mirroring `vliw_core::copyins`.
+    /// See [`deciding_vregs`].
     deciding: Vec<Option<usize>>,
-    /// Per vreg: defined in the body (invariant operands hoist their copies
-    /// out of the kernel and cost nothing here).
+    /// See [`variant_mask`].
     variant: Vec<bool>,
-    /// Per vreg: kernel copy latency of its register class.
+    /// See [`copy_extras`].
     copy_extra: Vec<i64>,
     /// The *original* body's DDG (pre-copy-insertion).
     ddg: &'a Ddg,
+    /// Incremental copy-adjusted recurrence feasibility at `target`.
+    incr: IncrementalFeasibility,
+    /// Per vreg: DDG edge indices whose adjustment its decision can change.
+    affected: Vec<Vec<u32>>,
     deadline: Option<Instant>,
     timed_out: bool,
     stats: &'a mut JointStats,
-    scratch: Vec<i64>,
+    store: &'a mut NoGoodStore,
     /// Dense `(vreg, bank)` dedup marks for forced-copy counting.
     copy_marks: Vec<bool>,
     found: Option<(Partition, Schedule)>,
 }
 
 impl BankSearcher<'_> {
-    /// Bank of op `o` under the current partial assignment, if decided.
-    #[inline]
-    fn op_bank(&self, o: usize) -> u8 {
-        match self.deciding[o] {
-            Some(v) => self.assigned[v],
-            None => 0, // no operands at all: copyins pins to cluster 0
+    /// Copy adjustment the current assignment commits on DDG edge `ei`.
+    fn edge_extra(&self, ei: usize) -> i64 {
+        let e = &self.ddg.edges()[ei];
+        debug_assert_eq!(e.kind, DepKind::Flow);
+        let v = self
+            .body
+            .op(e.from)
+            .def
+            .expect("affected edges have a defining source");
+        let bv = self.assigned[v.index()];
+        if bv == UNASSIGNED {
+            return 0;
         }
+        let bt = match self.deciding[e.to.index()] {
+            Some(dv) => self.assigned[dv],
+            None => 0,
+        };
+        if bt == UNASSIGNED || bt == bv {
+            return 0;
+        }
+        self.copy_extra[v.index()]
     }
 
-    /// Kernel-slot capacity propagation. Sound: only *forced* consumption is
-    /// counted — ops pinned by decided operands, plus one shared kernel copy
-    /// per decided `(variant def, consuming bank)` pair that crosses banks.
-    fn capacity_ok(&mut self) -> bool {
+    /// Check the decision `v → assigned[v]` just made: capacity propagation,
+    /// the admissible future-copy bound, then incremental recurrence
+    /// propagation. `true` leaves an open maintainer frame the caller must
+    /// pop after exploring the child; `false` means the child is refuted
+    /// (and the refutation recorded as a no-good) with no frame left open.
+    fn decide_ok(&mut self, v: usize) -> bool {
+        // Capacity: only forced consumption is counted, so a conflict here
+        // refutes every completion.
         self.stats.propagations += 1;
-        let ii = self.target as usize;
-        let mut pinned = vec![0usize; self.n_banks];
-        for o in 0..self.body.n_ops() {
-            let b = self.op_bank(o);
-            if b != UNASSIGNED {
-                pinned[b as usize] += 1;
+        if let Some(conf) = capacity_conflict(
+            self.body,
+            self.machine,
+            self.target,
+            &self.assigned,
+            &self.deciding,
+            &self.variant,
+            &mut self.copy_marks,
+        ) {
+            if self
+                .store
+                .record(conf.literals, conf.min_ii, NoGoodKind::Resource)
+            {
+                self.stats.nogoods_recorded += 1;
+            }
+            self.stats.pruned_propagation += 1;
+            return false;
+        }
+        // Admissible bound: copies the undecided vregs must still pay, on
+        // top of the committed demand.
+        let fut = future_copy_bound(
+            self.body,
+            self.n_banks,
+            &self.assigned,
+            &self.deciding,
+            &self.variant,
+            &mut self.copy_marks,
+        );
+        if fut > 0 {
+            let c = capacity_counts(
+                self.body,
+                self.n_banks,
+                &self.assigned,
+                &self.deciding,
+                &self.variant,
+                &mut self.copy_marks,
+            );
+            let ii = self.target as usize;
+            let fits = match self.machine.copy_model {
+                CopyModel::Embedded => {
+                    self.body.n_ops() + c.total_copies + fut <= ii * self.machine.issue_width()
+                }
+                CopyModel::CopyUnit { busses, .. } => c.total_copies + fut <= ii * busses,
+            };
+            if !fits {
+                self.stats.pruned_bound += 1;
+                return false;
             }
         }
-        // Forced copies, deduplicated per (def vreg, destination bank):
-        // copyins emits one shared copy per reaching def and consuming
-        // cluster, so this undercounts (multi-def vregs) — never over.
-        let mut marked: Vec<usize> = Vec::new();
-        let mut copies_into = vec![0usize; self.n_banks];
-        let mut total_copies = 0usize;
-        for op in &self.body.ops {
-            let bo = self.op_bank(op.id.index());
-            if bo == UNASSIGNED {
+        // Recurrence: raise exactly the edges this decision adjusted and
+        // re-relax from them.
+        self.stats.propagations += 1;
+        self.incr.push_frame();
+        for i in 0..self.affected[v].len() {
+            let ei = self.affected[v][i] as usize;
+            let extra = self.edge_extra(ei);
+            if extra > 0 {
+                let e = &self.ddg.edges()[ei];
+                let w = e.latency + extra - self.target as i64 * e.distance as i64;
+                self.incr.set_weight(ei, w);
+            }
+        }
+        if self.incr.propagate() {
+            return true;
+        }
+        // The maintainer rolled the frame back and named a positive cycle:
+        // record it with its exact II threshold.
+        self.record_cycle_nogood();
+        self.stats.pruned_propagation += 1;
+        false
+    }
+
+    /// Turn the maintainer's conflict cycle into a dependence no-good:
+    /// literals are the cross-bank decisions carrying copies on the cycle,
+    /// and the threshold is the first II the cycle fits under.
+    fn record_cycle_nogood(&mut self) {
+        let mut lits: Vec<(u32, u8)> = Vec::new();
+        let (mut lat, mut dist) = (0i64, 0u64);
+        for i in 0..self.incr.conflict_cycle().len() {
+            let ei = self.incr.conflict_cycle()[i] as usize;
+            let e = self.ddg.edges()[ei];
+            lat += e.latency;
+            dist += e.distance as u64;
+            if e.kind != DepKind::Flow {
                 continue;
             }
-            for &u in &op.uses {
-                let bu = self.assigned[u.index()];
-                if bu == UNASSIGNED || bu == bo || !self.variant[u.index()] {
-                    continue;
-                }
-                let mark = u.index() * self.n_banks + bo as usize;
-                if !self.copy_marks[mark] {
-                    self.copy_marks[mark] = true;
-                    marked.push(mark);
-                    copies_into[bo as usize] += 1;
-                    total_copies += 1;
+            let Some(dv) = self.body.op(e.from).def else {
+                continue;
+            };
+            let extra = self.edge_extra(ei);
+            if extra > 0 {
+                lat += extra;
+                lits.push((dv.index() as u32, self.assigned[dv.index()]));
+                if let Some(t) = self.deciding[e.to.index()] {
+                    lits.push((t as u32, self.assigned[t]));
                 }
             }
         }
-        for m in marked {
-            self.copy_marks[m] = false;
+        if dist == 0 || lat <= 0 {
+            return; // defensive: not a replayable recurrence conflict
         }
-        match self.machine.copy_model {
-            CopyModel::Embedded => {
-                // Copies occupy FU slots on their destination cluster.
-                self.body.n_ops() + total_copies <= ii * self.machine.issue_width()
-                    && (0..self.n_banks).all(|b| {
-                        pinned[b] + copies_into[b] <= ii * self.machine.fus_in(ClusterId(b as u32))
-                    })
-            }
-            CopyModel::CopyUnit {
-                busses,
-                ports_per_cluster,
-            } => {
-                total_copies <= ii * busses
-                    && (0..self.n_banks).all(|b| {
-                        pinned[b] <= ii * self.machine.fus_in(ClusterId(b as u32))
-                            && copies_into[b] <= ii * ports_per_cluster
-                    })
-            }
+        let min_ii = (lat as u64).div_ceil(dist).min(u32::MAX as u64) as u32;
+        if self.store.record(lits, min_ii, NoGoodKind::Dependence) {
+            self.stats.nogoods_recorded += 1;
         }
-    }
-
-    /// Recurrence propagation: cross-bank flow edges between decided
-    /// endpoints carry a copy, lengthening their circuits. A relaxation of
-    /// the true clustered DDG (undecided edges keep their base latency), so
-    /// infeasibility here refutes every completion.
-    fn rec_ok(&mut self) -> bool {
-        self.stats.propagations += 1;
-        let assigned = &self.assigned;
-        let deciding = &self.deciding;
-        let body = self.body;
-        let copy_extra = &self.copy_extra;
-        self.ddg.is_feasible_adjusted(
-            self.target,
-            |e| {
-                if e.kind != DepKind::Flow {
-                    return 0;
-                }
-                // A flow edge runs def → use; the def op's (unique) def
-                // register is the value that would need copying.
-                let Some(v) = body.op(e.from).def else {
-                    return 0;
-                };
-                let bv = assigned[v.index()];
-                if bv == UNASSIGNED {
-                    return 0;
-                }
-                let bt = match deciding[e.to.index()] {
-                    Some(dv) => assigned[dv],
-                    None => 0,
-                };
-                if bt == UNASSIGNED || bt == bv {
-                    return 0;
-                }
-                copy_extra[v.index()]
-            },
-            &mut self.scratch,
-        )
     }
 
     /// Evaluate one complete partition: insert copies, rebuild the DDG, and
@@ -435,9 +603,6 @@ impl BankSearcher<'_> {
                 }
             }
         }
-        if !self.capacity_ok() || !self.rec_ok() {
-            return false;
-        }
         if depth == self.order.len() {
             return self.leaf();
         }
@@ -458,17 +623,25 @@ impl BankSearcher<'_> {
                 .then(x.1.cmp(&y.1))
         });
         for (_, b) in branches {
+            if self.store.forbids(&self.assigned, v, b) {
+                self.stats.nogood_hits += 1;
+                continue;
+            }
             let prev_used = self.used;
             self.assigned[v] = b;
             if b as usize == self.used {
                 self.used += 1;
             }
-            let hit = self.dfs(depth + 1);
-            self.assigned[v] = UNASSIGNED;
-            self.used = prev_used;
+            let ok = self.decide_ok(v);
+            let hit = ok && self.dfs(depth + 1);
             if hit {
                 return true;
             }
+            if ok {
+                self.incr.pop_frame();
+            }
+            self.assigned[v] = UNASSIGNED;
+            self.used = prev_used;
             if self.timed_out {
                 return false;
             }
@@ -582,5 +755,32 @@ mod tests {
         let r = solve_joint(&l, &m, &PartitionConfig::default(), &JointConfig::default());
         assert!(r.optimal);
         assert_eq!(r.ii, r.greedy_ii);
+    }
+
+    #[test]
+    fn prune_attribution_is_split_not_lumped() {
+        // A pressured loop on a narrow machine must exercise the search; the
+        // counters the bench floors rely on must attribute its prunes. The
+        // II=2 rung of this instance is a deep refutation (closing it takes
+        // minutes in debug), so the test budgets the solve and checks the
+        // anytime contract instead of optimality.
+        let l = daxpy(6);
+        let m = MachineDesc::embedded(4, 4);
+        let r = solve_joint(
+            &l,
+            &m,
+            &PartitionConfig::default(),
+            &JointConfig { budget_ms: 50 },
+        );
+        check_witness(&l, &m, &r);
+        let s = &r.stats;
+        assert!(
+            s.pruned_propagation + s.pruned_bound > 0,
+            "a pressured search must attribute at least one prune: {s:?}"
+        );
+        assert!(
+            s.pruned_propagation + s.pruned_bound + s.nogood_hits <= s.bank_nodes * 8 + 64,
+            "prune counters out of range: {s:?}"
+        );
     }
 }

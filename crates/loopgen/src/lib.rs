@@ -20,9 +20,11 @@
 
 pub mod families;
 pub mod gen;
+pub mod pressure;
 
 pub use families::Family;
 pub use gen::{corpus, corpus_with, function_corpus, CorpusSpec};
+pub use pressure::{pressure_corpus, pressure_corpus_with, scaling_slice, PressureSpec};
 
 /// The paper's corpus size.
 pub const CORPUS_SIZE: usize = 211;

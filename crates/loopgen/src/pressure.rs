@@ -1,0 +1,226 @@
+//! Register-pressure-stressed loops for the 13–24-vreg joint-solver slice.
+//!
+//! The calibrated paper corpus is dominated by loops the joint solver closes
+//! in microseconds; the interesting scaling regime starts where the bank
+//! search tree gets wide — 13 to 24 virtual registers with real carried
+//! recurrences competing for banks. This module generates exactly that
+//! slice, deterministically, with a tunable ratio of recurrence chains to
+//! independent streams.
+//!
+//! Every loop is assembled from three unit shapes with known vreg budgets:
+//!
+//! * a **chain** — a first-order accumulator recurrence
+//!   `s = a·s + x[i]` (3 vregs: the live-in accumulator, the load, the
+//!   product) that contributes to RecII and must be bank-colocated or pay
+//!   copies on the cycle;
+//! * a **stream** — one daxpy lane `y[i] += a·x[i]` (4 vregs) of pure ILP
+//!   that competes with the chains for kernel slots;
+//! * a **filler** — a copy lane `y[i] = x[i]` (1 vreg) used to hit the
+//!   requested vreg count exactly.
+//!
+//! One shared live-in coefficient accounts for the remaining vreg, so a
+//! loop with `c` chains, `s` streams, and `f` fillers has exactly
+//! `1 + 3c + 4s + f` virtual registers.
+
+use crate::gen::corpus_with;
+use crate::CorpusSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vliw_ir::{Loop, LoopBuilder, RegClass};
+
+/// Parameters for the pressure-stressed generator.
+#[derive(Debug, Clone)]
+pub struct PressureSpec {
+    /// Number of loops.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Inclusive vreg-count range every generated loop lands in.
+    pub vreg_range: (usize, usize),
+    /// Recurrence density in percent: the share of the vreg budget spent on
+    /// carried accumulator chains (0 = pure streams, 100 = all chains).
+    pub rec_density: u32,
+    /// Trip-count range (inclusive).
+    pub trip_range: (u32, u32),
+}
+
+impl Default for PressureSpec {
+    fn default() -> Self {
+        PressureSpec {
+            n: 48,
+            seed: 0x1324_BEEF,
+            vreg_range: (13, 24),
+            rec_density: 40,
+            trip_range: (32, 64),
+        }
+    }
+}
+
+/// Build one pressure loop with exactly `1 + 3·chains + 4·streams +
+/// fillers` virtual registers.
+pub fn pressure_loop(idx: usize, chains: usize, streams: usize, fillers: usize, trip: u32) -> Loop {
+    let lanes = (chains + streams + fillers).max(1) as i64;
+    let flen = lanes as usize * trip as usize + 2 * lanes as usize + 4;
+    let mut b = LoopBuilder::new(format!("press_c{chains}_s{streams}_{idx:03}"));
+    let x = b.array("x", RegClass::Float, flen);
+    let y = b.array("y", RegClass::Float, flen);
+    let a = b.live_in_float_val("a", 0.75);
+    let mut lane = 0i64;
+    for j in 0..chains {
+        let s = b.live_in_float_val(&format!("s{j}"), 0.0);
+        let xv = b.load(x, lane, lanes);
+        let t = b.fmul(a, s);
+        b.fadd_into(s, t, xv);
+        b.live_out(s);
+        lane += 1;
+    }
+    for _ in 0..streams {
+        let xv = b.load(x, lane, lanes);
+        let yv = b.load(y, lane, lanes);
+        let p = b.fmul(a, xv);
+        let q = b.fadd(yv, p);
+        b.store(y, lane, lanes, q);
+        lane += 1;
+    }
+    for _ in 0..fillers {
+        let v = b.load(x, lane, lanes);
+        b.store(y, lane, lanes, v);
+        lane += 1;
+    }
+    b.finish(trip)
+}
+
+/// Generate a pressure corpus from an explicit spec (deterministic in the
+/// spec). Every loop's vreg count is in `spec.vreg_range`.
+pub fn pressure_corpus_with(spec: &PressureSpec) -> Vec<Loop> {
+    let (lo, hi) = spec.vreg_range;
+    assert!(
+        lo >= 2 && hi >= lo,
+        "vreg range must be sane, got {lo}..={hi}"
+    );
+    assert!(spec.rec_density <= 100);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    (0..spec.n)
+        .map(|idx| {
+            let target = rng.gen_range(lo..=hi);
+            // Budget after the shared coefficient; split per the density
+            // knob, then spend the remainder on streams and fillers.
+            let budget = target - 1;
+            let chains = (budget * spec.rec_density as usize / 100) / 3;
+            let rest = budget - 3 * chains;
+            let streams = rest / 4;
+            let fillers = rest - 4 * streams;
+            let trip = rng.gen_range(spec.trip_range.0..=spec.trip_range.1);
+            let l = pressure_loop(idx, chains, streams, fillers, trip);
+            debug_assert_eq!(l.n_vregs(), target, "vreg accounting drifted");
+            debug_assert!(vliw_ir::verify_loop(&l).is_ok());
+            l
+        })
+        .collect()
+}
+
+/// The default pressure corpus: 48 loops, 13–24 vregs, 40% recurrence
+/// density, fully deterministic.
+pub fn pressure_corpus() -> Vec<Loop> {
+    pressure_corpus_with(&PressureSpec::default())
+}
+
+/// The 13–24-vreg scaling slice used by the joint-solver experiments: the
+/// pressure corpus plus whatever lands in the range from the calibrated
+/// paper corpus (high-unroll daxpy/stencil/dot draws).
+pub fn scaling_slice() -> Vec<Loop> {
+    let mut out: Vec<Loop> = crate::corpus()
+        .into_iter()
+        .filter(|l| (13..=24).contains(&l.n_vregs()))
+        .collect();
+    out.extend(pressure_corpus());
+    out
+}
+
+/// A denser variant of the calibrated corpus mix restricted to high-unroll
+/// draws, for tests that want paper-shaped (rather than synthetic-unit)
+/// loops in the pressure range.
+pub fn dense_paper_mix(n: usize, seed: u64) -> Vec<Loop> {
+    let mut spec = CorpusSpec {
+        n: n * 3, // oversample, then filter to the range
+        seed,
+        ..Default::default()
+    };
+    for (_, _, unrolls) in &mut spec.mix {
+        unrolls.retain(|&u| u >= 3);
+        if unrolls.is_empty() {
+            unrolls.push(4);
+        }
+    }
+    corpus_with(&spec)
+        .into_iter()
+        .filter(|l| (13..=24).contains(&l.n_vregs()))
+        .take(n)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_corpus_hits_the_vreg_range_exactly() {
+        let c = pressure_corpus();
+        assert_eq!(c.len(), PressureSpec::default().n);
+        for l in &c {
+            vliw_ir::verify_loop(l).unwrap_or_else(|e| panic!("{}: {e}", l.name));
+            assert!(
+                (13..=24).contains(&l.n_vregs()),
+                "{} has {} vregs",
+                l.name,
+                l.n_vregs()
+            );
+        }
+    }
+
+    #[test]
+    fn pressure_corpus_is_deterministic() {
+        assert_eq!(pressure_corpus(), pressure_corpus());
+        let mut spec = PressureSpec::default();
+        spec.seed ^= 1;
+        assert_ne!(pressure_corpus_with(&spec), pressure_corpus());
+    }
+
+    #[test]
+    fn rec_density_is_tunable() {
+        let mut spec = PressureSpec {
+            rec_density: 0,
+            ..Default::default()
+        };
+        assert!(pressure_corpus_with(&spec)
+            .iter()
+            .all(|l| l.carried_regs().is_empty()));
+        spec.rec_density = 100;
+        for l in pressure_corpus_with(&spec) {
+            // budget ≥ 12 at 100% density ⇒ ≥ 4 chains.
+            assert!(l.carried_regs().len() >= 4, "{}", l.name);
+        }
+        // The default mix carries recurrences in every loop (density 40%
+        // of a ≥12-vreg budget always affords at least one chain).
+        assert!(pressure_corpus()
+            .iter()
+            .all(|l| !l.carried_regs().is_empty()));
+    }
+
+    #[test]
+    fn scaling_slice_is_all_in_range_and_nonempty() {
+        let s = scaling_slice();
+        assert!(s.len() >= 48, "slice too small: {}", s.len());
+        for l in &s {
+            assert!((13..=24).contains(&l.n_vregs()), "{}", l.name);
+        }
+    }
+
+    #[test]
+    fn vreg_accounting_formula_holds() {
+        for (c, s, f) in [(0, 3, 0), (2, 2, 1), (4, 0, 3), (1, 4, 2)] {
+            let l = pressure_loop(0, c, s, f, 32);
+            assert_eq!(l.n_vregs(), 1 + 3 * c + 4 * s + f);
+        }
+    }
+}

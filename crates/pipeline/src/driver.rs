@@ -120,6 +120,30 @@ impl Default for PipelineConfig {
     }
 }
 
+/// What the joint (II, slot, bank) solver claimed about its run. Present on
+/// a [`LoopResult`] only when [`PartitionerKind::Joint`] ran; the claims are
+/// re-audited by the `JNT001`–`JNT003` lint gate before the harness sees
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JointOutcome {
+    /// The II the solver achieved (its witness's II).
+    pub ii: u32,
+    /// The greedy partition-then-schedule II the search was seeded with.
+    pub greedy_ii: u32,
+    /// Certified lower bound: every II below this was proven infeasible.
+    pub lower_bound_ii: u32,
+    /// True when `ii` is provably minimal; false means the wall-clock
+    /// budget truncated the search and `lower_bound_ii` is the honest gap.
+    pub optimal: bool,
+}
+
+impl JointOutcome {
+    /// Whether the budget cut the search off before the bound closed.
+    pub fn truncated(&self) -> bool {
+        !self.optimal
+    }
+}
+
 /// Everything measured about one loop on one machine.
 #[derive(Debug, Clone)]
 pub struct LoopResult {
@@ -160,6 +184,9 @@ pub struct LoopResult {
     /// dynamic oracle) found, in stage order. Empty under
     /// [`LintMode::Off`] and on a clean run.
     pub diagnostics: Vec<Diagnostic>,
+    /// The joint solver's audited claims (`None` unless
+    /// [`PartitionerKind::Joint`] ran).
+    pub joint: Option<JointOutcome>,
 }
 
 impl LoopResult {
@@ -522,6 +549,12 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
         spill_rounds,
         sim_ok,
         diagnostics: diagnostics.diags,
+        joint: joint.as_ref().map(|j| JointOutcome {
+            ii: j.ii,
+            greedy_ii: j.greedy_ii,
+            lower_bound_ii: j.lower_bound_ii,
+            optimal: j.optimal,
+        }),
     }
 }
 

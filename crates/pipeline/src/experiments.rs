@@ -849,6 +849,202 @@ pub fn joint_gap_table_with(
     }
 }
 
+/// One machine model's row of the joint-solver *scaling* experiment: the
+/// pressure slice (13–24 vregs by default) where the bank tree is wide
+/// enough that closing within an interactive budget depends on the
+/// incremental propagators and the no-good ladder.
+#[derive(Debug, Clone)]
+pub struct JointScalingRow {
+    /// Machine name.
+    pub machine: String,
+    /// Loops evaluated (the `min_regs..=max_regs` slice).
+    pub n_loops: usize,
+    /// Loops closed: II proven jointly optimal within budget.
+    pub n_closed: usize,
+    /// Loops bounded: truncated, but the II ladder certified at least one
+    /// rung beyond the analytic floor (`lower_bound_ii > seed_lb`), so the
+    /// reported gap is tighter than analysis alone gives.
+    pub n_bounded: usize,
+    /// Loops where the budget expired with the bound still at the analytic
+    /// floor (`n_closed + n_bounded + n_budget_exceeded == n_loops`).
+    pub n_budget_exceeded: usize,
+    /// Loops where the joint solver beat greedy by at least one full II.
+    pub n_joint_wins: usize,
+    /// Mean open gap `ii − lower_bound_ii` over non-closed loops (0 when
+    /// everything closed).
+    pub mean_open_gap: f64,
+    /// Bank-assignment search nodes expanded across the slice.
+    pub bank_nodes: u64,
+    /// Fixed-II residue-search nodes expanded across the slice.
+    pub sched_nodes: u64,
+    /// No-good replays that vetoed a branch.
+    pub nogood_hits: u64,
+    /// Total solve wall-clock across the slice, milliseconds.
+    pub solve_ms: u64,
+}
+
+/// The joint-solver scaling experiment over a vreg *range* slice.
+#[derive(Debug, Clone)]
+pub struct JointScalingTable {
+    /// Per-loop search budget, in milliseconds.
+    pub budget_ms: u64,
+    /// Low end of the register-count slice (inclusive).
+    pub min_regs: usize,
+    /// High end of the register-count slice (inclusive).
+    pub max_regs: usize,
+    /// One row per machine model.
+    pub rows: Vec<JointScalingRow>,
+}
+
+impl JointScalingTable {
+    /// Fraction of (machine, loop) solves that closed, in percent.
+    pub fn closed_pct(&self) -> f64 {
+        let total: usize = self.rows.iter().map(|r| r.n_loops).sum();
+        let closed: usize = self.rows.iter().map(|r| r.n_closed).sum();
+        100.0 * closed as f64 / total.max(1) as f64
+    }
+
+    /// True iff every non-closed solve still carries a certified bound at
+    /// or above the analytic floor — i.e. no solve ever reports a vacuous
+    /// `lower_bound_ii` (guaranteed by construction; `false` means the
+    /// solver is broken).
+    pub fn all_bounds_honest(&self) -> bool {
+        self.rows
+            .iter()
+            .all(|r| r.n_closed + r.n_bounded + r.n_budget_exceeded == r.n_loops)
+    }
+
+    /// Render as the EXPERIMENTS.md table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "Joint solver scaling ({}–{}-vreg slice, budget {} ms)",
+            self.min_regs, self.max_regs, self.budget_ms
+        );
+        let _ = writeln!(
+            s,
+            "{:<10} {:>5} {:>7} {:>7} {:>5} {:>5} {:>7} {:>10} {:>10} {:>8} {:>8}",
+            "Model",
+            "Loops",
+            "Closed%",
+            "Bound",
+            "Bdgt",
+            "Wins",
+            "OpenGap",
+            "BankNodes",
+            "SchedNodes",
+            "NgHits",
+            "SolveMs"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:<10} {:>5} {:>6.0}% {:>7} {:>5} {:>5} {:>7.2} {:>10} {:>10} {:>8} {:>8}",
+                r.machine,
+                r.n_loops,
+                100.0 * r.n_closed as f64 / r.n_loops.max(1) as f64,
+                r.n_bounded,
+                r.n_budget_exceeded,
+                r.n_joint_wins,
+                r.mean_open_gap,
+                r.bank_nodes,
+                r.sched_nodes,
+                r.nogood_hits,
+                r.solve_ms
+            );
+        }
+        let _ = writeln!(
+            s,
+            "closed_pct={:.1} bounds_honest={}",
+            self.closed_pct(),
+            self.all_bounds_honest()
+        );
+        s
+    }
+}
+
+/// Compute the joint scaling table over the paper's six machine models.
+pub fn joint_scaling_table(
+    corpus: &[Loop],
+    budget_ms: u64,
+    min_regs: usize,
+    max_regs: usize,
+) -> JointScalingTable {
+    joint_scaling_table_with(corpus, &paper_machines(), budget_ms, min_regs, max_regs)
+}
+
+/// [`joint_scaling_table`] with explicit machines. Same per-pair protocol
+/// as [`joint_gap_table_with`], restricted to loops whose vreg count lies
+/// in `min_regs..=max_regs` and reporting the closed/bounded/budget-
+/// exceeded split a truncating budget makes meaningful.
+pub fn joint_scaling_table_with(
+    corpus: &[Loop],
+    machines: &[MachineDesc],
+    budget_ms: u64,
+    min_regs: usize,
+    max_regs: usize,
+) -> JointScalingTable {
+    let slice: Vec<&Loop> = corpus
+        .iter()
+        .filter(|l| (min_regs..=max_regs).contains(&l.n_vregs()))
+        .collect();
+    let pairs: Vec<(&MachineDesc, &Loop)> = machines
+        .iter()
+        .flat_map(|m| slice.iter().map(move |&l| (m, l)))
+        .collect();
+    let flat: Vec<vliw_joint::JointResult> = pairs
+        .par_iter()
+        .map(|&(m, l)| {
+            vliw_joint::solve_joint(
+                l,
+                m,
+                &vliw_core::PartitionConfig::default(),
+                &vliw_joint::JointConfig { budget_ms },
+            )
+        })
+        .collect();
+    let rows = machines
+        .iter()
+        .zip(flat.chunks(slice.len().max(1)))
+        .map(|(m, outs)| {
+            let open: Vec<f64> = outs
+                .iter()
+                .filter(|r| !r.optimal)
+                .map(|r| (r.ii - r.lower_bound_ii) as f64)
+                .collect();
+            JointScalingRow {
+                machine: m.name.clone(),
+                n_loops: outs.len(),
+                n_closed: outs.iter().filter(|r| r.optimal).count(),
+                n_bounded: outs
+                    .iter()
+                    .filter(|r| !r.optimal && r.lower_bound_ii > r.seed_lb)
+                    .count(),
+                n_budget_exceeded: outs
+                    .iter()
+                    .filter(|r| !r.optimal && r.lower_bound_ii <= r.seed_lb)
+                    .count(),
+                n_joint_wins: outs.iter().filter(|r| r.ii < r.greedy_ii).count(),
+                mean_open_gap: arith_mean(&open),
+                bank_nodes: outs.iter().map(|r| r.stats.bank_nodes).sum(),
+                sched_nodes: outs.iter().map(|r| r.stats.sched_nodes).sum(),
+                nogood_hits: outs.iter().map(|r| r.stats.nogood_hits).sum(),
+                solve_ms: outs
+                    .iter()
+                    .map(|r| r.stats.elapsed.as_millis() as u64)
+                    .sum(),
+            }
+        })
+        .collect();
+    JointScalingTable {
+        budget_ms,
+        min_regs,
+        max_regs,
+        rows,
+    }
+}
+
 /// One row of the scheduler comparison.
 #[derive(Debug, Clone)]
 pub struct SchedulerRow {

@@ -24,17 +24,18 @@ pub mod function;
 pub mod stats;
 
 pub use driver::{
-    run_loop, schedule_with, schedule_with_ctx, LintMode, LoopResult, PartitionerKind,
-    PipelineConfig, SchedulerKind,
+    run_loop, schedule_with, schedule_with_ctx, JointOutcome, LintMode, LoopResult,
+    PartitionerKind, PipelineConfig, SchedulerKind,
 };
 pub use encode::{format_pipeline_config, parse_pipeline_config, ConfigParseError};
 pub use experiments::{
     ablation, aggregate_gap_row, fig_histogram, fig_histogram_with, gap_table, gap_table_with,
-    joint_gap_table, joint_gap_table_with, latency_sweep, paper_example, paper_machines,
-    render_ablation, render_scheduler_compare, run_corpus, run_corpus_grid, run_corpus_grid_with,
-    scheduler_compare, table1, table1_with, table2, table2_with, whole_programs, AblationRow,
-    GapObs, GapRow, GapTable, HistogramRow, JointGapRow, JointGapTable, LoopRunner, PaperExample,
-    SchedulerRow, SolveOutcome, Table1, Table2,
+    joint_gap_table, joint_gap_table_with, joint_scaling_table, joint_scaling_table_with,
+    latency_sweep, paper_example, paper_machines, render_ablation, render_scheduler_compare,
+    run_corpus, run_corpus_grid, run_corpus_grid_with, scheduler_compare, table1, table1_with,
+    table2, table2_with, whole_programs, AblationRow, GapObs, GapRow, GapTable, HistogramRow,
+    JointGapRow, JointGapTable, LoopRunner, PaperExample, SchedulerRow, SolveOutcome, Table1,
+    Table2,
 };
 pub use function::{run_function, BlockResult, FunctionResult};
 pub use stats::DiagSummary;

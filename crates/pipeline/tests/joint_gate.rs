@@ -1,0 +1,81 @@
+//! Lint-gated pipeline runs over the register-pressure-stressed corpus.
+//!
+//! `LintMode::Gate` (the default) panics in debug builds at the first
+//! Error-level finding of any stage gate, so simply driving `run_loop` over
+//! the pressure family is the audit: partition, schedule and — when the
+//! joint partitioner runs — the JNT001–003 claim lints must all stay clean,
+//! on closed and on budget-truncated solves alike.
+
+use vliw_ir::{Loop, LoopBuilder, RegClass};
+use vliw_machine::MachineDesc;
+use vliw_pipeline::{run_loop, PartitionerKind, PipelineConfig};
+
+/// daxpy unrolled 6×: the canonical instance whose II=2 rung is a deep
+/// refutation, so a few-millisecond budget reliably truncates the ladder.
+fn hard_daxpy() -> Loop {
+    let mut b = LoopBuilder::new("hard_daxpy_u6");
+    let x = b.array("x", RegClass::Float, 1024);
+    let y = b.array("y", RegClass::Float, 1024);
+    let a = b.live_in_float("a");
+    for u in 0..6i64 {
+        let xv = b.load(x, u, 6);
+        let yv = b.load(y, u, 6);
+        let p = b.fmul(a, xv);
+        let s = b.fadd(yv, p);
+        b.store(y, u, 6, s);
+    }
+    b.finish(128)
+}
+
+#[test]
+fn pressure_corpus_passes_the_greedy_lint_gate() {
+    let machine = MachineDesc::embedded(4, 4);
+    let cfg = PipelineConfig::default();
+    let corpus = vliw_loopgen::pressure_corpus();
+    assert!(corpus.len() >= 48);
+    for l in &corpus {
+        let r = run_loop(l, &machine, &cfg);
+        assert!(r.clustered_ii >= r.ideal_ii, "{}", l.name);
+        assert!(r.joint.is_none(), "greedy runs carry no joint claims");
+    }
+}
+
+#[test]
+fn pressure_corpus_joint_claims_survive_the_jnt_gate() {
+    let machine = MachineDesc::embedded(4, 4);
+    let cfg = PipelineConfig {
+        partitioner: PartitionerKind::Joint { budget_ms: 500 },
+        ..PipelineConfig::default()
+    };
+    // Every fourth loop keeps the debug-mode cost bounded while touching
+    // every (chains, streams) shape the family generates.
+    for l in vliw_loopgen::pressure_corpus().iter().step_by(4) {
+        let r = run_loop(l, &machine, &cfg);
+        let j = r.joint.expect("joint partitioner reports its outcome");
+        assert!(j.lower_bound_ii <= j.ii, "{}", l.name);
+        assert!(j.ii <= j.greedy_ii, "{}", l.name);
+        if j.optimal {
+            assert_eq!(j.lower_bound_ii, j.ii, "{}", l.name);
+        } else {
+            assert!(j.truncated(), "{}", l.name);
+        }
+    }
+}
+
+#[test]
+fn truncated_joint_run_passes_the_jnt_gate_with_honest_bounds() {
+    let machine = MachineDesc::embedded(4, 4);
+    let cfg = PipelineConfig {
+        partitioner: PartitionerKind::Joint { budget_ms: 5 },
+        ..PipelineConfig::default()
+    };
+    let l = hard_daxpy();
+    // The gate panics (debug) if the truncated claims trip JNT001–003.
+    let r = run_loop(&l, &machine, &cfg);
+    let j = r.joint.expect("joint outcome present on truncated runs");
+    assert!(!j.optimal, "5 ms cannot close this instance");
+    assert!(j.truncated());
+    assert!(j.lower_bound_ii <= j.ii);
+    assert!(j.ii <= j.greedy_ii);
+    assert!(r.clustered_ii >= j.lower_bound_ii);
+}

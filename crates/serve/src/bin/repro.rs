@@ -7,6 +7,7 @@
 //!       [--loops N]   # truncate the corpus for a quick run
 //!       [--partitioner greedy|exact|joint]  # table/figure sweeps' partitioner
 //!       [--budget-ms N]               # exact/joint search budget (default 2000)
+//!       [--max-regs N]                # vreg ceiling of the --gap/--joint-gap slice (default 12)
 //!       [--cache] [--cache-dir PATH]
 //! ```
 //!
@@ -20,11 +21,16 @@
 //! `exact<=greedy=…` line is what `ci.sh`'s gap smoke asserts on.
 //!
 //! `--joint-gap` prints the joint (II, slot, bank) solver table: on the same
-//! ≤12-register slice, the greedy partition + IMS pipeline is compared
-//! against `vliw-joint`'s branch-and-bound over complete bank assignments ×
-//! exhaustive modulo schedules, per paper machine model. The trailing
-//! `all_closed=…` / `joint_ii<=greedy_ii=…` line is what `ci.sh`'s joint
-//! smoke asserts on.
+//! ≤12-register slice (`--max-regs` raises the ceiling), the greedy
+//! partition + IMS pipeline is compared against `vliw-joint`'s
+//! branch-and-bound over complete bank assignments × exhaustive modulo
+//! schedules, per paper machine model. The trailing `all_closed=…` /
+//! `joint_ii<=greedy_ii=…` line is what `ci.sh`'s joint smoke asserts on.
+//! A second *scaling* table follows: the 13–24-vreg pressure slice (the
+//! corpus draws in that range plus `vliw-loopgen`'s pressure family) under
+//! a 500 ms interactive budget, with every solve classified as closed /
+//! bounded (ladder certified rungs beyond the analytic floor) /
+//! budget-exceeded.
 //!
 //! `--cache` routes every per-loop compile of the table/figure sweeps
 //! through a process-local content-addressed cache (in-memory LRU over
@@ -75,6 +81,12 @@ fn main() {
         .and_then(|pos| args.get(pos + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(2000);
+    let max_regs: usize = args
+        .iter()
+        .position(|a| a == "--max-regs")
+        .and_then(|pos| args.get(pos + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
     let mut cfg = PipelineConfig::default();
     if let Some(pos) = args.iter().position(|a| a == "--partitioner") {
         cfg.partitioner = match args.get(pos + 1).map(String::as_str) {
@@ -191,7 +203,7 @@ fn main() {
             &corpus,
             &vliw_pipeline::paper_machines(),
             budget_ms,
-            12,
+            max_regs,
             runner,
         );
         println!("{}", table.render());
@@ -202,9 +214,22 @@ fn main() {
             &corpus,
             &vliw_pipeline::paper_machines(),
             budget_ms,
-            12,
+            max_regs,
         );
         println!("{}", table.render());
+        println!();
+        // The scaling slice: 13–24-vreg loops (corpus draws in range plus
+        // the pressure family) under an interactive 500 ms budget.
+        let mut slice = corpus.clone();
+        slice.extend(vliw_loopgen::pressure_corpus());
+        let scaling = vliw_pipeline::joint_scaling_table_with(
+            &slice,
+            &vliw_pipeline::paper_machines(),
+            500,
+            13,
+            24,
+        );
+        println!("{}", scaling.render());
         println!();
     }
     if all || has("--schedulers") {

@@ -60,8 +60,20 @@ fn fatal(msg: &str) -> ! {
 fn print_served(tag: &str, i: usize, served: &ServedResult, peer: Option<&str>) {
     let r = &served.result;
     let peer = peer.map(|p| format!(" peer={p}")).unwrap_or_default();
+    // Joint-partitioner compiles carry the solver's audited claims; a
+    // truncated search is visible here as `joint_optimal=false` with the
+    // proven bound, never as a timeout.
+    let joint = r
+        .joint
+        .map(|j| {
+            format!(
+                " joint_ii={} joint_lb={} joint_optimal={}",
+                j.ii, j.lower_bound_ii, j.optimal
+            )
+        })
+        .unwrap_or_default();
     println!(
-        "{tag}[{i}] served={}{peer} key={} loop={} ideal_ii={} clustered_ii={} copies={} normalized={:.1}",
+        "{tag}[{i}] served={}{peer} key={} loop={} ideal_ii={} clustered_ii={} copies={} normalized={:.1}{joint}",
         served.served, r.key, r.name, r.ideal_ii, r.clustered_ii, r.n_copies, r.normalized
     );
 }
@@ -78,7 +90,7 @@ fn print_stats_line(prefix: &str, stats: &Json) {
             .unwrap_or(0)
     };
     println!(
-        "{prefix} hits={} (mem={} disk={}) misses={} compiles={} dedup_waits={} batches={} sync_writes={} evictions={} timeouts={} errors={} accepts={} conns_rejected={} p50_us={} p90_us={} p99_us={} queue_p99_us={}",
+        "{prefix} hits={} (mem={} disk={}) misses={} compiles={} dedup_waits={} batches={} sync_writes={} evictions={} timeouts={} joint_truncated={} errors={} accepts={} conns_rejected={} p50_us={} p90_us={} p99_us={} queue_p99_us={}",
         n("hits"),
         n("mem_hits"),
         n("disk_hits"),
@@ -89,6 +101,7 @@ fn print_stats_line(prefix: &str, stats: &Json) {
         n("sync_writes"),
         n("evictions"),
         n("timeouts"),
+        n("joint_truncated"),
         n("errors"),
         n("accepts"),
         n("conns_rejected"),

@@ -30,7 +30,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use vliw_ir::Loop;
 use vliw_machine::MachineDesc;
-use vliw_pipeline::{run_loop, PipelineConfig};
+use vliw_pipeline::{run_loop, PartitionerKind, PipelineConfig};
 
 /// How a request was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +102,33 @@ impl Inflight {
 /// before each is cleared wholesale. Both are derived, content-addressed
 /// side tables — a clear costs only recomputation, never correctness.
 const SIDE_TABLE_CAP: usize = 16 * 1024;
+
+/// Anytime routing for the joint partitioner: clamp the solver's own
+/// wall-clock budget to a fraction of the request deadline, so an
+/// over-budget loop returns *in time* with the greedy incumbent, an honest
+/// `optimal: false`, and the proven `lower_bound_ii` — instead of blowing
+/// the deadline into a bare [`CompileError::Timeout`] with nothing to show.
+/// Three quarters of the deadline go to the solver; the remainder covers
+/// the rest of the pipeline (copies, reschedule, allocation, lints) plus
+/// response rendering. Returns the effective config and whether the budget
+/// was actually tightened — a result truncated by a *request-derived*
+/// budget must never be cached under the canonical config key, or it would
+/// poison identical requests arriving with larger deadlines.
+fn clamp_joint_budget(cfg: &PipelineConfig, deadline: Option<Duration>) -> (PipelineConfig, bool) {
+    let Some(limit) = deadline else {
+        return (cfg.clone(), false);
+    };
+    let PartitionerKind::Joint { budget_ms } = cfg.partitioner else {
+        return (cfg.clone(), false);
+    };
+    let granted = ((limit.as_millis() as u64).saturating_mul(3) / 4).max(1);
+    if budget_ms != 0 && budget_ms <= granted {
+        return (cfg.clone(), false);
+    }
+    let mut out = cfg.clone();
+    out.partitioner = PartitionerKind::Joint { budget_ms: granted };
+    (out, true)
+}
 
 /// Content-cached compiler with in-flight deduplication.
 pub struct CachedCompiler {
@@ -176,7 +203,10 @@ impl CachedCompiler {
     }
 
     /// The result's wire JSON, pre-rendered once per key and shared across
-    /// responses.
+    /// responses. Budget-truncated joint results are rendered but never
+    /// memoised: the truncation point depends on the caller's deadline,
+    /// not just the request text the key hashes, so a memo entry could
+    /// serve one caller's degraded answer to another with time to spare.
     pub fn rendered(&self, res: &CompileResult) -> Arc<str> {
         if let Some(doc) = self
             .rendered
@@ -187,6 +217,9 @@ impl CachedCompiler {
             return Arc::clone(doc);
         }
         let doc: Arc<str> = res.to_json().render().into();
+        if res.joint.is_some_and(|j| !j.optimal) {
+            return doc;
+        }
         let mut cache = self.rendered.lock().expect("rendered cache poisoned");
         if cache.len() >= SIDE_TABLE_CAP {
             cache.clear();
@@ -299,10 +332,11 @@ impl CachedCompiler {
         if !leader {
             return self.wait(&slot, deadline, false);
         }
+        let (effective_cfg, clamped) = clamp_joint_budget(cfg, deadline);
         match deadline {
             None => {
-                let outcome = self.execute_parts(body, machine, cfg, key);
-                self.publish(key, &slot, outcome.clone(), alias.as_deref());
+                let outcome = self.execute_parts(body, machine, &effective_cfg, key);
+                self.publish(key, &slot, outcome.clone(), alias.as_deref(), clamped);
                 match outcome {
                     Ok(res) => Ok((res, Source::Compiled)),
                     Err(m) => Err(CompileError::Internal(m)),
@@ -310,12 +344,19 @@ impl CachedCompiler {
             }
             Some(_) => {
                 let engine = Arc::clone(self);
-                let (body, machine, cfg) = (body.clone(), machine.clone(), cfg.clone());
+                let (body, machine) = (body.clone(), machine.clone());
                 let thread_slot = Arc::clone(&slot);
                 let thread_key = key.clone();
                 std::thread::spawn(move || {
-                    let outcome = engine.execute_parts(&body, &machine, &cfg, &thread_key);
-                    engine.publish(&thread_key, &thread_slot, outcome, alias.as_deref());
+                    let outcome =
+                        engine.execute_parts(&body, &machine, &effective_cfg, &thread_key);
+                    engine.publish(
+                        &thread_key,
+                        &thread_slot,
+                        outcome,
+                        alias.as_deref(),
+                        clamped,
+                    );
                 });
                 self.wait(&slot, deadline, true)
             }
@@ -349,7 +390,13 @@ impl CachedCompiler {
     ) -> Result<CompileResult, String> {
         self.stats().compile();
         catch_unwind(AssertUnwindSafe(|| run_loop(body, machine, cfg)))
-            .map(|lr| CompileResult::from_loop_result(key.to_string(), &lr))
+            .map(|lr| {
+                let res = CompileResult::from_loop_result(key.to_string(), &lr);
+                if res.joint.is_some_and(|j| !j.optimal) {
+                    self.stats().joint_truncated();
+                }
+                res
+            })
             .map_err(|p| {
                 let msg = p
                     .downcast_ref::<&str>()
@@ -365,18 +412,28 @@ impl CachedCompiler {
     /// removal is guaranteed a cache hit. When a semantic `alias` is given,
     /// the result is also stored in canonical space under the semantic key,
     /// so future isomorphic variants of this loop hit without compiling.
+    ///
+    /// A joint result truncated under a deadline-`clamped` budget is
+    /// published to waiters but **not** cached: its key is a pure function
+    /// of the request text (which still names the original budget), so
+    /// caching it would serve the degraded answer to identical requests
+    /// arriving later with room to solve fully.
     fn publish(
         &self,
         key: &str,
         slot: &Arc<Inflight>,
         outcome: Result<CompileResult, String>,
         alias: Option<&(CacheKey, vliw_normal::Witness)>,
+        clamped: bool,
     ) {
         if let Ok(res) = &outcome {
-            self.cache.put(key, res);
-            if let Some((sem_key, witness)) = alias {
-                self.cache
-                    .put(sem_key, &res.into_canonical_space(sem_key.clone(), witness));
+            let tainted = clamped && res.joint.is_some_and(|j| !j.optimal);
+            if !tainted {
+                self.cache.put(key, res);
+                if let Some((sem_key, witness)) = alias {
+                    self.cache
+                        .put(sem_key, &res.into_canonical_space(sem_key.clone(), witness));
+                }
             }
         }
         *slot.done.lock().expect("inflight slot poisoned") = Some(outcome);

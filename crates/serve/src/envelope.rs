@@ -27,7 +27,9 @@ use vliw_analysis::{Diagnostic, LintCode, Severity, SourceLoc, Stage};
 use vliw_ir::{format_loop_full, parse_loop, Loop};
 use vliw_machine::{format_machine, parse_machine, MachineDesc};
 use vliw_normal::Witness;
-use vliw_pipeline::{format_pipeline_config, parse_pipeline_config, LoopResult, PipelineConfig};
+use vliw_pipeline::{
+    format_pipeline_config, parse_pipeline_config, JointOutcome, LoopResult, PipelineConfig,
+};
 
 /// SHA-256 cache key as 64 lowercase hex digits.
 pub type CacheKey = String;
@@ -44,8 +46,10 @@ pub type CacheKey = String;
 /// semantic (alpha-canonical) cache aliasing — results additionally stored
 /// in canonical-class space, and every stored result carries an explicit
 /// `v` field that decode rejects when it disagrees (mixed-version shards
-/// fail closed instead of serving mis-keyed or mis-shaped entries).
-pub const CACHE_FORMAT_VERSION: u8 = 4;
+/// fail closed instead of serving mis-keyed or mis-shaped entries); 5 =
+/// results carry the joint solver's audited claims (`joint` object with
+/// achieved/greedy/lower-bound IIs and the optimality flag).
+pub const CACHE_FORMAT_VERSION: u8 = 5;
 
 /// One compile job: the full pipeline input set as canonical text.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -267,6 +271,10 @@ pub struct CompileResult {
     pub sim_ok: Option<bool>,
     /// Lint findings, carried in full structured form.
     pub diagnostics: Vec<Diagnostic>,
+    /// The joint solver's claims (`None` unless the `joint` partitioner
+    /// ran). `optimal: false` marks a budget-truncated search whose
+    /// `lower_bound_ii` is the honest proven floor.
+    pub joint: Option<JointOutcome>,
 }
 
 /// Encode one diagnostic as the wire/cache JSON object. The shape matches
@@ -375,6 +383,7 @@ impl CompileResult {
             spill_rounds: r.spill_rounds,
             sim_ok: r.sim_ok,
             diagnostics: r.diagnostics.clone(),
+            joint: r.joint,
         }
     }
 
@@ -398,6 +407,7 @@ impl CompileResult {
             spill_rounds: self.spill_rounds,
             sim_ok: self.sim_ok,
             diagnostics: self.diagnostics.clone(),
+            joint: self.joint,
         }
     }
 
@@ -461,6 +471,18 @@ impl CompileResult {
                 "diagnostics",
                 Json::Arr(self.diagnostics.iter().map(diag_to_json).collect()),
             ),
+            (
+                "joint",
+                match &self.joint {
+                    Some(j) => Json::obj([
+                        ("ii", Json::Num(j.ii as f64)),
+                        ("greedy_ii", Json::Num(j.greedy_ii as f64)),
+                        ("lower_bound_ii", Json::Num(j.lower_bound_ii as f64)),
+                        ("optimal", Json::Bool(j.optimal)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -511,6 +533,27 @@ impl CompileResult {
             .iter()
             .map(diag_from_json)
             .collect::<Result<Vec<_>, _>>()?;
+        let joint = match v.get("joint") {
+            None | Some(Json::Null) => None,
+            Some(j) => {
+                let jint = |k: &str| -> Result<u32, String> {
+                    j.get(k)
+                        .and_then(Json::as_f64)
+                        .filter(|n| *n >= 0.0 && *n == n.trunc())
+                        .map(|n| n as u32)
+                        .ok_or_else(|| format!("joint field `{k}` is not a non-negative integer"))
+                };
+                Some(JointOutcome {
+                    ii: jint("ii")?,
+                    greedy_ii: jint("greedy_ii")?,
+                    lower_bound_ii: jint("lower_bound_ii")?,
+                    optimal: match j.get("optimal") {
+                        Some(Json::Bool(b)) => *b,
+                        _ => return Err("joint field `optimal` is not bool".into()),
+                    },
+                })
+            }
+        };
         Ok(CompileResult {
             key: str_field("key")?,
             name: str_field("name")?,
@@ -528,6 +571,7 @@ impl CompileResult {
             spill_rounds: int("spill_rounds")?,
             sim_ok,
             diagnostics,
+            joint,
         })
     }
 
@@ -683,6 +727,12 @@ mod tests {
                     "divergence".into(),
                 ),
             ],
+            joint: Some(JointOutcome {
+                ii: 3,
+                greedy_ii: 4,
+                lower_bound_ii: 2,
+                optimal: false,
+            }),
         };
         let back = CompileResult::from_json_text(&res.to_json().render()).unwrap();
         assert_eq!(back, res);

@@ -73,6 +73,7 @@ pub const AGGREGATE_SUM_FIELDS: &[&str] = &[
     "compiles",
     "dedup_waits",
     "timeouts",
+    "joint_truncated",
     "errors",
     "batches",
     "sync_writes",
@@ -783,6 +784,7 @@ pub fn stats_json(snap: &StatsSnapshot, evictions: u64) -> Json {
         ("compiles", Json::Num(snap.compiles as f64)),
         ("dedup_waits", Json::Num(snap.dedup_waits as f64)),
         ("timeouts", Json::Num(snap.timeouts as f64)),
+        ("joint_truncated", Json::Num(snap.joint_truncated as f64)),
         ("errors", Json::Num(snap.errors as f64)),
         ("batches", Json::Num(snap.batches as f64)),
         ("sync_writes", Json::Num(snap.sync_writes as f64)),

@@ -27,6 +27,7 @@ pub struct StatsRegistry {
     compiles: AtomicU64,
     dedup_waits: AtomicU64,
     timeouts: AtomicU64,
+    joint_truncated: AtomicU64,
     errors: AtomicU64,
     batches: AtomicU64,
     sync_writes: AtomicU64,
@@ -61,6 +62,10 @@ pub struct StatsSnapshot {
     pub dedup_waits: u64,
     /// Requests that hit their deadline before the compile finished.
     pub timeouts: u64,
+    /// Joint-partitioner compiles whose search was budget-truncated: the
+    /// response carried the greedy incumbent with `optimal: false` and a
+    /// proven `lower_bound_ii` instead of timing out.
+    pub joint_truncated: u64,
     /// Malformed or failed requests.
     pub errors: u64,
     /// `compile_batch` requests served (each carries many entries).
@@ -139,6 +144,11 @@ impl StatsRegistry {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a budget-truncated joint compile (anytime path taken).
+    pub fn joint_truncated(&self) {
+        self.joint_truncated.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Record a malformed or failed request.
     pub fn error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
@@ -194,6 +204,7 @@ impl StatsRegistry {
             compiles: self.compiles.load(Ordering::Relaxed),
             dedup_waits: self.dedup_waits.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
+            joint_truncated: self.joint_truncated.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             sync_writes: self.sync_writes.load(Ordering::Relaxed),
@@ -236,6 +247,7 @@ mod tests {
         s.compile();
         s.dedup_wait();
         s.timeout();
+        s.joint_truncated();
         s.error();
         s.batch();
         s.sync_write();
@@ -252,6 +264,7 @@ mod tests {
         assert_eq!(snap.compiles, 1);
         assert_eq!(snap.dedup_waits, 1);
         assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.joint_truncated, 1);
         assert_eq!(snap.errors, 1);
         assert_eq!(snap.batches, 1);
         assert_eq!(snap.sync_writes, 1);

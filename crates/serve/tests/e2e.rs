@@ -540,6 +540,113 @@ fn poll_backend_serves_the_same_protocol() {
     server.stop();
 }
 
+/// daxpy unrolled 6×: 30 ops over 25 vregs. On `embedded(4,4)` the II=2
+/// rung is a deep refutation (seconds even in release), so any sub-second
+/// joint budget reliably truncates — the anytime path's canonical hard
+/// instance. The default `LintMode::Gate` panics in debug builds on any
+/// JNT001–003 finding, so a dishonest truncated claim would kill the worker
+/// and fail these tests with a disconnect.
+fn hard_joint_request(budget_ms: u64) -> CompileRequest {
+    use vliw_ir::{LoopBuilder, RegClass};
+    let mut b = LoopBuilder::new("hard_daxpy_u6");
+    let x = b.array("x", RegClass::Float, 1024);
+    let y = b.array("y", RegClass::Float, 1024);
+    let a = b.live_in_float("a");
+    for u in 0..6i64 {
+        let xv = b.load(x, u, 6);
+        let yv = b.load(y, u, 6);
+        let p = b.fmul(a, xv);
+        let s = b.fadd(yv, p);
+        b.store(y, u, 6, s);
+    }
+    let body = b.finish(128);
+    let cfg = PipelineConfig {
+        partitioner: vliw_pipeline::PartitionerKind::Joint { budget_ms },
+        ..PipelineConfig::default()
+    };
+    CompileRequest::from_parts(&body, &MachineDesc::embedded(4, 4), &cfg)
+}
+
+#[test]
+fn under_budgeted_joint_compile_returns_typed_truncation() {
+    let server = TestServer::start(None);
+    let mut client = server.client();
+
+    // An explicit 1 ms budget: the solver must answer with its incumbent
+    // and honest bounds instead of timing out or dropping the connection.
+    let req = hard_joint_request(1);
+    let out = client
+        .compile(&req, None)
+        .expect("typed response, not a timeout");
+    assert_eq!(out.served, "compiled");
+    let joint = out
+        .result
+        .joint
+        .expect("joint partitioner reports its claims");
+    assert!(!joint.optimal, "1 ms cannot close this instance");
+    assert!(joint.lower_bound_ii <= joint.ii);
+    assert!(joint.ii <= joint.greedy_ii);
+
+    // The connection survives and the truncation is counted.
+    client.ping().expect("still connected");
+    let stats = client.stats().expect("stats");
+    let truncated = stats
+        .get("joint_truncated")
+        .and_then(Json::as_f64)
+        .expect("joint_truncated is exported");
+    assert!(truncated >= 1.0, "joint_truncated={truncated}");
+
+    // The budget is part of the request text, so this (reproducible)
+    // truncated artifact is cacheable like any other result — and the
+    // joint claims survive the cache round trip.
+    let warm = client.compile(&req, None).expect("warm");
+    assert!(warm.is_cache_hit(), "served={}", warm.served);
+    assert_eq!(warm.result, out.result);
+
+    server.stop();
+}
+
+#[test]
+fn deadline_clamped_joint_results_are_never_cached() {
+    let server = TestServer::start(None);
+    let mut client = server.client();
+
+    // An *unlimited* configured budget under a short request deadline: the
+    // server clamps the solver's budget to 3/4 of the deadline so the
+    // request answers instead of timing out. The clamped result depends on
+    // the deadline, which is not part of the cache key, so it must never
+    // be published under the request's canonical key.
+    let req = hard_joint_request(0);
+    let first = client.compile(&req, Some(1000)).expect("clamped compile");
+    assert_eq!(first.served, "compiled");
+    let joint = first.result.joint.expect("joint claims");
+    assert!(
+        !joint.optimal,
+        "a clamped search cannot close this instance"
+    );
+    assert!(joint.lower_bound_ii <= joint.ii);
+
+    // The leader clears its in-flight entry moments after its waiter is
+    // notified; let it drain so the retry elects a fresh leader instead of
+    // deduping onto the first compile (in-flight coalescing is same-moment
+    // sharing, not caching).
+    std::thread::sleep(Duration::from_millis(200));
+    let second = client
+        .compile(&req, Some(1000))
+        .expect("second clamped compile");
+    assert_eq!(
+        second.served, "compiled",
+        "a deadline-tainted result must not be served from cache"
+    );
+
+    let stats = client.stats().expect("stats");
+    let n = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap() as u64;
+    assert_eq!(n("compiles"), 2);
+    assert!(n("joint_truncated") >= 2);
+
+    server.stop();
+}
+
 #[test]
 fn thread_pool_core_still_serves() {
     let server = TestServer::start_with(None, |c| c.core = ServerCore::ThreadPool);
