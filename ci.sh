@@ -25,6 +25,18 @@ if grep -rn 'HashMap\|HashSet' "${CANON_ENCODER_PATHS[@]}"; then
     exit 1
 fi
 
+echo "==> governed solver loops charge the resource pool"
+# The exact and joint solvers are the only unbounded-memory paths in the
+# serve tier; their governed entry points must charge working sets against
+# the server's resource pool and poll the budget between expansions, or
+# vliw-served's --mem-budget silently stops meaning anything.
+for f in crates/exact/src/search.rs crates/joint/src/solver.rs; do
+    grep -q '\.charge(' "$f" \
+        || { echo "error: $f no longer charges the resource pool"; exit 1; }
+    grep -q 'exceeded()' "$f" \
+        || { echo "error: $f no longer polls the resource budget"; exit 1; }
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -99,7 +111,7 @@ done
 [ -n "$ADDR" ] || { echo "vliw-served did not come up"; cat "$SMOKE_DIR/conc.log"; exit 1; }
 target/release/vliw-client --addr "$ADDR" --compile --gen 0 --concurrent 256 \
     | tee "$SMOKE_DIR/conc-client.log"
-grep -q '^concurrent n=256 ok=256 errors=0$' "$SMOKE_DIR/conc-client.log"
+grep -q '^concurrent n=256 ok=256 errors=0 retries=0$' "$SMOKE_DIR/conc-client.log"
 target/release/vliw-client --addr "$ADDR" --stats | tee "$SMOKE_DIR/conc-stats.log"
 grep -q ' timeouts=0 ' "$SMOKE_DIR/conc-stats.log"
 grep -q ' errors=0 ' "$SMOKE_DIR/conc-stats.log"
@@ -204,6 +216,59 @@ target/release/vliw-client --addr "$ADDR" --stats | tee "$SMOKE_DIR/joint-stats.
 grep -q ' joint_truncated=1 ' "$SMOKE_DIR/joint-stats.log"
 grep -q ' timeouts=0 ' "$SMOKE_DIR/joint-stats.log"
 grep -q ' errors=0 ' "$SMOKE_DIR/joint-stats.log"
+target/release/vliw-client --addr "$ADDR" --shutdown
+wait "$SERVED_PID"
+SERVED_PID=""
+
+echo "==> vliw-serve overload smoke (heavy flood shed and retried, interactive unharmed)"
+# Governor contract under deliberate overload: a 1-worker heavy lane with a
+# depth:1 shed policy, flooded by three clients streaming 300 ms joint
+# solves. At least one request must be shed with a typed retryable error and
+# then retried to completion by the client's backoff loop, every heavy
+# request must eventually be served, and an interactive client compiling
+# mid-flood must never be shed and never error.
+target/release/vliw-served --addr 127.0.0.1:0 --no-disk --workers 2 \
+    --heavy-lane-workers 1 --shed-policy depth:1 --mem-budget 64m \
+    > "$SMOKE_DIR/gov.log" &
+SERVED_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^vliw-served listening on //p' "$SMOKE_DIR/gov.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "vliw-served did not come up"; cat "$SMOKE_DIR/gov.log"; exit 1; }
+# Distinct budgets per client defeat the compile cache, so each stream's
+# first request is a real 300 ms solve contending for the single heavy slot.
+HEAVY_PIDS=()
+for i in 1 2 3; do
+    printf 'partitioner joint %d\n' "$((300 + i))" > "$SMOKE_DIR/gov-joint$i.cfg"
+    target/release/vliw-client --addr "$ADDR" --compile --gen 6 \
+        --config-file "$SMOKE_DIR/gov-joint$i.cfg" --repeat 3 --max-retries 12 \
+        > "$SMOKE_DIR/gov-heavy$i.log" 2>&1 &
+    HEAVY_PIDS+=("$!")
+done
+# Interactive traffic in the middle of the flood: the pool keeps one worker
+# answerable to the interactive lane, so all 20 compiles must be served
+# without a single shed retry.
+target/release/vliw-client --addr "$ADDR" --compile --gen 0 --repeat 20 \
+    --max-retries 12 | tee "$SMOKE_DIR/gov-inter.log"
+[ "$(grep -c 'served=' "$SMOKE_DIR/gov-inter.log")" -eq 20 ] \
+    || { echo "interactive client lost requests under flood"; exit 1; }
+grep -q '^retries=0$' "$SMOKE_DIR/gov-inter.log" \
+    || { echo "interactive client was shed under flood"; exit 1; }
+for pid in "${HEAVY_PIDS[@]}"; do
+    wait "$pid" \
+        || { echo "heavy client exhausted its retry budget"; cat "$SMOKE_DIR"/gov-heavy*.log; exit 1; }
+done
+for i in 1 2 3; do
+    [ "$(grep -c 'served=' "$SMOKE_DIR/gov-heavy$i.log")" -eq 3 ] \
+        || { echo "heavy client $i did not complete"; cat "$SMOKE_DIR/gov-heavy$i.log"; exit 1; }
+done
+GOV_RETRIES=$(sed -n 's/^retries=\([0-9]*\)$/\1/p' "$SMOKE_DIR"/gov-heavy*.log \
+    | awk '{ s += $1 } END { print s + 0 }')
+[ "${GOV_RETRIES:-0}" -ge 1 ] \
+    || { echo "expected >=1 typed shed retry, got ${GOV_RETRIES:-0}"; cat "$SMOKE_DIR"/gov-heavy*.log; exit 1; }
 target/release/vliw-client --addr "$ADDR" --shutdown
 wait "$SERVED_PID"
 SERVED_PID=""

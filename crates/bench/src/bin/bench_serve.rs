@@ -31,7 +31,7 @@ use vliw_machine::MachineDesc;
 use vliw_pipeline::{run_corpus_grid_with, run_loop, LoopResult, PipelineConfig};
 use vliw_serve::{
     CachedCompiler, Client, CompileRequest, DiskStore, Json as WireJson, Server, ServerConfig,
-    ServerCore, ShardedClient, TieredCache,
+    ServerCore, ShardedClient, ShedPolicy, TieredCache,
 };
 
 struct Json {
@@ -215,6 +215,78 @@ fn concurrency_run(addr: &str, k: usize, total: usize, line: &[u8]) -> ConcRun {
         rps: served as f64 / elapsed,
         p99_us,
         served,
+    }
+}
+
+/// A deep joint-partitioner instance (daxpy unrolled 6x: 30 ops, 25 vregs
+/// on `embedded(4,4)`) whose II=2 rung is a long refutation — the
+/// canonical heavy-lane request. Distinct `budget_ms` values give distinct
+/// cache keys, so every instance really compiles.
+fn heavy_joint_request(budget_ms: u64) -> CompileRequest {
+    use vliw_ir::{LoopBuilder, RegClass};
+    let mut b = LoopBuilder::new("hard_daxpy_u6");
+    let x = b.array("x", RegClass::Float, 1024);
+    let y = b.array("y", RegClass::Float, 1024);
+    let a = b.live_in_float("a");
+    for u in 0..6i64 {
+        let xv = b.load(x, u, 6);
+        let yv = b.load(y, u, 6);
+        let p = b.fmul(a, xv);
+        let s = b.fadd(yv, p);
+        b.store(y, u, 6, s);
+    }
+    let body = b.finish(128);
+    let cfg = PipelineConfig {
+        partitioner: vliw_pipeline::PartitionerKind::Joint { budget_ms },
+        ..PipelineConfig::default()
+    };
+    CompileRequest::from_parts(&body, &MachineDesc::embedded(4, 4), &cfg)
+}
+
+struct OverloadInteractive {
+    p99_us: f64,
+    served: u64,
+    sheds: u64,
+}
+
+/// Warm round trips round-robined over `k` connections while the heavy
+/// flood runs, counting any typed shed in the responses (the governor
+/// must never shed interactive work).
+fn overload_interactive_run(
+    addr: &str,
+    k: usize,
+    total: usize,
+    line: &[u8],
+) -> OverloadInteractive {
+    let mut conns: Vec<BufReader<TcpStream>> = (0..k)
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("connect interactive connection");
+            s.set_read_timeout(Some(Duration::from_secs(10)))
+                .expect("set read timeout");
+            BufReader::new(s)
+        })
+        .collect();
+    let mut lat_us: Vec<f64> = Vec::with_capacity(total);
+    let mut sheds = 0u64;
+    for i in 0..total {
+        let conn = &mut conns[i % k];
+        let t = Instant::now();
+        let mut resp = String::new();
+        conn.get_mut().write_all(line).expect("interactive write");
+        let n = conn.read_line(&mut resp).expect("interactive read");
+        assert!(n > 0, "interactive connection closed under load");
+        lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+        if resp.contains("\"error_kind\":\"shed\"") {
+            sheds += 1;
+        }
+    }
+    let served = lat_us.len() as u64;
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let p99_us = lat_us[((lat_us.len() - 1) as f64 * 0.99).round() as usize];
+    OverloadInteractive {
+        p99_us,
+        served,
+        sheds,
     }
 }
 
@@ -450,6 +522,84 @@ fn main() {
         .expect("shutdown thread-pool server");
     thread_t.join().expect("thread-pool server exits");
 
+    // ---- overload: governed lanes under a heavy flood --------------------
+    // 512 client connections against a 2-worker reactor with a 1-worker
+    // heavy lane and a depth-4 shed policy: ~10% of the connections submit
+    // deep joint solves (each a distinct cache key, so each really
+    // compiles), the other ~90% replay warm cache hits. The overload
+    // contract: interactive traffic is never shed and its p99 stays within
+    // 2x of the unloaded p99; heavy overflow is shed with a typed
+    // retryable error that `compile_with_retry` drives to completion.
+    let overload_conns = 512usize;
+    let heavy_total = overload_conns / 10; // 51
+    let interactive_conns = overload_conns - heavy_total;
+    let overload_server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            default_timeout: Duration::from_secs(60),
+            batch_parallelism: 8,
+            core: ServerCore::Reactor,
+            max_conns: 2048,
+            heavy_lane_workers: 1,
+            shed_policy: ShedPolicy::Depth(4),
+            ..ServerConfig::default()
+        },
+        Arc::clone(&engine),
+    )
+    .expect("bind overload server");
+    let addr_o = overload_server
+        .local_addr()
+        .expect("bound address")
+        .to_string();
+    let thread_o = std::thread::spawn(move || overload_server.run());
+
+    // Unloaded baseline on the same server, before any flood.
+    let unloaded = concurrency_run(&addr_o, 1, 512, line.as_bytes());
+
+    // The flood: 8 threads drive the heavy requests with shed-retry.
+    use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+    let heavy_done = Arc::new(AtomicU64::new(0));
+    let heavy_retries = Arc::new(AtomicU64::new(0));
+    let flood: Vec<_> = (0..8u64)
+        .map(|t| {
+            let addr = addr_o.clone();
+            let done = Arc::clone(&heavy_done);
+            let retries = Arc::clone(&heavy_retries);
+            let share: Vec<u64> = (0..heavy_total as u64).filter(|i| i % 8 == t).collect();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("heavy connect");
+                for i in share {
+                    // 40-90ms solver budgets: long enough to congest a
+                    // 1-worker heavy lane, short enough to finish the
+                    // phase in seconds.
+                    let req = heavy_joint_request(40 + i);
+                    let (_, r) = c
+                        .compile_with_retry(&req, None, 24)
+                        .expect("heavy compile retried to completion");
+                    retries.fetch_add(u64::from(r), AtomicOrdering::Relaxed);
+                    done.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // Let the flood saturate the heavy lane, then measure interactive.
+    std::thread::sleep(Duration::from_millis(100));
+    let inter = overload_interactive_run(&addr_o, interactive_conns, 4096, line.as_bytes());
+
+    for f in flood {
+        f.join().expect("heavy flood thread");
+    }
+    let heavy_completed = heavy_done.load(AtomicOrdering::Relaxed);
+    let heavy_shed_retries = heavy_retries.load(AtomicOrdering::Relaxed);
+
+    Client::connect(&addr_o)
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("shutdown overload server");
+    thread_o.join().expect("overload server exits");
+
     let mut j = Json::new();
     j.str("workload", "corpus x [embedded(4,4), copyunit(4,4)]");
     j.int("corpus_loops", corpus.len() as u64);
@@ -493,6 +643,14 @@ fn main() {
     j.num("conc_threadpool_rps_512", t512.rps);
     j.int("conc_threadpool_served_512", t512.served);
     j.num("conc_512_speedup_vs_threadpool", r512.rps / t512.rps);
+    j.int("overload_conns", overload_conns as u64);
+    j.int("overload_heavy_requests", heavy_total as u64);
+    j.int("overload_interactive_requests", inter.served);
+    j.num("overload_unloaded_p99_us", unloaded.p99_us);
+    j.num("overload_interactive_p99_us", inter.p99_us);
+    j.int("overload_interactive_sheds", inter.sheds);
+    j.int("overload_heavy_completed", heavy_completed);
+    j.int("overload_heavy_shed_retries", heavy_shed_retries);
 
     let json = j.finish();
     std::fs::write(&out_path, &json).expect("write bench json");
@@ -557,5 +715,28 @@ fn main() {
          1-connection p99 (got {:.0}us vs {:.0}us)",
         r512.p99_us,
         r1.p99_us
+    );
+    // ---- overload floors (the governor's contract) -----------------------
+    assert_eq!(
+        inter.sheds, 0,
+        "interactive traffic must never be shed ({} sheds)",
+        inter.sheds
+    );
+    assert!(
+        inter.p99_us <= (2.0 * unloaded.p99_us).max(2000.0),
+        "interactive p99 under heavy flood must stay within 2x of the \
+         unloaded p99 (got {:.0}us vs {:.0}us)",
+        inter.p99_us,
+        unloaded.p99_us
+    );
+    assert_eq!(
+        heavy_completed, heavy_total as u64,
+        "every shed heavy request must retry to completion \
+         ({heavy_completed} of {heavy_total})"
+    );
+    assert!(
+        heavy_shed_retries > 0,
+        "the depth-4 policy must actually shed under a {heavy_total}-deep \
+         heavy flood (0 retries observed — the overload floor is vacuous)"
     );
 }

@@ -27,6 +27,7 @@ use crate::search::{Problem, Searcher, SolveStats, EPS};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
+use vliw_governor::TrackedBudget;
 
 /// A partial assignment of the first `depth` registers in branch order.
 #[derive(Clone)]
@@ -84,11 +85,21 @@ pub(crate) fn solve_parallel(
     seed_cost: f64,
     seed_assign: Vec<u8>,
     deadline: Option<Instant>,
+    budget: Option<&TrackedBudget>,
 ) -> (f64, Vec<u8>, SolveStats, bool) {
     let threads = std::thread::available_parallelism()
         .map(|t| t.get())
         .unwrap_or(1);
     let frontier = build_frontier(p, threads * 4);
+
+    // Each task clones the working set the root solve already charged;
+    // account for the fan-out so the pool sees the true parallel footprint.
+    if let Some(b) = budget {
+        let per_task = crate::search::working_set_bytes(p);
+        if !b.charge(per_task.saturating_mul(frontier.len() as u64)) {
+            return (seed_cost, seed_assign, SolveStats::default(), true);
+        }
+    }
 
     let shared = AtomicU64::new(seed_cost.to_bits());
     let any_timeout = AtomicBool::new(false);
@@ -96,8 +107,14 @@ pub(crate) fn solve_parallel(
     let results: Vec<(f64, Vec<u8>, SolveStats)> = frontier
         .par_iter()
         .map(|s| {
-            let mut searcher =
-                Searcher::new(p, seed_cost, seed_assign.clone(), Some(&shared), deadline);
+            let mut searcher = Searcher::new(
+                p,
+                seed_cost,
+                seed_assign.clone(),
+                Some(&shared),
+                deadline,
+                budget,
+            );
             searcher.assigned.copy_from_slice(&s.assigned);
             searcher.counts.copy_from_slice(&s.counts);
             searcher.used = s.used;

@@ -44,4 +44,6 @@ pub mod search;
 
 pub use objective::partition_cost;
 pub use oracle::brute_force;
-pub use search::{branch_order, dense_adjacency, solve, ExactConfig, ExactResult, SolveStats};
+pub use search::{
+    branch_order, dense_adjacency, solve, solve_governed, ExactConfig, ExactResult, SolveStats,
+};

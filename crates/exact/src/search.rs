@@ -31,6 +31,7 @@ use crate::objective::partition_cost;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use vliw_core::{Partition, RcgGraph};
+use vliw_governor::TrackedBudget;
 use vliw_ir::VReg;
 use vliw_machine::ClusterId;
 
@@ -181,6 +182,9 @@ pub(crate) struct Searcher<'a> {
     /// improvements `fetch_min` into it. `None` when solving sequentially.
     pub(crate) shared: Option<&'a AtomicU64>,
     pub(crate) deadline: Option<Instant>,
+    /// Server-granted resource budget; polled at the same cadence as the
+    /// deadline so a pool trip or cancel unwinds through the anytime exit.
+    pub(crate) budget: Option<&'a TrackedBudget>,
     pub(crate) timed_out: bool,
     pub(crate) stats: SolveStats,
 }
@@ -192,6 +196,7 @@ impl<'a> Searcher<'a> {
         seed_assign: Vec<u8>,
         shared: Option<&'a AtomicU64>,
         deadline: Option<Instant>,
+        budget: Option<&'a TrackedBudget>,
     ) -> Self {
         Searcher {
             assigned: vec![UNASSIGNED; p.n],
@@ -202,6 +207,7 @@ impl<'a> Searcher<'a> {
             best_assign: seed_assign,
             shared,
             deadline,
+            budget,
             timed_out: false,
             stats: SolveStats::default(),
             p,
@@ -272,6 +278,10 @@ impl<'a> Searcher<'a> {
                     self.timed_out = true;
                     return;
                 }
+            }
+            if self.budget.is_some_and(|b| b.exceeded()) {
+                self.timed_out = true;
+                return;
             }
         }
         if depth == self.p.n {
@@ -382,6 +392,33 @@ pub fn solve(
     seed: Option<&Partition>,
     cfg: &ExactConfig,
 ) -> ExactResult {
+    solve_governed(g, n_banks, seed, cfg, None)
+}
+
+/// Bytes the search working set occupies for problem `p`: the adjacency
+/// mirror plus one searcher's assignment/count/incumbent vectors. Charged
+/// against the server pool before the search starts.
+pub(crate) fn working_set_bytes(p: &Problem) -> u64 {
+    let adj: usize = p
+        .adj
+        .iter()
+        .map(|a| a.len() * std::mem::size_of::<(usize, f64)>())
+        .sum();
+    (adj + 2 * p.n + 4 * p.n_banks + 8 * p.n) as u64
+}
+
+/// [`solve`] under a server-granted [`TrackedBudget`]: the search charges
+/// its working set against the pool up front and polls the budget at the
+/// deadline cadence, so pool exhaustion (or a server-side cancel) degrades
+/// to the same anytime exit as a deadline trip — the seed incumbent comes
+/// back with `optimal = false` instead of the process growing unbounded.
+pub fn solve_governed(
+    g: &RcgGraph,
+    n_banks: usize,
+    seed: Option<&Partition>,
+    cfg: &ExactConfig,
+    budget: Option<&TrackedBudget>,
+) -> ExactResult {
     assert!(n_banks >= 1, "at least one bank");
     assert!(n_banks < UNASSIGNED as usize, "bank indices must fit in u8");
     let start = Instant::now();
@@ -390,10 +427,32 @@ pub fn solve(
     let p = Problem::new(g, n_banks, cfg.balance_weight);
     let (seed_cost, seed_assign) = seed_incumbent(g, n_banks, seed, cfg.balance_weight);
 
+    if let Some(b) = budget {
+        if !b.charge(working_set_bytes(&p)) {
+            // The pool cannot even cover the root working set: return the
+            // seed as a truncated anytime result without searching.
+            return ExactResult {
+                partition: Partition {
+                    bank_of: seed_assign
+                        .into_iter()
+                        .map(|b| ClusterId(u32::from(b)))
+                        .collect(),
+                    n_banks,
+                },
+                cost: seed_cost,
+                optimal: false,
+                stats: SolveStats {
+                    elapsed: start.elapsed(),
+                    ..SolveStats::default()
+                },
+            };
+        }
+    }
+
     let (best_cost, best_assign, mut stats, timed_out) = if cfg.parallel && p.n >= 4 {
-        crate::frontier::solve_parallel(&p, seed_cost, seed_assign, deadline)
+        crate::frontier::solve_parallel(&p, seed_cost, seed_assign, deadline, budget)
     } else {
-        let mut s = Searcher::new(&p, seed_cost, seed_assign, None, deadline);
+        let mut s = Searcher::new(&p, seed_cost, seed_assign, None, deadline, budget);
         s.dfs(0);
         (s.best_cost, s.best_assign, s.stats, s.timed_out)
     };

@@ -1,0 +1,319 @@
+//! Resource governance for the serve tier: budgeted memory pools,
+//! per-client fair-share admission, and interactive/heavy lane isolation
+//! with typed load shedding (DESIGN.md §15).
+//!
+//! This crate is a dependency *leaf*: the solvers (`vliw-exact`,
+//! `vliw-joint`) poll a [`TrackedBudget`] handle from their search loops,
+//! and the serve tier builds a [`Governor`] that hands those handles out
+//! under a global [`ResourcePool`]. Nothing here knows about sockets,
+//! JSON, or schedules — it is pure accounting and queueing policy, which
+//! keeps it unit-testable without a server.
+
+mod budget;
+mod fair;
+mod lanes;
+mod pool;
+
+pub use budget::{BudgetExceeded, TrackedBudget, CHARGE_CHUNK_BYTES};
+pub use fair::DwrrQueue;
+pub use lanes::{Lane, LaneClassifier, HEAVY_SERVICE_THRESHOLD_US, HEAVY_VREG_THRESHOLD};
+pub use pool::{Grant, PoolError, ResourcePool};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// When to shed heavy work at admission. Interactive work is *never*
+/// shed: its per-request footprint is bounded (cache probes and greedy
+/// compiles), so the pool reserves headroom for it instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Queue everything; only pool exhaustion mid-solve truncates work.
+    Never,
+    /// Shed heavies once the heavy lane holds this many queued requests.
+    Depth(usize),
+    /// Shed heavies when the *projected* queue wait (heavy depth ×
+    /// observed mean heavy service time / heavy workers) exceeds
+    /// [`ADAPTIVE_WAIT_LIMIT`], or when the pool cannot grant admission
+    /// memory. This is the queue-wait-vs-service-time split from the
+    /// stats histograms applied as an admission signal.
+    Adaptive,
+}
+
+/// Projected-wait ceiling for [`ShedPolicy::Adaptive`].
+pub const ADAPTIVE_WAIT_LIMIT: Duration = Duration::from_millis(2_000);
+
+impl ShedPolicy {
+    /// Parse the `--shed-policy` flag grammar: `never`, `depth:N`,
+    /// `adaptive`.
+    pub fn parse(s: &str) -> Result<ShedPolicy, String> {
+        match s {
+            "never" => Ok(ShedPolicy::Never),
+            "adaptive" => Ok(ShedPolicy::Adaptive),
+            _ => {
+                if let Some(n) = s.strip_prefix("depth:") {
+                    n.parse::<usize>()
+                        .map(ShedPolicy::Depth)
+                        .map_err(|_| format!("bad depth in shed policy {s:?}"))
+                } else {
+                    Err(format!(
+                        "unknown shed policy {s:?} (expected never, depth:N, or adaptive)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// The admission verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    Admit,
+    /// Transient overload: the client should back off and retry.
+    Shed {
+        retry_after_ms: u64,
+    },
+    /// Permanent: the request can never fit (e.g. larger than the whole
+    /// pool). Retrying is pointless.
+    Reject,
+}
+
+/// Live gauges and counters the `stats` endpoint exposes. Everything is
+/// a relaxed atomic: readers tolerate slight staleness, writers are on
+/// the hot path.
+#[derive(Debug, Default)]
+pub struct GovernorGauges {
+    pub queue_depth_interactive: AtomicU64,
+    pub queue_depth_heavy: AtomicU64,
+    pub inflight_grants: AtomicU64,
+    pub sheds: AtomicU64,
+    pub rejects: AtomicU64,
+    /// Mean heavy-lane service time, EWMA in microseconds (α = 1/8).
+    heavy_service_ewma_us: AtomicU64,
+}
+
+impl GovernorGauges {
+    pub fn observe_heavy_service(&self, service: Duration) {
+        let us = service.as_micros().min(u128::from(u64::MAX)) as u64;
+        // Racy read-modify-write is fine: the EWMA is a shed heuristic,
+        // not an invariant.
+        let old = self.heavy_service_ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 { us } else { old - old / 8 + us / 8 };
+        self.heavy_service_ewma_us
+            .store(new.max(1), Ordering::Relaxed);
+    }
+
+    pub fn heavy_service_ewma(&self) -> Duration {
+        Duration::from_micros(self.heavy_service_ewma_us.load(Ordering::Relaxed))
+    }
+}
+
+/// Central governor: one per server process. Combines the byte pool, the
+/// lane classifier, and the shed policy; the reactor consults it at
+/// admission and the compile pool consults it when granting budgets.
+pub struct Governor {
+    pool: ResourcePool,
+    classifier: LaneClassifier,
+    policy: ShedPolicy,
+    heavy_workers: usize,
+    gauges: Arc<GovernorGauges>,
+    /// Admission-time memory charge per heavy request: the grant the
+    /// solver's [`TrackedBudget`] starts from (it can grow later).
+    heavy_admission_bytes: u64,
+}
+
+/// Default per-heavy-request admission grant: 1 MiB, grown on demand.
+pub const HEAVY_ADMISSION_BYTES: u64 = 1 << 20;
+
+impl Governor {
+    pub fn new(mem_budget: u64, heavy_workers: usize, policy: ShedPolicy) -> Governor {
+        Governor {
+            pool: ResourcePool::new(mem_budget),
+            classifier: LaneClassifier::new(),
+            policy,
+            heavy_workers: heavy_workers.max(1),
+            gauges: Arc::new(GovernorGauges::default()),
+            heavy_admission_bytes: HEAVY_ADMISSION_BYTES.min(mem_budget / 4).max(1),
+        }
+    }
+
+    pub fn gauges(&self) -> &Arc<GovernorGauges> {
+        &self.gauges
+    }
+
+    pub fn pool(&self) -> &ResourcePool {
+        &self.pool
+    }
+
+    pub fn policy(&self) -> ShedPolicy {
+        self.policy
+    }
+
+    pub fn heavy_workers(&self) -> usize {
+        self.heavy_workers
+    }
+
+    pub fn classify(&self, line: &str) -> Lane {
+        self.classifier.classify(line)
+    }
+
+    /// Record an observed service time so future classifications of the
+    /// same request shape are corrected (slow "interactive" requests get
+    /// promoted to the heavy lane).
+    pub fn observe_service(&self, line: &str, lane: Lane, service: Duration) {
+        if lane == Lane::Heavy {
+            self.gauges.observe_heavy_service(service);
+        }
+        self.classifier.observe(line, service);
+    }
+
+    /// Decide admission for one request. `heavy_depth` is the current
+    /// heavy-lane queue depth (the caller owns the queues; the governor
+    /// owns the policy).
+    pub fn admit(&self, lane: Lane, heavy_depth: usize) -> Admission {
+        if lane == Lane::Interactive {
+            // Interactive work is always admitted: the pool keeps a
+            // reserve for it (see ResourcePool::grant) and its footprint
+            // is bounded, so shedding it would only add latency.
+            return Admission::Admit;
+        }
+        let verdict = match self.policy {
+            ShedPolicy::Never => Admission::Admit,
+            ShedPolicy::Depth(limit) => {
+                if heavy_depth >= limit {
+                    Admission::Shed {
+                        retry_after_ms: self.retry_after(heavy_depth),
+                    }
+                } else {
+                    Admission::Admit
+                }
+            }
+            ShedPolicy::Adaptive => {
+                let wait = self.projected_wait(heavy_depth);
+                if wait > ADAPTIVE_WAIT_LIMIT
+                    || !self.pool.can_grant_heavy(self.heavy_admission_bytes)
+                {
+                    Admission::Shed {
+                        retry_after_ms: self.retry_after(heavy_depth),
+                    }
+                } else {
+                    Admission::Admit
+                }
+            }
+        };
+        match verdict {
+            Admission::Shed { .. } => {
+                self.gauges.sheds.fetch_add(1, Ordering::Relaxed);
+            }
+            Admission::Reject => {
+                self.gauges.rejects.fetch_add(1, Ordering::Relaxed);
+            }
+            Admission::Admit => {}
+        }
+        verdict
+    }
+
+    /// Projected queue wait for a newly-arrived heavy request.
+    fn projected_wait(&self, heavy_depth: usize) -> Duration {
+        let ewma = self.gauges.heavy_service_ewma();
+        let per_worker = heavy_depth / self.heavy_workers + 1;
+        ewma.saturating_mul(per_worker as u32)
+    }
+
+    /// Retry hint: roughly the projected wait, clamped to a sane window
+    /// so clients neither hammer nor stall.
+    fn retry_after(&self, heavy_depth: usize) -> u64 {
+        let wait = self.projected_wait(heavy_depth).as_millis() as u64;
+        wait.clamp(25, 5_000)
+    }
+
+    /// Open a tracked budget for an admitted heavy request. `deadline_ms`
+    /// (0 = none) bounds wall time; the memory side starts from the
+    /// admission grant and grows against the pool. Returns `Reject` if
+    /// even the admission grant cannot fit inside the whole pool.
+    pub fn open_budget(&self, deadline_ms: u64) -> Result<TrackedBudget, PoolError> {
+        let grant = match self.pool.grant_heavy(self.heavy_admission_bytes) {
+            Ok(g) => g,
+            Err(e) => {
+                match e {
+                    PoolError::Shed { .. } => self.gauges.sheds.fetch_add(1, Ordering::Relaxed),
+                    PoolError::Rejected => self.gauges.rejects.fetch_add(1, Ordering::Relaxed),
+                };
+                return Err(e);
+            }
+        };
+        self.gauges.inflight_grants.fetch_add(1, Ordering::Relaxed);
+        Ok(TrackedBudget::new(
+            grant,
+            deadline_ms,
+            Arc::clone(&self.gauges),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_policy_grammar() {
+        assert_eq!(ShedPolicy::parse("never").unwrap(), ShedPolicy::Never);
+        assert_eq!(ShedPolicy::parse("adaptive").unwrap(), ShedPolicy::Adaptive);
+        assert_eq!(ShedPolicy::parse("depth:8").unwrap(), ShedPolicy::Depth(8));
+        assert!(ShedPolicy::parse("depth:x").is_err());
+        assert!(ShedPolicy::parse("sometimes").is_err());
+    }
+
+    #[test]
+    fn interactive_is_always_admitted() {
+        let g = Governor::new(1 << 20, 1, ShedPolicy::Depth(0));
+        assert_eq!(g.admit(Lane::Interactive, 10_000), Admission::Admit);
+        // Heavy at depth 0 with Depth(0) policy sheds immediately.
+        assert!(matches!(g.admit(Lane::Heavy, 0), Admission::Shed { .. }));
+        assert_eq!(g.gauges().sheds.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn depth_policy_sheds_past_limit() {
+        let g = Governor::new(64 << 20, 2, ShedPolicy::Depth(4));
+        assert_eq!(g.admit(Lane::Heavy, 3), Admission::Admit);
+        let v = g.admit(Lane::Heavy, 4);
+        match v {
+            Admission::Shed { retry_after_ms } => {
+                assert!((25..=5_000).contains(&retry_after_ms));
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_sheds_on_projected_wait() {
+        let g = Governor::new(64 << 20, 1, ShedPolicy::Adaptive);
+        // Teach the EWMA that heavies take ~1s each.
+        for _ in 0..16 {
+            g.gauges().observe_heavy_service(Duration::from_secs(1));
+        }
+        assert_eq!(g.admit(Lane::Heavy, 0), Admission::Admit);
+        assert!(matches!(g.admit(Lane::Heavy, 10), Admission::Shed { .. }));
+    }
+
+    #[test]
+    fn adaptive_sheds_when_pool_full() {
+        let g = Governor::new(2 << 20, 4, ShedPolicy::Adaptive);
+        // Hold grants covering everything the heavy side may use.
+        let _held = g.pool().grant_heavy(g.pool().heavy_capacity()).unwrap();
+        assert!(matches!(g.admit(Lane::Heavy, 0), Admission::Shed { .. }));
+        // Interactive still fine.
+        assert_eq!(g.admit(Lane::Interactive, 0), Admission::Admit);
+    }
+
+    #[test]
+    fn open_budget_tracks_inflight_gauge() {
+        let g = Governor::new(64 << 20, 2, ShedPolicy::Never);
+        let b = g.open_budget(0).unwrap();
+        assert_eq!(g.gauges().inflight_grants.load(Ordering::Relaxed), 1);
+        drop(b);
+        assert_eq!(g.gauges().inflight_grants.load(Ordering::Relaxed), 0);
+        assert_eq!(g.pool().used(), 0);
+    }
+}

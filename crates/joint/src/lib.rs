@@ -73,4 +73,7 @@ pub use fixed_ii::{schedule_fixed_ii, FixedIiOutcome, FixedIiStats};
 pub use propagate::{
     capacity_conflict, forced_copy_floor, recurrence_feasible, NoGood, NoGoodKind, NoGoodStore,
 };
-pub use solver::{solve_joint, solve_joint_traced, JointConfig, JointResult, JointStats};
+pub use solver::{
+    solve_joint, solve_joint_governed, solve_joint_traced, solve_joint_traced_governed,
+    JointConfig, JointResult, JointStats,
+};

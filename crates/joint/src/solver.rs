@@ -29,6 +29,7 @@ use vliw_core::{
 };
 use vliw_ddg::{build_ddg, Ddg, DepKind, IncrementalFeasibility};
 use vliw_exact::bound::{assign_edge_cost, UNASSIGNED};
+use vliw_governor::TrackedBudget;
 use vliw_ir::Loop;
 use vliw_machine::{ClusterId, CopyModel, MachineDesc};
 use vliw_sched::{schedule_loop, ImsConfig, SchedProblem, Schedule};
@@ -181,7 +182,21 @@ pub fn solve_joint(
     part_cfg: &PartitionConfig,
     cfg: &JointConfig,
 ) -> JointResult {
-    solve_joint_traced(body, machine, part_cfg, cfg).0
+    solve_joint_traced_governed(body, machine, part_cfg, cfg, None).0
+}
+
+/// [`solve_joint`] under a server-granted [`TrackedBudget`]: the ladder
+/// charges its working sets against the pool and polls the budget at the
+/// same cadence as the wall-clock deadline, so pool exhaustion degrades to
+/// the ordinary anytime truncation (best incumbent, `optimal = false`).
+pub fn solve_joint_governed(
+    body: &Loop,
+    machine: &MachineDesc,
+    part_cfg: &PartitionConfig,
+    cfg: &JointConfig,
+    budget: Option<&TrackedBudget>,
+) -> JointResult {
+    solve_joint_traced_governed(body, machine, part_cfg, cfg, budget).0
 }
 
 /// [`solve_joint`], additionally returning the no-good store the ladder
@@ -193,10 +208,30 @@ pub fn solve_joint_traced(
     part_cfg: &PartitionConfig,
     cfg: &JointConfig,
 ) -> (JointResult, NoGoodStore) {
+    solve_joint_traced_governed(body, machine, part_cfg, cfg, None)
+}
+
+/// [`solve_joint_traced`] with an optional resource budget (see
+/// [`solve_joint_governed`]).
+pub fn solve_joint_traced_governed(
+    body: &Loop,
+    machine: &MachineDesc,
+    part_cfg: &PartitionConfig,
+    cfg: &JointConfig,
+    budget: Option<&TrackedBudget>,
+) -> (JointResult, NoGoodStore) {
     let start = Instant::now();
     let deadline = (cfg.budget_ms > 0).then(|| start + Duration::from_millis(cfg.budget_ms));
     let mut stats = JointStats::default();
     let mut store = NoGoodStore::new(body.n_vregs(), machine.n_clusters());
+
+    // Charge the ladder's base working set (DDG mirror, RCG, incumbents,
+    // per-rung searcher state) before any of it is built. A pool refusal
+    // here trips the budget; the dfs/probe polls below then truncate.
+    if let Some(b) = budget {
+        let base = (body.n_ops() * 128 + body.n_vregs() * 64) as u64;
+        let _ = b.charge(base);
+    }
 
     // Greedy incumbent: the paper's partition-then-schedule pipeline.
     let ctx = LoopContext::new(body, machine);
@@ -250,9 +285,13 @@ pub fn solve_joint_traced(
     // exhausted, so the first hit is optimal by construction. Conflicts
     // recorded at one rung replay as unit propagations at the next.
     for target in lb..inc_ii {
+        if budget.is_some_and(|b| b.exceeded()) {
+            return (finish(inc_part, inc_sched, target, false, stats), store);
+        }
         store.activate(target);
         match search_ii(
-            body, machine, &rcg, &ctx.ddg, &inc_part, target, deadline, &mut stats, &mut store,
+            body, machine, &rcg, &ctx.ddg, &inc_part, target, deadline, budget, &mut stats,
+            &mut store,
         ) {
             IiOutcome::Found(part, sched) => {
                 return (finish(part, sched, target, true, stats), store);
@@ -286,6 +325,7 @@ fn search_ii(
     seed_part: &Partition,
     target: u32,
     deadline: Option<Instant>,
+    budget: Option<&TrackedBudget>,
     stats: &mut JointStats,
     store: &mut NoGoodStore,
 ) -> IiOutcome {
@@ -337,12 +377,22 @@ fn search_ii(
         incr,
         affected,
         deadline,
+        budget,
         timed_out: false,
         stats,
         store,
         copy_marks: vec![false; n_vregs * n_banks],
         found: None,
     };
+
+    // Per-rung working set: the searcher's marks/affected tables plus the
+    // incremental maintainer's edge state.
+    if let Some(b) = budget {
+        let rung = (n_vregs * n_banks + ddg.edges().len() * 32 + n_vregs * 16) as u64;
+        if !b.charge(rung) {
+            return IiOutcome::TimedOut;
+        }
+    }
 
     // Root checks: an empty assignment can already overflow (ops with no
     // operands pin to cluster 0) or carry an intrinsic positive cycle.
@@ -406,6 +456,9 @@ struct BankSearcher<'a> {
     /// Per vreg: DDG edge indices whose adjustment its decision can change.
     affected: Vec<Vec<u32>>,
     deadline: Option<Instant>,
+    /// Server-granted resource budget; polled with the deadline and charged
+    /// for every conflict recorded into the no-good store.
+    budget: Option<&'a TrackedBudget>,
     timed_out: bool,
     stats: &'a mut JointStats,
     store: &'a mut NoGoodStore,
@@ -456,11 +509,13 @@ impl BankSearcher<'_> {
             &self.variant,
             &mut self.copy_marks,
         ) {
+            let lits = conf.literals.len() as u64;
             if self
                 .store
                 .record(conf.literals, conf.min_ii, NoGoodKind::Resource)
             {
                 self.stats.nogoods_recorded += 1;
+                self.charge_nogood(lits);
             }
             self.stats.pruned_propagation += 1;
             return false;
@@ -549,8 +604,22 @@ impl BankSearcher<'_> {
             return; // defensive: not a replayable recurrence conflict
         }
         let min_ii = (lat as u64).div_ceil(dist).min(u32::MAX as u64) as u32;
+        let n_lits = lits.len() as u64;
         if self.store.record(lits, min_ii, NoGoodKind::Dependence) {
             self.stats.nogoods_recorded += 1;
+            self.charge_nogood(n_lits);
+        }
+    }
+
+    /// Charge a freshly-recorded no-good against the pool: the store keeps
+    /// it for the rest of the ladder, so learned state is the one search
+    /// structure that genuinely accumulates. A refused charge trips the
+    /// budget; the next `dfs` poll unwinds.
+    fn charge_nogood(&mut self, n_lits: u64) {
+        if let Some(b) = self.budget {
+            if !b.charge(48 + 8 * n_lits) {
+                self.timed_out = true;
+            }
         }
     }
 
@@ -601,6 +670,10 @@ impl BankSearcher<'_> {
                     self.timed_out = true;
                     return false;
                 }
+            }
+            if self.budget.is_some_and(|b| b.exceeded()) {
+                self.timed_out = true;
+                return false;
             }
         }
         if depth == self.order.len() {

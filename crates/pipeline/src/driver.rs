@@ -242,6 +242,21 @@ fn gate(mode: LintMode, loop_name: &str, stage: &str, acc: &mut Report, found: R
 /// issue width and latencies (§4.1's definition), regardless of `machine`'s
 /// clustering.
 pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> LoopResult {
+    run_loop_governed(body, machine, cfg, None)
+}
+
+/// [`run_loop`] under a server-granted [`vliw_governor::TrackedBudget`]:
+/// the exact and joint partitioners charge their working sets against the
+/// pool and poll the budget from their search loops, so a pool trip (or a
+/// server-side cancel) degrades to the same anytime truncation as a
+/// wall-clock deadline. The heuristic partitioners run unbudgeted — their
+/// footprint is bounded and small.
+pub fn run_loop_governed(
+    body: &Loop,
+    machine: &MachineDesc,
+    cfg: &PipelineConfig,
+    budget: Option<&vliw_governor::TrackedBudget>,
+) -> LoopResult {
     // Steps 1–2: the shared per-loop front end — DDG, slack, RecII, and the
     // ideal schedule on the monolithic twin — built exactly once and reused
     // by every stage below (including the iterated partitioner's rounds).
@@ -287,18 +302,19 @@ pub fn run_loop(body: &Loop, machine: &MachineDesc, cfg: &PipelineConfig) -> Loo
                 budget_ms,
                 ..Default::default()
             };
-            vliw_exact::solve(g, n_banks, Some(&seed), &exact_cfg).partition
+            vliw_exact::solve_governed(g, n_banks, Some(&seed), &exact_cfg, budget).partition
         }
         PartitionerKind::Joint { budget_ms } => {
             // The RCG is rebuilt for the gate below; the solver derives its
             // own internally (it also needs the greedy incumbent). Runs
             // sequentially for the same nested-pool reason as Exact.
             rcg = Some(build_rcg(body, ideal, slack, &cfg.partition));
-            let r = vliw_joint::solve_joint(
+            let r = vliw_joint::solve_joint_governed(
                 body,
                 machine,
                 &cfg.partition,
                 &vliw_joint::JointConfig { budget_ms },
+                budget,
             );
             let part = r.partition.clone();
             joint = Some(r);

@@ -6,6 +6,7 @@
 //!             [--loop-file PATH | --gen IDX | --gen-variant IDX:SEED | --gen-range LO:HI]
 //!             [--machine SPEC] [--config-file PATH]
 //!             [--timeout-ms N] [--repeat N] [--parallelism N] [--aggregate]
+//!             [--max-retries N]
 //! ```
 //!
 //! `--compile` sends one job built from either a canonical loop file
@@ -28,6 +29,13 @@
 //! the reactor core multiplexes hundreds of connections on a small worker
 //! pool without dropping any.
 //!
+//! An overloaded server may *shed* a heavy compile with a typed retryable
+//! error carrying a `retry_after_ms` hint. `--max-retries N` (default 0)
+//! makes compile modes honor it: bounded exponential backoff with jitter,
+//! then resend, up to N times per request. Retries are counted in the
+//! summary (`retries=N` after compile output, `retries=` field on the
+//! `concurrent` line); exhausting the budget fails with the shed error.
+//!
 //! With `--peers A,B,..` every request routes by its content hash over a
 //! consistent-hash ring: identical requests always land on the same peer,
 //! and a dead peer's keys fail over to the next peer on the ring (the
@@ -46,7 +54,8 @@ fn usage() -> ! {
          \x20                  [--loop-file PATH | --gen IDX | --gen-variant IDX:SEED\n\
          \x20                   | --gen-range LO:HI]\n\
          \x20                  [--machine SPEC] [--config-file PATH]\n\
-         \x20                  [--timeout-ms N] [--repeat N] [--parallelism N] [--aggregate]"
+         \x20                  [--timeout-ms N] [--repeat N] [--parallelism N] [--aggregate]\n\
+         \x20                  [--max-retries N]"
     );
     std::process::exit(2);
 }
@@ -156,6 +165,7 @@ fn main() {
     let mut repeat = 1usize;
     let mut parallelism = None;
     let mut concurrent: Option<usize> = None;
+    let mut max_retries = 0u32;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -208,6 +218,7 @@ fn main() {
             "--concurrent" => {
                 concurrent = Some(value().parse::<usize>().unwrap_or_else(|_| usage()))
             }
+            "--max-retries" => max_retries = value().parse::<u32>().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -347,9 +358,14 @@ fn main() {
                 Err(_) => errors += 1,
             }
         }
+        let mut retries = 0u64;
         for c in conns.iter_mut() {
             let sent = match &req {
-                Some(req) => c.compile(req, timeout_ms).map(|_| ()),
+                Some(req) => c
+                    .compile_with_retry(req, timeout_ms, max_retries)
+                    .map(|(_, r)| {
+                        retries += u64::from(r);
+                    }),
                 None => c.ping(),
             };
             match sent {
@@ -357,7 +373,7 @@ fn main() {
                 Err(_) => errors += 1,
             }
         }
-        println!("concurrent n={n} ok={ok} errors={errors}");
+        println!("concurrent n={n} ok={ok} errors={errors} retries={retries}");
     }
 
     if do_ping {
@@ -367,12 +383,15 @@ fn main() {
 
     if do_compile && concurrent.is_none() {
         let req = single_request();
+        let mut retries = 0u64;
         for i in 0..repeat.max(1) {
-            let served = client
-                .compile(&req, timeout_ms)
+            let (served, r) = client
+                .compile_with_retry(&req, timeout_ms, max_retries)
                 .unwrap_or_else(|e| fatal(&e.to_string()));
+            retries += u64::from(r);
             print_served("compile", i, &served, None);
         }
+        println!("retries={retries}");
     }
 
     if do_batch {

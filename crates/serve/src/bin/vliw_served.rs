@@ -5,6 +5,8 @@
 //!             [--cache-dir PATH | --no-disk] [--timeout-ms N]
 //!             [--batch-parallelism N] [--max-conns N]
 //!             [--idle-timeout-ms N] [--core reactor|threads] [--force-poll]
+//!             [--mem-budget BYTES] [--heavy-lane-workers N]
+//!             [--shed-policy never|depth:N|adaptive]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0`, an ephemeral port), prints
@@ -18,11 +20,21 @@
 //! `--idle-timeout-ms` evicts idle connections (0 disables; default 5
 //! minutes). `--core threads` selects the legacy thread-per-connection
 //! core; `--force-poll` pins the reactor to the portable `poll(2)` backend.
+//!
+//! The reactor core runs a resource governor (DESIGN.md §15):
+//! `--mem-budget` caps solver memory across all in-flight heavy compiles
+//! (bytes, with optional `k`/`m`/`g` suffix; default 256m),
+//! `--heavy-lane-workers` caps how many pool workers may run heavy
+//! (exact/joint) solves at once (0 = half the pool), and `--shed-policy`
+//! picks when heavy requests are shed with a typed retryable error:
+//! `never`, `depth:N` (queue depth), or `adaptive` (projected wait;
+//! default).
 
 use std::sync::OnceLock;
 use std::time::Duration;
 use vliw_serve::{
-    CachedCompiler, DiskStore, Server, ServerConfig, ServerCore, ShutdownHandle, TieredCache,
+    CachedCompiler, DiskStore, Server, ServerConfig, ServerCore, ShedPolicy, ShutdownHandle,
+    TieredCache,
 };
 
 /// Set once the server is bound; the signal handler signals through it.
@@ -56,9 +68,22 @@ fn usage() -> ! {
          \x20                  [--cache-dir PATH | --no-disk] [--timeout-ms N]\n\
          \x20                  [--batch-parallelism N] [--max-conns N]\n\
          \x20                  [--idle-timeout-ms N] [--core reactor|threads]\n\
-         \x20                  [--force-poll]"
+         \x20                  [--force-poll] [--mem-budget BYTES[k|m|g]]\n\
+         \x20                  [--heavy-lane-workers N]\n\
+         \x20                  [--shed-policy never|depth:N|adaptive]"
     );
     std::process::exit(2);
+}
+
+/// Parse a byte count with an optional `k`/`m`/`g` suffix (`64m` = 64 MiB).
+fn parse_bytes(s: &str) -> Option<u64> {
+    let (digits, shift) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 30),
+        _ => (s, 0),
+    };
+    digits.parse::<u64>().ok()?.checked_shl(shift)
 }
 
 fn main() {
@@ -73,6 +98,9 @@ fn main() {
     let mut idle_timeout_ms = 300_000u64; // 5 minutes; 0 disables
     let mut core = ServerCore::Reactor;
     let mut force_poll = false;
+    let mut mem_budget = 256u64 << 20;
+    let mut heavy_lane_workers = 0usize;
+    let mut shed_policy = ShedPolicy::Adaptive;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -97,6 +125,16 @@ fn main() {
                 }
             }
             "--force-poll" => force_poll = true,
+            "--mem-budget" => mem_budget = parse_bytes(&value()).unwrap_or_else(|| usage()),
+            "--heavy-lane-workers" => {
+                heavy_lane_workers = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--shed-policy" => {
+                shed_policy = ShedPolicy::parse(&value()).unwrap_or_else(|e| {
+                    eprintln!("vliw-served: {e}");
+                    usage()
+                })
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -114,6 +152,9 @@ fn main() {
             idle_timeout: (idle_timeout_ms > 0).then(|| Duration::from_millis(idle_timeout_ms)),
             max_conns,
             force_poll,
+            mem_budget,
+            heavy_lane_workers,
+            shed_policy,
             ..ServerConfig::default()
         },
         engine,

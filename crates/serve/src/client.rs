@@ -32,6 +32,16 @@ pub enum ClientError {
     Malformed(String),
     /// The server processed the request and reported an error.
     Server(String),
+    /// The server shed the request under load (`error_kind: "shed"`): the
+    /// request is fine, the moment is not. `retry_after_ms` is the
+    /// server's backoff hint; [`Client::compile_with_retry`] honors it.
+    Shed {
+        /// The server's backoff hint, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server rejected the request as permanently over its resource
+    /// limits (`error_kind: "rejected"`); retrying cannot help.
+    Rejected(String),
     /// The request was invalid before it ever reached the wire (client-side
     /// canonicalisation failure in the sharded path).
     BadRequest(String),
@@ -43,6 +53,11 @@ impl ClientError {
     pub fn is_transport(&self) -> bool {
         matches!(self, ClientError::Disconnected(_) | ClientError::Io(_))
     }
+
+    /// Whether retrying the same peer later could help.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, ClientError::Shed { .. })
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -52,6 +67,10 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(m) => write!(f, "io error: {m}"),
             ClientError::Malformed(m) => write!(f, "malformed reply: {m}"),
             ClientError::Server(m) => write!(f, "{m}"),
+            ClientError::Shed { retry_after_ms } => {
+                write!(f, "server overloaded, retry after {retry_after_ms} ms")
+            }
+            ClientError::Rejected(m) => write!(f, "{m}"),
             ClientError::BadRequest(m) => write!(f, "bad request: {m}"),
         }
     }
@@ -178,6 +197,22 @@ fn decode_batch_stream(line: &str) -> Option<Vec<Result<ServedResult, String>>> 
     out
 }
 
+/// Spread `ms` to a uniform-ish value in `[75%, 125%)` of itself, seeded
+/// from the clock's sub-second nanos (no RNG dependency): enough to
+/// de-synchronise shed clients backing off from the same hint.
+fn jitter(ms: u64) -> u64 {
+    let mut x = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::from(d.subsec_nanos()))
+        .unwrap_or(0)
+        | 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    let span = (ms / 2).max(1);
+    ms - ms / 4 + x % span
+}
+
 impl Client {
     /// Connect to `addr` (e.g. `127.0.0.1:7878`).
     pub fn connect(addr: &str) -> std::io::Result<Client> {
@@ -214,16 +249,31 @@ impl Client {
         Ok(line)
     }
 
-    /// Check a parsed response's `ok` envelope.
+    /// Check a parsed response's `ok` envelope. Typed overload errors
+    /// (`error_kind` of `shed`/`rejected`) map to their own variants so
+    /// callers can back off or give up instead of treating them as
+    /// request failures.
     fn envelope_ok(doc: Json) -> Result<Json, ClientError> {
         match doc.get("ok").and_then(Json::as_bool) {
             Some(true) => Ok(doc),
-            Some(false) => Err(ClientError::Server(
-                doc.get("error")
+            Some(false) => {
+                let error = doc
+                    .get("error")
                     .and_then(Json::as_str)
                     .unwrap_or("unknown server error")
-                    .to_string(),
-            )),
+                    .to_string();
+                Err(match doc.get("error_kind").and_then(Json::as_str) {
+                    Some("shed") => ClientError::Shed {
+                        retry_after_ms: doc
+                            .get("retry_after_ms")
+                            .and_then(Json::as_f64)
+                            .map(|v| v as u64)
+                            .unwrap_or(100),
+                    },
+                    Some("rejected") => ClientError::Rejected(error),
+                    _ => ClientError::Server(error),
+                })
+            }
             None => Err(ClientError::Malformed("response missing `ok`".into())),
         }
     }
@@ -256,6 +306,36 @@ impl Client {
         }
         let doc = self.round_trip(&Json::obj(pairs))?;
         served_from_entry(&doc).map_err(ClientError::Malformed)
+    }
+
+    /// [`Client::compile`], but honoring shed responses: on
+    /// [`ClientError::Shed`] the call sleeps out the server's
+    /// `retry_after_ms` hint — doubled per attempt and jittered ±25% so a
+    /// herd of shed clients does not re-arrive in lockstep — and resends,
+    /// up to `max_retries` times. Returns the served result plus how many
+    /// retries it took; any other error (including `Rejected`) surfaces
+    /// immediately.
+    pub fn compile_with_retry(
+        &mut self,
+        req: &CompileRequest,
+        timeout_ms: Option<u64>,
+        max_retries: u32,
+    ) -> Result<(ServedResult, u32), ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.compile(req, timeout_ms) {
+                Ok(served) => return Ok((served, attempt)),
+                Err(ClientError::Shed { retry_after_ms }) if attempt < max_retries => {
+                    let backoff = retry_after_ms
+                        .max(1)
+                        .saturating_mul(1 << attempt.min(6))
+                        .min(5_000);
+                    std::thread::sleep(std::time::Duration::from_millis(jitter(backoff)));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Submit many compile jobs as one `compile_batch` wire round trip.

@@ -28,9 +28,10 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use vliw_governor::TrackedBudget;
 use vliw_ir::Loop;
 use vliw_machine::MachineDesc;
-use vliw_pipeline::{run_loop, PartitionerKind, PipelineConfig};
+use vliw_pipeline::{run_loop_governed, PartitionerKind, PipelineConfig};
 
 /// How a request was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +68,16 @@ pub enum CompileError {
     /// The per-request deadline expired; the execution continues in the
     /// background and will populate the cache.
     Timeout,
+    /// Transient overload: the server shed this request before running it.
+    /// Well-formed — the client should back off and retry. Distinct from
+    /// [`CompileError::BadRequest`] on the wire (`error_kind: "shed"`).
+    Shed {
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The request can never fit within the server's resource limits;
+    /// retrying is pointless.
+    Rejected,
     /// The pipeline panicked or the engine failed internally.
     Internal(String),
 }
@@ -76,6 +87,10 @@ impl std::fmt::Display for CompileError {
         match self {
             CompileError::BadRequest(e) => write!(f, "{e}"),
             CompileError::Timeout => write!(f, "compile deadline expired"),
+            CompileError::Shed { retry_after_ms } => {
+                write!(f, "server overloaded, retry after {retry_after_ms} ms")
+            }
+            CompileError::Rejected => write!(f, "request exceeds server resource limits"),
             CompileError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -182,6 +197,19 @@ impl CachedCompiler {
         req: &CompileRequest,
         deadline: Option<Duration>,
     ) -> Result<(Arc<str>, Source), CompileError> {
+        self.serve_rendered_governed(req, deadline, None)
+    }
+
+    /// [`serve_rendered`](Self::serve_rendered) under a server-granted
+    /// resource budget: a miss runs the pipeline with `budget` threaded
+    /// into the exact/joint search loops, so pool exhaustion truncates the
+    /// solve instead of growing the process.
+    pub fn serve_rendered_governed(
+        self: &Arc<Self>,
+        req: &CompileRequest,
+        deadline: Option<Duration>,
+        budget: Option<TrackedBudget>,
+    ) -> Result<(Arc<str>, Source), CompileError> {
         let raw_key = self.key_for(req);
         if let Some(doc) = self
             .rendered
@@ -196,10 +224,29 @@ impl CachedCompiler {
             Some(hit) => (hit, Source::Cache),
             None => {
                 let (body, machine, cfg) = req.decode().map_err(CompileError::BadRequest)?;
-                self.compile_parts(&body, &machine, &cfg, deadline)?
+                self.compile_parts_governed(&body, &machine, &cfg, deadline, budget)?
             }
         };
         Ok((self.rendered(&res), source))
+    }
+
+    /// Probe every cache layer for `req` without ever compiling: the
+    /// rendered memo, then the tiered cache. The server's admission path
+    /// uses this so a heavy-shaped request that is actually a warm hit is
+    /// served without opening a pool grant.
+    pub fn probe_rendered(self: &Arc<Self>, req: &CompileRequest) -> Option<Arc<str>> {
+        let raw_key = self.key_for(req);
+        if let Some(doc) = self
+            .rendered
+            .lock()
+            .expect("rendered cache poisoned")
+            .get(&raw_key)
+        {
+            self.stats().mem_hit();
+            return Some(Arc::clone(doc));
+        }
+        let res = self.cache.probe(&raw_key)?;
+        Some(self.rendered(&res))
     }
 
     /// The result's wire JSON, pre-rendered once per key and shared across
@@ -274,12 +321,25 @@ impl CachedCompiler {
         cfg: &PipelineConfig,
         deadline: Option<Duration>,
     ) -> Result<(CompileResult, Source), CompileError> {
+        self.compile_parts_governed(body, machine, cfg, deadline, None)
+    }
+
+    /// [`compile_parts`](Self::compile_parts) with an optional server
+    /// resource budget threaded into the solver loops.
+    pub fn compile_parts_governed(
+        self: &Arc<Self>,
+        body: &Loop,
+        machine: &MachineDesc,
+        cfg: &PipelineConfig,
+        deadline: Option<Duration>,
+        budget: Option<TrackedBudget>,
+    ) -> Result<(CompileResult, Source), CompileError> {
         let canonical = CompileRequest::from_parts(body, machine, cfg);
         let key = self.key_for(&canonical);
         if let Some(hit) = self.cache.probe(&key) {
             return Ok((hit, Source::Cache));
         }
-        self.compile_missed(body, machine, cfg, &key, deadline)
+        self.compile_missed(body, machine, cfg, &key, deadline, budget)
     }
 
     /// Compile an already-canonical request under a precomputed `key`. The
@@ -294,7 +354,7 @@ impl CachedCompiler {
             return Ok((hit, Source::Cache));
         }
         let (body, machine, cfg) = req.decode().map_err(CompileError::BadRequest)?;
-        self.compile_missed(&body, &machine, &cfg, &key.to_string(), deadline)
+        self.compile_missed(&body, &machine, &cfg, &key.to_string(), deadline, None)
     }
 
     /// The exact-key-missed path shared by every compile entry point.
@@ -317,6 +377,7 @@ impl CachedCompiler {
         cfg: &PipelineConfig,
         key: &CacheKey,
         deadline: Option<Duration>,
+        budget: Option<TrackedBudget>,
     ) -> Result<(CompileResult, Source), CompileError> {
         let canon = vliw_normal::canonicalize(body);
         let sem_key = self.key_for(&CompileRequest::from_parts(&canon.body, machine, cfg));
@@ -335,8 +396,16 @@ impl CachedCompiler {
         let (effective_cfg, clamped) = clamp_joint_budget(cfg, deadline);
         match deadline {
             None => {
-                let outcome = self.execute_parts(body, machine, &effective_cfg, key);
-                self.publish(key, &slot, outcome.clone(), alias.as_deref(), clamped);
+                let outcome =
+                    self.execute_parts(body, machine, &effective_cfg, key, budget.as_ref());
+                // A governed budget that actually *tripped* (pool
+                // exhaustion or server deadline observed mid-solve)
+                // truncated this result for reasons outside the request
+                // text — never cache those, same as a deadline clamp. A
+                // budget that was never felt leaves the result
+                // reproducible and cacheable.
+                let taint = clamped || budget.as_ref().is_some_and(|b| b.tripped());
+                self.publish(key, &slot, outcome.clone(), alias.as_deref(), taint);
                 match outcome {
                     Ok(res) => Ok((res, Source::Compiled)),
                     Err(m) => Err(CompileError::Internal(m)),
@@ -348,15 +417,15 @@ impl CachedCompiler {
                 let thread_slot = Arc::clone(&slot);
                 let thread_key = key.clone();
                 std::thread::spawn(move || {
-                    let outcome =
-                        engine.execute_parts(&body, &machine, &effective_cfg, &thread_key);
-                    engine.publish(
+                    let outcome = engine.execute_parts(
+                        &body,
+                        &machine,
+                        &effective_cfg,
                         &thread_key,
-                        &thread_slot,
-                        outcome,
-                        alias.as_deref(),
-                        clamped,
+                        budget.as_ref(),
                     );
+                    let taint = clamped || budget.as_ref().is_some_and(|b| b.tripped());
+                    engine.publish(&thread_key, &thread_slot, outcome, alias.as_deref(), taint);
                 });
                 self.wait(&slot, deadline, true)
             }
@@ -387,24 +456,27 @@ impl CachedCompiler {
         machine: &MachineDesc,
         cfg: &PipelineConfig,
         key: &str,
+        budget: Option<&TrackedBudget>,
     ) -> Result<CompileResult, String> {
         self.stats().compile();
-        catch_unwind(AssertUnwindSafe(|| run_loop(body, machine, cfg)))
-            .map(|lr| {
-                let res = CompileResult::from_loop_result(key.to_string(), &lr);
-                if res.joint.is_some_and(|j| !j.optimal) {
-                    self.stats().joint_truncated();
-                }
-                res
-            })
-            .map_err(|p| {
-                let msg = p
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| p.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "pipeline panicked".to_string());
-                format!("pipeline panicked: {msg}")
-            })
+        catch_unwind(AssertUnwindSafe(|| {
+            run_loop_governed(body, machine, cfg, budget)
+        }))
+        .map(|lr| {
+            let res = CompileResult::from_loop_result(key.to_string(), &lr);
+            if res.joint.is_some_and(|j| !j.optimal) {
+                self.stats().joint_truncated();
+            }
+            res
+        })
+        .map_err(|p| {
+            let msg = p
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "pipeline panicked".to_string());
+            format!("pipeline panicked: {msg}")
+        })
     }
 
     /// Publish `outcome` to the cache, then to the slot, then retire the
@@ -413,7 +485,8 @@ impl CachedCompiler {
     /// the result is also stored in canonical space under the semantic key,
     /// so future isomorphic variants of this loop hit without compiling.
     ///
-    /// A joint result truncated under a deadline-`clamped` budget is
+    /// A joint result truncated under a deadline-`clamped` budget — or cut
+    /// short by a governed resource budget that tripped mid-solve — is
     /// published to waiters but **not** cached: its key is a pure function
     /// of the request text (which still names the original budget), so
     /// caching it would serve the degraded answer to identical requests
@@ -424,10 +497,10 @@ impl CachedCompiler {
         slot: &Arc<Inflight>,
         outcome: Result<CompileResult, String>,
         alias: Option<&(CacheKey, vliw_normal::Witness)>,
-        clamped: bool,
+        taint_if_truncated: bool,
     ) {
         if let Ok(res) = &outcome {
-            let tainted = clamped && res.joint.is_some_and(|j| !j.optimal);
+            let tainted = taint_if_truncated && res.joint.is_some_and(|j| !j.optimal);
             if !tainted {
                 self.cache.put(key, res);
                 if let Some((sem_key, witness)) = alias {

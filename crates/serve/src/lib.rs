@@ -62,6 +62,10 @@ pub use server::{
 pub use shard::{PeerStats, ShardedClient};
 pub use stats::{StatsRegistry, StatsSnapshot};
 
+// Governance types the server front-end (and embedders) configure:
+// admission policy and the lane/budget machinery live in `vliw-governor`.
+pub use vliw_governor::{Governor, Lane, ShedPolicy};
+
 // The witness type that maps results between a caller's register/op names
 // and the alpha-canonical space the semantic cache entries live in.
 pub use vliw_normal::Witness;

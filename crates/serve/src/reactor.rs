@@ -25,15 +25,18 @@ use crate::compile::CachedCompiler;
 use crate::conn::{Action, BatchDefaults, Conn, ConnLimits};
 use crate::envelope::CompileRequest;
 use crate::json as js;
-use crate::server::{compile_entry, error_response, handle_line, ServeOptions};
+use crate::server::{
+    compile_entry_ctx, doc_is_shed, error_response, handle_line_ctx, reject_response,
+    shed_response, RequestCtx, ServeOptions,
+};
 use crate::sys::{Interest, Poller, PollerConfig, Waker};
-use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+use vliw_governor::{Admission, DwrrQueue, Governor, Lane};
 
 /// Poller token of the listening socket.
 const LISTENER_TOKEN: u64 = 0;
@@ -66,6 +69,9 @@ pub(crate) struct ReactorConfig {
     pub max_conns: usize,
     /// Use the `poll(2)` backend even where epoll is available.
     pub force_poll: bool,
+    /// Resource governor: lane classification, admission policy, and the
+    /// memory pool heavy compiles draw budgets from.
+    pub governor: Arc<Governor>,
 }
 
 /// One streamed batch entry inside a [`Job::Entries`] group.
@@ -115,19 +121,56 @@ enum Done {
     },
 }
 
+/// The two-lane job queue. Each lane is a deficit-weighted round-robin
+/// queue keyed by connection slot, so one client flooding a lane gets one
+/// queue's worth of service per rotation instead of the whole pool.
+/// `heavy_inflight` counts heavy jobs currently held by workers; it is
+/// capped by [`PoolShared::heavy_quota`] so heavy solves can never occupy
+/// every worker while interactive requests queue behind them.
+struct LaneQueues {
+    interactive: DwrrQueue<Job>,
+    heavy: DwrrQueue<Job>,
+    heavy_inflight: usize,
+}
+
 /// State shared between the reactor and the worker threads.
 struct PoolShared {
-    queue: Mutex<VecDeque<Job>>,
+    lanes: Mutex<LaneQueues>,
     cv: Condvar,
     stop: AtomicBool,
     completions: Mutex<Vec<Done>>,
     waker: Arc<Waker>,
+    governor: Arc<Governor>,
+    /// Most workers that may simultaneously run heavy-lane jobs.
+    heavy_quota: usize,
 }
 
 impl PoolShared {
-    fn submit(&self, job: Job) {
-        self.queue.lock().unwrap().push_back(job);
+    fn submit(&self, lane: Lane, client: u64, cost: u64, job: Job) {
+        {
+            let mut q = self.lanes.lock().unwrap();
+            let gauges = self.governor.gauges();
+            match lane {
+                Lane::Interactive => {
+                    q.interactive.push(client, cost, job);
+                    gauges
+                        .queue_depth_interactive
+                        .store(q.interactive.len() as u64, Ordering::Relaxed);
+                }
+                Lane::Heavy => {
+                    q.heavy.push(client, cost, job);
+                    gauges
+                        .queue_depth_heavy
+                        .store(q.heavy.len() as u64, Ordering::Relaxed);
+                }
+            }
+        }
         self.cv.notify_one();
+    }
+
+    /// Heavy-lane queue depth, the admission policy's congestion signal.
+    fn heavy_depth(&self) -> usize {
+        self.lanes.lock().unwrap().heavy.len()
     }
 
     fn complete(&self, done: Done) {
@@ -153,11 +196,31 @@ fn worker_loop(
     opts: ServeOptions,
 ) {
     loop {
-        let job = {
-            let mut q = shared.queue.lock().unwrap();
+        // Workers prefer the interactive lane; heavy jobs run only while
+        // fewer than `heavy_quota` of them are in flight, which leaves
+        // `workers - heavy_quota` threads always answerable to interactive
+        // traffic no matter how deep the heavy backlog grows.
+        let picked = {
+            let mut q = shared.lanes.lock().unwrap();
             loop {
-                if let Some(j) = q.pop_front() {
-                    break Some(j);
+                if let Some(j) = q.interactive.pop() {
+                    shared
+                        .governor
+                        .gauges()
+                        .queue_depth_interactive
+                        .store(q.interactive.len() as u64, Ordering::Relaxed);
+                    break Some((j, Lane::Interactive));
+                }
+                if q.heavy_inflight < shared.heavy_quota {
+                    if let Some(j) = q.heavy.pop() {
+                        q.heavy_inflight += 1;
+                        shared
+                            .governor
+                            .gauges()
+                            .queue_depth_heavy
+                            .store(q.heavy.len() as u64, Ordering::Relaxed);
+                        break Some((j, Lane::Heavy));
+                    }
                 }
                 if shared.stop.load(Ordering::Acquire) {
                     break None;
@@ -165,7 +228,7 @@ fn worker_loop(
                 q = shared.cv.wait(q).unwrap();
             }
         };
-        let Some(job) = job else { return };
+        let Some((job, lane)) = picked else { return };
         match job {
             Job::Line {
                 slot,
@@ -173,10 +236,23 @@ fn worker_loop(
                 line,
                 enqueued,
             } => {
-                engine
-                    .stats()
-                    .observe_queue_us(enqueued.elapsed().as_micros() as u64);
-                let doc = handle_line(&line, &engine, &shutdown, opts).render();
+                let wait = enqueued.elapsed();
+                engine.stats().observe_queue_us(wait.as_micros() as u64);
+                let ctx = RequestCtx {
+                    queue_wait: wait,
+                    lane: Some(lane),
+                    governor: Some(Arc::clone(&shared.governor)),
+                };
+                let served = Instant::now();
+                let doc = handle_line_ctx(&line, &engine, &shutdown, opts, &ctx).render();
+                // A shed renders in microseconds; feeding that to the
+                // classifier would demote genuinely heavy shapes into the
+                // interactive lane.
+                if !doc_is_shed(&doc) {
+                    shared
+                        .governor
+                        .observe_service(&line, lane, served.elapsed());
+                }
                 shared.complete(Done::Line { slot, epoch, doc });
             }
             Job::Entries {
@@ -185,11 +261,21 @@ fn worker_loop(
                 entries,
                 enqueued,
             } => {
-                engine
-                    .stats()
-                    .observe_queue_us(enqueued.elapsed().as_micros() as u64);
+                let wait = enqueued.elapsed();
+                engine.stats().observe_queue_us(wait.as_micros() as u64);
+                let ctx = RequestCtx {
+                    queue_wait: wait,
+                    lane: Some(lane),
+                    governor: Some(Arc::clone(&shared.governor)),
+                };
                 for e in entries {
-                    let doc = run_entry(&engine, opts, &e.text, e.timeout_ms, &e.defaults);
+                    let served = Instant::now();
+                    let doc = run_entry(&engine, opts, &e.text, e.timeout_ms, &e.defaults, &ctx);
+                    if !doc_is_shed(&doc) {
+                        shared
+                            .governor
+                            .observe_service(&e.text, lane, served.elapsed());
+                    }
                     shared.complete(Done::Entry {
                         slot,
                         epoch,
@@ -199,6 +285,14 @@ fn worker_loop(
                     });
                 }
             }
+        }
+        if lane == Lane::Heavy {
+            {
+                let mut q = shared.lanes.lock().unwrap();
+                q.heavy_inflight -= 1;
+            }
+            // A queued heavy job may be runnable now that a slot freed.
+            shared.cv.notify_one();
         }
     }
 }
@@ -212,6 +306,7 @@ fn run_entry(
     text: &str,
     timeout_ms: Option<u64>,
     defaults: &BatchDefaults,
+    ctx: &RequestCtx,
 ) -> Arc<str> {
     let entry = match js::parse_json(text) {
         Ok(v) => v,
@@ -229,7 +324,7 @@ fn run_entry(
             let timeout = timeout_ms
                 .map(Duration::from_millis)
                 .unwrap_or(opts.default_timeout);
-            compile_entry(engine, &req, timeout, "compile")
+            compile_entry_ctx(engine, &req, timeout, "compile", ctx)
         }
         Err(m) => {
             engine.stats().error();
@@ -265,6 +360,8 @@ struct Reactor {
     idle_timeout: Option<Duration>,
     max_conns: usize,
     draining: bool,
+    /// Lane classification and admission policy for incoming requests.
+    governor: Arc<Governor>,
 }
 
 /// Run the reactor core on `listener` until a shutdown is signalled and
@@ -282,14 +379,20 @@ pub(crate) fn run(
     })?;
     poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
     poller.register(waker.fd(), WAKER_TOKEN, Interest::READ)?;
+    let workers = config.workers.max(1);
     let pool = Arc::new(PoolShared {
-        queue: Mutex::new(VecDeque::new()),
+        lanes: Mutex::new(LaneQueues {
+            interactive: DwrrQueue::new(1),
+            heavy: DwrrQueue::new(1),
+            heavy_inflight: 0,
+        }),
         cv: Condvar::new(),
         stop: AtomicBool::new(false),
         completions: Mutex::new(Vec::new()),
         waker: Arc::clone(&waker),
+        governor: Arc::clone(&config.governor),
+        heavy_quota: config.governor.heavy_workers().clamp(1, workers),
     });
-    let workers = config.workers.max(1);
     let handles: Vec<_> = (0..workers)
         .map(|i| {
             let shared = Arc::clone(&pool);
@@ -321,12 +424,17 @@ pub(crate) fn run(
         idle_timeout: config.idle_timeout,
         max_conns: config.max_conns.max(1),
         draining: false,
+        governor: Arc::clone(&config.governor),
     };
     let result = reactor.event_loop(&waker);
 
     // Stop the pool: jobs for closed connections would be dropped on
     // completion anyway, so clear them instead of compiling into the void.
-    pool.queue.lock().unwrap().clear();
+    {
+        let mut q = pool.lanes.lock().unwrap();
+        q.interactive.clear();
+        q.heavy.clear();
+    }
     pool.stop.store(true, Ordering::Release);
     pool.cv.notify_all();
     for h in handles {
@@ -489,19 +597,46 @@ impl Reactor {
                 Some(s) => s.epoch,
                 None => return,
             };
-            let mut group: Vec<EntryJob> = Vec::new();
+            let mut group_interactive: Vec<EntryJob> = Vec::new();
+            let mut group_heavy: Vec<EntryJob> = Vec::new();
             for action in actions {
                 match action {
                     Action::Line(line) => {
-                        if let Some(s) = self.slots[idx].as_mut() {
-                            s.conn.busy = true;
+                        let lane = self.governor.classify(&line);
+                        match self.governor.admit(lane, self.pool.heavy_depth()) {
+                            Admission::Admit => {
+                                if let Some(s) = self.slots[idx].as_mut() {
+                                    s.conn.busy = true;
+                                }
+                                self.pool.submit(
+                                    lane,
+                                    idx as u64,
+                                    1,
+                                    Job::Line {
+                                        slot: idx,
+                                        epoch,
+                                        line,
+                                        enqueued: Instant::now(),
+                                    },
+                                );
+                            }
+                            // Shed/reject on the reactor thread: the typed
+                            // response goes straight onto the connection
+                            // without touching a worker or the pool.
+                            Admission::Shed { retry_after_ms } => {
+                                if let Some(s) = self.slots[idx].as_mut() {
+                                    s.conn.busy = true;
+                                    s.conn
+                                        .on_line_response(&shed_response(retry_after_ms).render());
+                                }
+                            }
+                            Admission::Reject => {
+                                if let Some(s) = self.slots[idx].as_mut() {
+                                    s.conn.busy = true;
+                                    s.conn.on_line_response(&reject_response().render());
+                                }
+                            }
                         }
-                        self.pool.submit(Job::Line {
-                            slot: idx,
-                            epoch,
-                            line,
-                            enqueued: Instant::now(),
-                        });
                     }
                     Action::Entry {
                         gen,
@@ -509,37 +644,88 @@ impl Reactor {
                         text,
                         timeout_ms,
                         defaults,
-                    } => group.push(EntryJob {
-                        gen,
-                        idx: entry_idx,
-                        text,
-                        timeout_ms,
-                        defaults,
-                    }),
+                    } => {
+                        let lane = self.governor.classify(&text);
+                        // Count this round's still-ungrouped heavy entries
+                        // toward the depth the policy sees, since they are
+                        // only enqueued after the loop.
+                        let depth = self.pool.heavy_depth() + group_heavy.len();
+                        match self.governor.admit(lane, depth) {
+                            Admission::Admit => {
+                                let e = EntryJob {
+                                    gen,
+                                    idx: entry_idx,
+                                    text,
+                                    timeout_ms,
+                                    defaults,
+                                };
+                                match lane {
+                                    Lane::Interactive => group_interactive.push(e),
+                                    Lane::Heavy => group_heavy.push(e),
+                                }
+                            }
+                            Admission::Shed { retry_after_ms } => {
+                                if let Some(s) = self.slots[idx].as_mut() {
+                                    s.conn.on_entry_result(
+                                        gen,
+                                        entry_idx,
+                                        shed_response(retry_after_ms).render().into(),
+                                    );
+                                }
+                            }
+                            Admission::Reject => {
+                                if let Some(s) = self.slots[idx].as_mut() {
+                                    s.conn.on_entry_result(
+                                        gen,
+                                        entry_idx,
+                                        reject_response().render().into(),
+                                    );
+                                }
+                            }
+                        }
+                    }
                     Action::CloseAfterFlush => {} // `closing` is already set
                 }
             }
-            if !group.is_empty() {
-                // Chunk the ready entries across the pool: enough jobs to
-                // occupy every worker, as few handoffs as that allows.
-                let jobs = self.workers.max(1).min(group.len());
-                let per = group.len().div_ceil(jobs);
-                let mut it = group.into_iter();
-                loop {
-                    let chunk: Vec<EntryJob> = it.by_ref().take(per).collect();
-                    if chunk.is_empty() {
-                        break;
-                    }
-                    self.pool.submit(Job::Entries {
-                        slot: idx,
-                        epoch,
-                        entries: chunk,
-                        enqueued: Instant::now(),
-                    });
-                }
-            }
+            self.submit_entry_group(idx, epoch, Lane::Interactive, group_interactive);
+            self.submit_entry_group(idx, epoch, Lane::Heavy, group_heavy);
         }
         self.settle(idx);
+    }
+
+    /// Chunk one lane's ready entries across that lane's workers: enough
+    /// jobs to occupy every worker the lane may hold, as few queue
+    /// handoffs as that allows.
+    fn submit_entry_group(&self, idx: usize, epoch: u32, lane: Lane, group: Vec<EntryJob>) {
+        if group.is_empty() {
+            return;
+        }
+        let lane_workers = match lane {
+            Lane::Interactive => self.workers,
+            Lane::Heavy => self.pool.heavy_quota,
+        };
+        let jobs = lane_workers.max(1).min(group.len());
+        let per = group.len().div_ceil(jobs);
+        let mut it = group.into_iter();
+        loop {
+            let chunk: Vec<EntryJob> = it.by_ref().take(per).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            // DWRR cost = entry count, so a bulk batch pays for its size.
+            let cost = chunk.len() as u64;
+            self.pool.submit(
+                lane,
+                idx as u64,
+                cost,
+                Job::Entries {
+                    slot: idx,
+                    epoch,
+                    entries: chunk,
+                    enqueued: Instant::now(),
+                },
+            );
+        }
     }
 
     /// Flush pending response bytes, close if the connection is finished,

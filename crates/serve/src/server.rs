@@ -60,6 +60,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use vliw_governor::{Governor, Lane, PoolError, ShedPolicy};
 
 /// Stats fields that are additive across peers — the sharded client's
 /// `stats --aggregate` sums exactly these (latency percentiles are not
@@ -84,6 +85,13 @@ pub const AGGREGATE_SUM_FIELDS: &[&str] = &[
     "idle_closed",
     "oversize_closed",
     "queue_samples",
+    "sheds",
+    "rejects",
+    "queue_depth_interactive",
+    "queue_depth_heavy",
+    "inflight_grants",
+    "pool_bytes_used",
+    "pool_bytes_limit",
 ];
 
 /// Selects the connection-serving engine.
@@ -128,6 +136,17 @@ pub struct ServerConfig {
     /// Reactor core: use the portable `poll(2)` backend even where epoll
     /// is available (tests exercise both).
     pub force_poll: bool,
+    /// Reactor core: global solver-memory budget in bytes (the governor's
+    /// resource pool). Heavy solves charge their working sets against it;
+    /// exhaustion truncates solves and sheds admissions instead of growing
+    /// the process.
+    pub mem_budget: u64,
+    /// Reactor core: worker threads allowed to run heavy-lane work
+    /// concurrently. `0` means auto (half the workers, at least one). The
+    /// remaining workers always have interactive work to themselves.
+    pub heavy_lane_workers: usize,
+    /// Reactor core: when to shed heavy requests at admission.
+    pub shed_policy: ShedPolicy,
 }
 
 impl Default for ServerConfig {
@@ -142,6 +161,9 @@ impl Default for ServerConfig {
             max_line_bytes: 8 << 20,
             max_conns: 4096,
             force_poll: false,
+            mem_budget: 256 << 20,
+            heavy_lane_workers: 0,
+            shed_policy: ShedPolicy::Adaptive,
         }
     }
 }
@@ -153,6 +175,22 @@ pub struct ServeOptions {
     pub default_timeout: Duration,
     /// Cap on per-batch fan-out.
     pub batch_parallelism: usize,
+}
+
+/// What the serving core knows about a request by the time a worker runs
+/// it: how long it queued (subtracted from its deadline so the joint
+/// solver's clamped budget reflects time actually remaining), which lane
+/// admitted it, and the governor that grants heavy work its resource
+/// budget. [`RequestCtx::default`] is the ungoverned path (thread-pool
+/// core, in-process tests): zero wait, interactive, no governor.
+#[derive(Clone, Default)]
+pub struct RequestCtx {
+    /// Measured time between enqueue and a worker picking the job up.
+    pub queue_wait: Duration,
+    /// Lane the admission classifier routed this request to.
+    pub lane: Option<Lane>,
+    /// The server's governor, when the serving core runs one.
+    pub governor: Option<Arc<Governor>>,
 }
 
 /// A bound compile server, ready to [`Server::run`].
@@ -227,13 +265,24 @@ impl Server {
         };
         match self.config.core {
             ServerCore::Reactor => {
+                let workers = self.config.workers.max(1);
+                let heavy_workers = match self.config.heavy_lane_workers {
+                    0 => (workers / 2).max(1),
+                    n => n.min(workers),
+                };
+                let governor = Arc::new(Governor::new(
+                    self.config.mem_budget.max(1),
+                    heavy_workers,
+                    self.config.shed_policy,
+                ));
                 let config = reactor::ReactorConfig {
                     opts: options,
-                    workers: self.config.workers.max(1),
+                    workers,
                     idle_timeout: self.config.idle_timeout,
                     max_line_bytes: self.config.max_line_bytes.max(1024),
                     max_conns: self.config.max_conns.max(1),
                     force_poll: self.config.force_poll,
+                    governor,
                 };
                 if let Err(e) = reactor::run(
                     self.listener,
@@ -390,6 +439,36 @@ pub(crate) fn error_response(message: impl Into<String>) -> Json {
     ])
 }
 
+/// Typed shed response: `error_kind` distinguishes "correct request,
+/// wrong moment" from malformed input, and `retry_after_ms` tells the
+/// client how long to back off (vliw-client honors it).
+pub(crate) fn shed_response(retry_after_ms: u64) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::Str(format!(
+                "server overloaded, retry after {retry_after_ms} ms"
+            )),
+        ),
+        ("error_kind", Json::Str("shed".into())),
+        ("retry_after_ms", Json::Num(retry_after_ms as f64)),
+    ])
+}
+
+/// Typed rejection: the request can never fit the server's resource
+/// limits, so retrying is pointless.
+pub(crate) fn reject_response() -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            Json::Str("request exceeds server resource limits".into()),
+        ),
+        ("error_kind", Json::Str("rejected".into())),
+    ])
+}
+
 /// Parse the optional `timeout_ms` field, falling back to the default.
 fn request_timeout(doc: &Json, default_timeout: Duration) -> Result<Duration, Json> {
     match doc.get("timeout_ms") {
@@ -401,34 +480,65 @@ fn request_timeout(doc: &Json, default_timeout: Duration) -> Result<Duration, Js
     }
 }
 
-/// Compile one entry and render its wire object (shared by `compile` and
-/// the per-entry bodies of `compile_batch`).
-pub(crate) fn compile_entry(
+/// Splice the hot-path success response by hand around the engine's
+/// pre-rendered result JSON: no tree build, no re-escape. Every spliced
+/// piece is fixed text or already valid JSON.
+fn render_ok(op: &str, rendered: &str, served: &str) -> Json {
+    let mut doc = String::with_capacity(rendered.len() + 64);
+    doc.push_str("{\"ok\":true,\"op\":\"");
+    doc.push_str(op);
+    doc.push_str("\",\"result\":");
+    doc.push_str(rendered);
+    doc.push_str(",\"served\":\"");
+    doc.push_str(served);
+    doc.push_str("\"}");
+    Json::Raw(doc.into())
+}
+
+/// [`compile_entry`] with the serving core's request context applied:
+///
+/// * the measured queue wait is subtracted from the client deadline, so
+///   the joint solver's clamped budget is ¾ of the time *remaining* —
+///   not ¾ of a deadline that queueing already consumed;
+/// * heavy-lane requests first probe every cache tier (a warm hit of a
+///   hard instance needs no grant), then open a [`TrackedBudget`] from
+///   the governor's pool; a pool refusal becomes a typed shed/reject
+///   response instead of an untracked solve.
+pub(crate) fn compile_entry_ctx(
     engine: &Arc<CachedCompiler>,
     req: &CompileRequest,
     timeout: Duration,
     op: &str,
+    ctx: &RequestCtx,
 ) -> Json {
     let started = Instant::now();
-    let outcome = engine.serve_rendered(req, Some(timeout));
+    let effective = timeout.saturating_sub(ctx.queue_wait);
+    let budget = match (&ctx.governor, ctx.lane) {
+        (Some(gov), Some(Lane::Heavy)) => {
+            if let Some(rendered) = engine.probe_rendered(req) {
+                engine
+                    .stats()
+                    .observe_latency_us(started.elapsed().as_micros() as u64);
+                return render_ok(op, &rendered, "cache");
+            }
+            match gov.open_budget((effective.as_millis() as u64).max(1)) {
+                Ok(b) => Some(b),
+                Err(PoolError::Shed { retry_after_ms }) => {
+                    return shed_response(retry_after_ms);
+                }
+                Err(PoolError::Rejected) => return reject_response(),
+            }
+        }
+        _ => None,
+    };
+    let outcome = engine.serve_rendered_governed(req, Some(effective), budget);
     engine
         .stats()
         .observe_latency_us(started.elapsed().as_micros() as u64);
     match outcome {
-        Ok((rendered, source)) => {
-            // Assemble the hot-path response by hand around the engine's
-            // pre-rendered result JSON: no tree build, no re-escape. Every
-            // spliced piece is fixed text or already valid JSON.
-            let mut doc = String::with_capacity(rendered.len() + 64);
-            doc.push_str("{\"ok\":true,\"op\":\"");
-            doc.push_str(op);
-            doc.push_str("\",\"result\":");
-            doc.push_str(&rendered);
-            doc.push_str(",\"served\":\"");
-            doc.push_str(source.label());
-            doc.push_str("\"}");
-            Json::Raw(doc.into())
-        }
+        Ok((rendered, source)) => render_ok(op, &rendered, source.label()),
+        Err(CompileError::Shed { retry_after_ms }) => shed_response(retry_after_ms),
+        Err(CompileError::Rejected) => reject_response(),
         Err(e) => {
             if !matches!(e, CompileError::Timeout) {
                 engine.stats().error();
@@ -441,7 +551,12 @@ pub(crate) fn compile_entry(
 /// Serve a `compile_batch`: fan the entries over up to `cap` scoped worker
 /// threads pulling from a shared index. Per-entry failures (parse or
 /// compile) land in that entry's slot; the batch itself always succeeds.
-fn handle_batch(doc: Json, engine: &Arc<CachedCompiler>, options: ServeOptions) -> Json {
+fn handle_batch(
+    doc: Json,
+    engine: &Arc<CachedCompiler>,
+    options: ServeOptions,
+    ctx: &RequestCtx,
+) -> Json {
     if doc.get("requests").and_then(Json::as_arr).is_none() {
         engine.stats().error();
         return error_response("compile_batch op missing `requests` array");
@@ -498,7 +613,7 @@ fn handle_batch(doc: Json, engine: &Arc<CachedCompiler>, options: ServeOptions) 
 
     let run_one = |job: &Result<CompileRequest, String>| -> Json {
         match job {
-            Ok(req) => compile_entry(engine, req, timeout, "compile"),
+            Ok(req) => compile_entry_ctx(engine, req, timeout, "compile", ctx),
             Err(m) => {
                 engine.stats().error();
                 error_response(m.clone())
@@ -552,6 +667,7 @@ fn handle_batch_streaming(
     line: &str,
     engine: &Arc<CachedCompiler>,
     options: ServeOptions,
+    ctx: &RequestCtx,
 ) -> Option<Json> {
     use crate::json as js;
     let bytes = line.as_bytes();
@@ -646,7 +762,7 @@ fn handle_batch_streaming(
             }
             let resp = match CompileRequest::take_from_json(entry, default_machine, default_config)
             {
-                Ok(req) => compile_entry(engine, &req, timeout, "compile"),
+                Ok(req) => compile_entry_ctx(engine, &req, timeout, "compile", ctx),
                 Err(m) => {
                     engine.stats().error();
                     error_response(m)
@@ -709,10 +825,22 @@ pub fn handle_line(
     shutdown: &Arc<AtomicBool>,
     options: ServeOptions,
 ) -> Json {
+    handle_line_ctx(line, engine, shutdown, options, &RequestCtx::default())
+}
+
+/// [`handle_line`] with the serving core's request context (queue wait,
+/// lane, governor) threaded into the compile paths.
+pub fn handle_line_ctx(
+    line: &str,
+    engine: &Arc<CachedCompiler>,
+    shutdown: &Arc<AtomicBool>,
+    options: ServeOptions,
+    ctx: &RequestCtx,
+) -> Json {
     // Canonical batch lines (op first, requests last) stream straight off
     // the wire bytes; anything else takes the general tree path below.
     if line.starts_with("{\"op\":\"compile_batch\"") {
-        if let Some(resp) = handle_batch_streaming(line, engine, options) {
+        if let Some(resp) = handle_batch_streaming(line, engine, options, ctx) {
             return resp;
         }
     }
@@ -726,7 +854,7 @@ pub fn handle_line(
     // The batch handler consumes the document (entries move out of it), so
     // it dispatches before the borrowing match below.
     if doc.get("op").and_then(Json::as_str) == Some("compile_batch") {
-        return handle_batch(doc, engine, options);
+        return handle_batch(doc, engine, options, ctx);
     }
     match doc.get("op").and_then(Json::as_str) {
         Some("ping") => Json::obj([("ok", Json::Bool(true)), ("op", Json::Str("ping".into()))]),
@@ -735,7 +863,11 @@ pub fn handle_line(
             ("op", Json::Str("stats".into())),
             (
                 "stats",
-                stats_json(&engine.stats().snapshot(), engine.evictions()),
+                stats_json_governed(
+                    &engine.stats().snapshot(),
+                    engine.evictions(),
+                    ctx.governor.as_deref(),
+                ),
             ),
         ]),
         Some("shutdown") => {
@@ -764,7 +896,7 @@ pub fn handle_line(
                     return resp;
                 }
             };
-            compile_entry(engine, &req, timeout, "compile")
+            compile_entry_ctx(engine, &req, timeout, "compile", ctx)
         }
         _ => {
             engine.stats().error();
@@ -775,7 +907,48 @@ pub fn handle_line(
 
 /// Render a stats snapshot for the `stats` endpoint.
 pub fn stats_json(snap: &StatsSnapshot, evictions: u64) -> Json {
-    Json::obj([
+    stats_json_governed(snap, evictions, None)
+}
+
+/// [`stats_json`] including the governor's live gauges. The fields are
+/// always present (zero without a governor) so the sharded aggregator's
+/// summed keys stay consistent across peers and cores.
+pub fn stats_json_governed(
+    snap: &StatsSnapshot,
+    evictions: u64,
+    governor: Option<&Governor>,
+) -> Json {
+    let relaxed = std::sync::atomic::Ordering::Relaxed;
+    let (depth_i, depth_h, inflight, sheds, rejects, pool_used, pool_limit) = match governor {
+        Some(g) => {
+            let ga = g.gauges();
+            (
+                ga.queue_depth_interactive.load(relaxed),
+                ga.queue_depth_heavy.load(relaxed),
+                ga.inflight_grants.load(relaxed),
+                ga.sheds.load(relaxed),
+                ga.rejects.load(relaxed),
+                g.pool().used(),
+                g.pool().limit(),
+            )
+        }
+        None => (0, 0, 0, 0, 0, 0, 0),
+    };
+    let mut fields = base_stats_fields(snap, evictions);
+    fields.extend([
+        ("queue_depth_interactive", Json::Num(depth_i as f64)),
+        ("queue_depth_heavy", Json::Num(depth_h as f64)),
+        ("inflight_grants", Json::Num(inflight as f64)),
+        ("sheds", Json::Num(sheds as f64)),
+        ("rejects", Json::Num(rejects as f64)),
+        ("pool_bytes_used", Json::Num(pool_used as f64)),
+        ("pool_bytes_limit", Json::Num(pool_limit as f64)),
+    ]);
+    Json::obj(fields)
+}
+
+fn base_stats_fields(snap: &StatsSnapshot, evictions: u64) -> Vec<(&'static str, Json)> {
+    Vec::from([
         ("mem_hits", Json::Num(snap.mem_hits as f64)),
         ("disk_hits", Json::Num(snap.disk_hits as f64)),
         ("canon_hits", Json::Num(snap.canon_hits as f64)),
@@ -803,6 +976,12 @@ pub fn stats_json(snap: &StatsSnapshot, evictions: u64) -> Json {
         ("latency_hist", hist_json(&snap.latency_hist)),
         ("queue_hist", hist_json(&snap.queue_hist)),
     ])
+}
+
+/// Whether a rendered response document is a typed shed (the serving core
+/// counts these per lane and never sheds interactive work).
+pub(crate) fn doc_is_shed(doc: &str) -> bool {
+    doc.contains("\"error_kind\":\"shed\"")
 }
 
 /// Render a sparse histogram as `[[bucket, count], ...]` for the stats

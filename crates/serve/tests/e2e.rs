@@ -658,3 +658,90 @@ fn thread_pool_core_still_serves() {
     assert_eq!(out.served, "compiled");
     server.stop();
 }
+
+/// Fair-share isolation: one greedy client floods the heavy lane with
+/// expensive joint solves while a second client replays a warm cache hit.
+/// The victim's requests are interactive — the governor must never shed
+/// them, and the heavy-lane worker quota must keep workers free so its
+/// latency stays bounded while the flood is still compiling.
+#[test]
+fn heavy_flood_does_not_starve_interactive_client() {
+    use std::time::Instant;
+    let server = TestServer::start_with(None, |c| {
+        c.workers = 4;
+        c.heavy_lane_workers = 2; // two workers always answerable to interactive
+        c.shed_policy = vliw_serve::ShedPolicy::Adaptive;
+    });
+
+    // Warm the cache with the victim's request before the flood begins.
+    let victim_req = sample_request(0);
+    let mut warmup = server.client();
+    assert_eq!(
+        warmup.compile(&victim_req, None).expect("warm").served,
+        "compiled"
+    );
+
+    // Four greedy connections, each sending distinct heavy joint solves
+    // (distinct budgets => distinct cache keys, so every one compiles).
+    // They retry on shed: under overload their work may be deferred, but
+    // it must eventually complete.
+    let greedy: Vec<_> = (0..4u64)
+        .map(|t| {
+            let addr = server.addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("greedy connect");
+                let mut retries = 0u32;
+                for i in 0..4u64 {
+                    let req = hard_joint_request(40 + t * 4 + i);
+                    let (out, r) = c
+                        .compile_with_retry(&req, None, 20)
+                        .expect("greedy compile eventually completes");
+                    assert_eq!(out.served, "compiled");
+                    retries += r;
+                }
+                retries
+            })
+        })
+        .collect();
+
+    // While the flood runs, the victim replays its warm hit and every
+    // round trip must come straight from cache, unshed, quickly.
+    let mut victim = server.client();
+    let mut worst = Duration::ZERO;
+    for _ in 0..50 {
+        let t0 = Instant::now();
+        let out = victim
+            .compile(&victim_req, None)
+            .expect("victim is never shed");
+        worst = worst.max(t0.elapsed());
+        assert!(out.is_cache_hit(), "served={}", out.served);
+    }
+    // Generous debug-build bound: a cache probe served by a reserved
+    // interactive worker, not a solver slot. Seconds would mean the flood
+    // occupied the whole pool.
+    assert!(worst < Duration::from_secs(2), "victim worst={worst:?}");
+
+    for g in greedy {
+        g.join().expect("greedy thread");
+    }
+
+    // The governor's gauges are live on the stats wire; interactive sheds
+    // must be zero by policy (`sheds` counts heavy-lane sheds only). The
+    // last compile thread drops its grant moments *after* its waiter is
+    // answered, so poll the pool briefly instead of racing it.
+    let mut used = u64::MAX;
+    for _ in 0..50 {
+        let stats = victim.stats().expect("stats");
+        let n = |k: &str| stats.get(k).and_then(Json::as_f64).expect(k) as u64;
+        assert_eq!(n("queue_depth_interactive"), 0, "drained");
+        assert!(stats.get("sheds").is_some() && stats.get("pool_bytes_limit").is_some());
+        used = n("pool_bytes_used");
+        if used == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(used, 0, "all grants returned");
+
+    server.stop();
+}
