@@ -92,11 +92,13 @@ pub(crate) fn solve_parallel(
         .unwrap_or(1);
     let frontier = build_frontier(p, threads * 4);
 
-    // Each task clones the working set the root solve already charged;
-    // account for the fan-out so the pool sees the true parallel footprint.
+    // Each task owns cloned assignment/incumbent vectors on top of the
+    // root working set the caller already charged; the adjacency itself is
+    // borrowed, not cloned. Charge the per-task clone cost for the
+    // fan-out's true footprint, and release it once the tasks retire.
+    let fanout_bytes = crate::search::per_task_bytes(p).saturating_mul(frontier.len() as u64);
     if let Some(b) = budget {
-        let per_task = crate::search::working_set_bytes(p);
-        if !b.charge(per_task.saturating_mul(frontier.len() as u64)) {
+        if !b.charge(fanout_bytes) {
             return (seed_cost, seed_assign, SolveStats::default(), true);
         }
     }
@@ -126,6 +128,12 @@ pub(crate) fn solve_parallel(
             (searcher.best_cost, searcher.best_assign, searcher.stats)
         })
         .collect();
+
+    // The tasks' cloned vectors are gone once the fan-out retires; only the
+    // root working set (charged by the caller) outlives this call.
+    if let Some(b) = budget {
+        b.uncharge(fanout_bytes);
+    }
 
     // Deterministic reduction: frontier order is fixed, every task already
     // folded the seed in, so the (cost, lex) minimum over tasks is the

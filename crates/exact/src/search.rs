@@ -407,6 +407,15 @@ pub(crate) fn working_set_bytes(p: &Problem) -> u64 {
     (adj + 2 * p.n + 4 * p.n_banks + 8 * p.n) as u64
 }
 
+/// Bytes one parallel frontier task adds *on top of* the shared root
+/// working set: its own assignment/count/incumbent vectors. The adjacency
+/// is borrowed from the root problem, not cloned, so charging the full
+/// [`working_set_bytes`] per task would over-account wide fan-outs and
+/// trip the budget on solves that actually fit.
+pub(crate) fn per_task_bytes(p: &Problem) -> u64 {
+    (2 * p.n + 4 * p.n_banks + 8 * p.n) as u64
+}
+
 /// [`solve`] under a server-granted [`TrackedBudget`]: the search charges
 /// its working set against the pool up front and polls the budget at the
 /// deadline cadence, so pool exhaustion (or a server-side cancel) degrades

@@ -125,6 +125,11 @@ pub struct Governor {
 /// Default per-heavy-request admission grant: 1 MiB, grown on demand.
 pub const HEAVY_ADMISSION_BYTES: u64 = 1 << 20;
 
+/// Default per-interactive-request admission grant: small (interactive
+/// exact/joint instances sit under the vreg threshold), drawn against the
+/// full pool including the interactive reserve, grown on demand.
+pub const INTERACTIVE_ADMISSION_BYTES: u64 = 256 << 10;
+
 impl Governor {
     pub fn new(mem_budget: u64, heavy_workers: usize, policy: ShedPolicy) -> Governor {
         Governor {
@@ -249,6 +254,36 @@ impl Governor {
             Arc::clone(&self.gauges),
         ))
     }
+
+    /// Open a tracked budget for an interactive-lane request that still
+    /// runs a budgeted solver (an exact/joint instance under the heavy
+    /// thresholds, or a heavy shape demoted by an observed warm hit that
+    /// then misses the cache). The grant is small and draws on the *full*
+    /// pool — including the interactive reserve, so it succeeds even while
+    /// heavy grants occupy their whole share — which keeps `--mem-budget`
+    /// a hard cap on solver memory for every lane. Only shedding is
+    /// possible: the ask is clamped under the pool limit by construction.
+    pub fn open_budget_interactive(&self, deadline_ms: u64) -> Result<TrackedBudget, PoolError> {
+        let ask = INTERACTIVE_ADMISSION_BYTES
+            .min(self.pool.limit() / 4)
+            .max(1);
+        let grant = match self.pool.grant_interactive(ask) {
+            Ok(g) => g,
+            Err(e) => {
+                match e {
+                    PoolError::Shed { .. } => self.gauges.sheds.fetch_add(1, Ordering::Relaxed),
+                    PoolError::Rejected => self.gauges.rejects.fetch_add(1, Ordering::Relaxed),
+                };
+                return Err(e);
+            }
+        };
+        self.gauges.inflight_grants.fetch_add(1, Ordering::Relaxed);
+        Ok(TrackedBudget::new(
+            grant,
+            deadline_ms,
+            Arc::clone(&self.gauges),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +340,23 @@ mod tests {
         assert!(matches!(g.admit(Lane::Heavy, 0), Admission::Shed { .. }));
         // Interactive still fine.
         assert_eq!(g.admit(Lane::Interactive, 0), Admission::Admit);
+    }
+
+    #[test]
+    fn interactive_budget_draws_on_the_reserve() {
+        let g = Governor::new(8 << 20, 1, ShedPolicy::Never);
+        // Heavy grants occupy their entire share of the pool.
+        let _held = g.pool().grant_heavy(g.pool().heavy_capacity()).unwrap();
+        assert!(matches!(g.open_budget(0), Err(PoolError::Shed { .. })));
+        // An interactive compile still gets a tracked budget (the reserve
+        // exists precisely so it can), and it is real accounting: charges
+        // past the pool limit trip it.
+        let b = g.open_budget_interactive(0).unwrap();
+        assert_eq!(g.gauges().inflight_grants.load(Ordering::Relaxed), 1);
+        assert!(!b.charge(64 << 20), "charge past the pool limit refused");
+        assert!(b.exceeded());
+        drop(b);
+        assert_eq!(g.gauges().inflight_grants.load(Ordering::Relaxed), 0);
     }
 
     #[test]

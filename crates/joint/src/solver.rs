@@ -329,6 +329,46 @@ fn search_ii(
     stats: &mut JointStats,
     store: &mut NoGoodStore,
 ) -> IiOutcome {
+    // Per-rung working set: the searcher's marks/affected tables plus the
+    // incremental maintainer's edge state. Charged for this rung only and
+    // released when the rung's searcher is dropped — otherwise a long II
+    // ladder accumulates dead rungs' charges and trips the budget on
+    // solves that actually fit. The ladder's only persistent memory is
+    // the no-good store, whose clauses are charged separately as they are
+    // recorded.
+    let rung_bytes = {
+        let n_banks = machine.n_clusters();
+        let n_vregs = body.n_vregs();
+        (n_vregs * n_banks + ddg.edges().len() * 32 + n_vregs * 16) as u64
+    };
+    if let Some(b) = budget {
+        if !b.charge(rung_bytes) {
+            return IiOutcome::TimedOut;
+        }
+    }
+    let out = search_ii_rung(
+        body, machine, rcg, ddg, seed_part, target, deadline, budget, stats, store,
+    );
+    if let Some(b) = budget {
+        b.uncharge(rung_bytes);
+    }
+    out
+}
+
+/// One rung of [`search_ii`], run entirely under that rung's charge.
+#[allow(clippy::too_many_arguments)]
+fn search_ii_rung(
+    body: &Loop,
+    machine: &MachineDesc,
+    rcg: &vliw_core::RcgGraph,
+    ddg: &Ddg,
+    seed_part: &Partition,
+    target: u32,
+    deadline: Option<Instant>,
+    budget: Option<&TrackedBudget>,
+    stats: &mut JointStats,
+    store: &mut NoGoodStore,
+) -> IiOutcome {
     let n_banks = machine.n_clusters();
     let n_vregs = body.n_vregs();
     let copy_extra = copy_extras(body, machine);
@@ -384,15 +424,6 @@ fn search_ii(
         copy_marks: vec![false; n_vregs * n_banks],
         found: None,
     };
-
-    // Per-rung working set: the searcher's marks/affected tables plus the
-    // incremental maintainer's edge state.
-    if let Some(b) = budget {
-        let rung = (n_vregs * n_banks + ddg.edges().len() * 32 + n_vregs * 16) as u64;
-        if !b.charge(rung) {
-            return IiOutcome::TimedOut;
-        }
-    }
 
     // Root checks: an empty assignment can already overflow (ops with no
     // operands pin to cluster 0) or carry an intrinsic positive cycle.

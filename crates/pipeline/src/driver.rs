@@ -144,6 +144,25 @@ impl JointOutcome {
     }
 }
 
+/// What the exact bank-assignment solver claimed about its run. Present on
+/// a [`LoopResult`] only when [`PartitionerKind::Exact`] ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactOutcome {
+    /// RCG cut cost of the partition the search returned.
+    pub cost: f64,
+    /// True when the branch-and-bound closed; false means the wall-clock
+    /// budget or a governed resource budget truncated the search and the
+    /// partition is the best incumbent (never worse than the greedy seed).
+    pub optimal: bool,
+}
+
+impl ExactOutcome {
+    /// Whether the budget cut the search off before it closed.
+    pub fn truncated(&self) -> bool {
+        !self.optimal
+    }
+}
+
 /// Everything measured about one loop on one machine.
 #[derive(Debug, Clone)]
 pub struct LoopResult {
@@ -187,9 +206,18 @@ pub struct LoopResult {
     /// The joint solver's audited claims (`None` unless
     /// [`PartitionerKind::Joint`] ran).
     pub joint: Option<JointOutcome>,
+    /// The exact partitioner's claims (`None` unless
+    /// [`PartitionerKind::Exact`] ran). `optimal: false` marks a
+    /// budget-truncated search.
+    pub exact: Option<ExactOutcome>,
 }
 
 impl LoopResult {
+    /// Whether any budgeted partitioner search was cut short — the result
+    /// is the best incumbent found, not a proven optimum.
+    pub fn partitioner_truncated(&self) -> bool {
+        self.joint.is_some_and(|j| j.truncated()) || self.exact.is_some_and(|e| e.truncated())
+    }
     /// Degradation as a percentage over ideal (0 = none).
     pub fn degradation_pct(&self) -> f64 {
         self.normalized - 100.0
@@ -276,6 +304,7 @@ pub fn run_loop_governed(
     let n_banks = machine.n_clusters();
     let mut rcg: Option<RcgGraph> = None;
     let mut joint: Option<vliw_joint::JointResult> = None;
+    let mut exact: Option<ExactOutcome> = None;
     let partition: Partition = match cfg.partitioner {
         PartitionerKind::Greedy => {
             let g = rcg.insert(build_rcg(body, ideal, slack, &cfg.partition));
@@ -302,7 +331,15 @@ pub fn run_loop_governed(
                 budget_ms,
                 ..Default::default()
             };
-            vliw_exact::solve_governed(g, n_banks, Some(&seed), &exact_cfg, budget).partition
+            let r = vliw_exact::solve_governed(g, n_banks, Some(&seed), &exact_cfg, budget);
+            // The optimality claim rides the result so the serve tier can
+            // tell a closed search from a budget-truncated incumbent (a
+            // pool-tripped truncation must never be cached).
+            exact = Some(ExactOutcome {
+                cost: r.cost,
+                optimal: r.optimal,
+            });
+            r.partition
         }
         PartitionerKind::Joint { budget_ms } => {
             // The RCG is rebuilt for the gate below; the solver derives its
@@ -571,6 +608,7 @@ pub fn run_loop_governed(
             lower_bound_ii: j.lower_bound_ii,
             optimal: j.optimal,
         }),
+        exact,
     }
 }
 

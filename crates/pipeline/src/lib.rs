@@ -24,8 +24,8 @@ pub mod function;
 pub mod stats;
 
 pub use driver::{
-    run_loop, run_loop_governed, schedule_with, schedule_with_ctx, JointOutcome, LintMode,
-    LoopResult, PartitionerKind, PipelineConfig, SchedulerKind,
+    run_loop, run_loop_governed, schedule_with, schedule_with_ctx, ExactOutcome, JointOutcome,
+    LintMode, LoopResult, PartitionerKind, PipelineConfig, SchedulerKind,
 };
 pub use encode::{format_pipeline_config, parse_pipeline_config, ConfigParseError};
 pub use experiments::{

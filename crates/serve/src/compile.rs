@@ -264,7 +264,7 @@ impl CachedCompiler {
             return Arc::clone(doc);
         }
         let doc: Arc<str> = res.to_json().render().into();
-        if res.joint.is_some_and(|j| !j.optimal) {
+        if res.joint.is_some_and(|j| !j.optimal) || res.exact.is_some_and(|e| !e.optimal) {
             return doc;
         }
         let mut cache = self.rendered.lock().expect("rendered cache poisoned");
@@ -485,12 +485,12 @@ impl CachedCompiler {
     /// the result is also stored in canonical space under the semantic key,
     /// so future isomorphic variants of this loop hit without compiling.
     ///
-    /// A joint result truncated under a deadline-`clamped` budget — or cut
-    /// short by a governed resource budget that tripped mid-solve — is
-    /// published to waiters but **not** cached: its key is a pure function
-    /// of the request text (which still names the original budget), so
-    /// caching it would serve the degraded answer to identical requests
-    /// arriving later with room to solve fully.
+    /// A joint *or exact* result truncated under a deadline-`clamped`
+    /// budget — or cut short by a governed resource budget that tripped
+    /// mid-solve — is published to waiters but **not** cached: its key is
+    /// a pure function of the request text (which still names the original
+    /// budget), so caching it would serve the degraded answer to identical
+    /// requests arriving later with room to solve fully.
     fn publish(
         &self,
         key: &str,
@@ -500,7 +500,8 @@ impl CachedCompiler {
         taint_if_truncated: bool,
     ) {
         if let Ok(res) = &outcome {
-            let tainted = taint_if_truncated && res.joint.is_some_and(|j| !j.optimal);
+            let tainted = taint_if_truncated
+                && (res.joint.is_some_and(|j| !j.optimal) || res.exact.is_some_and(|e| !e.optimal));
             if !tainted {
                 self.cache.put(key, res);
                 if let Some((sem_key, witness)) = alias {

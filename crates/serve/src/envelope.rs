@@ -28,7 +28,8 @@ use vliw_ir::{format_loop_full, parse_loop, Loop};
 use vliw_machine::{format_machine, parse_machine, MachineDesc};
 use vliw_normal::Witness;
 use vliw_pipeline::{
-    format_pipeline_config, parse_pipeline_config, JointOutcome, LoopResult, PipelineConfig,
+    format_pipeline_config, parse_pipeline_config, ExactOutcome, JointOutcome, LoopResult,
+    PipelineConfig,
 };
 
 /// SHA-256 cache key as 64 lowercase hex digits.
@@ -48,8 +49,11 @@ pub type CacheKey = String;
 /// `v` field that decode rejects when it disagrees (mixed-version shards
 /// fail closed instead of serving mis-keyed or mis-shaped entries); 5 =
 /// results carry the joint solver's audited claims (`joint` object with
-/// achieved/greedy/lower-bound IIs and the optimality flag).
-pub const CACHE_FORMAT_VERSION: u8 = 5;
+/// achieved/greedy/lower-bound IIs and the optimality flag); 6 = results
+/// carry the exact partitioner's claims too (`exact` object with cut cost
+/// and optimality flag), so truncated exact searches are visible to the
+/// taint logic and on the wire.
+pub const CACHE_FORMAT_VERSION: u8 = 6;
 
 /// One compile job: the full pipeline input set as canonical text.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -275,6 +279,10 @@ pub struct CompileResult {
     /// ran). `optimal: false` marks a budget-truncated search whose
     /// `lower_bound_ii` is the honest proven floor.
     pub joint: Option<JointOutcome>,
+    /// The exact partitioner's claims (`None` unless the `exact`
+    /// partitioner ran). `optimal: false` marks a budget-truncated search
+    /// whose partition is the best incumbent found.
+    pub exact: Option<ExactOutcome>,
 }
 
 /// Encode one diagnostic as the wire/cache JSON object. The shape matches
@@ -384,6 +392,7 @@ impl CompileResult {
             sim_ok: r.sim_ok,
             diagnostics: r.diagnostics.clone(),
             joint: r.joint,
+            exact: r.exact,
         }
     }
 
@@ -408,6 +417,7 @@ impl CompileResult {
             sim_ok: self.sim_ok,
             diagnostics: self.diagnostics.clone(),
             joint: self.joint,
+            exact: self.exact,
         }
     }
 
@@ -483,6 +493,16 @@ impl CompileResult {
                     None => Json::Null,
                 },
             ),
+            (
+                "exact",
+                match &self.exact {
+                    Some(e) => Json::obj([
+                        ("cost", Json::Num(e.cost)),
+                        ("optimal", Json::Bool(e.optimal)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -554,6 +574,19 @@ impl CompileResult {
                 })
             }
         };
+        let exact = match v.get("exact") {
+            None | Some(Json::Null) => None,
+            Some(e) => Some(ExactOutcome {
+                cost: e
+                    .get("cost")
+                    .and_then(Json::as_f64)
+                    .ok_or("exact field `cost` is not a number")?,
+                optimal: match e.get("optimal") {
+                    Some(Json::Bool(b)) => *b,
+                    _ => return Err("exact field `optimal` is not bool".into()),
+                },
+            }),
+        };
         Ok(CompileResult {
             key: str_field("key")?,
             name: str_field("name")?,
@@ -572,6 +605,7 @@ impl CompileResult {
             sim_ok,
             diagnostics,
             joint,
+            exact,
         })
     }
 
@@ -731,6 +765,10 @@ mod tests {
                 ii: 3,
                 greedy_ii: 4,
                 lower_bound_ii: 2,
+                optimal: false,
+            }),
+            exact: Some(ExactOutcome {
+                cost: 12.5,
                 optimal: false,
             }),
         };

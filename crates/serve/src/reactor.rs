@@ -131,6 +131,23 @@ struct LaneQueues {
     interactive: DwrrQueue<Job>,
     heavy: DwrrQueue<Job>,
     heavy_inflight: usize,
+    /// Consecutive interactive dequeues since a heavy job was last served
+    /// while heavy work sat backlogged. Drives [`serve_heavy_first`].
+    interactive_streak: u32,
+}
+
+/// After this many consecutive interactive dequeues, a backlogged heavy job
+/// is served first. Strict interactive priority would let an *admitted*
+/// heavy job — one the governor already granted memory — wait unboundedly
+/// behind a steady interactive stream; letting one heavy job through every
+/// ninth dequeue bounds that wait while keeping interactive latency
+/// dominated by the interactive lane.
+const HEAVY_AGING_RATIO: u32 = 8;
+
+/// Whether a worker should try the heavy lane before the interactive one.
+/// `heavy_ready` means heavy work is queued *and* under the inflight quota.
+fn serve_heavy_first(interactive_streak: u32, heavy_ready: bool) -> bool {
+    heavy_ready && interactive_streak >= HEAVY_AGING_RATIO
 }
 
 /// State shared between the reactor and the worker threads.
@@ -196,14 +213,30 @@ fn worker_loop(
     opts: ServeOptions,
 ) {
     loop {
-        // Workers prefer the interactive lane; heavy jobs run only while
-        // fewer than `heavy_quota` of them are in flight, which leaves
+        // Workers prefer the interactive lane, with two carve-outs for
+        // heavy work: at most `heavy_quota` heavy jobs run at once (leaving
         // `workers - heavy_quota` threads always answerable to interactive
-        // traffic no matter how deep the heavy backlog grows.
+        // traffic), and after `HEAVY_AGING_RATIO` consecutive interactive
+        // dequeues one backlogged heavy job is served first so an admitted
+        // heavy job cannot wait forever behind a steady interactive stream.
         let picked = {
             let mut q = shared.lanes.lock().unwrap();
             loop {
+                let heavy_ready = q.heavy_inflight < shared.heavy_quota && !q.heavy.is_empty();
+                if serve_heavy_first(q.interactive_streak, heavy_ready) {
+                    if let Some(j) = q.heavy.pop() {
+                        q.heavy_inflight += 1;
+                        q.interactive_streak = 0;
+                        shared
+                            .governor
+                            .gauges()
+                            .queue_depth_heavy
+                            .store(q.heavy.len() as u64, Ordering::Relaxed);
+                        break Some((j, Lane::Heavy));
+                    }
+                }
                 if let Some(j) = q.interactive.pop() {
+                    q.interactive_streak = q.interactive_streak.saturating_add(1);
                     shared
                         .governor
                         .gauges()
@@ -214,6 +247,7 @@ fn worker_loop(
                 if q.heavy_inflight < shared.heavy_quota {
                     if let Some(j) = q.heavy.pop() {
                         q.heavy_inflight += 1;
+                        q.interactive_streak = 0;
                         shared
                             .governor
                             .gauges()
@@ -385,6 +419,7 @@ pub(crate) fn run(
             interactive: DwrrQueue::new(1),
             heavy: DwrrQueue::new(1),
             heavy_inflight: 0,
+            interactive_streak: 0,
         }),
         cv: Condvar::new(),
         stop: AtomicBool::new(false),
@@ -868,6 +903,48 @@ impl Reactor {
                     self.settle(idx);
                 }
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{serve_heavy_first, HEAVY_AGING_RATIO};
+
+    #[test]
+    fn interactive_wins_until_the_streak_ages() {
+        for streak in 0..HEAVY_AGING_RATIO {
+            assert!(!serve_heavy_first(streak, true));
+        }
+        assert!(serve_heavy_first(HEAVY_AGING_RATIO, true));
+        assert!(serve_heavy_first(HEAVY_AGING_RATIO + 100, true));
+    }
+
+    #[test]
+    fn aging_never_fires_without_ready_heavy_work() {
+        // Quota exhausted or an empty heavy queue both clear `heavy_ready`;
+        // the streak alone must never divert a worker.
+        assert!(!serve_heavy_first(HEAVY_AGING_RATIO, false));
+        assert!(!serve_heavy_first(u32::MAX, false));
+    }
+
+    #[test]
+    fn heavy_wait_is_bounded_under_interactive_flood() {
+        // Simulate the worker pick loop's streak bookkeeping with both
+        // lanes permanently backlogged: heavy must be served at least once
+        // every `HEAVY_AGING_RATIO + 1` dequeues, so an admitted heavy job
+        // waits a bounded number of service slots, never unboundedly.
+        let mut streak = 0u32;
+        let mut since_heavy = 0u32;
+        for _ in 0..1000 {
+            if serve_heavy_first(streak, true) {
+                streak = 0;
+                since_heavy = 0;
+            } else {
+                streak += 1;
+                since_heavy += 1;
+            }
+            assert!(since_heavy <= HEAVY_AGING_RATIO);
         }
     }
 }

@@ -495,15 +495,28 @@ fn render_ok(op: &str, rendered: &str, served: &str) -> Json {
     Json::Raw(doc.into())
 }
 
+/// Whether `req` will run a budgeted (exact/joint) solver on a cache
+/// miss. Syntactic, matching the lane classifier's token test — the lane
+/// alone is not enough: small or warm-demoted exact/joint shapes are
+/// classified interactive but still solve on a miss, and they must not
+/// escape the pool's accounting.
+fn runs_governed_solver(req: &CompileRequest) -> bool {
+    req.config_text.contains("partitioner exact") || req.config_text.contains("partitioner joint")
+}
+
 /// [`compile_entry`] with the serving core's request context applied:
 ///
 /// * the measured queue wait is subtracted from the client deadline, so
 ///   the joint solver's clamped budget is ¾ of the time *remaining* —
 ///   not ¾ of a deadline that queueing already consumed;
-/// * heavy-lane requests first probe every cache tier (a warm hit of a
-///   hard instance needs no grant), then open a [`TrackedBudget`] from
-///   the governor's pool; a pool refusal becomes a typed shed/reject
-///   response instead of an untracked solve.
+/// * heavy-lane requests — and interactive exact/joint requests, whose
+///   solvers are just as unbounded in principle — first probe every cache
+///   tier (a warm hit of a hard instance needs no grant), then open a
+///   [`TrackedBudget`] from the governor's pool: heavies against the
+///   heavy share, interactive compiles against the full pool including
+///   the reserve kept for them. A pool refusal becomes a typed
+///   shed/reject response instead of an untracked solve, so
+///   `--mem-budget` caps solver memory on every lane.
 pub(crate) fn compile_entry_ctx(
     engine: &Arc<CachedCompiler>,
     req: &CompileRequest,
@@ -514,14 +527,19 @@ pub(crate) fn compile_entry_ctx(
     let started = Instant::now();
     let effective = timeout.saturating_sub(ctx.queue_wait);
     let budget = match (&ctx.governor, ctx.lane) {
-        (Some(gov), Some(Lane::Heavy)) => {
+        (Some(gov), Some(lane)) if lane == Lane::Heavy || runs_governed_solver(req) => {
             if let Some(rendered) = engine.probe_rendered(req) {
                 engine
                     .stats()
                     .observe_latency_us(started.elapsed().as_micros() as u64);
                 return render_ok(op, &rendered, "cache");
             }
-            match gov.open_budget((effective.as_millis() as u64).max(1)) {
+            let deadline_ms = (effective.as_millis() as u64).max(1);
+            let opened = match lane {
+                Lane::Heavy => gov.open_budget(deadline_ms),
+                Lane::Interactive => gov.open_budget_interactive(deadline_ms),
+            };
+            match opened {
                 Ok(b) => Some(b),
                 Err(PoolError::Shed { retry_after_ms }) => {
                     return shed_response(retry_after_ms);

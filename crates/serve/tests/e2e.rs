@@ -647,6 +647,136 @@ fn deadline_clamped_joint_results_are_never_cached() {
     server.stop();
 }
 
+/// The same 25-vreg daxpy body under the *exact* partitioner with an
+/// unlimited explicit budget: only a governed pool trip can truncate it.
+fn hard_exact_request() -> CompileRequest {
+    use vliw_ir::{LoopBuilder, RegClass};
+    let mut b = LoopBuilder::new("hard_daxpy_u6");
+    let x = b.array("x", RegClass::Float, 1024);
+    let y = b.array("y", RegClass::Float, 1024);
+    let a = b.live_in_float("a");
+    for u in 0..6i64 {
+        let xv = b.load(x, u, 6);
+        let yv = b.load(y, u, 6);
+        let p = b.fmul(a, xv);
+        let s = b.fadd(yv, p);
+        b.store(y, u, 6, s);
+    }
+    let body = b.finish(128);
+    let cfg = PipelineConfig {
+        partitioner: vliw_pipeline::PartitionerKind::Exact { budget_ms: 0 },
+        ..PipelineConfig::default()
+    };
+    CompileRequest::from_parts(&body, &MachineDesc::embedded(4, 4), &cfg)
+}
+
+#[test]
+fn pool_tripped_exact_truncation_is_never_cached() {
+    // A pool far too small for the exact search's working set: the budget
+    // trips on the first charge and the solver returns its greedy seed
+    // with an honest `optimal: false`. That truncation is a function of
+    // transient server state (pool occupancy), not of the request text the
+    // cache key hashes — so it must never be cached, even though the
+    // request's own budget is unlimited.
+    let server = TestServer::start_with(None, |c| {
+        c.mem_budget = 4096;
+        c.shed_policy = vliw_serve::ShedPolicy::Never;
+    });
+    let mut client = server.client();
+
+    let req = hard_exact_request();
+    let first = client.compile(&req, None).expect("truncated compile");
+    assert_eq!(first.served, "compiled");
+    let exact = first
+        .result
+        .exact
+        .expect("exact partitioner reports its claims");
+    assert!(
+        !exact.optimal,
+        "a 4 KiB pool cannot cover the exact working set"
+    );
+
+    // Let the leader retire its in-flight slot, then repeat: the degraded
+    // seed partition must not be served back from cache.
+    std::thread::sleep(Duration::from_millis(200));
+    let second = client.compile(&req, None).expect("second compile");
+    assert_eq!(
+        second.served, "compiled",
+        "a pool-tripped truncation must not be served from cache"
+    );
+    assert!(!second.result.exact.expect("claims").optimal);
+
+    let stats = client.stats().expect("stats");
+    let n = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap() as u64;
+    assert_eq!(n("compiles"), 2);
+
+    server.stop();
+}
+
+#[test]
+fn interactive_exact_compiles_are_pool_accounted() {
+    // An exact request *under* the heavy vreg threshold rides the
+    // interactive lane, but its solver still charges the pool: with a
+    // pool smaller than even this small working set, the compile must
+    // come back as an honest truncation instead of an unaccounted solve
+    // (--mem-budget is a hard cap for every lane).
+    let server = TestServer::start_with(None, |c| {
+        c.mem_budget = 256;
+        c.shed_policy = vliw_serve::ShedPolicy::Never;
+    });
+    let mut client = server.client();
+
+    use vliw_ir::{LoopBuilder, RegClass};
+    let mut b = LoopBuilder::new("small_daxpy_u2");
+    let x = b.array("x", RegClass::Float, 1024);
+    let y = b.array("y", RegClass::Float, 1024);
+    let a = b.live_in_float("a");
+    for u in 0..2i64 {
+        let xv = b.load(x, u, 2);
+        let yv = b.load(y, u, 2);
+        let p = b.fmul(a, xv);
+        let s = b.fadd(yv, p);
+        b.store(y, u, 2, s);
+    }
+    let body = b.finish(128);
+    let cfg = PipelineConfig {
+        partitioner: vliw_pipeline::PartitionerKind::Exact { budget_ms: 0 },
+        ..PipelineConfig::default()
+    };
+    let req = CompileRequest::from_parts(&body, &MachineDesc::embedded(4, 4), &cfg);
+
+    let first = client.compile(&req, None).expect("governed compile");
+    assert_eq!(first.served, "compiled");
+    let exact = first.result.exact.expect("exact claims");
+    assert!(
+        !exact.optimal,
+        "a 256-byte pool cannot cover even this working set"
+    );
+
+    // Pool-tripped, so never cached — identical to the heavy-lane rule.
+    std::thread::sleep(Duration::from_millis(200));
+    let second = client.compile(&req, None).expect("second compile");
+    assert_eq!(second.served, "compiled");
+
+    // The grant is returned when the budget drops — moments after the
+    // waiter is answered, so poll briefly instead of racing it.
+    let mut used = u64::MAX;
+    for _ in 0..50 {
+        let stats = client.stats().expect("stats");
+        used = stats
+            .get("pool_bytes_used")
+            .and_then(Json::as_f64)
+            .expect("pool gauge") as u64;
+        if used == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(used, 0, "all grants returned");
+
+    server.stop();
+}
+
 #[test]
 fn thread_pool_core_still_serves() {
     let server = TestServer::start_with(None, |c| c.core = ServerCore::ThreadPool);
